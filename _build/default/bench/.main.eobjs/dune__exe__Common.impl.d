@@ -1,0 +1,1 @@
+bench/common.ml: List Oclick Oclick_elements Oclick_graph Oclick_hw Oclick_optim Oclick_packet Printf String

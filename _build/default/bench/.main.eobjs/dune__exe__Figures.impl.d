@@ -1,0 +1,1 @@
+bench/figures.ml: Buffer Common List Oclick Oclick_classifier Oclick_graph Oclick_hw Oclick_optim Oclick_packet Oclick_runtime Option Printf String Unix

@@ -1,0 +1,1 @@
+bench/main.ml: Array Figures List Micro Printf Sys

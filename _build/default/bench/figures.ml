@@ -1,0 +1,461 @@
+(* Reproductions of every table and figure in the paper's evaluation
+   (§4, §8). Each function prints the rows/series the paper reports,
+   alongside the paper's published values for comparison. *)
+
+open Common
+module Testbed = Oclick_hw.Testbed
+module Platform = Oclick_hw.Platform
+module Tree = Oclick_classifier.Tree
+module Hooks = Oclick_runtime.Hooks
+module Cost_model = Oclick_hw.Cost_model
+
+(* --- §3: virtual call costs (the Figure 2 discussion) ------------------- *)
+
+let dispatch () =
+  section "Section 3: packet-transfer dispatch costs (cycle model)";
+  let cm = Cost_model.create () in
+  let tr target =
+    {
+      Hooks.tr_src_idx = 0;
+      tr_src_class = "ARPQuerier";
+      tr_src_port = 0;
+      tr_dst_idx = target;
+      tr_dst_class = "Queue";
+      tr_direct = false;
+      tr_pull = false;
+    }
+  in
+  let cold = Cost_model.transfer_cycles cm (tr 1) in
+  let warm = Cost_model.transfer_cycles cm (tr 1) in
+  row "predicted virtual call:    %3d cycles   (paper: ~7, like a conventional call)\n" warm;
+  row "mispredicted virtual call: %3d cycles   (paper: dozens)\n" cold;
+  (* Figure 2: two same-class elements alternating targets through one
+     shared call site always mispredict. *)
+  let mispredicts = ref 0 in
+  for _ = 1 to 1000 do
+    List.iter
+      (fun target ->
+        if Cost_model.transfer_cycles cm (tr target) > 10 then incr mispredicts)
+      [ 1; 2 ]
+  done;
+  row "Figure 2 alternation: %d/2000 transfers mispredicted (paper: the \
+       predictor is always wrong)\n"
+    !mispredicts
+
+(* --- §4: the 17-rule firewall, DNS-5 packet ------------------------------ *)
+
+let firewall_rules =
+  "deny ip frag, deny src net 127.0.0.0/8, deny src net 10.0.0.0/8, deny \
+   src net 172.16.0.0/12, allow dst host 192.168.1.2 && tcp dst port 25, \
+   allow src host 192.168.1.2 && tcp src port 25 && tcp opt ack, allow src \
+   net 192.168.1.0/24 && tcp dst port 80, allow dst net 192.168.1.0/24 && \
+   tcp src port 80 && tcp opt ack, deny tcp dst port 23, deny tcp dst port \
+   111, allow dst host 192.168.1.2 && tcp dst port 22, allow icmp type 8, \
+   allow icmp type 0, deny udp dst port 69, deny udp dst port 2049, allow \
+   dst host 192.168.1.3 && udp dst port 53, deny all"
+
+let dns5_packet () =
+  let p =
+    Oclick_packet.Headers.Build.udp
+      ~src_ip:(Oclick_packet.Ipaddr.of_string_exn "204.152.184.134")
+      ~dst_ip:(Oclick_packet.Ipaddr.of_string_exn "192.168.1.3")
+      ~src_port:1717 ~dst_port:53 ()
+  in
+  Oclick_packet.Packet.pull p 14;
+  p
+
+let firewall () =
+  section "Section 4: click-fastclassifier on a 17-rule firewall (DNS-5)";
+  let tree =
+    match Oclick_classifier.Filter.ipfilter_tree firewall_rules with
+    | Ok t -> Oclick_classifier.Optimize.optimize t
+    | Error e -> failwith e
+  in
+  let p = dns5_packet () in
+  let out, visited = Tree.classify_count tree p in
+  assert (out = 0);
+  let ns_of_cycles c = Platform.ns_of_cycles Platform.p0 c in
+  let cm = Cost_model.create () in
+  let interp_ns =
+    ns_of_cycles
+      (Cost_model.element_cycles cm ~cls:"IPFilter"
+      + Cost_model.work_cycles (Hooks.W_classify_interp visited))
+  in
+  let compiled_ns =
+    ns_of_cycles
+      (Cost_model.element_cycles cm ~cls:"FastClassifier"
+      + Cost_model.work_cycles (Hooks.W_classify_compiled visited))
+  in
+  row "decision tree: %d nodes, depth %d; DNS-5 packet visits %d nodes\n"
+    (Tree.node_count tree) (Tree.depth tree) visited;
+  row "IPFilter (interpreted):      %4d ns/packet   (paper: 388 ns, 23%% of \
+       the forwarding path)\n"
+    interp_ns;
+  row "with click-fastclassifier:   %4d ns/packet   (paper: 188 ns)\n"
+    compiled_ns;
+  row "speedup: %.2fx                                (paper: 2.06x)\n"
+    (float_of_int interp_ns /. float_of_int compiled_ns)
+
+(* --- Figure 8: CPU cost breakdown ------------------------------------------ *)
+
+let fig8 () =
+  section "Figure 8: CPU cost breakdown, unoptimized IP router (P0)";
+  let graph = base_graph 8 in
+  let m = mlffr ~platform:Platform.p0 graph in
+  let r = run_testbed ~platform:Platform.p0 ~graph m in
+  row "%-34s %8s %8s\n" "Task" "measured" "paper";
+  row "%-34s %5.0f ns %5d ns\n" "Receiving device interactions"
+    r.Testbed.r_receive_ns 701;
+  row "%-34s %5.0f ns %5d ns\n" "Click forwarding path" r.Testbed.r_forward_ns
+    1657;
+  row "%-34s %5.0f ns %5d ns\n" "Transmitting device interactions"
+    r.Testbed.r_transmit_ns 547;
+  row "%-34s %5.0f ns %5d ns\n" "Total" r.Testbed.r_total_ns 2905;
+  row "\nimplied max rate %.0fk pps (paper: ~344k implied, 357k observed)\n"
+    (1e6 /. r.Testbed.r_total_ns);
+  row "cache misses per packet: %.1f (paper: 4)\n" r.Testbed.r_cache_misses
+
+(* --- Figure 9: effect of the optimizations on CPU time --------------------- *)
+
+let fig9_variants :
+    (string * (unit -> Oclick_graph.Router.t) * (int * int) option) list =
+  (* (name, graph, paper's (forwarding, total) where legible) *)
+  [
+    ("Base", (fun () -> base_graph 8), Some (1657, 2905));
+    ("FC", (fun () -> variant_graph Oclick.Pipeline.Fc), None);
+    ("DV", (fun () -> variant_graph Oclick.Pipeline.Dv), None);
+    ("XF", (fun () -> variant_graph Oclick.Pipeline.Xf), None);
+    ("All", (fun () -> variant_graph Oclick.Pipeline.All), Some (1101, 2349));
+    ("MR", (fun () -> variant_graph Oclick.Pipeline.Mr), None);
+    ("MR+All", (fun () -> variant_graph Oclick.Pipeline.Mr_all), Some (1061, 2309));
+    ("Simple", (fun () -> simple_graph 8), None);
+  ]
+
+let fig9 () =
+  section "Figure 9: language optimizations vs CPU time (P0, at each MLFFR)";
+  row "%-8s %12s %12s %14s %14s\n" "config" "fwd ns" "total ns" "paper fwd"
+    "paper total";
+  let base_fwd = ref 0.0 in
+  List.iter
+    (fun (name, graph, paper) ->
+      let graph = graph () in
+      let m = mlffr ~platform:Platform.p0 graph in
+      let r = run_testbed ~platform:Platform.p0 ~graph m in
+      if name = "Base" then base_fwd := r.Testbed.r_forward_ns;
+      let paper_s =
+        match paper with
+        | Some (f, t) -> Printf.sprintf "%8d ns %10d ns" f t
+        | None -> Printf.sprintf "%11s %13s" "-" "-"
+      in
+      row "%-8s %9.0f ns %9.0f ns %s\n" name r.Testbed.r_forward_ns
+        r.Testbed.r_total_ns paper_s;
+      if name = "All" then
+        row "  -> forwarding-path reduction vs Base: %.0f%% (paper: 34%%)\n"
+          (100.0 *. (1.0 -. (r.Testbed.r_forward_ns /. !base_fwd))))
+    fig9_variants;
+  (* §8.2's microarchitectural claims for "All" *)
+  let all = variant_graph Oclick.Pipeline.All in
+  let m = mlffr ~platform:Platform.p0 all in
+  let r = run_testbed ~platform:Platform.p0 ~graph:all m in
+  row "\nAll: %.0f instructions retired/packet (paper: 988), %.1f cache \
+       misses (paper: 4), code footprint %d bytes of 16384 L1i\n"
+    r.Testbed.r_instructions r.Testbed.r_cache_misses r.Testbed.r_code_footprint
+
+(* --- Figure 10: forwarding rate vs input rate ------------------------------- *)
+
+let sweep_rates =
+  [ 50_000; 100_000; 150_000; 200_000; 250_000; 300_000; 340_000; 380_000;
+    420_000; 450_000; 480_000; 520_000; 560_000; 591_000 ]
+
+let fig10 () =
+  section "Figure 10: forwarding rate vs input rate, 64-byte packets (P0)";
+  let configs =
+    [
+      ("Base", base_graph 8);
+      ("All", variant_graph Oclick.Pipeline.All);
+      ("MR+All", variant_graph Oclick.Pipeline.Mr_all);
+      ("Simple", simple_graph 8);
+    ]
+  in
+  row "%-10s" "input";
+  List.iter (fun (n, _) -> row "%10s" n) configs;
+  row "   (kpps)\n";
+  List.iter
+    (fun input ->
+      row "%-10.0f" (kpps (float_of_int input));
+      List.iter
+        (fun (_, graph) ->
+          let r =
+            run_testbed ~duration_ms:40 ~warmup_ms:20 ~platform:Platform.p0
+              ~graph input
+          in
+          row "%10.0f" (kpps r.Testbed.r_forwarded_pps))
+        configs;
+      row "\n")
+    sweep_rates;
+  row "\npaper MLFFRs: Base 357k; All 446k; MR+All 457k; optimized configs \
+       decline to ~400k past their peaks\n";
+  List.iter
+    (fun (name, graph) ->
+      row "measured MLFFR %-8s %6.0fk\n" name
+        (kpps (float_of_int (mlffr ~platform:Platform.p0 graph))))
+    configs
+
+(* --- Figure 11: packet outcomes -------------------------------------------- *)
+
+let fig11 () =
+  section "Figure 11: cumulative outcome rates vs input rate (P0)";
+  let configs =
+    [
+      ("Simple", simple_graph 8);
+      ("Base", base_graph 8);
+      ("MR+All", variant_graph Oclick.Pipeline.Mr_all);
+    ]
+  in
+  List.iter
+    (fun (name, graph) ->
+      subsection (name ^ " (kpps: input, sent, +queue drop, +missed frame, +fifo overflow)");
+      List.iter
+        (fun input ->
+          let r =
+            run_testbed ~duration_ms:40 ~warmup_ms:20 ~platform:Platform.p0
+              ~graph input
+          in
+          let per_s c = float_of_int c /. 0.040 in
+          let sent = r.Testbed.r_forwarded_pps in
+          let qd = sent +. per_s r.Testbed.r_outcomes.Testbed.oc_queue_drop in
+          let mf = qd +. per_s r.Testbed.r_outcomes.Testbed.oc_missed_frame in
+          let fo = mf +. per_s r.Testbed.r_outcomes.Testbed.oc_fifo_overflow in
+          row "%8.0f %9.0f %9.0f %9.0f %9.0f\n"
+            (kpps r.Testbed.r_offered_pps)
+            (kpps sent) (kpps qd) (kpps mf) (kpps fo))
+        sweep_rates)
+    configs;
+  row "\npaper: Base is CPU-limited (all drops are missed frames); Simple is \
+       PCI-limited (FIFO overflows and queue drops, no missed frames)\n"
+
+(* --- Figure 12: MLFFR per platform ------------------------------------------ *)
+
+let fig12 () =
+  section "Figure 12: effect of \"All\" on MLFFR per hardware platform";
+  let paper = [ ("P0", 446, 357, 1.25); ("P1", 430, 350, 1.23);
+                ("P2", 450, 330, 1.36); ("P3", 740, 640, 1.16) ] in
+  row "%-4s %10s %10s %7s %28s\n" "" "All" "Base" "ratio" "paper (All/Base/ratio)";
+  List.iter
+    (fun (platform : Platform.t) ->
+      let n = platform.Platform.p_nports in
+      let base = base_graph n in
+      let hosts, links = mr_context n in
+      ignore hosts;
+      ignore links;
+      let all = Oclick.Pipeline.optimize Oclick.Pipeline.All (base_graph n) in
+      let mb = mlffr ~platform base in
+      let ma = mlffr ~platform all in
+      let pa, pb, pr =
+        match List.assoc_opt platform.Platform.p_name
+                (List.map (fun (n, a, b, r) -> (n, (a, b, r))) paper)
+        with
+        | Some (a, b, r) -> (a, b, r)
+        | None -> (0, 0, 0.0)
+      in
+      row "%-4s %9.0fk %9.0fk %7.2f %12dk %6dk %6.2f\n"
+        platform.Platform.p_name
+        (kpps (float_of_int ma))
+        (kpps (float_of_int mb))
+        (float_of_int ma /. float_of_int mb)
+        pa pb pr)
+    Platform.all
+
+(* --- Figure 13: rate curves on newer platforms -------------------------------- *)
+
+let fig13 () =
+  section "Figure 13: forwarding rates on newer platforms (P1, P2, P3)";
+  List.iter
+    (fun (platform : Platform.t) ->
+      let n = platform.Platform.p_nports in
+      let configs =
+        [
+          ("Base", base_graph n);
+          ("All", Oclick.Pipeline.optimize Oclick.Pipeline.All (base_graph n));
+          ("Simple", simple_graph n);
+        ]
+      in
+      subsection (Printf.sprintf "%s (%d MHz CPU, %d-bit/%d MHz PCI)"
+                    platform.Platform.p_name platform.Platform.p_cpu_mhz
+                    platform.Platform.p_pci_bits platform.Platform.p_pci_mhz);
+      let max_in = 2 * Platform.max_host_rate_pps platform in
+      let points =
+        List.init 10 (fun i -> max_in * (i + 1) / 10)
+      in
+      row "%-10s" "input";
+      List.iter (fun (n, _) -> row "%10s" n) configs;
+      row "   (kpps)\n";
+      List.iter
+        (fun input ->
+          row "%-10.0f" (kpps (float_of_int input));
+          List.iter
+            (fun (_, graph) ->
+              let r =
+                run_testbed ~duration_ms:30 ~warmup_ms:15 ~platform ~graph
+                  input
+              in
+              row "%10.0f" (kpps r.Testbed.r_forwarded_pps))
+            configs;
+          row "\n")
+        points)
+    [ Platform.p1; Platform.p2; Platform.p3 ]
+
+(* --- extras: scaling and ablations -------------------------------------------- *)
+
+let xform_scale () =
+  section "click-xform scaling (paper 6.2: hundreds of replacements on a \
+           graph of thousands of elements in about a minute)";
+  List.iter
+    (fun n ->
+      let graph = base_graph n in
+      let t0 = Unix.gettimeofday () in
+      match
+        Oclick_optim.Xform.run ~patterns:(Oclick_optim.Patterns.combos ())
+          graph
+      with
+      | Ok (g', count) ->
+          row "%4d interfaces: %5d elements, %4d replacements, %6.2f s -> \
+               %d elements\n"
+            n
+            (Oclick_graph.Router.size graph)
+            count
+            (Unix.gettimeofday () -. t0)
+            (Oclick_graph.Router.size g')
+      | Error e -> row "%4d interfaces: ERROR %s\n" n e)
+    [ 8; 16; 32; 64; 128; 256 ]
+
+let lookup_scaling () =
+  section "Route-lookup scaling: general-purpose linear table vs radix trie \
+           (the paper's 3 general-vs-specialized trade)";
+  let cycles_for cls nroutes =
+    let routes =
+      String.concat ", "
+        (List.init nroutes (fun i ->
+             Printf.sprintf "10.%d.%d.0/24 %d" (i / 256) (i mod 256) (i mod 4)))
+    in
+    let config =
+      Printf.sprintf
+        "Idle -> rt :: %s(%s); rt [0] -> Discard; rt [1] -> Discard; rt [2] \
+         -> Discard; rt [3] -> Discard;"
+        cls routes
+    in
+    let graph =
+      match Oclick_graph.Router.parse_string config with
+      | Ok g -> g
+      | Error e -> failwith e
+    in
+    let total = ref 0 and count = ref 0 in
+    let hooks =
+      {
+        Oclick_runtime.Hooks.null with
+        Oclick_runtime.Hooks.on_work =
+          (fun ~idx:_ ~cls:_ w ->
+            match w with
+            | Oclick_runtime.Hooks.W_lookup _ ->
+                total := !total + Cost_model.work_cycles w;
+                incr count
+            | _ -> ());
+      }
+    in
+    match Oclick_runtime.Driver.instantiate ~hooks graph with
+    | Error e -> failwith e
+    | Ok d ->
+        let rt = Option.get (Oclick_runtime.Driver.element d "rt") in
+        for i = 0 to 499 do
+          let p = Oclick_packet.Packet.create 60 in
+          (Oclick_packet.Packet.anno p).Oclick_packet.Packet.dst_ip <-
+            0x0a000000 lor (i * 1237 mod (nroutes * 256));
+          rt#push 0 p
+        done;
+        float_of_int !total /. float_of_int (max 1 !count)
+  in
+  row "%-8s %16s %16s\n" "routes" "LookupIPRoute" "RadixIPLookup";
+  List.iter
+    (fun n ->
+      row "%-8d %13.0f cy %13.0f cy\n" n
+        (cycles_for "LookupIPRoute" n)
+        (cycles_for "RadixIPLookup" n))
+    [ 4; 16; 64; 256; 1024 ];
+  row "\nthe generic table scans linearly; the specialized trie is bounded \
+       by the prefix length\n"
+
+let devirtualize_ablation () =
+  section "Ablation: devirtualization, code sharing, and the i-cache \
+           (paper 6.1)";
+  (* 1. The symmetric IP router: analogous elements in different interface
+     paths share code, so specializing adds no i-cache footprint at all —
+     the paper's code-sharing rules at work. *)
+  let n = 24 in
+  let platform24 = { Platform.p0 with Platform.p_nports = n } in
+  let measure platform g =
+    run_testbed ~duration_ms:40 ~warmup_ms:20 ~platform ~graph:g 200_000
+  in
+  let base = base_graph n in
+  let rb = measure platform24 base in
+  let rf = measure platform24 (Oclick.Pipeline.devirtualize (base_graph n)) in
+  row "symmetric %d-interface router (%d elements), 200k pps:\n" n
+    (Oclick_graph.Router.size base);
+  row "  Base:            fwd %5.0f ns, code footprint %6d bytes\n"
+    rb.Testbed.r_forward_ns rb.Testbed.r_code_footprint;
+  row "  DV (everything): fwd %5.0f ns, code footprint %6d bytes (sharing: \
+       no expansion)\n"
+    rf.Testbed.r_forward_ns rf.Testbed.r_code_footprint;
+  (* 2. A heterogeneous configuration: forwarding chains of distinct
+     shapes cannot share specialized code (rule 4), so devirtualizing
+     everything duplicates element code until it overflows the 16 KB L1i
+     — "code expansion may make complete devirtualization impractical".
+     The tool's exclusion list is the escape hatch. *)
+  let chains = 48 in
+  let buf = Buffer.create 4096 in
+  for i = 1 to chains do
+    Buffer.add_string buf (Printf.sprintf "s%d :: InfiniteSource(LIMIT 1)" i);
+    for j = 1 to (i mod 24) + 1 do
+      Buffer.add_string buf (Printf.sprintf " -> c%d_%d :: Counter" i j)
+    done;
+    Buffer.add_string buf " -> Discard;\n"
+  done;
+  let hetero () =
+    match Oclick_graph.Router.parse_string (Buffer.contents buf) with
+    | Ok g -> g
+    | Error e -> failwith e
+  in
+  let footprint g =
+    let cm = Oclick_hw.Cost_model.create () in
+    List.iter
+      (fun i ->
+        Oclick_hw.Cost_model.note_code_class cm
+          (Oclick_graph.Router.class_of g i))
+      (Oclick_graph.Router.indices g);
+    ( Oclick_hw.Cost_model.code_footprint_bytes cm,
+      Oclick_hw.Cost_model.element_cycles cm ~cls:"Counter" )
+  in
+  let fb, cb = footprint (hetero ()) in
+  let full = Oclick.Pipeline.devirtualize (hetero ()) in
+  let ff, cf = footprint full in
+  let spared =
+    (* the paper's escape hatch: tell the tool not to devirtualize the
+       per-chain elements *)
+    let g = hetero () in
+    let exclude =
+      List.filter_map
+        (fun i ->
+          let name = Oclick_graph.Router.name g i in
+          if String.length name > 1 && name.[0] = 'c' then Some name else None)
+        (Oclick_graph.Router.indices g)
+    in
+    Oclick.Pipeline.devirtualize ~exclude g
+  in
+  let fs, cs = footprint spared in
+  row "\nheterogeneous config (%d chains of distinct shapes):\n" chains;
+  row "  Base:                  footprint %6d bytes, Counter entry %3d \
+       cycles\n" fb cb;
+  row "  DV (everything):       footprint %6d bytes, Counter entry %3d \
+       cycles%s\n" ff cf
+    (if ff > 16384 then "  <- exceeds 16 KB L1i: every entry pays" else "");
+  row "  DV (--exclude chains): footprint %6d bytes, Counter entry %3d \
+       cycles\n" fs cs

@@ -1,0 +1,1 @@
+bin/click_align.ml: Cmdliner Oclick_optim Printf Term Tool_common

@@ -1,0 +1,1 @@
+bin/click_check.ml: Cmdliner List Oclick_graph Oclick_runtime Printf Term Tool_common

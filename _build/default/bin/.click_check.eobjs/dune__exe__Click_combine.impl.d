@@ -1,0 +1,1 @@
+bin/click_combine.ml: Arg Cmdliner List Oclick_optim Str_split String Term Tool_common

@@ -1,0 +1,1 @@
+bin/click_devirtualize.ml: Arg Cmdliner List Oclick_optim Printf Term Tool_common

@@ -1,0 +1,1 @@
+bin/click_devirtualize.mli:

@@ -1,0 +1,1 @@
+bin/click_fastclassifier.ml: Cmdliner List Oclick_optim Printf Term Tool_common

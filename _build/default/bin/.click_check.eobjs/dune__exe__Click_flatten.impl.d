@@ -1,0 +1,1 @@
+bin/click_flatten.ml: Cmdliner Oclick_lang Term Tool_common

@@ -1,0 +1,1 @@
+bin/click_mkmindriver.ml: Arg Cmdliner List Oclick_optim Term Tool_common

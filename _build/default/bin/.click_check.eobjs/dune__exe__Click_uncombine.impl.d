@@ -1,0 +1,1 @@
+bin/click_uncombine.ml: Arg Cmdliner Oclick_optim Term Tool_common

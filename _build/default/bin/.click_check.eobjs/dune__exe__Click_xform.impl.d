@@ -1,0 +1,1 @@
+bin/click_xform.ml: Arg Cmdliner Oclick_optim Printf Term Tool_common

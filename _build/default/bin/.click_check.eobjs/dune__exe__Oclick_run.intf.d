@@ -1,0 +1,1 @@
+bin/oclick_run.mli:

@@ -1,0 +1,1 @@
+bin/tool_common.ml: Arg Buffer Cmd Cmdliner Oclick_elements Oclick_graph Oclick_optim Printf

@@ -1,0 +1,19 @@
+(* click-align: insert/remove Align elements so every element sees the
+   packet alignment it requires. *)
+
+open Cmdliner
+
+let run input =
+  let source = Tool_common.read_input input in
+  let router = Tool_common.parse_router source in
+  match Oclick_optim.Align.run router with
+  | Error e -> Tool_common.die "%s" e
+  | Ok (router, inserted, removed) ->
+      Printf.eprintf "click-align: %d Aligns inserted, %d removed\n" inserted
+        removed;
+      Tool_common.output_router router
+
+let () =
+  Tool_common.run_tool "click-align"
+    "Adjust packet data alignment in a configuration."
+    Term.(const run $ Tool_common.input_arg)

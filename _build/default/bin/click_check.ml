@@ -1,0 +1,21 @@
+(* click-check: verify a router configuration against the element
+   specifications; report every error. *)
+
+open Cmdliner
+
+let run input =
+  let source = Tool_common.read_input input in
+  let router = Tool_common.parse_router source in
+  match Oclick_graph.Check.check router Oclick_runtime.Registry.spec_table with
+  | [] ->
+      Printf.printf "%d elements, %d connections: configuration OK\n"
+        (Oclick_graph.Router.size router)
+        (List.length (Oclick_graph.Router.hookups router))
+  | errors ->
+      List.iter prerr_endline errors;
+      exit 1
+
+let () =
+  Tool_common.run_tool "click-check"
+    "Check a Click configuration for errors."
+    Term.(const run $ Tool_common.input_arg)

@@ -1,0 +1,63 @@
+(* click-combine: build one configuration representing several routers
+   and the links between them (paper §7.2).
+
+   Usage: click-combine -r NAME=FILE -r NAME=FILE ...
+                        -l "A.eth0 -> B.eth1" ... *)
+
+open Cmdliner
+
+let parse_router_spec spec =
+  match String.index_opt spec '=' with
+  | None -> Tool_common.die "bad router spec %S (want NAME=FILE)" spec
+  | Some i ->
+      let name = String.sub spec 0 i in
+      let file = String.sub spec (i + 1) (String.length spec - i - 1) in
+      (name, Tool_common.parse_router (Tool_common.read_input (Some file)))
+
+let parse_link_spec spec =
+  let fail () =
+    Tool_common.die "bad link spec %S (want \"A.dev -> B.dev\")" spec
+  in
+  let parse_end s =
+    match String.index_opt (String.trim s) '.' with
+    | None -> fail ()
+    | Some i ->
+        let s = String.trim s in
+        (String.sub s 0 i, String.sub s (i + 1) (String.length s - i - 1))
+  in
+  match Str_split.split_on_substring spec "->" with
+  | [ a; b ] ->
+      let ra, da = parse_end a and rb, db = parse_end b in
+      {
+        Oclick_optim.Combine.lk_from_router = ra;
+        lk_from_device = da;
+        lk_to_router = rb;
+        lk_to_device = db;
+      }
+  | _ -> fail ()
+
+let run router_specs link_specs =
+  let routers = List.map parse_router_spec router_specs in
+  let links = List.map parse_link_spec link_specs in
+  if routers = [] then Tool_common.die "no routers given (-r NAME=FILE)";
+  match Oclick_optim.Combine.combine routers ~links with
+  | Error e -> Tool_common.die "%s" e
+  | Ok combined -> Tool_common.output_router combined
+
+let routers_arg =
+  Arg.(
+    value
+    & opt_all string []
+    & info [ "r"; "router" ] ~docv:"NAME=FILE" ~doc:"A router to combine.")
+
+let links_arg =
+  Arg.(
+    value
+    & opt_all string []
+    & info [ "l"; "link" ] ~docv:"LINK"
+        ~doc:"A link, e.g. \"A.eth0 -> B.eth1\".")
+
+let () =
+  Tool_common.run_tool "click-combine"
+    "Combine several router configurations into one."
+    Term.(const run $ routers_arg $ links_arg)

@@ -1,0 +1,26 @@
+(* click-devirtualize: specialize packet-transfer virtual calls into
+   direct calls. *)
+
+open Cmdliner
+
+let run exclude input =
+  let source = Tool_common.read_input input in
+  let router = Tool_common.parse_router source in
+  match Oclick_optim.Devirtualize.run ~install:false ~exclude router with
+  | Error e -> Tool_common.die "%s" e
+  | Ok (router, specialized) ->
+      Printf.eprintf "click-devirtualize: %d specialized classes\n"
+        (List.length specialized);
+      Tool_common.output_router router
+
+let exclude_arg =
+  Arg.(
+    value
+    & opt_all string []
+    & info [ "x"; "exclude" ] ~docv:"ELEMENT"
+        ~doc:"Do not devirtualize this element (repeatable).")
+
+let () =
+  Tool_common.run_tool "click-devirtualize"
+    "Replace virtual packet-transfer calls with direct calls."
+    Term.(const run $ exclude_arg $ Tool_common.input_arg)

@@ -1,0 +1,19 @@
+(* click-fastclassifier: compile classifiers into specialized element
+   classes; the generated source rides in the output archive. *)
+
+open Cmdliner
+
+let run input =
+  let source = Tool_common.read_input input in
+  let router = Tool_common.parse_router source in
+  match Oclick_optim.Fastclassifier.run ~install:false router with
+  | Error e -> Tool_common.die "%s" e
+  | Ok (router, generated) ->
+      Printf.eprintf "click-fastclassifier: %d classes generated\n"
+        (List.length generated);
+      Tool_common.output_router router
+
+let () =
+  Tool_common.run_tool "click-fastclassifier"
+    "Compile classifier elements into specialized code."
+    Term.(const run $ Tool_common.input_arg)

@@ -1,0 +1,21 @@
+(* click-flatten: compile away compound element abstractions. *)
+
+open Cmdliner
+
+let run input =
+  let source = Tool_common.read_input input in
+  match Oclick_lang.Parser.parse source with
+  | Error e ->
+      prerr_endline e;
+      exit 1
+  | Ok ast -> (
+      match Oclick_lang.Flatten.flatten ast with
+      | Error e ->
+          prerr_endline e;
+          exit 1
+      | Ok flat -> print_string (Oclick_lang.Printer.to_string flat))
+
+let () =
+  Tool_common.run_tool "click-flatten"
+    "Expand compound elements in a Click configuration."
+    Term.(const run $ Tool_common.input_arg)

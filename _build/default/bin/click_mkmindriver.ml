@@ -1,0 +1,19 @@
+(* click-mkmindriver: generate a minimal driver source registering only
+   the element classes a configuration needs. *)
+
+open Cmdliner
+
+let run list_only input =
+  let source = Tool_common.read_input input in
+  let router = Tool_common.parse_router source in
+  if list_only then
+    List.iter print_endline (Oclick_optim.Mkmindriver.required_classes router)
+  else print_string (Oclick_optim.Mkmindriver.driver_source router)
+
+let list_arg =
+  Arg.(value & flag & info [ "list" ] ~doc:"List required classes only.")
+
+let () =
+  Tool_common.run_tool "click-mkmindriver"
+    "Generate a minimal element driver for a configuration."
+    Term.(const run $ list_arg $ Tool_common.input_arg)

@@ -1,0 +1,25 @@
+(* click-pretty: pretty-print a configuration, as text or HTML. *)
+
+open Cmdliner
+
+let run html dot input =
+  let source = Tool_common.read_input input in
+  match Oclick_lang.Parser.parse source with
+  | Error e ->
+      prerr_endline e;
+      exit 1
+  | Ok ast ->
+      if html then print_string (Oclick_lang.Printer.html_of_config ast)
+      else if dot then print_string (Oclick_lang.Printer.dot_of_config ast)
+      else print_string (Oclick_lang.Printer.to_string ast)
+
+let html_arg =
+  Arg.(value & flag & info [ "html" ] ~doc:"Emit an HTML page.")
+
+let dot_arg =
+  Arg.(value & flag & info [ "dot" ] ~doc:"Emit a Graphviz graph.")
+
+let () =
+  Tool_common.run_tool "click-pretty"
+    "Pretty-print a Click configuration."
+    Term.(const run $ html_arg $ dot_arg $ Tool_common.input_arg)

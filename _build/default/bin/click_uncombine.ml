@@ -1,0 +1,21 @@
+(* click-uncombine: extract one router from a combined configuration. *)
+
+open Cmdliner
+
+let run name input =
+  let source = Tool_common.read_input input in
+  let router = Tool_common.parse_router source in
+  match Oclick_optim.Combine.uncombine router ~name with
+  | Error e -> Tool_common.die "%s" e
+  | Ok extracted -> Tool_common.output_router extracted
+
+let name_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "n"; "name" ] ~docv:"NAME" ~doc:"Router to extract.")
+
+let () =
+  Tool_common.run_tool "click-uncombine"
+    "Extract one router from a combined configuration."
+    Term.(const run $ name_arg $ Tool_common.input_arg)

@@ -1,0 +1,17 @@
+(* click-undead: dead-code elimination for router configurations. *)
+
+open Cmdliner
+
+let run input =
+  let source = Tool_common.read_input input in
+  let router = Tool_common.parse_router source in
+  match Oclick_optim.Undead.run router with
+  | Error e -> Tool_common.die "%s" e
+  | Ok (router, removed) ->
+      Printf.eprintf "click-undead: %d elements removed\n" removed;
+      Tool_common.output_router router
+
+let () =
+  Tool_common.run_tool "click-undead"
+    "Remove dead elements from a configuration."
+    Term.(const run $ Tool_common.input_arg)

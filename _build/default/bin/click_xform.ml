@@ -1,0 +1,35 @@
+(* click-xform: pattern-replacement optimization. Patterns come from a
+   file (-p) or from the built-in combination-element set. *)
+
+open Cmdliner
+
+let run pattern_file use_combos input =
+  let source = Tool_common.read_input input in
+  let router = Tool_common.parse_router source in
+  let patterns =
+    match (pattern_file, use_combos) with
+    | Some path, _ -> (
+        match Oclick_optim.Xform.parse_patterns (Tool_common.read_input (Some path)) with
+        | Ok p -> p
+        | Error e -> Tool_common.die "%s: %s" path e)
+    | None, _ -> Oclick_optim.Patterns.combos ()
+  in
+  match Oclick_optim.Xform.run ~patterns router with
+  | Error e -> Tool_common.die "%s" e
+  | Ok (router, count) ->
+      Printf.eprintf "click-xform: %d replacements\n" count;
+      Tool_common.output_router router
+
+let pattern_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "p"; "patterns" ] ~docv:"FILE" ~doc:"Pattern file.")
+
+let combos_arg =
+  Arg.(value & flag & info [ "combos" ] ~doc:"Use the built-in combination-element patterns (default).")
+
+let () =
+  Tool_common.run_tool "click-xform"
+    "Replace subgraphs of a configuration using pattern files."
+    Term.(const run $ pattern_arg $ combos_arg $ Tool_common.input_arg)

@@ -1,0 +1,113 @@
+(* oclick-run: install a configuration in the user-level driver and run
+   its tasks. Devices named in the configuration are backed by in-memory
+   queue devices; element statistics print on exit. *)
+
+open Cmdliner
+
+let device_names router =
+  let names = ref [] in
+  List.iter
+    (fun i ->
+      match Oclick_graph.Router.class_of router i with
+      | "PollDevice" | "FromDevice" | "ToDevice" -> (
+          match Oclick_lang.Args.split (Oclick_graph.Router.config router i) with
+          | d :: _ when not (List.mem d !names) -> names := d :: !names
+          | _ -> ())
+      | _ -> ())
+    (Oclick_graph.Router.indices router);
+  !names
+
+(* "element.handler=value" *)
+let parse_write spec =
+  match String.index_opt spec '=' with
+  | None -> Tool_common.die "bad --write %S (want ELEMENT.HANDLER=VALUE)" spec
+  | Some eq -> (
+      let path = String.sub spec 0 eq
+      and value = String.sub spec (eq + 1) (String.length spec - eq - 1) in
+      match String.rindex_opt path '.' with
+      | None -> Tool_common.die "bad --write %S (want ELEMENT.HANDLER=VALUE)" spec
+      | Some dot ->
+          ( String.sub path 0 dot,
+            String.sub path (dot + 1) (String.length path - dot - 1),
+            value ))
+
+let parse_read spec =
+  match String.rindex_opt spec '.' with
+  | None -> Tool_common.die "bad --read %S (want ELEMENT.HANDLER)" spec
+  | Some dot ->
+      ( String.sub spec 0 dot,
+        String.sub spec (dot + 1) (String.length spec - dot - 1) )
+
+let run rounds stats writes reads input =
+  let source = Tool_common.read_input input in
+  let router = Tool_common.parse_router source in
+  let devices =
+    List.map
+      (fun d ->
+        (new Oclick_runtime.Netdevice.queue_device d ()
+          :> Oclick_runtime.Netdevice.t))
+      (device_names router)
+  in
+  match Oclick_runtime.Driver.instantiate ~devices router with
+  | Error e -> Tool_common.die "%s" e
+  | Ok driver ->
+      let element name =
+        match Oclick_runtime.Driver.element driver name with
+        | Some e -> e
+        | None -> Tool_common.die "no element named %S" name
+      in
+      List.iter
+        (fun spec ->
+          let el, handler, value = parse_write spec in
+          match (element el)#write_handler handler value with
+          | Ok () -> ()
+          | Error e -> Tool_common.die "%s" e)
+        writes;
+      Oclick_runtime.Driver.run driver ~rounds;
+      List.iter
+        (fun spec ->
+          let el, handler = parse_read spec in
+          match (element el)#read_handler handler with
+          | Some v -> Printf.printf "%s.%s = %s\n" el handler v
+          | None -> Tool_common.die "%s: no read handler %S" el handler)
+        reads;
+      if stats then
+        List.iter
+          (fun i ->
+            let e =
+              Oclick_runtime.Driver.element_at driver i
+            in
+            match e#stats with
+            | [] -> ()
+            | st ->
+                Printf.printf "%s (%s): %s\n" e#name e#class_name
+                  (String.concat ", "
+                     (List.map (fun (k, v) -> Printf.sprintf "%s=%d" k v) st)))
+          (List.init (Oclick_runtime.Driver.size driver) Fun.id)
+
+let rounds_arg =
+  Arg.(
+    value & opt int 1000
+    & info [ "rounds" ] ~docv:"N" ~doc:"Scheduler rounds to run.")
+
+let stats_arg =
+  Arg.(value & flag & info [ "stats" ] ~doc:"Print element statistics.")
+
+let write_arg =
+  Arg.(
+    value & opt_all string []
+    & info [ "write" ] ~docv:"ELEMENT.HANDLER=VALUE"
+        ~doc:"Invoke a write handler before running (repeatable).")
+
+let read_arg =
+  Arg.(
+    value & opt_all string []
+    & info [ "read" ] ~docv:"ELEMENT.HANDLER"
+        ~doc:"Print a read handler after running (repeatable).")
+
+let () =
+  Tool_common.run_tool "oclick-run"
+    "Run a Click configuration in the user-level driver."
+    Term.(
+      const run $ rounds_arg $ stats_arg $ write_arg $ read_arg
+      $ Tool_common.input_arg)

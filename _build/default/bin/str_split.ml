@@ -1,0 +1,16 @@
+(* A tiny substring splitter (the str library is avoided on purpose). *)
+
+let split_on_substring s sep =
+  let seplen = String.length sep in
+  if seplen = 0 then invalid_arg "split_on_substring";
+  let rec go start acc =
+    let rec find i =
+      if i + seplen > String.length s then None
+      else if String.sub s i seplen = sep then Some i
+      else find (i + 1)
+    in
+    match find start with
+    | None -> List.rev (String.sub s start (String.length s - start) :: acc)
+    | Some i -> go (i + seplen) (String.sub s start (i - start) :: acc)
+  in
+  go 0 []

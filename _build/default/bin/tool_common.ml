@@ -1,0 +1,48 @@
+(* Shared plumbing for the click-* command-line tools: read a
+   configuration from a file or standard input, write the result to
+   standard output — so the tools compose with pipes, like compiler
+   passes (paper §5). *)
+
+let read_all ic =
+  let buf = Buffer.create 4096 in
+  (try
+     while true do
+       Buffer.add_channel buf ic 4096
+     done
+   with End_of_file -> ());
+  Buffer.contents buf
+
+let read_input = function
+  | None | Some "-" -> read_all stdin
+  | Some path ->
+      let ic = open_in_bin path in
+      let s = read_all ic in
+      close_in ic;
+      s
+
+let die fmt = Printf.ksprintf (fun s -> prerr_endline s; exit 1) fmt
+
+let parse_router source =
+  Oclick_elements.register_all ();
+  match Oclick_graph.Router.parse_string source with
+  | Ok router -> (
+      (* Install any generated classes the archive carries (the analogue
+         of Click compiling and linking archived element code). *)
+      match Oclick_optim.Install.install router with
+      | Ok () -> router
+      | Error e -> die "%s" e)
+  | Error e -> die "%s" e
+
+let output_router router = print_string (Oclick_graph.Router.to_string router)
+
+open Cmdliner
+
+let input_arg =
+  Arg.(
+    value
+    & pos 0 (some string) None
+    & info [] ~docv:"CONFIG" ~doc:"Configuration file (default: stdin).")
+
+let run_tool name doc term =
+  let cmd = Cmd.v (Cmd.info name ~doc) term in
+  exit (Cmd.eval cmd)

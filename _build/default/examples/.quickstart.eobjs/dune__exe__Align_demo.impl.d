@@ -1,0 +1,1 @@
+examples/align_demo.ml: List Oclick_elements Oclick_graph Oclick_lang Oclick_optim Printf

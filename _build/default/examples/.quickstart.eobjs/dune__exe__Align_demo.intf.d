@@ -1,0 +1,1 @@
+examples/align_demo.mli:

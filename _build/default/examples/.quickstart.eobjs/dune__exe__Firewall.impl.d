@@ -1,0 +1,1 @@
+examples/firewall.ml: Oclick_classifier Oclick_packet Printf String Sys

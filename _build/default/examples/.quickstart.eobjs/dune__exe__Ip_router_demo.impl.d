@@ -1,0 +1,1 @@
+examples/ip_router_demo.ml: List Oclick Oclick_elements Oclick_graph Oclick_hw Printf String

@@ -1,0 +1,1 @@
+examples/ip_router_demo.mli:

@@ -1,0 +1,1 @@
+examples/multirouter.ml: List Oclick Oclick_elements Oclick_graph Oclick_lang Oclick_optim Oclick_packet Printf String

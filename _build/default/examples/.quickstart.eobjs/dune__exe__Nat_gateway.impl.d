@@ -1,0 +1,1 @@
+examples/nat_gateway.ml: List Oclick_elements Oclick_packet Oclick_runtime Printf

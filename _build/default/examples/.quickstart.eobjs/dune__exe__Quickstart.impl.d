@@ -1,0 +1,1 @@
+examples/quickstart.ml: List Oclick_elements Oclick_packet Oclick_runtime Printf

@@ -1,0 +1,89 @@
+(* The paper's §4 experiment: a 17-rule firewall from "Building Internet
+   Firewalls" expressed as an IPFilter, and the effect of
+   click-fastclassifier on a packet that matches the next-to-last rule
+   (DNS-5).
+
+   Run with:  dune exec examples/firewall.exe *)
+
+module Tree = Oclick_classifier.Tree
+module Filter = Oclick_classifier.Filter
+module Optimize = Oclick_classifier.Optimize
+module Compile = Oclick_classifier.Compile
+module Headers = Oclick_packet.Headers
+module Packet = Oclick_packet.Packet
+module Ipaddr = Oclick_packet.Ipaddr
+
+(* Seventeen rules in the style of Zwicky/Cooper/Chapman's screened-host
+   configuration; the sixteenth (next-to-last) is the DNS-5 rule the
+   paper measures. *)
+let rules =
+  [
+    "deny ip frag";
+    "deny src net 127.0.0.0/8";
+    "deny src net 10.0.0.0/8";
+    "deny src net 172.16.0.0/12";
+    "allow dst host 192.168.1.2 && tcp dst port 25";
+    "allow src host 192.168.1.2 && tcp src port 25 && tcp opt ack";
+    "allow src net 192.168.1.0/24 && tcp dst port 80";
+    "allow dst net 192.168.1.0/24 && tcp src port 80 && tcp opt ack";
+    "deny tcp dst port 23";
+    "deny tcp dst port 111";
+    "allow dst host 192.168.1.2 && tcp dst port 22";
+    "allow icmp type 8";
+    "allow icmp type 0";
+    "deny udp dst port 69";
+    "deny udp dst port 2049";
+    "allow dst host 192.168.1.3 && udp dst port 53" (* DNS-5 *);
+    "deny all";
+  ]
+
+let firewall_config = String.concat ", " rules
+
+let () =
+  let tree =
+    match Filter.ipfilter_tree firewall_config with
+    | Ok t -> t
+    | Error e -> failwith e
+  in
+  Printf.printf "17-rule firewall: %d decision nodes as built\n"
+    (Tree.node_count tree);
+  let tree = Optimize.optimize tree in
+  Printf.printf "after tree optimization: %d nodes, depth %d\n"
+    (Tree.node_count tree) (Tree.depth tree);
+  (* The DNS-5 packet: UDP to the DNS server, port 53. It traverses most
+     of the tree before matching rule 16. *)
+  let dns5 =
+    let p =
+      Headers.Build.udp
+        ~src_ip:(Ipaddr.of_string_exn "204.152.184.134")
+        ~dst_ip:(Ipaddr.of_string_exn "192.168.1.3")
+        ~src_port:1717 ~dst_port:53 ()
+    in
+    Packet.pull p 14 (* IPFilter sees the bare IP packet *);
+    p
+  in
+  let out, visited = Tree.classify_count tree dns5 in
+  Printf.printf "DNS-5 packet: output %d (0 = allow), %d nodes visited\n" out
+    visited;
+  assert (out = 0);
+  (* Interpreted vs compiled classification, wall-clock. *)
+  let compiled = Compile.compile_packet tree in
+  assert (compiled dns5 = out);
+  let time f =
+    let iters = 2_000_000 in
+    let t0 = Sys.time () in
+    for _ = 1 to iters do
+      ignore (f dns5)
+    done;
+    (Sys.time () -. t0) /. float_of_int iters *. 1e9
+  in
+  let interp_ns = time (fun p -> Tree.classify tree p) in
+  let compiled_ns = time compiled in
+  Printf.printf
+    "interpreted: %.0f ns/packet; fastclassifier (compiled): %.0f ns/packet \
+     (%.1fx)\n"
+    interp_ns compiled_ns (interp_ns /. compiled_ns);
+  Printf.printf
+    "(the paper measures 388 ns -> 188 ns for this packet on a 700 MHz \
+     Pentium III)\n";
+  print_endline "firewall OK"

@@ -1,0 +1,105 @@
+(* A NAT gateway built from the extended element library: private hosts
+   behind an IPRewriter, a radix routing table, and a priority scheduler
+   that lets ICMP jump the queue.
+
+   Run with:  dune exec examples/nat_gateway.exe *)
+
+module Packet = Oclick_packet.Packet
+module Headers = Oclick_packet.Headers
+module Ipaddr = Oclick_packet.Ipaddr
+module Driver = Oclick_runtime.Driver
+module Netdevice = Oclick_runtime.Netdevice
+
+let config =
+  {|
+// lan0: the private side; wan0: the public side (18.26.4.24).
+lan :: PollDevice(lan0);
+wan :: PollDevice(wan0);
+rw :: IPRewriter(18.26.4.24 4000-4999 - -);
+rt :: RadixIPLookup(18.26.4.24/32 0, 0.0.0.0/0 1);
+rt [0] -> Discard;                    // for the gateway itself
+cl :: IPClassifier(icmp, -);
+
+// outbound: private -> rewrite -> route -> priority queues -> wan
+lan -> Strip(14) -> CheckIPHeader() -> rw;
+rw [0] -> GetIPAddress(16) -> rt;
+rt [1] -> cl;
+cl [0] -> hi :: Queue(32);            // ICMP is latency-sensitive
+cl [1] -> lo :: Queue(256);
+hi -> ps :: PrioSched;
+lo -> [1] ps;
+// ToDevice pulls through the encapsulator and counter from the
+// scheduler — simple_action elements work in pull context too.
+ps -> EtherEncap(0800, 00:00:c0:01:00:01, 00:00:c0:02:00:02)
+   -> wan_out :: Counter -> ToDevice(wan0);
+
+// inbound: public replies -> reverse mapping -> private side
+wan -> Strip(14) -> CheckIPHeader() -> [1] rw;
+rw [1] -> lan_in :: Counter
+       -> EtherEncap(0800, 00:00:c0:01:00:02, 00:00:c0:03:00:03)
+       -> lq :: Queue(32) -> ToDevice(lan0);
+|}
+
+let () =
+  Oclick_elements.register_all ();
+  let lan0 = new Netdevice.queue_device "lan0" () in
+  let wan0 = new Netdevice.queue_device "wan0" () in
+  let driver =
+    match
+      Driver.of_string
+        ~devices:[ (lan0 :> Netdevice.t); (wan0 :> Netdevice.t) ]
+        config
+    with
+    | Ok d -> d
+    | Error e -> failwith e
+  in
+  (* Two private hosts talk to the same public server. *)
+  let send ~host ~sport =
+    let p =
+      Headers.Build.udp
+        ~src_ip:(Ipaddr.of_string_exn host)
+        ~dst_ip:(Ipaddr.of_string_exn "8.8.8.8")
+        ~src_port:sport ~dst_port:53 ()
+    in
+    lan0#inject p
+  in
+  send ~host:"192.168.0.5" ~sport:1111;
+  send ~host:"192.168.0.6" ~sport:1111 (* same source port! *);
+  Driver.run_until_idle driver;
+  let public = ref [] in
+  let rec drain () =
+    match wan0#collect with
+    | Some f ->
+        let src = Headers.Ip.src ~off:14 f
+        and sport = Headers.Udp.src_port ~off:34 f in
+        Printf.printf "outbound on wan0: %s:%d -> %s (was a private host)\n"
+          (Ipaddr.to_string src) sport
+          (Ipaddr.to_string (Headers.Ip.dst ~off:14 f));
+        public := sport :: !public;
+        drain ()
+    | None -> ()
+  in
+  drain ();
+  assert (List.length !public = 2);
+  assert (List.sort_uniq compare !public = List.sort compare !public);
+  (* The server replies to the second mapping; the gateway translates it
+     back to the right private host. *)
+  let reply_port = List.hd !public in
+  lan0#collect |> ignore;
+  let reply =
+    Headers.Build.udp
+      ~src_ip:(Ipaddr.of_string_exn "8.8.8.8")
+      ~dst_ip:(Ipaddr.of_string_exn "18.26.4.24")
+      ~src_port:53 ~dst_port:reply_port ()
+  in
+  wan0#inject reply;
+  Driver.run_until_idle driver;
+  (match lan0#collect with
+  | Some f ->
+      Printf.printf "reply delivered to %s:%d\n"
+        (Ipaddr.to_string (Headers.Ip.dst ~off:14 f))
+        (Headers.Udp.dst_port ~off:34 f);
+      assert (Headers.Ip.dst ~off:14 f = Ipaddr.of_string_exn "192.168.0.6");
+      assert (Headers.Udp.dst_port ~off:34 f = 1111)
+  | None -> failwith "reply lost");
+  print_endline "nat_gateway OK"

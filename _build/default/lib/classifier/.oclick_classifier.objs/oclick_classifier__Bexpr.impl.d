@@ -1,0 +1,1 @@
+lib/classifier/bexpr.ml: Array Char Hashtbl Int List String Tree

@@ -1,0 +1,1 @@
+lib/classifier/bexpr.mli: Tree

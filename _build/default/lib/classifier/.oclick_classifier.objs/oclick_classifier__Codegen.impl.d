@@ -1,0 +1,1 @@
+lib/classifier/codegen.ml: Array Buffer Bytes Printf String Tree

@@ -1,0 +1,1 @@
+lib/classifier/codegen.mli: Tree

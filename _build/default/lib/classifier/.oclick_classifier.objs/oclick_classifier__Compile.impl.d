@@ -1,0 +1,1 @@
+lib/classifier/compile.ml: Array Tree

@@ -1,0 +1,1 @@
+lib/classifier/compile.mli: Oclick_packet Tree

@@ -1,0 +1,1 @@
+lib/classifier/filter.ml: Bexpr List Oclick_lang Oclick_packet Printf String Tree

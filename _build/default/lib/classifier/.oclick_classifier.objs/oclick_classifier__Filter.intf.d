@@ -1,0 +1,1 @@
+lib/classifier/filter.mli: Bexpr Tree

@@ -1,0 +1,1 @@
+lib/classifier/optimize.ml: Array Hashtbl List Option Tree

@@ -1,0 +1,1 @@
+lib/classifier/optimize.mli: Tree

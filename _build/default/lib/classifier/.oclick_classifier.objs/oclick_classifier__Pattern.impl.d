@@ -1,0 +1,1 @@
+lib/classifier/pattern.ml: Bexpr Bytes Char List Oclick_lang Printf String

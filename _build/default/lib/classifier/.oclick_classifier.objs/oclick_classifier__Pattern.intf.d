@@ -1,0 +1,1 @@
+lib/classifier/pattern.mli: Bexpr Tree

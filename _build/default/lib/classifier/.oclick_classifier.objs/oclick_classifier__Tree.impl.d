@@ -1,0 +1,1 @@
+lib/classifier/tree.ml: Array Buffer Hashtbl List Oclick_packet Printf Scanf String

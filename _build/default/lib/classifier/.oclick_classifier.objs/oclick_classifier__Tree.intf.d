@@ -1,0 +1,1 @@
+lib/classifier/tree.mli: Oclick_packet

@@ -1,0 +1,117 @@
+type test = { t_offset : int; t_mask : int; t_value : int }
+
+type t =
+  | True
+  | False
+  | Test of test
+  | And of t * t
+  | Or of t * t
+  | Not of t
+
+let conj = function
+  | [] -> True
+  | x :: rest -> List.fold_left (fun a b -> And (a, b)) x rest
+
+let disj = function
+  | [] -> False
+  | x :: rest -> List.fold_left (fun a b -> Or (a, b)) x rest
+
+let tests_of_bytes ~offset ~value ~mask =
+  if String.length value <> String.length mask then
+    invalid_arg "Bexpr.tests_of_bytes: value/mask length mismatch";
+  (* Group byte constraints into aligned 32-bit words. *)
+  let words = Hashtbl.create 4 in
+  String.iteri
+    (fun i mbyte ->
+      let m = Char.code mbyte in
+      if m <> 0 then begin
+        let v = Char.code value.[i] land m in
+        let byte_off = offset + i in
+        let word_off = byte_off - (byte_off mod 4) in
+        let shift = 8 * (3 - (byte_off mod 4)) in
+        let wm, wv =
+          match Hashtbl.find_opt words word_off with
+          | Some x -> x
+          | None -> (0, 0)
+        in
+        Hashtbl.replace words word_off
+          (wm lor (m lsl shift), wv lor (v lsl shift))
+      end)
+    mask;
+  let tests =
+    Hashtbl.fold
+      (fun off (m, v) acc ->
+        Test { t_offset = off; t_mask = m; t_value = v } :: acc)
+      words []
+  in
+  let by_offset a b =
+    match (a, b) with
+    | Test x, Test y -> Int.compare x.t_offset y.t_offset
+    | _ -> 0
+  in
+  conj (List.sort by_offset tests)
+
+let bytes_of_int width v =
+  String.init width (fun i -> Char.chr ((v lsr (8 * (width - 1 - i))) land 0xff))
+
+let test_width width ~offset ?mask v =
+  let mask = match mask with Some m -> m | None -> (1 lsl (8 * width)) - 1 in
+  tests_of_bytes ~offset ~value:(bytes_of_int width v)
+    ~mask:(bytes_of_int width mask)
+
+let test_u8 = test_width 1
+let test_u16 = test_width 2
+let test_u32 = test_width 4
+
+type rule = { r_expr : t; r_output : int }
+
+let compile_rules ?noutputs rules =
+  let noutputs =
+    match noutputs with
+    | Some n -> n
+    | None ->
+        List.fold_left (fun acc r -> max acc (r.r_output + 1)) 0 rules
+  in
+  let nodes = ref [] in
+  let nnodes = ref 0 in
+  let memo : (test * Tree.target * Tree.target, Tree.target) Hashtbl.t =
+    Hashtbl.create 64
+  in
+  let mk_node test ~yes ~no =
+    if yes = no then yes
+    else
+      match Hashtbl.find_opt memo (test, yes, no) with
+      | Some target -> target
+      | None ->
+          let i = !nnodes in
+          incr nnodes;
+          nodes :=
+            {
+              Tree.offset = test.t_offset;
+              mask = test.t_mask;
+              value = test.t_value;
+              yes;
+              no;
+            }
+            :: !nodes;
+          let target = Tree.Node i in
+          Hashtbl.add memo (test, yes, no) target;
+          target
+  in
+  (* Continuation-style lowering; sharing comes from mk_node's memo table. *)
+  let rec emit expr ~yes ~no =
+    match expr with
+    | True -> yes
+    | False -> no
+    | Test test -> mk_node test ~yes ~no
+    | And (a, b) -> emit a ~yes:(emit b ~yes ~no) ~no
+    | Or (a, b) -> emit a ~yes ~no:(emit b ~yes ~no)
+    | Not a -> emit a ~yes:no ~no:yes
+  in
+  let root =
+    List.fold_right
+      (fun rule next -> emit rule.r_expr ~yes:(Tree.Leaf rule.r_output) ~no:next)
+      rules (Tree.Leaf Tree.drop)
+  in
+  let arr = Array.of_list (List.rev !nodes) in
+  Tree.renumber { Tree.nodes = arr; root; noutputs }

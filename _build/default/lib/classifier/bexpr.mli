@@ -1,0 +1,37 @@
+(** Boolean-expression front-end IR for classifiers.
+
+    Both the raw [Classifier] pattern language and the [IPFilter] expression
+    language compile to this IR, which is then lowered into a shared
+    decision-tree DAG ({!compile_rules}). *)
+
+type test = { t_offset : int; t_mask : int; t_value : int }
+(** Compare the masked big-endian 32-bit word at a 4-aligned byte offset. *)
+
+type t =
+  | True
+  | False
+  | Test of test
+  | And of t * t
+  | Or of t * t
+  | Not of t
+
+val conj : t list -> t
+val disj : t list -> t
+
+val tests_of_bytes : offset:int -> value:string -> mask:string -> t
+(** Byte-level constraint: packet bytes starting at [offset] must equal
+    [value] under [mask] (strings of equal length, raw bytes). Lowered to a
+    conjunction of word-aligned {!test}s, one per touched 32-bit word. *)
+
+val test_u8 : offset:int -> ?mask:int -> int -> t
+val test_u16 : offset:int -> ?mask:int -> int -> t
+val test_u32 : offset:int -> ?mask:int -> int -> t
+(** Convenience wrappers over {!tests_of_bytes} for common field widths. *)
+
+type rule = { r_expr : t; r_output : int }
+
+val compile_rules : ?noutputs:int -> rule list -> Tree.t
+(** First matching rule wins; packets matching no rule go to {!Tree.drop}.
+    Identical (expression, continuation) pairs share decision-tree nodes,
+    so the result is a DAG. [noutputs] defaults to the largest output
+    mentioned plus one. *)

@@ -1,0 +1,13 @@
+(** Source-code generation for [click-fastclassifier].
+
+    Click's tool writes C++ element classes into the configuration archive
+    and lets the router compile and dynamically link them (paper §4). This
+    module plays the same role, emitting OCaml element-class source that
+    mirrors Fig. 3b; the in-process registry hook installs the equivalent
+    {!Compile}d implementation, standing in for Click's dynamic linker
+    (see DESIGN.md §5). *)
+
+val ocaml_source : class_name:string -> original_config:string -> Tree.t -> string
+(** A complete, human-readable OCaml module implementing the specialized
+    classifier: one [step_N] function per decision-tree node, constants
+    inlined. *)

@@ -1,0 +1,21 @@
+(** The fast-classifier back-end: decision trees compiled to closures.
+
+    This is the run-time analogue of [click-fastclassifier]'s generated
+    C++ (paper §4, Fig. 3b): instead of interpreting a tree laid out in
+    memory — one array load, two field loads, and an indexed jump per node —
+    classification runs straight-line specialized code with the offsets,
+    masks, and constants baked in. Shared subtrees share closures, so code
+    size matches the DAG size. *)
+
+val compile : Tree.t -> read:(int -> int) -> int
+(** [compile t] specializes [t] once; the returned function classifies with
+    no per-node interpretation overhead. Partially apply it:
+    [let fast = compile t in ... fast ~read]. *)
+
+val compile_count : Tree.t -> read:(int -> int) -> int * int
+(** Like {!compile} but the result also reports how many tests ran —
+    used by the cost model to price specialized classification. *)
+
+val compile_packet : Tree.t -> Oclick_packet.Packet.t -> int
+(** [compile_packet t] is [compile t] pre-composed with a packet reader
+    that zero-pads short packets, like {!Tree.classify}. *)

@@ -1,0 +1,415 @@
+(* IP header field offsets, packet data starting at the IP header. *)
+let off_tos = 1
+let off_frag = 6
+let off_ttl = 8
+let off_proto = 9
+let off_src = 12
+let off_dst = 16
+let off_sport = 20
+let off_dport = 22
+let off_icmp_type = 20
+let off_tcp_flags = 33
+
+let proto_names =
+  [ ("icmp", 1); ("igmp", 2); ("tcp", 6); ("udp", 17); ("gre", 47) ]
+
+let port_names =
+  [
+    ("ftp", 21); ("ssh", 22); ("telnet", 23); ("smtp", 25); ("dns", 53);
+    ("domain", 53); ("bootps", 67); ("bootpc", 68); ("tftp", 69);
+    ("www", 80); ("http", 80); ("pop3", 110); ("auth", 113); ("nntp", 119);
+    ("ntp", 123); ("imap", 143); ("snmp", 161); ("snmptrap", 162);
+    ("https", 443); ("syslog", 514); ("rip", 520);
+  ]
+
+exception Fail of string
+
+let failf fmt = Printf.ksprintf (fun s -> raise (Fail s)) fmt
+
+type dir = Src | Dst | Src_or_dst | Src_and_dst
+
+(* --- primitive tests ------------------------------------------------- *)
+
+let t_proto p = Bexpr.test_u8 ~offset:off_proto p
+let t_simple_header = Bexpr.test_u8 ~offset:0 0x45 (* version 4, hl 5 *)
+let t_unfragmented = Bexpr.test_u16 ~offset:off_frag ~mask:0x1fff 0
+
+let t_host dir addr =
+  let src = Bexpr.test_u32 ~offset:off_src addr
+  and dst = Bexpr.test_u32 ~offset:off_dst addr in
+  match dir with
+  | Src -> src
+  | Dst -> dst
+  | Src_or_dst -> Bexpr.Or (src, dst)
+  | Src_and_dst -> Bexpr.And (src, dst)
+
+let t_net dir (addr, mask) =
+  let src = Bexpr.test_u32 ~offset:off_src ~mask (addr land mask)
+  and dst = Bexpr.test_u32 ~offset:off_dst ~mask (addr land mask) in
+  match dir with
+  | Src -> src
+  | Dst -> dst
+  | Src_or_dst -> Bexpr.Or (src, dst)
+  | Src_and_dst -> Bexpr.And (src, dst)
+
+type port_spec = Port_exact of int | Port_range of int * int
+
+(* A contiguous port range decomposes into O(log) masked equality tests:
+   greedily peel the largest aligned power-of-two block. *)
+let range_blocks lo hi =
+  let rec go lo acc =
+    if lo > hi then List.rev acc
+    else begin
+      let rec grow size =
+        if lo land ((2 * size) - 1) = 0 && lo + (2 * size) - 1 <= hi then
+          grow (2 * size)
+        else size
+      in
+      let size = grow 1 in
+      go (lo + size) ((lo, size) :: acc)
+    end
+  in
+  go lo []
+
+let port_test ~offset = function
+  | Port_exact p -> Bexpr.test_u16 ~offset p
+  | Port_range (lo, hi) ->
+      Bexpr.disj
+        (List.map
+           (fun (base, size) ->
+             Bexpr.test_u16 ~offset ~mask:(0xffff land lnot (size - 1)) base)
+           (range_blocks lo hi))
+
+let t_port dir protos port =
+  let proto_test =
+    match protos with
+    | [] -> Bexpr.Or (t_proto 6, t_proto 17)
+    | l -> Bexpr.disj (List.map t_proto l)
+  in
+  let src = port_test ~offset:off_sport port
+  and dst = port_test ~offset:off_dport port in
+  let port_test =
+    match dir with
+    | Src -> src
+    | Dst -> dst
+    | Src_or_dst -> Bexpr.Or (src, dst)
+    | Src_and_dst -> Bexpr.And (src, dst)
+  in
+  Bexpr.conj [ t_simple_header; t_unfragmented; proto_test; port_test ]
+
+(* --- tokenization ---------------------------------------------------- *)
+
+type token = Word of string | Lparen | Rparen | Op_and | Op_or | Op_not
+
+let tokenize s =
+  let toks = ref [] in
+  let n = String.length s in
+  let i = ref 0 in
+  let word_char c =
+    match c with
+    | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '.' | '/' | '_' | '-' | ':' ->
+        true
+    | _ -> false
+  in
+  while !i < n do
+    (match s.[!i] with
+    | ' ' | '\t' | '\n' | '\r' -> incr i
+    | '(' ->
+        toks := Lparen :: !toks;
+        incr i
+    | ')' ->
+        toks := Rparen :: !toks;
+        incr i
+    | '!' ->
+        toks := Op_not :: !toks;
+        incr i
+    | '&' ->
+        if !i + 1 < n && s.[!i + 1] = '&' then begin
+          toks := Op_and :: !toks;
+          i := !i + 2
+        end
+        else failf "single '&' in expression"
+    | '|' ->
+        if !i + 1 < n && s.[!i + 1] = '|' then begin
+          toks := Op_or :: !toks;
+          i := !i + 2
+        end
+        else failf "single '|' in expression"
+    | c when word_char c ->
+        let start = !i in
+        while !i < n && word_char s.[!i] do
+          incr i
+        done;
+        let w = String.lowercase_ascii (String.sub s start (!i - start)) in
+        toks :=
+          (match w with
+          | "and" -> Op_and
+          | "or" -> Op_or
+          | "not" -> Op_not
+          | w -> Word w)
+          :: !toks
+    | c -> failf "unexpected character %C in expression" c);
+  done;
+  List.rev !toks
+
+(* --- recursive-descent parser ---------------------------------------- *)
+
+type state = { mutable toks : token list }
+
+let peek st = match st.toks with [] -> None | t :: _ -> Some t
+
+let advance st =
+  match st.toks with
+  | [] -> failf "unexpected end of expression"
+  | t :: rest ->
+      st.toks <- rest;
+      t
+
+let expect_word st what =
+  match advance st with
+  | Word w -> w
+  | _ -> failf "expected %s" what
+
+let parse_number st what =
+  let w = expect_word st what in
+  match int_of_string_opt w with
+  | Some v -> v
+  | None -> failf "expected %s, got %S" what w
+
+let parse_port_value st =
+  let w = expect_word st "port number" in
+  let one s =
+    match int_of_string_opt s with
+    | Some v when v >= 0 && v <= 0xffff -> v
+    | Some _ -> failf "port %S out of range" s
+    | None -> (
+        match List.assoc_opt s port_names with
+        | Some v -> v
+        | None -> failf "unknown port %S" s)
+  in
+  match String.index_opt w '-' with
+  | Some i when i > 0 && i < String.length w - 1 ->
+      let lo = one (String.sub w 0 i)
+      and hi = one (String.sub w (i + 1) (String.length w - i - 1)) in
+      if lo > hi then failf "empty port range %S" w;
+      Port_range (lo, hi)
+  | _ -> Port_exact (one w)
+
+let parse_proto_value w =
+  match int_of_string_opt w with
+  | Some v when v >= 0 && v <= 255 -> v
+  | Some _ -> failf "protocol %S out of range" w
+  | None -> (
+      match List.assoc_opt w proto_names with
+      | Some v -> v
+      | None -> failf "unknown protocol %S" w)
+
+let parse_addr w =
+  match Oclick_packet.Ipaddr.of_string w with
+  | Some a -> a
+  | None -> failf "bad IP address %S" w
+
+let parse_prefix w =
+  match Oclick_packet.Ipaddr.parse_prefix w with
+  | Some p -> p
+  | None -> failf "bad IP prefix %S" w
+
+(* Parses tests that may follow a direction qualifier. *)
+let rec parse_directed st dir =
+  match advance st with
+  | Word "host" -> t_host dir (parse_addr (expect_word st "IP address"))
+  | Word "net" -> t_net dir (parse_prefix (expect_word st "IP prefix"))
+  | Word "port" -> t_port dir [] (parse_port_value st)
+  | Word (("tcp" | "udp") as proto) -> (
+      match advance st with
+      | Word "port" -> t_port dir [ List.assoc proto proto_names ] (parse_port_value st)
+      | _ -> failf "expected 'port' after %S in directed test" proto)
+  | _ -> failf "expected host/net/port after direction"
+
+and parse_test st =
+  match advance st with
+  | Word "true" | Word "all" -> Bexpr.True
+  | Word "false" | Word "none" -> Bexpr.False
+  | Word "src" -> (
+      match peek st with
+      | Some Op_or -> (
+          (* "src or dst ..." *)
+          ignore (advance st);
+          match advance st with
+          | Word "dst" -> parse_directed st Src_or_dst
+          | _ -> failf "expected 'dst' after 'src or'")
+      | Some Op_and -> (
+          ignore (advance st);
+          match advance st with
+          | Word "dst" -> parse_directed st Src_and_dst
+          | _ -> failf "expected 'dst' after 'src and'")
+      | _ -> parse_directed st Src)
+  | Word "dst" -> parse_directed st Dst
+  | Word "host" -> t_host Src_or_dst (parse_addr (expect_word st "IP address"))
+  | Word "net" -> t_net Src_or_dst (parse_prefix (expect_word st "IP prefix"))
+  | Word "port" -> t_port Src_or_dst [] (parse_port_value st)
+  | Word "proto" -> t_proto (parse_proto_value (expect_word st "protocol"))
+  | Word "ip" -> (
+      match advance st with
+      | Word "proto" -> t_proto (parse_proto_value (expect_word st "protocol"))
+      | Word "vers" -> Bexpr.test_u8 ~offset:0 ~mask:0xf0 (parse_number st "version" lsl 4)
+      | Word "hl" -> Bexpr.test_u8 ~offset:0 ~mask:0x0f (parse_number st "header length")
+      | Word "ttl" -> Bexpr.test_u8 ~offset:off_ttl (parse_number st "ttl")
+      | Word "tos" -> Bexpr.test_u8 ~offset:off_tos (parse_number st "tos")
+      | Word "frag" -> Bexpr.Not (Bexpr.test_u16 ~offset:off_frag ~mask:0x3fff 0)
+      | Word "unfrag" -> Bexpr.test_u16 ~offset:off_frag ~mask:0x3fff 0
+      | _ -> failf "unknown 'ip' test")
+  | Word "icmp" -> (
+      match peek st with
+      | Some (Word "type") ->
+          ignore (advance st);
+          Bexpr.conj
+            [
+              t_proto 1;
+              t_simple_header;
+              t_unfragmented;
+              Bexpr.test_u8 ~offset:off_icmp_type (parse_number st "icmp type");
+            ]
+      | _ -> t_proto 1)
+  | Word (("tcp" | "udp") as proto) -> (
+      match peek st with
+      | Some (Word "port") | Some (Word "src") | Some (Word "dst") -> (
+          let dir =
+            match advance st with
+            | Word "port" -> Src_or_dst
+            | Word "src" -> (
+                match advance st with
+                | Word "port" -> Src
+                | _ -> failf "expected 'port'")
+            | Word "dst" -> (
+                match advance st with
+                | Word "port" -> Dst
+                | _ -> failf "expected 'port'")
+            | _ -> assert false
+          in
+          t_port dir [ List.assoc proto proto_names ] (parse_port_value st))
+      | Some (Word "opt") when proto = "tcp" -> (
+          ignore (advance st);
+          let flag =
+            match expect_word st "tcp flag" with
+            | "fin" -> 0x01
+            | "syn" -> 0x02
+            | "rst" -> 0x04
+            | "psh" -> 0x08
+            | "ack" -> 0x10
+            | "urg" -> 0x20
+            | f -> failf "unknown tcp flag %S" f
+          in
+          Bexpr.conj
+            [
+              t_proto 6;
+              t_simple_header;
+              t_unfragmented;
+              Bexpr.test_u8 ~offset:off_tcp_flags ~mask:flag flag;
+            ])
+      | _ -> t_proto (List.assoc proto proto_names))
+  | Word w -> failf "unknown test %S" w
+  | Lparen ->
+      let e = parse_or st in
+      (match advance st with
+      | Rparen -> e
+      | _ -> failf "expected ')'")
+  | Rparen -> failf "unexpected ')'"
+  | Op_and | Op_or -> failf "misplaced operator"
+  | Op_not -> Bexpr.Not (parse_test st)
+
+and parse_and st =
+  let lhs = parse_test st in
+  match peek st with
+  | Some Op_and ->
+      ignore (advance st);
+      Bexpr.And (lhs, parse_and st)
+  | _ -> lhs
+
+and parse_or st =
+  let lhs = parse_and st in
+  match peek st with
+  | Some Op_or ->
+      ignore (advance st);
+      Bexpr.Or (lhs, parse_or st)
+  | _ -> lhs
+
+let parse s =
+  match
+    let st = { toks = tokenize s } in
+    let e = parse_or st in
+    if st.toks <> [] then failf "trailing tokens in expression %S" s;
+    e
+  with
+  | e -> Ok e
+  | exception Fail msg -> Error msg
+
+(* --- configurations --------------------------------------------------- *)
+
+let parse_ipfilter_config config =
+  let args = Oclick_lang.Args.split config in
+  if args = [] then Error "IPFilter needs at least one rule"
+  else begin
+    let parse_rule arg =
+      let arg = String.trim arg in
+      match String.index_opt arg ' ' with
+      | None -> (
+          match arg with
+          | "allow" -> Ok (0, "all")
+          | "deny" | "drop" -> Ok (Tree.drop, "all")
+          | _ -> Error (Printf.sprintf "bad IPFilter rule %S" arg))
+      | Some i -> (
+          let action = String.sub arg 0 i in
+          let rest = String.trim (String.sub arg i (String.length arg - i)) in
+          match action with
+          | "allow" -> Ok (0, rest)
+          | "deny" | "drop" -> Ok (Tree.drop, rest)
+          | _ -> (
+              match int_of_string_opt action with
+              | Some out when out >= 0 -> Ok (out, rest)
+              | _ -> Error (Printf.sprintf "bad IPFilter action %S" action)))
+    in
+    let rec go acc = function
+      | [] -> Ok (List.rev acc)
+      | arg :: rest -> (
+          match parse_rule arg with
+          | Error e -> Error e
+          | Ok (output, expr_s) -> (
+              match parse expr_s with
+              | Error e -> Error e
+              | Ok expr ->
+                  go ({ Bexpr.r_expr = expr; r_output = output } :: acc) rest))
+    in
+    go [] args
+  end
+
+let parse_ipclassifier_config config =
+  let args = Oclick_lang.Args.split config in
+  if args = [] then Error "IPClassifier needs at least one pattern"
+  else begin
+    let rec go i acc = function
+      | [] -> Ok (List.rev acc)
+      | arg :: rest -> (
+          let arg = String.trim arg in
+          let parsed = if String.equal arg "-" then Ok Bexpr.True else parse arg in
+          match parsed with
+          | Error e -> Error e
+          | Ok expr ->
+              go (i + 1) ({ Bexpr.r_expr = expr; r_output = i } :: acc) rest)
+    in
+    go 0 [] args
+  end
+
+let noutputs_of_rules rules =
+  List.fold_left (fun acc (r : Bexpr.rule) -> max acc (r.r_output + 1)) 1 rules
+
+let ipfilter_tree config =
+  match parse_ipfilter_config config with
+  | Error e -> Error e
+  | Ok rules -> Ok (Bexpr.compile_rules ~noutputs:(noutputs_of_rules rules) rules)
+
+let ipclassifier_tree config =
+  match parse_ipclassifier_config config with
+  | Error e -> Error e
+  | Ok rules ->
+      Ok (Bexpr.compile_rules ~noutputs:(List.length rules) rules)

@@ -1,0 +1,40 @@
+(** The [IPFilter]/[IPClassifier] expression language.
+
+    Expressions describe IP packets whose header starts at data offset 0
+    (the router strips the Ethernet header first). The supported grammar,
+    a faithful subset of Click's:
+
+    {v
+    expr  := and ("or" | "||") and ...
+    and   := unary ("and" | "&&") unary ...
+    unary := ("not" | "!") unary | "(" expr ")" | test
+    test  := "true" | "false" | "all"
+           | [dir] "host" IPADDR
+           | [dir] "net" PREFIX
+           | ["ip"] "proto" PROTO
+           | "tcp" | "udp" | "icmp"
+           | [dir] [PROTO] "port" (PORT | PORT-PORT)
+           | "icmp" "type" NUM
+           | "ip" ("vers" | "hl" | "ttl" | "tos") NUM
+           | "ip" "frag" | "ip" "unfrag"
+           | "tcp" "opt" ("syn"|"ack"|"fin"|"rst")
+    dir   := "src" | "dst" | "src" "or" "dst" | "src" "and" "dst"
+    v}
+
+    Port tests implicitly require an unfragmented packet with a 20-byte IP
+    header, as in Click. Well-known port and protocol names are accepted;
+    port ranges compile into O(log) masked tests. *)
+
+val parse : string -> (Bexpr.t, string) result
+
+val parse_ipfilter_config : string -> (Bexpr.rule list, string) result
+(** [IPFilter] arguments: ["allow EXPR"], ["deny EXPR"], ["drop EXPR"], or
+    ["N EXPR"] for an explicit output. [allow] means output 0; [deny] and
+    [drop] discard. *)
+
+val parse_ipclassifier_config : string -> (Bexpr.rule list, string) result
+(** [IPClassifier] arguments are bare expressions (or ["-"]); argument [i]
+    classifies to output [i]; unmatched packets are dropped. *)
+
+val ipfilter_tree : string -> (Tree.t, string) result
+val ipclassifier_tree : string -> (Tree.t, string) result

@@ -1,0 +1,211 @@
+let fold_constants (t : Tree.t) =
+  let resolved = Array.make (Array.length t.nodes) None in
+  let rec resolve target =
+    match target with
+    | Tree.Leaf _ -> target
+    | Tree.Node i -> (
+        match resolved.(i) with
+        | Some r -> r
+        | None ->
+            let n = t.nodes.(i) in
+            let r =
+              if n.mask = 0 then
+                (* (word land 0) = value: constant outcome *)
+                if n.value = 0 then resolve n.yes else resolve n.no
+              else if n.yes = n.no then resolve n.yes
+              else target
+            in
+            resolved.(i) <- Some r;
+            r)
+  in
+  let nodes =
+    Array.map
+      (fun (n : Tree.node) -> { n with Tree.yes = resolve n.yes; no = resolve n.no })
+      t.nodes
+  in
+  Tree.renumber { t with Tree.nodes; root = resolve t.root }
+
+module Fact = struct
+  (* Known facts about (offset, mask) words along a path. *)
+  type t = {
+    equal : (int * int, int) Hashtbl.t; (* (off,mask) -> known value *)
+    not_equal : (int * int, int list) Hashtbl.t;
+  }
+
+  let create () = { equal = Hashtbl.create 8; not_equal = Hashtbl.create 8 }
+
+  (* A canonical value of the fact set, for memoization. This must be a
+     full structural key, not a hash — [Hashtbl.hash] truncates deep
+     values and colliding fingerprints would merge distinct contexts. *)
+  let fingerprint f =
+    let eq = Hashtbl.fold (fun k v acc -> (k, v) :: acc) f.equal [] in
+    let ne =
+      Hashtbl.fold
+        (fun k v acc -> (k, List.sort compare v) :: acc)
+        f.not_equal []
+    in
+    (List.sort compare eq, List.sort compare ne)
+
+  (* The outcome of a test given current facts, if determined. *)
+  let outcome f ~offset ~mask ~value =
+    match Hashtbl.find_opt f.equal (offset, mask) with
+    | Some v -> Some (v = value)
+    | None -> (
+        match Hashtbl.find_opt f.not_equal (offset, mask) with
+        | Some vs when List.mem value vs -> Some false
+        | _ -> None)
+
+  let with_equal f ~offset ~mask ~value body =
+    Hashtbl.add f.equal (offset, mask) value;
+    let r = body () in
+    Hashtbl.remove f.equal (offset, mask);
+    r
+
+  let with_not_equal f ~offset ~mask ~value body =
+    let old = Option.value ~default:[] (Hashtbl.find_opt f.not_equal (offset, mask)) in
+    Hashtbl.replace f.not_equal (offset, mask) (value :: old);
+    let r = body () in
+    if old = [] then Hashtbl.remove f.not_equal (offset, mask)
+    else Hashtbl.replace f.not_equal (offset, mask) old;
+    r
+end
+
+let memo_budget = 200_000
+
+let eliminate_dominated (t : Tree.t) =
+  (* Rebuild the tree path-sensitively. Nodes are emitted into a fresh
+     array; (source node, fact fingerprint) pairs are memoized to keep the
+     DAG shape and bound the work. *)
+  let facts = Fact.create () in
+  let out_nodes = ref [] in
+  let out_count = ref 0 in
+  let memo : ( int
+               * (((int * int) * int) list * ((int * int) * int list) list),
+               Tree.target )
+             Hashtbl.t =
+    Hashtbl.create 64
+  in
+  let exception Too_big in
+  let rec build target =
+    match target with
+    | Tree.Leaf _ -> target
+    | Tree.Node i -> (
+        let n = t.nodes.(i) in
+        match Fact.outcome facts ~offset:n.offset ~mask:n.mask ~value:n.value with
+        | Some true -> build n.yes
+        | Some false -> build n.no
+        | None -> (
+            let fp = Fact.fingerprint facts in
+            match Hashtbl.find_opt memo (i, fp) with
+            | Some r -> r
+            | None ->
+                if Hashtbl.length memo > memo_budget then raise Too_big;
+                let yes =
+                  Fact.with_equal facts ~offset:n.offset ~mask:n.mask
+                    ~value:n.value (fun () -> build n.yes)
+                in
+                let no =
+                  Fact.with_not_equal facts ~offset:n.offset ~mask:n.mask
+                    ~value:n.value (fun () -> build n.no)
+                in
+                let r =
+                  if yes = no then yes
+                  else begin
+                    let j = !out_count in
+                    incr out_count;
+                    out_nodes := { n with Tree.yes; no } :: !out_nodes;
+                    Tree.Node j
+                  end
+                in
+                Hashtbl.add memo (i, fp) r;
+                r))
+  in
+  match build t.root with
+  | root ->
+      Tree.renumber
+        {
+          Tree.nodes = Array.of_list (List.rev !out_nodes);
+          root;
+          noutputs = t.noutputs;
+        }
+  | exception Too_big -> t
+
+let share_subtrees (t : Tree.t) =
+  (* Bottom-up hash-consing over the DAG. *)
+  let canon : (int, Tree.target) Hashtbl.t = Hashtbl.create 64 in
+  let interned : (int * int * int * Tree.target * Tree.target, Tree.target) Hashtbl.t =
+    Hashtbl.create 64
+  in
+  let out_nodes = ref [] in
+  let out_count = ref 0 in
+  let rec go target =
+    match target with
+    | Tree.Leaf _ -> target
+    | Tree.Node i -> (
+        match Hashtbl.find_opt canon i with
+        | Some r -> r
+        | None ->
+            let n = t.nodes.(i) in
+            let yes = go n.yes and no = go n.no in
+            let r =
+              if yes = no then yes
+              else begin
+                let key = (n.offset, n.mask, n.value, yes, no) in
+                match Hashtbl.find_opt interned key with
+                | Some r -> r
+                | None ->
+                    let j = !out_count in
+                    incr out_count;
+                    out_nodes := { n with Tree.yes; no } :: !out_nodes;
+                    let r = Tree.Node j in
+                    Hashtbl.add interned key r;
+                    r
+              end
+            in
+            Hashtbl.add canon i r;
+            r)
+  in
+  let root = go t.root in
+  Tree.renumber
+    { Tree.nodes = Array.of_list (List.rev !out_nodes); root; noutputs = t.noutputs }
+
+let one_round t = share_subtrees (eliminate_dominated (fold_constants t))
+
+let optimize t =
+  let rec fix t n =
+    let t' = one_round t in
+    if n = 0 || Tree.node_count t' = Tree.node_count t then t' else fix t' (n - 1)
+  in
+  fix t 8
+
+let compose (t1 : Tree.t) ~output (t2 : Tree.t) ~remap_upper ~remap_lower
+    ~noutputs =
+  let remap f k = if k = Tree.drop then Tree.drop else f k in
+  let n1 = Array.length t1.nodes in
+  let shift_target2 = function
+    | Tree.Node i -> Tree.Node (i + n1)
+    | Tree.Leaf k -> Tree.Leaf (remap remap_lower k)
+  in
+  let root2 = shift_target2 t2.root in
+  let map_target1 = function
+    | Tree.Node i -> Tree.Node i
+    | Tree.Leaf k -> if k = output then root2 else Tree.Leaf (remap remap_upper k)
+  in
+  let nodes1 =
+    Array.map
+      (fun (n : Tree.node) ->
+        { n with Tree.yes = map_target1 n.yes; no = map_target1 n.no })
+      t1.nodes
+  in
+  let nodes2 =
+    Array.map
+      (fun (n : Tree.node) ->
+        { n with Tree.yes = shift_target2 n.yes; no = shift_target2 n.no })
+      t2.nodes
+  in
+  Tree.renumber
+    {
+      Tree.nodes = Array.append nodes1 nodes2;
+      root = map_target1 t1.root;
+      noutputs;
+    }

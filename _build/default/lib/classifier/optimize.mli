@@ -1,0 +1,28 @@
+(** Decision-tree optimizations (paper §3: "an extensive set of decision
+    tree optimizations, similar to BPF+'s").
+
+    The passes:
+    - {b constant folding}: tests with mask 0 always succeed or fail;
+    - {b dominated-test elimination}: a test whose outcome is implied by
+      tests on the path from the root is bypassed (path-sensitive, with
+      both equality and inequality facts, as in BPF+ redundant-predicate
+      elimination);
+    - {b common-subtree sharing}: structurally identical subtrees are
+      merged bottom-up (hash-consing);
+    - {b dead-node elimination}: unreachable nodes are collected and the
+      tree renumbered. *)
+
+val fold_constants : Tree.t -> Tree.t
+val eliminate_dominated : Tree.t -> Tree.t
+val share_subtrees : Tree.t -> Tree.t
+
+val optimize : Tree.t -> Tree.t
+(** The full pipeline, iterated to a fixpoint. *)
+
+val compose : Tree.t -> output:int -> Tree.t ->
+  remap_upper:(int -> int) -> remap_lower:(int -> int) -> noutputs:int ->
+  Tree.t
+(** [compose t1 ~output:k t2 ...] grafts [t2] onto every [Leaf k] of [t1] —
+    the "combine adjacent Classifiers" step of [click-fastclassifier].
+    Other leaves [j] of [t1] become [remap_upper j]; leaves [j] of [t2]
+    become [remap_lower j]; {!Tree.drop} is preserved by both remaps. *)

@@ -1,0 +1,115 @@
+let hex_digit c =
+  match c with
+  | '0' .. '9' -> Some (Char.code c - Char.code '0')
+  | 'a' .. 'f' -> Some (Char.code c - Char.code 'a' + 10)
+  | 'A' .. 'F' -> Some (Char.code c - Char.code 'A' + 10)
+  | _ -> None
+
+(* A hex string with '?' wildcards becomes (value bytes, mask bytes). *)
+let parse_hex_masked s =
+  let n = String.length s in
+  if n = 0 || n mod 2 <> 0 then None
+  else begin
+    let value = Bytes.make (n / 2) '\000' in
+    let mask = Bytes.make (n / 2) '\000' in
+    let ok = ref true in
+    for i = 0 to (n / 2) - 1 do
+      let nib j c =
+        match c with
+        | '?' -> ()
+        | c -> (
+            match hex_digit c with
+            | Some v ->
+                let shift = if j = 0 then 4 else 0 in
+                Bytes.set value i
+                  (Char.chr (Char.code (Bytes.get value i) lor (v lsl shift)));
+                Bytes.set mask i
+                  (Char.chr (Char.code (Bytes.get mask i) lor (0xf lsl shift)))
+            | None -> ok := false)
+      in
+      nib 0 s.[2 * i];
+      nib 1 s.[(2 * i) + 1]
+    done;
+    if !ok then Some (Bytes.to_string value, Bytes.to_string mask) else None
+  end
+
+let parse_clause clause =
+  let negated = String.length clause > 0 && clause.[0] = '!' in
+  let body =
+    if negated then String.sub clause 1 (String.length clause - 1) else clause
+  in
+  match String.index_opt body '/' with
+  | None -> Error (Printf.sprintf "bad classifier clause %S" clause)
+  | Some i -> (
+      let off_s = String.sub body 0 i in
+      let rest = String.sub body (i + 1) (String.length body - i - 1) in
+      let value_s, mask_s =
+        match String.index_opt rest '%' with
+        | None -> (rest, None)
+        | Some j ->
+            ( String.sub rest 0 j,
+              Some (String.sub rest (j + 1) (String.length rest - j - 1)) )
+      in
+      match int_of_string_opt off_s with
+      | None -> Error (Printf.sprintf "bad offset in clause %S" clause)
+      | Some offset when offset >= 0 -> (
+          match parse_hex_masked value_s with
+          | None -> Error (Printf.sprintf "bad hex value in clause %S" clause)
+          | Some (value, wildcard_mask) -> (
+              let mask_result =
+                match mask_s with
+                | None -> Ok wildcard_mask
+                | Some ms -> (
+                    match parse_hex_masked ms with
+                    | Some (m, _) when String.length m = String.length value ->
+                        (* an explicit mask combines with '?' wildcards *)
+                        Ok
+                          (String.init (String.length m) (fun i ->
+                               Char.chr
+                                 (Char.code m.[i]
+                                 land Char.code wildcard_mask.[i])))
+                    | _ -> Error (Printf.sprintf "bad mask in clause %S" clause))
+              in
+              match mask_result with
+              | Error e -> Error e
+              | Ok mask ->
+                  let expr = Bexpr.tests_of_bytes ~offset ~value ~mask in
+                  Ok (if negated then Bexpr.Not expr else expr)))
+      | Some _ -> Error (Printf.sprintf "negative offset in clause %S" clause))
+
+let parse_pattern arg =
+  let arg = String.trim arg in
+  if String.equal arg "-" then Ok Bexpr.True
+  else begin
+    let clauses =
+      List.filter (fun s -> s <> "") (String.split_on_char ' ' arg)
+    in
+    let rec go acc = function
+      | [] -> Ok (Bexpr.conj (List.rev acc))
+      | c :: rest -> (
+          match parse_clause c with
+          | Ok e -> go (e :: acc) rest
+          | Error e -> Error e)
+    in
+    if clauses = [] then Error "empty classifier pattern" else go [] clauses
+  end
+
+let parse_config config =
+  let args = Oclick_lang.Args.split config in
+  if args = [] then Error "Classifier needs at least one pattern"
+  else begin
+    let rec go i acc = function
+      | [] -> Ok (List.rev acc)
+      | arg :: rest -> (
+          match parse_pattern arg with
+          | Ok expr -> go (i + 1) ({ Bexpr.r_expr = expr; r_output = i } :: acc) rest
+          | Error e -> Error e)
+    in
+    go 0 [] args
+  end
+
+let tree_of_config config =
+  match parse_config config with
+  | Error e -> Error e
+  | Ok rules ->
+      Ok (Bexpr.compile_rules ~noutputs:(List.length rules) rules)

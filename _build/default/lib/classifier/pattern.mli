@@ -1,0 +1,20 @@
+(** The raw [Classifier] pattern language.
+
+    Each configuration argument describes one output port as a
+    space-separated list of clauses, each matching bytes at a fixed offset:
+
+    - ["12/0800"] — bytes 12.. must equal [08 00];
+    - ["33/02%12"] — byte 33 masked with [0x12] must equal [0x02];
+    - ["20/45?8"] — ['?'] nibbles are wildcards;
+    - a clause prefixed with ['!'] is negated;
+    - the argument ["-"] matches every packet. *)
+
+val parse_pattern : string -> (Bexpr.t, string) result
+(** One argument's pattern. *)
+
+val parse_config : string -> (Bexpr.rule list, string) result
+(** The whole [Classifier] configuration string: argument [i] classifies to
+    output [i]. *)
+
+val tree_of_config : string -> (Tree.t, string) result
+(** Parse and lower; the tree has one output per argument. *)

@@ -1,0 +1,1 @@
+lib/core/ip_router.ml: Buffer List Oclick_graph Oclick_packet Printf String

@@ -1,0 +1,1 @@
+lib/core/ip_router.mli: Oclick_graph Oclick_packet

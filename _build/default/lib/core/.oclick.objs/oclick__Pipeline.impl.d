@@ -1,0 +1,1 @@
+lib/core/pipeline.ml: Oclick_graph Oclick_optim Printf

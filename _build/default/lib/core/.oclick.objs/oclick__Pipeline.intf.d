@@ -1,0 +1,1 @@
+lib/core/pipeline.mli: Oclick_graph Oclick_optim

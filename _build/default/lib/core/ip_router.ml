@@ -1,0 +1,115 @@
+module Ipaddr = Oclick_packet.Ipaddr
+module Ethaddr = Oclick_packet.Ethaddr
+
+type interface = {
+  if_device : string;
+  if_ip : Ipaddr.t;
+  if_eth : Ethaddr.t;
+  if_net : Ipaddr.t;
+  if_mask : Ipaddr.t;
+}
+
+let interface ~device ~ip ~eth ~net =
+  match (Ipaddr.of_string ip, Ethaddr.of_string eth, Ipaddr.parse_prefix net)
+  with
+  | Some if_ip, Some if_eth, Some (if_net, if_mask) ->
+      { if_device = device; if_ip; if_eth; if_net = if_net land if_mask; if_mask }
+  | _ -> invalid_arg "Ip_router.interface: malformed address"
+
+let standard_interfaces n =
+  List.init n (fun i ->
+      interface
+        ~device:(Printf.sprintf "eth%d" i)
+        ~ip:(Printf.sprintf "10.0.%d.1" i)
+        ~eth:(Printf.sprintf "00:00:c0:00:%02x:01" i)
+        ~net:(Printf.sprintf "10.0.%d.0/24" i))
+
+let prefix_string net mask =
+  match Ipaddr.prefix_length_of_netmask mask with
+  | Some len -> Printf.sprintf "%s/%d" (Ipaddr.to_string net) len
+  | None ->
+      Printf.sprintf "%s/%s" (Ipaddr.to_string net) (Ipaddr.to_string mask)
+
+let arp_classifier = "12/0806 20/0001, 12/0806 20/0002, 12/0800, -"
+
+let config interfaces =
+  let buf = Buffer.create 2048 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add "// A standards-compliant IP router (paper Figure 1), %d interfaces.\n"
+    (List.length interfaces);
+  (* The shared routing table: local addresses to output 0 (the host),
+     each interface's subnet to output i+1. *)
+  let routes =
+    String.concat ", "
+      (List.map
+         (fun itf -> Printf.sprintf "%s/32 0" (Ipaddr.to_string itf.if_ip))
+         interfaces
+      @ List.mapi
+          (fun i itf ->
+            Printf.sprintf "%s %d" (prefix_string itf.if_net itf.if_mask)
+              (i + 1))
+          interfaces)
+  in
+  add "rt :: LookupIPRoute(%s);\n" routes;
+  add "rt [0] -> host :: Discard;  // packets for the router itself\n\n";
+  List.iteri
+    (fun i itf ->
+      let ip = Ipaddr.to_string itf.if_ip and eth = Ethaddr.to_string itf.if_eth in
+      add "// interface %d: %s (%s, %s)\n" i itf.if_device ip eth;
+      add "pd%d :: PollDevice(%s);\n" i itf.if_device;
+      add "out%d :: Queue(200);\n" i;
+      add "td%d :: ToDevice(%s);\n" i itf.if_device;
+      add "c%d :: Classifier(%s);\n" i arp_classifier;
+      add "ar%d :: ARPResponder(%s %s);\n" i ip eth;
+      add "aq%d :: ARPQuerier(%s, %s);\n" i ip eth;
+      add "pd%d -> c%d;\n" i i;
+      add "c%d [0] -> ar%d -> out%d;\n" i i i;
+      add "c%d [1] -> [1] aq%d;\n" i i;
+      add "c%d [2] -> Paint(%d) -> Strip(14) -> CheckIPHeader() \
+           -> GetIPAddress(16) -> rt;\n"
+        i (i + 1);
+      add "c%d [3] -> Discard;\n" i;
+      add "rt [%d] -> DropBroadcasts -> cp%d :: CheckPaint(%d) \
+           -> gio%d :: IPGWOptions(%s) -> FixIPSrc(%s) -> dt%d :: DecIPTTL \
+           -> fr%d :: IPFragmenter(1500) -> [0] aq%d;\n"
+        (i + 1) i (i + 1) i ip ip i i i;
+      add "aq%d -> out%d -> td%d;\n" i i i;
+      add "cp%d [1] -> ICMPError(%s, redirect, host) -> rt;\n" i ip;
+      add "gio%d [1] -> ICMPError(%s, parameterproblem) -> rt;\n" i ip;
+      add "dt%d [1] -> ICMPError(%s, timeexceeded) -> rt;\n" i ip;
+      add "fr%d [1] -> ICMPError(%s, unreachable, needfrag) -> rt;\n\n" i ip)
+    interfaces;
+  Buffer.contents buf
+
+let simple_config pairs =
+  let buf = Buffer.create 256 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add "// The \"Simple\" configuration: device handling and a queue.\n";
+  List.iteri
+    (fun i (in_dev, out_dev) ->
+      add "PollDevice(%s) -> sq%d :: Queue(200) -> ToDevice(%s);\n" in_dev i
+        out_dev)
+    pairs;
+  Buffer.contents buf
+
+let host_config ~ip ~eth =
+  let ip = Ipaddr.to_string ip and eth = Ethaddr.to_string eth in
+  Printf.sprintf
+    {|// An end host: answers ARP, counts received IP packets.
+pd :: PollDevice(eth0);
+cl :: Classifier(%s);
+outq :: Queue(200);
+td :: ToDevice(eth0);
+ar :: ARPResponder(%s %s);
+pd -> cl;
+cl [0] -> ar -> outq -> td;
+cl [1] -> Discard;
+cl [2] -> sink :: Counter -> Discard;
+cl [3] -> Discard;
+|}
+    arp_classifier ip eth
+
+let graph source =
+  match Oclick_graph.Router.parse_string source with
+  | Ok g -> g
+  | Error e -> failwith ("Ip_router.graph: " ^ e)

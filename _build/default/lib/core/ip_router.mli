@@ -1,0 +1,48 @@
+(** Generator for the paper's reference configurations.
+
+    {!config} produces the standards-compliant Click IP router of Figure 1
+    for any number of network interfaces: per interface a [PollDevice],
+    protocol [Classifier], ARP responder and querier, the ten-element IP
+    forwarding path through a shared [LookupIPRoute], an output [Queue],
+    and a [ToDevice] — sixteen elements on each forwarding path, as the
+    paper counts them (§3).
+
+    {!simple_config} is the paper's "Simple" configuration: device
+    handling and a single packet queue per flow (§8.3).
+
+    {!host_config} describes an end host (ARP responder + UDP sink) as a
+    Click configuration, used by [click-combine] for the multiple-router
+    ARP-elimination optimization (§7.2). *)
+
+type interface = {
+  if_device : string;
+  if_ip : Oclick_packet.Ipaddr.t;
+  if_eth : Oclick_packet.Ethaddr.t;
+  if_net : Oclick_packet.Ipaddr.t;  (** subnet routed to this interface *)
+  if_mask : Oclick_packet.Ipaddr.t;
+}
+
+val interface :
+  device:string -> ip:string -> eth:string -> net:string -> interface
+(** [net] in prefix notation, e.g. ["10.0.4.0/24"]. Raises
+    [Invalid_argument] on malformed addresses. *)
+
+val standard_interfaces : int -> interface list
+(** [standard_interfaces n] builds interfaces eth0..eth(n-1) with
+    addresses 10.0.[i].1/24, the addressing used throughout the tests and
+    benchmarks. *)
+
+val config : interface list -> string
+(** The Figure 1 IP router, in Click language. *)
+
+val simple_config : (string * string) list -> string
+(** [simple_config [(in_dev, out_dev); ...]]: PollDevice -> Queue ->
+    ToDevice per pair. *)
+
+val host_config :
+  ip:Oclick_packet.Ipaddr.t -> eth:Oclick_packet.Ethaddr.t -> string
+(** An end host with one interface [eth0]. *)
+
+val graph : string -> Oclick_graph.Router.t
+(** Parse + flatten a generated configuration; raises [Failure] on error
+    (generator output always parses). *)

@@ -1,0 +1,68 @@
+module Optim = Oclick_optim
+
+type t = Oclick_graph.Router.t
+
+let fail_on_error what = function
+  | Ok v -> v
+  | Error e -> failwith (Printf.sprintf "%s: %s" what e)
+
+let fastclassify router =
+  fst (fail_on_error "click-fastclassifier" (Optim.Fastclassifier.run router))
+
+let devirtualize ?exclude router =
+  fst
+    (fail_on_error "click-devirtualize"
+       (Optim.Devirtualize.run ?exclude router))
+
+let transform router =
+  fst
+    (fail_on_error "click-xform"
+       (Optim.Xform.run ~patterns:(Optim.Patterns.combos ()) router))
+
+let undead router = fst (fail_on_error "click-undead" (Optim.Undead.run router))
+
+let eliminate_arp ~router ~hosts ~links =
+  let combined =
+    fail_on_error "click-combine"
+      (Optim.Combine.combine (("router", router) :: hosts) ~links)
+  in
+  let transformed, _count =
+    fail_on_error "click-xform (ARP elimination)"
+      (Optim.Xform.run ~patterns:(Optim.Patterns.arp_elimination ()) combined)
+  in
+  fail_on_error "click-uncombine"
+    (Optim.Combine.uncombine transformed ~name:"router")
+
+type variant = Base | Fc | Dv | Xf | All | Mr | Mr_all
+
+let variant_name = function
+  | Base -> "Base"
+  | Fc -> "FC"
+  | Dv -> "DV"
+  | Xf -> "XF"
+  | All -> "All"
+  | Mr -> "MR"
+  | Mr_all -> "MR+All"
+
+let variants = [ Base; Fc; Dv; Xf; All; Mr; Mr_all ]
+
+let need_mr_context = function
+  | Some hosts, Some links -> (hosts, links)
+  | _ -> failwith "optimize: MR variants need ~hosts and ~links"
+
+let optimize ?hosts ?links variant router =
+  match variant with
+  | Base -> router
+  | Fc -> fastclassify router
+  | Dv -> devirtualize router
+  | Xf -> transform router
+  | All ->
+      (* Devirtualize last: it cements the element graph (paper §6.1). *)
+      devirtualize (fastclassify (transform router))
+  | Mr ->
+      let hosts, links = need_mr_context (hosts, links) in
+      eliminate_arp ~router ~hosts ~links
+  | Mr_all ->
+      let hosts, links = need_mr_context (hosts, links) in
+      let router = eliminate_arp ~router ~hosts ~links in
+      devirtualize (fastclassify (transform router))

@@ -1,0 +1,39 @@
+(** Optimization pipelines: the tool chains evaluated in the paper's §8.
+
+    Tools compose like Unix filters (paper §5.4); each function here is one
+    stage, and {!optimize} runs the combinations named in Figure 9:
+    "FC" ([click-fastclassifier]), "DV" ([click-devirtualize]),
+    "XF" ([click-xform] with the combination-element patterns), "All"
+    (XF then FC then DV — devirtualize last, since it cements the graph,
+    §6.1), and "MR" (ARP elimination through
+    [click-combine]/[click-xform]/[click-uncombine], §7.2). *)
+
+type t = Oclick_graph.Router.t
+
+val fastclassify : t -> t
+val devirtualize : ?exclude:string list -> t -> t
+val transform : t -> t
+(** [click-xform] with {!Oclick_optim.Patterns.combos}. *)
+
+val undead : t -> t
+
+val eliminate_arp :
+  router:t -> hosts:(string * t) list -> links:Oclick_optim.Combine.link list ->
+  t
+(** combine → ARP-elimination xform → uncombine the router (named
+    ["router"] in the combination). *)
+
+(** The Figure 9 configurations. [Mr_all] is "MR+All". *)
+type variant = Base | Fc | Dv | Xf | All | Mr | Mr_all
+
+val variant_name : variant -> string
+val variants : variant list
+
+val optimize :
+  ?hosts:(string * t) list ->
+  ?links:Oclick_optim.Combine.link list ->
+  variant ->
+  t ->
+  t
+(** Applies the variant's tool chain. [Mr] and [Mr_all] require [hosts]
+    and [links]. Raises [Failure] if a stage reports an error. *)

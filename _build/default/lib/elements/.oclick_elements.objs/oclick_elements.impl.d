@@ -1,0 +1,1 @@
+lib/elements/oclick_elements.ml: Arp Basic Classify Combos Devices Extras Ip Misc Rewriter Routing Trace_io

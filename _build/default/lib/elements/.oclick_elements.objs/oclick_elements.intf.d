@@ -1,0 +1,1 @@
+lib/elements/oclick_elements.mli: Oclick_classifier

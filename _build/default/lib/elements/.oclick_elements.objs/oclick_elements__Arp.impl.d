@@ -1,0 +1,1 @@
+lib/elements/arp.ml: Args E Ethaddr Fun Hashtbl Headers Ipaddr List Option Packet Prelude String

@@ -1,0 +1,1 @@
+lib/elements/basic.ml: Args Array E Hashtbl Hooks List Oclick_graph Packet Prelude Printf Queue Registry Spec String

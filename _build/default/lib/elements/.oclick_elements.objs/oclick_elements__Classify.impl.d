@@ -1,0 +1,1 @@
+lib/elements/classify.ml: E Hooks Oclick_classifier Prelude

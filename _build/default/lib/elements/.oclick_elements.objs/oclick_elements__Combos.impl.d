@@ -1,0 +1,1 @@
+lib/elements/combos.ml: Args E Fun Headers Hooks Ipaddr List Option Packet Prelude String

@@ -1,0 +1,1 @@
+lib/elements/devices.ml: Args E Ethaddr Hashtbl Headers Ipaddr Netdevice Packet Prelude Printf

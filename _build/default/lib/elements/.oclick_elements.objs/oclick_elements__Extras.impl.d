@@ -1,0 +1,1 @@
+lib/elements/extras.ml: Args E Ethaddr Headers Hooks Ipaddr Packet Prelude Queue String

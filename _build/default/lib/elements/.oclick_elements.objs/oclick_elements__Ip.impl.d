@@ -1,0 +1,1 @@
+lib/elements/ip.ml: Args E Ethaddr Fun Headers Hooks Ipaddr List Option Packet Prelude Printf String

@@ -1,0 +1,1 @@
+lib/elements/misc.ml: Args E Hooks Packet Prelude

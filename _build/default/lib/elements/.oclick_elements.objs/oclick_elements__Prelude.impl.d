@@ -1,0 +1,1 @@
+lib/elements/prelude.ml: Hashtbl List Oclick_graph Oclick_lang Oclick_packet Oclick_runtime

@@ -1,0 +1,1 @@
+lib/elements/rewriter.ml: E Hashtbl Headers Hooks Ipaddr List Option Packet Prelude String

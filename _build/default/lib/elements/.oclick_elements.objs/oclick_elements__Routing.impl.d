@@ -1,0 +1,1 @@
+lib/elements/routing.ml: Args Array E Fun Hooks Int Ipaddr List Option Packet Prelude String

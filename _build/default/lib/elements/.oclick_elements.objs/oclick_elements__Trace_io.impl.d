@@ -1,0 +1,1 @@
+lib/elements/trace_io.ml: Args Buffer E List Oclick_packet Packet Prelude

@@ -1,0 +1,160 @@
+(* ARP handling: ARPQuerier encapsulates IP packets in Ethernet headers,
+   resolving the next hop with real ARP queries; ARPResponder answers
+   queries for the addresses it is configured with. *)
+
+open Prelude
+module Ether = Headers.Ether
+module Arp = Headers.Arp
+
+(* One pending packet is held per unresolved address, as in Click. *)
+type arp_entry = {
+  mutable ae_eth : Ethaddr.t option;
+  mutable ae_pending : Packet.t option;
+}
+
+class arp_querier name =
+  object (self)
+    inherit E.base name
+    val mutable my_ip = 0
+    val mutable my_eth = Ethaddr.zero
+    val table : (Ipaddr.t, arp_entry) Hashtbl.t = Hashtbl.create 64
+    val mutable queries = 0
+    val mutable responses = 0
+    val mutable encapsulated = 0
+    method class_name = "ARPQuerier"
+    method! port_count = "2/1"
+    method! processing = "h/h"
+    (* IP packets arrive on 0, ARP responses on 1; both leave via 0. *)
+    method! flow_code = "xy/x"
+
+    method! configure config =
+      match Args.split config with
+      | [ ip; eth ] -> (
+          match (Ipaddr.of_string ip, Ethaddr.of_string eth) with
+          | Some ip, Some eth ->
+              my_ip <- ip;
+              my_eth <- eth;
+              Ok ()
+          | _ -> Error "ARPQuerier expects IP, ETH")
+      | _ -> Error "ARPQuerier expects IP, ETH"
+
+    method private entry ip =
+      match Hashtbl.find_opt table ip with
+      | Some e -> e
+      | None ->
+          let e = { ae_eth = None; ae_pending = None } in
+          Hashtbl.add table ip e;
+          e
+
+    method private send_query target_ip =
+      queries <- queries + 1;
+      let q =
+        Headers.Build.arp_query ~src_eth:my_eth ~src_ip:my_ip ~target_ip
+      in
+      self#output 0 q
+
+    method private encap_and_send p dst_eth =
+      Ether.encap p ~dst:dst_eth ~src:my_eth ~ethertype:Ether.ethertype_ip;
+      encapsulated <- encapsulated + 1;
+      self#output 0 p
+
+    method! push port p =
+      if port = 0 then begin
+        (* An IP packet: resolve the destination annotation. *)
+        let dst = (Packet.anno p).Packet.dst_ip in
+        let e = self#entry dst in
+        match e.ae_eth with
+        | Some eth -> self#encap_and_send p eth
+        | None ->
+            (match e.ae_pending with
+            | Some old -> self#drop ~reason:"ARP resolution in progress" old
+            | None -> ());
+            e.ae_pending <- Some p;
+            self#send_query dst
+      end
+      else begin
+        (* An ARP response: learn, and release any held packet. *)
+        responses <- responses + 1;
+        if
+          Packet.length p >= Ether.header_length + Arp.packet_length
+          && Arp.op ~off:Ether.header_length p = Arp.op_reply
+        then begin
+          let ip = Arp.sender_ip ~off:Ether.header_length p in
+          let eth = Arp.sender_eth ~off:Ether.header_length p in
+          let e = self#entry ip in
+          e.ae_eth <- Some eth;
+          match e.ae_pending with
+          | Some held ->
+              e.ae_pending <- None;
+              self#encap_and_send held eth
+          | None -> ()
+        end
+      end
+
+    method! stats =
+      [
+        ("queries", queries);
+        ("responses", responses);
+        ("encapsulated", encapsulated);
+        ("cached", Hashtbl.length table);
+      ]
+  end
+
+class arp_responder name =
+  object (self)
+    inherit E.base name
+    val mutable entries : (Ipaddr.t * Ipaddr.t * Ethaddr.t) list = []
+    val mutable replies = 0
+    method class_name = "ARPResponder"
+
+    method! configure config =
+      let parse_entry arg =
+        let parts = List.filter (( <> ) "") (String.split_on_char ' ' arg) in
+        match parts with
+        | [ prefix; eth ] -> (
+            match (Ipaddr.parse_prefix prefix, Ethaddr.of_string eth) with
+            | Some (addr, mask), Some eth -> Some (addr land mask, mask, eth)
+            | _ -> None)
+        | _ -> None
+      in
+      let parsed = List.map parse_entry (Args.split config) in
+      if parsed = [] || List.exists Option.is_none parsed then
+        Error "ARPResponder expects entries of the form \"IP[/MASK] ETH\""
+      else begin
+        entries <- List.filter_map Fun.id parsed;
+        Ok ()
+      end
+
+    method private lookup ip =
+      List.find_map
+        (fun (addr, mask, eth) ->
+          if ip land mask = addr then Some eth else None)
+        entries
+
+    method! push _ p =
+      if
+        Packet.length p >= Ether.header_length + Arp.packet_length
+        && Headers.Ether.ethertype p = Ether.ethertype_arp
+        && Arp.op ~off:Ether.header_length p = Arp.op_request
+      then begin
+        let target = Arp.target_ip ~off:Ether.header_length p in
+        match self#lookup target with
+        | Some eth ->
+            let reply =
+              Headers.Build.arp_reply ~src_eth:eth ~src_ip:target
+                ~dst_eth:(Arp.sender_eth ~off:Ether.header_length p)
+                ~dst_ip:(Arp.sender_ip ~off:Ether.header_length p)
+            in
+            replies <- replies + 1;
+            self#output 0 reply
+        | None -> self#drop ~reason:"not my address" p
+      end
+      else self#drop ~reason:"not an ARP request" p
+
+    method! stats = [ ("replies", replies) ]
+  end
+
+let register () =
+  def "ARPQuerier" ~ports:"2/1" ~processing:"h/h" ~flow:"xy/x" (fun n ->
+      (new arp_querier n :> E.t));
+  def "ARPResponder" (fun n -> (new arp_responder n :> E.t))

@@ -1,0 +1,345 @@
+(* Basic traffic-handling elements: sinks, switches, queues, RED. *)
+
+open Prelude
+
+(* Discard: a sink. With a push input it just counts; with a pull input it
+   runs as a task, actively pulling packets (as in Click). *)
+class discard name =
+  object (self)
+    inherit E.base name
+    val mutable count = 0
+    val mutable pull_mode = false
+    method class_name = "Discard"
+    method! port_count = "1/0"
+    method! processing = "a/a"
+
+    method! initialize ctx =
+      (* Pull mode iff the upstream output resolved to pull: detect from the
+         graph by asking whether our input peer is a pull output. *)
+      let graph = ctx.E.ic_graph in
+      (match Oclick_graph.Check.resolve_processing graph Registry.spec_table with
+      | Ok r ->
+          let kinds = r.Oclick_graph.Check.input_kind.(ctx.E.ic_index) in
+          if Array.length kinds > 0 && kinds.(0) = Spec.Pull then
+            pull_mode <- true
+      | Error _ -> ());
+      Ok ()
+
+    method! push _ _p = count <- count + 1
+    method! wants_task = pull_mode
+
+    method! run_task =
+      match self#input_pull 0 with
+      | Some _ ->
+          count <- count + 1;
+          true
+      | None -> false
+
+    method! stats = [ ("count", count) ]
+  end
+
+class idle name =
+  object
+    inherit E.base name
+    method class_name = "Idle"
+    method! port_count = "-/-"
+    method! processing = "a/a"
+    method! push _ p = ignore p
+    method! pull _ = None
+    method! configure _ = Ok ()
+  end
+
+class counter name =
+  object (self)
+    inherit E.base name
+    val mutable packets = 0
+    val mutable bytes = 0
+    method class_name = "Counter"
+
+    method! push _ p =
+      packets <- packets + 1;
+      bytes <- bytes + Packet.length p;
+      self#output 0 p
+
+    method! pull _ =
+      match self#input_pull 0 with
+      | Some p ->
+          packets <- packets + 1;
+          bytes <- bytes + Packet.length p;
+          Some p
+      | None -> None
+
+    method! stats = [ ("packets", packets); ("bytes", bytes) ]
+
+    method! write_handler handler _value =
+      match handler with
+      | "reset" ->
+          packets <- 0;
+          bytes <- 0;
+          Ok ()
+      | h -> Error (Printf.sprintf "Counter: no write handler %S" h)
+  end
+
+(* Tee: clones to outputs 1..n-1, sends the original to output 0. *)
+class tee name =
+  object (self)
+    inherit E.base name
+    val mutable configured_n = -1
+    method class_name = "Tee"
+    method! port_count = "1/1-"
+    method! processing = "h/h"
+
+    method! configure config =
+      match Args.split config with
+      | [] -> Ok ()
+      | [ n ] -> (
+          match Args.parse_int n with
+          | Some k when k >= 1 ->
+              configured_n <- k;
+              Ok ()
+          | _ -> Error (Printf.sprintf "bad Tee output count %S" n))
+      | _ -> Error "Tee takes at most one argument"
+
+    method! push _ p =
+      for port = 1 to self#noutputs - 1 do
+        self#output port (Packet.clone p)
+      done;
+      self#output 0 p
+  end
+
+class static_switch name =
+  object (self)
+    inherit E.base name
+    val mutable target = 0
+    method class_name = "StaticSwitch"
+    method! port_count = "1/-"
+    method! processing = "h/h"
+
+    method! configure config =
+      match Args.parse_int config with
+      | Some k -> Ok (target <- k)
+      | None -> Error "StaticSwitch expects an output number"
+
+    method! push _ p =
+      if target >= 0 && target < self#noutputs then self#output target p
+      else self#drop ~reason:"switched off" p
+  end
+
+(* PaintSwitch: route by the paint annotation. *)
+class paint_switch name =
+  object (self)
+    inherit E.base name
+    method class_name = "PaintSwitch"
+    method! port_count = "1/-"
+    method! processing = "h/h"
+    method! configure _ = Ok ()
+
+    method! push _ p =
+      let paint = (Packet.anno p).Packet.paint in
+      if paint >= 0 && paint < self#noutputs then self#output paint p
+      else self#drop ~reason:"no output for paint" p
+  end
+
+class print name =
+  object (self)
+    inherit E.base name
+    val mutable label = ""
+    val mutable limit = 8 (* bytes of payload to show *)
+    val mutable printed = 0
+    method class_name = "Print"
+
+    method! configure config =
+      match Args.split config with
+      | [] -> Ok ()
+      | [ l ] ->
+          label <- l;
+          Ok ()
+      | [ l; n ] -> (
+          label <- l;
+          match Args.parse_int n with
+          | Some k when k >= 0 ->
+              limit <- k;
+              Ok ()
+          | _ -> Error "bad Print byte count")
+      | _ -> Error "Print takes LABEL and optional byte count"
+
+    method private show p =
+      printed <- printed + 1;
+      let n = min limit (Packet.length p) in
+      let hex =
+        String.concat " "
+          (List.init n (fun i -> Printf.sprintf "%02x" (Packet.get_u8 p i)))
+      in
+      Printf.printf "%s: %4d | %s\n" label (Packet.length p) hex
+
+    method! push _ p =
+      self#show p;
+      self#output 0 p
+
+    method! pull _ =
+      match self#input_pull 0 with
+      | Some p ->
+          self#show p;
+          Some p
+      | None -> None
+
+    method! stats = [ ("printed", printed) ]
+  end
+
+class queue name =
+  object (self)
+    inherit E.base name
+    val q : Packet.t Queue.t = Queue.create ()
+    val mutable capacity = 1000
+    val mutable drops = 0
+    val mutable highwater = 0
+    method class_name = "Queue"
+    method! processing = "h/l"
+
+    method! configure config =
+      match Args.split config with
+      | [] -> Ok ()
+      | [ n ] -> (
+          match Args.parse_int n with
+          | Some c when c > 0 ->
+              capacity <- c;
+              Ok ()
+          | _ -> Error (Printf.sprintf "bad Queue capacity %S" n))
+      | _ -> Error "Queue takes at most one argument"
+
+    method! push _ p =
+      self#charge Hooks.W_queue;
+      if Queue.length q >= capacity then begin
+        drops <- drops + 1;
+        self#drop ~reason:"queue full" p
+      end
+      else begin
+        Queue.add p q;
+        highwater <- max highwater (Queue.length q)
+      end
+
+    method! pull _ =
+      self#charge Hooks.W_queue;
+      Queue.take_opt q
+
+    method! stats =
+      [
+        ("length", Queue.length q);
+        ("capacity", capacity);
+        ("drops", drops);
+        ("highwater", highwater);
+      ]
+
+    method! write_handler handler value =
+      match handler with
+      | "capacity" -> (
+          match Args.parse_int value with
+          | Some c when c > 0 ->
+              capacity <- c;
+              Ok ()
+          | _ -> Error "capacity must be a positive integer")
+      | "reset_counts" ->
+          drops <- 0;
+          highwater <- Queue.length q;
+          Ok ()
+      | h -> Error (Printf.sprintf "Queue: no write handler %S" h)
+  end
+
+(* RED dropping ahead of a Queue. Like Click, the element locates its
+   downstream Queue(s) at initialization time and computes the EWMA of
+   their total length on each packet. *)
+class red name =
+  object (self)
+    inherit E.base name
+    val mutable min_thresh = 5
+    val mutable max_thresh = 50
+    val mutable max_p = 0.02
+    val mutable avg = 0.0
+    val mutable drops = 0
+    val mutable queues : E.t list = []
+    val rng = ref 0
+    method class_name = "RED"
+    method! processing = "a/a"
+
+    method! configure config =
+      rng := lcg_seed_of_name name;
+      match Args.split config with
+      | [ mn; mx; p ] -> (
+          match (Args.parse_int mn, Args.parse_int mx, float_of_string_opt p)
+          with
+          | Some mn, Some mx, Some p when 0 <= mn && mn <= mx && p >= 0.0 ->
+              min_thresh <- mn;
+              max_thresh <- mx;
+              max_p <- p;
+              Ok ()
+          | _ -> Error "RED expects MIN_THRESH, MAX_THRESH, MAX_P")
+      | [] -> Ok ()
+      | _ -> Error "RED expects MIN_THRESH, MAX_THRESH, MAX_P"
+
+    method! initialize ctx =
+      (* Breadth-first search downstream for Queue elements. *)
+      let graph = ctx.E.ic_graph in
+      let seen = Hashtbl.create 16 in
+      let rec bfs frontier acc =
+        match frontier with
+        | [] -> acc
+        | i :: rest ->
+            if Hashtbl.mem seen i then bfs rest acc
+            else begin
+              Hashtbl.add seen i ();
+              let e = ctx.E.ic_element i in
+              if String.equal e#class_name "Queue" && i <> ctx.E.ic_index then
+                bfs rest (e :: acc)
+              else
+                let next =
+                  List.map (fun (_, j, _) -> j) (Oclick_graph.Router.outputs_of graph i)
+                in
+                bfs (next @ rest) acc
+            end
+      in
+      queues <- bfs [ ctx.E.ic_index ] [];
+      if queues = [] then Error "RED found no downstream Queue" else Ok ()
+
+    method private queue_length =
+      List.fold_left
+        (fun acc q ->
+          match List.assoc_opt "length" q#stats with
+          | Some n -> acc + n
+          | None -> acc)
+        0 queues
+
+    method private should_drop =
+      let w = 0.25 in
+      avg <- ((1.0 -. w) *. avg) +. (w *. float_of_int self#queue_length);
+      if avg < float_of_int min_thresh then false
+      else if avg >= float_of_int max_thresh then true
+      else begin
+        let fraction =
+          (avg -. float_of_int min_thresh)
+          /. float_of_int (max_thresh - min_thresh)
+        in
+        lcg_float rng < max_p *. fraction
+      end
+
+    method! push _ p =
+      if self#should_drop then begin
+        drops <- drops + 1;
+        self#drop ~reason:"RED early drop" p
+      end
+      else self#output 0 p
+
+    method! stats = [ ("drops", drops) ]
+  end
+
+let register () =
+  def "Discard" ~ports:"1/0" ~processing:"a/a" (fun n -> (new discard n :> E.t));
+  def "Idle" ~ports:"-/-" ~processing:"a/a" (fun n -> (new idle n :> E.t));
+  def "Counter" (fun n -> (new counter n :> E.t));
+  def "Tee" ~ports:"1/1-" ~processing:"h/h" (fun n -> (new tee n :> E.t));
+  def "StaticSwitch" ~ports:"1/-" ~processing:"h/h" (fun n ->
+      (new static_switch n :> E.t));
+  def "PaintSwitch" ~ports:"1/-" ~processing:"h/h" (fun n ->
+      (new paint_switch n :> E.t));
+  def "Print" (fun n -> (new print n :> E.t));
+  def "Queue" ~ports:"1/1" ~processing:"h/l" (fun n -> (new queue n :> E.t));
+  def "RED" (fun n -> (new red n :> E.t))

@@ -1,0 +1,109 @@
+(* The generic classification elements. Each compiles its configuration
+   into a decision tree at configure time and *interprets* that tree per
+   packet (paper Fig. 3a) — the behaviour click-fastclassifier replaces
+   with specialized code.
+
+   [register_fast_classifier] installs a generated class whose instances
+   run the closure-compiled tree instead: this is the runtime half of
+   click-fastclassifier, standing in for Click's dynamic linking of
+   generated C++. *)
+
+open Prelude
+module Tree = Oclick_classifier.Tree
+module Optimize = Oclick_classifier.Optimize
+module Compile = Oclick_classifier.Compile
+
+class virtual tree_classifier name =
+  object (self)
+    inherit E.base name
+    val mutable tree = Tree.leaf_tree Tree.drop 1
+    val mutable dropped = 0
+    method virtual private build_tree : string -> (Tree.t, string) result
+    method! port_count = "1/-"
+    method! processing = "h/h"
+    method tree = tree
+
+    method! configure config =
+      match self#build_tree config with
+      | Error e -> Error e
+      | Ok t ->
+          tree <- Optimize.optimize t;
+          Ok ()
+
+    method! push _ p =
+      let out, visited = Tree.classify_count tree p in
+      self#charge (Hooks.W_classify_interp visited);
+      if out >= 0 && out < self#noutputs then self#output out p
+      else begin
+        dropped <- dropped + 1;
+        self#drop ~reason:"classified to no output" p
+      end
+
+    method! stats =
+      [
+        ("nodes", Tree.node_count tree);
+        ("depth", Tree.depth tree);
+        ("dropped", dropped);
+      ]
+  end
+
+class classifier name =
+  object
+    inherit tree_classifier name
+    method class_name = "Classifier"
+    method private build_tree config =
+      Oclick_classifier.Pattern.tree_of_config config
+  end
+
+class ip_classifier name =
+  object
+    inherit tree_classifier name
+    method class_name = "IPClassifier"
+    method private build_tree config =
+      Oclick_classifier.Filter.ipclassifier_tree config
+  end
+
+class ip_filter name =
+  object
+    inherit tree_classifier name
+    method class_name = "IPFilter"
+    method private build_tree config =
+      Oclick_classifier.Filter.ipfilter_tree config
+  end
+
+(* A FastClassifier instance: the tree is already built and optimized by
+   the tool; classification runs compiled closures. *)
+class fast_classifier cls name (t : Tree.t) =
+  object (self)
+    inherit E.base name
+    val compiled = Compile.compile_count t
+    val mutable dropped = 0
+    method class_name = cls
+    method! port_count = "1/-"
+    method! processing = "h/h"
+    method! configure _ = Ok () (* the tree is baked in *)
+
+    method! push _ p =
+      let out, visited = compiled ~read:(Tree.packet_read p) in
+      self#charge (Hooks.W_classify_compiled visited);
+      if out >= 0 && out < self#noutputs then self#output out p
+      else begin
+        dropped <- dropped + 1;
+        self#drop ~reason:"classified to no output" p
+      end
+
+    method! stats =
+      [ ("nodes", Tree.node_count t); ("dropped", dropped) ]
+  end
+
+let register_fast_classifier ~class_name (t : Tree.t) =
+  def ~replace:true ~ports:"1/-" ~processing:"h/h" class_name (fun n ->
+      (new fast_classifier class_name n t :> E.t))
+
+let register () =
+  def "Classifier" ~ports:"1/-" ~processing:"h/h" (fun n ->
+      (new classifier n :> E.t));
+  def "IPClassifier" ~ports:"1/-" ~processing:"h/h" (fun n ->
+      (new ip_classifier n :> E.t));
+  def "IPFilter" ~ports:"1/-" ~processing:"h/h" (fun n ->
+      (new ip_filter n :> E.t))

@@ -1,0 +1,307 @@
+(* Device and source elements. PollDevice/ToDevice talk to a Netdevice
+   looked up by name at initialization — Click's polling drivers (paper
+   §3); sources drive the pure runtime in tests and examples. *)
+
+open Prelude
+module Ether = Headers.Ether
+
+let classify_link_type p =
+  if Packet.length p >= 6 then begin
+    let dst = Ether.dst p in
+    if Ethaddr.is_broadcast dst then Packet.Broadcast
+    else if Ethaddr.is_group dst then Packet.Multicast
+    else Packet.To_host
+  end
+  else Packet.To_host
+
+class poll_device name =
+  object (self)
+    inherit E.base name
+    val mutable dev_name = ""
+    val mutable dev : Netdevice.t option = None
+    val mutable burst = 8
+    val mutable received = 0
+    val mutable dev_number = 0
+    method class_name = "PollDevice"
+    method! port_count = "0/1"
+    method! processing = "h/h"
+
+    method! configure config =
+      match Args.split config with
+      | [ d ] ->
+          dev_name <- d;
+          Ok ()
+      | [ d; b ] -> (
+          match Args.parse_int b with
+          | Some b when b > 0 ->
+              dev_name <- d;
+              burst <- b;
+              Ok ()
+          | _ -> Error "bad PollDevice burst")
+      | _ -> Error "PollDevice expects DEVNAME [, BURST]"
+
+    method! initialize ctx =
+      match ctx.E.ic_device dev_name with
+      | Some d ->
+          dev <- Some d;
+          dev_number <- Hashtbl.hash dev_name land 0xff;
+          Ok ()
+      | None -> Error (Printf.sprintf "no device named %S" dev_name)
+
+    method! wants_task = true
+
+    method! run_task =
+      match dev with
+      | None -> false
+      | Some d ->
+          let rec loop i did =
+            if i >= burst then did
+            else
+              match d#rx () with
+              | None -> did
+              | Some p ->
+                  received <- received + 1;
+                  let anno = Packet.anno p in
+                  anno.Packet.device <- dev_number;
+                  anno.Packet.link_type <- classify_link_type p;
+                  self#output 0 p;
+                  loop (i + 1) true
+          in
+          loop 0 false
+
+    method! stats = [ ("received", received) ]
+  end
+
+class to_device name =
+  object (self)
+    inherit E.base name
+    val mutable dev_name = ""
+    val mutable dev : Netdevice.t option = None
+    val mutable burst = 8
+    val mutable sent = 0
+    val mutable rejected = 0
+    method class_name = "ToDevice"
+    method! port_count = "1/0"
+    method! processing = "l/h"
+
+    method! configure config =
+      match Args.split config with
+      | [ d ] ->
+          dev_name <- d;
+          Ok ()
+      | [ d; b ] -> (
+          match Args.parse_int b with
+          | Some b when b > 0 ->
+              dev_name <- d;
+              burst <- b;
+              Ok ()
+          | _ -> Error "bad ToDevice burst")
+      | _ -> Error "ToDevice expects DEVNAME [, BURST]"
+
+    method! initialize ctx =
+      match ctx.E.ic_device dev_name with
+      | Some d ->
+          dev <- Some d;
+          Ok ()
+      | None -> Error (Printf.sprintf "no device named %S" dev_name)
+
+    method! wants_task = true
+
+    method! run_task =
+      match dev with
+      | None -> false
+      | Some d ->
+          let rec loop i did =
+            if i >= burst || not d#tx_ready then did
+            else
+              match self#input_pull 0 with
+              | None -> did
+              | Some p ->
+                  if d#tx p then sent <- sent + 1
+                  else begin
+                    rejected <- rejected + 1;
+                    self#drop ~reason:"device transmit ring full" p
+                  end;
+                  loop (i + 1) true
+          in
+          loop 0 false
+
+    method! stats = [ ("sent", sent); ("rejected", rejected) ]
+  end
+
+(* InfiniteSource: pushes copies of a template packet as a task.
+   Keywords: LENGTH (data bytes, default 60), LIMIT (total packets,
+   default unlimited), BURST (per task run, default 1), ACTIVE. *)
+class infinite_source name =
+  object (self)
+    inherit E.base name
+    val mutable length = 60
+    val mutable limit = -1
+    val mutable burst = 1
+    val mutable active = true
+    val mutable sent = 0
+    method class_name = "InfiniteSource"
+    method! port_count = "0/1"
+    method! processing = "h/h"
+
+    method! configure config =
+      let _positional, keywords = parse_positional_and_keywords config in
+      let rec apply = function
+        | [] -> Ok ()
+        | ("LENGTH", v) :: rest -> (
+            match Args.parse_int v with
+            | Some n when n >= 0 ->
+                length <- n;
+                apply rest
+            | _ -> Error "bad LENGTH")
+        | ("LIMIT", v) :: rest -> (
+            match Args.parse_int v with
+            | Some n ->
+                limit <- n;
+                apply rest
+            | _ -> Error "bad LIMIT")
+        | ("BURST", v) :: rest -> (
+            match Args.parse_int v with
+            | Some n when n > 0 ->
+                burst <- n;
+                apply rest
+            | _ -> Error "bad BURST")
+        | ("ACTIVE", v) :: rest -> (
+            match Args.parse_bool v with
+            | Some b ->
+                active <- b;
+                apply rest
+            | _ -> Error "bad ACTIVE")
+        | (k, _) :: _ -> Error (Printf.sprintf "unknown keyword %S" k)
+      in
+      apply keywords
+
+    method! wants_task = true
+
+    method! run_task =
+      if (not active) || (limit >= 0 && sent >= limit) then false
+      else begin
+        let n =
+          if limit < 0 then burst else min burst (limit - sent)
+        in
+        for _ = 1 to n do
+          sent <- sent + 1;
+          self#output 0 (Packet.create length)
+        done;
+        n > 0
+      end
+
+    method! stats = [ ("sent", sent) ]
+
+    method! write_handler handler value =
+      match handler with
+      | "active" -> (
+          match Args.parse_bool value with
+          | Some b ->
+              active <- b;
+              Ok ()
+          | None -> Error "active expects a boolean")
+      | "reset" ->
+          sent <- 0;
+          Ok ()
+      | h -> Error (Printf.sprintf "InfiniteSource: no write handler %S" h)
+  end
+
+(* UDPSource: a source of well-formed Ethernet/IP/UDP test frames, the
+   traffic the paper's source hosts generate (§8.1). *)
+class udp_source name =
+  object (self)
+    inherit E.base name
+    val mutable src_ip = Ipaddr.of_octets 10 0 0 1
+    val mutable dst_ip = Ipaddr.of_octets 10 0 0 2
+    val mutable src_eth = Ethaddr.zero
+    val mutable dst_eth = Ethaddr.zero
+    val mutable payload = 14 (* 64-byte frames like the paper's tests *)
+    val mutable limit = -1
+    val mutable burst = 1
+    val mutable sent = 0
+    method class_name = "UDPSource"
+    method! port_count = "0/1"
+    method! processing = "h/h"
+
+    method! configure config =
+      let _positional, keywords = parse_positional_and_keywords config in
+      let rec apply = function
+        | [] -> Ok ()
+        | ("SRCIP", v) :: rest -> (
+            match Ipaddr.of_string v with
+            | Some a ->
+                src_ip <- a;
+                apply rest
+            | None -> Error "bad SRCIP")
+        | ("DSTIP", v) :: rest -> (
+            match Ipaddr.of_string v with
+            | Some a ->
+                dst_ip <- a;
+                apply rest
+            | None -> Error "bad DSTIP")
+        | ("SRCETH", v) :: rest -> (
+            match Ethaddr.of_string v with
+            | Some a ->
+                src_eth <- a;
+                apply rest
+            | None -> Error "bad SRCETH")
+        | ("DSTETH", v) :: rest -> (
+            match Ethaddr.of_string v with
+            | Some a ->
+                dst_eth <- a;
+                apply rest
+            | None -> Error "bad DSTETH")
+        | ("PAYLOAD", v) :: rest -> (
+            match Args.parse_int v with
+            | Some n when n >= 0 ->
+                payload <- n;
+                apply rest
+            | _ -> Error "bad PAYLOAD")
+        | ("LIMIT", v) :: rest -> (
+            match Args.parse_int v with
+            | Some n ->
+                limit <- n;
+                apply rest
+            | _ -> Error "bad LIMIT")
+        | ("BURST", v) :: rest -> (
+            match Args.parse_int v with
+            | Some n when n > 0 ->
+                burst <- n;
+                apply rest
+            | _ -> Error "bad BURST")
+        | (k, _) :: _ -> Error (Printf.sprintf "unknown keyword %S" k)
+      in
+      apply keywords
+
+    method! wants_task = true
+
+    method! run_task =
+      if limit >= 0 && sent >= limit then false
+      else begin
+        let n = if limit < 0 then burst else min burst (limit - sent) in
+        for _ = 1 to n do
+          sent <- sent + 1;
+          let p =
+            Headers.Build.udp ~src_eth ~dst_eth ~src_ip ~dst_ip
+              ~payload_len:payload ()
+          in
+          self#output 0 p
+        done;
+        n > 0
+      end
+
+    method! stats = [ ("sent", sent) ]
+  end
+
+let register () =
+  def "PollDevice" ~ports:"0/1" ~processing:"h/h" (fun n ->
+      (new poll_device n :> E.t));
+  def "FromDevice" ~ports:"0/1" ~processing:"h/h" (fun n ->
+      (new poll_device n :> E.t));
+  def "ToDevice" ~ports:"1/0" ~processing:"l/h" (fun n ->
+      (new to_device n :> E.t));
+  def "InfiniteSource" ~ports:"0/1" ~processing:"h/h" (fun n ->
+      (new infinite_source n :> E.t));
+  def "UDPSource" ~ports:"0/1" ~processing:"h/h" (fun n ->
+      (new udp_source n :> E.t))

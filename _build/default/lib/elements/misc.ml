@@ -1,0 +1,73 @@
+(* Alignment support and the multi-router RouterLink (paper §7). *)
+
+open Prelude
+
+(* Align(MODULUS, OFFSET): copies packet data so its offset within the
+   machine word satisfies the constraint. The copy is exactly the cost
+   click-align works to avoid inserting unnecessarily (§7.1). *)
+class align name =
+  object (self)
+    inherit E.base name
+    val mutable modulus = 4
+    val mutable offset = 0
+    val mutable copies = 0
+    method class_name = "Align"
+
+    method! configure config =
+      match Args.split config with
+      | [ m; o ] -> (
+          match (Args.parse_int m, Args.parse_int o) with
+          | Some m, Some o when m > 0 && o >= 0 && o < m ->
+              modulus <- m;
+              offset <- o;
+              Ok ()
+          | _ -> Error "Align expects MODULUS, OFFSET with 0 <= OFFSET < MODULUS")
+      | _ -> Error "Align expects MODULUS, OFFSET"
+
+    method private realign p =
+      if Packet.data_offset p mod modulus <> offset then begin
+        Packet.realign p ~modulus ~offset;
+        copies <- copies + 1;
+        self#charge (Hooks.W_copy (Packet.length p))
+      end
+
+    method! push _ p =
+      self#realign p;
+      self#output 0 p
+
+    method! pull _ =
+      match self#input_pull 0 with
+      | Some p ->
+          self#realign p;
+          Some p
+      | None -> None
+
+    method! stats = [ ("copies", copies) ]
+  end
+
+(* AlignmentInfo: a pure information element; click-align appends it so
+   elements can learn what alignment to expect. It has no ports and the
+   runtime accepts any configuration. *)
+class alignment_info name =
+  object
+    inherit E.base name
+    method class_name = "AlignmentInfo"
+    method! port_count = "0/0"
+    method! configure _ = Ok ()
+  end
+
+(* RouterLink: the inter-router connection marker emitted by
+   click-combine (paper §7.2). At run time it is a transparent wire. *)
+class router_link name =
+  object (self)
+    inherit E.base name
+    method class_name = "RouterLink"
+    method! configure _ = Ok ()
+    method! push _ p = self#output 0 p
+    method! pull _ = self#input_pull 0
+  end
+
+let register () =
+  def "Align" (fun n -> (new align n :> E.t));
+  def "AlignmentInfo" ~ports:"0/0" (fun n -> (new alignment_info n :> E.t));
+  def "RouterLink" (fun n -> (new router_link n :> E.t))

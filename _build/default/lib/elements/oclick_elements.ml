@@ -1,0 +1,39 @@
+(** The standard element library.
+
+    Call {!register_all} once at program start to make every class
+    available to the driver and the optimizers (the explicit analogue of
+    Click linking its element object files). *)
+
+module Basic = Basic
+module Ip = Ip
+module Routing = Routing
+module Arp = Arp
+module Classify = Classify
+module Devices = Devices
+module Combos = Combos
+module Misc = Misc
+module Extras = Extras
+module Rewriter = Rewriter
+module Trace_io = Trace_io
+
+let registered = ref false
+
+let register_all () =
+  if not !registered then begin
+    registered := true;
+    Basic.register ();
+    Ip.register ();
+    Routing.register ();
+    Arp.register ();
+    Classify.register ();
+    Devices.register ();
+    Combos.register ();
+    Misc.register ();
+    Extras.register ();
+    Rewriter.register ();
+    Trace_io.register ()
+  end
+
+(** The runtime half of [click-fastclassifier]: installs a generated
+    classifier class running compiled code. *)
+let register_fast_classifier = Classify.register_fast_classifier

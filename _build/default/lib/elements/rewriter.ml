@@ -1,0 +1,185 @@
+(* IPRewriter: flow-based address/port rewriting (NAT). A packet on input
+   0 (the "forward" direction) is matched against the flow table; a new
+   flow gets a mapping from the configured pattern, possibly allocating a
+   source port from a range. Packets on input 1 (replies) are rewritten
+   back through the reverse mapping. IP and transport checksums are kept
+   correct.
+
+   Configuration: "SADDR SPORT DADDR DPORT", each field an address /
+   port / port range ("1024-65535") / "-" to leave the field alone, e.g.
+
+     IPRewriter(18.26.4.24 1024-65535 - -)      // classic NAPT
+*)
+
+open Prelude
+module Ip = Headers.Ip
+module Udp = Headers.Udp
+module Tcp = Headers.Tcp
+
+type field = Keep | Set of int | Port_range of int * int
+
+type flow = {
+  f_saddr : Ipaddr.t;
+  f_sport : int;
+  f_daddr : Ipaddr.t;
+  f_dport : int;
+  f_proto : int;
+}
+
+let parse_field ~is_port s =
+  let s = String.trim s in
+  if String.equal s "-" then Some Keep
+  else if is_port then begin
+    match String.index_opt s '-' with
+    | Some i -> (
+        match
+          ( int_of_string_opt (String.sub s 0 i),
+            int_of_string_opt (String.sub s (i + 1) (String.length s - i - 1))
+          )
+        with
+        | Some lo, Some hi when 0 < lo && lo <= hi && hi < 65536 ->
+            Some (Port_range (lo, hi))
+        | _ -> None)
+    | None -> (
+        match int_of_string_opt s with
+        | Some p when p >= 0 && p < 65536 -> Some (Set p)
+        | _ -> None)
+  end
+  else Option.map (fun a -> Set a) (Ipaddr.of_string s)
+
+class ip_rewriter name =
+  object (self)
+    inherit E.base name
+    val mutable pat_saddr = Keep
+    val mutable pat_sport = Keep
+    val mutable pat_daddr = Keep
+    val mutable pat_dport = Keep
+    val mutable next_port = 0
+    val forward : (flow, flow) Hashtbl.t = Hashtbl.create 64
+    val reverse : (flow, flow) Hashtbl.t = Hashtbl.create 64
+    val mutable drops = 0
+    method class_name = "IPRewriter"
+    method! port_count = "2/1-2"
+    method! processing = "h/h"
+    method! flow_code = "xy/xy"
+
+    method! configure config =
+      let parts =
+        List.filter (( <> ) "") (String.split_on_char ' ' (String.trim config))
+      in
+      match parts with
+      | [ sa; sp; da; dp ] -> (
+          match
+            ( parse_field ~is_port:false sa,
+              parse_field ~is_port:true sp,
+              parse_field ~is_port:false da,
+              parse_field ~is_port:true dp )
+          with
+          | Some a, Some b, Some c, Some d ->
+              pat_saddr <- a;
+              pat_sport <- b;
+              pat_daddr <- c;
+              pat_dport <- d;
+              (match b with Port_range (lo, _) -> next_port <- lo | _ -> ());
+              Ok ()
+          | _ -> Error "IPRewriter: bad pattern field")
+      | _ -> Error "IPRewriter expects \"SADDR SPORT DADDR DPORT\""
+
+    method private flow_of p =
+      if
+        Packet.length p >= Ip.min_header_length + 4
+        && Ip.fragment_offset p = 0
+        && (Ip.protocol p = Ip.proto_tcp || Ip.protocol p = Ip.proto_udp)
+      then begin
+        let l4 = Ip.header_length p in
+        Some
+          {
+            f_saddr = Ip.src p;
+            f_sport = Packet.get_u16 p l4;
+            f_daddr = Ip.dst p;
+            f_dport = Packet.get_u16 p (l4 + 2);
+            f_proto = Ip.protocol p;
+          }
+      end
+      else None
+
+    method private apply_field field current ~alloc =
+      match field with
+      | Keep -> current
+      | Set v -> v
+      | Port_range (lo, hi) ->
+          if alloc then begin
+            let p = next_port in
+            next_port <- (if next_port >= hi then lo else next_port + 1);
+            p
+          end
+          else current
+
+    method private fresh_mapping flow =
+      let mapped =
+        {
+          flow with
+          f_saddr = self#apply_field pat_saddr flow.f_saddr ~alloc:false;
+          f_sport = self#apply_field pat_sport flow.f_sport ~alloc:true;
+          f_daddr = self#apply_field pat_daddr flow.f_daddr ~alloc:false;
+          f_dport = self#apply_field pat_dport flow.f_dport ~alloc:false;
+        }
+      in
+      Hashtbl.replace forward flow mapped;
+      (* the reply direction arrives with src/dst of the mapped flow
+         swapped, and must be rewritten to the original, swapped *)
+      let swap f =
+        {
+          f with
+          f_saddr = f.f_daddr;
+          f_sport = f.f_dport;
+          f_daddr = f.f_saddr;
+          f_dport = f.f_sport;
+        }
+      in
+      Hashtbl.replace reverse (swap mapped) (swap flow);
+      mapped
+
+    method private rewrite p (target : flow) =
+      let l4 = Ip.header_length p in
+      Ip.set_src p target.f_saddr;
+      Ip.set_dst p target.f_daddr;
+      Packet.set_u16 p l4 target.f_sport;
+      Packet.set_u16 p (l4 + 2) target.f_dport;
+      Ip.update_checksum p;
+      self#charge (Hooks.W_checksum (Packet.length p));
+      if Ip.protocol p = Ip.proto_udp then Headers.L4.update_udp p ~ip_off:0
+      else Headers.L4.update_tcp p ~ip_off:0;
+      (Packet.anno p).Packet.dst_ip <- target.f_daddr
+
+    method! push port p =
+      match self#flow_of p with
+      | None ->
+          drops <- drops + 1;
+          self#drop ~reason:"not a rewritable packet" p
+      | Some flow ->
+          if port = 0 then begin
+            let mapped =
+              match Hashtbl.find_opt forward flow with
+              | Some m -> m
+              | None -> self#fresh_mapping flow
+            in
+            self#rewrite p mapped;
+            self#output 0 p
+          end
+          else begin
+            match Hashtbl.find_opt reverse flow with
+            | Some original ->
+                self#rewrite p original;
+                self#output (min 1 (self#noutputs - 1)) p
+            | None ->
+                drops <- drops + 1;
+                self#drop ~reason:"no reverse mapping" p
+          end
+
+    method! stats = [ ("flows", Hashtbl.length forward); ("drops", drops) ]
+  end
+
+let register () =
+  def "IPRewriter" ~ports:"2/1-2" ~processing:"h/h" ~flow:"xy/xy" (fun n ->
+      (new ip_rewriter n :> E.t))

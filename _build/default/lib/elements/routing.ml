@@ -1,0 +1,184 @@
+(* LookupIPRoute: a static routing table with longest-prefix match.
+
+   Configuration: one argument per route, "ADDR/MASK [GW] PORT", e.g.
+   "18.26.4.0/24 1" or "0.0.0.0/0 18.26.4.1 1". The lookup reads the
+   destination-address annotation (set by GetIPAddress) and, when the
+   route has a gateway, rewrites the annotation so ARPQuerier resolves the
+   gateway — exactly Click's LookupIPRoute/StaticIPLookup behaviour. *)
+
+open Prelude
+
+type route = { rt_addr : Ipaddr.t; rt_mask : Ipaddr.t; rt_gw : Ipaddr.t; rt_port : int }
+
+let parse_route arg =
+  let parts = List.filter (( <> ) "") (String.split_on_char ' ' arg) in
+  match parts with
+  | [ prefix; port ] -> (
+      match (Ipaddr.parse_prefix prefix, Args.parse_int port) with
+      | Some (addr, mask), Some port when port >= 0 ->
+          Some { rt_addr = addr land mask; rt_mask = mask; rt_gw = 0; rt_port = port }
+      | _ -> None)
+  | [ prefix; gw; port ] -> (
+      match
+        (Ipaddr.parse_prefix prefix, Ipaddr.of_string gw, Args.parse_int port)
+      with
+      | Some (addr, mask), Some gw, Some port when port >= 0 ->
+          Some { rt_addr = addr land mask; rt_mask = mask; rt_gw = gw; rt_port = port }
+      | _ -> None)
+  | _ -> None
+
+class lookup_ip_route name =
+  object (self)
+    inherit E.base name
+    val mutable routes : route array = [||]
+    val mutable misses = 0
+    method class_name = "LookupIPRoute"
+    method! port_count = "1/-"
+    method! processing = "h/h"
+
+    method! configure config =
+      let args = Args.split config in
+      let parsed = List.map parse_route args in
+      if List.exists Option.is_none parsed then
+        Error "LookupIPRoute: bad route (want ADDR/MASK [GW] PORT)"
+      else begin
+        let rs = List.filter_map Fun.id parsed in
+        (* Longest prefix first so a linear scan is longest-prefix match. *)
+        let more_specific a b = Int.compare b.rt_mask a.rt_mask in
+        routes <- Array.of_list (List.stable_sort more_specific rs);
+        Ok ()
+      end
+
+    method! push _ p =
+      let dst = (Packet.anno p).Packet.dst_ip in
+      let n = Array.length routes in
+      let rec scan i =
+        if i >= n then None
+        else
+          let r = routes.(i) in
+          if dst land r.rt_mask = r.rt_addr then Some (r, i + 1) else scan (i + 1)
+      in
+      match scan 0 with
+      | Some (r, scanned) ->
+          self#charge (Hooks.W_lookup scanned);
+          if r.rt_gw <> 0 then (Packet.anno p).Packet.dst_ip <- r.rt_gw;
+          if r.rt_port < self#noutputs then self#output r.rt_port p
+          else self#drop ~reason:"route to unconnected port" p
+      | None ->
+          self#charge (Hooks.W_lookup n);
+          misses <- misses + 1;
+          self#drop ~reason:"no route" p
+
+    method! stats = [ ("routes", Array.length routes); ("misses", misses) ]
+  end
+
+(* A binary trie keyed by address bits, for longest-prefix match in
+   O(prefix length) instead of O(table size). *)
+module Radix = struct
+  type node = {
+    mutable zero : node option;
+    mutable one : node option;
+    mutable value : (Ipaddr.t * int) option; (* gateway, port *)
+  }
+
+  let make () = { zero = None; one = None; value = None }
+  let bit addr i = (addr lsr (31 - i)) land 1
+
+  let insert root ~addr ~prefix_len ~gw ~port =
+    let rec go node i =
+      if i = prefix_len then begin
+        (* first route wins among duplicates, like the linear table *)
+        if node.value = None then node.value <- Some (gw, port)
+      end
+      else begin
+        let next =
+          if bit addr i = 0 then (
+            match node.zero with
+            | Some n -> n
+            | None ->
+                let n = make () in
+                node.zero <- Some n;
+                n)
+          else
+            match node.one with
+            | Some n -> n
+            | None ->
+                let n = make () in
+                node.one <- Some n;
+                n
+        in
+        go next (i + 1)
+      end
+    in
+    go root 0
+
+  (* Returns (best match, nodes visited). *)
+  let lookup root addr =
+    let rec go node i best steps =
+      let best = match node.value with Some v -> Some v | None -> best in
+      if i >= 32 then (best, steps)
+      else
+        match if bit addr i = 0 then node.zero else node.one with
+        | Some next -> go next (i + 1) best (steps + 1)
+        | None -> (best, steps)
+    in
+    go root 0 None 1
+end
+
+(* RadixIPLookup: same configuration and behaviour as LookupIPRoute, with
+   a trie instead of a linear scan — the kind of
+   specialized-vs-general-purpose trade the paper discusses in §3. *)
+class radix_ip_lookup name =
+  object (self)
+    inherit E.base name
+    val root = Radix.make ()
+    val mutable nroutes = 0
+    val mutable misses = 0
+    method class_name = "RadixIPLookup"
+    method! port_count = "1/-"
+    method! processing = "h/h"
+
+    method! configure config =
+      let args = Args.split config in
+      let parsed = List.map parse_route args in
+      if List.exists Option.is_none parsed then
+        Error "RadixIPLookup: bad route (want ADDR/MASK [GW] PORT)"
+      else begin
+        List.iter
+          (fun r ->
+            let r = Option.get r in
+            match Ipaddr.prefix_length_of_netmask r.rt_mask with
+            | Some len ->
+                nroutes <- nroutes + 1;
+                Radix.insert root ~addr:r.rt_addr ~prefix_len:len ~gw:r.rt_gw
+                  ~port:r.rt_port
+            | None -> ())
+          parsed;
+        if nroutes < List.length parsed then
+          Error "RadixIPLookup: non-contiguous netmask"
+        else Ok ()
+      end
+
+    method! push _ p =
+      let dst = (Packet.anno p).Packet.dst_ip in
+      let best, steps = Radix.lookup root dst in
+      self#charge (Hooks.W_lookup steps);
+      match best with
+      | Some (gw, port) ->
+          if gw <> 0 then (Packet.anno p).Packet.dst_ip <- gw;
+          if port < self#noutputs then self#output port p
+          else self#drop ~reason:"route to unconnected port" p
+      | None ->
+          misses <- misses + 1;
+          self#drop ~reason:"no route" p
+
+    method! stats = [ ("routes", nroutes); ("misses", misses) ]
+  end
+
+let register () =
+  def "LookupIPRoute" ~ports:"1/-" ~processing:"h/h" (fun n ->
+      (new lookup_ip_route n :> E.t));
+  def "StaticIPLookup" ~ports:"1/-" ~processing:"h/h" (fun n ->
+      (new lookup_ip_route n :> E.t));
+  def "RadixIPLookup" ~ports:"1/-" ~processing:"h/h" (fun n ->
+      (new radix_ip_lookup n :> E.t))

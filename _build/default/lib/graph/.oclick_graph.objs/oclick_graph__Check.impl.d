@@ -1,0 +1,1 @@
+lib/graph/check.ml: Array List Printf Router Spec

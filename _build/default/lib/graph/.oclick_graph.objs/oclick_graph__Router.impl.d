@@ -1,0 +1,1 @@
+lib/graph/router.ml: Array Hashtbl Int List Oclick_lang Printf String

@@ -1,0 +1,1 @@
+lib/graph/router.mli: Oclick_lang

@@ -1,0 +1,168 @@
+type resolved = {
+  input_kind : Spec.port_kind array array;
+  output_kind : Spec.port_kind array array;
+}
+
+let spec_or_default (table : Spec.table) cls =
+  match table cls with
+  | Some s -> s
+  | None -> Spec.make ~ports:"-/-" ~processing:"a/a" cls
+
+(* Initial per-port kinds from the specification table. Arrays are sized by
+   the ports actually used in the graph. *)
+let initial_kinds router table =
+  let n = List.fold_left max 0 (Router.indices router) + 1 in
+  let input_kind = Array.make n [||] and output_kind = Array.make n [||] in
+  List.iter
+    (fun i ->
+      let spec = spec_or_default table (Router.class_of router i) in
+      input_kind.(i) <-
+        Array.init (Router.input_port_count router i) (fun p ->
+            Spec.input_processing spec p);
+      output_kind.(i) <-
+        Array.init (Router.output_port_count router i) (fun p ->
+            Spec.output_processing spec p))
+    (Router.indices router);
+  { input_kind; output_kind }
+
+let resolve_processing router table =
+  let r = initial_kinds router table in
+  let errors = ref [] in
+  let err fmt = Printf.ksprintf (fun s -> errors := s :: !errors) fmt in
+  (* Remember which ports were agnostic in the spec: only those may change. *)
+  let was_agnostic_in = Array.map (Array.map (( = ) Spec.Agnostic)) r.input_kind
+  and was_agnostic_out =
+    Array.map (Array.map (( = ) Spec.Agnostic)) r.output_kind
+  in
+  let changed = ref true in
+  let assign_element i kind =
+    (* All agnostic ports of one element resolve alike. *)
+    Array.iteri
+      (fun p was ->
+        if was && r.input_kind.(i).(p) = Spec.Agnostic then begin
+          r.input_kind.(i).(p) <- kind;
+          changed := true
+        end)
+      was_agnostic_in.(i);
+    Array.iteri
+      (fun p was ->
+        if was && r.output_kind.(i).(p) = Spec.Agnostic then begin
+          r.output_kind.(i).(p) <- kind;
+          changed := true
+        end)
+      was_agnostic_out.(i)
+  in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun (h : Router.hookup) ->
+        let ok = r.output_kind.(h.from_idx).(h.from_port)
+        and ik = r.input_kind.(h.to_idx).(h.to_port) in
+        match (ok, ik) with
+        | Spec.Push, Spec.Pull | Spec.Pull, Spec.Push ->
+            err "%s[%d] -> [%d]%s: %s output connected to %s input"
+              (Router.name router h.from_idx)
+              h.from_port h.to_port
+              (Router.name router h.to_idx)
+              (Spec.kind_to_string ok) (Spec.kind_to_string ik)
+        | Spec.Agnostic, (Spec.Push | Spec.Pull) ->
+            assign_element h.from_idx ik
+        | (Spec.Push | Spec.Pull), Spec.Agnostic ->
+            assign_element h.to_idx ok
+        | Spec.Push, Spec.Push | Spec.Pull, Spec.Pull
+        | Spec.Agnostic, Spec.Agnostic ->
+            ())
+      (Router.hookups router)
+  done;
+  (* Remaining agnostic chains default to push, as in Click. *)
+  List.iter
+    (fun i ->
+      Array.iteri
+        (fun p k ->
+          if k = Spec.Agnostic then r.input_kind.(i).(p) <- Spec.Push)
+        r.input_kind.(i);
+      Array.iteri
+        (fun p k ->
+          if k = Spec.Agnostic then r.output_kind.(i).(p) <- Spec.Push)
+        r.output_kind.(i))
+    (Router.indices router);
+  if !errors = [] then Ok r else Error (List.rev !errors)
+
+let check router table =
+  let errors = ref [] in
+  let err fmt = Printf.ksprintf (fun s -> errors := s :: !errors) fmt in
+  (* Classes and port counts. *)
+  List.iter
+    (fun i ->
+      let cls = Router.class_of router i in
+      match table cls with
+      | None -> err "%s: unknown element class %S" (Router.name router i) cls
+      | Some spec -> (
+          match Spec.parse_port_counts spec.Spec.s_ports with
+          | None ->
+              err "class %s: malformed port-count spec %S" cls
+                spec.Spec.s_ports
+          | Some (ins, outs) ->
+              let nin = Router.input_port_count router i
+              and nout = Router.output_port_count router i in
+              if not (Spec.in_range ins nin) then
+                err "%s: %d input ports, but class %s allows %s"
+                  (Router.name router i) nin cls spec.Spec.s_ports;
+              if not (Spec.in_range outs nout) then
+                err "%s: %d output ports, but class %s allows %s"
+                  (Router.name router i) nout cls spec.Spec.s_ports;
+              (* No gaps: every port below the max used must be connected,
+                 and at least the class's minimum must be present. *)
+              let have_out = Array.make nout false
+              and have_in = Array.make nin false in
+              List.iter
+                (fun (p, _, _) -> have_out.(p) <- true)
+                (Router.outputs_of router i);
+              List.iter
+                (fun (p, _, _) -> have_in.(p) <- true)
+                (Router.inputs_of router i);
+              Array.iteri
+                (fun p c ->
+                  if not c then
+                    err "%s: output port %d unconnected" (Router.name router i) p)
+                have_out;
+              Array.iteri
+                (fun p c ->
+                  if not c then
+                    err "%s: input port %d unconnected" (Router.name router i) p)
+                have_in;
+              if nin < ins.Spec.lo then
+                err "%s: input ports %d..%d unconnected" (Router.name router i)
+                  nin (ins.Spec.lo - 1);
+              if nout < outs.Spec.lo then
+                err "%s: output ports %d..%d unconnected" (Router.name router i)
+                  nout (outs.Spec.lo - 1)))
+    (Router.indices router);
+  (* Push outputs and pull inputs are used exactly once. *)
+  (match resolve_processing router table with
+  | Error msgs -> List.iter (fun m -> errors := m :: !errors) msgs
+  | Ok r ->
+      List.iter
+        (fun i ->
+          let count_out = Array.make (Router.output_port_count router i) 0
+          and count_in = Array.make (Router.input_port_count router i) 0 in
+          List.iter
+            (fun (p, _, _) -> count_out.(p) <- count_out.(p) + 1)
+            (Router.outputs_of router i);
+          List.iter
+            (fun (p, _, _) -> count_in.(p) <- count_in.(p) + 1)
+            (Router.inputs_of router i);
+          Array.iteri
+            (fun p c ->
+              if c > 1 && r.output_kind.(i).(p) = Spec.Push then
+                err "%s: push output port %d connected %d times"
+                  (Router.name router i) p c)
+            count_out;
+          Array.iteri
+            (fun p c ->
+              if c > 1 && r.input_kind.(i).(p) = Spec.Pull then
+                err "%s: pull input port %d connected %d times"
+                  (Router.name router i) p c)
+            count_in)
+        (Router.indices router));
+  List.rev !errors

@@ -1,0 +1,25 @@
+(** Configuration checking and push/pull resolution (the [click-check]
+    analysis).
+
+    Given the external specification table, verifies that a router graph is
+    well-formed and resolves every agnostic port to push or pull. The same
+    resolution drives [click-devirtualize], which must compile different
+    code for push and pull ports (paper §5.3). *)
+
+type resolved = {
+  input_kind : Spec.port_kind array array;
+      (** [input_kind.(idx).(port)], with [Agnostic] already resolved *)
+  output_kind : Spec.port_kind array array;
+}
+
+val resolve_processing :
+  Router.t -> Spec.table -> (resolved, string list) result
+(** Fixpoint resolution. Agnostic ports adopt the processing of their peers;
+    within one element, all agnostic ports resolve alike; chains that remain
+    agnostic default to push. Unknown classes are treated as fully agnostic
+    ["-/-"] elements here (check reports them separately). *)
+
+val check : Router.t -> Spec.table -> string list
+(** All configuration errors: unknown classes, port counts outside the
+    class's declared range, unconnected ports, push outputs or pull inputs
+    used more than once, and push/pull conflicts. Empty means valid. *)

@@ -1,0 +1,295 @@
+module Ast = Oclick_lang.Ast
+module Archive = Oclick_lang.Archive
+
+type element = {
+  mutable el_name : string;
+  mutable el_class : string;
+  mutable el_config : string;
+  mutable el_live : bool;
+}
+
+type hookup = { from_idx : int; from_port : int; to_idx : int; to_port : int }
+
+type t = {
+  mutable elements : element array;
+  mutable count : int;
+  index : (string, int) Hashtbl.t;
+  mutable hookup_list : hookup list; (* reversed insertion order *)
+  mutable requirements : string list;
+  mutable archive_members : Archive.t;
+  mutable adj_dirty : bool;
+  mutable out_adj : (int * int * int) list array;
+  mutable in_adj : (int * int * int) list array;
+}
+
+let create () =
+  {
+    elements = Array.make 16 { el_name = ""; el_class = ""; el_config = ""; el_live = false };
+    count = 0;
+    index = Hashtbl.create 64;
+    hookup_list = [];
+    requirements = [];
+    archive_members = [];
+    adj_dirty = true;
+    out_adj = [||];
+    in_adj = [||];
+  }
+
+let size t =
+  let n = ref 0 in
+  for i = 0 to t.count - 1 do
+    if t.elements.(i).el_live then incr n
+  done;
+  !n
+
+let indices t =
+  let acc = ref [] in
+  for i = t.count - 1 downto 0 do
+    if t.elements.(i).el_live then acc := i :: !acc
+  done;
+  !acc
+
+let check_idx t i =
+  if i < 0 || i >= t.count || not t.elements.(i).el_live then
+    invalid_arg (Printf.sprintf "Router: dead or invalid element index %d" i)
+
+let name t i =
+  check_idx t i;
+  t.elements.(i).el_name
+
+let class_of t i =
+  check_idx t i;
+  t.elements.(i).el_class
+
+let config t i =
+  check_idx t i;
+  t.elements.(i).el_config
+
+let set_class t i c =
+  check_idx t i;
+  t.elements.(i).el_class <- c
+
+let set_config t i c =
+  check_idx t i;
+  t.elements.(i).el_config <- c
+
+let find t n = Hashtbl.find_opt t.index n
+let is_live t i = i >= 0 && i < t.count && t.elements.(i).el_live
+
+let add_element t ~name ~cls ~config =
+  if Hashtbl.mem t.index name then
+    invalid_arg (Printf.sprintf "Router.add_element: name %S taken" name);
+  if t.count = Array.length t.elements then begin
+    let bigger = Array.make (2 * t.count) t.elements.(0) in
+    Array.blit t.elements 0 bigger 0 t.count;
+    t.elements <- bigger
+  end;
+  t.elements.(t.count) <-
+    { el_name = name; el_class = cls; el_config = config; el_live = true };
+  Hashtbl.replace t.index name t.count;
+  t.count <- t.count + 1;
+  t.adj_dirty <- true;
+  t.count - 1
+
+let fresh_name t base =
+  if not (Hashtbl.mem t.index base) then base
+  else begin
+    let rec try_n n =
+      let candidate = Printf.sprintf "%s@%d" base n in
+      if Hashtbl.mem t.index candidate then try_n (n + 1) else candidate
+    in
+    try_n 1
+  end
+
+let remove_element t i =
+  check_idx t i;
+  Hashtbl.remove t.index t.elements.(i).el_name;
+  t.elements.(i).el_live <- false;
+  t.hookup_list <-
+    List.filter (fun h -> h.from_idx <> i && h.to_idx <> i) t.hookup_list;
+  t.adj_dirty <- true
+
+let hookups t = List.rev t.hookup_list
+
+let add_hookup t h =
+  check_idx t h.from_idx;
+  check_idx t h.to_idx;
+  if h.from_port < 0 || h.to_port < 0 then invalid_arg "Router.add_hookup";
+  t.hookup_list <- h :: t.hookup_list;
+  t.adj_dirty <- true
+
+let remove_hookup t h =
+  let rec drop_first = function
+    | [] -> []
+    | x :: rest -> if x = h then rest else x :: drop_first rest
+  in
+  t.hookup_list <- drop_first t.hookup_list;
+  t.adj_dirty <- true
+
+let ensure_adj t =
+  if t.adj_dirty then begin
+    let out_adj = Array.make (max t.count 1) [] in
+    let in_adj = Array.make (max t.count 1) [] in
+    List.iter
+      (fun h ->
+        out_adj.(h.from_idx) <-
+          (h.from_port, h.to_idx, h.to_port) :: out_adj.(h.from_idx);
+        in_adj.(h.to_idx) <-
+          (h.to_port, h.from_idx, h.from_port) :: in_adj.(h.to_idx))
+      t.hookup_list;
+    let by_port (p1, _, _) (p2, _, _) = Int.compare p1 p2 in
+    Array.iteri (fun i l -> out_adj.(i) <- List.stable_sort by_port l) out_adj;
+    Array.iteri (fun i l -> in_adj.(i) <- List.stable_sort by_port l) in_adj;
+    t.out_adj <- out_adj;
+    t.in_adj <- in_adj;
+    t.adj_dirty <- false
+  end
+
+let outputs_of t i =
+  check_idx t i;
+  ensure_adj t;
+  t.out_adj.(i)
+
+let inputs_of t i =
+  check_idx t i;
+  ensure_adj t;
+  t.in_adj.(i)
+
+let output_port_count t i =
+  List.fold_left (fun acc (p, _, _) -> max acc (p + 1)) 0 (outputs_of t i)
+
+let input_port_count t i =
+  List.fold_left (fun acc (p, _, _) -> max acc (p + 1)) 0 (inputs_of t i)
+
+let requirements t = List.rev t.requirements
+
+let add_requirement t r =
+  if not (List.mem r t.requirements) then
+    t.requirements <- r :: t.requirements
+
+let archive t = t.archive_members
+
+let set_archive_member t ~name ~body =
+  t.archive_members <- Archive.add t.archive_members ~name ~body
+
+let of_ast (ast : Ast.t) =
+  let t = create () in
+  let compound =
+    List.find_opt
+      (fun (e : Ast.element) ->
+        match e.e_class with Ast.Ccompound _ -> true | Ast.Cname _ -> false)
+      ast.elements
+  in
+  match (compound, ast.classes) with
+  | Some e, _ ->
+      Error
+        (Printf.sprintf "element %s has a compound class; flatten first"
+           e.e_name)
+  | None, _ :: _ -> Error "configuration has elementclass definitions; flatten first"
+  | None, [] -> (
+      List.iter
+        (fun (e : Ast.element) ->
+          ignore
+            (add_element t ~name:e.e_name
+               ~cls:(Ast.class_name e.e_class)
+               ~config:e.e_config))
+        ast.elements;
+      let missing = ref None in
+      List.iter
+        (fun (c : Ast.connection) ->
+          match (find t c.c_from, find t c.c_to) with
+          | Some f, Some x ->
+              add_hookup t
+                {
+                  from_idx = f;
+                  from_port = c.c_from_port;
+                  to_idx = x;
+                  to_port = c.c_to_port;
+                }
+          | None, _ -> if !missing = None then missing := Some c.c_from
+          | _, None -> if !missing = None then missing := Some c.c_to)
+        ast.connections;
+      List.iter (add_requirement t) ast.requirements;
+      match !missing with
+      | Some n -> Error (Printf.sprintf "connection references unknown element %S" n)
+      | None -> Ok t)
+
+let of_ast_exn ast =
+  match of_ast ast with Ok t -> t | Error msg -> failwith msg
+
+let to_ast t =
+  let elements =
+    List.map
+      (fun i ->
+        {
+          Ast.e_name = name t i;
+          e_class = Ast.Cname (class_of t i);
+          e_config = config t i;
+        })
+      (indices t)
+  in
+  let connections =
+    List.map
+      (fun h ->
+        {
+          Ast.c_from = name t h.from_idx;
+          c_from_port = h.from_port;
+          c_to = name t h.to_idx;
+          c_to_port = h.to_port;
+        })
+      (hookups t)
+  in
+  { Ast.elements; connections; classes = []; requirements = requirements t }
+
+let parse_string s =
+  let members, source =
+    if Archive.is_archive s then
+      match Archive.parse s with
+      | Ok m -> (m, Archive.config m)
+      | Error e -> ([], s ^ e) (* force a parse error below with context *)
+    else ([], s)
+  in
+  match Oclick_lang.Parser.parse source with
+  | Error e -> Error e
+  | Ok ast -> (
+      match Oclick_lang.Flatten.flatten ast with
+      | Error e -> Error e
+      | Ok flat -> (
+          match of_ast flat with
+          | Error e -> Error e
+          | Ok t ->
+              List.iter
+                (fun (m : Archive.member) ->
+                  if not (String.equal m.m_name "config") then
+                    set_archive_member t ~name:m.m_name ~body:m.m_body)
+                members;
+              Ok t))
+
+let to_string t =
+  let cfg = Oclick_lang.Printer.to_string (to_ast t) in
+  match t.archive_members with
+  | [] -> cfg
+  | members -> Archive.to_string (Archive.with_config members cfg)
+
+let copy t =
+  let t' = create () in
+  List.iter
+    (fun i ->
+      ignore
+        (add_element t' ~name:(name t i) ~cls:(class_of t i)
+           ~config:(config t i)))
+    (indices t);
+  (* Indices may differ if the source had dead slots; remap by name. *)
+  List.iter
+    (fun h ->
+      match
+        (find t' (name t h.from_idx), find t' (name t h.to_idx))
+      with
+      | Some f, Some x ->
+          add_hookup t'
+            { from_idx = f; from_port = h.from_port; to_idx = x; to_port = h.to_port }
+      | _ -> assert false)
+    (hookups t);
+  List.iter (add_requirement t') (requirements t);
+  t'.archive_members <- t.archive_members;
+  t'

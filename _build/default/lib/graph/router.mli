@@ -1,0 +1,79 @@
+(** The router graph the optimizers manipulate.
+
+    A mutable graph of elements (vertices) and hookups (directed port-to-port
+    edges), converted from and to the language AST. The configuration must
+    be flattened first: compound classes are rejected. The graph also
+    carries the configuration's requirements and archive members so tools
+    can attach generated code (paper §5.1, §5.2). *)
+
+type t
+
+(** {2 Construction and conversion} *)
+
+val of_ast : Oclick_lang.Ast.t -> (t, string) result
+(** Fails if the AST still contains compound classes or if a connection
+    references an undeclared element. *)
+
+val of_ast_exn : Oclick_lang.Ast.t -> t
+val to_ast : t -> Oclick_lang.Ast.t
+val parse_string : string -> (t, string) result
+(** Parse, flatten, and convert; convenience for tools. Accepts archives
+    (the ["config"] member is used and other members are preserved). *)
+
+val to_string : t -> string
+(** Render via {!to_ast}; if the archive has non-config members the result
+    is an archive, otherwise plain configuration text. *)
+
+(** {2 Elements} *)
+
+val size : t -> int
+(** Number of live elements. *)
+
+val indices : t -> int list
+(** Indices of live elements, in insertion order. *)
+
+val name : t -> int -> string
+val class_of : t -> int -> string
+val config : t -> int -> string
+val set_class : t -> int -> string -> unit
+val set_config : t -> int -> string -> unit
+val find : t -> string -> int option
+val is_live : t -> int -> bool
+
+val add_element : t -> name:string -> cls:string -> config:string -> int
+(** Returns the new element's index. Raises [Invalid_argument] if the name
+    is taken; use {!fresh_name}. *)
+
+val fresh_name : t -> string -> string
+(** [fresh_name t base] is [base] if free, otherwise [base@@N]. *)
+
+val remove_element : t -> int -> unit
+(** Removes the element and every hookup touching it. *)
+
+(** {2 Hookups} *)
+
+type hookup = { from_idx : int; from_port : int; to_idx : int; to_port : int }
+
+val hookups : t -> hookup list
+val add_hookup : t -> hookup -> unit
+val remove_hookup : t -> hookup -> unit
+
+val outputs_of : t -> int -> (int * int * int) list
+(** [(from_port, to_idx, to_port)] for each hookup leaving the element,
+    sorted by port. *)
+
+val inputs_of : t -> int -> (int * int * int) list
+(** [(to_port, from_idx, from_port)] for each hookup entering the element,
+    sorted by port. *)
+
+val output_port_count : t -> int -> int
+val input_port_count : t -> int -> int
+
+(** {2 Whole-configuration data} *)
+
+val requirements : t -> string list
+val add_requirement : t -> string -> unit
+val archive : t -> Oclick_lang.Archive.t
+val set_archive_member : t -> name:string -> body:string -> unit
+val copy : t -> t
+(** A deep, independent copy. *)

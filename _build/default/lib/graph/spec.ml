@@ -1,0 +1,99 @@
+type port_kind = Push | Pull | Agnostic
+
+type t = {
+  s_class : string;
+  s_ports : string;
+  s_processing : string;
+  s_flow : string;
+}
+
+type table = string -> t option
+
+let make ?(ports = "1/1") ?(processing = "a/a") ?(flow = "x/x") s_class =
+  { s_class; s_ports = ports; s_processing = processing; s_flow = flow }
+
+type range = { lo : int; hi : int option }
+
+let parse_range s =
+  let s = String.trim s in
+  if String.equal s "-" then Some { lo = 0; hi = None }
+  else
+    match String.index_opt s '-' with
+    | None -> (
+        match int_of_string_opt s with
+        | Some n when n >= 0 -> Some { lo = n; hi = Some n }
+        | _ -> None)
+    | Some i -> (
+        let a = String.sub s 0 i in
+        let b = String.sub s (i + 1) (String.length s - i - 1) in
+        match int_of_string_opt a with
+        | Some lo when lo >= 0 ->
+            if String.equal b "" then Some { lo; hi = None }
+            else (
+              match int_of_string_opt b with
+              | Some hi when hi >= lo -> Some { lo; hi = Some hi }
+              | _ -> None)
+        | _ -> None)
+
+let parse_port_counts s =
+  match String.index_opt s '/' with
+  | None -> None
+  | Some i -> (
+      let ins = String.sub s 0 i in
+      let outs = String.sub s (i + 1) (String.length s - i - 1) in
+      match (parse_range ins, parse_range outs) with
+      | Some a, Some b -> Some (a, b)
+      | _ -> None)
+
+let in_range r n =
+  n >= r.lo && match r.hi with None -> true | Some hi -> n <= hi
+
+let valid_processing_half h =
+  String.length h > 0
+  && String.for_all (fun c -> c = 'h' || c = 'l' || c = 'a') h
+
+let parse_processing s =
+  match String.index_opt s '/' with
+  | None -> None
+  | Some i ->
+      let ins = String.sub s 0 i in
+      let outs = String.sub s (i + 1) (String.length s - i - 1) in
+      if valid_processing_half ins && valid_processing_half outs then
+        Some (ins, outs)
+      else None
+
+let port_processing ~code i =
+  let n = String.length code in
+  let c = if n = 0 then 'a' else if i < n then code.[i] else code.[n - 1] in
+  match c with 'h' -> Push | 'l' -> Pull | _ -> Agnostic
+
+let halves spec =
+  match parse_processing spec.s_processing with
+  | Some (a, b) -> (a, b)
+  | None -> ("a", "a")
+
+let input_processing spec i = port_processing ~code:(fst (halves spec)) i
+let output_processing spec i = port_processing ~code:(snd (halves spec)) i
+
+let flow_halves spec =
+  match String.index_opt spec.s_flow '/' with
+  | None -> ("x", "x")
+  | Some i ->
+      let a = String.sub spec.s_flow 0 i in
+      let b =
+        String.sub spec.s_flow (i + 1) (String.length spec.s_flow - i - 1)
+      in
+      ((if a = "" then "x" else a), if b = "" then "x" else b)
+
+let code_char code i =
+  let n = String.length code in
+  if n = 0 then 'x' else if i < n then code.[i] else code.[n - 1]
+
+let flows_to spec ~input ~output =
+  let ins, outs = flow_halves spec in
+  code_char ins input = code_char outs output
+
+let kind_to_string = function
+  | Push -> "push"
+  | Pull -> "pull"
+  | Agnostic -> "agnostic"

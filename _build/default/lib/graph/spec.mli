@@ -1,0 +1,58 @@
+(** External element-class specifications (paper §5.3).
+
+    Optimizers never link with element implementations; instead each
+    element class exports a small textual specification — class name, port
+    counts, processing code, flow code — that the tools read. This module
+    defines that specification and its little languages:
+
+    - {b port counts} such as ["1/1"], ["1/2"], ["1/-"], ["1-/1"];
+    - {b processing codes} such as ["h/h"], ["l/l"], ["a/ah"] where
+      ['h'] is push, ['l'] is pull, ['a'] is agnostic, and the last
+      letter repeats for any remaining ports;
+    - {b flow codes} such as ["x/x"] or ["xy/x"]: an input flows to an
+      output iff their letters match. *)
+
+type port_kind = Push | Pull | Agnostic
+
+type t = {
+  s_class : string;
+  s_ports : string;
+  s_processing : string;
+  s_flow : string;
+}
+
+type table = string -> t option
+(** Lookup by class name; [None] means unknown class. *)
+
+val make :
+  ?ports:string -> ?processing:string -> ?flow:string -> string -> t
+(** Defaults: ports ["1/1"], processing ["a/a"], flow ["x/x"]. *)
+
+(** {2 Port counts} *)
+
+type range = { lo : int; hi : int option }
+
+val parse_port_counts : string -> (range * range) option
+(** [parse_port_counts "1/2-"] = inputs exactly 1, outputs 2 or more. *)
+
+val in_range : range -> int -> bool
+
+(** {2 Processing codes} *)
+
+val parse_processing : string -> (string * string) option
+(** Splits at ['/']; both halves non-empty and made of [h], [l], [a]. *)
+
+val port_processing : code:string -> int -> port_kind
+(** The kind of port [i] given one half of a processing code; the last
+    letter repeats. *)
+
+val input_processing : t -> int -> port_kind
+val output_processing : t -> int -> port_kind
+
+(** {2 Flow codes} *)
+
+val flows_to : t -> input:int -> output:int -> bool
+(** Whether packets arriving on [input] can leave via [output],
+    according to the flow code. *)
+
+val kind_to_string : port_kind -> string

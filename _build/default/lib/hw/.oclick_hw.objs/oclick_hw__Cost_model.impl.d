@@ -1,0 +1,1 @@
+lib/hw/cost_model.ml: Btb Hashtbl Oclick_runtime String

@@ -1,0 +1,1 @@
+lib/hw/engine.ml: Array

@@ -1,0 +1,1 @@
+lib/hw/host.ml: Engine Hashtbl Oclick_packet Platform

@@ -1,0 +1,1 @@
+lib/hw/host.mli: Engine Oclick_packet Platform

@@ -1,0 +1,1 @@
+lib/hw/nic.ml: Engine Oclick_packet Pci Platform Queue

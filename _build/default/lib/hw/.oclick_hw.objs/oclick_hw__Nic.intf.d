@@ -1,0 +1,1 @@
+lib/hw/nic.mli: Engine Oclick_packet Oclick_runtime Pci Platform

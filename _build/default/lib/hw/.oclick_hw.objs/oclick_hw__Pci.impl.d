@@ -1,0 +1,1 @@
+lib/hw/pci.ml: Array Engine Queue

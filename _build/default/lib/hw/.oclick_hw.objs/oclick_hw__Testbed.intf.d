@@ -1,0 +1,1 @@
+lib/hw/testbed.mli: Oclick_graph Oclick_packet Platform Stdlib

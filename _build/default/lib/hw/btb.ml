@@ -1,0 +1,28 @@
+type t = {
+  entries : (string * int * bool, int) Hashtbl.t;
+  mutable lookups : int;
+  mutable mispredictions : int;
+}
+
+let create () =
+  { entries = Hashtbl.create 64; lookups = 0; mispredictions = 0 }
+
+let access t ~site ~target =
+  t.lookups <- t.lookups + 1;
+  let predicted =
+    match Hashtbl.find_opt t.entries site with
+    | Some last -> last = target
+    | None -> false
+  in
+  if not predicted then begin
+    t.mispredictions <- t.mispredictions + 1;
+    Hashtbl.replace t.entries site target
+  end;
+  predicted
+
+let lookups t = t.lookups
+let mispredictions t = t.mispredictions
+
+let reset_counters t =
+  t.lookups <- 0;
+  t.mispredictions <- 0

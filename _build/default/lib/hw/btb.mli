@@ -1,0 +1,20 @@
+(** The branch-target-buffer model (paper §3, Fig. 2).
+
+    The Pentium caches the targets of indirect branch instructions per call
+    site. Elements that share code share packet-transfer call sites, so two
+    same-class elements transferring to different downstream elements fight
+    over one BTB entry: alternating packets always mispredict. Sites are
+    keyed by (code class, port, pull?); the prediction is the last target
+    that site jumped to. *)
+
+type t
+
+val create : unit -> t
+
+val access : t -> site:string * int * bool -> target:int -> bool
+(** Record a dynamic dispatch; returns whether the target was predicted
+    (site seen before with the same target). *)
+
+val lookups : t -> int
+val mispredictions : t -> int
+val reset_counters : t -> unit

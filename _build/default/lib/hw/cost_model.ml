@@ -1,0 +1,174 @@
+module Hooks = Oclick_runtime.Hooks
+
+type category = Receive | Forward | Transmit
+
+(* 112 ns main-memory fetch at 700 MHz (paper §8.2). *)
+let memory_fetch_cycles = 78
+
+(* Packet-transfer costs (paper §3): a correctly predicted virtual call
+   takes about 7 cycles; mispredicted calls take dozens; devirtualized
+   calls are conventional direct calls. *)
+let direct_call_cycles = 3
+let predicted_call_cycles = 7
+let mispredicted_call_cycles = 42
+
+(* Per-packet cost, in cycles, of each element class's code. Calibrated so
+   that the Figure 1 router under the paper's workload costs ~1160 cycles
+   (1657 ns at 700 MHz) on its forwarding path, 701 ns in receive-device
+   and 547 ns in transmit-device interactions (Fig. 8). *)
+let class_base_cycles = function
+  | "PollDevice" | "FromDevice" -> 412 (* + 1 structural miss = 701 ns *)
+  | "ToDevice" -> 305 (* + 1 structural miss = 547 ns *)
+  | "Classifier" | "IPClassifier" | "IPFilter" -> 26 (* + per-node work *)
+  | "FastClassifier" -> 14 (* + per-node work *)
+  | "Paint" -> 16
+  | "Strip" -> 16
+  | "Unstrip" -> 16
+  | "CheckIPHeader" -> 125 (* + checksum work *)
+  | "GetIPAddress" -> 16
+  | "SetIPAddress" -> 14
+  | "LookupIPRoute" | "StaticIPLookup" -> 90 (* + per-entry work *)
+  | "DropBroadcasts" -> 14
+  | "CheckPaint" | "PaintTee" -> 22
+  | "IPGWOptions" -> 34
+  | "FixIPSrc" -> 14
+  | "DecIPTTL" -> 42
+  | "IPFragmenter" -> 28
+  | "ARPQuerier" -> 52 (* table lookup + header write *)
+  | "ARPResponder" -> 60
+  | "EtherEncap" -> 30
+  | "ICMPError" -> 220
+  | "Queue" -> 38 (* each enqueue or dequeue entry *)
+  | "RED" -> 60
+  | "Counter" -> 14
+  | "Tee" -> 30
+  | "StaticSwitch" -> 10
+  | "PaintSwitch" -> 12
+  | "Discard" -> 8
+  | "Idle" -> 4
+  | "Print" -> 120
+  | "RouterLink" -> 8
+  | "Align" -> 30 (* + copy work *)
+  | "AlignmentInfo" -> 0
+  | "IPInputCombo" -> 95 (* fused Paint/Strip/CheckIPHeader/GetIPAddress *)
+  | "IPOutputCombo" -> 80 (* fused output-path elements *)
+  | "InfiniteSource" | "UDPSource" | "RatedSource" -> 90
+  | _ -> 40 (* unknown classes get a generic element cost *)
+
+(* Classes written with Click's [simple_action] sugar share one dispatch
+   site in Element::push, so they fight over a single BTB entry — the
+   paper's §3 footnote. A forwarding path that chains several of them
+   mispredicts on every hop, which is precisely the overlap between what
+   click-xform removes and what click-devirtualize fixes. *)
+let uses_simple_action = function
+  | "Paint" | "Strip" | "Unstrip" | "GetIPAddress" | "SetIPAddress"
+  | "DropBroadcasts" | "FixIPSrc" | "Counter" ->
+      true
+  | _ -> false
+
+(* Rough hot-path code footprint per code class, bytes, for the L1i
+   model. The whole Figure 1 router fits comfortably in the 16 KB L1i
+   (the paper measures zero i-cache misses, §8.2); only heavy code
+   duplication — e.g. devirtualizing every element of a large
+   configuration — overflows it. *)
+let class_code_bytes = function
+  | "PollDevice" | "FromDevice" | "ToDevice" -> 1200
+  | "CheckIPHeader" | "LookupIPRoute" | "StaticIPLookup" | "ICMPError" -> 800
+  | "Classifier" | "IPClassifier" | "IPFilter" -> 900
+  | "ARPQuerier" -> 700
+  | "IPInputCombo" | "IPOutputCombo" -> 1000
+  | "Queue" -> 500
+  | "FastClassifier" -> 300
+  | _ -> 400
+
+(* Devirtualize@@Orig@@N and FastClassifier@@name resolve to a base class
+   for costing; the specialized copy still occupies its own i-cache
+   space. *)
+let rec strip_generated cls =
+  let starts p s =
+    String.length s >= String.length p && String.sub s 0 (String.length p) = p
+  in
+  if starts "FastClassifier@@" cls then "FastClassifier"
+  else if starts "Devirtualize@@" cls then begin
+    (* Devirtualize@@ORIG@@N; ORIG may itself contain "@@" *)
+    let body = String.sub cls 14 (String.length cls - 14) in
+    let rec last_sep i best =
+      if i + 2 > String.length body then best
+      else if String.sub body i 2 = "@@" then last_sep (i + 1) (Some i)
+      else last_sep (i + 1) best
+    in
+    match last_sep 0 None with
+    | Some i when i > 0 -> strip_generated (String.sub body 0 i)
+    | _ -> cls
+  end
+  else cls
+
+type t = {
+  btb : Btb.t;
+  l1i_bytes : int;
+  code_classes : (string, unit) Hashtbl.t;
+  mutable footprint : int;
+}
+
+let create ?(l1i_bytes = 16 * 1024) () =
+  {
+    btb = Btb.create ();
+    l1i_bytes;
+    code_classes = Hashtbl.create 32;
+    footprint = 0;
+  }
+
+let btb t = t.btb
+
+let note_code_class t cls =
+  if not (Hashtbl.mem t.code_classes cls) then begin
+    Hashtbl.replace t.code_classes cls ();
+    t.footprint <- t.footprint + class_code_bytes (strip_generated cls)
+  end
+
+let code_footprint_bytes t = t.footprint
+
+(* When the configuration's code exceeds L1i, every element entry risks an
+   instruction fetch from L2; charge proportionally to the overflow. *)
+let icache_penalty t =
+  if t.footprint <= t.l1i_bytes then 0
+  else
+    let overflow = t.footprint - t.l1i_bytes in
+    min memory_fetch_cycles (overflow * 48 / t.l1i_bytes)
+
+let element_cycles t ~cls =
+  class_base_cycles (strip_generated cls) + icache_penalty t
+
+let transfer_cycles t (tr : Hooks.transfer) =
+  if tr.Hooks.tr_direct then direct_call_cycles
+  else begin
+    let site =
+      if uses_simple_action (strip_generated tr.tr_src_class) then
+        ("simple_action", 0, false)
+      else (tr.tr_src_class, tr.tr_src_port, tr.tr_pull)
+    in
+    if Btb.access t.btb ~site ~target:tr.tr_dst_idx then predicted_call_cycles
+    else mispredicted_call_cycles
+  end
+
+let work_cycles = function
+  | Hooks.W_classify_interp nodes -> 16 * nodes
+  | Hooks.W_classify_compiled nodes -> 6 * nodes
+  | Hooks.W_checksum bytes -> bytes
+  | Hooks.W_copy bytes -> 20 + (bytes / 2)
+  | Hooks.W_lookup entries -> 4 * entries
+  | Hooks.W_queue -> 8
+  | Hooks.W_custom (_, n) -> n
+
+let category_of_class cls =
+  match strip_generated cls with
+  | "PollDevice" | "FromDevice" -> Receive
+  | "ToDevice" -> Transmit
+  | _ -> Forward
+
+let structural_miss_cycles = function
+  | Receive -> memory_fetch_cycles (* RX descriptor fetch *)
+  | Forward -> 2 * memory_fetch_cycles (* Ethernet + IP header fetches *)
+  | Transmit -> memory_fetch_cycles (* TX descriptor cleanup *)
+
+let instructions_of_class cls = class_base_cycles (strip_generated cls)

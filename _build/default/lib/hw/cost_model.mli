@@ -1,0 +1,55 @@
+(** The CPU cycle-cost model.
+
+    Maps runtime instrumentation events (packet transfers, element entry,
+    data-dependent work) to Pentium III cycles. The constants are
+    calibrated against the paper's published measurements — the 1160-cycle
+    / 1657 ns base forwarding path, the 701/547 ns device interactions, the
+    7-cycle predicted and multi-dozen-cycle mispredicted virtual calls, the
+    112 ns memory fetch (§3, §8.2) — while all *relative* effects (which
+    optimization saves what) emerge from the model's structure: the BTB
+    decides transfer cost, tree size decides classification cost, the
+    element graph decides transfer count.
+
+    An instruction-cache model charges extra misses when the configuration's
+    code footprint exceeds the L1 instruction cache: this is the paper's
+    caveat that "code expansion may make complete devirtualization
+    impractical" (§6.1). *)
+
+(** Accounting categories of Figure 8. *)
+type category = Receive | Forward | Transmit
+
+type t
+
+val create : ?l1i_bytes:int -> unit -> t
+(** [l1i_bytes] defaults to the Pentium III's 16 KB. *)
+
+val btb : t -> Btb.t
+
+val transfer_cycles : t -> Oclick_runtime.Hooks.transfer -> int
+(** Consults and updates the BTB. *)
+
+val work_cycles : Oclick_runtime.Hooks.work -> int
+
+val element_cycles : t -> cls:string -> int
+(** Per-packet cost of one element's specialized or generic code, charged
+    when a packet enters it. Devirtualized class names resolve to their
+    original class. Includes i-cache pressure once the footprint of the
+    classes seen so far exceeds L1i. *)
+
+val category_of_class : string -> category
+
+val structural_miss_cycles : category -> int
+(** The paper's four per-packet cache misses: one RX-descriptor fetch
+    (receive), two header fetches (forward), one TX-descriptor cleanup
+    (transmit); each costs the 112 ns memory fetch. *)
+
+val memory_fetch_cycles : int
+val instructions_of_class : string -> int
+(** Rough retired-instruction footprint per element per packet, for the
+    §8.2 "988 instructions" report. *)
+
+val note_code_class : t -> string -> unit
+(** Record that a code class is part of the installed configuration (for
+    the i-cache footprint). *)
+
+val code_footprint_bytes : t -> int

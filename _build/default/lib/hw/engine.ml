@@ -1,0 +1,78 @@
+(* A binary min-heap of (time, seq, thunk); seq breaks ties so the queue
+   is stable. *)
+
+type event = { ev_time : int; ev_seq : int; ev_fn : unit -> unit }
+
+type t = {
+  mutable heap : event array;
+  mutable size : int;
+  mutable clock : int;
+  mutable seq : int;
+}
+
+let dummy = { ev_time = 0; ev_seq = 0; ev_fn = ignore }
+let create () = { heap = Array.make 256 dummy; size = 0; clock = 0; seq = 0 }
+let now t = t.clock
+
+let before a b =
+  a.ev_time < b.ev_time || (a.ev_time = b.ev_time && a.ev_seq < b.ev_seq)
+
+let swap t i j =
+  let x = t.heap.(i) in
+  t.heap.(i) <- t.heap.(j);
+  t.heap.(j) <- x
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if before t.heap.(i) t.heap.(parent) then begin
+      swap t i parent;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < t.size && before t.heap.(l) t.heap.(!smallest) then smallest := l;
+  if r < t.size && before t.heap.(r) t.heap.(!smallest) then smallest := r;
+  if !smallest <> i then begin
+    swap t i !smallest;
+    sift_down t !smallest
+  end
+
+let schedule t ~at fn =
+  let at = max at t.clock in
+  if t.size = Array.length t.heap then begin
+    let bigger = Array.make (2 * t.size) dummy in
+    Array.blit t.heap 0 bigger 0 t.size;
+    t.heap <- bigger
+  end;
+  t.heap.(t.size) <- { ev_time = at; ev_seq = t.seq; ev_fn = fn };
+  t.seq <- t.seq + 1;
+  t.size <- t.size + 1;
+  sift_up t (t.size - 1)
+
+let schedule_after t ~delay fn = schedule t ~at:(t.clock + max 0 delay) fn
+
+let pop t =
+  let top = t.heap.(0) in
+  t.size <- t.size - 1;
+  t.heap.(0) <- t.heap.(t.size);
+  t.heap.(t.size) <- dummy;
+  sift_down t 0;
+  top
+
+let run_until t horizon =
+  let continue = ref true in
+  while !continue do
+    if t.size = 0 || t.heap.(0).ev_time > horizon then continue := false
+    else begin
+      let ev = pop t in
+      t.clock <- max t.clock ev.ev_time;
+      ev.ev_fn ()
+    end
+  done;
+  t.clock <- max t.clock horizon
+
+let pending t = t.size

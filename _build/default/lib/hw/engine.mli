@@ -1,0 +1,21 @@
+(** A minimal discrete-event simulation engine.
+
+    Time is in integer nanoseconds. Events fire in time order; ties fire
+    in scheduling order (the queue is stable). *)
+
+type t
+
+val create : unit -> t
+val now : t -> int
+(** Current simulation time, ns. *)
+
+val schedule : t -> at:int -> (unit -> unit) -> unit
+(** Schedule an event at absolute time [at] (clamped to [now]). *)
+
+val schedule_after : t -> delay:int -> (unit -> unit) -> unit
+
+val run_until : t -> int -> unit
+(** Fire every event with time <= the horizon; {!now} ends at the horizon. *)
+
+val pending : t -> int
+(** Number of events still queued. *)

@@ -1,0 +1,102 @@
+module Packet = Oclick_packet.Packet
+module Headers = Oclick_packet.Headers
+module Ethaddr = Oclick_packet.Ethaddr
+
+let arp_reply_delay_ns = 5_000
+
+class host ~engine ~platform ~ip ~eth ~router_eth () =
+  object (self)
+    val mutable wire : Packet.t -> unit = ignore
+    val mutable sent_udp = 0
+    val mutable received_udp = 0
+    val mutable received_icmp = 0
+    val mutable received_other = 0
+    (* Deterministic per-host jitter stream: "even" flows still have
+       phase drift and burstiness in practice, which is what lets a
+       nearly-saturated PCI bus overflow NIC FIFOs transiently. *)
+    val jitter = ref (Hashtbl.hash ip land 0x3fffffff)
+    method set_wire w = wire <- w
+
+    method private next_jittered interval =
+      let s = ((!jitter * 1103515245) + 12345) land 0x3fffffff in
+      jitter := s;
+      (* uniform in [0.6, 1.4) of the interval; the mean is preserved *)
+      interval * (60 + (s mod 80)) / 100
+
+    method private transmit p =
+      (* The frame occupies the host->router wire; generation rates are
+         paced below so a busy wire never reorders frames. *)
+      Engine.schedule_after engine
+        ~delay:(Platform.wire_ns_per_frame platform ~frame_bytes:(Packet.length p))
+        (fun () -> wire p)
+
+    method receive p =
+      if Packet.length p >= Headers.Ether.header_length then begin
+        match Headers.Ether.ethertype p with
+        | t when t = Headers.Ether.ethertype_arp ->
+            if
+              Packet.length p
+              >= Headers.Ether.header_length + Headers.Arp.packet_length
+              && Headers.Arp.op ~off:14 p = Headers.Arp.op_request
+              && Headers.Arp.target_ip ~off:14 p = ip
+            then begin
+              let reply =
+                Headers.Build.arp_reply ~src_eth:eth ~src_ip:ip
+                  ~dst_eth:(Headers.Arp.sender_eth ~off:14 p)
+                  ~dst_ip:(Headers.Arp.sender_ip ~off:14 p)
+              in
+              Engine.schedule_after engine ~delay:arp_reply_delay_ns (fun () ->
+                  self#transmit reply)
+            end
+        | t when t = Headers.Ether.ethertype_ip -> (
+            match Headers.Ip.protocol ~off:14 p with
+            | 17 -> received_udp <- received_udp + 1
+            | 1 -> received_icmp <- received_icmp + 1
+            | _ -> received_other <- received_other + 1)
+        | _ -> received_other <- received_other + 1
+      end
+
+    method start_traffic ~dst_ip ~rate_pps ?(payload_len = 14) ~until () =
+      if rate_pps > 0 then begin
+        let interval = 1_000_000_000 / rate_pps in
+        (* Never offer faster than the wire can carry. *)
+        let interval =
+          max interval
+            (Platform.wire_ns_per_frame platform
+               ~frame_bytes:(Headers.Ether.header_length + 20 + 8 + payload_len))
+        in
+        let wire_floor =
+          Platform.wire_ns_per_frame platform
+            ~frame_bytes:(Headers.Ether.header_length + 20 + 8 + payload_len)
+        in
+        (* Jittered pacing with a debt counter: sends clamped to the wire
+           rate repay the clamped time later, so the mean rate is exact. *)
+        let debt = ref 0 in
+        let rec tick () =
+          if Engine.now engine < until then begin
+            let p =
+              Headers.Build.udp ~src_eth:eth ~dst_eth:router_eth ~src_ip:ip
+                ~dst_ip ~payload_len ()
+            in
+            sent_udp <- sent_udp + 1;
+            self#transmit p;
+            let wanted = self#next_jittered interval + !debt in
+            let actual = max wire_floor wanted in
+            debt := wanted - actual;
+            Engine.schedule_after engine ~delay:actual tick
+          end
+        in
+        tick ()
+      end
+
+    method sent_udp = sent_udp
+    method received_udp = received_udp
+    method received_icmp = received_icmp
+    method received_other = received_other
+
+    method reset_counters =
+      sent_udp <- 0;
+      received_udp <- 0;
+      received_icmp <- 0;
+      received_other <- 0
+  end

@@ -1,0 +1,32 @@
+(** A source/destination host (paper §8.1).
+
+    Each host sits on a full-duplex point-to-point link to one router
+    interface. It generates an even flow of 64-byte UDP packets at a
+    configured rate, answers ARP queries for its address, and counts the
+    UDP packets it receives. *)
+
+class host :
+  engine:Engine.t
+  -> platform:Platform.t
+  -> ip:Oclick_packet.Ipaddr.t
+  -> eth:Oclick_packet.Ethaddr.t
+  -> router_eth:Oclick_packet.Ethaddr.t
+  -> unit
+  -> object
+       method set_wire : (Oclick_packet.Packet.t -> unit) -> unit
+       (** How frames reach the router (the NIC's [wire_arrive]). *)
+
+       method receive : Oclick_packet.Packet.t -> unit
+       (** Called by the router NIC when it transmits a frame to us. *)
+
+       method start_traffic :
+         dst_ip:Oclick_packet.Ipaddr.t -> rate_pps:int ->
+         ?payload_len:int -> until:int -> unit -> unit
+       (** Generate UDP at [rate_pps] until simulation time [until] ns. *)
+
+       method sent_udp : int
+       method received_udp : int
+       method received_icmp : int
+       method received_other : int
+       method reset_counters : unit
+     end

@@ -1,0 +1,146 @@
+module Packet = Oclick_packet.Packet
+
+type outcomes = {
+  mutable o_wire_rx : int;
+  mutable o_fifo_overflow : int;
+  mutable o_missed_frame : int;
+  mutable o_rx_dma : int;
+  mutable o_tx_sent : int;
+}
+
+let descriptor_bytes = 16
+
+class tulip ~engine ~pci ~platform ~name ?(bus_id = 0) ?(rx_ring = 32)
+  ?(tx_ring = 32) ?(fifo_bytes = 4096) ~deliver ~on_cpu_rx ~on_cpu_tx () =
+  object (self)
+    val fifo : Packet.t Queue.t = Queue.create ()
+    val mutable fifo_fill = 0
+    val rx_q : Packet.t Queue.t = Queue.create () (* the RX DMA ring *)
+    val tx_q : Packet.t Queue.t = Queue.create () (* the TX DMA ring *)
+    val tx_card : Packet.t Queue.t = Queue.create () (* on-card TX FIFO *)
+    val mutable rx_dma_busy = false
+    val mutable tx_dma_busy = false
+    val mutable tx_wire_busy = false
+    val outcomes =
+      {
+        o_wire_rx = 0;
+        o_fifo_overflow = 0;
+        o_missed_frame = 0;
+        o_rx_dma = 0;
+        o_tx_sent = 0;
+      }
+
+    method device_name : string = name
+    method outcomes = outcomes
+
+    (* --- wire RX -> FIFO -> (PCI) -> RX ring --- *)
+
+    method wire_arrive p =
+      outcomes.o_wire_rx <- outcomes.o_wire_rx + 1;
+      let size = Packet.length p in
+      if fifo_fill + size > fifo_bytes then
+        (* Dropped on the card: no PCI or memory impact at all. *)
+        outcomes.o_fifo_overflow <- outcomes.o_fifo_overflow + 1
+      else begin
+        Queue.add p fifo;
+        fifo_fill <- fifo_fill + size;
+        self#kick_rx_dma
+      end
+
+    method private kick_rx_dma =
+      if (not rx_dma_busy) && not (Queue.is_empty fifo) then begin
+        rx_dma_busy <- true;
+        (* First descriptor fetch. *)
+        Pci.request pci ~requester:bus_id ~bytes:descriptor_bytes (fun () ->
+            if Queue.length rx_q < rx_ring then self#rx_dma_data
+            else
+              (* Not ready: try once more (the second PCI fetch), then
+                 flush the frame as a missed frame. *)
+              Pci.request pci ~requester:bus_id ~bytes:descriptor_bytes (fun () ->
+                  if Queue.length rx_q < rx_ring then self#rx_dma_data
+                  else begin
+                    let p = Queue.pop fifo in
+                    fifo_fill <- fifo_fill - Packet.length p;
+                    outcomes.o_missed_frame <- outcomes.o_missed_frame + 1;
+                    rx_dma_busy <- false;
+                    self#kick_rx_dma
+                  end))
+      end
+
+    method private rx_dma_data =
+      let p = Queue.peek fifo in
+      let size = Packet.length p in
+      (* Packet data, then the descriptor write-back. *)
+      Pci.request pci ~requester:bus_id ~bytes:size (fun () ->
+          Pci.request pci ~requester:bus_id ~bytes:descriptor_bytes (fun () ->
+              let p = Queue.pop fifo in
+              fifo_fill <- fifo_fill - Packet.length p;
+              Queue.add p rx_q;
+              outcomes.o_rx_dma <- outcomes.o_rx_dma + 1;
+              rx_dma_busy <- false;
+              self#kick_rx_dma))
+
+    (* --- CPU side (the Netdevice interface) --- *)
+
+    method rx () =
+      match Queue.take_opt rx_q with
+      | Some p ->
+          on_cpu_rx ();
+          (* Taking the packet frees its descriptor; a stalled DMA engine
+             may proceed on the next frame. *)
+          self#kick_rx_dma;
+          Some p
+      | None -> None
+
+    method tx p =
+      if Queue.length tx_q >= tx_ring then false
+      else begin
+        on_cpu_tx ();
+        Queue.add p tx_q;
+        self#kick_tx_dma;
+        true
+      end
+
+    method tx_ready = Queue.length tx_q < tx_ring
+
+    (* --- TX ring -> (PCI) -> on-card FIFO -> wire ---
+
+       DMA and transmission are pipelined: the card prefetches the next
+       frame over PCI while the current one is on the wire, buffering up
+       to two frames on card. The status write-back after transmission
+       frees the ring slot. *)
+
+    method private kick_tx_dma =
+      if
+        (not tx_dma_busy)
+        && (not (Queue.is_empty tx_q))
+        && Queue.length tx_card < 2
+      then begin
+        tx_dma_busy <- true;
+        let size = Packet.length (Queue.peek tx_q) in
+        Pci.request pci ~requester:bus_id ~bytes:descriptor_bytes (fun () ->
+            Pci.request pci ~requester:bus_id ~bytes:size (fun () ->
+                Queue.add (Queue.pop tx_q) tx_card;
+                tx_dma_busy <- false;
+                self#kick_tx_dma;
+                self#kick_tx_wire))
+      end
+
+    method private kick_tx_wire =
+      if (not tx_wire_busy) && not (Queue.is_empty tx_card) then begin
+        tx_wire_busy <- true;
+        let p = Queue.pop tx_card in
+        let wire_ns =
+          Platform.wire_ns_per_frame platform ~frame_bytes:(Packet.length p)
+        in
+        Engine.schedule_after engine ~delay:wire_ns (fun () ->
+            outcomes.o_tx_sent <- outcomes.o_tx_sent + 1;
+            deliver p;
+            (* status write-back; the bus time matters, not completion *)
+            Pci.request pci ~requester:bus_id ~bytes:descriptor_bytes
+              (fun () -> ());
+            tx_wire_busy <- false;
+            self#kick_tx_wire;
+            self#kick_tx_dma)
+      end
+  end

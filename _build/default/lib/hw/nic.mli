@@ -1,0 +1,44 @@
+(** The simulated network controller (DEC 21140 Tulip model, §8.1/§8.4).
+
+    Receive side: frames arrive from the wire into an on-card FIFO; a DMA
+    engine fetches a descriptor over PCI and, if one is ready, copies the
+    frame into the host RX ring. A frame whose descriptor is not ready
+    after two tries is dropped as a {e missed frame} (flushed with no
+    further PCI impact); a frame arriving to a full FIFO is a {e FIFO
+    overflow}, the cheapest possible drop. The CPU ([PollDevice]) takes
+    frames from the RX ring, implicitly refilling descriptors.
+
+    Transmit side: the CPU ([ToDevice]) appends to the TX ring; the card
+    DMAs each frame over PCI and puts it on the wire at link speed; the
+    descriptor frees on transmit completion.
+
+    The same model serves the Pro/1000 with gigabit wire speed. *)
+
+type outcomes = {
+  mutable o_wire_rx : int;  (** frames offered by the attached host *)
+  mutable o_fifo_overflow : int;
+  mutable o_missed_frame : int;
+  mutable o_rx_dma : int;  (** frames that reached the RX ring *)
+  mutable o_tx_sent : int;  (** frames put on the wire *)
+}
+
+class tulip :
+  engine:Engine.t
+  -> pci:Pci.t
+  -> platform:Platform.t
+  -> name:string
+  -> ?bus_id:int (* the card's arbitration identity on its bus *)
+  -> ?rx_ring:int (* default 32 *)
+  -> ?tx_ring:int (* default 32 *)
+  -> ?fifo_bytes:int (* default 4096 *)
+  -> deliver:(Oclick_packet.Packet.t -> unit)
+  -> on_cpu_rx:(unit -> unit)
+  -> on_cpu_tx:(unit -> unit)
+  -> unit
+  -> object
+       inherit Oclick_runtime.Netdevice.t
+       method wire_arrive : Oclick_packet.Packet.t -> unit
+       (** A frame arrives from the attached host's wire. *)
+
+       method outcomes : outcomes
+     end

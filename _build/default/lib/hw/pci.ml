@@ -1,0 +1,79 @@
+type txn = { tx_bytes : int; tx_done : unit -> unit }
+
+type t = {
+  engine : Engine.t;
+  bytes_per_sec : int;
+  overhead_ns : int;
+  mutable queues : txn Queue.t array; (* per requester, grown on demand *)
+  mutable last_granted : int;
+  mutable bus_busy : bool;
+  mutable busy_ns : int;
+  mutable bytes_moved : int;
+  mutable transactions : int;
+}
+
+let create engine ~bytes_per_sec ?(overhead_ns = 120) () =
+  {
+    engine;
+    bytes_per_sec;
+    overhead_ns;
+    queues = Array.init 4 (fun _ -> Queue.create ());
+    last_granted = -1;
+    bus_busy = false;
+    busy_ns = 0;
+    bytes_moved = 0;
+    transactions = 0;
+  }
+
+let ensure_requester t r =
+  if r >= Array.length t.queues then begin
+    let bigger = Array.init (max (r + 1) (2 * Array.length t.queues))
+        (fun i -> if i < Array.length t.queues then t.queues.(i) else Queue.create ())
+    in
+    t.queues <- bigger
+  end
+
+(* Round-robin: the next non-empty queue after the last granted one. *)
+let next_requester t =
+  let n = Array.length t.queues in
+  let rec scan k =
+    if k > n then None
+    else begin
+      let r = (t.last_granted + k) mod n in
+      if not (Queue.is_empty t.queues.(r)) then Some r else scan (k + 1)
+    end
+  in
+  scan 1
+
+let rec grant t =
+  if not t.bus_busy then begin
+    match next_requester t with
+    | None -> ()
+    | Some r ->
+        let txn = Queue.pop t.queues.(r) in
+        t.last_granted <- r;
+        t.bus_busy <- true;
+        let data_ns = txn.tx_bytes * 1_000_000_000 / t.bytes_per_sec in
+        let cost = t.overhead_ns + data_ns in
+        t.busy_ns <- t.busy_ns + cost;
+        t.bytes_moved <- t.bytes_moved + txn.tx_bytes;
+        t.transactions <- t.transactions + 1;
+        Engine.schedule_after t.engine ~delay:cost (fun () ->
+            t.bus_busy <- false;
+            txn.tx_done ();
+            grant t)
+  end
+
+let request t ~requester ~bytes k =
+  ensure_requester t requester;
+  Queue.add { tx_bytes = bytes; tx_done = k } t.queues.(requester);
+  grant t
+
+let busy_ns t = t.busy_ns
+let bytes_moved t = t.bytes_moved
+let transactions t = t.transactions
+
+let reset_counters t =
+  t.busy_ns <- 0;
+  t.bytes_moved <- 0;
+  t.transactions <- 0

@@ -1,0 +1,27 @@
+(** A shared PCI bus with round-robin arbitration.
+
+    Transactions (descriptor fetches, packet DMA) serialize through the
+    bus; each costs a fixed arbitration/address overhead plus data time at
+    the bus's bandwidth. The arbiter grants requesters in round-robin
+    order, so a device gets at most its fair share of a saturated bus —
+    the mechanism that starves receiving NICs into FIFO overflows while
+    transmitting NICs still make progress (paper §8.4). Failed descriptor
+    checks consume bus time other devices could have used. *)
+
+type t
+
+val create :
+  Engine.t -> bytes_per_sec:int -> ?overhead_ns:int -> unit -> t
+(** [overhead_ns] defaults to 120. *)
+
+val request : t -> requester:int -> bytes:int -> (unit -> unit) -> unit
+(** Enqueue a transaction for a device; the callback fires when it
+    completes. Each requester's transactions stay in order; distinct
+    requesters are served round-robin. *)
+
+val busy_ns : t -> int
+(** Total bus-occupied time, ns. *)
+
+val bytes_moved : t -> int
+val transactions : t -> int
+val reset_counters : t -> unit

@@ -1,0 +1,41 @@
+(** The evaluation hardware platforms (paper §8.1, §8.5). *)
+
+type nic_kind = Tulip_100 | Pro1000
+(** DEC 21140 Tulip 100 Mbit/s, or Intel Pro/1000 F gigabit. The Pro/1000
+    requires programmed-I/O instructions per batch of packets (§8.5). *)
+
+type t = {
+  p_name : string;
+  p_cpu_mhz : int;
+  p_pci_mhz : int;  (** 33 or 66 *)
+  p_pci_bits : int;  (** 32 or 64 *)
+  p_pci_buses : int;  (** independent PCI buses *)
+  p_nic : nic_kind;
+  p_nports : int;  (** router network interfaces *)
+  p_link_mbps : int;
+  p_cpu_scale : float;
+      (** relative cycles-per-instruction factor vs. the P-III (P3's
+          Athlon executes the same work in fewer effective cycles) *)
+}
+
+val p0 : t
+(** 700 MHz P-III, 8 Tulips on two 32/33 buses — §8.1's router host. *)
+
+val p1 : t
+(** 800 MHz P-III, 2 Pro/1000s, 32-bit/33 MHz PCI. *)
+
+val p2 : t
+(** As P1 with 64-bit/66 MHz PCI. *)
+
+val p3 : t
+(** 1.6 GHz Athlon MP, 64-bit/66 MHz PCI. *)
+
+val all : t list
+val ns_of_cycles : t -> int -> int
+val pci_bytes_per_sec : t -> int
+val wire_ns_per_frame : t -> frame_bytes:int -> int
+(** Time on the wire including preamble and inter-frame gap (§8.1). *)
+
+val max_host_rate_pps : t -> int
+(** What one source host can generate (147,900 64-byte pps on the Tulip
+    testbed; a million on the gigabit hosts). *)

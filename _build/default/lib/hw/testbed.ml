@@ -1,0 +1,320 @@
+module Ipaddr = Oclick_packet.Ipaddr
+module Ethaddr = Oclick_packet.Ethaddr
+module Hooks = Oclick_runtime.Hooks
+module Driver = Oclick_runtime.Driver
+module Router = Oclick_graph.Router
+
+type port_spec = {
+  ps_device : string;
+  ps_router_ip : Ipaddr.t;
+  ps_router_eth : Ethaddr.t;
+  ps_host_ip : Ipaddr.t;
+  ps_host_eth : Ethaddr.t;
+}
+
+let standard_ports n =
+  List.init n (fun i ->
+      {
+        ps_device = Printf.sprintf "eth%d" i;
+        ps_router_ip = Ipaddr.of_octets 10 0 i 1;
+        ps_router_eth =
+          Ethaddr.of_string_exn (Printf.sprintf "00:00:c0:00:%02x:01" i);
+        ps_host_ip = Ipaddr.of_octets 10 0 i 2;
+        ps_host_eth =
+          Ethaddr.of_string_exn (Printf.sprintf "00:00:c0:bb:%02x:02" i);
+      })
+
+type flow = { fl_src : int; fl_dst : int }
+
+let standard_flows (p : Platform.t) =
+  let n = p.Platform.p_nports in
+  if n >= 4 && n mod 2 = 0 then
+    List.init (n / 2) (fun i -> { fl_src = i; fl_dst = i + (n / 2) })
+  else if n = 2 then [ { fl_src = 0; fl_dst = 1 }; { fl_src = 1; fl_dst = 0 } ]
+  else List.init n (fun i -> { fl_src = i; fl_dst = (i + 1) mod n })
+
+type outcome_counts = {
+  oc_sent : int;
+  oc_fifo_overflow : int;
+  oc_missed_frame : int;
+  oc_queue_drop : int;
+  oc_other_drop : int;
+}
+
+type result = {
+  r_offered_pps : float;
+  r_forwarded_pps : float;
+  r_outcomes : outcome_counts;
+  r_receive_ns : float;
+  r_forward_ns : float;
+  r_transmit_ns : float;
+  r_total_ns : float;
+  r_instructions : float;
+  r_cache_misses : float;
+  r_btb_mispredicts : float;
+  r_pci_utilization : float;
+  r_cpu_utilization : float;
+  r_code_footprint : int;
+}
+
+(* Programmed-I/O cost per packet for the Pro/1000 (paper §8.5): the
+   driver issues I/O instructions per batch; amortized here per packet. *)
+let pio_ns_per_packet (p : Platform.t) =
+  match p.Platform.p_nic with Platform.Tulip_100 -> 0 | Platform.Pro1000 -> 150
+
+let ms n = n * 1_000_000
+
+let run ?(duration_ms = 60) ?(warmup_ms = 30) ?ports ?flows ?(payload_len = 14)
+    ~platform ~graph ~input_pps () =
+  let nports = platform.Platform.p_nports in
+  let ports =
+    match ports with Some p -> p | None -> standard_ports nports
+  in
+  let flows = match flows with Some f -> f | None -> standard_flows platform in
+  if List.length ports < nports then Error "not enough port specs"
+  else begin
+    let engine = Engine.create () in
+    let cm = Cost_model.create () in
+    let ns_of_cycles c = Platform.ns_of_cycles platform c in
+    (* Per-category CPU time, in ns. *)
+    let receive_ns = ref 0.0
+    and forward_ns = ref 0.0
+    and transmit_ns = ref 0.0
+    and instructions = ref 0
+    and cache_misses = ref 0
+    and queue_drops = ref 0
+    and other_drops = ref 0 in
+    let charge_cat cat ns =
+      match cat with
+      | Cost_model.Receive -> receive_ns := !receive_ns +. float_of_int ns
+      | Cost_model.Forward -> forward_ns := !forward_ns +. float_of_int ns
+      | Cost_model.Transmit -> transmit_ns := !transmit_ns +. float_of_int ns
+    in
+    let pio = pio_ns_per_packet platform in
+    (* PCI buses; NIC i sits on bus (i mod buses). Per-transaction
+       overhead (arbitration, address phase, bridge latency) depends on
+       the card's DMA behaviour: the Tulip issues short non-burst
+       transactions; the Pro/1000 bursts much more effectively. *)
+    let overhead_ns =
+      match (platform.Platform.p_nic, platform.Platform.p_pci_mhz >= 66) with
+      | Platform.Tulip_100, false -> 490
+      | Platform.Tulip_100, true -> 245
+      | Platform.Pro1000, false -> 150
+      | Platform.Pro1000, true -> 75
+    in
+    let buses =
+      Array.init platform.Platform.p_pci_buses (fun _ ->
+          Pci.create engine
+            ~bytes_per_sec:(Platform.pci_bytes_per_sec platform)
+            ~overhead_ns ())
+    in
+    (* Hosts and NICs. *)
+    let port_arr = Array.of_list ports in
+    let hosts =
+      Array.init nports (fun i ->
+          let ps = port_arr.(i) in
+          new Host.host ~engine ~platform ~ip:ps.ps_host_ip ~eth:ps.ps_host_eth
+            ~router_eth:ps.ps_router_eth ())
+    in
+    let nics =
+      Array.init nports (fun i ->
+          let ps = port_arr.(i) in
+          new Nic.tulip ~engine ~pci:buses.(i mod Array.length buses)
+            ~platform ~name:ps.ps_device ~bus_id:i
+            ~deliver:(fun p -> hosts.(i)#receive p)
+            ~on_cpu_rx:(fun () ->
+              charge_cat Cost_model.Receive
+                (ns_of_cycles
+                   (Cost_model.element_cycles cm ~cls:"PollDevice"
+                   + Cost_model.structural_miss_cycles Cost_model.Receive)
+                + pio);
+              instructions :=
+                !instructions + Cost_model.instructions_of_class "PollDevice";
+              incr cache_misses)
+            ~on_cpu_tx:(fun () ->
+              charge_cat Cost_model.Transmit
+                (ns_of_cycles
+                   (Cost_model.element_cycles cm ~cls:"ToDevice"
+                   + Cost_model.structural_miss_cycles Cost_model.Transmit)
+                + pio);
+              instructions :=
+                !instructions + Cost_model.instructions_of_class "ToDevice";
+              incr cache_misses)
+            ())
+    in
+    Array.iteri (fun i h -> h#set_wire (fun p -> nics.(i)#wire_arrive p)) hosts;
+    (* Instrumentation hooks: the cost model prices every transfer and
+       every unit of element work. *)
+    let hooks =
+      {
+        Hooks.on_transfer =
+          (fun tr ->
+            let cycles =
+              Cost_model.transfer_cycles cm tr
+              + Cost_model.element_cycles cm ~cls:tr.Hooks.tr_dst_class
+            in
+            let cat = Cost_model.category_of_class tr.Hooks.tr_src_class in
+            (* Transfers out of the receive path carry the packet into the
+               forwarding path; header fetch misses land there. *)
+            (match cat with
+            | Cost_model.Receive ->
+                charge_cat Cost_model.Forward
+                  (ns_of_cycles
+                     (cycles
+                     + Cost_model.structural_miss_cycles Cost_model.Forward));
+                cache_misses := !cache_misses + 2
+            | _ -> charge_cat Cost_model.Forward (ns_of_cycles cycles));
+            instructions :=
+              !instructions
+              + Cost_model.instructions_of_class tr.Hooks.tr_dst_class);
+        Hooks.on_work =
+          (fun ~idx:_ ~cls w ->
+            charge_cat
+              (Cost_model.category_of_class cls)
+              (ns_of_cycles (Cost_model.work_cycles w)));
+        Hooks.on_drop =
+          (fun ~idx:_ ~cls:_ ~reason _p ->
+            if String.equal reason "queue full" then incr queue_drops
+            else incr other_drops);
+      }
+    in
+    let devices =
+      Array.to_list (Array.map (fun n -> (n :> Oclick_runtime.Netdevice.t)) nics)
+    in
+    match Driver.instantiate ~hooks ~devices graph with
+    | Error e -> Error e
+    | Ok driver ->
+        List.iter
+          (fun i -> Cost_model.note_code_class cm (Router.class_of graph i))
+          (Router.indices graph);
+        (* The CPU: run scheduler rounds, advancing time by the cycles each
+           round consumed. *)
+        let total_ns () = !receive_ns +. !forward_ns +. !transmit_ns in
+        let cpu_busy_ns = ref 0.0 in
+        let stop_at = ms (warmup_ms + duration_ms) in
+        let rec cpu_tick () =
+          if Engine.now engine < stop_at then begin
+            let before = total_ns () in
+            let did_work = Driver.run_tasks_once driver in
+            let consumed = total_ns () -. before in
+            cpu_busy_ns := !cpu_busy_ns +. consumed;
+            let advance =
+              if did_work then max 1 (int_of_float consumed)
+              else 800 (* polling all quiet devices once *)
+            in
+            Engine.schedule_after engine ~delay:advance cpu_tick
+          end
+        in
+        cpu_tick ();
+        (* Traffic: each flow gets an equal share of the offered load. *)
+        let per_flow = input_pps / max 1 (List.length flows) in
+        List.iter
+          (fun f ->
+            hosts.(f.fl_src)#start_traffic
+              ~dst_ip:port_arr.(f.fl_dst).ps_host_ip ~rate_pps:per_flow
+              ~payload_len ~until:stop_at ())
+          flows;
+        (* Warmup (ARP resolution), then reset and measure. *)
+        Engine.run_until engine (ms warmup_ms);
+        Array.iter (fun h -> h#reset_counters) hosts;
+        Array.iter
+          (fun (n : Nic.tulip) ->
+            let o = n#outcomes in
+            o.Nic.o_wire_rx <- 0;
+            o.o_fifo_overflow <- 0;
+            o.o_missed_frame <- 0;
+            o.o_rx_dma <- 0;
+            o.o_tx_sent <- 0)
+          nics;
+        receive_ns := 0.0;
+        forward_ns := 0.0;
+        transmit_ns := 0.0;
+        instructions := 0;
+        cache_misses := 0;
+        queue_drops := 0;
+        other_drops := 0;
+        cpu_busy_ns := 0.0;
+        Array.iter (fun b -> Pci.reset_counters b) buses;
+        Btb.reset_counters (Cost_model.btb cm);
+        Engine.run_until engine stop_at;
+        let seconds = float_of_int duration_ms /. 1000.0 in
+        let offered =
+          float_of_int
+            (Array.fold_left (fun acc h -> acc + h#sent_udp) 0 hosts)
+          /. seconds
+        in
+        let sent = Array.fold_left (fun acc h -> acc + h#received_udp) 0 hosts in
+        let forwarded = float_of_int sent /. seconds in
+        let fifo_overflow =
+          Array.fold_left
+            (fun acc (n : Nic.tulip) -> acc + n#outcomes.Nic.o_fifo_overflow)
+            0 nics
+        and missed_frame =
+          Array.fold_left
+            (fun acc (n : Nic.tulip) -> acc + n#outcomes.Nic.o_missed_frame)
+            0 nics
+        in
+        let per_packet x =
+          if sent = 0 then 0.0 else x /. float_of_int sent
+        in
+        let busiest_bus =
+          Array.fold_left (fun acc b -> max acc (Pci.busy_ns b)) 0 buses
+        in
+        Ok
+          {
+            r_offered_pps = offered;
+            r_forwarded_pps = forwarded;
+            r_outcomes =
+              {
+                oc_sent = sent;
+                oc_fifo_overflow = fifo_overflow;
+                oc_missed_frame = missed_frame;
+                oc_queue_drop = !queue_drops;
+                oc_other_drop = !other_drops;
+              };
+            r_receive_ns = per_packet !receive_ns;
+            r_forward_ns = per_packet !forward_ns;
+            r_transmit_ns = per_packet !transmit_ns;
+            r_total_ns = per_packet (total_ns ());
+            r_instructions = per_packet (float_of_int !instructions);
+            r_cache_misses = per_packet (float_of_int !cache_misses);
+            r_btb_mispredicts =
+              per_packet
+                (float_of_int (Btb.mispredictions (Cost_model.btb cm)));
+            r_pci_utilization =
+              float_of_int busiest_bus /. (float_of_int duration_ms *. 1e6);
+            r_cpu_utilization =
+              !cpu_busy_ns /. (float_of_int duration_ms *. 1e6);
+            r_code_footprint = Cost_model.code_footprint_bytes cm;
+          }
+  end
+
+let mlffr ?ports ?flows ?(loss_tolerance = 0.002) ~platform ~graph () =
+  let flows_v =
+    match flows with Some f -> f | None -> standard_flows platform
+  in
+  let nflows = List.length flows_v in
+  let max_rate = nflows * Platform.max_host_rate_pps platform in
+  let loss_free rate =
+    match
+      run ?ports ?flows ~platform ~graph ~input_pps:rate ()
+    with
+    | Error e -> failwith e
+    | Ok r ->
+        r.r_offered_pps > 0.0
+        && (r.r_offered_pps -. r.r_forwarded_pps) /. r.r_offered_pps
+           <= loss_tolerance
+  in
+  match
+    let rec search lo hi =
+      (* invariant: lo is loss-free, hi is not (or is the cap) *)
+      if hi - lo <= 4000 then lo
+      else begin
+        let mid = (lo + hi) / 2 in
+        if loss_free mid then search mid hi else search lo mid
+      end
+    in
+    if loss_free max_rate then max_rate else search 20_000 max_rate
+  with
+  | rate -> Ok rate
+  | exception Failure e -> Error e

@@ -1,0 +1,77 @@
+(** The simulated evaluation testbed (paper §8.1).
+
+    Assembles a router (the real element graph, instantiated in the real
+    runtime with cycle-charging hooks), one simulated NIC per interface on
+    shared PCI buses, and one host per link. Runs traffic for a measured
+    window after a warmup (ARP resolves during warmup), and reports
+    forwarding rate, per-packet CPU time by category (Fig. 8), packet
+    outcomes (Fig. 11), and microarchitectural counters (§8.2). *)
+
+type port_spec = {
+  ps_device : string;
+  ps_router_ip : Oclick_packet.Ipaddr.t;
+  ps_router_eth : Oclick_packet.Ethaddr.t;
+  ps_host_ip : Oclick_packet.Ipaddr.t;
+  ps_host_eth : Oclick_packet.Ethaddr.t;
+}
+
+val standard_ports : int -> port_spec list
+(** Interface [i] is [eth<i>], router 10.0.[i].1, host 10.0.[i].2 —
+    matching [Oclick.Ip_router.standard_interfaces]. *)
+
+type flow = { fl_src : int; fl_dst : int }
+(** A traffic flow from the host on port [fl_src] to the host on port
+    [fl_dst]. *)
+
+val standard_flows : Platform.t -> flow list
+(** P0-style: 4 source links feed 4 destination links; two-port
+    platforms run one flow each way (§8.5). *)
+
+type outcome_counts = {
+  oc_sent : int;  (** UDP delivered to destination hosts *)
+  oc_fifo_overflow : int;
+  oc_missed_frame : int;
+  oc_queue_drop : int;
+  oc_other_drop : int;
+}
+
+type result = {
+  r_offered_pps : float;  (** measured input rate *)
+  r_forwarded_pps : float;
+  r_outcomes : outcome_counts;
+  r_receive_ns : float;  (** per forwarded packet, Fig. 8 *)
+  r_forward_ns : float;
+  r_transmit_ns : float;
+  r_total_ns : float;
+  r_instructions : float;  (** retired per forwarded packet, §8.2 *)
+  r_cache_misses : float;  (** per forwarded packet, §8.2 *)
+  r_btb_mispredicts : float;  (** per forwarded packet *)
+  r_pci_utilization : float;  (** busiest bus, 0..1 *)
+  r_cpu_utilization : float;
+  r_code_footprint : int;  (** bytes of element code (i-cache model) *)
+}
+
+val run :
+  ?duration_ms:int ->
+  ?warmup_ms:int ->
+  ?ports:port_spec list ->
+  ?flows:flow list ->
+  ?payload_len:int ->
+  platform:Platform.t ->
+  graph:Oclick_graph.Router.t ->
+  input_pps:int ->
+  unit ->
+  (result, string) Stdlib.result
+(** [input_pps] is aggregate over all flows. Defaults: 60 ms measured
+    after 30 ms warmup. *)
+
+val mlffr :
+  ?ports:port_spec list ->
+  ?flows:flow list ->
+  ?loss_tolerance:float ->
+  platform:Platform.t ->
+  graph:Oclick_graph.Router.t ->
+  unit ->
+  (int, string) Stdlib.result
+(** Maximum loss-free forwarding rate, by binary search over input rates
+    (default loss tolerance 0.2%). *)

@@ -1,0 +1,1 @@
+lib/lang/archive.ml: Buffer List Printf Scanf String

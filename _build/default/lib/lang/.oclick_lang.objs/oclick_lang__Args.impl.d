@@ -1,0 +1,1 @@
+lib/lang/args.ml: Buffer List String

@@ -1,0 +1,1 @@
+lib/lang/flatten.ml: Args Ast List Printf String

@@ -1,0 +1,1 @@
+lib/lang/parser.ml: Archive Ast Lexer List Printf String

@@ -1,0 +1,71 @@
+type member = { m_name : string; m_body : string }
+type t = member list
+
+let magic = "!<oclick archive>"
+
+let is_archive s =
+  String.length s >= String.length magic
+  && String.sub s 0 (String.length magic) = magic
+
+let to_string t =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf magic;
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun m ->
+      Buffer.add_string buf
+        (Printf.sprintf "--- file:%s bytes:%d\n" m.m_name
+           (String.length m.m_body));
+      Buffer.add_string buf m.m_body;
+      Buffer.add_char buf '\n')
+    t;
+  Buffer.contents buf
+
+let parse s =
+  if not (is_archive s) then Error "not an oclick archive"
+  else begin
+    let len = String.length s in
+    let line_end from = match String.index_from_opt s from '\n' with
+      | Some i -> i
+      | None -> len
+    in
+    let rec members pos acc =
+      if pos >= len then Ok (List.rev acc)
+      else begin
+        let eol = line_end pos in
+        let header = String.sub s pos (eol - pos) in
+        if String.trim header = "" then members (eol + 1) acc
+        else
+          match Scanf.sscanf_opt header "--- file:%s@ bytes:%d"
+                  (fun name bytes -> (name, bytes))
+          with
+          | None -> Error (Printf.sprintf "bad archive header %S" header)
+          | Some (name, bytes) ->
+              let body_start = eol + 1 in
+              if body_start + bytes > len then
+                Error (Printf.sprintf "archive member %S truncated" name)
+              else
+                let body = String.sub s body_start bytes in
+                (* skip the newline after the body *)
+                members (body_start + bytes + 1)
+                  ({ m_name = name; m_body = body } :: acc)
+      end
+    in
+    members (line_end 0 + 1) []
+  end
+
+let parse_exn s =
+  match parse s with Ok t -> t | Error msg -> failwith msg
+
+let find t name =
+  List.find_map
+    (fun m -> if String.equal m.m_name name then Some m.m_body else None)
+    t
+
+let add t ~name ~body =
+  let t = List.filter (fun m -> not (String.equal m.m_name name)) t in
+  t @ [ { m_name = name; m_body = body } ]
+
+let of_config cfg = [ { m_name = "config"; m_body = cfg } ]
+let config t = match find t "config" with Some c -> c | None -> ""
+let with_config t cfg = add t ~name:"config" ~body:cfg

@@ -1,0 +1,27 @@
+(** Configuration archives (paper §5.2).
+
+    Several tools attach generated source code to a configuration; an
+    archive bundles the configuration and those extra files into a single
+    text. The format is line-oriented: a magic first line, then for each
+    member a header line ["--- file:NAME bytes:N"] followed by exactly N
+    bytes of content and a newline. *)
+
+type member = { m_name : string; m_body : string }
+type t = member list
+
+val magic : string
+val is_archive : string -> bool
+val parse : string -> (t, string) result
+val parse_exn : string -> t
+val to_string : t -> string
+val find : t -> string -> string option
+val add : t -> name:string -> body:string -> t
+(** Adds or replaces a member. *)
+
+val of_config : string -> t
+(** An archive with a single ["config"] member. *)
+
+val config : t -> string
+(** The ["config"] member, or [""] if absent. *)
+
+val with_config : t -> string -> t

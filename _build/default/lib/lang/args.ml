@@ -1,0 +1,103 @@
+let split s =
+  let s = String.trim s in
+  if String.equal s "" then []
+  else begin
+    let args = ref [] in
+    let buf = Buffer.create 16 in
+    let depth = ref 0 in
+    let in_string = ref false in
+    let flush () =
+      args := String.trim (Buffer.contents buf) :: !args;
+      Buffer.clear buf
+    in
+    let n = String.length s in
+    let i = ref 0 in
+    while !i < n do
+      let c = s.[!i] in
+      (if !in_string then begin
+         Buffer.add_char buf c;
+         if c = '\\' && !i + 1 < n then begin
+           Buffer.add_char buf s.[!i + 1];
+           incr i
+         end
+         else if c = '"' then in_string := false
+       end
+       else
+         match c with
+         | '"' ->
+             in_string := true;
+             Buffer.add_char buf c
+         | '(' | '[' | '{' ->
+             incr depth;
+             Buffer.add_char buf c
+         | ')' | ']' | '}' ->
+             decr depth;
+             Buffer.add_char buf c
+         | ',' when !depth = 0 -> flush ()
+         | c -> Buffer.add_char buf c);
+      incr i
+    done;
+    flush ();
+    List.rev !args
+  end
+
+let unsplit args = String.concat ", " args
+
+let is_word_char c =
+  match c with
+  | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> true
+  | _ -> false
+
+let substitute bindings s =
+  let n = String.length s in
+  let buf = Buffer.create n in
+  let i = ref 0 in
+  while !i < n do
+    if s.[!i] = '$' && !i + 1 < n then begin
+      let braced = s.[!i + 1] = '{' in
+      let start = if braced then !i + 2 else !i + 1 in
+      let stop = ref start in
+      while !stop < n && is_word_char s.[!stop] do
+        incr stop
+      done;
+      let name = String.sub s start (!stop - start) in
+      let valid_close = (not braced) || (!stop < n && s.[!stop] = '}') in
+      match
+        if name <> "" && valid_close then List.assoc_opt ("$" ^ name) bindings
+        else None
+      with
+      | Some value ->
+          Buffer.add_string buf value;
+          i := if braced then !stop + 1 else !stop
+      | None ->
+          Buffer.add_char buf '$';
+          incr i
+    end
+    else begin
+      Buffer.add_char buf s.[!i];
+      incr i
+    end
+  done;
+  Buffer.contents buf
+
+let keyword arg =
+  match String.index_opt arg ' ' with
+  | None ->
+      if arg <> "" && String.uppercase_ascii arg = arg
+         && String.exists (fun c -> c >= 'A' && c <= 'Z') arg
+      then Some (arg, "")
+      else None
+  | Some i ->
+      let kw = String.sub arg 0 i in
+      if kw <> "" && String.uppercase_ascii kw = kw
+         && String.exists (fun c -> c >= 'A' && c <= 'Z') kw
+      then Some (kw, String.trim (String.sub arg i (String.length arg - i)))
+      else None
+
+let parse_bool s =
+  match String.lowercase_ascii (String.trim s) with
+  | "true" | "1" | "yes" -> Some true
+  | "false" | "0" | "no" -> Some false
+  | _ -> None
+
+let parse_int s = int_of_string_opt (String.trim s)

@@ -1,0 +1,24 @@
+(** Configuration-string argument handling.
+
+    Element configuration strings are comma-separated argument lists;
+    commas inside parentheses, brackets, braces, or double quotes do not
+    separate arguments. *)
+
+val split : string -> string list
+(** Split a configuration string into trimmed top-level arguments.
+    [""] yields [[]]. *)
+
+val unsplit : string list -> string
+(** Inverse of {!split}: joins with [", "]. *)
+
+val substitute : (string * string) list -> string -> string
+(** [substitute bindings s] replaces every occurrence of a variable
+    [$name] (or [${name}]) appearing in [bindings] with its value.
+    Variable references are recognized only at word boundaries. *)
+
+val keyword : string -> (string * string) option
+(** Parses a ["KEYWORD value"] argument: if the argument's first word is
+    all-uppercase, returns [(keyword, rest)]. *)
+
+val parse_bool : string -> bool option
+val parse_int : string -> int option

@@ -1,0 +1,95 @@
+type element = { e_name : string; e_class : class_expr; e_config : string }
+and class_expr = Cname of string | Ccompound of compound
+and compound = { formals : string list; body : t }
+
+and connection = {
+  c_from : string;
+  c_from_port : int;
+  c_to : string;
+  c_to_port : int;
+}
+
+and t = {
+  elements : element list;
+  connections : connection list;
+  classes : (string * compound) list;
+  requirements : string list;
+}
+
+let empty = { elements = []; connections = []; classes = []; requirements = [] }
+
+let find_element t name =
+  List.find_opt (fun e -> String.equal e.e_name name) t.elements
+
+let class_name = function Cname n -> n | Ccompound _ -> "<compound>"
+let element_names t = List.map (fun e -> e.e_name) t.elements
+let declared_classes t = List.map fst t.classes
+
+let used_classes t =
+  let seen = Hashtbl.create 16 in
+  let out = ref [] in
+  let add n =
+    if not (Hashtbl.mem seen n) then begin
+      Hashtbl.add seen n ();
+      out := n :: !out
+    end
+  in
+  let rec walk t =
+    List.iter
+      (fun e ->
+        match e.e_class with
+        | Cname n -> add n
+        | Ccompound c -> walk c.body)
+      t.elements;
+    List.iter (fun (_, c) -> walk c.body) t.classes
+  in
+  walk t;
+  List.rev !out
+
+let rename_element t ~old_name ~new_name =
+  let fix n = if String.equal n old_name then new_name else n in
+  {
+    t with
+    elements =
+      List.map
+        (fun e ->
+          if String.equal e.e_name old_name then { e with e_name = new_name }
+          else e)
+        t.elements;
+    connections =
+      List.map
+        (fun c -> { c with c_from = fix c.c_from; c_to = fix c.c_to })
+        t.connections;
+  }
+
+let remove_element t name =
+  {
+    t with
+    elements = List.filter (fun e -> not (String.equal e.e_name name)) t.elements;
+    connections =
+      List.filter
+        (fun c ->
+          not (String.equal c.c_from name) && not (String.equal c.c_to name))
+        t.connections;
+  }
+
+let add_element t e = { t with elements = t.elements @ [ e ] }
+let add_connection t c = { t with connections = t.connections @ [ c ] }
+
+let input_port_count t name =
+  List.fold_left
+    (fun acc c ->
+      if String.equal c.c_to name then max acc (c.c_to_port + 1) else acc)
+    0 t.connections
+
+let output_port_count t name =
+  List.fold_left
+    (fun acc c ->
+      if String.equal c.c_from name then max acc (c.c_from_port + 1) else acc)
+    0 t.connections
+
+let connections_to t name =
+  List.filter (fun c -> String.equal c.c_to name) t.connections
+
+let connections_from t name =
+  List.filter (fun c -> String.equal c.c_from name) t.connections

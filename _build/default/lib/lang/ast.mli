@@ -1,0 +1,70 @@
+(** Abstract syntax for the Click configuration language.
+
+    A configuration is a set of named elements, the connections between
+    their ports, [elementclass] definitions (compound elements), and
+    [require] statements. The language is declarative: it only describes
+    the router graph (paper §5.2). *)
+
+type element = {
+  e_name : string;  (** unique element name, e.g. ["ip_cl"] or ["Queue@3"] *)
+  e_class : class_expr;
+  e_config : string;  (** raw configuration string, unparsed *)
+}
+
+and class_expr =
+  | Cname of string  (** a class referenced by name *)
+  | Ccompound of compound  (** an anonymous inline compound class *)
+
+and compound = {
+  formals : string list;  (** parameter names, each starting with ['$'] *)
+  body : t;
+      (** statements of the body; connections may reference the
+          pseudo-elements ["input"] and ["output"] *)
+}
+
+and connection = {
+  c_from : string;
+  c_from_port : int;
+  c_to : string;
+  c_to_port : int;
+}
+
+and t = {
+  elements : element list;  (** in declaration order *)
+  connections : connection list;
+  classes : (string * compound) list;  (** [elementclass] definitions *)
+  requirements : string list;
+}
+
+val empty : t
+
+val find_element : t -> string -> element option
+val class_name : class_expr -> string
+(** The printable name of a class expression; anonymous compounds render
+    as ["<compound>"]. *)
+
+val element_names : t -> string list
+val declared_classes : t -> string list
+(** Names bound by [elementclass], innermost configurations excluded. *)
+
+val used_classes : t -> string list
+(** Class names instantiated by at least one element (recursively including
+    compound bodies), without duplicates. *)
+
+val rename_element : t -> old_name:string -> new_name:string -> t
+(** Renames an element and every connection endpoint that references it. *)
+
+val remove_element : t -> string -> t
+(** Removes an element and all connections touching it. *)
+
+val add_element : t -> element -> t
+val add_connection : t -> connection -> t
+
+val input_port_count : t -> string -> int
+(** Number of distinct input ports of the named element that have at least
+    one connection (max used index + 1). *)
+
+val output_port_count : t -> string -> int
+
+val connections_to : t -> string -> connection list
+val connections_from : t -> string -> connection list

@@ -1,0 +1,181 @@
+exception Fail of string
+
+let failf fmt = Printf.ksprintf (fun s -> raise (Fail s)) fmt
+
+let max_depth = 64
+
+(* Substitute formal parameters into every configuration string of a body.
+   A nested compound that rebinds a formal shadows the outer binding. *)
+let rec substitute_body bindings (t : Ast.t) : Ast.t =
+  if bindings = [] then t
+  else begin
+    let subst_class (c : Ast.compound) =
+      let inner =
+        List.filter (fun (name, _) -> not (List.mem name c.formals)) bindings
+      in
+      { c with Ast.body = substitute_body inner c.body }
+    in
+    {
+      t with
+      Ast.elements =
+        List.map
+          (fun (e : Ast.element) ->
+            let e =
+              { e with Ast.e_config = Args.substitute bindings e.e_config }
+            in
+            match e.e_class with
+            | Ast.Cname _ -> e
+            | Ast.Ccompound c ->
+                { e with Ast.e_class = Ast.Ccompound (subst_class c) })
+          t.elements;
+      classes = List.map (fun (n, c) -> (n, subst_class c)) t.classes;
+    }
+  end
+
+let rec flatten_config env depth (t : Ast.t) : Ast.t =
+  if depth > max_depth then failf "elementclass nesting too deep (recursive?)";
+  let env = t.classes @ env in
+  (* Expand elements left to right, accumulating the flattened graph. *)
+  let expand_one acc (e : Ast.element) =
+    let compound =
+      match e.e_class with
+      | Ast.Ccompound c -> Some c
+      | Ast.Cname n -> List.assoc_opt n env
+    in
+    match compound with
+    | None -> Ast.add_element acc e
+    | Some c -> expand_compound env depth acc e c
+  in
+  let start = { Ast.empty with
+                Ast.connections = t.connections;
+                requirements = t.requirements } in
+  let flat = List.fold_left expand_one start t.elements in
+  { flat with Ast.classes = [] }
+
+and expand_compound env depth acc (e : Ast.element) (c : Ast.compound) =
+  let args = Args.split e.e_config in
+  if List.length args > List.length c.formals then
+    failf "element %s: too many arguments for compound class (%d > %d)"
+      e.e_name (List.length args) (List.length c.formals);
+  let bindings =
+    List.mapi
+      (fun i formal ->
+        (formal, match List.nth_opt args i with Some a -> a | None -> ""))
+      c.formals
+  in
+  let body = substitute_body bindings c.body in
+  (* Flatten the body itself first so nested compounds disappear. *)
+  let body = flatten_config env (depth + 1) body in
+  let rename n = e.e_name ^ "/" ^ n in
+  let is_input n = String.equal n "input" in
+  let is_output n = String.equal n "output" in
+  (* Connections in the accumulated graph that touch the compound element. *)
+  let into_e =
+    List.filter (fun (x : Ast.connection) -> String.equal x.c_to e.e_name)
+      acc.Ast.connections
+  and out_of_e =
+    List.filter (fun (x : Ast.connection) -> String.equal x.c_from e.e_name)
+      acc.Ast.connections
+  and others =
+    List.filter
+      (fun (x : Ast.connection) ->
+        (not (String.equal x.c_to e.e_name))
+        && not (String.equal x.c_from e.e_name))
+      acc.Ast.connections
+  in
+  (* Port sanity: every externally connected port must exist in the body. *)
+  let body_in_ports =
+    List.filter_map
+      (fun (x : Ast.connection) ->
+        if is_input x.c_from then Some x.c_from_port else None)
+      body.Ast.connections
+  and body_out_ports =
+    List.filter_map
+      (fun (x : Ast.connection) ->
+        if is_output x.c_to then Some x.c_to_port else None)
+      body.Ast.connections
+  in
+  List.iter
+    (fun (x : Ast.connection) ->
+      if not (List.mem x.c_to_port body_in_ports) then
+        failf "compound element %s has no input port %d" e.e_name x.c_to_port)
+    into_e;
+  List.iter
+    (fun (x : Ast.connection) ->
+      if not (List.mem x.c_from_port body_out_ports) then
+        failf "compound element %s has no output port %d" e.e_name
+          x.c_from_port)
+    out_of_e;
+  (* Splice body connections. *)
+  let spliced = ref [] in
+  let emit c = spliced := c :: !spliced in
+  List.iter
+    (fun (b : Ast.connection) ->
+      match (is_input b.c_from, is_output b.c_to) with
+      | false, false ->
+          emit { b with Ast.c_from = rename b.c_from; c_to = rename b.c_to }
+      | true, false ->
+          List.iter
+            (fun (x : Ast.connection) ->
+              if x.c_to_port = b.c_from_port then
+                emit
+                  {
+                    Ast.c_from = x.c_from;
+                    c_from_port = x.c_from_port;
+                    c_to = rename b.c_to;
+                    c_to_port = b.c_to_port;
+                  })
+            into_e
+      | false, true ->
+          List.iter
+            (fun (x : Ast.connection) ->
+              if x.c_from_port = b.c_to_port then
+                emit
+                  {
+                    Ast.c_from = rename b.c_from;
+                    c_from_port = b.c_from_port;
+                    c_to = x.c_to;
+                    c_to_port = x.c_to_port;
+                  })
+            out_of_e
+      | true, true ->
+          (* pass-through: join external producers to external consumers *)
+          List.iter
+            (fun (x : Ast.connection) ->
+              if x.c_to_port = b.c_from_port then
+                List.iter
+                  (fun (y : Ast.connection) ->
+                    if y.c_from_port = b.c_to_port then
+                      emit
+                        {
+                          Ast.c_from = x.c_from;
+                          c_from_port = x.c_from_port;
+                          c_to = y.c_to;
+                          c_to_port = y.c_to_port;
+                        })
+                  out_of_e)
+            into_e)
+    body.Ast.connections;
+  let body_elements =
+    List.map
+      (fun (b : Ast.element) -> { b with Ast.e_name = rename b.e_name })
+      body.Ast.elements
+  in
+  {
+    Ast.elements = acc.Ast.elements @ body_elements;
+    connections = others @ List.rev !spliced;
+    classes = acc.Ast.classes;
+    requirements =
+      acc.Ast.requirements
+      @ List.filter
+          (fun r -> not (List.mem r acc.Ast.requirements))
+          body.Ast.requirements;
+  }
+
+let flatten t =
+  match flatten_config [] 0 t with
+  | flat -> Ok flat
+  | exception Fail msg -> Error msg
+
+let flatten_exn t =
+  match flatten t with Ok t -> t | Error msg -> failwith msg

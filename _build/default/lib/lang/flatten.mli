@@ -1,0 +1,16 @@
+(** Compound-element elaboration (the [click-flatten] pass).
+
+    Replaces every element whose class is a compound — either an anonymous
+    inline compound or a name bound by [elementclass] — with the compound's
+    body: body elements are renamed ["parent/child"], formal parameters are
+    substituted into body configuration strings, and connections are spliced
+    through the ["input"]/["output"] pseudo-elements. All other optimizers
+    run this first (paper §6.2). *)
+
+val flatten : Ast.t -> (Ast.t, string) result
+(** The result contains no compound classes and no [elementclass]
+    definitions. Fails on recursive element classes, on configuration
+    arguments that do not match the compound's formals, and on connections
+    to compound ports the body does not define. *)
+
+val flatten_exn : Ast.t -> Ast.t

@@ -1,0 +1,232 @@
+type token =
+  | Ident of string
+  | Colon_colon
+  | Arrow
+  | Comma
+  | Semi
+  | Lbrace
+  | Rbrace
+  | Lbracket
+  | Rbracket
+  | Lparen
+  | Rparen
+  | Bar
+  | Eof
+
+type t = {
+  src : string;
+  mutable pos : int;
+  mutable lnum : int;
+  mutable lookahead : token option;
+}
+
+exception Error of string * int
+
+let create src = { src; pos = 0; lnum = 1; lookahead = None }
+let line lx = lx.lnum
+let at_end lx = lx.pos >= String.length lx.src
+
+let cur lx = lx.src.[lx.pos]
+
+let advance lx =
+  if not (at_end lx) then begin
+    if cur lx = '\n' then lx.lnum <- lx.lnum + 1;
+    lx.pos <- lx.pos + 1
+  end
+
+let is_ident_char c =
+  match c with
+  | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | '@' | '/' | '.' | '$' -> true
+  | _ -> false
+
+(* Skips whitespace and all three comment forms: //, /* */ and #. *)
+let rec skip_blank lx =
+  if at_end lx then ()
+  else
+    match cur lx with
+    | ' ' | '\t' | '\r' | '\n' ->
+        advance lx;
+        skip_blank lx
+    | '#' ->
+        while (not (at_end lx)) && cur lx <> '\n' do
+          advance lx
+        done;
+        skip_blank lx
+    | '/' when lx.pos + 1 < String.length lx.src -> (
+        match lx.src.[lx.pos + 1] with
+        | '/' ->
+            while (not (at_end lx)) && cur lx <> '\n' do
+              advance lx
+            done;
+            skip_blank lx
+        | '*' ->
+            advance lx;
+            advance lx;
+            let rec scan () =
+              if at_end lx then raise (Error ("unterminated comment", lx.lnum))
+              else if
+                cur lx = '*'
+                && lx.pos + 1 < String.length lx.src
+                && lx.src.[lx.pos + 1] = '/'
+              then begin
+                advance lx;
+                advance lx
+              end
+              else begin
+                advance lx;
+                scan ()
+              end
+            in
+            scan ();
+            skip_blank lx
+        | _ -> ())
+    | _ -> ()
+
+let scan_token lx =
+  skip_blank lx;
+  if at_end lx then Eof
+  else
+    match cur lx with
+    | ':' ->
+        advance lx;
+        if (not (at_end lx)) && cur lx = ':' then begin
+          advance lx;
+          Colon_colon
+        end
+        else raise (Error ("expected '::'", lx.lnum))
+    | '-' ->
+        advance lx;
+        if (not (at_end lx)) && cur lx = '>' then begin
+          advance lx;
+          Arrow
+        end
+        else raise (Error ("expected '->'", lx.lnum))
+    | ',' ->
+        advance lx;
+        Comma
+    | ';' ->
+        advance lx;
+        Semi
+    | '{' ->
+        advance lx;
+        Lbrace
+    | '}' ->
+        advance lx;
+        Rbrace
+    | '[' ->
+        advance lx;
+        Lbracket
+    | ']' ->
+        advance lx;
+        Rbracket
+    | '(' ->
+        advance lx;
+        Lparen
+    | ')' ->
+        advance lx;
+        Rparen
+    | '|' ->
+        advance lx;
+        Bar
+    | c when is_ident_char c ->
+        let start = lx.pos in
+        while (not (at_end lx)) && is_ident_char (cur lx) do
+          advance lx
+        done;
+        Ident (String.sub lx.src start (lx.pos - start))
+    | c -> raise (Error (Printf.sprintf "unexpected character %C" c, lx.lnum))
+
+let next lx =
+  match lx.lookahead with
+  | Some tok ->
+      lx.lookahead <- None;
+      tok
+  | None -> scan_token lx
+
+let peek lx =
+  match lx.lookahead with
+  | Some tok -> tok
+  | None ->
+      let tok = scan_token lx in
+      lx.lookahead <- Some tok;
+      tok
+
+let trim = String.trim
+
+let read_config lx =
+  assert (lx.lookahead = None);
+  let buf = Buffer.create 32 in
+  let depth = ref 0 in
+  let rec scan () =
+    if at_end lx then raise (Error ("unterminated configuration", lx.lnum))
+    else
+      match cur lx with
+      | ')' when !depth = 0 -> () (* leave Rparen for the parser *)
+      | ')' ->
+          decr depth;
+          Buffer.add_char buf ')';
+          advance lx;
+          scan ()
+      | '(' ->
+          incr depth;
+          Buffer.add_char buf '(';
+          advance lx;
+          scan ()
+      | '"' ->
+          Buffer.add_char buf '"';
+          advance lx;
+          let rec str () =
+            if at_end lx then
+              raise (Error ("unterminated string in configuration", lx.lnum))
+            else
+              match cur lx with
+              | '"' ->
+                  Buffer.add_char buf '"';
+                  advance lx
+              | '\\' ->
+                  Buffer.add_char buf '\\';
+                  advance lx;
+                  if not (at_end lx) then begin
+                    Buffer.add_char buf (cur lx);
+                    advance lx
+                  end;
+                  str ()
+              | c ->
+                  Buffer.add_char buf c;
+                  advance lx;
+                  str ()
+          in
+          str ();
+          scan ()
+      | '/' when lx.pos + 1 < String.length lx.src && lx.src.[lx.pos + 1] = '*'
+        ->
+          skip_blank lx;
+          Buffer.add_char buf ' ';
+          scan ()
+      | '/' when lx.pos + 1 < String.length lx.src && lx.src.[lx.pos + 1] = '/'
+        ->
+          skip_blank lx;
+          Buffer.add_char buf ' ';
+          scan ()
+      | c ->
+          Buffer.add_char buf c;
+          advance lx;
+          scan ()
+  in
+  scan ();
+  trim (Buffer.contents buf)
+
+let token_to_string = function
+  | Ident s -> Printf.sprintf "identifier %S" s
+  | Colon_colon -> "'::'"
+  | Arrow -> "'->'"
+  | Comma -> "','"
+  | Semi -> "';'"
+  | Lbrace -> "'{'"
+  | Rbrace -> "'}'"
+  | Lbracket -> "'['"
+  | Rbracket -> "']'"
+  | Lparen -> "'('"
+  | Rparen -> "')'"
+  | Bar -> "'|'"
+  | Eof -> "end of input"

@@ -1,0 +1,42 @@
+(** Hand-written lexer for the Click configuration language.
+
+    Configuration strings (the text between an element's parentheses) are
+    not tokenized; the parser calls {!read_config} to capture them raw,
+    so commas, slashes, and quotes inside configurations never confuse the
+    statement grammar. *)
+
+type token =
+  | Ident of string
+  | Colon_colon  (** [::] *)
+  | Arrow  (** [->] *)
+  | Comma
+  | Semi
+  | Lbrace
+  | Rbrace
+  | Lbracket
+  | Rbracket
+  | Lparen
+  | Rparen
+  | Bar  (** [|], separating compound formals from the body *)
+  | Eof
+
+type t
+
+exception Error of string * int
+(** Message and 1-based line number. *)
+
+val create : string -> t
+val line : t -> int
+val next : t -> token
+(** Consume and return the next token. *)
+
+val peek : t -> token
+(** Look at the next token without consuming it. *)
+
+val read_config : t -> string
+(** Read a raw configuration string up to (but not consuming) the balancing
+    [Rparen]. Must be called when the last consumed token was {!Lparen}.
+    Handles nested parentheses, double-quoted strings with escapes, and
+    comments. The result is whitespace-trimmed. *)
+
+val token_to_string : token -> string

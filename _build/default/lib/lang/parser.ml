@@ -1,0 +1,254 @@
+exception Fail of string * int
+
+type scope = {
+  mutable elements : Ast.element list; (* reversed *)
+  mutable connections : Ast.connection list; (* reversed *)
+  mutable classes : (string * Ast.compound) list; (* reversed *)
+  mutable requirements : string list; (* reversed *)
+  in_compound : bool;
+}
+
+type state = { lx : Lexer.t; mutable anon_counter : int }
+
+let fail st msg = raise (Fail (msg, Lexer.line st.lx))
+
+let fresh_scope in_compound =
+  { elements = []; connections = []; classes = []; requirements = []; in_compound }
+
+let scope_to_config sc =
+  {
+    Ast.elements = List.rev sc.elements;
+    connections = List.rev sc.connections;
+    classes = List.rev sc.classes;
+    requirements = List.rev sc.requirements;
+  }
+
+let declared sc name =
+  List.exists (fun e -> String.equal e.Ast.e_name name) sc.elements
+
+let declare st sc (e : Ast.element) =
+  if declared sc e.e_name then
+    fail st (Printf.sprintf "element %S redeclared" e.e_name)
+  else sc.elements <- e :: sc.elements
+
+let expect st tok =
+  let got = Lexer.next st.lx in
+  if got <> tok then
+    fail st
+      (Printf.sprintf "expected %s, got %s"
+         (Lexer.token_to_string tok)
+         (Lexer.token_to_string got))
+
+let expect_ident st =
+  match Lexer.next st.lx with
+  | Lexer.Ident s -> s
+  | tok -> fail st ("expected identifier, got " ^ Lexer.token_to_string tok)
+
+(* Optional "( config )"; returns "" when absent. *)
+let opt_config st =
+  if Lexer.peek st.lx = Lexer.Lparen then begin
+    ignore (Lexer.next st.lx);
+    let cfg = Lexer.read_config st.lx in
+    expect st Lexer.Rparen;
+    cfg
+  end
+  else ""
+
+(* Optional "[ port ]"; returns -1 when absent. *)
+let opt_port st =
+  if Lexer.peek st.lx = Lexer.Lbracket then begin
+    ignore (Lexer.next st.lx);
+    let s = expect_ident st in
+    expect st Lexer.Rbracket;
+    match int_of_string_opt s with
+    | Some n when n >= 0 -> n
+    | _ -> fail st (Printf.sprintf "bad port number %S" s)
+  end
+  else -1
+
+let fresh_anon_name st class_name =
+  st.anon_counter <- st.anon_counter + 1;
+  Printf.sprintf "%s@%d" class_name st.anon_counter
+
+let is_pseudo name = String.equal name "input" || String.equal name "output"
+
+let rec parse_compound st =
+  (* Called after '{'. Parses optional "$a, $b |" formals then statements
+     up to the matching '}'. *)
+  let formals =
+    match Lexer.peek st.lx with
+    | Lexer.Ident s when String.length s > 0 && s.[0] = '$' ->
+        let rec loop acc =
+          let name = expect_ident st in
+          if String.length name = 0 || name.[0] <> '$' then
+            fail st "compound formals must start with '$'";
+          match Lexer.next st.lx with
+          | Lexer.Comma -> loop (name :: acc)
+          | Lexer.Bar -> List.rev (name :: acc)
+          | tok ->
+              fail st ("expected ',' or '|' after formal, got "
+                      ^ Lexer.token_to_string tok)
+        in
+        loop []
+    | _ -> []
+  in
+  let sc = fresh_scope true in
+  parse_statements st sc ~stop:Lexer.Rbrace;
+  expect st Lexer.Rbrace;
+  { Ast.formals; body = scope_to_config sc }
+
+(* A node of a connection chain: returns the element name to connect. *)
+and parse_node st sc =
+  match Lexer.next st.lx with
+  | Lexer.Lbrace ->
+      let compound = parse_compound st in
+      let name = fresh_anon_name st "compound" in
+      declare st sc
+        { Ast.e_name = name; e_class = Ccompound compound; e_config = "" };
+      name
+  | Lexer.Ident first -> (
+      match Lexer.peek st.lx with
+      | Lexer.Comma | Lexer.Colon_colon ->
+          (* declaration: names :: class (config) *)
+          let rec names acc =
+            match Lexer.next st.lx with
+            | Lexer.Comma -> names (expect_ident st :: acc)
+            | Lexer.Colon_colon -> List.rev acc
+            | tok ->
+                fail st ("expected ',' or '::', got " ^ Lexer.token_to_string tok)
+          in
+          let names = names [ first ] in
+          let cls, config = parse_class_spec st in
+          List.iter
+            (fun n ->
+              if is_pseudo n then fail st "cannot declare 'input' or 'output'";
+              declare st sc { Ast.e_name = n; e_class = cls; e_config = config })
+            names;
+          (match names with
+          | [ n ] -> n
+          | _ :: _ :: _ when chain_continues st ->
+              fail st "multi-element declaration cannot appear in a connection"
+          | n :: _ -> n
+          | [] -> assert false)
+      | Lexer.Lparen ->
+          (* anonymous element: ClassName(config) *)
+          ignore (Lexer.next st.lx);
+          let cfg = Lexer.read_config st.lx in
+          expect st Lexer.Rparen;
+          let name = fresh_anon_name st first in
+          declare st sc
+            { Ast.e_name = name; e_class = Cname first; e_config = cfg };
+          name
+      | _ ->
+          if declared sc first then first
+          else if is_pseudo first then
+            if sc.in_compound then first
+            else fail st (first ^ " used outside a compound element")
+          else begin
+            (* an undeclared identifier in a connection is an anonymous
+               element of that class, as in Click *)
+            let name = fresh_anon_name st first in
+            declare st sc
+              { Ast.e_name = name; e_class = Cname first; e_config = "" };
+            name
+          end)
+  | tok -> fail st ("expected element, got " ^ Lexer.token_to_string tok)
+
+and chain_continues st =
+  match Lexer.peek st.lx with Lexer.Arrow | Lexer.Lbracket -> true | _ -> false
+
+and parse_class_spec st =
+  match Lexer.next st.lx with
+  | Lexer.Lbrace ->
+      let c = parse_compound st in
+      (Ast.Ccompound c, "")
+  | Lexer.Ident cls ->
+      let cfg = opt_config st in
+      (Ast.Cname cls, cfg)
+  | tok -> fail st ("expected class, got " ^ Lexer.token_to_string tok)
+
+and parse_chain st sc =
+  let first = parse_node st sc in
+  let rec loop from_name =
+    let from_port = opt_port st in
+    match Lexer.peek st.lx with
+    | Lexer.Arrow ->
+        ignore (Lexer.next st.lx);
+        let to_port = opt_port st in
+        let to_name = parse_node st sc in
+        sc.connections <-
+          {
+            Ast.c_from = from_name;
+            c_from_port = (if from_port < 0 then 0 else from_port);
+            c_to = to_name;
+            c_to_port = (if to_port < 0 then 0 else to_port);
+          }
+          :: sc.connections;
+        loop to_name
+    | _ ->
+        if from_port >= 0 then
+          fail st "dangling output port at end of connection"
+  in
+  loop first
+
+and parse_statements st sc ~stop =
+  let rec loop () =
+    match Lexer.peek st.lx with
+    | tok when tok = stop -> ()
+    | Lexer.Eof ->
+        if stop <> Lexer.Eof then fail st "unexpected end of input" else ()
+    | Lexer.Semi ->
+        ignore (Lexer.next st.lx);
+        loop ()
+    | Lexer.Ident "elementclass" ->
+        ignore (Lexer.next st.lx);
+        let name = expect_ident st in
+        expect st Lexer.Lbrace;
+        let compound = parse_compound st in
+        if List.mem_assoc name sc.classes then
+          fail st (Printf.sprintf "elementclass %S redefined" name);
+        sc.classes <- (name, compound) :: sc.classes;
+        loop ()
+    | Lexer.Ident "require" ->
+        ignore (Lexer.next st.lx);
+        expect st Lexer.Lparen;
+        let req = Lexer.read_config st.lx in
+        expect st Lexer.Rparen;
+        sc.requirements <- req :: sc.requirements;
+        loop ()
+    | _ ->
+        parse_chain st sc;
+        (match Lexer.peek st.lx with
+        | tok when tok = stop -> ()
+        | Lexer.Eof when stop = Lexer.Eof -> ()
+        | _ -> expect st Lexer.Semi);
+        loop ()
+  in
+  loop ()
+
+let parse src =
+  let st = { lx = Lexer.create src; anon_counter = 0 } in
+  let sc = fresh_scope false in
+  match parse_statements st sc ~stop:Lexer.Eof with
+  | () -> Ok (scope_to_config sc)
+  | exception Fail (msg, line) ->
+      Error (Printf.sprintf "parse error, line %d: %s" line msg)
+  | exception Lexer.Error (msg, line) ->
+      Error (Printf.sprintf "lexical error, line %d: %s" line msg)
+
+let parse_exn src =
+  match parse src with Ok t -> t | Error msg -> failwith msg
+
+let parse_file path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let contents = really_input_string ic len in
+  close_in ic;
+  let source =
+    if Archive.is_archive contents then
+      match Archive.find (Archive.parse_exn contents) "config" with
+      | Some body -> body
+      | None -> contents
+    else contents
+  in
+  parse source

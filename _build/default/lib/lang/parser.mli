@@ -1,0 +1,16 @@
+(** Parser for the Click configuration language.
+
+    This is the tool-side parser of the paper (§5.2): it parses
+    configurations without knowing which identifiers name element classes,
+    accepts unknown classes, and preserves compound-element abstractions
+    for the optimizers to elaborate. *)
+
+val parse : string -> (Ast.t, string) result
+(** Parse a configuration. The error string includes a line number. *)
+
+val parse_exn : string -> Ast.t
+(** Like {!parse} but raises [Failure]. *)
+
+val parse_file : string -> (Ast.t, string) result
+(** Parse the contents of a file (or of the ["config"] member if the file
+    is an oclick archive). *)

@@ -1,0 +1,129 @@
+let rec compound_to_string ~indent (c : Ast.compound) =
+  let pad = String.make indent ' ' in
+  let buf = Buffer.create 64 in
+  Buffer.add_string buf "{\n";
+  if c.formals <> [] then
+    Buffer.add_string buf
+      (pad ^ "  " ^ String.concat ", " c.formals ^ " |\n");
+  Buffer.add_string buf (body_to_string ~indent:(indent + 2) c.body);
+  Buffer.add_string buf (pad ^ "}");
+  Buffer.contents buf
+
+and class_expr_to_string ~indent = function
+  | Ast.Cname n -> n
+  | Ast.Ccompound c -> compound_to_string ~indent c
+
+and element_to_string_indent ~indent (e : Ast.element) =
+  let cls = class_expr_to_string ~indent e.e_class in
+  if String.equal e.e_config "" then
+    Printf.sprintf "%s :: %s;" e.e_name cls
+  else Printf.sprintf "%s :: %s(%s);" e.e_name cls e.e_config
+
+and connection_to_string (c : Ast.connection) =
+  let from_port = if c.c_from_port = 0 then "" else Printf.sprintf " [%d]" c.c_from_port in
+  let to_port = if c.c_to_port = 0 then "" else Printf.sprintf "[%d] " c.c_to_port in
+  Printf.sprintf "%s%s -> %s%s;" c.c_from from_port to_port c.c_to
+
+and body_to_string ~indent (t : Ast.t) =
+  let pad = String.make indent ' ' in
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun r -> Buffer.add_string buf (pad ^ "require(" ^ r ^ ");\n"))
+    t.requirements;
+  List.iter
+    (fun (name, c) ->
+      Buffer.add_string buf
+        (Printf.sprintf "%selementclass %s %s\n" pad name
+           (compound_to_string ~indent c)))
+    t.classes;
+  List.iter
+    (fun e ->
+      Buffer.add_string buf (pad ^ element_to_string_indent ~indent e ^ "\n"))
+    t.elements;
+  List.iter
+    (fun c -> Buffer.add_string buf (pad ^ connection_to_string c ^ "\n"))
+    t.connections;
+  Buffer.contents buf
+
+let element_to_string e = element_to_string_indent ~indent:0 e
+let to_string t = body_to_string ~indent:0 t
+
+let html_escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '<' -> Buffer.add_string buf "&lt;"
+      | '>' -> Buffer.add_string buf "&gt;"
+      | '&' -> Buffer.add_string buf "&amp;"
+      | '"' -> Buffer.add_string buf "&quot;"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let dot_escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' | '\\' | '{' | '}' | '<' | '>' | '|' ->
+          Buffer.add_char buf '\\';
+          Buffer.add_char buf c
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let dot_of_config (t : Ast.t) =
+  let buf = Buffer.create 1024 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add "digraph click {\n  rankdir=TB;\n  node [shape=record, fontsize=10];\n";
+  List.iter
+    (fun (e : Ast.element) ->
+      let cfg =
+        if String.length e.e_config > 40 then
+          String.sub e.e_config 0 37 ^ "..."
+        else e.e_config
+      in
+      add "  \"%s\" [label=\"{%s | %s%s}\"];\n" (dot_escape e.e_name)
+        (dot_escape e.e_name)
+        (dot_escape (Ast.class_name e.e_class))
+        (if cfg = "" then "" else "(" ^ dot_escape cfg ^ ")"))
+    t.elements;
+  List.iter
+    (fun (c : Ast.connection) ->
+      add "  \"%s\" -> \"%s\" [taillabel=\"%d\", headlabel=\"%d\", fontsize=8];\n"
+        (dot_escape c.c_from) (dot_escape c.c_to) c.c_from_port c.c_to_port)
+    t.connections;
+  add "}\n";
+  Buffer.contents buf
+
+let html_of_config (t : Ast.t) =
+  let buf = Buffer.create 1024 in
+  let add = Buffer.add_string buf in
+  add "<!DOCTYPE html>\n<html><head><title>Click configuration</title>\n";
+  add "<style>body{font-family:monospace} .cls{color:#056} \
+       .cfg{color:#850} td{padding:0 8px}</style></head><body>\n";
+  add "<h1>Click configuration</h1>\n<h2>Elements</h2>\n<table>\n";
+  List.iter
+    (fun (e : Ast.element) ->
+      add
+        (Printf.sprintf
+           "<tr><td><a id=\"e-%s\"></a><b>%s</b></td>\
+            <td class=\"cls\">%s</td><td class=\"cfg\">%s</td></tr>\n"
+           (html_escape e.e_name) (html_escape e.e_name)
+           (html_escape (Ast.class_name e.e_class))
+           (html_escape e.e_config)))
+    t.elements;
+  add "</table>\n<h2>Connections</h2>\n<ul>\n";
+  List.iter
+    (fun (c : Ast.connection) ->
+      add
+        (Printf.sprintf
+           "<li><a href=\"#e-%s\">%s</a> [%d] &rarr; [%d] \
+            <a href=\"#e-%s\">%s</a></li>\n"
+           (html_escape c.c_from) (html_escape c.c_from) c.c_from_port
+           c.c_to_port (html_escape c.c_to) (html_escape c.c_to)))
+    t.connections;
+  add "</ul>\n</body></html>\n";
+  Buffer.contents buf

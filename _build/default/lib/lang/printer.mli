@@ -1,0 +1,20 @@
+(** Emits Click-language text from an AST.
+
+    The output is canonical (declarations first, then connections) and
+    round-trips through {!Parser.parse}. The optimizers rely on this to
+    write arbitrarily transformed graphs back out (paper §5.2). *)
+
+val to_string : Ast.t -> string
+
+val element_to_string : Ast.element -> string
+(** One declaration, without the trailing newline. *)
+
+val connection_to_string : Ast.connection -> string
+
+val html_of_config : Ast.t -> string
+(** The [click-pretty] rendering: a standalone HTML page listing
+    declarations and connections with intra-document links. *)
+
+val dot_of_config : Ast.t -> string
+(** A Graphviz rendering of the configuration graph: one record-shaped
+    node per element (name, class, configuration), port-labelled edges. *)

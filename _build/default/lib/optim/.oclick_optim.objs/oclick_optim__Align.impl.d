@@ -1,0 +1,1 @@
+lib/optim/align.ml: Array List Oclick_graph Oclick_lang Printf String

@@ -1,0 +1,1 @@
+lib/optim/align.mli: Oclick_graph

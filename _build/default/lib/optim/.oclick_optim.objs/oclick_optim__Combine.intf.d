@@ -1,0 +1,1 @@
+lib/optim/combine.mli: Oclick_graph

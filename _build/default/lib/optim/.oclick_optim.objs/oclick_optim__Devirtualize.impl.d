@@ -1,0 +1,1 @@
+lib/optim/devirtualize.ml: Array Buffer Hashtbl Int List Oclick_graph Oclick_runtime Option Printf String

@@ -1,0 +1,1 @@
+lib/optim/devirtualize.mli: Oclick_graph

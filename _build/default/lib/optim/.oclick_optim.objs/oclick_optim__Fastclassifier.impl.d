@@ -1,0 +1,1 @@
+lib/optim/fastclassifier.ml: Hashtbl List Oclick_classifier Oclick_elements Oclick_graph Printf String

@@ -1,0 +1,1 @@
+lib/optim/fastclassifier.mli: Oclick_classifier Oclick_graph

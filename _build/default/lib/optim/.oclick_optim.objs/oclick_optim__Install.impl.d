@@ -1,0 +1,1 @@
+lib/optim/install.ml: Oclick_classifier Oclick_elements Oclick_graph Oclick_lang Oclick_runtime Printf String

@@ -1,0 +1,1 @@
+lib/optim/install.mli: Oclick_graph

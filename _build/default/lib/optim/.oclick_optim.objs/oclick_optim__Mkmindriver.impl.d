@@ -1,0 +1,1 @@
+lib/optim/mkmindriver.ml: Buffer Hashtbl List Oclick_graph Printf String

@@ -1,0 +1,1 @@
+lib/optim/mkmindriver.mli: Oclick_graph

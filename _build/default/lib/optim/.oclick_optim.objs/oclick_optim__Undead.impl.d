@@ -1,0 +1,1 @@
+lib/optim/undead.ml: Array Hashtbl List Oclick_graph Oclick_lang String

@@ -1,0 +1,1 @@
+lib/optim/undead.mli: Oclick_graph

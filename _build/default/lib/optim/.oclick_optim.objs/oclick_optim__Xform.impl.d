@@ -1,0 +1,1 @@
+lib/optim/xform.ml: Array Hashtbl List Oclick_graph Oclick_lang Printf String

@@ -1,0 +1,1 @@
+lib/optim/xform.mli: Oclick_graph Oclick_lang

@@ -1,0 +1,239 @@
+module Router = Oclick_graph.Router
+module Args = Oclick_lang.Args
+
+type alignment = { modulus : int; offset : int }
+
+let unknown = { modulus = 1; offset = 0 }
+let rec gcd a b = if b = 0 then a else gcd b (a mod b)
+
+let normalize a =
+  if a.modulus <= 1 then unknown
+  else { a with offset = ((a.offset mod a.modulus) + a.modulus) mod a.modulus }
+
+let join a b =
+  let a = normalize a and b = normalize b in
+  if a = b then a
+  else begin
+    let g = gcd (gcd a.modulus b.modulus) (abs (a.offset - b.offset)) in
+    if g <= 1 then unknown else normalize { modulus = g; offset = a.offset }
+  end
+
+let satisfies have want =
+  want.modulus = 1
+  || (have.modulus mod want.modulus = 0
+     && (have.offset - want.offset) mod want.modulus = 0)
+
+let source_alignment = { modulus = 4; offset = 2 }
+
+(* --- per-class behaviour (built into the tool, as the paper admits) --- *)
+
+type requirement = No_req | Want of alignment | Want_known of int
+
+let requirement_of_class cls =
+  match cls with
+  | "CheckIPHeader" | "GetIPAddress" | "IPGWOptions" | "FixIPSrc" | "DecIPTTL"
+  | "IPFragmenter" | "ICMPError" | "IPFilter" | "IPClassifier"
+  | "IPOutputCombo" | "LookupIPRoute" ->
+      Want { modulus = 4; offset = 0 }
+  | "IPInputCombo" -> Want { modulus = 4; offset = 2 }
+  | "Classifier" -> Want_known 4
+  | _ -> No_req
+
+let requirement_satisfied have = function
+  | No_req -> true
+  | Want w -> satisfies have w
+  | Want_known m -> have.modulus mod m = 0
+
+let alignment_of_requirement = function
+  | No_req -> None
+  | Want w -> Some w
+  | Want_known m -> Some { modulus = m; offset = 0 }
+
+let ip_aligned = { modulus = 4; offset = 0 }
+
+(* Elements that create packets emit this alignment regardless of input.
+   Devices emit link-layer frames at (4,2) so the IP header lands
+   word-aligned after Strip(14); ICMPError manufactures bare IP packets,
+   already word-aligned. *)
+let emits_of_class cls =
+  match cls with
+  | "PollDevice" | "FromDevice" | "InfiniteSource" | "UDPSource" ->
+      Some source_alignment
+  | "ICMPError" -> Some ip_aligned
+  | _ -> None
+
+let first_int config =
+  match Args.split config with
+  | a :: _ -> Args.parse_int a
+  | [] -> None
+
+let transform cls config input =
+  match cls with
+  | "Strip" -> (
+      match first_int config with
+      | Some n -> normalize { input with offset = input.offset + n }
+      | None -> input)
+  | "Unstrip" -> (
+      match first_int config with
+      | Some n -> normalize { input with offset = input.offset - n }
+      | None -> input)
+  | "EtherEncap" | "ARPQuerier" ->
+      normalize { input with offset = input.offset - 14 }
+  | "IPInputCombo" -> normalize { input with offset = input.offset + 14 }
+  | "Align" -> (
+      match Args.split config with
+      | [ m; o ] -> (
+          match (Args.parse_int m, Args.parse_int o) with
+          | Some m, Some o when m > 0 -> normalize { modulus = m; offset = o }
+          | _ -> input)
+      | _ -> input)
+  | "IPFragmenter" ->
+      (* Fragments are freshly allocated word-aligned; pass-through
+         packets keep their alignment. *)
+      join input ip_aligned
+  | _ -> input
+
+(* --- the data-flow analysis ------------------------------------------- *)
+
+(* None = bottom: no packet can arrive. *)
+let analyze_opt router =
+  let max_idx = List.fold_left max 0 (Router.indices router) in
+  let input_al : alignment option array = Array.make (max_idx + 1) None in
+  let output_al : alignment option array = Array.make (max_idx + 1) None in
+  let changed = ref true in
+  let rounds = ref 0 in
+  while !changed && !rounds < 100 do
+    changed := false;
+    incr rounds;
+    List.iter
+      (fun i ->
+        let cls = Router.class_of router i in
+        let from_input =
+          match input_al.(i) with
+          | None -> None
+          | Some a -> Some (transform cls (Router.config router i) a)
+        in
+        let out =
+          match (from_input, emits_of_class cls) with
+          | None, e -> e
+          | f, None -> f
+          | Some f, Some e -> Some (join f e)
+        in
+        if out <> output_al.(i) then begin
+          output_al.(i) <- out;
+          changed := true
+        end;
+        (* Propagate to successors' inputs. *)
+        match out with
+        | None -> ()
+        | Some a ->
+            List.iter
+              (fun (_, j, _) ->
+                let updated =
+                  match input_al.(j) with None -> a | Some b -> join a b
+                in
+                if Some updated <> input_al.(j) then begin
+                  input_al.(j) <- Some updated;
+                  changed := true
+                end)
+              (Router.outputs_of router i))
+      (Router.indices router)
+  done;
+  input_al
+
+let analyze router =
+  let input_al = analyze_opt router in
+  List.filter_map
+    (fun i ->
+      match input_al.(i) with Some a -> Some (i, a) | None -> None)
+    (Router.indices router)
+
+(* --- the tool ----------------------------------------------------------- *)
+
+let splice_out router i =
+  let ins = Router.inputs_of router i and outs = Router.outputs_of router i in
+  List.iter
+    (fun (_, src, sport) ->
+      List.iter
+        (fun (_, dst, dport) ->
+          Router.add_hookup router
+            {
+              Router.from_idx = src;
+              from_port = sport;
+              to_idx = dst;
+              to_port = dport;
+            })
+        outs)
+    ins;
+  Router.remove_element router i
+
+let run source =
+  let router = Router.copy source in
+  (* Drop any previous AlignmentInfo; we append a fresh one. *)
+  List.iter
+    (fun i ->
+      if String.equal (Router.class_of router i) "AlignmentInfo" then
+        Router.remove_element router i)
+    (Router.indices router);
+  (* 1. Remove redundant existing Aligns. *)
+  let input_al = analyze_opt router in
+  let removed = ref 0 in
+  List.iter
+    (fun i ->
+      if String.equal (Router.class_of router i) "Align" then begin
+        match (input_al.(i), Args.split (Router.config router i)) with
+        | Some have, [ m; o ] -> (
+            match (Args.parse_int m, Args.parse_int o) with
+            | Some m, Some o
+              when m > 0 && satisfies have { modulus = m; offset = o } ->
+                splice_out router i;
+                incr removed
+            | _ -> ())
+        | _ -> ()
+      end)
+    (Router.indices router);
+  (* 2. Insert Aligns where requirements are not met. *)
+  let input_al = analyze_opt router in
+  let inserted = ref 0 in
+  List.iter
+    (fun i ->
+      let req = requirement_of_class (Router.class_of router i) in
+      match (input_al.(i), alignment_of_requirement req) with
+      | Some have, Some want when not (requirement_satisfied have req) ->
+          List.iter
+            (fun (port, src, sport) ->
+              let a =
+                Router.add_element router
+                  ~name:(Router.fresh_name router "Align@align")
+                  ~cls:"Align"
+                  ~config:(Printf.sprintf "%d, %d" want.modulus want.offset)
+              in
+              Router.remove_hookup router
+                {
+                  Router.from_idx = src;
+                  from_port = sport;
+                  to_idx = i;
+                  to_port = port;
+                };
+              Router.add_hookup router
+                { Router.from_idx = src; from_port = sport; to_idx = a; to_port = 0 };
+              Router.add_hookup router
+                { Router.from_idx = a; from_port = 0; to_idx = i; to_port = port };
+              incr inserted)
+            (Router.inputs_of router i)
+      | _ -> ())
+    (Router.indices router);
+  (* 3. Record the final analysis in an AlignmentInfo element. *)
+  let final = analyze router in
+  let config =
+    String.concat ", "
+      (List.map
+         (fun (i, a) ->
+           Printf.sprintf "%s %d %d" (Router.name router i) a.modulus a.offset)
+         final)
+  in
+  ignore
+    (Router.add_element router
+       ~name:(Router.fresh_name router "AlignmentInfo@align")
+       ~cls:"AlignmentInfo" ~config);
+  Ok (router, !inserted, !removed)

@@ -1,0 +1,39 @@
+(** [click-align]: packet-data alignment analysis (paper §7.1).
+
+    Computes, by forward data-flow analysis patterned on the compiler
+    literature, the alignment [(modulus, offset)] of packet data arriving
+    at every element; inserts [Align] elements wherever an element's
+    required alignment is not guaranteed; removes [Align] elements that
+    are redundant; and appends an [AlignmentInfo] element recording the
+    result.
+
+    Alignments form a lattice: [(m, o)] means the data offset is congruent
+    to [o] modulo [m]; the join of two alignments is the coarsest
+    consistent congruence (via gcd); [(1, 0)] is "unknown".
+
+    Per-class alignment behaviour (how an element changes alignment, and
+    what it requires) is built into the tool — the paper notes this
+    explicitly as a specification the authors could not externalize. *)
+
+type alignment = { modulus : int; offset : int }
+
+val unknown : alignment
+val join : alignment -> alignment -> alignment
+val satisfies : alignment -> alignment -> bool
+(** [satisfies have want]: every offset allowed by [have] is allowed by
+    [want]. *)
+
+val source_alignment : alignment
+(** What devices and sources emit: [(4, 2)] — a 14-byte Ethernet header
+    ahead of a word-aligned IP header, the usual driver convention. *)
+
+val run :
+  Oclick_graph.Router.t ->
+  (Oclick_graph.Router.t * int * int, string) result
+(** Returns (new graph, aligns inserted, aligns removed). The input graph
+    is not modified. *)
+
+val analyze :
+  Oclick_graph.Router.t -> (int * alignment) list
+(** The per-element input alignments the analysis computes (exposed for
+    tests and for the [AlignmentInfo] configuration). *)

@@ -1,0 +1,225 @@
+module Router = Oclick_graph.Router
+module Args = Oclick_lang.Args
+
+type link = {
+  lk_from_router : string;
+  lk_from_device : string;
+  lk_to_router : string;
+  lk_to_device : string;
+}
+
+exception Fail of string
+
+let failf fmt = Printf.ksprintf (fun s -> raise (Fail s)) fmt
+
+let device_of_config config =
+  match Args.split config with d :: _ -> d | [] -> ""
+
+let find_device_element router ~prefix ~cls ~device =
+  List.find_opt
+    (fun i ->
+      String.equal (Router.class_of router i) cls
+      && String.length (Router.name router i) > String.length prefix
+      && String.sub (Router.name router i) 0 (String.length prefix) = prefix
+      && String.equal (device_of_config (Router.config router i)) device)
+    (Router.indices router)
+
+let combine routers ~links =
+  match
+    let combined = Router.copy (Router.of_ast_exn Oclick_lang.Ast.empty) in
+    (* Copy every router in, prefixing element names. *)
+    List.iter
+      (fun (rname, r) ->
+        if String.contains rname '/' then
+          failf "router name %S may not contain '/'" rname;
+        let map = Hashtbl.create 32 in
+        List.iter
+          (fun i ->
+            let idx =
+              Router.add_element combined
+                ~name:(rname ^ "/" ^ Router.name r i)
+                ~cls:(Router.class_of r i) ~config:(Router.config r i)
+            in
+            Hashtbl.replace map i idx)
+          (Router.indices r);
+        List.iter
+          (fun (h : Router.hookup) ->
+            Router.add_hookup combined
+              {
+                Router.from_idx = Hashtbl.find map h.from_idx;
+                from_port = h.from_port;
+                to_idx = Hashtbl.find map h.to_idx;
+                to_port = h.to_port;
+              })
+          (Router.hookups r);
+        List.iter (Router.add_requirement combined) (Router.requirements r))
+      routers;
+    (* Replace each link's ToDevice/PollDevice pair with a RouterLink. *)
+    List.iteri
+      (fun n lk ->
+        let td =
+          match
+            find_device_element combined ~prefix:(lk.lk_from_router ^ "/")
+              ~cls:"ToDevice" ~device:lk.lk_from_device
+          with
+          | Some i -> i
+          | None ->
+              failf "router %s has no ToDevice(%s)" lk.lk_from_router
+                lk.lk_from_device
+        in
+        let pd =
+          match
+            find_device_element combined ~prefix:(lk.lk_to_router ^ "/")
+              ~cls:"PollDevice" ~device:lk.lk_to_device
+          with
+          | Some i -> i
+          | None ->
+              failf "router %s has no PollDevice(%s)" lk.lk_to_router
+                lk.lk_to_device
+        in
+        let feeders = Router.inputs_of combined td
+        and consumers = Router.outputs_of combined pd in
+        Router.remove_element combined td;
+        Router.remove_element combined pd;
+        let link =
+          Router.add_element combined
+            ~name:(Router.fresh_name combined (Printf.sprintf "link@%d" (n + 1)))
+            ~cls:"RouterLink"
+            ~config:
+              (Printf.sprintf "%s, %s, %s, %s" lk.lk_from_router
+                 lk.lk_from_device lk.lk_to_router lk.lk_to_device)
+        in
+        List.iter
+          (fun (_, src, sport) ->
+            Router.add_hookup combined
+              { Router.from_idx = src; from_port = sport; to_idx = link; to_port = 0 })
+          feeders;
+        List.iter
+          (fun (_, dst, dport) ->
+            Router.add_hookup combined
+              { Router.from_idx = link; from_port = 0; to_idx = dst; to_port = dport })
+          consumers)
+      links;
+    combined
+  with
+  | combined -> Ok combined
+  | exception Fail msg -> Error msg
+
+(* Ownership of a combined element: its name prefix if it has one;
+   otherwise (optimizers may have introduced unprefixed elements, e.g.
+   ARP elimination's EtherEncap) the router whose elements it reaches
+   without crossing a RouterLink. *)
+let ownership combined =
+  let max_idx = List.fold_left max 0 (Router.indices combined) in
+  let owner : string option array = Array.make (max_idx + 1) None in
+  let prefixed i =
+    match String.index_opt (Router.name combined i) '/' with
+    | Some k -> Some (String.sub (Router.name combined i) 0 k)
+    | None -> None
+  in
+  List.iter (fun i -> owner.(i) <- prefixed i) (Router.indices combined);
+  let is_link i = String.equal (Router.class_of combined i) "RouterLink" in
+  let neighbors i =
+    if is_link i then []
+    else
+      List.filter
+        (fun j -> not (is_link j))
+        (List.map (fun (_, j, _) -> j) (Router.outputs_of combined i)
+        @ List.map (fun (_, j, _) -> j) (Router.inputs_of combined i))
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun i ->
+        if owner.(i) = None && not (is_link i) then
+          match List.find_map (fun j -> owner.(j)) (neighbors i) with
+          | Some o ->
+              owner.(i) <- Some o;
+              changed := true
+          | None -> ())
+      (Router.indices combined)
+  done;
+  owner
+
+let uncombine combined ~name =
+  let prefix = name ^ "/" in
+  let plen = String.length prefix in
+  let owner = ownership combined in
+  match
+    let out = Router.of_ast_exn Oclick_lang.Ast.empty in
+    let map = Hashtbl.create 32 in
+    List.iter
+      (fun i ->
+        if owner.(i) = Some name then begin
+          let full = Router.name combined i in
+          let short =
+            if String.length full > plen && String.sub full 0 plen = prefix
+            then String.sub full plen (String.length full - plen)
+            else full
+          in
+          let idx =
+            Router.add_element out
+              ~name:(Router.fresh_name out short)
+              ~cls:(Router.class_of combined i)
+              ~config:(Router.config combined i)
+          in
+          Hashtbl.replace map i idx
+        end)
+      (Router.indices combined);
+    if Hashtbl.length map = 0 then failf "no elements belong to router %S" name;
+    (* Internal connections copy over; RouterLink boundaries turn back
+       into device elements. *)
+    List.iter
+      (fun (h : Router.hookup) ->
+        match (Hashtbl.find_opt map h.from_idx, Hashtbl.find_opt map h.to_idx) with
+        | Some f, Some t ->
+            Router.add_hookup out
+              { Router.from_idx = f; from_port = h.from_port; to_idx = t; to_port = h.to_port }
+        | _ -> ())
+      (Router.hookups combined);
+    List.iter
+      (fun i ->
+        if String.equal (Router.class_of combined i) "RouterLink" then begin
+          match Args.split (Router.config combined i) with
+          | [ a; deva; b; devb ] ->
+              if String.equal a name then begin
+                (* Our side transmits: restore ToDevice. *)
+                let td =
+                  Router.add_element out
+                    ~name:(Router.fresh_name out ("to_" ^ deva))
+                    ~cls:"ToDevice" ~config:deva
+                in
+                List.iter
+                  (fun (_, src, sport) ->
+                    match Hashtbl.find_opt map src with
+                    | Some f ->
+                        Router.add_hookup out
+                          { Router.from_idx = f; from_port = sport; to_idx = td; to_port = 0 }
+                    | None -> ())
+                  (Router.inputs_of combined i)
+              end;
+              if String.equal b name then begin
+                let pd =
+                  Router.add_element out
+                    ~name:(Router.fresh_name out ("poll_" ^ devb))
+                    ~cls:"PollDevice" ~config:devb
+                in
+                List.iter
+                  (fun (_, dst, dport) ->
+                    match Hashtbl.find_opt map dst with
+                    | Some t ->
+                        Router.add_hookup out
+                          { Router.from_idx = pd; from_port = 0; to_idx = t; to_port = dport }
+                    | None -> ())
+                  (Router.outputs_of combined i)
+              end
+          | _ -> failf "RouterLink %s has a malformed configuration"
+                   (Router.name combined i)
+        end)
+      (Router.indices combined);
+    List.iter (Router.add_requirement out) (Router.requirements combined);
+    out
+  with
+  | out -> Ok out
+  | exception Fail msg -> Error msg

@@ -1,0 +1,29 @@
+(** [click-combine] and [click-uncombine]: multiple-router configurations
+    (paper §7.2, Fig. 7).
+
+    [combine] builds one configuration representing several routers and
+    the links between them: each router's elements are renamed
+    ["router/element"], and each specified link replaces the transmitting
+    router's [ToDevice] and the receiving router's [PollDevice] with a
+    single [RouterLink] element whose configuration records the endpoints.
+    The combined configuration can be checked for network-level properties
+    or optimized (e.g. ARP elimination on point-to-point links,
+    {!Patterns.arp_elimination}).
+
+    [uncombine] extracts one router back out, reinstating [ToDevice] and
+    [PollDevice] at the recorded link endpoints. *)
+
+type link = {
+  lk_from_router : string;
+  lk_from_device : string;
+  lk_to_router : string;
+  lk_to_device : string;
+}
+
+val combine :
+  (string * Oclick_graph.Router.t) list ->
+  links:link list ->
+  (Oclick_graph.Router.t, string) result
+
+val uncombine :
+  Oclick_graph.Router.t -> name:string -> (Oclick_graph.Router.t, string) result

@@ -1,0 +1,199 @@
+module Router = Oclick_graph.Router
+module Check = Oclick_graph.Check
+module Spec = Oclick_graph.Spec
+module Registry = Oclick_runtime.Registry
+
+type specialized = {
+  s_class : string;
+  s_original : string;
+  s_members : string list;
+}
+
+(* The code-sharing partition (paper §6.1's four rules), by refinement. *)
+let equivalence_classes ?(exclude = []) router =
+  match Check.resolve_processing router Registry.spec_table with
+  | Error msgs -> Error (String.concat "\n" msgs)
+  | Ok resolved ->
+      let indices = Router.indices router in
+      let max_idx = List.fold_left max 0 indices in
+      let ids = Array.make (max_idx + 1) (-1) in
+      let intern table next key =
+        match Hashtbl.find_opt table key with
+        | Some id -> id
+        | None ->
+            let id = !next in
+            incr next;
+            Hashtbl.replace table key id;
+            id
+      in
+      (* Rules 1-3 (and exclusions) form the initial partition. *)
+      let table = Hashtbl.create 32 and next = ref 0 in
+      List.iter
+        (fun i ->
+          let name = Router.name router i in
+          let key =
+            if List.mem name exclude then
+              (* Excluded elements keep their single generic implementation,
+                 so for rule 4 they all "share code" per class. *)
+              `Excluded (Router.class_of router i)
+            else
+              `Sig
+                ( Router.class_of router i,
+                  Array.to_list resolved.Check.input_kind.(i),
+                  Array.to_list resolved.Check.output_kind.(i) )
+          in
+          ids.(i) <- intern table next key)
+        indices;
+      (* Rule 4: refine on the classes and ports of packet-transfer peers
+         until the partition is stable. Excluded elements are not refined:
+         whatever their peers, they run the one generic implementation. *)
+      let excluded = Array.make (max_idx + 1) false in
+      List.iter
+        (fun i -> excluded.(i) <- List.mem (Router.name router i) exclude)
+        indices;
+      let stable = ref false in
+      while not !stable do
+        let table = Hashtbl.create 32 and next = ref 0 in
+        let new_ids = Array.make (max_idx + 1) (-1) in
+        List.iter
+          (fun i ->
+            if excluded.(i) then new_ids.(i) <- intern table next (ids.(i), [], [])
+            else
+            let push_out_peers =
+              List.filter_map
+                (fun (p, j, jp) ->
+                  if resolved.Check.output_kind.(i).(p) = Spec.Push then
+                    Some (p, ids.(j), jp)
+                  else None)
+                (Router.outputs_of router i)
+            in
+            let pull_in_peers =
+              List.filter_map
+                (fun (p, j, jp) ->
+                  if resolved.Check.input_kind.(i).(p) = Spec.Pull then
+                    Some (p, ids.(j), jp)
+                  else None)
+                (Router.inputs_of router i)
+            in
+            new_ids.(i) <- intern table next (ids.(i), push_out_peers, pull_in_peers))
+          indices;
+        stable := Array.for_all2 ( = ) ids new_ids;
+        Array.blit new_ids 0 ids 0 (max_idx + 1)
+      done;
+      Ok ids
+
+(* Whether an element performs any outgoing packet transfers (push
+   outputs or pull inputs): only those benefit from specialization. *)
+let makes_calls router resolved i =
+  List.exists
+    (fun (p, _, _) -> resolved.Check.output_kind.(i).(p) = Spec.Push)
+    (Router.outputs_of router i)
+  || List.exists
+       (fun (p, _, _) -> resolved.Check.input_kind.(i).(p) = Spec.Pull)
+       (Router.inputs_of router i)
+
+let run ?(install = true) ?(exclude = []) source =
+  let router = Router.copy source in
+  match equivalence_classes ~exclude router with
+  | Error e -> Error e
+  | Ok ids -> (
+      match Check.resolve_processing router Registry.spec_table with
+      | Error msgs -> Error (String.concat "\n" msgs)
+      | Ok resolved ->
+          let indices = Router.indices router in
+          (* Group element indices by equivalence class id. *)
+          let groups : (int, int list) Hashtbl.t = Hashtbl.create 16 in
+          List.iter
+            (fun i ->
+              let cur =
+                Option.value ~default:[] (Hashtbl.find_opt groups ids.(i))
+              in
+              Hashtbl.replace groups ids.(i) (i :: cur))
+            indices;
+          let counter : (string, int) Hashtbl.t = Hashtbl.create 16 in
+          let specialized = ref [] in
+          (* Deterministic order: groups sorted by their first member. *)
+          let group_list =
+            List.sort
+              (fun a b -> Int.compare (List.hd a) (List.hd b))
+              (Hashtbl.fold (fun _ m acc -> List.rev m :: acc) groups [])
+          in
+          List.iter
+            (fun members ->
+              let rep = List.hd members in
+              let name0 = Router.name router rep in
+              if
+                (not (List.mem name0 exclude))
+                && makes_calls router resolved rep
+              then begin
+                let orig = Router.class_of router rep in
+                let n =
+                  let c =
+                    Option.value ~default:0 (Hashtbl.find_opt counter orig)
+                  in
+                  Hashtbl.replace counter orig (c + 1);
+                  c + 1
+                in
+                let cls = Printf.sprintf "Devirtualize@@%s@@%d" orig n in
+                List.iter (fun i -> Router.set_class router i cls) members;
+                specialized :=
+                  ( {
+                      s_class = cls;
+                      s_original = orig;
+                      s_members = List.map (Router.name router) members;
+                    },
+                    rep )
+                  :: !specialized
+              end)
+            group_list;
+          let specialized = List.rev !specialized in
+          (* Attach generated source. *)
+          if specialized <> [] then begin
+            let buf = Buffer.create 512 in
+            let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+            add "(* Generated by click-devirtualize. Do not edit.\n";
+            add
+              "   Each class replaces virtual packet-transfer calls with\n";
+            add "   direct calls to the concrete downstream class. *)\n\n";
+            List.iter
+              (fun (s, rep) ->
+                add "(* class %s specializes %s; shared by: %s *)\n" s.s_class
+                  s.s_original
+                  (String.concat ", " s.s_members);
+                List.iter
+                  (fun (p, j, jp) ->
+                    add
+                      "(*   output(%d) -> %s.push(%d, p)  [direct call] *)\n"
+                      p (Router.class_of router j) jp)
+                  (Router.outputs_of router rep);
+                add "\n")
+              specialized;
+            Router.set_archive_member router ~name:"devirtualize.ml"
+              ~body:(Buffer.contents buf);
+            Router.add_requirement router "devirtualize"
+          end;
+          (* Register the specialized classes with the runtime. *)
+          let errors = ref [] in
+          if install then
+            List.iter
+              (fun (s, _) ->
+                match (Registry.find s.s_original, Registry.spec s.s_original)
+                with
+                | Some ctor, Some spec ->
+                    let cls = s.s_class in
+                    Registry.register ~replace:true
+                      ~spec:{ spec with Spec.s_class = cls } cls
+                      (fun name ->
+                        let e = ctor name in
+                        e#set_code_class cls;
+                        e#set_direct_dispatch true;
+                        e)
+                | _ ->
+                    errors :=
+                      Printf.sprintf "original class %S not registered"
+                        s.s_original
+                      :: !errors)
+              specialized;
+          match !errors with
+          | [] -> Ok (router, List.map fst specialized)
+          | msgs -> Error (String.concat "\n" msgs))

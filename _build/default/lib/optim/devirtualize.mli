@@ -1,0 +1,37 @@
+(** [click-devirtualize]: replaces packet-transfer virtual calls with
+    direct calls (paper §6.1) — static class analysis at the configuration
+    level.
+
+    The tool partitions the router's elements into code-sharing equivalence
+    classes using the paper's four rules — two elements can share code
+    unless (1) their classes differ, (2) their port counts differ, (3) a
+    port is push on one and pull on the other, or (4) a pull input or push
+    output connects to elements that cannot themselves share code, or at
+    different port numbers. The partition is computed by refinement to a
+    fixpoint, like DFA minimization.
+
+    Each equivalence class that performs outgoing packet transfers gets a
+    specialized element class whose transfers are direct calls; generated
+    source is attached to the archive, and with [~install] the specialized
+    classes are registered with the runtime (constructing the original
+    element but dispatching directly and sharing one call site per
+    specialized class, which is what the branch-predictor model sees). *)
+
+type specialized = {
+  s_class : string;  (** e.g. ["Devirtualize@@Counter@@1"] *)
+  s_original : string;
+  s_members : string list;  (** element names sharing this code *)
+}
+
+val run :
+  ?install:bool ->
+  ?exclude:string list ->
+  Oclick_graph.Router.t ->
+  (Oclick_graph.Router.t * specialized list, string) result
+(** [exclude] names elements that must keep their generic classes (the
+    paper's escape hatch against code explosion). The input graph is not
+    modified. *)
+
+val equivalence_classes :
+  ?exclude:string list -> Oclick_graph.Router.t -> (int array, string) result
+(** The raw partition: a class id per element index (exposed for tests). *)

@@ -1,0 +1,180 @@
+module Router = Oclick_graph.Router
+module Tree = Oclick_classifier.Tree
+module Optimize = Oclick_classifier.Optimize
+
+type generated = { g_class : string; g_tree : Tree.t; g_source : string }
+
+let tree_of_element router i =
+  let cls = Router.class_of router i and cfg = Router.config router i in
+  match cls with
+  | "Classifier" -> Some (Oclick_classifier.Pattern.tree_of_config cfg)
+  | "IPClassifier" -> Some (Oclick_classifier.Filter.ipclassifier_tree cfg)
+  | "IPFilter" -> Some (Oclick_classifier.Filter.ipfilter_tree cfg)
+  | _ -> None
+
+exception Fail of string
+
+(* Combine c1[k] -> c2 when both are raw Classifiers and c2's only input
+   is that connection: the trees compose into one (paper: "combines
+   adjacent Classifiers to improve optimization possibilities"). *)
+let combine_adjacent router trees =
+  let find_combinable () =
+    List.find_map
+      (fun i ->
+        if String.equal (Router.class_of router i) "Classifier" then
+          List.find_map
+            (fun (port, j, _jport) ->
+              if
+                String.equal (Router.class_of router j) "Classifier"
+                && i <> j
+                && List.length (Router.inputs_of router j) = 1
+              then Some (i, port, j)
+              else None)
+            (Router.outputs_of router i)
+        else None)
+      (Router.indices router)
+  in
+  let rec loop () =
+    match find_combinable () with
+    | None -> ()
+    | Some (i, k, j) ->
+        let t1 : Tree.t = Hashtbl.find trees i
+        and t2 : Tree.t = Hashtbl.find trees j in
+        let n1 = t1.Tree.noutputs and n2 = t2.Tree.noutputs in
+        (* Combined outputs: t1's outputs with k removed, then t2's. *)
+        let remap_upper o = if o < k then o else o - 1 in
+        let remap_lower o = n1 - 1 + o in
+        let combined =
+          Optimize.compose t1 ~output:k t2 ~remap_upper ~remap_lower
+            ~noutputs:(n1 - 1 + n2)
+        in
+        (* Rewire: outputs of i other than k shift down; j's outputs are
+           appended after them. *)
+        let outs_i = Router.outputs_of router i
+        and outs_j = Router.outputs_of router j in
+        List.iter
+          (fun (p, d, dp) ->
+            Router.remove_hookup router
+              { Router.from_idx = i; from_port = p; to_idx = d; to_port = dp })
+          outs_i;
+        Router.remove_element router j;
+        List.iter
+          (fun (p, d, dp) ->
+            if d <> j && p <> k then
+              Router.add_hookup router
+                {
+                  Router.from_idx = i;
+                  from_port = remap_upper p;
+                  to_idx = d;
+                  to_port = dp;
+                })
+          outs_i;
+        List.iter
+          (fun (p, d, dp) ->
+            Router.add_hookup router
+              {
+                Router.from_idx = i;
+                from_port = remap_lower p;
+                to_idx = d;
+                to_port = dp;
+              })
+          outs_j;
+        Hashtbl.replace trees i combined;
+        Hashtbl.remove trees j;
+        (* The combined element is a plain Classifier no more; mark its
+           config as synthetic. *)
+        Router.set_config router i
+          (Router.config router i ^ " /* combined */");
+        loop ()
+  in
+  loop ()
+
+let run ?(install = true) source =
+  let router = Router.copy source in
+  (* 1. Build every classifier's decision tree (the harness step). *)
+  let trees : (int, Tree.t) Hashtbl.t = Hashtbl.create 8 in
+  match
+    List.iter
+      (fun i ->
+        match tree_of_element router i with
+        | None -> ()
+        | Some (Error e) ->
+            raise (Fail (Printf.sprintf "%s: %s" (Router.name router i) e))
+        | Some (Ok t) -> Hashtbl.replace trees i t)
+      (Router.indices router)
+  with
+  | exception Fail msg -> Error msg
+  | () ->
+      if Hashtbl.length trees = 0 then Ok (router, [])
+      else begin
+        (* 2. Combine adjacent Classifiers. *)
+        combine_adjacent router trees;
+        (* 3. Optimize; round-trip each tree through the dump format, as
+           the real tool parses Click's human-readable tree output. *)
+        let items =
+          List.filter_map
+            (fun i ->
+              match Hashtbl.find_opt trees i with
+              | None -> None
+              | Some t ->
+                  let t = Optimize.optimize t in
+                  let dumped = Tree.to_string t in
+                  let t =
+                    match Tree.of_string dumped with
+                    | Ok t -> t
+                    | Error e ->
+                        failwith ("fastclassifier: dump round-trip failed: " ^ e)
+                  in
+                  Some (i, t))
+            (Router.indices router)
+        in
+        (* 4. One generated class per distinct tree. *)
+        let by_dump : (string, generated) Hashtbl.t = Hashtbl.create 8 in
+        let generated = ref [] in
+        let out =
+          List.map
+            (fun (i, t) ->
+              let key = Tree.to_string (Tree.renumber t) in
+              let g =
+                match Hashtbl.find_opt by_dump key with
+                | Some g -> g
+                | None ->
+                    let cls =
+                      Printf.sprintf "FastClassifier@@%s" (Router.name router i)
+                    in
+                    let source =
+                      Oclick_classifier.Codegen.ocaml_source ~class_name:cls
+                        ~original_config:(Router.config router i) t
+                    in
+                    let g = { g_class = cls; g_tree = t; g_source = source } in
+                    Hashtbl.replace by_dump key g;
+                    generated := g :: !generated;
+                    g
+              in
+              (i, g))
+            items
+        in
+        (* 5. Rewrite the configuration and attach the generated code. *)
+        List.iter
+          (fun (i, g) ->
+            Router.set_class router i g.g_class;
+            Router.set_config router i "")
+          out;
+        List.iter
+          (fun g ->
+            Router.set_archive_member router
+              ~name:(Printf.sprintf "%s.ml" g.g_class)
+              ~body:g.g_source;
+            (* The tree dump also rides in the archive so a later process
+               (click-check, the driver) can install the class — the
+               machine-readable half of the generated code. *)
+            Router.set_archive_member router
+              ~name:(Printf.sprintf "%s.tree" g.g_class)
+              ~body:(Tree.to_string g.g_tree);
+            if install then
+              Oclick_elements.register_fast_classifier ~class_name:g.g_class
+                g.g_tree)
+          (List.rev !generated);
+        if !generated <> [] then Router.add_requirement router "fastclassifier";
+        Ok (router, List.rev !generated)
+      end

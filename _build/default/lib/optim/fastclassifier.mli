@@ -1,0 +1,26 @@
+(** [click-fastclassifier]: compiles classifier elements into specialized
+    element classes (paper §4).
+
+    For each [Classifier], [IPFilter], or [IPClassifier] in a configuration
+    the tool: combines adjacent [Classifier]s; extracts each element's
+    decision tree by building it in a harness, dumping it in the
+    human-readable format, and re-parsing the dump (the paper's
+    "run Click on the harness" step); optimizes the tree; generates a
+    specialized element class per distinct tree (elements with identical
+    trees share one class, as in the paper); rewrites the configuration to
+    use the generated classes; and attaches the generated OCaml source to
+    the output archive. With [~install] (the default) the generated classes
+    are also registered with the runtime so the configuration runs —
+    our stand-in for Click compiling and dynamically linking the archive. *)
+
+type generated = {
+  g_class : string;  (** e.g. ["FastClassifier@@ip_cl"] *)
+  g_tree : Oclick_classifier.Tree.t;
+  g_source : string;  (** generated OCaml source *)
+}
+
+val run :
+  ?install:bool ->
+  Oclick_graph.Router.t ->
+  (Oclick_graph.Router.t * generated list, string) result
+(** The input graph is not modified. *)

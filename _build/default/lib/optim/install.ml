@@ -1,0 +1,78 @@
+module Router = Oclick_graph.Router
+module Registry = Oclick_runtime.Registry
+module Archive = Oclick_lang.Archive
+module Spec = Oclick_graph.Spec
+
+let starts_with prefix s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
+let original_of_devirtualized cls =
+  (* Devirtualize@@ORIG@@N, where ORIG may itself contain "@@"
+     (e.g. a generated FastClassifier class): strip the prefix and the
+     final "@@N". *)
+  let prefix = "Devirtualize@@" in
+  if not (starts_with prefix cls) then None
+  else begin
+    let body = String.sub cls (String.length prefix)
+        (String.length cls - String.length prefix)
+    in
+    let rec last_sep i best =
+      if i + 2 > String.length body then best
+      else if String.sub body i 2 = "@@" then last_sep (i + 1) (Some i)
+      else last_sep (i + 1) best
+    in
+    match last_sep 0 None with
+    | Some i when i > 0 -> Some (String.sub body 0 i)
+    | _ -> None
+  end
+
+let rec install_one router cls =
+  if Registry.find cls <> None then Ok ()
+  else if starts_with "FastClassifier@@" cls then begin
+    match Archive.find (Router.archive router) (cls ^ ".tree") with
+    | None ->
+        Error
+          (Printf.sprintf
+             "class %s: no %s.tree archive member to install from" cls cls)
+    | Some dump -> (
+        match Oclick_classifier.Tree.of_string dump with
+        | Error e -> Error (Printf.sprintf "class %s: bad tree dump: %s" cls e)
+        | Ok tree ->
+            Oclick_elements.register_fast_classifier ~class_name:cls tree;
+            Ok ())
+  end
+  else if starts_with "Devirtualize@@" cls then begin
+    match original_of_devirtualized cls with
+    | None -> Error (Printf.sprintf "malformed generated class name %S" cls)
+    | Some orig -> (
+        (* the original may itself be a generated class *)
+        match install_one router orig with
+        | Error _ as e -> e
+        | Ok () ->
+        match (Registry.find orig, Registry.spec orig) with
+        | Some ctor, Some spec ->
+            Registry.register ~replace:true
+              ~spec:{ spec with Spec.s_class = cls } cls
+              (fun name ->
+                let e = ctor name in
+                e#set_code_class cls;
+                e#set_direct_dispatch true;
+                e);
+            Ok ()
+        | _ ->
+            Error
+              (Printf.sprintf "class %s: original class %S is not registered"
+                 cls orig))
+  end
+  else Ok () (* not a generated class; the checker reports unknowns *)
+
+let install router =
+  let rec go = function
+    | [] -> Ok ()
+    | i :: rest -> (
+        match install_one router (Router.class_of router i) with
+        | Ok () -> go rest
+        | Error _ as e -> e)
+  in
+  go (Router.indices router)

@@ -1,0 +1,12 @@
+(** [click-mkmindriver]: computes the minimal element set a configuration
+    needs and generates a driver source that registers only those classes
+    (the analogue of building a minimal Click kernel module). *)
+
+val required_classes : Oclick_graph.Router.t -> string list
+(** Every class the configuration instantiates, sorted, including classes
+    the optimizers may introduce for it (generated classes resolve to
+    their runtime prerequisites). *)
+
+val driver_source : Oclick_graph.Router.t -> string
+(** OCaml source for a minimal driver: registration calls for exactly the
+    element modules the configuration needs. *)

@@ -1,0 +1,90 @@
+let combo_text =
+  {|
+// Figure 4: the input-path combination. Two variants: CheckIPHeader
+// rejects dropped internally, or sent to an explicit bad-packet output.
+elementclass IPInputComboPattern { $color, $bad |
+  input -> Paint($color)
+        -> Strip(14)
+        -> CheckIPHeader($bad)
+        -> GetIPAddress(16)
+        -> output;
+}
+elementclass IPInputComboReplacement { $color, $bad |
+  input -> ic :: IPInputCombo($color, $bad) -> output;
+}
+
+elementclass IPInputComboBadPattern { $color, $bad |
+  input -> Paint($color)
+        -> Strip(14)
+        -> ck :: CheckIPHeader($bad)
+        -> GetIPAddress(16)
+        -> output;
+  ck [1] -> [1] output;
+}
+elementclass IPInputComboBadReplacement { $color, $bad |
+  input -> ic :: IPInputCombo($color, $bad) -> output;
+  ic [1] -> [1] output;
+}
+
+// The output-path combination: five general-purpose elements fused.
+elementclass IPOutputComboPattern { $color, $ip |
+  input -> DropBroadcasts
+        -> cp :: CheckPaint($color)
+        -> gio :: IPGWOptions($ip)
+        -> FixIPSrc($ip)
+        -> dt :: DecIPTTL
+        -> output;
+  cp [1] -> [1] output;
+  gio [1] -> [2] output;
+  dt [1] -> [3] output;
+}
+elementclass IPOutputComboReplacement { $color, $ip |
+  input -> oc :: IPOutputCombo($color, $ip) -> output;
+  oc [1] -> [1] output;
+  oc [2] -> [2] output;
+  oc [3] -> [3] output;
+}
+|}
+
+let arp_elimination_text =
+  {|
+// Removes ARP on a point-to-point link exposed by click-combine
+// (paper §7.2, Fig. 7). The A-side ARPQuerier is replaced by a static
+// EtherEncap using the B side's address, taken from B's ARPResponder.
+// Dead stubs (Idle, Discard) are left for click-undead to collect.
+elementclass ARPEliminationPattern { $aip, $aeth, $bip, $beth, $cap, $lc |
+  input -> aq :: ARPQuerier($aip, $aeth)
+        -> q :: Queue($cap)
+        -> link :: RouterLink($lc)
+        -> cl :: Classifier(12/0806 20/0001, 12/0806 20/0002, 12/0800, -);
+  input [1] -> [1] aq;
+  input [2] -> q;
+  ar :: ARPResponder($bip $beth);
+  cl [0] -> ar;
+  ar -> [1] output;
+  cl [1] -> [2] output;
+  cl [2] -> [3] output;
+  cl [3] -> [4] output;
+}
+elementclass ARPEliminationReplacement { $aip, $aeth, $bip, $beth, $cap, $lc |
+  input -> ee :: EtherEncap(0800, $aeth, $beth)
+        -> q :: Queue($cap)
+        -> link :: RouterLink($lc)
+        -> cl :: Classifier(12/0806 20/0001, 12/0806 20/0002, 12/0800, -);
+  input [1] -> Discard;
+  input [2] -> q;
+  cl [0] -> Discard;
+  Idle -> [1] output;
+  cl [1] -> [2] output;
+  cl [2] -> [3] output;
+  cl [3] -> [4] output;
+}
+|}
+
+let parse_exn what text =
+  match Xform.parse_patterns text with
+  | Ok pairs -> pairs
+  | Error e -> failwith (Printf.sprintf "builtin %s patterns: %s" what e)
+
+let combos () = parse_exn "combo" combo_text
+let arp_elimination () = parse_exn "ARP-elimination" arp_elimination_text

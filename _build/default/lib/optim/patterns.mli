@@ -1,0 +1,16 @@
+(** The stock pattern-replacement pairs shipped with the optimizer
+    (paper §6.2 Fig. 4, §7.2).
+
+    Three patterns introduce the combination elements, reducing the IP
+    forwarding path from ten general-purpose elements to three (Figs. 5
+    and 6); one more eliminates ARP processing on point-to-point links
+    exposed by [click-combine] (Fig. 7). *)
+
+val combo_text : string
+(** The combination-element patterns, in Click pattern syntax. *)
+
+val arp_elimination_text : string
+(** The multiple-router ARP-elimination pattern. *)
+
+val combos : unit -> Xform.pair list
+val arp_elimination : unit -> Xform.pair list

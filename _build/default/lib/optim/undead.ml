@@ -1,0 +1,141 @@
+module Router = Oclick_graph.Router
+
+let source_classes =
+  [ "PollDevice"; "FromDevice"; "InfiniteSource"; "UDPSource"; "RatedSource" ]
+
+let sink_classes = [ "ToDevice"; "Discard" ]
+
+(* Elements with no ports at all (information elements) are never dead. *)
+let portless router i =
+  Router.outputs_of router i = [] && Router.inputs_of router i = []
+
+let replace_static_switches router =
+  let removed = ref 0 in
+  let rec loop () =
+    let switch =
+      List.find_opt
+        (fun i -> String.equal (Router.class_of router i) "StaticSwitch")
+        (Router.indices router)
+    in
+    match switch with
+    | None -> ()
+    | Some i ->
+        let target = Oclick_lang.Args.parse_int (Router.config router i) in
+        let ins = Router.inputs_of router i
+        and outs = Router.outputs_of router i in
+        (* Wire each input source to the live branch; other branches lose
+           their feed and die in the reachability pass. *)
+        (match target with
+        | Some k when k >= 0 ->
+            List.iter
+              (fun (_, src, sport) ->
+                List.iter
+                  (fun (p, dst, dport) ->
+                    if p = k then
+                      Router.add_hookup router
+                        {
+                          Router.from_idx = src;
+                          from_port = sport;
+                          to_idx = dst;
+                          to_port = dport;
+                        })
+                  outs)
+              ins
+        | _ -> ());
+        Router.remove_element router i;
+        incr removed;
+        loop ()
+  in
+  loop ();
+  !removed
+
+let reachability router =
+  let max_idx = List.fold_left max 0 (Router.indices router) in
+  let forward = Array.make (max_idx + 1) false
+  and backward = Array.make (max_idx + 1) false in
+  let rec walk mark next i =
+    if not mark.(i) then begin
+      mark.(i) <- true;
+      List.iter (walk mark next) (next i)
+    end
+  in
+  let fwd_next i = List.map (fun (_, j, _) -> j) (Router.outputs_of router i)
+  and bwd_next i = List.map (fun (_, j, _) -> j) (Router.inputs_of router i) in
+  List.iter
+    (fun i ->
+      let cls = Router.class_of router i in
+      if List.mem cls source_classes then walk forward fwd_next i;
+      if List.mem cls sink_classes then walk backward bwd_next i)
+    (Router.indices router);
+  (forward, backward)
+
+let run source =
+  let router = Router.copy source in
+  let removed = ref (replace_static_switches router) in
+  let forward, backward = reachability router in
+  let dead =
+    List.filter
+      (fun i ->
+        let cls = Router.class_of router i in
+        (not (portless router i))
+        && (not (String.equal cls "AlignmentInfo"))
+        && ((not forward.(i)) || not backward.(i)))
+      (Router.indices router)
+  in
+  (* Remember which live ports the dead elements fed or drained. *)
+  let orphans = ref [] in
+  let is_dead = Hashtbl.create 16 in
+  List.iter (fun i -> Hashtbl.replace is_dead i ()) dead;
+  List.iter
+    (fun i ->
+      List.iter
+        (fun (_, j, jp) ->
+          if not (Hashtbl.mem is_dead j) then orphans := `In (j, jp) :: !orphans)
+        (Router.outputs_of router i);
+      List.iter
+        (fun (_, j, jp) ->
+          if not (Hashtbl.mem is_dead j) then orphans := `Out (j, jp) :: !orphans)
+        (Router.inputs_of router i))
+    dead;
+  List.iter
+    (fun i ->
+      Router.remove_element router i;
+      incr removed)
+    dead;
+  (* Idle elements that became (or already were) disconnected die too;
+     ports orphaned by the removals get a fresh shared Idle. *)
+  if !orphans <> [] then begin
+    let idle =
+      Router.add_element router
+        ~name:(Router.fresh_name router "Idle@undead")
+        ~cls:"Idle" ~config:""
+    in
+    (* Each orphan gets its own Idle port: a push output may only be
+       connected once. *)
+    let next_out = ref 0 and next_in = ref 0 in
+    List.iter
+      (function
+        | `In (j, jp) ->
+            let p = !next_out in
+            incr next_out;
+            Router.add_hookup router
+              { Router.from_idx = idle; from_port = p; to_idx = j; to_port = jp }
+        | `Out (j, jp) ->
+            let p = !next_in in
+            incr next_in;
+            Router.add_hookup router
+              { Router.from_idx = j; from_port = jp; to_idx = idle; to_port = p })
+      !orphans
+  end;
+  List.iter
+    (fun i ->
+      if
+        String.equal (Router.class_of router i) "Idle"
+        && Router.outputs_of router i = []
+        && Router.inputs_of router i = []
+      then begin
+        Router.remove_element router i;
+        incr removed
+      end)
+    (Router.indices router);
+  Ok (router, !removed)

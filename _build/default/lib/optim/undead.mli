@@ -1,0 +1,18 @@
+(** [click-undead]: dead-code elimination for router configurations
+    (paper §6.3).
+
+    The passes:
+    - [StaticSwitch] elements are replaced by a wire to their selected
+      branch; the unselected branches become unreachable;
+    - elements that are not both downstream of a packet source and
+      upstream of a packet sink are removed;
+    - ports that lose their peers are reconnected to [Idle] so the
+      remaining elements stay well-formed (as the real tool does);
+    - [Idle] elements with no remaining connections are removed.
+
+    Sources and sinks are identified by class ([PollDevice],
+    [InfiniteSource], [ToDevice], [Discard], ...); [Idle] is neither. *)
+
+val run : Oclick_graph.Router.t -> (Oclick_graph.Router.t * int, string) result
+(** Returns the cleaned graph and the number of elements removed. The
+    input graph is not modified. *)

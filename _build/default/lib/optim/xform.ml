@@ -1,0 +1,449 @@
+module Ast = Oclick_lang.Ast
+module Args = Oclick_lang.Args
+module Router = Oclick_graph.Router
+
+type pair = {
+  xf_name : string;
+  xf_formals : string list;
+  xf_pattern : Ast.t;
+  xf_replacement : Ast.t;
+}
+
+(* --- pattern parsing --------------------------------------------------- *)
+
+let strip_suffix s suffix =
+  let n = String.length s and m = String.length suffix in
+  if n > m && String.sub s (n - m) m = suffix then Some (String.sub s 0 (n - m))
+  else None
+
+let parse_patterns text =
+  match Oclick_lang.Parser.parse text with
+  | Error e -> Error e
+  | Ok ast -> (
+      let classes = ast.Ast.classes in
+      let pattern_classes =
+        List.filter_map
+          (fun (name, c) ->
+            match strip_suffix name "Pattern" with
+            | Some base -> Some (base, c)
+            | None -> None)
+          classes
+      in
+      let build (base, (pat : Ast.compound)) =
+        match List.assoc_opt (base ^ "Replacement") classes with
+        | None ->
+            Error (Printf.sprintf "pattern %S has no %sReplacement" base base)
+        | Some rep -> (
+            match
+              ( Oclick_lang.Flatten.flatten pat.Ast.body,
+                Oclick_lang.Flatten.flatten rep.Ast.body )
+            with
+            | Ok pbody, Ok rbody ->
+                Ok
+                  {
+                    xf_name = base;
+                    xf_formals = pat.Ast.formals;
+                    xf_pattern = pbody;
+                    xf_replacement = rbody;
+                  }
+            | Error e, _ | _, Error e ->
+                Error (Printf.sprintf "pattern %S: %s" base e))
+      in
+      let rec go acc = function
+        | [] -> Ok (List.rev acc)
+        | pc :: rest -> (
+            match build pc with
+            | Ok p -> go (p :: acc) rest
+            | Error e -> Error e)
+      in
+      match go [] pattern_classes with
+      | Ok [] -> Error "no ...Pattern element classes found"
+      | r -> r)
+
+(* --- configuration matching ------------------------------------------- *)
+
+let is_var tok = String.length tok > 1 && tok.[0] = '$'
+
+let tokens s = List.filter (( <> ) "") (String.split_on_char ' ' (String.trim s))
+
+let bind bindings var value =
+  match List.assoc_opt var bindings with
+  | Some existing -> if String.equal existing value then Some bindings else None
+  | None -> Some ((var, value) :: bindings)
+
+let match_config_arg ~bindings ~pattern ~subject =
+  match tokens pattern with
+  | [ v ] when is_var v -> bind bindings v (String.trim subject)
+  | ptoks ->
+      let stoks = tokens subject in
+      if List.length ptoks <> List.length stoks then None
+      else
+        List.fold_left2
+          (fun acc pt st ->
+            match acc with
+            | None -> None
+            | Some bindings ->
+                if is_var pt then bind bindings pt st
+                else if String.equal pt st then Some bindings
+                else None)
+          (Some bindings) ptoks stoks
+
+let match_config ~bindings ~pattern ~subject =
+  let pargs = Args.split pattern and sargs = Args.split subject in
+  match pargs with
+  | [ v ] when is_var (String.trim v) && tokens v = [ String.trim v ] ->
+      (* A pattern configuration that is a single bare variable captures
+         the whole subject configuration, whatever its arity. *)
+      bind bindings (String.trim v) (String.trim subject)
+  | _ ->
+  if List.length sargs > List.length pargs then None
+  else begin
+    (* Missing trailing subject arguments match variable pattern args as
+       the empty string. *)
+    let sargs =
+      sargs @ List.init (List.length pargs - List.length sargs) (fun _ -> "")
+    in
+    List.fold_left2
+      (fun acc parg sarg ->
+        match acc with
+        | None -> None
+        | Some bindings -> match_config_arg ~bindings ~pattern:parg ~subject:sarg)
+      (Some bindings) pargs sargs
+  end
+
+(* --- compiled patterns ------------------------------------------------- *)
+
+type pconn = { pc_from : int; pc_from_port : int; pc_to : int; pc_to_port : int }
+
+type compiled = {
+  c_pair : pair;
+  c_names : string array;
+  c_classes : string array;
+  c_configs : string array;
+  c_conns : pconn list;
+  c_in : (int * int * int) list; (* pattern input port, elem, elem port *)
+  c_out : (int * int * int) list; (* elem, elem port, pattern output port *)
+  c_order : int array;
+}
+
+let compile (p : pair) =
+  let body = p.xf_pattern in
+  let elems = Array.of_list body.Ast.elements in
+  let index = Hashtbl.create 8 in
+  Array.iteri (fun i (e : Ast.element) -> Hashtbl.replace index e.e_name i) elems;
+  let conns = ref [] and ins = ref [] and outs = ref [] in
+  List.iter
+    (fun (c : Ast.connection) ->
+      match (c.c_from, c.c_to) with
+      | "input", "output" ->
+          invalid_arg
+            (Printf.sprintf "pattern %s: input->output passthrough unsupported"
+               p.xf_name)
+      | "input", other ->
+          ins := (c.c_from_port, Hashtbl.find index other, c.c_to_port) :: !ins
+      | other, "output" ->
+          outs := (Hashtbl.find index other, c.c_from_port, c.c_to_port) :: !outs
+      | a, b ->
+          conns :=
+            {
+              pc_from = Hashtbl.find index a;
+              pc_from_port = c.c_from_port;
+              pc_to = Hashtbl.find index b;
+              pc_to_port = c.c_to_port;
+            }
+            :: !conns)
+    body.Ast.connections;
+  (* Assignment order: breadth-first over pattern adjacency so each new
+     element (after the first) is adjacent to an assigned one — the
+     adjacency check then prunes candidates immediately. *)
+  let n = Array.length elems in
+  let adj = Array.make n [] in
+  List.iter
+    (fun c ->
+      adj.(c.pc_from) <- c.pc_to :: adj.(c.pc_from);
+      adj.(c.pc_to) <- c.pc_from :: adj.(c.pc_to))
+    !conns;
+  let order = ref [] and seen = Array.make n false in
+  let rec bfs queue =
+    match queue with
+    | [] -> ()
+    | i :: rest ->
+        if seen.(i) then bfs rest
+        else begin
+          seen.(i) <- true;
+          order := i :: !order;
+          bfs (rest @ adj.(i))
+        end
+  in
+  for i = 0 to n - 1 do
+    if not seen.(i) then bfs [ i ]
+  done;
+  {
+    c_pair = p;
+    c_names = Array.map (fun (e : Ast.element) -> e.e_name) elems;
+    c_classes =
+      Array.map (fun (e : Ast.element) -> Ast.class_name e.e_class) elems;
+    c_configs = Array.map (fun (e : Ast.element) -> e.e_config) elems;
+    c_conns = !conns;
+    c_in = !ins;
+    c_out = !outs;
+    c_order = Array.of_list (List.rev !order);
+  }
+
+(* --- matching ---------------------------------------------------------- *)
+
+type match_result = {
+  m_assignment : int array; (* pattern index -> subject index *)
+  m_bindings : (string * string) list;
+}
+
+let subject_has_conn router ~from_idx ~from_port ~to_idx ~to_port =
+  List.exists
+    (fun (p, j, jp) -> p = from_port && j = to_idx && jp = to_port)
+    (Router.outputs_of router from_idx)
+
+let find_match router (cp : compiled) : match_result option =
+  let n = Array.length cp.c_names in
+  let assignment = Array.make n (-1) in
+  let used = Hashtbl.create 8 in
+  let exception Found of match_result in
+  (* Verification of a complete assignment: internal closure and allowed
+     external attachment points. *)
+  let verify bindings =
+    let inv = Hashtbl.create 8 in
+    Array.iteri (fun pi si -> Hashtbl.replace inv si pi) assignment;
+    let matched si = Hashtbl.mem inv si in
+    let ok = ref true in
+    (* Every subject connection among matched elements must appear in the
+       pattern; every boundary connection must hit an attachment point. *)
+    Array.iter
+      (fun si ->
+        List.iter
+          (fun (port, tj, tport) ->
+            if matched tj then begin
+              let pi = Hashtbl.find inv si and pj = Hashtbl.find inv tj in
+              if
+                not
+                  (List.exists
+                     (fun c ->
+                       c.pc_from = pi && c.pc_from_port = port && c.pc_to = pj
+                       && c.pc_to_port = tport)
+                     cp.c_conns)
+              then ok := false
+            end
+            else if
+              not
+                (List.exists
+                   (fun (pe, pport, _m) ->
+                     pe = Hashtbl.find inv si && pport = port)
+                   cp.c_out)
+            then ok := false)
+          (Router.outputs_of router si);
+        List.iter
+          (fun (port, fj, _fport) ->
+            if not (matched fj) then
+              if
+                not
+                  (List.exists
+                     (fun (_m, pe, pport) ->
+                       pe = Hashtbl.find inv si && pport = port)
+                     cp.c_in)
+              then ok := false)
+          (Router.inputs_of router si))
+      assignment;
+    (* Pattern connections must all be present (multiplicity: presence was
+       checked during assignment; duplicates in patterns are not used). *)
+    if !ok then Some { m_assignment = Array.copy assignment; m_bindings = bindings }
+    else None
+  in
+  let rec assign k bindings =
+    if k = n then begin
+      match verify bindings with
+      | Some m -> raise (Found m)
+      | None -> ()
+    end
+    else begin
+      let pi = cp.c_order.(k) in
+      List.iter
+        (fun si ->
+          if
+            (not (Hashtbl.mem used si))
+            && String.equal (Router.class_of router si) cp.c_classes.(pi)
+          then begin
+            match
+              match_config ~bindings ~pattern:cp.c_configs.(pi)
+                ~subject:(Router.config router si)
+            with
+            | None -> ()
+            | Some bindings' ->
+                (* Adjacency consistency with already-assigned elements. *)
+                let consistent =
+                  List.for_all
+                    (fun c ->
+                      let check from_pi from_port to_pi to_port =
+                        let fs = if from_pi = pi then si else assignment.(from_pi)
+                        and ts = if to_pi = pi then si else assignment.(to_pi) in
+                        if fs < 0 || ts < 0 then true
+                        else
+                          subject_has_conn router ~from_idx:fs
+                            ~from_port ~to_idx:ts ~to_port
+                      in
+                      if c.pc_from = pi || c.pc_to = pi then
+                        check c.pc_from c.pc_from_port c.pc_to c.pc_to_port
+                      else true)
+                    cp.c_conns
+                in
+                if consistent then begin
+                  assignment.(pi) <- si;
+                  Hashtbl.add used si ();
+                  assign (k + 1) bindings';
+                  Hashtbl.remove used si;
+                  assignment.(pi) <- -1
+                end
+          end)
+        (Router.indices router)
+    end
+  in
+  match assign 0 [] with () -> None | exception Found m -> Some m
+
+(* --- replacement -------------------------------------------------------- *)
+
+exception Apply_error of string
+
+let apply router (cp : compiled) (m : match_result) =
+  let inv = Hashtbl.create 8 in
+  Array.iteri (fun pi si -> Hashtbl.replace inv si pi) m.m_assignment;
+  let matched si = Hashtbl.mem inv si in
+  (* External connections, grouped by attachment port. *)
+  let ext_in = ref [] (* (pattern input port, src idx, src port) *)
+  and ext_out = ref [] (* (pattern output port, dst idx, dst port) *) in
+  Array.iter
+    (fun si ->
+      let pi = Hashtbl.find inv si in
+      List.iter
+        (fun (port, fj, fport) ->
+          if not (matched fj) then begin
+            match
+              List.find_opt (fun (_m, pe, pp) -> pe = pi && pp = port) cp.c_in
+            with
+            | Some (mport, _, _) -> ext_in := (mport, fj, fport) :: !ext_in
+            | None -> raise (Apply_error "unattached external input")
+          end)
+        (Router.inputs_of router si);
+      List.iter
+        (fun (port, tj, tport) ->
+          if not (matched tj) then begin
+            match
+              List.find_opt (fun (pe, pp, _m) -> pe = pi && pp = port) cp.c_out
+            with
+            | Some (_, _, mport) -> ext_out := (mport, tj, tport) :: !ext_out
+            | None -> raise (Apply_error "unattached external output")
+          end)
+        (Router.outputs_of router si))
+    m.m_assignment;
+  (* Remove the matched subgraph. *)
+  Array.iter (fun si -> Router.remove_element router si) m.m_assignment;
+  (* Instantiate the replacement. *)
+  let rep = cp.c_pair.xf_replacement in
+  let name_map = Hashtbl.create 8 in
+  List.iter
+    (fun (e : Ast.element) ->
+      let fresh = Router.fresh_name router e.e_name in
+      let config = Args.substitute m.m_bindings e.e_config in
+      let idx =
+        Router.add_element router ~name:fresh
+          ~cls:(Ast.class_name e.e_class)
+          ~config
+      in
+      Hashtbl.replace name_map e.e_name idx)
+    rep.Ast.elements;
+  let relem name =
+    match Hashtbl.find_opt name_map name with
+    | Some i -> i
+    | None -> raise (Apply_error (Printf.sprintf "unknown replacement element %S" name))
+  in
+  List.iter
+    (fun (c : Ast.connection) ->
+      match (c.Ast.c_from, c.Ast.c_to) with
+      | "input", "output" ->
+          (* join externals straight through *)
+          List.iter
+            (fun (mi, src, sport) ->
+              if mi = c.c_from_port then
+                List.iter
+                  (fun (mo, dst, dport) ->
+                    if mo = c.c_to_port then
+                      Router.add_hookup router
+                        {
+                          Router.from_idx = src;
+                          from_port = sport;
+                          to_idx = dst;
+                          to_port = dport;
+                        })
+                  !ext_out)
+            !ext_in
+      | "input", other ->
+          List.iter
+            (fun (mi, src, sport) ->
+              if mi = c.c_from_port then
+                Router.add_hookup router
+                  {
+                    Router.from_idx = src;
+                    from_port = sport;
+                    to_idx = relem other;
+                    to_port = c.c_to_port;
+                  })
+            !ext_in
+      | other, "output" ->
+          List.iter
+            (fun (mo, dst, dport) ->
+              if mo = c.c_to_port then
+                Router.add_hookup router
+                  {
+                    Router.from_idx = relem other;
+                    from_port = c.c_from_port;
+                    to_idx = dst;
+                    to_port = dport;
+                  })
+            !ext_out
+      | a, b ->
+          Router.add_hookup router
+            {
+              Router.from_idx = relem a;
+              from_port = c.c_from_port;
+              to_idx = relem b;
+              to_port = c.c_to_port;
+            })
+    rep.Ast.connections
+
+(* --- driver -------------------------------------------------------------- *)
+
+let run ~patterns ?(max_replacements = 10_000) source =
+  let router = Router.copy source in
+  match List.map compile patterns with
+  | exception Invalid_argument msg -> Error msg
+  | compiled -> (
+      let count = ref 0 in
+      let rec loop () =
+        if !count < max_replacements then begin
+          let progress =
+            List.exists
+              (fun cp ->
+                match find_match router cp with
+                | Some m ->
+                    apply router cp m;
+                    incr count;
+                    true
+                | None -> false)
+              compiled
+          in
+          if progress then loop ()
+        end
+      in
+      match loop () with
+      | () -> Ok (router, !count)
+      | exception Apply_error msg -> Error msg)
+
+module Internal = struct
+  let match_config_arg = match_config_arg
+end

@@ -1,0 +1,55 @@
+(** [click-xform]: pattern-replacement optimization of router graphs
+    (paper §6.2).
+
+    Patterns and replacements are configuration fragments written as
+    compound elements in the Click language. A pattern matches a subgraph
+    when corresponding elements have the same classes and configurations
+    (pattern configurations may contain [$variables], which bind
+    consistently across the whole pattern) and are connected the same way;
+    connections into or out of the matched subgraph may occur only where
+    the pattern's [input]/[output] pseudo-elements allow. Matching is a
+    backtracking subgraph-isomorphism search in the style of Ullmann's
+    algorithm, with candidate filtering and adjacency consistency
+    propagation.
+
+    A patterns file is a Click configuration containing [elementclass]
+    pairs named [<Name>Pattern] and [<Name>Replacement]:
+
+    {v
+    elementclass StripTwicePattern { $a, $b |
+      input -> Strip($a) -> Strip($b) -> output;
+    }
+    elementclass StripTwiceReplacement { $a, $b |
+      input -> Strip2@x :: Strip2($a, $b) -> output;
+    }
+    v} *)
+
+type pair = {
+  xf_name : string;
+  xf_formals : string list;
+  xf_pattern : Oclick_lang.Ast.t;  (** flattened pattern body *)
+  xf_replacement : Oclick_lang.Ast.t;
+}
+
+val parse_patterns : string -> (pair list, string) result
+(** Parse a patterns file; every [...Pattern] class must have a matching
+    [...Replacement] class. *)
+
+val run :
+  patterns:pair list ->
+  ?max_replacements:int ->
+  Oclick_graph.Router.t ->
+  (Oclick_graph.Router.t * int, string) result
+(** Applies every pattern repeatedly until no occurrences remain (or the
+    replacement cap, default 10_000, is hit). Returns the transformed
+    graph and the number of replacements performed. The input graph is
+    not modified. *)
+
+(** Exposed for tests. *)
+module Internal : sig
+  val match_config_arg :
+    bindings:(string * string) list ->
+    pattern:string ->
+    subject:string ->
+    (string * string) list option
+end

@@ -1,0 +1,1 @@
+lib/packet/ethaddr.ml: Buffer Char Format List Printf String

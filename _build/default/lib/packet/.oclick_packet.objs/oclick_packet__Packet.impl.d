@@ -1,0 +1,1 @@
+lib/packet/packet.ml: Bytes Char Checksum Ipaddr Printf String

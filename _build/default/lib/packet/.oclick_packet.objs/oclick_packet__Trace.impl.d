@@ -1,0 +1,1 @@
+lib/packet/trace.ml: Buffer Bytes Char List Packet Printf String

@@ -1,0 +1,1 @@
+lib/packet/trace.mli: Buffer Packet

@@ -1,0 +1,24 @@
+let fold16 sum =
+  let s = (sum land 0xffff) + (sum lsr 16) in
+  (s land 0xffff) + (s lsr 16)
+
+let ones_complement_sum buf ~pos ~len =
+  let sum = ref 0 in
+  let i = ref pos in
+  let stop = pos + len in
+  while !i + 1 < stop do
+    sum := !sum + (Char.code (Bytes.get buf !i) lsl 8)
+           + Char.code (Bytes.get buf (!i + 1));
+    i := !i + 2
+  done;
+  if !i < stop then sum := !sum + (Char.code (Bytes.get buf !i) lsl 8);
+  fold16 !sum
+
+let checksum buf ~pos ~len =
+  lnot (ones_complement_sum buf ~pos ~len) land 0xffff
+
+let combine a b = fold16 (a + b)
+let finish sum = lnot sum land 0xffff
+
+let ip_header_valid buf ~pos ~ihl =
+  ihl >= 5 && checksum buf ~pos ~len:(ihl * 4) = 0

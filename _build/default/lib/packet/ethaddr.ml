@@ -1,0 +1,40 @@
+type t = string (* exactly 6 raw bytes *)
+
+let of_bytes s =
+  if String.length s <> 6 then invalid_arg "Ethaddr.of_bytes" else s
+
+let to_bytes t = t
+
+let of_string s =
+  match String.split_on_char ':' s with
+  | [ _; _; _; _; _; _ ] as parts ->
+      let buf = Buffer.create 6 in
+      let ok =
+        List.for_all
+          (fun p ->
+            match int_of_string_opt ("0x" ^ p) with
+            | Some v when v >= 0 && v <= 255 && String.length p <= 2 ->
+                Buffer.add_char buf (Char.chr v);
+                true
+            | _ -> false)
+          parts
+      in
+      if ok then Some (Buffer.contents buf) else None
+  | _ -> None
+
+let of_string_exn s =
+  match of_string s with
+  | Some t -> t
+  | None -> invalid_arg (Printf.sprintf "Ethaddr.of_string_exn: %S" s)
+
+let to_string t =
+  String.concat ":"
+    (List.init 6 (fun i -> Printf.sprintf "%02x" (Char.code t.[i])))
+
+let broadcast = String.make 6 '\xff'
+let zero = String.make 6 '\x00'
+let is_broadcast t = t = broadcast
+let is_group t = Char.code t.[0] land 1 = 1
+let compare = String.compare
+let equal = String.equal
+let pp fmt t = Format.pp_print_string fmt (to_string t)

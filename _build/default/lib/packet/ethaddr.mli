@@ -1,0 +1,33 @@
+(** 48-bit Ethernet (MAC) addresses. *)
+
+type t
+(** An Ethernet address. Values are immutable. *)
+
+val of_string : string -> t option
+(** Parses colon-separated hex, e.g. ["00:e0:98:09:ab:af"]. *)
+
+val of_string_exn : string -> t
+(** Like {!of_string} but raises [Invalid_argument]. *)
+
+val to_string : t -> string
+(** Colon-separated lower-case hex rendering. *)
+
+val of_bytes : string -> t
+(** [of_bytes s] interprets a 6-byte raw string. *)
+
+val to_bytes : t -> string
+(** 6-byte raw representation. *)
+
+val broadcast : t
+(** ff:ff:ff:ff:ff:ff. *)
+
+val zero : t
+(** 00:00:00:00:00:00. *)
+
+val is_broadcast : t -> bool
+val is_group : t -> bool
+(** True if the group (multicast) bit is set. *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,264 @@
+module Ether = struct
+  let header_length = 14
+  let ethertype_ip = 0x0800
+  let ethertype_arp = 0x0806
+  let dst p = Ethaddr.of_bytes (Packet.get_string p ~pos:0 ~len:6)
+  let src p = Ethaddr.of_bytes (Packet.get_string p ~pos:6 ~len:6)
+  let ethertype p = Packet.get_u16 p 12
+  let set_dst p a = Packet.set_string p ~pos:0 (Ethaddr.to_bytes a)
+  let set_src p a = Packet.set_string p ~pos:6 (Ethaddr.to_bytes a)
+  let set_ethertype p v = Packet.set_u16 p 12 v
+
+  let encap p ~dst ~src ~ethertype =
+    Packet.push p header_length;
+    set_dst p dst;
+    set_src p src;
+    set_ethertype p ethertype
+end
+
+module Ip = struct
+  let min_header_length = 20
+  let proto_icmp = 1
+  let proto_tcp = 6
+  let proto_udp = 17
+  let version ?(off = 0) p = Packet.get_u8 p off lsr 4
+  let header_length ?(off = 0) p = (Packet.get_u8 p off land 0xf) * 4
+  let tos ?(off = 0) p = Packet.get_u8 p (off + 1)
+  let total_length ?(off = 0) p = Packet.get_u16 p (off + 2)
+  let ident ?(off = 0) p = Packet.get_u16 p (off + 4)
+  let dont_fragment ?(off = 0) p = Packet.get_u16 p (off + 6) land 0x4000 <> 0
+  let more_fragments ?(off = 0) p = Packet.get_u16 p (off + 6) land 0x2000 <> 0
+  let fragment_offset ?(off = 0) p = Packet.get_u16 p (off + 6) land 0x1fff
+  let ttl ?(off = 0) p = Packet.get_u8 p (off + 8)
+  let protocol ?(off = 0) p = Packet.get_u8 p (off + 9)
+  let header_checksum ?(off = 0) p = Packet.get_u16 p (off + 10)
+  let src ?(off = 0) p = Packet.get_u32 p (off + 12)
+  let dst ?(off = 0) p = Packet.get_u32 p (off + 16)
+  let set_tos ?(off = 0) p v = Packet.set_u8 p (off + 1) v
+  let set_total_length ?(off = 0) p v = Packet.set_u16 p (off + 2) v
+  let set_ident ?(off = 0) p v = Packet.set_u16 p (off + 4) v
+
+  let set_flags_fragment ?(off = 0) p ~df ~mf ~frag =
+    let v =
+      (if df then 0x4000 else 0) lor (if mf then 0x2000 else 0)
+      lor (frag land 0x1fff)
+    in
+    Packet.set_u16 p (off + 6) v
+
+  let set_ttl ?(off = 0) p v = Packet.set_u8 p (off + 8) v
+  let set_protocol ?(off = 0) p v = Packet.set_u8 p (off + 9) v
+  let set_src ?(off = 0) p v = Packet.set_u32 p (off + 12) v
+  let set_dst ?(off = 0) p v = Packet.set_u32 p (off + 16) v
+
+  let update_checksum ?(off = 0) p =
+    let hl = header_length ~off p in
+    Packet.set_u16 p (off + 10) 0;
+    Packet.set_u16 p (off + 10) (Packet.checksum p ~pos:off ~len:hl)
+
+  let checksum_valid ?(off = 0) p =
+    let hl = header_length ~off p in
+    hl >= min_header_length
+    && off + hl <= Packet.length p
+    && Packet.checksum p ~pos:off ~len:hl = 0
+
+  let decrement_ttl ?(off = 0) p =
+    (* RFC 1141 incremental checksum update: TTL lives in the high byte of
+       the word at offset 8, so subtracting one from TTL adds 0x0100 to the
+       checksum (in one's-complement arithmetic). *)
+    set_ttl ~off p (ttl ~off p - 1);
+    let sum = header_checksum ~off p + 0x0100 in
+    Packet.set_u16 p (off + 10) ((sum + (sum lsr 16)) land 0xffff)
+
+  let write_header ?(off = 0) p ~src ~dst ~protocol ~total_length ?(ttl = 64)
+      ?(tos = 0) ?(ident = 0) () =
+    Packet.set_u8 p off 0x45;
+    set_tos ~off p tos;
+    set_total_length ~off p total_length;
+    set_ident ~off p ident;
+    set_flags_fragment ~off p ~df:false ~mf:false ~frag:0;
+    set_ttl ~off p ttl;
+    set_protocol ~off p protocol;
+    set_src ~off p src;
+    set_dst ~off p dst;
+    update_checksum ~off p
+end
+
+module Udp = struct
+  let header_length = 8
+  let src_port ?(off = 0) p = Packet.get_u16 p off
+  let dst_port ?(off = 0) p = Packet.get_u16 p (off + 2)
+  let udp_length ?(off = 0) p = Packet.get_u16 p (off + 4)
+  let set_src_port ?(off = 0) p v = Packet.set_u16 p off v
+  let set_dst_port ?(off = 0) p v = Packet.set_u16 p (off + 2) v
+  let set_udp_length ?(off = 0) p v = Packet.set_u16 p (off + 4) v
+end
+
+module Tcp = struct
+  let src_port ?(off = 0) p = Packet.get_u16 p off
+  let dst_port ?(off = 0) p = Packet.get_u16 p (off + 2)
+  let flags ?(off = 0) p = Packet.get_u8 p (off + 13)
+  let set_src_port ?(off = 0) p v = Packet.set_u16 p off v
+  let set_dst_port ?(off = 0) p v = Packet.set_u16 p (off + 2) v
+  let set_flags ?(off = 0) p v = Packet.set_u8 p (off + 13) v
+  let flag_fin = 0x01
+  let flag_syn = 0x02
+  let flag_rst = 0x04
+  let flag_ack = 0x10
+end
+
+module Icmp = struct
+  let type_echo_reply = 0
+  let type_dst_unreachable = 3
+  let type_redirect = 5
+  let type_echo = 8
+  let type_time_exceeded = 11
+  let type_parameter_problem = 12
+  let icmp_type ?(off = 0) p = Packet.get_u8 p off
+  let code ?(off = 0) p = Packet.get_u8 p (off + 1)
+  let set_type ?(off = 0) p v = Packet.set_u8 p off v
+  let set_code ?(off = 0) p v = Packet.set_u8 p (off + 1) v
+
+  let update_checksum ?(off = 0) p ~len =
+    Packet.set_u16 p (off + 2) 0;
+    Packet.set_u16 p (off + 2) (Packet.checksum p ~pos:off ~len)
+end
+
+module Arp = struct
+  let packet_length = 28
+  let op_request = 1
+  let op_reply = 2
+  let op ?(off = 0) p = Packet.get_u16 p (off + 6)
+
+  let sender_eth ?(off = 0) p =
+    Ethaddr.of_bytes (Packet.get_string p ~pos:(off + 8) ~len:6)
+
+  let sender_ip ?(off = 0) p = Packet.get_u32 p (off + 14)
+
+  let target_eth ?(off = 0) p =
+    Ethaddr.of_bytes (Packet.get_string p ~pos:(off + 18) ~len:6)
+
+  let target_ip ?(off = 0) p = Packet.get_u32 p (off + 24)
+
+  let write ?(off = 0) p ~op ~sender_eth ~sender_ip ~target_eth ~target_ip =
+    Packet.set_u16 p off 1 (* hardware type: Ethernet *);
+    Packet.set_u16 p (off + 2) Ether.ethertype_ip;
+    Packet.set_u8 p (off + 4) 6 (* hardware address length *);
+    Packet.set_u8 p (off + 5) 4 (* protocol address length *);
+    Packet.set_u16 p (off + 6) op;
+    Packet.set_string p ~pos:(off + 8) (Ethaddr.to_bytes sender_eth);
+    Packet.set_u32 p (off + 14) sender_ip;
+    Packet.set_string p ~pos:(off + 18) (Ethaddr.to_bytes target_eth);
+    Packet.set_u32 p (off + 24) target_ip
+end
+
+module L4 = struct
+  let pseudo_header_sum p ~ip_off ~len =
+    let word_sum off =
+      ((Packet.get_u32 p off lsr 16) land 0xffff) + (Packet.get_u32 p off land 0xffff)
+    in
+    let s =
+      word_sum (ip_off + 12) (* source address *)
+      + word_sum (ip_off + 16) (* destination address *)
+      + Ip.protocol ~off:ip_off p + len
+    in
+    Checksum.combine s 0
+
+  let checksum p ~ip_off ~l4_off ~len =
+    let body =
+      Checksum.ones_complement_sum (Packet.buffer p)
+        ~pos:(Packet.data_offset p + l4_off)
+        ~len
+    in
+    Checksum.finish (Checksum.combine (pseudo_header_sum p ~ip_off ~len) body)
+
+  let update_udp p ~ip_off =
+    let l4_off = ip_off + Ip.header_length ~off:ip_off p in
+    let len = Udp.udp_length ~off:l4_off p in
+    Packet.set_u16 p (l4_off + 6) 0;
+    let c = checksum p ~ip_off ~l4_off ~len in
+    (* an all-zero computed checksum is transmitted as 0xffff *)
+    Packet.set_u16 p (l4_off + 6) (if c = 0 then 0xffff else c)
+
+  let update_tcp p ~ip_off =
+    let hl = Ip.header_length ~off:ip_off p in
+    let l4_off = ip_off + hl in
+    let len = Ip.total_length ~off:ip_off p - hl in
+    Packet.set_u16 p (l4_off + 16) 0;
+    Packet.set_u16 p (l4_off + 16) (checksum p ~ip_off ~l4_off ~len)
+
+  let udp_valid p ~ip_off =
+    let l4_off = ip_off + Ip.header_length ~off:ip_off p in
+    let len = Udp.udp_length ~off:l4_off p in
+    Packet.get_u16 p (l4_off + 6) = 0
+    || checksum p ~ip_off ~l4_off ~len = 0
+
+  let tcp_valid p ~ip_off =
+    let hl = Ip.header_length ~off:ip_off p in
+    let l4_off = ip_off + hl in
+    let len = Ip.total_length ~off:ip_off p - hl in
+    checksum p ~ip_off ~l4_off ~len = 0
+end
+
+module Build = struct
+  let udp ?(src_eth = Ethaddr.zero) ?(dst_eth = Ethaddr.zero) ~src_ip ~dst_ip
+      ?(src_port = 1234) ?(dst_port = 1234) ?(payload_len = 14) ?(ttl = 64) ()
+      =
+    let ip_len = Ip.min_header_length + Udp.header_length + payload_len in
+    let p = Packet.create (Ether.header_length + ip_len) in
+    Packet.set_string p ~pos:0 (Ethaddr.to_bytes dst_eth);
+    Packet.set_string p ~pos:6 (Ethaddr.to_bytes src_eth);
+    Packet.set_u16 p 12 Ether.ethertype_ip;
+    let off = Ether.header_length in
+    Ip.write_header ~off p ~src:src_ip ~dst:dst_ip ~protocol:Ip.proto_udp
+      ~total_length:ip_len ~ttl ();
+    let uoff = off + Ip.min_header_length in
+    Udp.set_src_port ~off:uoff p src_port;
+    Udp.set_dst_port ~off:uoff p dst_port;
+    Udp.set_udp_length ~off:uoff p (Udp.header_length + payload_len);
+    p
+
+  let arp_query ~src_eth ~src_ip ~target_ip =
+    let p = Packet.create (Ether.header_length + Arp.packet_length) in
+    Packet.set_string p ~pos:0 (Ethaddr.to_bytes Ethaddr.broadcast);
+    Packet.set_string p ~pos:6 (Ethaddr.to_bytes src_eth);
+    Packet.set_u16 p 12 Ether.ethertype_arp;
+    Arp.write ~off:Ether.header_length p ~op:Arp.op_request ~sender_eth:src_eth
+      ~sender_ip:src_ip ~target_eth:Ethaddr.zero ~target_ip;
+    p
+
+  let arp_reply ~src_eth ~src_ip ~dst_eth ~dst_ip =
+    let p = Packet.create (Ether.header_length + Arp.packet_length) in
+    Packet.set_string p ~pos:0 (Ethaddr.to_bytes dst_eth);
+    Packet.set_string p ~pos:6 (Ethaddr.to_bytes src_eth);
+    Packet.set_u16 p 12 Ether.ethertype_arp;
+    Arp.write ~off:Ether.header_length p ~op:Arp.op_reply ~sender_eth:src_eth
+      ~sender_ip:src_ip ~target_eth:dst_eth ~target_ip:dst_ip;
+    p
+
+  let icmp_echo ~src_ip ~dst_ip ?(payload_len = 8) () =
+    let ip_len = Ip.min_header_length + 8 + payload_len in
+    let p = Packet.create (Ether.header_length + ip_len) in
+    Packet.set_u16 p 12 Ether.ethertype_ip;
+    let off = Ether.header_length in
+    Ip.write_header ~off p ~src:src_ip ~dst:dst_ip ~protocol:Ip.proto_icmp
+      ~total_length:ip_len ();
+    let ioff = off + Ip.min_header_length in
+    Icmp.set_type ~off:ioff p Icmp.type_echo;
+    Icmp.set_code ~off:ioff p 0;
+    Icmp.update_checksum ~off:ioff p ~len:(8 + payload_len);
+    p
+
+  let tcp ~src_ip ~dst_ip ~src_port ~dst_port ?(flags = Tcp.flag_syn) () =
+    let ip_len = Ip.min_header_length + 20 in
+    let p = Packet.create (Ether.header_length + ip_len) in
+    Packet.set_u16 p 12 Ether.ethertype_ip;
+    let off = Ether.header_length in
+    Ip.write_header ~off p ~src:src_ip ~dst:dst_ip ~protocol:Ip.proto_tcp
+      ~total_length:ip_len ();
+    let toff = off + Ip.min_header_length in
+    Tcp.set_src_port ~off:toff p src_port;
+    Tcp.set_dst_port ~off:toff p dst_port;
+    Packet.set_u8 p (toff + 12) 0x50 (* data offset: 5 words *);
+    Tcp.set_flags ~off:toff p flags;
+    p
+end

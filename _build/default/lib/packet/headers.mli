@@ -1,0 +1,206 @@
+(** Protocol header accessors.
+
+    Each submodule reads and writes one header layout at a given offset
+    inside a packet's data window. The IP router strips the Ethernet header
+    before IP processing, so IP/UDP/ICMP accessors default to offset 0. *)
+
+module Ether : sig
+  val header_length : int
+  val ethertype_ip : int
+  val ethertype_arp : int
+
+  val dst : Packet.t -> Ethaddr.t
+  val src : Packet.t -> Ethaddr.t
+  val ethertype : Packet.t -> int
+  val set_dst : Packet.t -> Ethaddr.t -> unit
+  val set_src : Packet.t -> Ethaddr.t -> unit
+  val set_ethertype : Packet.t -> int -> unit
+
+  val encap : Packet.t -> dst:Ethaddr.t -> src:Ethaddr.t -> ethertype:int -> unit
+  (** Prepends and fills a 14-byte Ethernet header. *)
+end
+
+module Ip : sig
+  val min_header_length : int
+  val proto_icmp : int
+  val proto_tcp : int
+  val proto_udp : int
+
+  val version : ?off:int -> Packet.t -> int
+  val header_length : ?off:int -> Packet.t -> int
+  (** Header length in bytes (IHL × 4). *)
+
+  val tos : ?off:int -> Packet.t -> int
+  val total_length : ?off:int -> Packet.t -> int
+  val ident : ?off:int -> Packet.t -> int
+  val dont_fragment : ?off:int -> Packet.t -> bool
+  val more_fragments : ?off:int -> Packet.t -> bool
+  val fragment_offset : ?off:int -> Packet.t -> int
+  (** In 8-byte units. *)
+
+  val ttl : ?off:int -> Packet.t -> int
+  val protocol : ?off:int -> Packet.t -> int
+  val header_checksum : ?off:int -> Packet.t -> int
+  val src : ?off:int -> Packet.t -> Ipaddr.t
+  val dst : ?off:int -> Packet.t -> Ipaddr.t
+
+  val set_tos : ?off:int -> Packet.t -> int -> unit
+  val set_total_length : ?off:int -> Packet.t -> int -> unit
+  val set_ident : ?off:int -> Packet.t -> int -> unit
+  val set_flags_fragment :
+    ?off:int -> Packet.t -> df:bool -> mf:bool -> frag:int -> unit
+
+  val set_ttl : ?off:int -> Packet.t -> int -> unit
+  val set_protocol : ?off:int -> Packet.t -> int -> unit
+  val set_src : ?off:int -> Packet.t -> Ipaddr.t -> unit
+  val set_dst : ?off:int -> Packet.t -> Ipaddr.t -> unit
+
+  val update_checksum : ?off:int -> Packet.t -> unit
+  (** Recomputes and stores the header checksum. *)
+
+  val checksum_valid : ?off:int -> Packet.t -> bool
+
+  val decrement_ttl : ?off:int -> Packet.t -> unit
+  (** Decrements TTL and incrementally patches the checksum (RFC 1141). *)
+
+  val write_header :
+    ?off:int ->
+    Packet.t ->
+    src:Ipaddr.t ->
+    dst:Ipaddr.t ->
+    protocol:int ->
+    total_length:int ->
+    ?ttl:int ->
+    ?tos:int ->
+    ?ident:int ->
+    unit ->
+    unit
+  (** Fills a fresh minimal (20-byte) header, including its checksum. *)
+end
+
+module Udp : sig
+  val header_length : int
+  val src_port : ?off:int -> Packet.t -> int
+  val dst_port : ?off:int -> Packet.t -> int
+  val udp_length : ?off:int -> Packet.t -> int
+  val set_src_port : ?off:int -> Packet.t -> int -> unit
+  val set_dst_port : ?off:int -> Packet.t -> int -> unit
+  val set_udp_length : ?off:int -> Packet.t -> int -> unit
+end
+
+module Tcp : sig
+  val src_port : ?off:int -> Packet.t -> int
+  val dst_port : ?off:int -> Packet.t -> int
+  val flags : ?off:int -> Packet.t -> int
+  val set_src_port : ?off:int -> Packet.t -> int -> unit
+  val set_dst_port : ?off:int -> Packet.t -> int -> unit
+  val set_flags : ?off:int -> Packet.t -> int -> unit
+  val flag_syn : int
+  val flag_ack : int
+  val flag_fin : int
+  val flag_rst : int
+end
+
+module Icmp : sig
+  val type_echo_reply : int
+  val type_dst_unreachable : int
+  val type_redirect : int
+  val type_echo : int
+  val type_time_exceeded : int
+  val type_parameter_problem : int
+
+  val icmp_type : ?off:int -> Packet.t -> int
+  val code : ?off:int -> Packet.t -> int
+  val set_type : ?off:int -> Packet.t -> int -> unit
+  val set_code : ?off:int -> Packet.t -> int -> unit
+  val update_checksum : ?off:int -> Packet.t -> len:int -> unit
+end
+
+module Arp : sig
+  val packet_length : int
+  (** Length of an Ethernet/IPv4 ARP packet body (28 bytes). *)
+
+  val op_request : int
+  val op_reply : int
+
+  val op : ?off:int -> Packet.t -> int
+  val sender_eth : ?off:int -> Packet.t -> Ethaddr.t
+  val sender_ip : ?off:int -> Packet.t -> Ipaddr.t
+  val target_eth : ?off:int -> Packet.t -> Ethaddr.t
+  val target_ip : ?off:int -> Packet.t -> Ipaddr.t
+
+  val write :
+    ?off:int ->
+    Packet.t ->
+    op:int ->
+    sender_eth:Ethaddr.t ->
+    sender_ip:Ipaddr.t ->
+    target_eth:Ethaddr.t ->
+    target_ip:Ipaddr.t ->
+    unit
+  (** Fills a 28-byte Ethernet/IPv4 ARP body at [off]. *)
+end
+
+module L4 : sig
+  val checksum :
+    Packet.t -> ip_off:int -> l4_off:int -> len:int -> int
+  (** The TCP/UDP checksum over the IPv4 pseudo-header (source,
+      destination, protocol, length) plus [len] bytes of transport header
+      and payload at [l4_off]. The checksum field itself must be zeroed
+      by the caller first. *)
+
+  val update_udp : Packet.t -> ip_off:int -> unit
+  (** Recompute the UDP checksum of the datagram whose IP header is at
+      [ip_off] (uses the UDP length field). *)
+
+  val update_tcp : Packet.t -> ip_off:int -> unit
+  (** Recompute the TCP checksum (segment length from the IP total
+      length). *)
+
+  val udp_valid : Packet.t -> ip_off:int -> bool
+  (** A zero stored checksum counts as valid (optional in IPv4). *)
+
+  val tcp_valid : Packet.t -> ip_off:int -> bool
+end
+
+(** Whole-packet constructors for traffic generators and tests. *)
+module Build : sig
+  val udp :
+    ?src_eth:Ethaddr.t ->
+    ?dst_eth:Ethaddr.t ->
+    src_ip:Ipaddr.t ->
+    dst_ip:Ipaddr.t ->
+    ?src_port:int ->
+    ?dst_port:int ->
+    ?payload_len:int ->
+    ?ttl:int ->
+    unit ->
+    Packet.t
+  (** A full Ethernet/IP/UDP frame. Defaults produce the paper's 64-byte
+      test packet: 14 (Ethernet) + 20 (IP) + 8 (UDP) + 14 (payload) data
+      bytes, with the 4-byte CRC left to the simulated device. *)
+
+  val arp_query :
+    src_eth:Ethaddr.t -> src_ip:Ipaddr.t -> target_ip:Ipaddr.t -> Packet.t
+
+  val arp_reply :
+    src_eth:Ethaddr.t ->
+    src_ip:Ipaddr.t ->
+    dst_eth:Ethaddr.t ->
+    dst_ip:Ipaddr.t ->
+    Packet.t
+
+  val icmp_echo :
+    src_ip:Ipaddr.t -> dst_ip:Ipaddr.t -> ?payload_len:int -> unit -> Packet.t
+  (** An Ethernet/IP/ICMP echo-request frame. *)
+
+  val tcp :
+    src_ip:Ipaddr.t ->
+    dst_ip:Ipaddr.t ->
+    src_port:int ->
+    dst_port:int ->
+    ?flags:int ->
+    unit ->
+    Packet.t
+  (** An Ethernet/IP/TCP frame with a minimal 20-byte TCP header. *)
+end

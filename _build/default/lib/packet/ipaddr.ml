@@ -1,0 +1,72 @@
+type t = int
+
+let of_octets a b c d =
+  if a < 0 || a > 255 || b < 0 || b > 255 || c < 0 || c > 255 || d < 0 || d > 255
+  then invalid_arg "Ipaddr.of_octets"
+  else (a lsl 24) lor (b lsl 16) lor (c lsl 8) lor d
+
+let of_string s =
+  match String.split_on_char '.' s with
+  | [ a; b; c; d ] -> (
+      let octet x =
+        match int_of_string_opt x with
+        | Some v when v >= 0 && v <= 255 && x <> "" -> Some v
+        | _ -> None
+      in
+      match (octet a, octet b, octet c, octet d) with
+      | Some a, Some b, Some c, Some d -> Some (of_octets a b c d)
+      | _ -> None)
+  | _ -> None
+
+let of_string_exn s =
+  match of_string s with
+  | Some t -> t
+  | None -> invalid_arg (Printf.sprintf "Ipaddr.of_string_exn: %S" s)
+
+let to_string t =
+  Printf.sprintf "%d.%d.%d.%d"
+    ((t lsr 24) land 0xff)
+    ((t lsr 16) land 0xff)
+    ((t lsr 8) land 0xff)
+    (t land 0xff)
+
+let netmask_of_prefix_length n =
+  if n < 0 || n > 32 then invalid_arg "Ipaddr.netmask_of_prefix_length"
+  else if n = 0 then 0
+  else 0xffff_ffff lxor ((1 lsl (32 - n)) - 1)
+
+let prefix_length_of_netmask m =
+  let rec scan n =
+    if n > 32 then None
+    else if netmask_of_prefix_length n = m then Some n
+    else scan (n + 1)
+  in
+  scan 0
+
+let in_subnet addr ~net ~mask = addr land mask = net land mask
+let broadcast = 0xffff_ffff
+let is_multicast t = t land 0xf000_0000 = 0xe000_0000
+
+let parse_prefix s =
+  match String.index_opt s '/' with
+  | None -> (
+      match of_string s with
+      | Some a -> Some (a, broadcast)
+      | None -> None)
+  | Some i -> (
+      let addr = String.sub s 0 i in
+      let rest = String.sub s (i + 1) (String.length s - i - 1) in
+      match of_string addr with
+      | None -> None
+      | Some a -> (
+          match int_of_string_opt rest with
+          | Some n when n >= 0 && n <= 32 ->
+              Some (a, netmask_of_prefix_length n)
+          | _ -> (
+              match of_string rest with
+              | Some m -> Some (a, m)
+              | None -> None)))
+
+let compare = Int.compare
+let equal = Int.equal
+let pp fmt t = Format.pp_print_string fmt (to_string t)

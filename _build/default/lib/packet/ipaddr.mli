@@ -1,0 +1,43 @@
+(** IPv4 addresses and prefixes.
+
+    Addresses are stored as non-negative integers in host order
+    ([0] .. [0xffff_ffff]); OCaml's native [int] is wide enough on all
+    supported platforms. *)
+
+type t = int
+(** An IPv4 address, e.g. [0x0a000001] for 10.0.0.1. *)
+
+val of_string : string -> t option
+(** [of_string "10.0.0.1"] parses dotted-quad notation. *)
+
+val of_string_exn : string -> t
+(** Like {!of_string} but raises [Invalid_argument] on malformed input. *)
+
+val to_string : t -> string
+(** Dotted-quad rendering. *)
+
+val of_octets : int -> int -> int -> int -> t
+(** [of_octets a b c d] builds [a.b.c.d]; each octet must be in 0..255. *)
+
+val netmask_of_prefix_length : int -> t
+(** [netmask_of_prefix_length 24] is [255.255.255.0]. *)
+
+val prefix_length_of_netmask : t -> int option
+(** Inverse of {!netmask_of_prefix_length}; [None] for non-contiguous masks. *)
+
+val in_subnet : t -> net:t -> mask:t -> bool
+(** [in_subnet addr ~net ~mask] tests [addr land mask = net land mask]. *)
+
+val broadcast : t
+(** 255.255.255.255. *)
+
+val is_multicast : t -> bool
+(** Class D test (224.0.0.0/4). *)
+
+val parse_prefix : string -> (t * t) option
+(** Parses ["10.0.0.0/8"] or ["10.0.0.0/255.0.0.0"] as (address, mask);
+    a bare address parses with an all-ones mask. *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

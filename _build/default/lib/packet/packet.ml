@@ -1,0 +1,160 @@
+type anno = {
+  mutable paint : int;
+  mutable dst_ip : Ipaddr.t;
+  mutable fix_ip_src : bool;
+  mutable device : int;
+  mutable timestamp : float;
+  mutable link_type : link_type;
+}
+
+and link_type = To_host | Broadcast | Multicast | To_other
+
+type t = {
+  mutable buf : bytes;
+  mutable head : int;
+  mutable len : int;
+  anno : anno;
+}
+
+let fresh_anno () =
+  {
+    paint = -1;
+    dst_ip = 0;
+    fix_ip_src = false;
+    device = -1;
+    timestamp = 0.;
+    link_type = To_host;
+  }
+
+let default_headroom = 34
+
+let create ?(headroom = default_headroom) ?(tailroom = default_headroom) len =
+  if len < 0 || headroom < 0 || tailroom < 0 then invalid_arg "Packet.create";
+  {
+    buf = Bytes.make (headroom + len + tailroom) '\000';
+    head = headroom;
+    len;
+    anno = fresh_anno ();
+  }
+
+let of_bytes ?headroom ?tailroom data =
+  let p = create ?headroom ?tailroom (Bytes.length data) in
+  Bytes.blit data 0 p.buf p.head (Bytes.length data);
+  p
+
+let of_string ?headroom ?tailroom s =
+  of_bytes ?headroom ?tailroom (Bytes.of_string s)
+
+let length p = p.len
+let anno p = p.anno
+
+let clone p =
+  {
+    buf = Bytes.copy p.buf;
+    head = p.head;
+    len = p.len;
+    anno = { p.anno with paint = p.anno.paint };
+  }
+
+let headroom p = p.head
+let tailroom p = Bytes.length p.buf - p.head - p.len
+
+let grow p ~extra_head ~extra_tail =
+  (* Reallocate, preserving the data window and adding room at both ends. *)
+  let buf = Bytes.make (extra_head + p.len + extra_tail) '\000' in
+  Bytes.blit p.buf p.head buf extra_head p.len;
+  p.buf <- buf;
+  p.head <- extra_head
+
+let push p n =
+  if n < 0 then invalid_arg "Packet.push";
+  if n > p.head then grow p ~extra_head:(n + default_headroom) ~extra_tail:(tailroom p);
+  p.head <- p.head - n;
+  p.len <- p.len + n
+
+let pull p n =
+  if n < 0 || n > p.len then invalid_arg "Packet.pull";
+  p.head <- p.head + n;
+  p.len <- p.len - n
+
+let put p n =
+  if n < 0 then invalid_arg "Packet.put";
+  if n > tailroom p then grow p ~extra_head:p.head ~extra_tail:(n + default_headroom);
+  Bytes.fill p.buf (p.head + p.len) n '\000';
+  p.len <- p.len + n
+
+let take p n =
+  if n < 0 || n > p.len then invalid_arg "Packet.take";
+  p.len <- p.len - n
+
+let check p pos width =
+  if pos < 0 || pos + width > p.len then
+    invalid_arg
+      (Printf.sprintf "Packet: access at %d width %d beyond length %d" pos
+         width p.len)
+
+let get_u8 p pos =
+  check p pos 1;
+  Char.code (Bytes.get p.buf (p.head + pos))
+
+let set_u8 p pos v =
+  check p pos 1;
+  Bytes.set p.buf (p.head + pos) (Char.chr (v land 0xff))
+
+let get_u16 p pos =
+  check p pos 2;
+  let b = p.buf and o = p.head + pos in
+  (Char.code (Bytes.get b o) lsl 8) lor Char.code (Bytes.get b (o + 1))
+
+let set_u16 p pos v =
+  check p pos 2;
+  let b = p.buf and o = p.head + pos in
+  Bytes.set b o (Char.chr ((v lsr 8) land 0xff));
+  Bytes.set b (o + 1) (Char.chr (v land 0xff))
+
+let get_u32 p pos =
+  check p pos 4;
+  let b = p.buf and o = p.head + pos in
+  (Char.code (Bytes.get b o) lsl 24)
+  lor (Char.code (Bytes.get b (o + 1)) lsl 16)
+  lor (Char.code (Bytes.get b (o + 2)) lsl 8)
+  lor Char.code (Bytes.get b (o + 3))
+
+let set_u32 p pos v =
+  check p pos 4;
+  let b = p.buf and o = p.head + pos in
+  Bytes.set b o (Char.chr ((v lsr 24) land 0xff));
+  Bytes.set b (o + 1) (Char.chr ((v lsr 16) land 0xff));
+  Bytes.set b (o + 2) (Char.chr ((v lsr 8) land 0xff));
+  Bytes.set b (o + 3) (Char.chr (v land 0xff))
+
+let get_string p ~pos ~len =
+  check p pos len;
+  Bytes.sub_string p.buf (p.head + pos) len
+
+let set_string p ~pos s =
+  check p pos (String.length s);
+  Bytes.blit_string s 0 p.buf (p.head + pos) (String.length s)
+
+let to_string p = Bytes.sub_string p.buf p.head p.len
+let buffer p = p.buf
+let data_offset p = p.head
+
+let checksum p ~pos ~len =
+  check p pos len;
+  Checksum.checksum p.buf ~pos:(p.head + pos) ~len
+
+let alignment p = p.head mod 4
+
+let realign p ~modulus ~offset =
+  if modulus <= 0 || offset < 0 || offset >= modulus then
+    invalid_arg "Packet.realign";
+  if p.head mod modulus <> offset then begin
+    (* Copy into a fresh buffer whose head satisfies the constraint and
+       keeps the default headroom available. *)
+    let head = ((default_headroom / modulus) + 1) * modulus + offset in
+    let buf = Bytes.make (head + p.len + default_headroom) '\000' in
+    Bytes.blit p.buf p.head buf head p.len;
+    p.buf <- buf;
+    p.head <- head
+  end

@@ -1,0 +1,96 @@
+(** The oclick packet abstraction.
+
+    A packet is a window onto a byte buffer, with headroom before the window
+    and tailroom after it — the same model as Click's [Packet]/Linux's
+    [sk_buff]. Prepending a header ({!push}) or stripping one ({!pull})
+    moves the window without copying, as long as room remains.
+
+    All multi-byte accessors are big-endian (network order), and all offsets
+    are relative to the start of the live data window. *)
+
+(** Per-packet annotations, carried alongside the data. These mirror the
+    Click annotations the standard IP router uses. *)
+type anno = {
+  mutable paint : int;  (** set by [Paint], read by [CheckPaint]; -1 unset *)
+  mutable dst_ip : Ipaddr.t;
+      (** destination-address annotation: set by [GetIPAddress], read by
+          [LookupIPRoute] and [ARPQuerier] *)
+  mutable fix_ip_src : bool;  (** set by [ICMPError], read by [FixIPSrc] *)
+  mutable device : int;  (** input device number; -1 unset *)
+  mutable timestamp : float;  (** simulated arrival time, seconds *)
+  mutable link_type : link_type;
+      (** link-layer addressing of the received frame, set by devices;
+          read by [DropBroadcasts] *)
+}
+
+and link_type = To_host | Broadcast | Multicast | To_other
+
+type t
+(** A mutable packet. *)
+
+val create : ?headroom:int -> ?tailroom:int -> int -> t
+(** [create len] allocates a zero-filled packet of [len] data bytes.
+    Default headroom is 34 bytes (like Click: room for link headers)
+    and default tailroom 34 bytes. *)
+
+val of_bytes : ?headroom:int -> ?tailroom:int -> bytes -> t
+(** Packet whose data is a copy of the given bytes. *)
+
+val of_string : ?headroom:int -> ?tailroom:int -> string -> t
+val length : t -> int
+val anno : t -> anno
+val clone : t -> t
+(** Deep copy: buffer and annotations are duplicated. *)
+
+val headroom : t -> int
+val tailroom : t -> int
+
+(** {2 Window adjustment} *)
+
+val push : t -> int -> unit
+(** [push p n] prepends [n] uninitialized bytes (reallocating if headroom is
+    short, again like Click). *)
+
+val pull : t -> int -> unit
+(** [pull p n] strips [n] bytes from the front. Raises [Invalid_argument]
+    if [n > length p]. *)
+
+val put : t -> int -> unit
+(** [put p n] extends the data window by [n] zero bytes at the tail. *)
+
+val take : t -> int -> unit
+(** [take p n] trims [n] bytes from the tail. *)
+
+(** {2 Data access} *)
+
+val get_u8 : t -> int -> int
+val set_u8 : t -> int -> int -> unit
+val get_u16 : t -> int -> int
+val set_u16 : t -> int -> int -> unit
+val get_u32 : t -> int -> int
+val set_u32 : t -> int -> int -> unit
+val get_string : t -> pos:int -> len:int -> string
+val set_string : t -> pos:int -> string -> unit
+val to_string : t -> string
+(** The live data window as a string. *)
+
+val buffer : t -> bytes
+(** The underlying buffer (shared, not a copy). *)
+
+val data_offset : t -> int
+(** Offset of the data window within {!buffer}. *)
+
+val checksum : t -> pos:int -> len:int -> int
+(** Internet checksum over a region of the data window. *)
+
+(** {2 Alignment}
+
+    Alignment is the data window's offset within the machine word, the
+    property tracked by the [click-align] tool. *)
+
+val alignment : t -> int
+(** [data_offset] modulo 4. *)
+
+val realign : t -> modulus:int -> offset:int -> unit
+(** Move the data (copying within or into a fresh buffer) so that
+    [data_offset mod modulus = offset]. Used by the [Align] element. *)

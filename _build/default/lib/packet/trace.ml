@@ -1,0 +1,66 @@
+let header = "# oclick trace v1"
+
+let hex_of_packet p =
+  String.concat ""
+    (List.init (Packet.length p) (fun i ->
+         Printf.sprintf "%02x" (Packet.get_u8 p i)))
+
+let append_packet buf ts p =
+  Buffer.add_string buf (string_of_int ts);
+  Buffer.add_char buf ' ';
+  Buffer.add_string buf (hex_of_packet p);
+  Buffer.add_char buf '\n'
+
+let to_string packets =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf header;
+  Buffer.add_char buf '\n';
+  List.iter (fun (ts, p) -> append_packet buf ts p) packets;
+  Buffer.contents buf
+
+let hex_digit c =
+  match c with
+  | '0' .. '9' -> Some (Char.code c - Char.code '0')
+  | 'a' .. 'f' -> Some (Char.code c - Char.code 'a' + 10)
+  | 'A' .. 'F' -> Some (Char.code c - Char.code 'A' + 10)
+  | _ -> None
+
+let packet_of_hex s =
+  let n = String.length s in
+  if n mod 2 <> 0 then None
+  else begin
+    let bytes = Bytes.create (n / 2) in
+    let ok = ref true in
+    for i = 0 to (n / 2) - 1 do
+      match (hex_digit s.[2 * i], hex_digit s.[(2 * i) + 1]) with
+      | Some hi, Some lo -> Bytes.set bytes i (Char.chr ((hi lsl 4) lor lo))
+      | _ -> ok := false
+    done;
+    if !ok then Some (Packet.of_bytes bytes) else None
+  end
+
+let of_string s =
+  let lines = String.split_on_char '\n' s in
+  let rec go lineno acc = function
+    | [] -> Ok (List.rev acc)
+    | line :: rest ->
+        let line = String.trim line in
+        if line = "" || line.[0] = '#' then go (lineno + 1) acc rest
+        else begin
+          match String.index_opt line ' ' with
+          | None -> Error (Printf.sprintf "trace line %d: missing timestamp" lineno)
+          | Some sp -> (
+              let ts_s = String.sub line 0 sp
+              and hex = String.sub line (sp + 1) (String.length line - sp - 1) in
+              match (int_of_string_opt ts_s, packet_of_hex (String.trim hex)) with
+              | Some ts, Some p ->
+                  (Packet.anno p).Packet.timestamp <-
+                    float_of_int ts /. 1e9;
+                  go (lineno + 1) ((ts, p) :: acc) rest
+              | None, _ ->
+                  Error (Printf.sprintf "trace line %d: bad timestamp %S" lineno ts_s)
+              | _, None ->
+                  Error (Printf.sprintf "trace line %d: bad hex data" lineno))
+        end
+  in
+  go 1 [] lines

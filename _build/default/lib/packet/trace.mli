@@ -1,0 +1,18 @@
+(** A simple text format for packet traces.
+
+    One packet per line: a decimal timestamp in nanoseconds, a space, and
+    the frame bytes in lowercase hex. Lines starting with ['#'] are
+    comments. Used by the [FromTrace]/[ToTrace] elements and by tests to
+    feed recorded traffic through configurations. *)
+
+val header : string
+(** The ["# oclick trace v1"] first line {!to_string} emits. *)
+
+val to_string : (int * Packet.t) list -> string
+(** Serialize [(timestamp_ns, packet)] pairs. *)
+
+val of_string : string -> ((int * Packet.t) list, string) result
+(** Parse a trace; packets are created with default headroom. *)
+
+val append_packet : Buffer.t -> int -> Packet.t -> unit
+(** Emit one trace line into a buffer (streaming writers). *)

@@ -1,0 +1,1 @@
+lib/runtime/driver.mli: Element Hooks Netdevice Oclick_graph

@@ -1,0 +1,1 @@
+lib/runtime/element.mli: Hooks Netdevice Oclick_graph Oclick_packet

@@ -1,0 +1,1 @@
+lib/runtime/hooks.ml: Oclick_packet

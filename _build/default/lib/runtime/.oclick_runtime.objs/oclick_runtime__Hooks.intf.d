@@ -1,0 +1,1 @@
+lib/runtime/hooks.mli: Oclick_packet

@@ -1,0 +1,1 @@
+lib/runtime/netdevice.ml: Oclick_packet Queue

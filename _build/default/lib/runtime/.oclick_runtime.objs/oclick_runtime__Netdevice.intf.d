@@ -1,0 +1,1 @@
+lib/runtime/netdevice.mli: Oclick_packet

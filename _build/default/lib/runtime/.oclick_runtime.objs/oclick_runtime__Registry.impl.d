@@ -1,0 +1,1 @@
+lib/runtime/registry.ml: Element Hashtbl List Oclick_graph Option Printf String

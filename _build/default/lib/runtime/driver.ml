@@ -1,0 +1,120 @@
+module Graph = Oclick_graph
+
+type t = {
+  graph : Graph.Router.t;
+  elements : Element.t array;
+  by_name : (string, Element.t) Hashtbl.t;
+  tasks : Element.t array;
+}
+
+let instantiate ?(hooks = Hooks.null) ?(devices = []) source_graph =
+  (* Normalize so element indices are dense and in declaration order. *)
+  let graph = Graph.Router.of_ast_exn (Graph.Router.to_ast source_graph) in
+  let errors = Graph.Check.check graph Registry.spec_table in
+  if errors <> [] then Error (String.concat "\n" errors)
+  else begin
+    match Graph.Check.resolve_processing graph Registry.spec_table with
+    | Error msgs -> Error (String.concat "\n" msgs)
+    | Ok resolved -> (
+        let indices = Graph.Router.indices graph in
+        let n = List.length indices in
+        let elements = Array.make n None in
+        let errors = ref [] in
+        let err fmt = Printf.ksprintf (fun s -> errors := s :: !errors) fmt in
+        List.iter
+          (fun i ->
+            let cls = Graph.Router.class_of graph i in
+            match Registry.find cls with
+            | None -> err "%s: unknown element class %S" (Graph.Router.name graph i) cls
+            | Some ctor ->
+                let e = ctor (Graph.Router.name graph i) in
+                e#set_index i;
+                e#set_hooks hooks;
+                elements.(i) <- Some e)
+          indices;
+        if !errors <> [] then Error (String.concat "\n" (List.rev !errors))
+        else begin
+          let elements = Array.map Option.get elements in
+          let by_name = Hashtbl.create n in
+          Array.iter (fun e -> Hashtbl.replace by_name e#name e) elements;
+          (* Configure. *)
+          Array.iteri
+            (fun i e ->
+              match e#configure (Graph.Router.config graph i) with
+              | Ok () -> ()
+              | Error msg -> err "%s: %s" e#name msg)
+            elements;
+          (* Ports and wiring. *)
+          Array.iteri
+            (fun i e ->
+              e#set_nports
+                ~inputs:(Graph.Router.input_port_count graph i)
+                ~outputs:(Graph.Router.output_port_count graph i))
+            elements;
+          List.iter
+            (fun (h : Graph.Router.hookup) ->
+              let kind =
+                resolved.Graph.Check.output_kind.(h.from_idx).(h.from_port)
+              in
+              match kind with
+              | Graph.Spec.Push | Graph.Spec.Agnostic ->
+                  elements.(h.from_idx)#connect_output h.from_port
+                    elements.(h.to_idx) h.to_port
+              | Graph.Spec.Pull ->
+                  elements.(h.to_idx)#connect_input h.to_port
+                    elements.(h.from_idx) h.from_port)
+            (Graph.Router.hookups graph);
+          (* Initialize. *)
+          let device_table = Hashtbl.create 8 in
+          List.iter
+            (fun (d : Netdevice.t) -> Hashtbl.replace device_table d#device_name d)
+            devices;
+          Array.iteri
+            (fun i e ->
+              let ctx =
+                {
+                  Element.ic_graph = graph;
+                  ic_element = (fun j -> elements.(j));
+                  ic_find = Hashtbl.find_opt by_name;
+                  ic_device = Hashtbl.find_opt device_table;
+                  ic_index = i;
+                }
+              in
+              match e#initialize ctx with
+              | Ok () -> ()
+              | Error msg -> err "%s: %s" e#name msg)
+            elements;
+          if !errors <> [] then Error (String.concat "\n" (List.rev !errors))
+          else begin
+            let tasks =
+              Array.of_list
+                (List.filter (fun e -> e#wants_task) (Array.to_list elements))
+            in
+            Ok { graph; elements; by_name; tasks }
+          end
+        end)
+  end
+
+let of_string ?hooks ?devices source =
+  match Graph.Router.parse_string source with
+  | Error e -> Error e
+  | Ok graph -> instantiate ?hooks ?devices graph
+
+let element t name = Hashtbl.find_opt t.by_name name
+let element_at t i = t.elements.(i)
+let graph t = t.graph
+let size t = Array.length t.elements
+
+let run_tasks_once t =
+  let any = ref false in
+  Array.iter (fun e -> if e#run_task then any := true) t.tasks;
+  !any
+
+let run t ~rounds =
+  for _ = 1 to rounds do
+    ignore (run_tasks_once t)
+  done
+
+let run_until_idle ?(max_rounds = 1_000_000) t =
+  let rec loop n = if n > 0 && run_tasks_once t then loop (n - 1) in
+  loop max_rounds

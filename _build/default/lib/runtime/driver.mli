@@ -1,0 +1,36 @@
+(** The router driver: instantiates a configuration graph into live
+    elements and schedules their tasks.
+
+    This is the analogue of Click's kernel driver: it checks the
+    configuration, resolves push/pull processing, constructs elements
+    through the registry, wires their ports, and runs task elements
+    (device polling, sources) round-robin — Click's "constantly-active
+    kernel thread" (paper §3). *)
+
+type t
+
+val instantiate :
+  ?hooks:Hooks.t ->
+  ?devices:Netdevice.t list ->
+  Oclick_graph.Router.t ->
+  (t, string) result
+(** Checks the graph against the registry's specifications, builds and
+    configures every element, wires push outputs and pull inputs, and
+    initializes the router. All configuration errors are reported
+    together in the error string. *)
+
+val of_string :
+  ?hooks:Hooks.t -> ?devices:Netdevice.t list -> string -> (t, string) result
+(** Parse, flatten, instantiate. *)
+
+val element : t -> string -> Element.t option
+val element_at : t -> int -> Element.t
+val graph : t -> Oclick_graph.Router.t
+val size : t -> int
+
+val run_tasks_once : t -> bool
+(** One scheduler round over all task elements; [true] if any did work. *)
+
+val run : t -> rounds:int -> unit
+val run_until_idle : ?max_rounds:int -> t -> unit
+(** Runs until a full round does no work (default bound 1_000_000). *)

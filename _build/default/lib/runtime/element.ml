@@ -1,0 +1,176 @@
+type init_ctx = {
+  ic_graph : Oclick_graph.Router.t;
+  ic_element : int -> t;
+  ic_find : string -> t option;
+  ic_device : string -> Netdevice.t option;
+  ic_index : int;
+}
+
+and t = <
+  name : string;
+  class_name : string;
+  port_count : string;
+  processing : string;
+  flow_code : string;
+  code_class : string;
+  set_code_class : string -> unit;
+  direct_dispatch : bool;
+  set_direct_dispatch : bool -> unit;
+  configure : string -> (unit, string) result;
+  initialize : init_ctx -> (unit, string) result;
+  index : int;
+  set_index : int -> unit;
+  set_hooks : Hooks.t -> unit;
+  set_nports : inputs:int -> outputs:int -> unit;
+  ninputs : int;
+  noutputs : int;
+  connect_output : int -> t -> int -> unit;
+  connect_input : int -> t -> int -> unit;
+  push : int -> Oclick_packet.Packet.t -> unit;
+  pull : int -> Oclick_packet.Packet.t option;
+  output : int -> Oclick_packet.Packet.t -> unit;
+  input_pull : int -> Oclick_packet.Packet.t option;
+  wants_task : bool;
+  run_task : bool;
+  stats : (string * int) list;
+  read_handler : string -> string option;
+  write_handler : string -> string -> (unit, string) result >
+
+class virtual base (name : string) =
+  object (self)
+    val mutable index = -1
+    val mutable hooks = Hooks.null
+    val mutable out_targets : (t * int) option array = [||]
+    val mutable in_targets : (t * int) option array = [||]
+    val mutable direct_dispatch = false
+    val mutable code_class_override : string option = None
+    method name = name
+    method virtual class_name : string
+
+    method code_class =
+      match code_class_override with
+      | Some c -> c
+      | None -> self#class_name
+
+    method set_code_class c = code_class_override <- Some c
+    method direct_dispatch = direct_dispatch
+    method set_direct_dispatch b = direct_dispatch <- b
+    method port_count = "1/1"
+    method processing = "a/a"
+    method flow_code = "x/x"
+
+    method configure config : (unit, string) result =
+      if String.trim config = "" then Ok ()
+      else
+        Error
+          (Printf.sprintf "%s: class %s takes no configuration" name
+             self#class_name)
+
+    method initialize (_ctx : init_ctx) : (unit, string) result = Ok ()
+    method index = index
+    method set_index i = index <- i
+    method set_hooks h = hooks <- h
+
+    method set_nports ~inputs ~outputs =
+      in_targets <- Array.make inputs None;
+      out_targets <- Array.make outputs None
+
+    method ninputs = Array.length in_targets
+    method noutputs = Array.length out_targets
+
+    method connect_output port (dst : t) dst_port =
+      if port < 0 || port >= Array.length out_targets then
+        invalid_arg (name ^ ": connect_output port out of range");
+      out_targets.(port) <- Some (dst, dst_port)
+
+    method connect_input port (src : t) src_port =
+      if port < 0 || port >= Array.length in_targets then
+        invalid_arg (name ^ ": connect_input port out of range");
+      in_targets.(port) <- Some (src, src_port)
+
+    method push (_port : int) (p : Oclick_packet.Packet.t) =
+      self#drop ~reason:"push to non-push element" p
+
+    method pull (_port : int) : Oclick_packet.Packet.t option = None
+    method wants_task = false
+    method run_task = false
+    method stats : (string * int) list = []
+
+    method read_handler handler =
+      match handler with
+      | "name" -> Some name
+      | "class" -> Some self#class_name
+      | h -> Option.map string_of_int (List.assoc_opt h self#stats)
+
+    method write_handler handler (_value : string) : (unit, string) result =
+      Error (Printf.sprintf "%s: no write handler %S" name handler)
+
+    method output port p =
+      match
+        if port >= 0 && port < Array.length out_targets then
+          out_targets.(port)
+        else None
+      with
+      | Some (dst, dst_port) ->
+          hooks.Hooks.on_transfer
+            {
+              Hooks.tr_src_idx = index;
+              tr_src_class = self#code_class;
+              tr_src_port = port;
+              tr_dst_idx = dst#index;
+              tr_dst_class = dst#class_name;
+              tr_direct = direct_dispatch;
+              tr_pull = false;
+            };
+          dst#push dst_port p
+      | None ->
+          self#drop ~reason:(Printf.sprintf "unconnected output %d" port) p
+
+    method input_pull port =
+      match
+        if port >= 0 && port < Array.length in_targets then in_targets.(port)
+        else None
+      with
+      | Some (src, src_port) -> (
+          match src#pull src_port with
+          | Some _ as result ->
+              (* Report only pulls that move a packet: idle polling is part
+                 of the scheduler loop, not per-packet cost (the paper's
+                 cycle counters bracket packet-processing code). *)
+              hooks.Hooks.on_transfer
+                {
+                  Hooks.tr_src_idx = index;
+                  tr_src_class = self#code_class;
+                  tr_src_port = port;
+                  tr_dst_idx = src#index;
+                  tr_dst_class = src#class_name;
+                  tr_direct = direct_dispatch;
+                  tr_pull = true;
+                };
+              result
+          | None -> None)
+      | None -> None
+
+    method charge w = hooks.Hooks.on_work ~idx:index ~cls:self#class_name w
+
+    method drop ~reason p =
+      hooks.Hooks.on_drop ~idx:index ~cls:self#class_name ~reason p
+  end
+
+class virtual simple_action (name : string) =
+  object (self)
+    inherit base name
+
+    method virtual private action
+        : Oclick_packet.Packet.t -> Oclick_packet.Packet.t option
+
+    method! push _ p =
+      match self#action p with Some p -> self#output 0 p | None -> ()
+
+    method! pull _ =
+      match self#input_pull 0 with
+      | Some p -> self#action p
+      | None -> None
+  end
+
+let configure_error msg = Error msg

@@ -1,0 +1,150 @@
+(** The element framework.
+
+    Element classes are OCaml classes — the direct analogue of Click's C++
+    element classes, including real dynamic dispatch on [push]/[pull].
+    A class provides its external specification (port counts, processing
+    code, flow code: paper §5.3) as methods; the registry extracts it for
+    the optimizers.
+
+    Packet transfers go through {!base.output} and {!base.input_pull},
+    which report each transfer to the installed {!Hooks.t} — carrying the
+    source's {e code class} (shared call sites share branch-predictor
+    state, paper §3) and whether the element was specialized by
+    [click-devirtualize] (direct calls). *)
+
+type init_ctx = {
+  ic_graph : Oclick_graph.Router.t;
+  ic_element : int -> t;  (** element by graph index *)
+  ic_find : string -> t option;  (** element by name *)
+  ic_device : string -> Netdevice.t option;
+  ic_index : int;  (** the index of the element being initialized *)
+}
+
+(* The full element interface (the object type every element is coerced
+   to). *)
+and t = <
+  name : string;
+  class_name : string;
+  port_count : string;
+  processing : string;
+  flow_code : string;
+  code_class : string;
+  set_code_class : string -> unit;
+  direct_dispatch : bool;
+  set_direct_dispatch : bool -> unit;
+  configure : string -> (unit, string) result;
+  initialize : init_ctx -> (unit, string) result;
+  index : int;
+  set_index : int -> unit;
+  set_hooks : Hooks.t -> unit;
+  set_nports : inputs:int -> outputs:int -> unit;
+  ninputs : int;
+  noutputs : int;
+  connect_output : int -> t -> int -> unit;
+  connect_input : int -> t -> int -> unit;
+  push : int -> Oclick_packet.Packet.t -> unit;
+  pull : int -> Oclick_packet.Packet.t option;
+  output : int -> Oclick_packet.Packet.t -> unit;
+  input_pull : int -> Oclick_packet.Packet.t option;
+  wants_task : bool;
+  run_task : bool;
+  stats : (string * int) list;
+  read_handler : string -> string option;
+  write_handler : string -> string -> (unit, string) result >
+
+class virtual base : string -> object
+  method name : string
+  method virtual class_name : string
+
+  method code_class : string
+  (** The class whose {e code} performs this element's packet transfers;
+      equals {!class_name} unless devirtualization installed a specialized
+      class. Transfer call sites are keyed by this. *)
+
+  method set_code_class : string -> unit
+  method direct_dispatch : bool
+  method set_direct_dispatch : bool -> unit
+
+  (** {2 Specification (overridden per class)} *)
+
+  method port_count : string
+  (** Default ["1/1"]. *)
+
+  method processing : string
+  (** Default ["a/a"]. *)
+
+  method flow_code : string
+  (** Default ["x/x"]. *)
+
+  (** {2 Lifecycle} *)
+
+  method configure : string -> (unit, string) result
+  (** Parse the configuration string; default accepts only [""] . *)
+
+  method initialize : init_ctx -> (unit, string) result
+
+  (** {2 Plumbing (managed by the driver)} *)
+
+  method index : int
+  method set_index : int -> unit
+  method set_hooks : Hooks.t -> unit
+  method set_nports : inputs:int -> outputs:int -> unit
+  method ninputs : int
+  method noutputs : int
+  method connect_output : int -> t -> int -> unit
+  method connect_input : int -> t -> int -> unit
+
+  (** {2 Packet handling (overridden per class)} *)
+
+  method push : int -> Oclick_packet.Packet.t -> unit
+  (** Default: counts the packet as dropped. *)
+
+  method pull : int -> Oclick_packet.Packet.t option
+  (** Default: [None]. *)
+
+  method wants_task : bool
+  (** Whether the scheduler should call {!run_task}; default [false]. *)
+
+  method run_task : bool
+  (** One scheduler quantum; returns whether any work was done. *)
+
+  method stats : (string * int) list
+  (** Named counters for tests and reports; default []. *)
+
+  method read_handler : string -> string option
+  (** Click-style read handlers. The default exposes every {!stats}
+      counter by name, plus ["name"] and ["class"]. *)
+
+  method write_handler : string -> string -> (unit, string) result
+  (** Click-style write handlers for run-time control (e.g. a Queue's
+      ["capacity"], a source's ["active"]). Default: no handlers. *)
+
+  (** {2 For subclasses} *)
+
+  method output : int -> Oclick_packet.Packet.t -> unit
+  (** Transfer a packet downstream (a push "virtual call"). Unconnected
+      ports drop and report. *)
+
+  method input_pull : int -> Oclick_packet.Packet.t option
+  (** Request a packet from upstream (a pull "virtual call"). *)
+
+  method charge : Hooks.work -> unit
+  method drop : reason:string -> Oclick_packet.Packet.t -> unit
+end
+
+(** Click's [simple_action] sugar: one agnostic input, one agnostic
+    output, a per-packet transformation. Both [push] and [pull] are
+    derived from {!action}, so the element genuinely works in either
+    context. (The shared dispatch site this creates in real Click is what
+    confuses the branch predictor — paper §3 footnote; the cycle model
+    accounts for it per class.) *)
+class virtual simple_action : string -> object
+  inherit base
+
+  method virtual private action :
+    Oclick_packet.Packet.t -> Oclick_packet.Packet.t option
+  (** Transform a packet; [None] means the element consumed (dropped) it. *)
+end
+
+val configure_error : string -> ('a, string) result
+(** Shorthand for [Error msg] in configure methods. *)

@@ -1,0 +1,32 @@
+type transfer = {
+  tr_src_idx : int;
+  tr_src_class : string;
+  tr_src_port : int;
+  tr_dst_idx : int;
+  tr_dst_class : string;
+  tr_direct : bool;
+  tr_pull : bool;
+}
+
+type work =
+  | W_classify_interp of int
+  | W_classify_compiled of int
+  | W_checksum of int
+  | W_copy of int
+  | W_lookup of int
+  | W_queue
+  | W_custom of string * int
+
+type t = {
+  on_transfer : transfer -> unit;
+  on_work : idx:int -> cls:string -> work -> unit;
+  on_drop : idx:int -> cls:string -> reason:string ->
+            Oclick_packet.Packet.t -> unit;
+}
+
+let null =
+  {
+    on_transfer = (fun _ -> ());
+    on_work = (fun ~idx:_ ~cls:_ _ -> ());
+    on_drop = (fun ~idx:_ ~cls:_ ~reason:_ _ -> ());
+  }

@@ -1,0 +1,41 @@
+(** Instrumentation hooks.
+
+    The runtime reports every packet transfer and every unit of element
+    work through these callbacks. The pure runtime installs {!null}; the
+    simulated hardware testbed installs callbacks that charge CPU cycles,
+    model the branch-target buffer, and count outcomes. This is how one
+    element graph serves both correctness testing and the paper's
+    performance evaluation. *)
+
+type transfer = {
+  tr_src_idx : int;
+  tr_src_class : string;
+      (** the {e code} class of the source: elements sharing code share
+          packet-transfer call sites, which is what the branch predictor
+          keys on (paper §3, Fig. 2) *)
+  tr_src_port : int;
+  tr_dst_idx : int;
+  tr_dst_class : string;
+  tr_direct : bool;  (** true once [click-devirtualize] has specialized *)
+  tr_pull : bool;
+}
+
+(** Data-dependent work units reported by elements. *)
+type work =
+  | W_classify_interp of int  (** decision-tree nodes visited, interpreted *)
+  | W_classify_compiled of int  (** nodes visited in specialized code *)
+  | W_checksum of int  (** bytes summed *)
+  | W_copy of int  (** bytes copied (Align, fragmentation) *)
+  | W_lookup of int  (** routing-table entries scanned *)
+  | W_queue  (** one enqueue or dequeue *)
+  | W_custom of string * int
+
+type t = {
+  on_transfer : transfer -> unit;
+  on_work : idx:int -> cls:string -> work -> unit;
+  on_drop : idx:int -> cls:string -> reason:string ->
+            Oclick_packet.Packet.t -> unit;
+}
+
+val null : t
+(** No-op hooks. *)

@@ -1,0 +1,28 @@
+class type t = object
+  method device_name : string
+  method rx : unit -> Oclick_packet.Packet.t option
+  method tx : Oclick_packet.Packet.t -> bool
+  method tx_ready : bool
+end
+
+class queue_device name ?(tx_capacity = max_int) () =
+  object
+    val rx_q : Oclick_packet.Packet.t Queue.t = Queue.create ()
+    val tx_q : Oclick_packet.Packet.t Queue.t = Queue.create ()
+    val mutable sent = 0
+    method device_name : string = name
+    method rx () = Queue.take_opt rx_q
+
+    method tx p =
+      if Queue.length tx_q >= tx_capacity then false
+      else begin
+        Queue.add p tx_q;
+        sent <- sent + 1;
+        true
+      end
+
+    method tx_ready = Queue.length tx_q < tx_capacity
+    method inject p = Queue.add p rx_q
+    method collect = Queue.take_opt tx_q
+    method tx_count = sent
+  end

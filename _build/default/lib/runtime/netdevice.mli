@@ -1,0 +1,34 @@
+(** The interface between device elements and (simulated) network hardware.
+
+    [PollDevice] and [ToDevice] elements look their device up by name at
+    initialization. The pure runtime provides the in-memory {!queue_device};
+    the hardware testbed provides Tulip NIC models with DMA rings and a
+    PCI bus. *)
+
+class type t = object
+  method device_name : string
+
+  method rx : unit -> Oclick_packet.Packet.t option
+  (** The CPU takes the next received packet from the RX DMA ring,
+      refilling the ring's descriptor. [None] when the ring is empty. *)
+
+  method tx : Oclick_packet.Packet.t -> bool
+  (** Enqueue a packet on the TX DMA ring; [false] if the ring is full. *)
+
+  method tx_ready : bool
+  (** Whether the TX ring can accept another packet. *)
+end
+
+(** A device backed by two in-memory queues, for tests and examples:
+    {!queue_device.inject} feeds the RX side, {!queue_device.collect}
+    drains what the router transmitted. *)
+class queue_device :
+  string
+  -> ?tx_capacity:int
+  -> unit
+  -> object
+       inherit t
+       method inject : Oclick_packet.Packet.t -> unit
+       method collect : Oclick_packet.Packet.t option
+       method tx_count : int
+     end

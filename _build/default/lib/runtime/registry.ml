@@ -1,0 +1,24 @@
+type constructor = string -> Element.t
+
+type entry = { spec : Oclick_graph.Spec.t; ctor : constructor }
+
+let table : (string, entry) Hashtbl.t = Hashtbl.create 64
+
+let register ?(replace = false) ~spec cls ctor =
+  if (not replace) && Hashtbl.mem table cls then
+    invalid_arg (Printf.sprintf "Registry.register: class %S exists" cls);
+  Hashtbl.replace table cls { spec; ctor }
+
+let unregister cls = Hashtbl.remove table cls
+let find cls = Option.map (fun e -> e.ctor) (Hashtbl.find_opt table cls)
+let spec cls = Option.map (fun e -> e.spec) (Hashtbl.find_opt table cls)
+let spec_table = spec
+
+let all_classes () =
+  List.sort String.compare (Hashtbl.fold (fun k _ acc -> k :: acc) table [])
+
+let snapshot () =
+  let saved = Hashtbl.copy table in
+  fun () ->
+    Hashtbl.reset table;
+    Hashtbl.iter (Hashtbl.replace table) saved

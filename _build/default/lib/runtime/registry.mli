@@ -1,0 +1,30 @@
+(** The element-class registry.
+
+    Static element classes register themselves here (class name,
+    specification, constructor). Optimizer-generated classes —
+    [FastClassifier@...], devirtualized specializations, combination
+    elements — are registered dynamically at install time; the registry
+    plays the role of Click's dynamic linker for archived element code
+    (paper §4, DESIGN.md §5).
+
+    The specification table exported to the optimizers is exactly the
+    registered specification — tools and the router share one
+    specification, as the paper requires (§5.3). *)
+
+type constructor = string -> Element.t
+(** Builds an element given its name. *)
+
+val register :
+  ?replace:bool -> spec:Oclick_graph.Spec.t -> string -> constructor -> unit
+(** Raises [Invalid_argument] if the class exists and [replace] is false. *)
+
+val unregister : string -> unit
+val find : string -> constructor option
+val spec : string -> Oclick_graph.Spec.t option
+val spec_table : Oclick_graph.Spec.table
+val all_classes : unit -> string list
+(** Sorted. *)
+
+val snapshot : unit -> (unit -> unit)
+(** [let restore = snapshot () in ... ; restore ()] — scoped dynamic
+    registration for tools and tests. *)

@@ -1,0 +1,55 @@
+  $ cat > gw.click <<'CONF'
+  > elementclass Gateway { $ip |
+  >   input -> Strip(14) -> CheckIPHeader() -> GetIPAddress(16) -> output;
+  > }
+  > src :: InfiniteSource(LIMIT 1);
+  > gw :: Gateway(10.0.0.1);
+  > rt :: LookupIPRoute(10.0.0.0/8 0);
+  > src -> gw -> rt;
+  > rt [0] -> Discard;
+  > CONF
+  $ click-check gw.click
+  $ click-flatten gw.click
+  $ click-flatten gw.click | click-pretty --dot | head -4
+  $ echo 'x :: Zorp; Idle -> x -> Discard;' | click-check
+  $ cat > paint.click <<'CONF'
+  > elementclass CollapsePattern { $a, $b |
+  >   input -> Paint($a) -> Paint($b) -> output;
+  > }
+  > elementclass CollapseReplacement { $a, $b |
+  >   input -> p :: Paint($b) -> output;
+  > }
+  > CONF
+  $ echo 'InfiniteSource(LIMIT 1) -> Paint(1) -> Paint(2) -> Paint(3) -> Discard;' \
+  >   | click-xform -p paint.click 2>xform.err
+  $ cat xform.err
+  $ cat > cls.click <<'CONF'
+  > InfiniteSource(LIMIT 1) -> c :: Classifier(12/0800, -);
+  > c [0] -> Discard;
+  > c [1] -> Discard;
+  > CONF
+  $ click-fastclassifier cls.click 2>/dev/null | head -5
+  $ click-fastclassifier cls.click 2>/dev/null | grep 'c ::'
+  $ echo 'InfiniteSource(LIMIT 1) -> a :: Counter -> Discard;' | click-devirtualize 2>/dev/null | grep 'a ::'
+  $ cat > dead.click <<'CONF'
+  > InfiniteSource(LIMIT 1) -> sw :: StaticSwitch(1);
+  > sw [0] -> dead :: Counter -> Discard;
+  > sw [1] -> live :: Counter -> Discard;
+  > CONF
+  $ click-undead dead.click 2>undead.err
+  $ cat undead.err
+  $ echo 'InfiniteSource(LIMIT 1) -> ck :: CheckIPHeader() -> Discard;' | click-align 2>&1 >/dev/null
+  $ click-mkmindriver --list gw.click
+  $ click-flatten gw.click | click-xform --combos 2>/dev/null | click-devirtualize 2>/dev/null | click-check
+  $ cat > run.click <<'CONF'
+  > InfiniteSource(LIMIT 5) -> c :: Classifier(12/0800, -);
+  > c [0] -> Discard;
+  > c [1] -> x :: Counter -> Discard;
+  > CONF
+  $ click-fastclassifier run.click 2>/dev/null | click-devirtualize 2>/dev/null > opt.click
+  $ oclick-run --rounds 10 --stats opt.click | grep 'x ('
+  $ echo 'InfiniteSource(LIMIT 5) -> c :: Counter -> Discard;' | oclick-run --rounds 10 --stats
+  $ echo 'src :: InfiniteSource(LIMIT 50) -> c :: Counter -> Discard;' \
+  >   | oclick-run --rounds 20 --write src.active=false --read c.packets
+  $ echo 'src :: InfiniteSource(LIMIT 50) -> c :: Counter -> Discard;' \
+  >   | oclick-run --rounds 20 --read c.packets --read c.class

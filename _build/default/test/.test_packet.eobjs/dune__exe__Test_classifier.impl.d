@@ -1,0 +1,1 @@
+test/test_classifier.ml: Alcotest List Oclick_classifier Oclick_packet Printf QCheck QCheck_alcotest Result String

@@ -1,0 +1,1 @@
+test/test_elements.ml: Alcotest Char List Oclick_elements Oclick_graph Oclick_packet Oclick_runtime Option String

@@ -1,0 +1,1 @@
+test/test_extras.ml: Alcotest Filename Gen List Oclick_elements Oclick_packet Oclick_runtime Option Printf QCheck QCheck_alcotest Result String Sys

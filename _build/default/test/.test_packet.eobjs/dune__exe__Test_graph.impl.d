@@ -1,0 +1,1 @@
+test/test_graph.ml: Alcotest Array List Oclick Oclick_elements Oclick_graph Oclick_lang Oclick_runtime Option Result String

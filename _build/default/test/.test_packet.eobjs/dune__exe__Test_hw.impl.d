@@ -1,0 +1,1 @@
+test/test_hw.ml: Alcotest List Oclick Oclick_elements Oclick_hw Oclick_packet Oclick_runtime Printf

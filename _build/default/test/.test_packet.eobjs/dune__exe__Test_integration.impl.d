@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest List Oclick Oclick_elements Oclick_graph Oclick_optim Oclick_packet Oclick_runtime Printf

@@ -1,0 +1,1 @@
+test/test_lang.ml: Alcotest Filename List Oclick Oclick_lang Option Printf QCheck QCheck_alcotest Result String Sys

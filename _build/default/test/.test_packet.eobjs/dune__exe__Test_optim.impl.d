@@ -1,0 +1,1 @@
+test/test_optim.ml: Alcotest List Oclick Oclick_elements Oclick_graph Oclick_lang Oclick_optim Oclick_packet Oclick_runtime Option Printf QCheck QCheck_alcotest Result String

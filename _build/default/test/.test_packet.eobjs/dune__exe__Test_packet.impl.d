@@ -1,0 +1,1 @@
+test/test_packet.ml: Alcotest Bytes Char Gen List Oclick_packet QCheck QCheck_alcotest String

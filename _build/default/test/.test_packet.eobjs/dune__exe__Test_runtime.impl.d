@@ -1,0 +1,1 @@
+test/test_runtime.ml: Alcotest Array List Oclick Oclick_elements Oclick_graph Oclick_packet Oclick_runtime Option Printf Result String

@@ -1,0 +1,734 @@
+(* Per-element behaviour tests, driven through small configurations in the
+   real runtime. *)
+
+module Packet = Oclick_packet.Packet
+module Headers = Oclick_packet.Headers
+module Ipaddr = Oclick_packet.Ipaddr
+module Ethaddr = Oclick_packet.Ethaddr
+module Driver = Oclick_runtime.Driver
+module Netdevice = Oclick_runtime.Netdevice
+
+let () = Oclick_elements.register_all ()
+let check = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* Build a driver for a test configuration. Tests push packets straight
+   into named elements, so any element whose required input ports are not
+   connected gets an [Idle] feed — the test jig standing in for the rest
+   of a router. *)
+let driver ?(devices = []) config =
+  let graph =
+    match Oclick_graph.Router.parse_string config with
+    | Ok g -> g
+    | Error e -> Alcotest.failf "parse: %s" e
+  in
+  let module R = Oclick_graph.Router in
+  List.iter
+    (fun i ->
+      if R.input_port_count graph i = 0 then begin
+        match Oclick_runtime.Registry.spec (R.class_of graph i) with
+        | Some spec -> (
+            match Oclick_graph.Spec.parse_port_counts spec.Oclick_graph.Spec.s_ports with
+            | Some (ins, _) when ins.Oclick_graph.Spec.lo >= 1 ->
+                let idle =
+                  R.add_element graph
+                    ~name:(R.fresh_name graph "Idle@jig")
+                    ~cls:"Idle" ~config:""
+                in
+                R.add_hookup graph
+                  { R.from_idx = idle; from_port = 0; to_idx = i; to_port = 0 }
+            | _ -> ())
+        | None -> ()
+      end)
+    (R.indices graph);
+  match Driver.instantiate ~devices graph with
+  | Ok d -> d
+  | Error e -> Alcotest.failf "instantiate: %s" e
+
+let push_into d name p =
+  match Driver.element d name with
+  | Some e -> e#push 0 p
+  | None -> Alcotest.failf "no element %s" name
+
+let stat d name key =
+  match Driver.element d name with
+  | Some e -> (
+      match List.assoc_opt key e#stats with
+      | Some v -> v
+      | None -> Alcotest.failf "element %s has no stat %s" name key)
+  | None -> Alcotest.failf "no element %s" name
+
+let udp ?(ttl = 64) ?(dst = "10.0.1.2") () =
+  Headers.Build.udp ~src_ip:(Ipaddr.of_string_exn "10.0.0.2")
+    ~dst_ip:(Ipaddr.of_string_exn dst) ~ttl ()
+
+let bare_ip ?ttl ?dst () =
+  let p = udp ?ttl ?dst () in
+  Packet.pull p 14;
+  p
+
+(* --- basic elements ------------------------------------------------------- *)
+
+let test_counter () =
+  let d = driver "c :: Counter -> sink :: Counter -> Discard;" in
+  push_into d "c" (udp ());
+  push_into d "c" (udp ());
+  check "packets" 2 (stat d "c" "packets");
+  check "bytes" 112 (stat d "c" "bytes");
+  check "passed through" 2 (stat d "sink" "packets")
+
+let test_tee () =
+  let d =
+    driver
+      "t :: Tee(3); t [0] -> c0 :: Counter -> Discard; t [1] -> c1 :: \
+       Counter -> Discard; t [2] -> c2 :: Counter -> Discard;"
+  in
+  push_into d "t" (udp ());
+  check "out0" 1 (stat d "c0" "packets");
+  check "out1" 1 (stat d "c1" "packets");
+  check "out2" 1 (stat d "c2" "packets")
+
+let test_static_switch () =
+  let d =
+    driver
+      "s :: StaticSwitch(1); s [0] -> c0 :: Counter -> Discard; s [1] -> c1 \
+       :: Counter -> Discard;"
+  in
+  push_into d "s" (udp ());
+  check "dead branch" 0 (stat d "c0" "packets");
+  check "live branch" 1 (stat d "c1" "packets")
+
+let test_paint_switch () =
+  let d =
+    driver
+      "p :: Paint(1) -> s :: PaintSwitch; s [0] -> c0 :: Counter -> \
+       Discard; s [1] -> c1 :: Counter -> Discard;"
+  in
+  push_into d "p" (udp ());
+  check "painted to 1" 1 (stat d "c1" "packets");
+  check "not 0" 0 (stat d "c0" "packets")
+
+let test_queue_capacity_and_drops () =
+  let d = driver "q :: Queue(2); src :: Idle -> q -> Discard;" in
+  push_into d "q" (udp ());
+  push_into d "q" (udp ());
+  push_into d "q" (udp ());
+  check "length capped" 2 (stat d "q" "length");
+  check "drop counted" 1 (stat d "q" "drops");
+  check "highwater" 2 (stat d "q" "highwater");
+  (* draining: the pull side *)
+  let q = Option.get (Driver.element d "q") in
+  check_bool "pull yields" true (q#pull 0 <> None);
+  check "length after pull" 1 (stat d "q" "length")
+
+let test_queue_fifo_order () =
+  let d = driver "q :: Queue(10); Idle -> q -> Discard;" in
+  let p1 = udp () and p2 = udp () in
+  Packet.set_u8 p1 0 1;
+  Packet.set_u8 p2 0 2;
+  push_into d "q" p1;
+  push_into d "q" p2;
+  let q = Option.get (Driver.element d "q") in
+  check "first out" 1 (Packet.get_u8 (Option.get (q#pull 0)) 0);
+  check "second out" 2 (Packet.get_u8 (Option.get (q#pull 0)) 0)
+
+let test_red_drops_when_full () =
+  let d =
+    driver
+      "r :: RED(1, 3, 1.0) -> q :: Queue(100); Idle -> r; q -> Discard;"
+  in
+  for _ = 1 to 50 do
+    push_into d "r" (udp ())
+  done;
+  check_bool "some RED drops" true (stat d "r" "drops" > 0);
+  check_bool "queue saw packets" true (stat d "q" "length" > 0)
+
+let test_red_requires_queue () =
+  match Driver.of_string "r :: RED(1, 2, 0.5); Idle -> r -> Discard;" with
+  | Ok _ -> Alcotest.fail "RED without a Queue must fail to initialize"
+  | Error e ->
+      check_bool "error mentions queue" true
+        (String.length e > 0)
+
+(* --- IP path elements -------------------------------------------------------- *)
+
+let test_strip_and_check () =
+  let d =
+    driver
+      "s :: Strip(14) -> ck :: CheckIPHeader() -> c :: Counter -> Discard;"
+  in
+  push_into d "s" (udp ());
+  check "valid forwarded" 1 (stat d "c" "packets");
+  (* a corrupted checksum is dropped *)
+  let bad = udp () in
+  Packet.set_u8 bad 22 0x77;
+  push_into d "s" bad;
+  check "bad dropped" 1 (stat d "c" "packets");
+  check "drop counted" 1 (stat d "ck" "drops")
+
+let test_check_ip_header_bad_output () =
+  let d =
+    driver
+      "ck :: CheckIPHeader(); ck [0] -> good :: Counter -> Discard; ck [1] \
+       -> bad :: Counter -> Discard;"
+  in
+  push_into d "ck" (bare_ip ());
+  let short = Packet.of_string "tiny" in
+  push_into d "ck" short;
+  check "good" 1 (stat d "good" "packets");
+  check "bad to port 1" 1 (stat d "bad" "packets")
+
+let test_check_ip_header_bad_src () =
+  let d =
+    driver
+      "ck :: CheckIPHeader(10.0.0.2 1.1.1.1) -> c :: Counter -> Discard;"
+  in
+  push_into d "ck" (bare_ip ()) (* src 10.0.0.2 is on the bad list *);
+  check "bad source dropped" 0 (stat d "c" "packets")
+
+let test_check_ip_header_trims_padding () =
+  let d = driver "ck :: CheckIPHeader() -> c :: Counter -> Discard;" in
+  let p = bare_ip () in
+  Packet.put p 6 (* simulated link padding *);
+  push_into d "ck" p;
+  check "trimmed to IP length" 42 (Packet.length p)
+
+let test_get_ip_address () =
+  let d = driver "g :: GetIPAddress(16) -> c :: Counter -> Discard;" in
+  let p = bare_ip ~dst:"1.2.3.4" () in
+  push_into d "g" p;
+  check "dst annotation" 0x01020304 (Packet.anno p).Packet.dst_ip
+
+let test_dec_ip_ttl () =
+  let d =
+    driver
+      "t :: DecIPTTL; t [0] -> c :: Counter -> Discard; t [1] -> x :: \
+       Counter -> Discard;"
+  in
+  let p = bare_ip ~ttl:64 () in
+  push_into d "t" p;
+  check "decremented" 63 (Headers.Ip.ttl p);
+  check_bool "checksum ok" true (Headers.Ip.checksum_valid p);
+  push_into d "t" (bare_ip ~ttl:1 ());
+  check "expired to port 1" 1 (stat d "x" "packets");
+  check "normal to port 0" 1 (stat d "c" "packets")
+
+let test_drop_broadcasts () =
+  let d = driver "b :: DropBroadcasts -> c :: Counter -> Discard;" in
+  let p = bare_ip () in
+  (Packet.anno p).Packet.link_type <- Packet.Broadcast;
+  push_into d "b" p;
+  check "broadcast dropped" 0 (stat d "c" "packets");
+  let q = bare_ip () in
+  push_into d "b" q;
+  check "unicast passes" 1 (stat d "c" "packets");
+  check "drop stat" 1 (stat d "b" "drops")
+
+let test_check_paint_tee () =
+  let d =
+    driver
+      "p :: Paint(3) -> cp :: CheckPaint(3); cp [0] -> c :: Counter -> \
+       Discard; cp [1] -> r :: Counter -> Discard;"
+  in
+  push_into d "p" (bare_ip ());
+  check "original forwarded" 1 (stat d "c" "packets");
+  check "clone to redirect path" 1 (stat d "r" "packets");
+  (* a different paint does not tee *)
+  let d2 =
+    driver
+      "p :: Paint(1) -> cp :: CheckPaint(3); cp [0] -> c :: Counter -> \
+       Discard; cp [1] -> r :: Counter -> Discard;"
+  in
+  push_into d2 "p" (bare_ip ());
+  check "no clone" 0 (stat d2 "r" "packets")
+
+let test_fix_ip_src () =
+  let d = driver "f :: FixIPSrc(9.9.9.9) -> c :: Counter -> Discard;" in
+  let p = bare_ip () in
+  (Packet.anno p).Packet.fix_ip_src <- true;
+  push_into d "f" p;
+  check "source rewritten" (Ipaddr.of_string_exn "9.9.9.9") (Headers.Ip.src p);
+  check_bool "checksum ok" true (Headers.Ip.checksum_valid p);
+  check_bool "annotation cleared" false (Packet.anno p).Packet.fix_ip_src;
+  (* without the annotation nothing changes *)
+  let q = bare_ip () in
+  push_into d "f" q;
+  check "source kept" (Ipaddr.of_string_exn "10.0.0.2") (Headers.Ip.src q)
+
+let test_ip_gw_options () =
+  let d =
+    driver
+      "g :: IPGWOptions(9.9.9.9); g [0] -> c :: Counter -> Discard; g [1] \
+       -> bad :: Counter -> Discard;"
+  in
+  push_into d "g" (bare_ip ());
+  check "plain header passes" 1 (stat d "c" "packets");
+  (* a header with an unknown option (type 0x94) is a parameter problem *)
+  let p = Packet.create 24 in
+  Packet.set_u8 p 0 0x46 (* ihl 6 *);
+  Headers.Ip.set_total_length p 24;
+  Headers.Ip.set_ttl p 64;
+  Headers.Ip.set_protocol p 17;
+  Packet.set_u8 p 20 0x94;
+  Headers.Ip.update_checksum p;
+  push_into d "g" p;
+  check "bad option to port 1" 1 (stat d "bad" "packets")
+
+let test_ip_fragmenter () =
+  let d =
+    driver
+      "f :: IPFragmenter(576); f [0] -> c :: Counter -> Discard; f [1] -> \
+       big :: Counter -> Discard;"
+  in
+  (* a 1200-byte IP packet fragments into three pieces under MTU 576 *)
+  let payload = 1180 in
+  let p = Packet.create (20 + payload) in
+  Headers.Ip.write_header p ~src:1 ~dst:2 ~protocol:17
+    ~total_length:(20 + payload) ();
+  push_into d "f" p;
+  check "fragments" 3 (stat d "f" "fragments");
+  check "fragments forwarded" 3 (stat d "c" "packets");
+  (* DF packets go to the error output instead *)
+  let q = Packet.create (20 + payload) in
+  Headers.Ip.write_header q ~src:1 ~dst:2 ~protocol:17
+    ~total_length:(20 + payload) ();
+  Headers.Ip.set_flags_fragment q ~df:true ~mf:false ~frag:0;
+  Headers.Ip.update_checksum q;
+  push_into d "f" q;
+  check "df to port 1" 1 (stat d "big" "packets");
+  (* small packets pass untouched *)
+  push_into d "f" (bare_ip ());
+  check "small passes" 4 (stat d "c" "packets")
+
+let test_fragment_payload_reassembles () =
+  (* Concatenating fragment payloads in offset order rebuilds the datagram. *)
+  let collected = ref [] in
+  let d =
+    driver "f :: IPFragmenter(100) -> c :: Counter -> q :: Queue(50); Idle -> f; q -> Discard;"
+  in
+  let payload = String.init 300 (fun i -> Char.chr (i mod 256)) in
+  let p = Packet.of_string (String.make 20 '\000' ^ payload) in
+  Headers.Ip.write_header p ~src:1 ~dst:2 ~protocol:17 ~total_length:320 ();
+  push_into d "f" p;
+  let q = Option.get (Driver.element d "q") in
+  let rec drain () =
+    match q#pull 0 with
+    | Some frag ->
+        collected :=
+          ( Headers.Ip.fragment_offset frag * 8,
+            Packet.get_string frag ~pos:(Headers.Ip.header_length frag)
+              ~len:(Packet.length frag - Headers.Ip.header_length frag) )
+          :: !collected;
+        drain ()
+    | None -> ()
+  in
+  drain ();
+  let sorted = List.sort compare !collected in
+  let rebuilt = String.concat "" (List.map snd sorted) in
+  Alcotest.(check string) "payload reassembles" payload rebuilt;
+  (* (100 - 20) & ~7 = 80-byte chunks: 80 + 80 + 80 + 60 *)
+  check "fragment count" 4 (List.length sorted)
+
+let test_icmp_error () =
+  let d = driver "e :: ICMPError(10.0.0.1, timeexceeded) -> c :: Counter -> q :: Queue(5); Idle -> e; q -> Discard;" in
+  let p = bare_ip ~dst:"7.7.7.7" () in
+  push_into d "e" p;
+  check "error sent" 1 (stat d "e" "sent");
+  let q = Option.get (Driver.element d "q") in
+  let e = Option.get (q#pull 0) in
+  check "icmp proto" 1 (Headers.Ip.protocol e);
+  check "type" 11 (Headers.Icmp.icmp_type ~off:20 e);
+  check "addressed to source" (Ipaddr.of_string_exn "10.0.0.2")
+    (Headers.Ip.dst e);
+  check_bool "fix-src annotation" true (Packet.anno e).Packet.fix_ip_src;
+  check "dst annotation set" (Ipaddr.of_string_exn "10.0.0.2")
+    (Packet.anno e).Packet.dst_ip;
+  (* no ICMP errors about ICMP errors *)
+  push_into d "e" (Packet.clone e);
+  check "no error about error" 1 (stat d "e" "sent")
+
+let test_ether_encap () =
+  let d =
+    driver
+      "e :: EtherEncap(0800, 00:00:c0:00:00:01, 00:00:c0:00:00:02) -> c :: \
+       Counter -> Discard;"
+  in
+  let p = bare_ip () in
+  let before = Packet.length p in
+  push_into d "e" p;
+  check "header added" (before + 14) (Packet.length p);
+  check "ethertype" 0x800 (Headers.Ether.ethertype p)
+
+(* --- routing ------------------------------------------------------------------ *)
+
+let test_lookup_ip_route () =
+  let d =
+    driver
+      "rt :: LookupIPRoute(10.0.0.1/32 0, 10.0.0.0/24 1, 0.0.0.0/0 \
+       10.0.0.100 2); rt [0] -> self :: Counter -> Discard; rt [1] -> net \
+       :: Counter -> Discard; rt [2] -> def :: Counter -> Discard;"
+  in
+  let route dst =
+    let p = bare_ip () in
+    (Packet.anno p).Packet.dst_ip <- Ipaddr.of_string_exn dst;
+    push_into d "rt" p;
+    p
+  in
+  ignore (route "10.0.0.1");
+  check "host route" 1 (stat d "self" "packets");
+  ignore (route "10.0.0.77");
+  check "net route" 1 (stat d "net" "packets");
+  let p = route "99.99.99.99" in
+  check "default route" 1 (stat d "def" "packets");
+  check "gateway rewrote annotation" (Ipaddr.of_string_exn "10.0.0.100")
+    (Packet.anno p).Packet.dst_ip
+
+let test_lookup_longest_prefix () =
+  let d =
+    driver
+      "rt :: LookupIPRoute(10.0.0.0/8 0, 10.0.4.0/24 1); rt [0] -> a :: \
+       Counter -> Discard; rt [1] -> b :: Counter -> Discard;"
+  in
+  let p = bare_ip () in
+  (Packet.anno p).Packet.dst_ip <- Ipaddr.of_string_exn "10.0.4.9";
+  push_into d "rt" p;
+  check "longest prefix wins" 1 (stat d "b" "packets")
+
+let test_lookup_no_route_drops () =
+  let d =
+    driver "rt :: LookupIPRoute(10.0.0.0/8 0); rt [0] -> Discard;"
+  in
+  let p = bare_ip () in
+  (Packet.anno p).Packet.dst_ip <- Ipaddr.of_string_exn "192.168.0.1";
+  push_into d "rt" p;
+  check "miss counted" 1 (stat d "rt" "misses")
+
+(* --- ARP ---------------------------------------------------------------------- *)
+
+let test_arp_querier_resolves () =
+  let d =
+    driver
+      "aq :: ARPQuerier(10.0.0.1, 00:00:c0:00:00:01) -> q :: Queue(10); \
+       Idle -> aq; Idle -> [1] aq; q -> Discard;"
+  in
+  let p = bare_ip () in
+  (Packet.anno p).Packet.dst_ip <- Ipaddr.of_string_exn "10.0.0.2";
+  push_into d "aq" p;
+  check "query emitted" 1 (stat d "aq" "queries");
+  let q = Option.get (Driver.element d "q") in
+  let query = Option.get (q#pull 0) in
+  check "is arp" 0x806 (Headers.Ether.ethertype query);
+  (* answer it *)
+  let reply =
+    Headers.Build.arp_reply
+      ~src_eth:(Ethaddr.of_string_exn "00:00:c0:bb:00:02")
+      ~src_ip:(Ipaddr.of_string_exn "10.0.0.2")
+      ~dst_eth:(Headers.Arp.sender_eth ~off:14 query)
+      ~dst_ip:(Headers.Arp.sender_ip ~off:14 query)
+  in
+  (Option.get (Driver.element d "aq"))#push 1 reply;
+  check "held packet released" 1 (stat d "aq" "encapsulated");
+  let sent = Option.get (q#pull 0) in
+  check "encapsulated as IP" 0x800 (Headers.Ether.ethertype sent);
+  Alcotest.(check string)
+    "dst mac" "00:00:c0:bb:00:02"
+    (Ethaddr.to_string (Headers.Ether.dst sent));
+  (* second packet needs no query *)
+  let p2 = bare_ip () in
+  (Packet.anno p2).Packet.dst_ip <- Ipaddr.of_string_exn "10.0.0.2";
+  push_into d "aq" p2;
+  check "no extra query" 1 (stat d "aq" "queries");
+  check "cached encap" 2 (stat d "aq" "encapsulated")
+
+let test_arp_querier_holds_one () =
+  let d =
+    driver
+      "aq :: ARPQuerier(10.0.0.1, 00:00:c0:00:00:01) -> q :: Queue(10); \
+       Idle -> aq; Idle -> [1] aq; q -> Discard;"
+  in
+  let send () =
+    let p = bare_ip () in
+    (Packet.anno p).Packet.dst_ip <- Ipaddr.of_string_exn "10.0.0.2";
+    push_into d "aq" p
+  in
+  send ();
+  send () (* displaces the held packet, re-queries *);
+  check "two queries" 2 (stat d "aq" "queries")
+
+let test_arp_responder () =
+  let d =
+    driver
+      "ar :: ARPResponder(10.0.0.1 00:00:c0:00:00:01) -> q :: Queue(5); \
+       Idle -> ar; q -> Discard;"
+  in
+  let query =
+    Headers.Build.arp_query
+      ~src_eth:(Ethaddr.of_string_exn "00:00:c0:bb:00:02")
+      ~src_ip:(Ipaddr.of_string_exn "10.0.0.2")
+      ~target_ip:(Ipaddr.of_string_exn "10.0.0.1")
+  in
+  push_into d "ar" query;
+  check "reply" 1 (stat d "ar" "replies");
+  let q = Option.get (Driver.element d "q") in
+  let reply = Option.get (q#pull 0) in
+  check "op reply" 2 (Headers.Arp.op ~off:14 reply);
+  Alcotest.(check string)
+    "advertises our mac" "00:00:c0:00:00:01"
+    (Ethaddr.to_string (Headers.Arp.sender_eth ~off:14 reply));
+  (* not our address: ignored *)
+  let other =
+    Headers.Build.arp_query
+      ~src_eth:(Ethaddr.of_string_exn "00:00:c0:bb:00:02")
+      ~src_ip:(Ipaddr.of_string_exn "10.0.0.2")
+      ~target_ip:(Ipaddr.of_string_exn "10.0.0.99")
+  in
+  push_into d "ar" other;
+  check "still one reply" 1 (stat d "ar" "replies")
+
+(* --- classifiers as elements ---------------------------------------------------- *)
+
+let test_classifier_element () =
+  let d =
+    driver
+      "c :: Classifier(12/0806, 12/0800, -); c [0] -> arp :: Counter -> \
+       Discard; c [1] -> ip :: Counter -> Discard; c [2] -> other :: \
+       Counter -> Discard;"
+  in
+  push_into d "c" (udp ());
+  push_into d "c"
+    (Headers.Build.arp_query
+       ~src_eth:(Ethaddr.of_string_exn "00:11:22:33:44:55")
+       ~src_ip:1 ~target_ip:2);
+  check "ip" 1 (stat d "ip" "packets");
+  check "arp" 1 (stat d "arp" "packets");
+  check "other" 0 (stat d "other" "packets")
+
+let test_ipclassifier_element () =
+  let d =
+    driver
+      "c :: IPClassifier(udp && dst port 53, -); c [0] -> dns :: Counter -> \
+       Discard; c [1] -> rest :: Counter -> Discard;"
+  in
+  let p = bare_ip () in
+  push_into d "c" p;
+  check "non-dns" 1 (stat d "rest" "packets")
+
+let test_ipfilter_element_drops () =
+  let d =
+    driver "f :: IPFilter(deny udp, allow all) -> c :: Counter -> Discard;"
+  in
+  push_into d "f" (bare_ip ());
+  check "udp denied" 0 (stat d "c" "packets");
+  let icmp = Headers.Build.icmp_echo ~src_ip:1 ~dst_ip:2 () in
+  Packet.pull icmp 14;
+  push_into d "f" icmp;
+  check "icmp allowed" 1 (stat d "c" "packets")
+
+let test_bad_classifier_config_rejected () =
+  match Driver.of_string "c :: Classifier(zz/08); c -> Discard;" with
+  | Ok _ -> Alcotest.fail "bad classifier config must fail"
+  | Error _ -> ()
+
+(* --- combos behave like the chains they replace ---------------------------------- *)
+
+let test_ip_input_combo_equivalence () =
+  let chain =
+    driver
+      "p :: Paint(2) -> Strip(14) -> CheckIPHeader() -> GetIPAddress(16) -> \
+       c :: Counter -> Discard;"
+  in
+  let combo =
+    driver "ic :: IPInputCombo(2) -> c :: Counter -> Discard;"
+  in
+  let p1 = udp () and p2 = udp () in
+  push_into chain "p" p1;
+  push_into combo "ic" p2;
+  check "both forward" (stat chain "c" "packets") (stat combo "c" "packets");
+  Alcotest.(check string) "same bytes" (Packet.to_string p1) (Packet.to_string p2);
+  check "same paint" (Packet.anno p1).Packet.paint (Packet.anno p2).Packet.paint;
+  check "same dst anno" (Packet.anno p1).Packet.dst_ip (Packet.anno p2).Packet.dst_ip
+
+let test_ip_output_combo_equivalence () =
+  let mk () =
+    let p = bare_ip ~ttl:9 () in
+    (Packet.anno p).Packet.paint <- 4;
+    p
+  in
+  let chain =
+    driver
+      "db :: DropBroadcasts -> cp :: CheckPaint(4) -> IPGWOptions(9.9.9.9) \
+       -> FixIPSrc(9.9.9.9) -> dt :: DecIPTTL -> c :: Counter -> Discard; \
+       cp [1] -> r1 :: Counter -> Discard; dt [1] -> e1 :: Counter -> \
+       Discard;"
+  in
+  let combo =
+    driver
+      "oc :: IPOutputCombo(4, 9.9.9.9); oc [0] -> c :: Counter -> Discard; \
+       oc [1] -> r1 :: Counter -> Discard; oc [2] -> b :: Counter -> \
+       Discard; oc [3] -> e1 :: Counter -> Discard;"
+  in
+  let p1 = mk () and p2 = mk () in
+  push_into chain "db" p1;
+  push_into combo "oc" p2;
+  Alcotest.(check string) "same bytes" (Packet.to_string p1) (Packet.to_string p2);
+  check "both forwarded" (stat chain "c" "packets") (stat combo "c" "packets");
+  check "both teed the redirect clone" (stat chain "r1" "packets")
+    (stat combo "r1" "packets");
+  (* TTL-expired path *)
+  let e1 = bare_ip ~ttl:1 () and e2 = bare_ip ~ttl:1 () in
+  push_into chain "db" e1;
+  push_into combo "oc" e2;
+  check "both expired" (stat chain "e1" "packets") (stat combo "e1" "packets")
+
+(* --- alignment / misc -------------------------------------------------------------- *)
+
+let test_align_element () =
+  let d = driver "a :: Align(4, 0) -> c :: Counter -> Discard;" in
+  let p = bare_ip () in
+  Packet.realign p ~modulus:4 ~offset:2;
+  push_into d "a" p;
+  check "aligned" 0 (Packet.data_offset p mod 4);
+  check "copy counted" 1 (stat d "a" "copies");
+  (* already-aligned packets are not copied *)
+  let q = bare_ip () in
+  Packet.realign q ~modulus:4 ~offset:0;
+  push_into d "a" q;
+  check "no extra copy" 1 (stat d "a" "copies")
+
+let test_simple_action_pull_context () =
+  (* The one-port pass-through elements are written with simple_action
+     and must work when *pulled* through, not just pushed (e.g. between a
+     scheduler and ToDevice). *)
+  let d =
+    driver
+      "Idle -> q :: Queue(10); q -> Paint(5) -> Strip(14) -> \
+       CheckIPHeader() -> dt :: DecIPTTL -> c :: Counter; c -> Idle@sink :: \
+       Idle;"
+  in
+  push_into d "q" (udp ~ttl:9 ());
+  (* pull the packet through the whole chain from the far end *)
+  let c = Option.get (Driver.element d "c") in
+  match c#pull 0 with
+  | Some p ->
+      check "painted" 5 (Packet.anno p).Packet.paint;
+      check "stripped + ttl decremented" 8 (Headers.Ip.ttl p);
+      check_bool "checksum" true (Headers.Ip.checksum_valid p);
+      check "counter saw it" 1 (stat d "c" "packets")
+  | None -> Alcotest.fail "pull chain yielded nothing"
+
+let test_devices_round_trip () =
+  let dev0 = new Netdevice.queue_device "in0" () in
+  let dev1 = new Netdevice.queue_device "out0" () in
+  let d =
+    driver
+      ~devices:[ (dev0 :> Netdevice.t); (dev1 :> Netdevice.t) ]
+      "PollDevice(in0) -> q :: Queue(10) -> ToDevice(out0);"
+  in
+  for _ = 1 to 5 do
+    dev0#inject (udp ())
+  done;
+  Driver.run_until_idle d;
+  check "all forwarded" 5 dev1#tx_count
+
+let test_missing_device_fails () =
+  match Driver.of_string "PollDevice(nope) -> Queue(5) -> Discard;" with
+  | Ok _ -> Alcotest.fail "missing device must fail"
+  | Error e -> check_bool "mentions device" true (String.length e > 0)
+
+let test_infinite_source_limit () =
+  let d =
+    driver "s :: InfiniteSource(LENGTH 60, LIMIT 7, BURST 3) -> c :: Counter -> Discard;"
+  in
+  Driver.run_until_idle d;
+  check "limited" 7 (stat d "c" "packets")
+
+let test_udp_source () =
+  (* q drains into Idle (which never pulls) so the packets stay
+     inspectable after the run. *)
+  let d =
+    driver
+      "s :: UDPSource(SRCIP 10.0.0.2, DSTIP 10.0.1.2, LIMIT 2) -> c :: \
+       Counter -> q :: Queue(5); q -> Idle;"
+  in
+  Driver.run_until_idle d;
+  check "sent" 2 (stat d "c" "packets");
+  let q = Option.get (Driver.element d "q") in
+  let p = Option.get (q#pull 0) in
+  check_bool "well formed" true (Headers.Ip.checksum_valid ~off:14 p)
+
+let () =
+  Alcotest.run "elements"
+    [
+      ( "basic",
+        [
+          Alcotest.test_case "counter" `Quick test_counter;
+          Alcotest.test_case "tee" `Quick test_tee;
+          Alcotest.test_case "static switch" `Quick test_static_switch;
+          Alcotest.test_case "paint switch" `Quick test_paint_switch;
+          Alcotest.test_case "queue capacity" `Quick
+            test_queue_capacity_and_drops;
+          Alcotest.test_case "queue order" `Quick test_queue_fifo_order;
+          Alcotest.test_case "red drops" `Quick test_red_drops_when_full;
+          Alcotest.test_case "red needs queue" `Quick test_red_requires_queue;
+        ] );
+      ( "ip",
+        [
+          Alcotest.test_case "strip+check" `Quick test_strip_and_check;
+          Alcotest.test_case "check bad output" `Quick
+            test_check_ip_header_bad_output;
+          Alcotest.test_case "check bad src" `Quick test_check_ip_header_bad_src;
+          Alcotest.test_case "check trims padding" `Quick
+            test_check_ip_header_trims_padding;
+          Alcotest.test_case "get ip address" `Quick test_get_ip_address;
+          Alcotest.test_case "dec ttl" `Quick test_dec_ip_ttl;
+          Alcotest.test_case "drop broadcasts" `Quick test_drop_broadcasts;
+          Alcotest.test_case "check paint" `Quick test_check_paint_tee;
+          Alcotest.test_case "fix ip src" `Quick test_fix_ip_src;
+          Alcotest.test_case "gw options" `Quick test_ip_gw_options;
+          Alcotest.test_case "fragmenter" `Quick test_ip_fragmenter;
+          Alcotest.test_case "fragment payload" `Quick
+            test_fragment_payload_reassembles;
+          Alcotest.test_case "icmp error" `Quick test_icmp_error;
+          Alcotest.test_case "ether encap" `Quick test_ether_encap;
+        ] );
+      ( "routing",
+        [
+          Alcotest.test_case "lookup" `Quick test_lookup_ip_route;
+          Alcotest.test_case "longest prefix" `Quick test_lookup_longest_prefix;
+          Alcotest.test_case "no route" `Quick test_lookup_no_route_drops;
+        ] );
+      ( "arp",
+        [
+          Alcotest.test_case "querier resolves" `Quick
+            test_arp_querier_resolves;
+          Alcotest.test_case "querier holds one" `Quick
+            test_arp_querier_holds_one;
+          Alcotest.test_case "responder" `Quick test_arp_responder;
+        ] );
+      ( "classify",
+        [
+          Alcotest.test_case "classifier" `Quick test_classifier_element;
+          Alcotest.test_case "ipclassifier" `Quick test_ipclassifier_element;
+          Alcotest.test_case "ipfilter" `Quick test_ipfilter_element_drops;
+          Alcotest.test_case "bad config" `Quick
+            test_bad_classifier_config_rejected;
+        ] );
+      ( "combos",
+        [
+          Alcotest.test_case "input combo" `Quick
+            test_ip_input_combo_equivalence;
+          Alcotest.test_case "output combo" `Quick
+            test_ip_output_combo_equivalence;
+        ] );
+      ( "misc",
+        [
+          Alcotest.test_case "align" `Quick test_align_element;
+          Alcotest.test_case "simple_action pull" `Quick
+            test_simple_action_pull_context;
+          Alcotest.test_case "devices" `Quick test_devices_round_trip;
+          Alcotest.test_case "missing device" `Quick test_missing_device_fails;
+          Alcotest.test_case "infinite source" `Quick
+            test_infinite_source_limit;
+          Alcotest.test_case "udp source" `Quick test_udp_source;
+        ] );
+    ]

@@ -1,0 +1,539 @@
+(* Tests for the extended element library: schedulers, switches,
+   encapsulation, and host-side elements. *)
+
+module Packet = Oclick_packet.Packet
+module Headers = Oclick_packet.Headers
+module Ipaddr = Oclick_packet.Ipaddr
+module Ethaddr = Oclick_packet.Ethaddr
+module Driver = Oclick_runtime.Driver
+
+let () = Oclick_elements.register_all ()
+let check = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let driver config =
+  match Driver.of_string config with
+  | Ok d -> d
+  | Error e -> Alcotest.failf "instantiate: %s" e
+
+let push_into d name p = (Option.get (Driver.element d name))#push 0 p
+let pull_from d name = (Option.get (Driver.element d name))#pull 0
+
+let stat d name key =
+  List.assoc key (Option.get (Driver.element d name))#stats
+
+let marked n =
+  let p = Packet.create 60 in
+  Packet.set_u8 p 0 n;
+  p
+
+let mark p = Packet.get_u8 p 0
+
+(* --- schedulers ------------------------------------------------------------ *)
+
+let test_prio_sched () =
+  let d =
+    driver
+      "hi :: Queue(10); lo :: Queue(10); Idle -> hi; Idle -> lo; hi -> ps \
+       :: PrioSched; lo -> [1] ps; ps -> Idle;"
+  in
+  push_into d "lo" (marked 2);
+  push_into d "hi" (marked 1);
+  push_into d "lo" (marked 3);
+  (* priority: the high queue drains first, regardless of arrival order *)
+  check "high first" 1 (mark (Option.get (pull_from d "ps")));
+  check "then low" 2 (mark (Option.get (pull_from d "ps")));
+  check "low again" 3 (mark (Option.get (pull_from d "ps")));
+  check_bool "then empty" true (pull_from d "ps" = None)
+
+let test_round_robin_sched () =
+  let d =
+    driver
+      "a :: Queue(10); b :: Queue(10); Idle -> a; Idle -> b; a -> rr :: \
+       RoundRobinSched; b -> [1] rr; rr -> Idle;"
+  in
+  push_into d "a" (marked 1);
+  push_into d "a" (marked 2);
+  push_into d "b" (marked 3);
+  check "first from a" 1 (mark (Option.get (pull_from d "rr")));
+  check "then b" 3 (mark (Option.get (pull_from d "rr")));
+  check "back to a" 2 (mark (Option.get (pull_from d "rr")));
+  (* an empty input is skipped, not returned as None *)
+  push_into d "b" (marked 4);
+  check "skips empty a" 4 (mark (Option.get (pull_from d "rr")))
+
+let test_round_robin_switch () =
+  let d =
+    driver
+      "Idle -> sw :: RoundRobinSwitch; sw [0] -> a :: Counter -> Discard; \
+       sw [1] -> b :: Counter -> Discard; sw [2] -> c :: Counter -> Discard;"
+  in
+  for _ = 1 to 7 do
+    push_into d "sw" (marked 0)
+  done;
+  check "a" 3 (stat d "a" "packets");
+  check "b" 2 (stat d "b" "packets");
+  check "c" 2 (stat d "c" "packets")
+
+let test_hash_switch_flow_affinity () =
+  let d =
+    driver
+      "Idle -> hs :: HashSwitch(26, 8); hs [0] -> a :: Counter -> Discard; \
+       hs [1] -> b :: Counter -> Discard;"
+  in
+  (* same addresses -> same output, every time *)
+  let flow () =
+    Headers.Build.udp ~src_ip:0x0a000001 ~dst_ip:0x0a000102 ()
+  in
+  for _ = 1 to 10 do
+    push_into d "hs" (flow ())
+  done;
+  let a = stat d "a" "packets" and b = stat d "b" "packets" in
+  check_bool "one path only" true ((a = 10 && b = 0) || (a = 0 && b = 10))
+
+let test_front_drop_queue () =
+  let d = driver "Idle -> q :: FrontDropQueue(2); q -> Idle;" in
+  push_into d "q" (marked 1);
+  push_into d "q" (marked 2);
+  push_into d "q" (marked 3) (* drops packet 1, the oldest *);
+  check "drops" 1 (stat d "q" "drops");
+  check "oldest went" 2 (mark (Option.get (pull_from d "q")));
+  check "newest kept" 3 (mark (Option.get (pull_from d "q")))
+
+(* --- filters and encapsulation ----------------------------------------------- *)
+
+let test_check_length () =
+  let d =
+    driver
+      "Idle -> cl :: CheckLength(100); cl [0] -> ok :: Counter -> Discard; \
+       cl [1] -> big :: Counter -> Discard;"
+  in
+  push_into d "cl" (Packet.create 100);
+  push_into d "cl" (Packet.create 101);
+  check "ok" 1 (stat d "ok" "packets");
+  check "big" 1 (stat d "big" "packets")
+
+let test_ip_encap () =
+  let d = driver "Idle -> e :: IPEncap(4, 1.2.3.4, 5.6.7.8) -> c :: Counter -> Discard;" in
+  let p = Packet.of_string "payload!" in
+  push_into d "e" p;
+  check "length" 28 (Packet.length p);
+  check "proto" 4 (Headers.Ip.protocol p);
+  check "src" 0x01020304 (Headers.Ip.src p);
+  check "dst" 0x05060708 (Headers.Ip.dst p);
+  check "total length" 28 (Headers.Ip.total_length p);
+  check_bool "checksum" true (Headers.Ip.checksum_valid p);
+  check "dst annotation" 0x05060708 (Packet.anno p).Packet.dst_ip;
+  (* idents increment *)
+  let q = Packet.of_string "x" in
+  push_into d "e" q;
+  check "ident advanced" (Headers.Ip.ident p + 1) (Headers.Ip.ident q)
+
+let test_udp_ip_encap () =
+  let d =
+    driver
+      "Idle -> e :: UDPIPEncap(10.0.0.1, 1111, 10.0.0.2, 2222) -> c :: \
+       Counter -> Discard;"
+  in
+  let p = Packet.of_string "hello" in
+  push_into d "e" p;
+  check "length" (20 + 8 + 5) (Packet.length p);
+  check "proto udp" 17 (Headers.Ip.protocol p);
+  check "sport" 1111 (Headers.Udp.src_port ~off:20 p);
+  check "dport" 2222 (Headers.Udp.dst_port ~off:20 p);
+  check "udp len" 13 (Headers.Udp.udp_length ~off:20 p);
+  check_bool "ip checksum" true (Headers.Ip.checksum_valid p)
+
+let test_ether_mirror () =
+  let d = driver "Idle -> m :: EtherMirror -> c :: Counter -> Discard;" in
+  let p =
+    Headers.Build.udp
+      ~src_eth:(Ethaddr.of_string_exn "00:00:00:00:00:01")
+      ~dst_eth:(Ethaddr.of_string_exn "00:00:00:00:00:02")
+      ~src_ip:1 ~dst_ip:2 ()
+  in
+  push_into d "m" p;
+  Alcotest.(check string)
+    "src<->dst" "00:00:00:00:00:02"
+    (Ethaddr.to_string (Headers.Ether.src p))
+
+let test_icmp_ping_responder () =
+  let d =
+    driver
+      "Idle -> pr :: ICMPPingResponder; pr [0] -> c :: Counter -> Discard; \
+       pr [1] -> rest :: Counter -> Discard;"
+  in
+  let echo = Headers.Build.icmp_echo ~src_ip:0x0a000002 ~dst_ip:0x0a000001 () in
+  Packet.pull echo 14;
+  push_into d "pr" echo;
+  check "replied" 1 (stat d "pr" "replies");
+  check "reply type" 0 (Headers.Icmp.icmp_type ~off:20 echo);
+  check "addressed back" 0x0a000002 (Headers.Ip.dst echo);
+  check_bool "ip checksum" true (Headers.Ip.checksum_valid echo);
+  check_bool "icmp checksum" true
+    (Packet.checksum echo ~pos:20 ~len:(Packet.length echo - 20) = 0);
+  (* non-echo traffic takes output 1 *)
+  let udp = Headers.Build.udp ~src_ip:1 ~dst_ip:2 () in
+  Packet.pull udp 14;
+  push_into d "pr" udp;
+  check "passed through" 1 (stat d "rest" "packets")
+
+let test_host_ether_filter () =
+  let d =
+    driver
+      "Idle -> f :: HostEtherFilter(00:00:c0:00:00:01); f [0] -> mine :: \
+       Counter -> Discard; f [1] -> other :: Counter -> Discard;"
+  in
+  let to_eth e =
+    Headers.Build.udp ~dst_eth:(Ethaddr.of_string_exn e) ~src_ip:1 ~dst_ip:2 ()
+  in
+  push_into d "f" (to_eth "00:00:c0:00:00:01");
+  push_into d "f" (to_eth "00:00:c0:00:00:99");
+  push_into d "f" (to_eth "ff:ff:ff:ff:ff:ff");
+  check "for us + broadcast" 2 (stat d "mine" "packets");
+  check "foreign" 1 (stat d "other" "packets")
+
+(* --- a composed scenario: QoS-ish dual queue --------------------------------- *)
+
+let test_priority_forwarding_pipeline () =
+  (* Classify ICMP as high priority; UDP low; drain by priority. *)
+  let d =
+    driver
+      "Idle -> cl :: IPClassifier(icmp, -); cl [0] -> hi :: Queue(10); cl \
+       [1] -> lo :: Queue(10); hi -> ps :: PrioSched; lo -> [1] ps; ps -> \
+       Idle;"
+  in
+  let udp = Headers.Build.udp ~src_ip:1 ~dst_ip:2 () in
+  Packet.pull udp 14;
+  let icmp = Headers.Build.icmp_echo ~src_ip:1 ~dst_ip:2 () in
+  Packet.pull icmp 14;
+  push_into d "cl" udp;
+  push_into d "cl" icmp;
+  let first = Option.get (pull_from d "ps") in
+  check "icmp drained first" 1 (Headers.Ip.protocol first)
+
+(* --- radix route lookup --------------------------------------------------------- *)
+
+let route_anno d name dst =
+  let p = Packet.create 60 in
+  (Packet.anno p).Packet.dst_ip <- dst;
+  push_into d name p;
+  p
+
+let test_radix_lookup () =
+  let routes =
+    "10.0.0.1/32 0, 10.0.0.0/24 1, 10.0.0.0/8 2, 0.0.0.0/0 10.9.9.9 3"
+  in
+  let d =
+    driver
+      (Printf.sprintf
+         "Idle -> rt :: RadixIPLookup(%s); rt [0] -> a :: Counter -> \
+          Discard; rt [1] -> b :: Counter -> Discard; rt [2] -> c :: \
+          Counter -> Discard; rt [3] -> e :: Counter -> Discard;"
+         routes)
+  in
+  ignore (route_anno d "rt" (Ipaddr.of_string_exn "10.0.0.1"));
+  check "host" 1 (stat d "a" "packets");
+  ignore (route_anno d "rt" (Ipaddr.of_string_exn "10.0.0.200"));
+  check "/24" 1 (stat d "b" "packets");
+  ignore (route_anno d "rt" (Ipaddr.of_string_exn "10.77.0.1"));
+  check "/8" 1 (stat d "c" "packets");
+  let p = route_anno d "rt" (Ipaddr.of_string_exn "99.0.0.1") in
+  check "default" 1 (stat d "e" "packets");
+  check "gateway annotation" (Ipaddr.of_string_exn "10.9.9.9")
+    (Packet.anno p).Packet.dst_ip
+
+let prop_radix_equals_linear =
+  (* The trie and the linear scan implement the same longest-prefix
+     semantics, for any contiguous-mask table. *)
+  QCheck.Test.make ~name:"radix = linear lookup" ~count:100
+    QCheck.(
+      pair
+        (list_of_size
+           (Gen.int_range 1 12)
+           (pair (int_bound 0xffffff) (int_range 0 32)))
+        (small_list (int_bound 0xffffff)))
+    (fun (routes, probes) ->
+      QCheck.assume (routes <> []);
+      let route_str =
+        String.concat ", "
+          (List.mapi
+             (fun i (addr, len) ->
+               Printf.sprintf "%s/%d %d"
+                 (Ipaddr.to_string (addr * 257))
+                 len (i mod 4))
+             routes)
+      in
+      let mk cls =
+        driver
+          (Printf.sprintf
+             "Idle -> rt :: %s(%s); rt [0] -> o0 :: Counter -> Discard; rt \
+              [1] -> o1 :: Counter -> Discard; rt [2] -> o2 :: Counter -> \
+              Discard; rt [3] -> o3 :: Counter -> Discard;"
+             cls route_str)
+      in
+      let dl = mk "LookupIPRoute" and dr = mk "RadixIPLookup" in
+      List.for_all
+        (fun probe ->
+          let dst = probe * 65521 land 0xffffffff in
+          ignore (route_anno dl "rt" dst);
+          ignore (route_anno dr "rt" dst);
+          List.for_all
+            (fun o -> stat dl "rt" "misses" = stat dr "rt" "misses"
+                      && stat dl o "packets" = stat dr o "packets")
+            [ "o0"; "o1"; "o2"; "o3" ])
+        probes)
+
+(* --- L4 checksums ----------------------------------------------------------------- *)
+
+let test_l4_checksums () =
+  let p = Headers.Build.udp ~src_ip:0x0a000001 ~dst_ip:0x0a000002 () in
+  Packet.pull p 14;
+  Headers.L4.update_udp p ~ip_off:0;
+  check_bool "udp valid after update" true (Headers.L4.udp_valid p ~ip_off:0);
+  Packet.set_u8 p 30 0x55 (* corrupt payload *);
+  check_bool "udp invalid after corruption" false
+    (Headers.L4.udp_valid p ~ip_off:0);
+  let t =
+    Headers.Build.tcp ~src_ip:1 ~dst_ip:2 ~src_port:80 ~dst_port:8080 ()
+  in
+  Packet.pull t 14;
+  Headers.L4.update_tcp t ~ip_off:0;
+  check_bool "tcp valid after update" true (Headers.L4.tcp_valid t ~ip_off:0);
+  (* zero UDP checksum counts as valid (optional in IPv4) *)
+  let z = Headers.Build.udp ~src_ip:1 ~dst_ip:2 () in
+  Packet.pull z 14;
+  check_bool "zero udp checksum ok" true (Headers.L4.udp_valid z ~ip_off:0)
+
+(* --- IPRewriter -------------------------------------------------------------------- *)
+
+let nat_driver () =
+  driver
+    "Idle -> rw :: IPRewriter(18.26.4.24 5000-5002 - -); Idle -> [1] rw; \
+     rw [0] -> out :: Counter -> Discard; rw [1] -> back :: Counter -> \
+     Discard;"
+
+let private_udp ?(sport = 1234) () =
+  let p =
+    Headers.Build.udp ~src_ip:(Ipaddr.of_string_exn "192.168.0.5")
+      ~dst_ip:(Ipaddr.of_string_exn "8.8.8.8") ~src_port:sport ~dst_port:53 ()
+  in
+  Packet.pull p 14;
+  Headers.L4.update_udp p ~ip_off:0;
+  p
+
+let test_rewriter_forward () =
+  let d = nat_driver () in
+  let p = private_udp () in
+  push_into d "rw" p;
+  check "source rewritten" (Ipaddr.of_string_exn "18.26.4.24")
+    (Headers.Ip.src p);
+  check "port allocated" 5000 (Headers.Udp.src_port ~off:20 p);
+  check "destination kept" (Ipaddr.of_string_exn "8.8.8.8") (Headers.Ip.dst p);
+  check_bool "ip checksum" true (Headers.Ip.checksum_valid p);
+  check_bool "udp checksum" true (Headers.L4.udp_valid p ~ip_off:0);
+  check "one flow" 1 (stat d "rw" "flows");
+  (* same flow reuses the mapping *)
+  let q = private_udp () in
+  push_into d "rw" q;
+  check "same port" 5000 (Headers.Udp.src_port ~off:20 q);
+  check "still one flow" 1 (stat d "rw" "flows");
+  (* a different flow allocates the next port *)
+  let r = private_udp ~sport:4321 () in
+  push_into d "rw" r;
+  check "next port" 5001 (Headers.Udp.src_port ~off:20 r);
+  check "two flows" 2 (stat d "rw" "flows")
+
+let test_rewriter_reply () =
+  let d = nat_driver () in
+  push_into d "rw" (private_udp ());
+  (* a reply from 8.8.8.8 to the public address/port *)
+  let reply =
+    Headers.Build.udp ~src_ip:(Ipaddr.of_string_exn "8.8.8.8")
+      ~dst_ip:(Ipaddr.of_string_exn "18.26.4.24") ~src_port:53 ~dst_port:5000
+      ()
+  in
+  Packet.pull reply 14;
+  Headers.L4.update_udp reply ~ip_off:0;
+  (Option.get (Driver.element d "rw"))#push 1 reply;
+  check "translated back to private host"
+    (Ipaddr.of_string_exn "192.168.0.5")
+    (Headers.Ip.dst reply);
+  check "original port restored" 1234 (Headers.Udp.dst_port ~off:20 reply);
+  check_bool "checksums" true
+    (Headers.Ip.checksum_valid reply && Headers.L4.udp_valid reply ~ip_off:0);
+  check "reply output" 1 (stat d "back" "packets")
+
+let test_rewriter_drops_unknown_reply () =
+  let d = nat_driver () in
+  let stray =
+    Headers.Build.udp ~src_ip:(Ipaddr.of_string_exn "8.8.8.8")
+      ~dst_ip:(Ipaddr.of_string_exn "18.26.4.24") ~src_port:53 ~dst_port:5000
+      ()
+  in
+  Packet.pull stray 14;
+  (Option.get (Driver.element d "rw"))#push 1 stray;
+  check "stray dropped" 0 (stat d "back" "packets");
+  check_bool "drop counted" true (stat d "rw" "drops" > 0)
+
+let test_rewriter_ignores_icmp () =
+  let d = nat_driver () in
+  let icmp = Headers.Build.icmp_echo ~src_ip:1 ~dst_ip:2 () in
+  Packet.pull icmp 14;
+  push_into d "rw" icmp;
+  check "not forwarded" 0 (stat d "out" "packets")
+
+(* --- trace replay / capture ------------------------------------------------------- *)
+
+let test_trace_format_roundtrip () =
+  let p1 = Headers.Build.udp ~src_ip:1 ~dst_ip:2 ()
+  and p2 = Headers.Build.icmp_echo ~src_ip:3 ~dst_ip:4 () in
+  let text = Oclick_packet.Trace.to_string [ (100, p1); (250, p2) ] in
+  match Oclick_packet.Trace.of_string text with
+  | Error e -> Alcotest.failf "trace parse: %s" e
+  | Ok [ (t1, q1); (t2, q2) ] ->
+      check "ts1" 100 t1;
+      check "ts2" 250 t2;
+      Alcotest.(check string) "bytes 1" (Packet.to_string p1) (Packet.to_string q1);
+      Alcotest.(check string) "bytes 2" (Packet.to_string p2) (Packet.to_string q2)
+  | Ok l -> Alcotest.failf "expected 2 packets, got %d" (List.length l)
+
+let test_trace_errors () =
+  check_bool "bad hex" true
+    (Result.is_error (Oclick_packet.Trace.of_string "5 zz"));
+  check_bool "bad timestamp" true
+    (Result.is_error (Oclick_packet.Trace.of_string "x 00ff"));
+  check_bool "comments fine" true
+    (Oclick_packet.Trace.of_string "# hi\n\n" = Ok [])
+
+let test_trace_replay_capture () =
+  (* Replay a trace through a filter, capture the survivors, and read the
+     capture back. *)
+  let in_path = Filename.temp_file "oclick" ".trace"
+  and out_path = Filename.temp_file "oclick" ".trace" in
+  let mk_ip dst =
+    let p = Headers.Build.udp ~src_ip:7 ~dst_ip:dst () in
+    Packet.pull p 14;
+    p
+  in
+  let oc = open_out in_path in
+  output_string oc
+    (Oclick_packet.Trace.to_string
+       [ (1, mk_ip 0x0a000001); (2, mk_ip 0x0b000001); (3, mk_ip 0x0a000002) ]);
+  close_out oc;
+  let d =
+    driver
+      (Printf.sprintf
+         "FromTrace(%s) -> f :: IPFilter(allow dst net 10.0.0.0/8, deny \
+          all) -> ToTrace(%s) -> c :: Counter -> Discard;"
+         in_path out_path)
+  in
+  Driver.run_until_idle d;
+  check "only 10/8 packets survive" 2 (stat d "c" "packets");
+  let ic = open_in_bin out_path in
+  let captured = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  (match Oclick_packet.Trace.of_string captured with
+  | Ok l -> check "capture has both" 2 (List.length l)
+  | Error e -> Alcotest.failf "capture parse: %s" e);
+  Sys.remove in_path;
+  Sys.remove out_path
+
+let prop_rewriter_checksums =
+  (* For any flow, rewritten packets carry valid IP and UDP checksums and
+     the reply direction restores the original endpoints exactly. *)
+  QCheck.Test.make ~name:"IPRewriter keeps checksums valid" ~count:100
+    QCheck.(
+      quad (int_bound 0xffffff) (int_bound 0xffff) (int_bound 0xffffff)
+        (int_bound 0xffff))
+    (fun (srcn, sport, dstn, dport) ->
+      QCheck.assume (sport > 0 && dport > 0);
+      let d = nat_driver () in
+      let src_ip = 0x0a000000 lor (srcn land 0xffffff)
+      and dst_ip = 0x08000000 lor (dstn land 0xffffff) in
+      let p =
+        Headers.Build.udp ~src_ip ~dst_ip ~src_port:sport ~dst_port:dport ()
+      in
+      Packet.pull p 14;
+      Headers.L4.update_udp p ~ip_off:0;
+      push_into d "rw" p;
+      let forward_ok =
+        Headers.Ip.checksum_valid p
+        && Headers.L4.udp_valid p ~ip_off:0
+        && Headers.Ip.src p = Ipaddr.of_string_exn "18.26.4.24"
+        && Headers.Ip.dst p = dst_ip
+      in
+      (* reply comes back to the mapped endpoint *)
+      let mapped_port = Headers.Udp.src_port ~off:20 p in
+      let reply =
+        Headers.Build.udp ~src_ip:dst_ip
+          ~dst_ip:(Ipaddr.of_string_exn "18.26.4.24")
+          ~src_port:dport ~dst_port:mapped_port ()
+      in
+      Packet.pull reply 14;
+      Headers.L4.update_udp reply ~ip_off:0;
+      (Option.get (Driver.element d "rw"))#push 1 reply;
+      forward_ok
+      && Headers.Ip.checksum_valid reply
+      && Headers.L4.udp_valid reply ~ip_off:0
+      && Headers.Ip.dst reply = src_ip
+      && Headers.Udp.dst_port ~off:20 reply = sport
+      && Headers.Ip.src reply = dst_ip)
+
+let () =
+  Alcotest.run "extras"
+    [
+      ( "schedulers",
+        [
+          Alcotest.test_case "prio" `Quick test_prio_sched;
+          Alcotest.test_case "round robin" `Quick test_round_robin_sched;
+        ] );
+      ( "switches",
+        [
+          Alcotest.test_case "round robin switch" `Quick
+            test_round_robin_switch;
+          Alcotest.test_case "hash switch" `Quick
+            test_hash_switch_flow_affinity;
+          Alcotest.test_case "front drop queue" `Quick test_front_drop_queue;
+        ] );
+      ( "encap",
+        [
+          Alcotest.test_case "check length" `Quick test_check_length;
+          Alcotest.test_case "ip encap" `Quick test_ip_encap;
+          Alcotest.test_case "udp/ip encap" `Quick test_udp_ip_encap;
+          Alcotest.test_case "ether mirror" `Quick test_ether_mirror;
+        ] );
+      ( "host",
+        [
+          Alcotest.test_case "ping responder" `Quick test_icmp_ping_responder;
+          Alcotest.test_case "ether filter" `Quick test_host_ether_filter;
+        ] );
+      ( "composition",
+        [
+          Alcotest.test_case "priority pipeline" `Quick
+            test_priority_forwarding_pipeline;
+        ] );
+      ( "routing",
+        [
+          Alcotest.test_case "radix lookup" `Quick test_radix_lookup;
+          QCheck_alcotest.to_alcotest prop_radix_equals_linear;
+        ] );
+      ("l4", [ Alcotest.test_case "checksums" `Quick test_l4_checksums ]);
+      ( "rewriter",
+        [
+          Alcotest.test_case "forward" `Quick test_rewriter_forward;
+          Alcotest.test_case "reply" `Quick test_rewriter_reply;
+          Alcotest.test_case "unknown reply" `Quick
+            test_rewriter_drops_unknown_reply;
+          Alcotest.test_case "non-rewritable" `Quick test_rewriter_ignores_icmp;
+          QCheck_alcotest.to_alcotest prop_rewriter_checksums;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "format round trip" `Quick
+            test_trace_format_roundtrip;
+          Alcotest.test_case "format errors" `Quick test_trace_errors;
+          Alcotest.test_case "replay and capture" `Quick
+            test_trace_replay_capture;
+        ] );
+    ]

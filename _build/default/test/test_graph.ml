@@ -1,0 +1,263 @@
+(* Tests for the router graph library: graph operations, specification
+   parsing, processing resolution, configuration checking. *)
+
+module Router = Oclick_graph.Router
+module Spec = Oclick_graph.Spec
+module Check = Oclick_graph.Check
+
+let check = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_str = Alcotest.(check string)
+
+let graph_of src =
+  match Router.parse_string src with
+  | Ok g -> g
+  | Error e -> Alcotest.failf "parse_string: %s" e
+
+(* A small test specification table. *)
+let table : Spec.table = function
+  | "Src" -> Some (Spec.make ~ports:"0/1" ~processing:"h/h" "Src")
+  | "Sink" -> Some (Spec.make ~ports:"1/0" ~processing:"h/h" "Sink")
+  | "PullSink" -> Some (Spec.make ~ports:"1/0" ~processing:"l/l" "PullSink")
+  | "Thru" -> Some (Spec.make "Thru")
+  | "Q" -> Some (Spec.make ~processing:"h/l" "Q")
+  | "Split" -> Some (Spec.make ~ports:"1/2" ~processing:"h/h" "Split")
+  | _ -> None
+
+(* --- spec parsing -------------------------------------------------------- *)
+
+let test_port_counts () =
+  let p s = Spec.parse_port_counts s in
+  (match p "1/2" with
+  | Some (i, o) ->
+      check_bool "exact" true (Spec.in_range i 1 && not (Spec.in_range i 2));
+      check_bool "out" true (Spec.in_range o 2)
+  | None -> Alcotest.fail "1/2");
+  (match p "1-/2-3" with
+  | Some (i, o) ->
+      check_bool "open upper" true (Spec.in_range i 99);
+      check_bool "below lo" false (Spec.in_range i 0);
+      check_bool "range" true (Spec.in_range o 2 && Spec.in_range o 3);
+      check_bool "above range" false (Spec.in_range o 4)
+  | None -> Alcotest.fail "1-/2-3");
+  (match p "-/-" with
+  | Some (i, _) -> check_bool "any" true (Spec.in_range i 0)
+  | None -> Alcotest.fail "-/-");
+  check_bool "garbage" true (p "x/y" = None);
+  check_bool "missing slash" true (p "12" = None)
+
+let test_processing_codes () =
+  check_bool "valid" true (Spec.parse_processing "a/ah" <> None);
+  check_bool "invalid char" true (Spec.parse_processing "a/qx" = None);
+  check_bool "empty half" true (Spec.parse_processing "/h" = None);
+  let s = Spec.make ~processing:"a/ah" "X" in
+  check_bool "input agnostic" true (Spec.input_processing s 0 = Spec.Agnostic);
+  check_bool "out0 agnostic" true (Spec.output_processing s 0 = Spec.Agnostic);
+  check_bool "out1 push" true (Spec.output_processing s 1 = Spec.Push);
+  check_bool "out9 repeats last" true (Spec.output_processing s 9 = Spec.Push)
+
+let test_flow_codes () =
+  let s = Spec.make ~flow:"xy/x" "ARPQuerier" in
+  check_bool "0 -> 0" true (Spec.flows_to s ~input:0 ~output:0);
+  check_bool "1 -/-> 0" false (Spec.flows_to s ~input:1 ~output:0);
+  let all = Spec.make "X" in
+  check_bool "x/x all" true (Spec.flows_to all ~input:3 ~output:7)
+
+(* --- graph operations ------------------------------------------------------ *)
+
+let test_graph_basics () =
+  let g = graph_of "a :: Src; b :: Thru; c :: Sink; a -> b -> c;" in
+  check "size" 3 (Router.size g);
+  let a = Option.get (Router.find g "a") in
+  check_str "class" "Src" (Router.class_of g a);
+  check "outputs of a" 1 (List.length (Router.outputs_of g a));
+  check "inputs of a" 0 (List.length (Router.inputs_of g a));
+  let b = Option.get (Router.find g "b") in
+  check "output ports" 1 (Router.output_port_count g b);
+  check "input ports" 1 (Router.input_port_count g b)
+
+let test_add_remove () =
+  let g = graph_of "a :: Src; b :: Sink; a -> b;" in
+  let c = Router.add_element g ~name:"mid" ~cls:"Thru" ~config:"" in
+  let a = Option.get (Router.find g "a") and b = Option.get (Router.find g "b") in
+  Router.remove_hookup g
+    { Router.from_idx = a; from_port = 0; to_idx = b; to_port = 0 };
+  Router.add_hookup g { Router.from_idx = a; from_port = 0; to_idx = c; to_port = 0 };
+  Router.add_hookup g { Router.from_idx = c; from_port = 0; to_idx = b; to_port = 0 };
+  check "size" 3 (Router.size g);
+  check "hookups" 2 (List.length (Router.hookups g));
+  Router.remove_element g c;
+  check "size after remove" 2 (Router.size g);
+  check "hookups after remove" 0 (List.length (Router.hookups g))
+
+let test_fresh_name () =
+  let g = graph_of "a :: Src;" in
+  check_str "free name" "b" (Router.fresh_name g "b");
+  check_str "taken name" "a@1" (Router.fresh_name g "a");
+  ignore (Router.add_element g ~name:"a@1" ~cls:"Thru" ~config:"");
+  check_str "next free" "a@2" (Router.fresh_name g "a")
+
+let test_duplicate_name_rejected () =
+  let g = graph_of "a :: Src;" in
+  Alcotest.check_raises "duplicate"
+    (Invalid_argument "Router.add_element: name \"a\" taken") (fun () ->
+      ignore (Router.add_element g ~name:"a" ~cls:"Thru" ~config:""))
+
+let test_copy_independent () =
+  let g = graph_of "a :: Src; b :: Sink; a -> b;" in
+  let g2 = Router.copy g in
+  Router.remove_element g (Option.get (Router.find g "b"));
+  check "copy unaffected" 2 (Router.size g2);
+  check "original shrunk" 1 (Router.size g)
+
+let test_to_string_archive () =
+  let g = graph_of "a :: Src; b :: Sink; a -> b;" in
+  Router.set_archive_member g ~name:"gen.ml" ~body:"(* x *)";
+  let s = Router.to_string g in
+  check_bool "archive output" true (Oclick_lang.Archive.is_archive s);
+  (* and it parses back, preserving the member *)
+  match Router.parse_string s with
+  | Ok g2 ->
+      check_bool "member preserved" true
+        (Oclick_lang.Archive.find (Router.archive g2) "gen.ml" = Some "(* x *)")
+  | Error e -> Alcotest.failf "reparse: %s" e
+
+let test_of_ast_rejects_compound () =
+  let ast = Oclick_lang.Parser.parse_exn "elementclass F { input->output; } f :: F; Idle -> f -> Discard;" in
+  check_bool "rejected" true (Result.is_error (Router.of_ast ast))
+
+let test_requirements_preserved () =
+  let g = graph_of "require(magic); a :: Src;" in
+  check_bool "requirement" true (Router.requirements g = [ "magic" ])
+
+(* --- processing resolution --------------------------------------------------- *)
+
+let test_resolution_simple () =
+  let g = graph_of "a :: Src; t :: Thru; q :: Q; s :: PullSink; a -> t -> q -> s;" in
+  match Check.resolve_processing g table with
+  | Error e -> Alcotest.failf "resolve: %s" (String.concat ";" e)
+  | Ok r ->
+      let t = Option.get (Router.find g "t") in
+      check_bool "thru input became push" true
+        (r.Check.input_kind.(t).(0) = Spec.Push);
+      check_bool "thru output became push" true
+        (r.Check.output_kind.(t).(0) = Spec.Push)
+
+let test_resolution_conflict () =
+  (* Src (push) feeding PullSink directly is a processing conflict. *)
+  let g = graph_of "a :: Src; s :: PullSink; a -> s;" in
+  check_bool "conflict detected" true
+    (Result.is_error (Check.resolve_processing g table))
+
+let test_resolution_agnostic_chain_defaults_push () =
+  let g = graph_of "a :: Thru; b :: Thru; a -> b; b -> a;" in
+  match Check.resolve_processing g table with
+  | Ok r ->
+      let a = Option.get (Router.find g "a") in
+      check_bool "defaults to push" true (r.Check.input_kind.(a).(0) = Spec.Push)
+  | Error e -> Alcotest.failf "resolve: %s" (String.concat ";" e)
+
+(* --- checking ------------------------------------------------------------------ *)
+
+let test_check_ok () =
+  let g = graph_of "a :: Src; q :: Q; s :: PullSink; a -> q -> s;" in
+  Alcotest.(check (list string)) "no errors" [] (Check.check g table)
+
+let test_check_unknown_class () =
+  let g = graph_of "a :: Src; z :: Zorp; a -> z;" in
+  check_bool "unknown class" true
+    (List.exists
+       (fun e ->
+         let has sub =
+           let rec find i =
+             i + String.length sub <= String.length e
+             && (String.sub e i (String.length sub) = sub || find (i + 1))
+           in
+           find 0
+         in
+         has "Zorp")
+       (Check.check g table))
+
+let test_check_port_count () =
+  (* Split has exactly 2 outputs; using 3 is an error. *)
+  let g =
+    graph_of
+      "a :: Src; sp :: Split; s1 :: Sink; s2 :: Sink; s3 :: Sink; a -> sp; \
+       sp [0] -> s1; sp [1] -> s2; sp [2] -> s3;"
+  in
+  check_bool "port count error" true (Check.check g table <> [])
+
+let test_check_unconnected_gap () =
+  let g =
+    graph_of "a :: Src; sp :: Split; s :: Sink; a -> sp; sp [1] -> s;"
+  in
+  (* output 0 of sp never connected: a gap *)
+  check_bool "gap detected" true
+    (List.exists
+       (fun e -> String.length e > 0 && e.[0] = 's')
+       (Check.check g table))
+
+let test_check_push_double_connection () =
+  let g = graph_of "a :: Src; s1 :: Sink; s2 :: Sink; a -> s1; a -> s2;" in
+  check_bool "double push output" true
+    (List.exists
+       (fun e ->
+         let rec find i =
+           i + 4 <= String.length e
+           && (String.sub e i 4 = "push" || find (i + 1))
+         in
+         find 0)
+       (Check.check g table))
+
+let test_check_registry_ip_router () =
+  (* The generated Figure 1 router is valid against the real registry. *)
+  Oclick_elements.register_all ();
+  let g =
+    graph_of (Oclick.Ip_router.config (Oclick.Ip_router.standard_interfaces 4))
+  in
+  Alcotest.(check (list string))
+    "IP router checks clean" []
+    (Check.check g Oclick_runtime.Registry.spec_table)
+
+let () =
+  Alcotest.run "graph"
+    [
+      ( "spec",
+        [
+          Alcotest.test_case "port counts" `Quick test_port_counts;
+          Alcotest.test_case "processing codes" `Quick test_processing_codes;
+          Alcotest.test_case "flow codes" `Quick test_flow_codes;
+        ] );
+      ( "router",
+        [
+          Alcotest.test_case "basics" `Quick test_graph_basics;
+          Alcotest.test_case "add/remove" `Quick test_add_remove;
+          Alcotest.test_case "fresh names" `Quick test_fresh_name;
+          Alcotest.test_case "duplicate rejected" `Quick
+            test_duplicate_name_rejected;
+          Alcotest.test_case "copy" `Quick test_copy_independent;
+          Alcotest.test_case "archive round trip" `Quick test_to_string_archive;
+          Alcotest.test_case "compound rejected" `Quick
+            test_of_ast_rejects_compound;
+          Alcotest.test_case "requirements" `Quick test_requirements_preserved;
+        ] );
+      ( "resolution",
+        [
+          Alcotest.test_case "simple" `Quick test_resolution_simple;
+          Alcotest.test_case "conflict" `Quick test_resolution_conflict;
+          Alcotest.test_case "agnostic default" `Quick
+            test_resolution_agnostic_chain_defaults_push;
+        ] );
+      ( "check",
+        [
+          Alcotest.test_case "ok" `Quick test_check_ok;
+          Alcotest.test_case "unknown class" `Quick test_check_unknown_class;
+          Alcotest.test_case "port count" `Quick test_check_port_count;
+          Alcotest.test_case "unconnected gap" `Quick
+            test_check_unconnected_gap;
+          Alcotest.test_case "double push" `Quick
+            test_check_push_double_connection;
+          Alcotest.test_case "IP router vs registry" `Quick
+            test_check_registry_ip_router;
+        ] );
+    ]

@@ -1,0 +1,375 @@
+(* Tests for the simulated hardware: event engine, PCI bus, BTB, NIC
+   model, cost model, and testbed-level invariants. *)
+
+module Engine = Oclick_hw.Engine
+module Pci = Oclick_hw.Pci
+module Btb = Oclick_hw.Btb
+module Cost_model = Oclick_hw.Cost_model
+module Platform = Oclick_hw.Platform
+module Nic = Oclick_hw.Nic
+module Testbed = Oclick_hw.Testbed
+module Hooks = Oclick_runtime.Hooks
+module Packet = Oclick_packet.Packet
+
+let () = Oclick_elements.register_all ()
+let check = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* --- engine ------------------------------------------------------------- *)
+
+let test_engine_ordering () =
+  let e = Engine.create () in
+  let log = ref [] in
+  Engine.schedule e ~at:30 (fun () -> log := 3 :: !log);
+  Engine.schedule e ~at:10 (fun () -> log := 1 :: !log);
+  Engine.schedule e ~at:20 (fun () -> log := 2 :: !log);
+  Engine.run_until e 100;
+  Alcotest.(check (list int)) "time order" [ 1; 2; 3 ] (List.rev !log);
+  check "clock at horizon" 100 (Engine.now e)
+
+let test_engine_ties_stable () =
+  let e = Engine.create () in
+  let log = ref [] in
+  for i = 1 to 5 do
+    Engine.schedule e ~at:7 (fun () -> log := i :: !log)
+  done;
+  Engine.run_until e 7;
+  Alcotest.(check (list int)) "fifo ties" [ 1; 2; 3; 4; 5 ] (List.rev !log)
+
+let test_engine_horizon () =
+  let e = Engine.create () in
+  let fired = ref false in
+  Engine.schedule e ~at:50 (fun () -> fired := true);
+  Engine.run_until e 49;
+  check_bool "not yet" false !fired;
+  check "pending" 1 (Engine.pending e);
+  Engine.run_until e 50;
+  check_bool "fired" true !fired
+
+let test_engine_cascade () =
+  let e = Engine.create () in
+  let count = ref 0 in
+  let rec chain n =
+    if n > 0 then
+      Engine.schedule_after e ~delay:1 (fun () ->
+          incr count;
+          chain (n - 1))
+  in
+  chain 10;
+  Engine.run_until e 100;
+  check "cascaded events" 10 !count
+
+(* --- pci ------------------------------------------------------------------ *)
+
+let test_pci_serializes () =
+  let e = Engine.create () in
+  let bus = Pci.create e ~bytes_per_sec:100_000_000 ~overhead_ns:100 () in
+  let finished = ref [] in
+  (* two transactions of 100 bytes each: 100ns overhead + 1000ns data *)
+  Pci.request bus ~requester:0 ~bytes:100 (fun () -> finished := Engine.now e :: !finished);
+  Pci.request bus ~requester:0 ~bytes:100 (fun () -> finished := Engine.now e :: !finished);
+  Engine.run_until e 10_000;
+  Alcotest.(check (list int)) "serialized" [ 1100; 2200 ] (List.rev !finished);
+  check "busy time" 2200 (Pci.busy_ns bus);
+  check "bytes" 200 (Pci.bytes_moved bus);
+  check "transactions" 2 (Pci.transactions bus)
+
+(* --- btb ------------------------------------------------------------------- *)
+
+let test_btb_prediction () =
+  let b = Btb.create () in
+  check_bool "cold miss" false (Btb.access b ~site:("x", 0, false) ~target:1);
+  check_bool "warm hit" true (Btb.access b ~site:("x", 0, false) ~target:1);
+  check_bool "retarget miss" false (Btb.access b ~site:("x", 0, false) ~target:2);
+  check_bool "other site independent" false
+    (Btb.access b ~site:("y", 0, false) ~target:2);
+  check "mispredictions" 3 (Btb.mispredictions b);
+  check "lookups" 4 (Btb.lookups b)
+
+let test_btb_alternation () =
+  (* The paper's Figure 2: alternating targets through one call site
+     always mispredict. *)
+  let b = Btb.create () in
+  Btb.reset_counters b;
+  for _ = 1 to 10 do
+    ignore (Btb.access b ~site:("ARPQuerier", 0, false) ~target:1);
+    ignore (Btb.access b ~site:("ARPQuerier", 0, false) ~target:2)
+  done;
+  check "every call mispredicts" 20 (Btb.mispredictions b)
+
+(* --- cost model ---------------------------------------------------------------- *)
+
+let test_cost_model_transfer_kinds () =
+  let cm = Cost_model.create () in
+  let tr direct target =
+    {
+      Hooks.tr_src_idx = 0;
+      tr_src_class = "Queue";
+      tr_src_port = 0;
+      tr_dst_idx = target;
+      tr_dst_class = "Counter";
+      tr_direct = direct;
+      tr_pull = false;
+    }
+  in
+  let cold = Cost_model.transfer_cycles cm (tr false 1) in
+  let warm = Cost_model.transfer_cycles cm (tr false 1) in
+  let direct = Cost_model.transfer_cycles cm (tr true 1) in
+  check_bool "mispredicted is dozens of cycles" true (cold >= 30);
+  check "predicted is ~7 cycles" 7 warm;
+  check_bool "direct call cheapest" true (direct < warm)
+
+let test_cost_model_simple_action_shared_site () =
+  let cm = Cost_model.create () in
+  let tr cls target =
+    {
+      Hooks.tr_src_idx = 0;
+      tr_src_class = cls;
+      tr_src_port = 0;
+      tr_dst_idx = target;
+      tr_dst_class = "Counter";
+      tr_direct = false;
+      tr_pull = false;
+    }
+  in
+  ignore (Cost_model.transfer_cycles cm (tr "Paint" 1));
+  (* a different simple_action class retargets the shared site *)
+  let second = Cost_model.transfer_cycles cm (tr "Strip" 2) in
+  check_bool "shared site mispredicts" true (second >= 30);
+  (* non-simple-action classes have their own sites *)
+  ignore (Cost_model.transfer_cycles cm (tr "Queue" 3));
+  let own = Cost_model.transfer_cycles cm (tr "Queue" 3) in
+  check "own site predicts" 7 own
+
+let test_cost_model_devirtualized_class_names () =
+  let cm = Cost_model.create () in
+  check "devirtualized costs like the original"
+    (Cost_model.element_cycles cm ~cls:"Counter")
+    (Cost_model.element_cycles cm ~cls:"Devirtualize@@Counter@@3");
+  check "fastclassifier generated"
+    (Cost_model.element_cycles cm ~cls:"FastClassifier")
+    (Cost_model.element_cycles cm ~cls:"FastClassifier@@c0")
+
+let test_cost_model_icache_pressure () =
+  let cm = Cost_model.create ~l1i_bytes:2000 () in
+  let before = Cost_model.element_cycles cm ~cls:"Counter" in
+  (* Load many distinct specialized classes: the footprint overflows L1i
+     and per-entry cost rises (the paper's devirtualization caveat). *)
+  for i = 1 to 40 do
+    Cost_model.note_code_class cm (Printf.sprintf "Devirtualize@@Counter@@%d" i)
+  done;
+  let after = Cost_model.element_cycles cm ~cls:"Counter" in
+  check_bool "pressure costs cycles" true (after > before);
+  check_bool "footprint grows" true (Cost_model.code_footprint_bytes cm > 2000)
+
+let test_platform_wire_rate () =
+  (* 64-byte frames on 100 Mbit Ethernet: 148,800 per second (§8.1). *)
+  let ns = Platform.wire_ns_per_frame Platform.p0 ~frame_bytes:60 in
+  let pps = 1_000_000_000 / ns in
+  check_bool "~148.8k pps" true (pps > 147_000 && pps < 149_500)
+
+(* --- nic ------------------------------------------------------------------------ *)
+
+let nic_rig ?(rx_ring = 4) ?(fifo_bytes = 256) () =
+  let e = Engine.create () in
+  let bus = Pci.create e ~bytes_per_sec:133_000_000 ~overhead_ns:100 () in
+  let delivered = ref [] in
+  let nic =
+    new Nic.tulip ~engine:e ~pci:bus ~platform:Platform.p0 ~name:"eth0"
+      ~rx_ring ~tx_ring:4 ~fifo_bytes
+      ~deliver:(fun p -> delivered := p :: !delivered)
+      ~on_cpu_rx:(fun () -> ())
+      ~on_cpu_tx:(fun () -> ())
+      ()
+  in
+  (e, nic, delivered)
+
+let frame () = Packet.create 60
+
+let test_nic_rx_path () =
+  let e, nic, _ = nic_rig () in
+  nic#wire_arrive (frame ());
+  Engine.run_until e 100_000;
+  check "dma'd to ring" 1 nic#outcomes.Nic.o_rx_dma;
+  check_bool "cpu can take it" true (nic#rx () <> None);
+  check_bool "ring now empty" true (nic#rx () = None)
+
+let test_nic_missed_frames () =
+  let e, nic, _ = nic_rig ~rx_ring:2 () in
+  (* fill the ring; the CPU never drains it *)
+  for _ = 1 to 6 do
+    nic#wire_arrive (frame ())
+  done;
+  Engine.run_until e 1_000_000;
+  check "ring filled" 2 nic#outcomes.Nic.o_rx_dma;
+  check_bool "missed frames counted" true
+    (nic#outcomes.Nic.o_missed_frame >= 1)
+
+let test_nic_fifo_overflow () =
+  let e, nic, _ = nic_rig ~rx_ring:1 ~fifo_bytes:128 () in
+  (* burst faster than the FIFO can drain: 128 bytes hold only 2 frames *)
+  for _ = 1 to 10 do
+    nic#wire_arrive (frame ())
+  done;
+  check_bool "overflow before any pci" true
+    (nic#outcomes.Nic.o_fifo_overflow >= 7);
+  Engine.run_until e 1_000_000;
+  check "offered" 10 nic#outcomes.Nic.o_wire_rx
+
+let test_nic_tx_path () =
+  let e, nic, delivered = nic_rig () in
+  check_bool "accepts" true (nic#tx (frame ()));
+  check_bool "accepts more" true (nic#tx (frame ()));
+  Engine.run_until e 100_000;
+  check "transmitted" 2 (List.length !delivered);
+  check "sent outcome" 2 nic#outcomes.Nic.o_tx_sent
+
+let test_nic_tx_ring_full () =
+  let e, nic, _ = nic_rig () in
+  (* tx_ring = 4: the fifth immediate tx is refused *)
+  let accepted = ref 0 in
+  for _ = 1 to 5 do
+    if nic#tx (frame ()) then incr accepted
+  done;
+  check "ring bound" 4 !accepted;
+  check_bool "not ready" false nic#tx_ready;
+  Engine.run_until e 1_000_000;
+  check_bool "ready after drain" true nic#tx_ready
+
+(* --- testbed -------------------------------------------------------------------- *)
+
+let base_graph () =
+  Oclick.Ip_router.graph
+    (Oclick.Ip_router.config (Oclick.Ip_router.standard_interfaces 8))
+
+let test_testbed_forwards_at_low_rate () =
+  match
+    Testbed.run ~duration_ms:20 ~warmup_ms:10 ~platform:Platform.p0
+      ~graph:(base_graph ()) ~input_pps:50_000 ()
+  with
+  | Error e -> Alcotest.failf "testbed: %s" e
+  | Ok r ->
+      check_bool "no loss at 50k" true
+        (r.Testbed.r_forwarded_pps >= 0.99 *. r.Testbed.r_offered_pps);
+      check_bool "four misses per packet" true
+        (abs_float (r.Testbed.r_cache_misses -. 4.0) < 0.3);
+      check_bool "breakdown sums" true
+        (abs_float
+           (r.Testbed.r_receive_ns +. r.Testbed.r_forward_ns
+           +. r.Testbed.r_transmit_ns -. r.Testbed.r_total_ns)
+        < 1.0)
+
+let test_testbed_base_is_cpu_limited () =
+  match
+    Testbed.run ~duration_ms:30 ~warmup_ms:15 ~platform:Platform.p0
+      ~graph:(base_graph ()) ~input_pps:560_000 ()
+  with
+  | Error e -> Alcotest.failf "testbed: %s" e
+  | Ok r ->
+      check_bool "saturated" true (r.Testbed.r_cpu_utilization > 0.97);
+      check_bool "drops are missed frames" true
+        (r.Testbed.r_outcomes.Testbed.oc_missed_frame
+         > 10 * r.Testbed.r_outcomes.Testbed.oc_fifo_overflow);
+      check_bool "forwards around 340k" true
+        (r.Testbed.r_forwarded_pps > 300_000.
+        && r.Testbed.r_forwarded_pps < 380_000.)
+
+let test_testbed_simple_is_io_limited () =
+  let simple =
+    Oclick.Ip_router.graph
+      (Oclick.Ip_router.simple_config
+         [ ("eth0", "eth4"); ("eth1", "eth5"); ("eth2", "eth6"); ("eth3", "eth7") ])
+  in
+  match
+    Testbed.run ~duration_ms:30 ~warmup_ms:15 ~platform:Platform.p0
+      ~graph:simple ~input_pps:560_000 ()
+  with
+  | Error e -> Alcotest.failf "testbed: %s" e
+  | Ok r ->
+      check_bool "cpu not saturated" true (r.Testbed.r_cpu_utilization < 0.95);
+      check_bool "drops happen at the card, not as missed frames" true
+        (r.Testbed.r_outcomes.Testbed.oc_fifo_overflow
+         > 10 * (1 + r.Testbed.r_outcomes.Testbed.oc_missed_frame));
+      check_bool "pci saturated" true (r.Testbed.r_pci_utilization > 0.95)
+
+let test_testbed_optimized_beats_base () =
+  let base = base_graph () in
+  let all = Oclick.Pipeline.optimize Oclick.Pipeline.All (base_graph ()) in
+  let run g =
+    match
+      Testbed.run ~duration_ms:20 ~warmup_ms:10 ~platform:Platform.p0 ~graph:g
+        ~input_pps:300_000 ()
+    with
+    | Ok r -> r
+    | Error e -> Alcotest.failf "testbed: %s" e
+  in
+  let rb = run base and ra = run all in
+  check_bool "optimized forwarding path is faster" true
+    (ra.Testbed.r_forward_ns < rb.Testbed.r_forward_ns);
+  check_bool "receive/transmit costs unchanged" true
+    (abs_float (ra.Testbed.r_receive_ns -. rb.Testbed.r_receive_ns) < 30.
+    && abs_float (ra.Testbed.r_transmit_ns -. rb.Testbed.r_transmit_ns) < 30.)
+
+let test_mlffr_monotone_in_optimization () =
+  let base = base_graph () in
+  let all = Oclick.Pipeline.optimize Oclick.Pipeline.All (base_graph ()) in
+  let m g =
+    match Testbed.mlffr ~platform:Platform.p0 ~graph:g () with
+    | Ok v -> v
+    | Error e -> Alcotest.failf "mlffr: %s" e
+  in
+  let mb = m base and ma = m all in
+  check_bool "optimization raises MLFFR" true (ma > mb);
+  check_bool "base near 340k" true (mb > 310_000 && mb < 380_000);
+  check_bool "all near 440k" true (ma > 400_000 && ma < 480_000)
+
+let () =
+  Alcotest.run "hw"
+    [
+      ( "engine",
+        [
+          Alcotest.test_case "ordering" `Quick test_engine_ordering;
+          Alcotest.test_case "stable ties" `Quick test_engine_ties_stable;
+          Alcotest.test_case "horizon" `Quick test_engine_horizon;
+          Alcotest.test_case "cascade" `Quick test_engine_cascade;
+        ] );
+      ("pci", [ Alcotest.test_case "serializes" `Quick test_pci_serializes ]);
+      ( "btb",
+        [
+          Alcotest.test_case "prediction" `Quick test_btb_prediction;
+          Alcotest.test_case "alternation" `Quick test_btb_alternation;
+        ] );
+      ( "cost-model",
+        [
+          Alcotest.test_case "transfer kinds" `Quick
+            test_cost_model_transfer_kinds;
+          Alcotest.test_case "simple_action site" `Quick
+            test_cost_model_simple_action_shared_site;
+          Alcotest.test_case "generated classes" `Quick
+            test_cost_model_devirtualized_class_names;
+          Alcotest.test_case "icache pressure" `Quick
+            test_cost_model_icache_pressure;
+          Alcotest.test_case "wire rate" `Quick test_platform_wire_rate;
+        ] );
+      ( "nic",
+        [
+          Alcotest.test_case "rx path" `Quick test_nic_rx_path;
+          Alcotest.test_case "missed frames" `Quick test_nic_missed_frames;
+          Alcotest.test_case "fifo overflow" `Quick test_nic_fifo_overflow;
+          Alcotest.test_case "tx path" `Quick test_nic_tx_path;
+          Alcotest.test_case "tx ring full" `Quick test_nic_tx_ring_full;
+        ] );
+      ( "testbed",
+        [
+          Alcotest.test_case "low rate lossless" `Slow
+            test_testbed_forwards_at_low_rate;
+          Alcotest.test_case "base cpu limited" `Slow
+            test_testbed_base_is_cpu_limited;
+          Alcotest.test_case "simple io limited" `Slow
+            test_testbed_simple_is_io_limited;
+          Alcotest.test_case "optimized beats base" `Slow
+            test_testbed_optimized_beats_base;
+          Alcotest.test_case "mlffr ordering" `Slow
+            test_mlffr_monotone_in_optimization;
+        ] );
+    ]

@@ -1,0 +1,214 @@
+(* End-to-end behavioural equivalence: the optimizers must not change what
+   the router does to packets — only what it costs. The same traffic is
+   pushed through every optimization variant of the Figure 1 router and
+   the forwarded frames are compared byte for byte. *)
+
+module Packet = Oclick_packet.Packet
+module Headers = Oclick_packet.Headers
+module Ipaddr = Oclick_packet.Ipaddr
+module Ethaddr = Oclick_packet.Ethaddr
+module Router = Oclick_graph.Router
+module Driver = Oclick_runtime.Driver
+module Netdevice = Oclick_runtime.Netdevice
+
+let () = Oclick_elements.register_all ()
+let check = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let interfaces = Oclick.Ip_router.standard_interfaces 2
+let base_config = Oclick.Ip_router.config interfaces
+let base_graph () = Oclick.Ip_router.graph base_config
+
+let hosts_and_links () =
+  let hosts =
+    List.mapi
+      (fun i (itf : Oclick.Ip_router.interface) ->
+        let eth =
+          Ethaddr.of_string_exn (Printf.sprintf "00:00:c0:bb:%02x:02" i)
+        in
+        ( Printf.sprintf "host%d" i,
+          Oclick.Ip_router.graph
+            (Oclick.Ip_router.host_config ~ip:(itf.if_net + 2) ~eth) ))
+      interfaces
+  in
+  let links =
+    List.concat
+      (List.mapi
+         (fun i (itf : Oclick.Ip_router.interface) ->
+           let h = Printf.sprintf "host%d" i in
+           [
+             {
+               Oclick_optim.Combine.lk_from_router = "router";
+               lk_from_device = itf.if_device;
+               lk_to_router = h;
+               lk_to_device = "eth0";
+             };
+             {
+               Oclick_optim.Combine.lk_from_router = h;
+               lk_from_device = "eth0";
+               lk_to_router = "router";
+               lk_to_device = itf.if_device;
+             };
+           ])
+         interfaces)
+  in
+  (hosts, links)
+
+(* A deterministic little traffic mix. *)
+let traffic () =
+  let udp ?(ttl = 64) ?(payload = 14) dst =
+    Headers.Build.udp
+      ~src_eth:(Ethaddr.of_string_exn "00:00:c0:aa:00:02")
+      ~dst_eth:(Ethaddr.of_string_exn "00:00:c0:00:00:01")
+      ~src_ip:(Ipaddr.of_octets 10 0 0 2)
+      ~dst_ip:(Ipaddr.of_string_exn dst) ~ttl ~payload_len:payload ()
+  in
+  [
+    udp "10.0.1.2";
+    udp ~ttl:1 "10.0.1.2" (* generates an ICMP time exceeded *);
+    udp "10.0.1.77";
+    udp ~payload:100 "10.0.1.2";
+    udp "99.99.99.99" (* no route: dropped *);
+  ]
+
+(* Run a variant: warm the ARP cache (so held-packet displacement during
+   cold resolution does not make ARP-ful and ARP-less variants differ),
+   then inject the traffic on eth0, answer ARP queries like the attached
+   hosts would, and collect everything both devices emit. *)
+let run_variant graph =
+  let dev0 = new Netdevice.queue_device "eth0" () in
+  let dev1 = new Netdevice.queue_device "eth1" () in
+  let driver =
+    match
+      Driver.instantiate
+        ~devices:[ (dev0 :> Netdevice.t); (dev1 :> Netdevice.t) ]
+        graph
+    with
+    | Ok d -> d
+    | Error e -> Alcotest.failf "instantiate: %s" e
+  in
+  let collected0 = ref [] and collected1 = ref [] in
+  let host_eth = function
+    | 0 -> Ethaddr.of_string_exn "00:00:c0:bb:00:02"
+    | _ -> Ethaddr.of_string_exn "00:00:c0:bb:01:02"
+  in
+  let service ~collect =
+    for _ = 1 to 60 do
+      Driver.run driver ~rounds:5;
+      List.iteri
+        (fun i (dev : Netdevice.queue_device) ->
+          let rec drain () =
+            match dev#collect with
+            | None -> ()
+            | Some f ->
+                if
+                  Headers.Ether.ethertype f = Headers.Ether.ethertype_arp
+                  && Headers.Arp.op ~off:14 f = Headers.Arp.op_request
+                then
+                  dev#inject
+                    (Headers.Build.arp_reply ~src_eth:(host_eth i)
+                       ~src_ip:(Headers.Arp.target_ip ~off:14 f)
+                       ~dst_eth:(Headers.Arp.sender_eth ~off:14 f)
+                       ~dst_ip:(Headers.Arp.sender_ip ~off:14 f))
+                else if collect then begin
+                  let acc = if i = 0 then collected0 else collected1 in
+                  acc := Packet.to_string f :: !acc
+                end;
+                drain ()
+          in
+          drain ())
+        [ dev0; dev1 ]
+    done
+  in
+  (* Warmup: resolve every destination (including the ICMP return path
+     via a TTL-1 packet) and discard the output. *)
+  List.iter (fun p -> dev0#inject (Packet.clone p)) (traffic ());
+  service ~collect:false;
+  (* Measured phase. *)
+  List.iter (fun p -> dev0#inject (Packet.clone p)) (traffic ());
+  service ~collect:true;
+  (List.rev !collected0, List.rev !collected1)
+
+let normalize frames = List.sort compare frames
+
+let test_variant_equivalence () =
+  let hosts, links = hosts_and_links () in
+  let base0, base1 = run_variant (base_graph ()) in
+  check_bool "base forwarded something" true (List.length base1 >= 3);
+  check_bool "base sent an ICMP error back" true (List.length base0 >= 1);
+  let variants =
+    [
+      ("XF", Oclick.Pipeline.transform (base_graph ()));
+      ("FC", Oclick.Pipeline.fastclassify (base_graph ()));
+      ("DV", Oclick.Pipeline.devirtualize (base_graph ()));
+      ("All", Oclick.Pipeline.optimize Oclick.Pipeline.All (base_graph ()));
+      ( "MR",
+        Oclick.Pipeline.optimize ~hosts ~links Oclick.Pipeline.Mr
+          (base_graph ()) );
+      ( "MR+All",
+        Oclick.Pipeline.optimize ~hosts ~links Oclick.Pipeline.Mr_all
+          (base_graph ()) );
+    ]
+  in
+  List.iter
+    (fun (name, graph) ->
+      let v0, v1 = run_variant graph in
+      Alcotest.(check (list string))
+        (name ^ " emits identical frames on eth1")
+        (normalize base1) (normalize v1);
+      Alcotest.(check (list string))
+        (name ^ " emits identical frames on eth0")
+        (normalize base0) (normalize v0))
+    variants
+
+let test_optimized_router_element_budget () =
+  (* Paper Figs. 5/6: ten general-purpose elements on the forwarding path
+     become three. Whole-router: 22 elements per interface side shrink
+     by 7 per interface under click-xform. *)
+  let base = base_graph () in
+  let xf = Oclick.Pipeline.transform (base_graph ()) in
+  check "seven elements saved per interface"
+    (Router.size base - 14)
+    (Router.size xf)
+
+let test_pipeline_composition_order () =
+  (* Tools compose like Unix filters; All = XF | FC | DV. *)
+  let by_steps =
+    Oclick.Pipeline.devirtualize
+      (Oclick.Pipeline.fastclassify (Oclick.Pipeline.transform (base_graph ())))
+  in
+  let by_all = Oclick.Pipeline.optimize Oclick.Pipeline.All (base_graph ()) in
+  Alcotest.(check (list string))
+    "same classes"
+    (List.sort compare (List.map (Router.class_of by_steps) (Router.indices by_steps)))
+    (List.sort compare (List.map (Router.class_of by_all) (Router.indices by_all)))
+
+let test_all_variants_check_clean () =
+  let hosts, links = hosts_and_links () in
+  List.iter
+    (fun v ->
+      let g = Oclick.Pipeline.optimize ~hosts ~links v (base_graph ()) in
+      Alcotest.(check (list string))
+        (Oclick.Pipeline.variant_name v ^ " checks clean")
+        []
+        (Oclick_graph.Check.check g Oclick_runtime.Registry.spec_table))
+    Oclick.Pipeline.variants
+
+let () =
+  Alcotest.run "integration"
+    [
+      ( "equivalence",
+        [
+          Alcotest.test_case "all variants forward identically" `Slow
+            test_variant_equivalence;
+        ] );
+      ( "structure",
+        [
+          Alcotest.test_case "element budget" `Quick
+            test_optimized_router_element_budget;
+          Alcotest.test_case "pipeline composition" `Quick
+            test_pipeline_composition_order;
+          Alcotest.test_case "variants check clean" `Quick
+            test_all_variants_check_clean;
+        ] );
+    ]

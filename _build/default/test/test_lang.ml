@@ -1,0 +1,480 @@
+(* Tests for the Click configuration language: lexer, parser, printer,
+   argument handling, compound-element flattening, archives. *)
+
+module Ast = Oclick_lang.Ast
+module Parser = Oclick_lang.Parser
+module Printer = Oclick_lang.Printer
+module Flatten = Oclick_lang.Flatten
+module Args = Oclick_lang.Args
+module Archive = Oclick_lang.Archive
+
+let parse_ok src =
+  match Parser.parse src with
+  | Ok t -> t
+  | Error e -> Alcotest.failf "parse failed: %s" e
+
+let parse_err src =
+  match Parser.parse src with
+  | Ok _ -> Alcotest.failf "expected parse error for %S" src
+  | Error e -> e
+
+let check = Alcotest.(check int)
+let check_str = Alcotest.(check string)
+let check_bool = Alcotest.(check bool)
+
+(* --- parsing ------------------------------------------------------------ *)
+
+let test_declaration () =
+  let t = parse_ok "q :: Queue(64);" in
+  check "one element" 1 (List.length t.Ast.elements);
+  let e = List.hd t.Ast.elements in
+  check_str "name" "q" e.Ast.e_name;
+  check_str "class" "Queue" (Ast.class_name e.Ast.e_class);
+  check_str "config" "64" e.Ast.e_config
+
+let test_multi_declaration () =
+  let t = parse_ok "a, b, c :: Counter;" in
+  check "three elements" 3 (List.length t.Ast.elements);
+  check_bool "names" true
+    (Ast.element_names t = [ "a"; "b"; "c" ])
+
+let test_connection_ports () =
+  let t = parse_ok "a :: Tee(2); b :: Counter; c :: Counter; a [1] -> b; a -> [0] c;" in
+  match t.Ast.connections with
+  | [ c1; c2 ] ->
+      check "c1 from port" 1 c1.Ast.c_from_port;
+      check_str "c1 to" "b" c1.Ast.c_to;
+      check "c2 from port" 0 c2.Ast.c_from_port;
+      check_str "c2 to" "c" c2.Ast.c_to
+  | l -> Alcotest.failf "expected 2 connections, got %d" (List.length l)
+
+let test_chain_with_inline () =
+  let t = parse_ok "Idle -> Queue(8) -> Discard;" in
+  check "three anonymous" 3 (List.length t.Ast.elements);
+  check "two connections" 2 (List.length t.Ast.connections);
+  check_bool "queue has config" true
+    (List.exists
+       (fun (e : Ast.element) ->
+         Ast.class_name e.e_class = "Queue" && e.e_config = "8")
+       t.Ast.elements)
+
+let test_inline_declaration_in_chain () =
+  let t = parse_ok "src :: Idle -> mid :: Counter -> Discard;" in
+  check_bool "mid declared" true (Ast.find_element t "mid" <> None);
+  check "connections" 2 (List.length t.Ast.connections)
+
+let test_config_with_commas_and_parens () =
+  let t = parse_ok {|c :: Classifier(12/0806 20/0001, 12/0800, -);|} in
+  let e = Option.get (Ast.find_element t "c") in
+  check "args" 3 (List.length (Args.split e.Ast.e_config))
+
+let test_config_with_quotes () =
+  let t = parse_ok {|p :: Print("hello, world (really)");|} in
+  let e = Option.get (Ast.find_element t "p") in
+  check_str "quoted config" {|"hello, world (really)"|} e.Ast.e_config
+
+let test_comments () =
+  let t =
+    parse_ok
+      "// line comment\n/* block\ncomment */ q :: Queue; # hash comment\n"
+  in
+  check "one element" 1 (List.length t.Ast.elements)
+
+let test_elementclass_parsed () =
+  let t =
+    parse_ok
+      "elementclass Pair { input -> Counter -> output; } p :: Pair;"
+  in
+  check "one class" 1 (List.length t.Ast.classes);
+  check_bool "class name" true (List.mem_assoc "Pair" t.Ast.classes)
+
+let test_requirements () =
+  let t = parse_ok "require(fastclassifier);\nq :: Queue;" in
+  check_bool "requirement" true (t.Ast.requirements = [ "fastclassifier" ])
+
+let test_parse_errors () =
+  let has_line e = String.length e > 0 && String.contains e ':' in
+  check_bool "redeclaration" true (has_line (parse_err "a :: Queue; a :: Tee;"));
+  check_bool "missing semicolon between stmts keeps going or errors" true
+    (has_line (parse_err "a :: ;"));
+  check_bool "unterminated config" true (has_line (parse_err "a :: Queue(64"));
+  check_bool "dangling arrow" true (has_line (parse_err "a :: Queue; a ->"));
+  check_bool "input outside compound" true
+    (has_line (parse_err "input -> Discard;"));
+  check_bool "bad port" true (has_line (parse_err "a :: Tee; a [x] -> a;"));
+  check_bool "unterminated comment" true (has_line (parse_err "/* foo"))
+
+let test_pseudo_only_in_compound () =
+  let t = parse_ok "elementclass F { input -> output; } f :: F;" in
+  check "no top-level elements besides f" 1 (List.length t.Ast.elements)
+
+(* --- printer round trip --------------------------------------------------- *)
+
+let roundtrip src =
+  let t = parse_ok src in
+  let printed = Printer.to_string t in
+  let t2 = parse_ok printed in
+  check_str "round trip is a fixpoint" printed (Printer.to_string t2)
+
+let test_roundtrip_simple () = roundtrip "a :: Queue(64); Idle -> a -> Discard;"
+
+let test_roundtrip_ip_router () =
+  roundtrip (Oclick.Ip_router.config (Oclick.Ip_router.standard_interfaces 4))
+
+let test_roundtrip_compound () =
+  roundtrip
+    "elementclass G { $a | input -> Strip($a) -> output; } g :: G(14); \
+     Idle -> g -> Discard;"
+
+let test_html () =
+  let t = parse_ok "a :: Queue(64); Idle -> a -> Discard;" in
+  let html = Printer.html_of_config t in
+  check_bool "mentions element" true
+    (String.length html > 0
+    && (let re = "Queue" in
+        let rec find i =
+          i + String.length re <= String.length html
+          && (String.sub html i (String.length re) = re || find (i + 1))
+        in
+        find 0))
+
+(* --- argument handling ----------------------------------------------------- *)
+
+let test_args_split () =
+  Alcotest.(check (list string))
+    "basic" [ "a"; "b"; "c" ]
+    (Args.split "a, b, c");
+  Alcotest.(check (list string)) "empty" [] (Args.split "   ");
+  Alcotest.(check (list string))
+    "nested parens" [ "f(1, 2)"; "g" ]
+    (Args.split "f(1, 2), g");
+  Alcotest.(check (list string))
+    "quoted comma" [ {|"a, b"|}; "c" ]
+    (Args.split {|"a, b", c|});
+  Alcotest.(check (list string))
+    "brackets" [ "x[1, 2]"; "y" ]
+    (Args.split "x[1, 2], y");
+  Alcotest.(check (list string))
+    "trailing empty arg" [ "a"; "" ] (Args.split "a, ")
+
+let test_args_unsplit () =
+  check_str "inverse" "a, b" (Args.unsplit (Args.split "a,   b"))
+
+let test_args_substitute () =
+  let bindings = [ ("$ip", "10.0.0.1"); ("$n", "7") ] in
+  check_str "plain" "10.0.0.1 x 7" (Args.substitute bindings "$ip x $n");
+  check_str "braced" "10.0.0.17" (Args.substitute bindings "${ip}7");
+  check_str "word boundary" "$ipx" (Args.substitute bindings "$ipx");
+  check_str "unknown kept" "$zz" (Args.substitute bindings "$zz");
+  check_str "dollar alone" "$" (Args.substitute bindings "$")
+
+let test_args_keyword () =
+  check_bool "keyword" true (Args.keyword "LIMIT 5" = Some ("LIMIT", "5"));
+  check_bool "bare keyword" true (Args.keyword "ACTIVE" = Some ("ACTIVE", ""));
+  check_bool "not keyword" true (Args.keyword "limit 5" = None);
+  check_bool "number" true (Args.keyword "64" = None)
+
+(* --- flattening -------------------------------------------------------------- *)
+
+let flatten_ok src =
+  match Flatten.flatten (parse_ok src) with
+  | Ok t -> t
+  | Error e -> Alcotest.failf "flatten failed: %s" e
+
+let test_flatten_simple () =
+  let t =
+    flatten_ok
+      "elementclass P { input -> c :: Counter -> output; } p :: P; Idle -> \
+       p -> Discard;"
+  in
+  check_bool "no classes left" true (t.Ast.classes = []);
+  check_bool "renamed member" true (Ast.find_element t "p/c" <> None);
+  check "connections" 2 (List.length t.Ast.connections)
+
+let test_flatten_params () =
+  let t =
+    flatten_ok
+      "elementclass S { $n | input -> s :: Strip($n) -> output; } x :: \
+       S(14); Idle -> x -> Discard;"
+  in
+  let e = Option.get (Ast.find_element t "x/s") in
+  check_str "substituted" "14" e.Ast.e_config
+
+let test_flatten_default_param () =
+  let t =
+    flatten_ok
+      "elementclass S { $n | input -> s :: CheckIPHeader($n) -> output; } \
+       x :: S; Idle -> x -> Discard;"
+  in
+  let e = Option.get (Ast.find_element t "x/s") in
+  check_str "empty default" "" e.Ast.e_config
+
+let test_flatten_nested () =
+  let t =
+    flatten_ok
+      "elementclass A { input -> Counter -> output; } elementclass B { \
+       input -> a :: A -> output; } b :: B; Idle -> b -> Discard;"
+  in
+  check_bool "deep rename" true
+    (List.exists
+       (fun (e : Ast.element) ->
+         String.length e.e_name > 4 && String.sub e.e_name 0 4 = "b/a/")
+       t.Ast.elements)
+
+let test_flatten_multiport () =
+  let t =
+    flatten_ok
+      "elementclass Two { input [0] -> t0 :: Counter -> [0] output; input \
+       [1] -> t1 :: Counter -> [1] output; } w :: Two; i0 :: Idle; i1 :: \
+       Idle; i0 -> w; i1 -> [1] w; w -> Discard; w [1] -> Discard;"
+  in
+  (* i0 -> w/t0, i1 -> w/t1 *)
+  check_bool "port 0 splice" true
+    (List.exists
+       (fun (c : Ast.connection) -> c.c_from = "i0" && c.c_to = "w/t0")
+       t.Ast.connections);
+  check_bool "port 1 splice" true
+    (List.exists
+       (fun (c : Ast.connection) -> c.c_from = "i1" && c.c_to = "w/t1")
+       t.Ast.connections)
+
+let test_flatten_passthrough () =
+  let t =
+    flatten_ok
+      "elementclass Wire { input -> output; } w :: Wire; a :: Idle; a -> w \
+       -> Discard;"
+  in
+  check_bool "direct splice" true
+    (List.exists
+       (fun (c : Ast.connection) ->
+         c.c_from = "a" && String.length c.c_to >= 7
+         && String.sub c.c_to 0 7 = "Discard")
+       t.Ast.connections)
+
+let test_flatten_recursive_error () =
+  match
+    Flatten.flatten
+      (parse_ok "elementclass R { input -> r :: R -> output; } x :: R; Idle -> x -> Discard;")
+  with
+  | Ok _ -> Alcotest.fail "recursive class must fail"
+  | Error _ -> ()
+
+let test_flatten_bad_port () =
+  match
+    Flatten.flatten
+      (parse_ok
+         "elementclass O { input -> output; } o :: O; Idle -> o; o -> \
+          Discard; o [1] -> Discard;")
+  with
+  | Ok _ -> Alcotest.fail "unknown compound port must fail"
+  | Error _ -> ()
+
+let test_flatten_too_many_args () =
+  match
+    Flatten.flatten
+      (parse_ok
+         "elementclass S { $n | input -> Strip($n) -> output; } s :: S(1, \
+          2); Idle -> s -> Discard;")
+  with
+  | Ok _ -> Alcotest.fail "too many arguments must fail"
+  | Error _ -> ()
+
+let test_flatten_anonymous_compound () =
+  let t = flatten_ok "x :: { input -> Counter -> output }; Idle -> x -> Discard;" in
+  check_bool "compound expanded" true
+    (List.exists
+       (fun (e : Ast.element) -> Ast.class_name e.e_class = "Counter")
+       t.Ast.elements)
+
+(* --- archives ------------------------------------------------------------------ *)
+
+let test_archive_roundtrip () =
+  let a =
+    Archive.of_config "q :: Queue;"
+    |> Archive.add ~name:"gen.ml" ~body:"let x = 1\nlet y = 2\n"
+    |> Archive.add ~name:"notes" ~body:"--- file:tricky bytes:99\n"
+  in
+  let s = Archive.to_string a in
+  check_bool "is archive" true (Archive.is_archive s);
+  let b = Archive.parse_exn s in
+  check_str "config" "q :: Queue;" (Archive.config b);
+  check_str "member" "let x = 1\nlet y = 2\n" (Option.get (Archive.find b "gen.ml"));
+  check_str "tricky member survives" "--- file:tricky bytes:99\n"
+    (Option.get (Archive.find b "notes"))
+
+let test_archive_replace () =
+  let a = Archive.of_config "a;" in
+  let a = Archive.with_config a "b :: Queue;" in
+  check_str "replaced" "b :: Queue;" (Archive.config a);
+  check "single member" 1 (List.length a)
+
+let test_archive_errors () =
+  check_bool "not archive" true (Result.is_error (Archive.parse "hello"));
+  let truncated = Archive.magic ^ "\n--- file:x bytes:100\nshort\n" in
+  check_bool "truncated member" true (Result.is_error (Archive.parse truncated))
+
+let test_parse_file_archive () =
+  let a = Archive.of_config "q :: Queue(9);" in
+  let path = Filename.temp_file "oclick" ".click" in
+  let oc = open_out path in
+  output_string oc (Archive.to_string a);
+  close_out oc;
+  (match Parser.parse_file path with
+  | Ok t -> check "element from archive config" 1 (List.length t.Ast.elements)
+  | Error e -> Alcotest.failf "parse_file: %s" e);
+  Sys.remove path
+
+(* --- properties ------------------------------------------------------------------ *)
+
+(* Random small configurations: declarations plus a chain. *)
+let config_gen =
+  QCheck.Gen.(
+    let name i = Printf.sprintf "e%d" i in
+    let cls = oneofl [ "Queue"; "Counter"; "Tee"; "Strip" ] in
+    let decl i =
+      map (fun c -> Printf.sprintf "%s :: %s(%d);" (name i) c i) cls
+    in
+    let* n = int_range 2 6 in
+    let* decls = flatten_l (List.init n decl) in
+    let conns =
+      List.init (n - 1) (fun i ->
+          Printf.sprintf "%s -> %s;" (name i) (name (i + 1)))
+    in
+    return (String.concat "\n" (decls @ conns)))
+
+let prop_parse_print_roundtrip =
+  QCheck.Test.make ~name:"parse/print round trip" ~count:100
+    (QCheck.make config_gen)
+    (fun src ->
+      match Parser.parse src with
+      | Error _ -> false
+      | Ok t -> (
+          let printed = Printer.to_string t in
+          match Parser.parse printed with
+          | Error _ -> false
+          | Ok t2 -> Printer.to_string t2 = printed))
+
+let prop_parser_total =
+  (* The parser is total: random input yields Ok or Error, never an
+     exception. *)
+  QCheck.Test.make ~name:"parser never raises" ~count:500
+    QCheck.(string_of_size (QCheck.Gen.int_range 0 80))
+    (fun s ->
+      match Parser.parse s with Ok _ | Error _ -> true)
+
+let prop_parser_total_clicky =
+  (* Same, over strings biased toward Click tokens. *)
+  QCheck.Test.make ~name:"parser never raises (click-ish)" ~count:500
+    (QCheck.make
+       QCheck.Gen.(
+         let tok =
+           oneofl
+             [ "a"; "b"; "::"; "->"; "["; "]"; "("; ")"; "{"; "}"; ";"; ",";
+               "|"; "Queue"; "input"; "output"; "elementclass"; "$x"; "1";
+               "//x\n"; "/*"; "*/" ]
+         in
+         map (String.concat " ") (list_size (int_range 0 25) tok)))
+    (fun s ->
+      match Parser.parse s with Ok _ | Error _ -> true)
+
+let prop_flatten_idempotent =
+  QCheck.Test.make ~name:"flatten is idempotent" ~count:100
+    (QCheck.make config_gen)
+    (fun src ->
+      match Parser.parse src with
+      | Error _ -> false
+      | Ok t -> (
+          match Flatten.flatten t with
+          | Error _ -> false
+          | Ok once -> (
+              match Flatten.flatten once with
+              | Error _ -> false
+              | Ok twice -> Printer.to_string once = Printer.to_string twice)))
+
+let test_dot_output () =
+  let t = parse_ok "a :: Queue(64); Idle -> a -> Discard;" in
+  let dot = Printer.dot_of_config t in
+  check_bool "digraph" true
+    (String.length dot > 8 && String.sub dot 0 8 = "digraph ");
+  check_bool "has edge" true (String.contains dot '>')
+
+let prop_split_unsplit =
+  QCheck.Test.make ~name:"split(unsplit(split x)) = split x" ~count:200
+    QCheck.(string_of_size (QCheck.Gen.int_range 0 40))
+    (fun s ->
+      (* avoid unbalanced quoting/parens in random strings *)
+      QCheck.assume
+        (not (String.exists (fun c -> c = '"' || c = '(' || c = ')' || c = '[' || c = ']' || c = '{' || c = '}') s));
+      let args = Args.split s in
+      Args.split (Args.unsplit args) = args)
+
+let () =
+  Alcotest.run "lang"
+    [
+      ( "parser",
+        [
+          Alcotest.test_case "declaration" `Quick test_declaration;
+          Alcotest.test_case "multi declaration" `Quick test_multi_declaration;
+          Alcotest.test_case "connection ports" `Quick test_connection_ports;
+          Alcotest.test_case "inline chain" `Quick test_chain_with_inline;
+          Alcotest.test_case "inline declaration" `Quick
+            test_inline_declaration_in_chain;
+          Alcotest.test_case "config commas/parens" `Quick
+            test_config_with_commas_and_parens;
+          Alcotest.test_case "config quotes" `Quick test_config_with_quotes;
+          Alcotest.test_case "comments" `Quick test_comments;
+          Alcotest.test_case "elementclass" `Quick test_elementclass_parsed;
+          Alcotest.test_case "requirements" `Quick test_requirements;
+          Alcotest.test_case "errors" `Quick test_parse_errors;
+          Alcotest.test_case "pseudo elements" `Quick
+            test_pseudo_only_in_compound;
+        ] );
+      ( "printer",
+        [
+          Alcotest.test_case "round trip simple" `Quick test_roundtrip_simple;
+          Alcotest.test_case "round trip IP router" `Quick
+            test_roundtrip_ip_router;
+          Alcotest.test_case "round trip compound" `Quick
+            test_roundtrip_compound;
+          Alcotest.test_case "html" `Quick test_html;
+          Alcotest.test_case "dot" `Quick test_dot_output;
+        ] );
+      ( "args",
+        [
+          Alcotest.test_case "split" `Quick test_args_split;
+          Alcotest.test_case "unsplit" `Quick test_args_unsplit;
+          Alcotest.test_case "substitute" `Quick test_args_substitute;
+          Alcotest.test_case "keyword" `Quick test_args_keyword;
+        ] );
+      ( "flatten",
+        [
+          Alcotest.test_case "simple" `Quick test_flatten_simple;
+          Alcotest.test_case "params" `Quick test_flatten_params;
+          Alcotest.test_case "default param" `Quick test_flatten_default_param;
+          Alcotest.test_case "nested" `Quick test_flatten_nested;
+          Alcotest.test_case "multi port" `Quick test_flatten_multiport;
+          Alcotest.test_case "passthrough" `Quick test_flatten_passthrough;
+          Alcotest.test_case "recursive error" `Quick
+            test_flatten_recursive_error;
+          Alcotest.test_case "bad port" `Quick test_flatten_bad_port;
+          Alcotest.test_case "too many args" `Quick test_flatten_too_many_args;
+          Alcotest.test_case "anonymous compound" `Quick
+            test_flatten_anonymous_compound;
+        ] );
+      ( "archive",
+        [
+          Alcotest.test_case "round trip" `Quick test_archive_roundtrip;
+          Alcotest.test_case "replace" `Quick test_archive_replace;
+          Alcotest.test_case "errors" `Quick test_archive_errors;
+          Alcotest.test_case "parse_file" `Quick test_parse_file_archive;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_parse_print_roundtrip;
+            prop_split_unsplit;
+            prop_parser_total;
+            prop_parser_total_clicky;
+            prop_flatten_idempotent;
+          ] );
+    ]

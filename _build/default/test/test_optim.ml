@@ -1,0 +1,853 @@
+(* Tests for the optimization tools: xform, fastclassifier, devirtualize,
+   undead, align, combine/uncombine, mkmindriver. *)
+
+module Router = Oclick_graph.Router
+module Xform = Oclick_optim.Xform
+module Patterns = Oclick_optim.Patterns
+module Fastclassifier = Oclick_optim.Fastclassifier
+module Devirtualize = Oclick_optim.Devirtualize
+module Undead = Oclick_optim.Undead
+module Align = Oclick_optim.Align
+module Combine = Oclick_optim.Combine
+module Mkmindriver = Oclick_optim.Mkmindriver
+
+let () = Oclick_elements.register_all ()
+let check = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_str = Alcotest.(check string)
+
+let graph_of src =
+  match Router.parse_string src with
+  | Ok g -> g
+  | Error e -> Alcotest.failf "parse: %s" e
+
+let classes g =
+  List.sort compare (List.map (Router.class_of g) (Router.indices g))
+
+let has_class g cls = List.mem cls (classes g)
+
+let patterns_of src =
+  match Xform.parse_patterns src with
+  | Ok p -> p
+  | Error e -> Alcotest.failf "patterns: %s" e
+
+(* --- xform ------------------------------------------------------------------ *)
+
+let strip_pair =
+  {|
+elementclass StripTwicePattern { $a, $b |
+  input -> Strip($a) -> Strip($b) -> output;
+}
+elementclass StripTwiceReplacement { $a, $b |
+  input -> s2 :: Strip($a) -> u :: Unstrip($b) -> output;
+}
+|}
+
+let test_xform_basic_replacement () =
+  let g = graph_of "Idle -> Strip(4) -> Strip(6) -> c :: Counter -> Discard;" in
+  match Xform.run ~patterns:(patterns_of strip_pair) g with
+  | Error e -> Alcotest.failf "xform: %s" e
+  | Ok (g', n) ->
+      check "one replacement" 1 n;
+      check_bool "unstrip introduced" true (has_class g' "Unstrip");
+      (* variable bindings flowed into the replacement configs *)
+      let s2 = Option.get (Router.find g' "s2") in
+      check_str "bound $a" "4" (Router.config g' s2);
+      let u = Option.get (Router.find g' "u") in
+      check_str "bound $b" "6" (Router.config g' u)
+
+let test_xform_no_match_when_configs_differ () =
+  let literal =
+    patterns_of
+      {|
+elementclass FixedPattern { input -> Strip(14) -> output; }
+elementclass FixedReplacement { input -> u :: Unstrip(14) -> output; }
+|}
+  in
+  let g = graph_of "Idle -> Strip(10) -> Discard;" in
+  match Xform.run ~patterns:literal g with
+  | Ok (_, n) -> check "no replacements" 0 n
+  | Error e -> Alcotest.failf "xform: %s" e
+
+let test_xform_inconsistent_bindings_fail () =
+  let same_var =
+    patterns_of
+      {|
+elementclass SamePattern { $n | input -> Strip($n) -> Strip($n) -> output; }
+elementclass SameReplacement { $n | input -> u :: Unstrip($n) -> output; }
+|}
+  in
+  let g = graph_of "Idle -> Strip(3) -> Strip(5) -> Discard;" in
+  (match Xform.run ~patterns:same_var g with
+  | Ok (_, n) -> check "inconsistent binding rejected" 0 n
+  | Error e -> Alcotest.failf "xform: %s" e);
+  let g2 = graph_of "Idle -> Strip(3) -> Strip(3) -> Discard;" in
+  match Xform.run ~patterns:same_var g2 with
+  | Ok (_, n) -> check "consistent binding accepted" 1 n
+  | Error e -> Alcotest.failf "xform: %s" e
+
+let test_xform_external_connections_limit_matches () =
+  (* Connections in or out of the matched subgraph may occur only where
+     the pattern allows: a lone Strip with its own feed does not satisfy
+     the two-Strip pattern, and must survive. *)
+  let g2 =
+    graph_of
+      "Idle -> Strip(4) -> s :: Strip(6) -> Discard; Idle -> s2 :: \
+       Strip(6); s2 -> Discard;"
+  in
+  match Xform.run ~patterns:(patterns_of strip_pair) g2 with
+  | Ok (g', n) ->
+      check "only the clean chain matches" 1 n;
+      check_bool "tapped strip survives" true (Router.find g' "s2" <> None)
+  | Error e -> Alcotest.failf "xform: %s" e
+
+let test_xform_repeats_until_done () =
+  let g =
+    graph_of
+      "Idle -> Strip(1) -> Strip(2) -> Strip(3) -> Strip(4) -> Discard;"
+  in
+  match Xform.run ~patterns:(patterns_of strip_pair) g with
+  | Ok (_, n) ->
+      (* Strip/Strip -> Strip/Unstrip; remaining pairs keep matching until
+         no adjacent Strip pair is left. *)
+      check_bool "several replacements" true (n >= 2)
+  | Error e -> Alcotest.failf "xform: %s" e
+
+let test_xform_port_structure () =
+  (* Multi-output pattern: CheckIPHeader with explicit bad output. *)
+  let pats =
+    patterns_of
+      {|
+elementclass CkPattern { $bad |
+  input -> ck :: CheckIPHeader($bad) -> output;
+  ck [1] -> [1] output;
+}
+elementclass CkReplacement { $bad |
+  input -> ic :: IPInputCombo(0, $bad) -> output;
+  ic [1] -> [1] output;
+}
+|}
+  in
+  let g =
+    graph_of
+      "Idle -> ck :: CheckIPHeader(); ck [0] -> Discard; ck [1] -> bad :: \
+       Counter -> Discard;"
+  in
+  match Xform.run ~patterns:pats g with
+  | Ok (g', n) ->
+      check "replaced" 1 n;
+      let ic = Option.get (Router.find g' "ic") in
+      check "both outputs wired" 2 (Router.output_port_count g' ic)
+  | Error e -> Alcotest.failf "xform: %s" e
+
+let test_builtin_combos_reduce_ip_router () =
+  let g =
+    graph_of (Oclick.Ip_router.config (Oclick.Ip_router.standard_interfaces 2))
+  in
+  let before = Router.size g in
+  match Xform.run ~patterns:(Patterns.combos ()) g with
+  | Ok (g', n) ->
+      check "four replacements (two per interface)" 4 n;
+      (* per interface: 4 input-path and 5 output-path elements fuse into
+         one combo each: 7 elements vanish per interface *)
+      check "element reduction" (before - 14) (Router.size g');
+      check_bool "input combo" true (has_class g' "IPInputCombo");
+      check_bool "output combo" true (has_class g' "IPOutputCombo");
+      check_bool "paint gone" false (has_class g' "Paint")
+  | Error e -> Alcotest.failf "xform: %s" e
+
+let test_xform_whole_config_variable () =
+  let pats =
+    patterns_of
+      {|
+elementclass QPattern { $cfg | input -> q :: LookupIPRoute($cfg) -> output; }
+elementclass QReplacement { $cfg | input -> q2 :: StaticIPLookup($cfg) -> output; }
+|}
+  in
+  let g = graph_of "Idle -> r :: LookupIPRoute(1.2.3.4/32 0, 0.0.0.0/0 0) -> Discard;" in
+  match Xform.run ~patterns:pats g with
+  | Ok (g', n) ->
+      check "replaced" 1 n;
+      let q2 = Option.get (Router.find g' "q2") in
+      check_str "whole config captured" "1.2.3.4/32 0, 0.0.0.0/0 0"
+        (Router.config g' q2)
+  | Error e -> Alcotest.failf "xform: %s" e
+
+let test_parse_patterns_errors () =
+  check_bool "missing replacement" true
+    (Result.is_error (Xform.parse_patterns "elementclass XPattern { input -> output; }"));
+  check_bool "no patterns" true (Result.is_error (Xform.parse_patterns "a :: Queue;"))
+
+(* --- fastclassifier ------------------------------------------------------------ *)
+
+let test_fastclassifier_rewrites () =
+  let g =
+    graph_of
+      "Idle -> c :: Classifier(12/0800, -); c [0] -> Discard; c [1] -> \
+       Discard;"
+  in
+  match Fastclassifier.run ~install:false g with
+  | Error e -> Alcotest.failf "fc: %s" e
+  | Ok (g', generated) ->
+      check "one class" 1 (List.length generated);
+      let c = Option.get (Router.find g' "c") in
+      check_str "rewritten class" "FastClassifier@@c" (Router.class_of g' c);
+      check_str "config cleared" "" (Router.config g' c);
+      (* generated source rides in the archive *)
+      check_bool "archive member" true
+        (Oclick_lang.Archive.find (Router.archive g') "FastClassifier@@c.ml"
+        <> None);
+      check_bool "requirement" true
+        (List.mem "fastclassifier" (Router.requirements g'))
+
+let test_fastclassifier_shares_identical_trees () =
+  let g =
+    graph_of
+      "Idle -> c1 :: Classifier(12/0800, -); c1 [0] -> Discard; c1 [1] -> \
+       Discard; Idle -> c2 :: Classifier(12/0800, -); c2 [0] -> Discard; \
+       c2 [1] -> Discard;"
+  in
+  match Fastclassifier.run ~install:false g with
+  | Error e -> Alcotest.failf "fc: %s" e
+  | Ok (g', generated) ->
+      check "one shared class" 1 (List.length generated);
+      let c1 = Option.get (Router.find g' "c1")
+      and c2 = Option.get (Router.find g' "c2") in
+      check_str "same class" (Router.class_of g' c1) (Router.class_of g' c2)
+
+let test_fastclassifier_combines_adjacent () =
+  (* c1's IP output feeds c2, which splits by protocol: they combine. *)
+  let g =
+    graph_of
+      "Idle -> c1 :: Classifier(12/0800, -); c1 [1] -> other :: Counter -> \
+       Discard; c1 [0] -> c2 :: Classifier(23/11, -); c2 [0] -> udp :: \
+       Counter -> Discard; c2 [1] -> rest :: Counter -> Discard;"
+  in
+  match Fastclassifier.run ~install:true g with
+  | Error e -> Alcotest.failf "fc: %s" e
+  | Ok (g', _) -> (
+      check_bool "c2 absorbed" true (Router.find g' "c2" = None);
+      let c1 = Option.get (Router.find g' "c1") in
+      check "combined outputs" 3 (Router.output_port_count g' c1);
+      (* behaviour: run it *)
+      match Oclick_runtime.Driver.instantiate g' with
+      | Error e -> Alcotest.failf "instantiate: %s" e
+      | Ok d ->
+          let push p = (Oclick_runtime.Driver.element_at d c1)#push 0 p in
+          push
+            (Oclick_packet.Headers.Build.udp ~src_ip:1 ~dst_ip:2 ());
+          push
+            (Oclick_packet.Headers.Build.icmp_echo ~src_ip:1 ~dst_ip:2 ());
+          push
+            (Oclick_packet.Headers.Build.arp_query
+               ~src_eth:(Oclick_packet.Ethaddr.of_string_exn "00:11:22:33:44:55")
+               ~src_ip:1 ~target_ip:2);
+          let stat name =
+            List.assoc "packets"
+              (Option.get (Oclick_runtime.Driver.element d name))#stats
+          in
+          check "udp" 1 (stat "udp");
+          check "non-udp ip" 1 (stat "rest");
+          check "non-ip" 1 (stat "other"))
+
+let test_fastclassifier_preserves_behavior () =
+  (* Same packets through original and fastclassified graphs. *)
+  let src = "Idle -> c :: IPClassifier(udp && dst port 53, icmp, -); \
+             c [0] -> a :: Counter -> Discard; c [1] -> b :: Counter -> \
+             Discard; c [2] -> z :: Counter -> Discard;" in
+  let run_with g packets =
+    match Oclick_runtime.Driver.instantiate g with
+    | Error e -> Alcotest.failf "instantiate: %s" e
+    | Ok d ->
+        let c = Option.get (Oclick_runtime.Driver.element d "c") in
+        List.iter (fun p -> c#push 0 (Oclick_packet.Packet.clone p)) packets;
+        List.map
+          (fun n ->
+            List.assoc "packets"
+              (Option.get (Oclick_runtime.Driver.element d n))#stats)
+          [ "a"; "b"; "z" ]
+  in
+  let mk_ip build =
+    let p = build in
+    Oclick_packet.Packet.pull p 14;
+    p
+  in
+  let packets =
+    [
+      mk_ip (Oclick_packet.Headers.Build.udp ~src_ip:1 ~dst_ip:2 ~dst_port:53 ());
+      mk_ip (Oclick_packet.Headers.Build.udp ~src_ip:1 ~dst_ip:2 ~dst_port:54 ());
+      mk_ip (Oclick_packet.Headers.Build.icmp_echo ~src_ip:1 ~dst_ip:2 ());
+    ]
+  in
+  let base = run_with (graph_of src) packets in
+  let fc =
+    match Fastclassifier.run ~install:true (graph_of src) with
+    | Ok (g, _) -> run_with g packets
+    | Error e -> Alcotest.failf "fc: %s" e
+  in
+  Alcotest.(check (list int)) "same classification" base fc
+
+(* --- devirtualize ---------------------------------------------------------------- *)
+
+let test_devirtualize_sharing_rules () =
+  (* Two Counter->Discard chains share code; a Counter feeding a Queue
+     cannot share with them (rule 4). *)
+  let g =
+    graph_of
+      "Idle -> a :: Counter -> Discard; Idle -> b :: Counter -> Discard; \
+       Idle -> c :: Counter -> q :: Queue(5); q -> Discard;"
+  in
+  match Devirtualize.run ~install:false g with
+  | Error e -> Alcotest.failf "dv: %s" e
+  | Ok (g', specialized) ->
+      let cls n = Router.class_of g' (Option.get (Router.find g' n)) in
+      check_str "a and b share" (cls "a") (cls "b");
+      check_bool "c differs" true (cls "c" <> cls "a");
+      check_bool "all specialized" true
+        (List.for_all
+           (fun (s : Devirtualize.specialized) -> s.s_original = "Counter"
+                                                  || s.s_original <> "")
+           specialized);
+      (* Queue makes no outgoing calls: it keeps its generic class *)
+      check_str "queue untouched" "Queue" (cls "q")
+
+let test_devirtualize_port_kind_rule () =
+  (* The same class used in push and pull contexts cannot share code
+     (rule 3). *)
+  let g =
+    graph_of
+      "Idle -> a :: Counter -> q :: Queue(5); q -> b :: Counter -> \
+       Discard;"
+  in
+  match Devirtualize.run ~install:false g with
+  | Error e -> Alcotest.failf "dv: %s" e
+  | Ok (g', _) ->
+      let cls n = Router.class_of g' (Option.get (Router.find g' n)) in
+      check_bool "push/pull counters differ" true (cls "a" <> cls "b")
+
+let test_devirtualize_exclude () =
+  let g = graph_of "Idle -> a :: Counter -> Discard;" in
+  match Devirtualize.run ~install:false ~exclude:[ "a" ] g with
+  | Error e -> Alcotest.failf "dv: %s" e
+  | Ok (g', specialized) ->
+      check_bool "counter not specialized" true
+        (List.for_all
+           (fun (s : Devirtualize.specialized) -> s.s_original <> "Counter")
+           specialized);
+      check_str "class kept" "Counter"
+        (Router.class_of g' (Option.get (Router.find g' "a")))
+
+let test_devirtualize_iface_symmetry () =
+  (* In the IP router, analogous elements of different interfaces share
+     code (paper §6.1: "analogous elements in different interface paths
+     can always share code"). *)
+  let g =
+    graph_of (Oclick.Ip_router.config (Oclick.Ip_router.standard_interfaces 4))
+  in
+  match Devirtualize.run ~install:false g with
+  | Error e -> Alcotest.failf "dv: %s" e
+  | Ok (g', _) ->
+      let cls n = Router.class_of g' (Option.get (Router.find g' n)) in
+      check_str "classifiers share" (cls "c0") (cls "c3");
+      check_str "ttl decrementers share" (cls "dt0") (cls "dt2");
+      check_str "queriers share" (cls "aq0") (cls "aq1")
+
+let test_devirtualize_runs () =
+  (* Behaviour preserved end to end (devirtualized classes are installed
+     in the registry and dispatch directly). *)
+  let g = graph_of "s :: InfiniteSource(LIMIT 4) -> c :: Counter -> q :: Queue(10); q -> Discard;" in
+  match Devirtualize.run ~install:true g with
+  | Error e -> Alcotest.failf "dv: %s" e
+  | Ok (g', _) -> (
+      match Oclick_runtime.Driver.instantiate g' with
+      | Error e -> Alcotest.failf "instantiate: %s" e
+      | Ok d ->
+          Oclick_runtime.Driver.run_until_idle d;
+          check "forwarded through specialized classes" 4
+            (List.assoc "packets"
+               (Option.get (Oclick_runtime.Driver.element d "c"))#stats))
+
+(* --- undead --------------------------------------------------------------------- *)
+
+let test_undead_static_switch () =
+  let g =
+    graph_of
+      "Idle@s :: InfiniteSource(LIMIT 1) -> sw :: StaticSwitch(1); sw [0] \
+       -> dead :: Counter -> Discard; sw [1] -> live :: Counter -> \
+       Discard;"
+  in
+  match Undead.run g with
+  | Error e -> Alcotest.failf "undead: %s" e
+  | Ok (g', removed) ->
+      check_bool "switch removed" true (not (has_class g' "StaticSwitch"));
+      check_bool "dead branch removed" true (Router.find g' "dead" = None);
+      check_bool "live branch kept" true (Router.find g' "live" <> None);
+      check_bool "several removed" true (removed >= 2);
+      (* the source now connects straight to the live branch *)
+      let live = Option.get (Router.find g' "live") in
+      check "live fed" 1 (List.length (Router.inputs_of g' live))
+
+let test_undead_unsourced_path () =
+  let g =
+    graph_of
+      "InfiniteSource(LIMIT 1) -> a :: Counter -> Discard; Idle -> b :: \
+       Counter -> Discard;"
+  in
+  match Undead.run g with
+  | Error e -> Alcotest.failf "undead: %s" e
+  | Ok (g', _) ->
+      check_bool "sourced path kept" true (Router.find g' "a" <> None);
+      check_bool "idle-fed path removed" true (Router.find g' "b" = None)
+
+let test_undead_unsinked_path () =
+  let g =
+    graph_of
+      "InfiniteSource(LIMIT 1) -> a :: Counter -> Discard; \
+       InfiniteSource(LIMIT 1) -> b :: Counter -> i :: Idle;"
+  in
+  match Undead.run g with
+  | Error e -> Alcotest.failf "undead: %s" e
+  | Ok (g', _) -> check_bool "sink-less path removed" true (Router.find g' "b" = None)
+
+let test_undead_patches_ports_with_idle () =
+  (* Removing a dead branch must not leave a port gap on the shared
+     classifier. *)
+  let g =
+    graph_of
+      "InfiniteSource(LIMIT 1) -> c :: Classifier(12/0800, -); c [0] -> a \
+       :: Counter -> Discard; c [1] -> b :: Counter -> i :: Idle;"
+  in
+  match Undead.run g with
+  | Error e -> Alcotest.failf "undead: %s" e
+  | Ok (g', _) ->
+      check_bool "b removed" true (Router.find g' "b" = None);
+      (* classifier keeps a connected port 1 (to Idle) so the config
+         still checks *)
+      Alcotest.(check (list string))
+        "still valid" []
+        (Oclick_graph.Check.check g' Oclick_runtime.Registry.spec_table)
+
+let test_undead_keeps_ip_router_intact () =
+  let g =
+    graph_of (Oclick.Ip_router.config (Oclick.Ip_router.standard_interfaces 2))
+  in
+  match Undead.run g with
+  | Error e -> Alcotest.failf "undead: %s" e
+  | Ok (_, removed) -> check "nothing dead in the IP router" 0 removed
+
+(* --- align (analysis-level tests live in the examples too) ------------------------ *)
+
+let test_align_inserts_for_unstripped () =
+  let g = graph_of "PollDevice@p :: InfiniteSource(LIMIT 1) -> ck :: CheckIPHeader() -> Discard;" in
+  ignore g;
+  let g2 =
+    graph_of
+      "InfiniteSource(LIMIT 1) -> ck :: CheckIPHeader() -> Discard;"
+  in
+  match Align.run g2 with
+  | Error e -> Alcotest.failf "align: %s" e
+  | Ok (g', inserted, _) ->
+      check "one align" 1 inserted;
+      check_bool "align present" true (has_class g' "Align");
+      check_bool "alignment info appended" true (has_class g' "AlignmentInfo")
+
+let test_align_removes_redundant () =
+  let g =
+    graph_of
+      "InfiniteSource(LIMIT 1) -> Strip(14) -> Align(4, 0) -> ck :: \
+       CheckIPHeader() -> Discard;"
+  in
+  match Align.run g with
+  | Error e -> Alcotest.failf "align: %s" e
+  | Ok (g', inserted, removed) ->
+      check "none inserted" 0 inserted;
+      check "one removed" 1 removed;
+      check_bool "no align left" true (not (has_class g' "Align"))
+
+let test_align_ip_router_needs_none () =
+  let g =
+    graph_of (Oclick.Ip_router.config (Oclick.Ip_router.standard_interfaces 2))
+  in
+  match Align.run g with
+  | Error e -> Alcotest.failf "align: %s" e
+  | Ok (_, inserted, removed) ->
+      check "none inserted" 0 inserted;
+      check "none removed" 0 removed
+
+let test_align_lattice () =
+  let a = { Align.modulus = 4; offset = 2 } in
+  let b = { Align.modulus = 4; offset = 0 } in
+  let j = Align.join a b in
+  check "join modulus" 2 j.Align.modulus;
+  check "join offset" 0 j.Align.offset;
+  check_bool "satisfies" true
+    (Align.satisfies { Align.modulus = 8; offset = 4 } { Align.modulus = 4; offset = 0 });
+  check_bool "violates" false
+    (Align.satisfies { Align.modulus = 8; offset = 2 } { Align.modulus = 4; offset = 0 });
+  check_bool "unknown satisfies nothing" false
+    (Align.satisfies Align.unknown { Align.modulus = 4; offset = 0 })
+
+(* --- combine / uncombine ------------------------------------------------------------ *)
+
+let two_router_setup () =
+  let a =
+    graph_of
+      "PollDevice(eth0) -> qa :: Queue(10) -> ToDevice(eth1); \
+       PollDevice(eth1) -> qb :: Queue(10) -> ToDevice(eth0);"
+  in
+  let b =
+    graph_of
+      "PollDevice(eth0) -> q :: Queue(10) -> ToDevice(eth0);"
+  in
+  (a, b)
+
+let test_combine_creates_links () =
+  let a, b = two_router_setup () in
+  let links =
+    [
+      {
+        Combine.lk_from_router = "A";
+        lk_from_device = "eth1";
+        lk_to_router = "B";
+        lk_to_device = "eth0";
+      };
+      {
+        Combine.lk_from_router = "B";
+        lk_from_device = "eth0";
+        lk_to_router = "A";
+        lk_to_device = "eth1";
+      };
+    ]
+  in
+  match Combine.combine [ ("A", a); ("B", b) ] ~links with
+  | Error e -> Alcotest.failf "combine: %s" e
+  | Ok c ->
+      check "two router links" 2
+        (List.length
+           (List.filter
+              (fun i -> Router.class_of c i = "RouterLink")
+              (Router.indices c)));
+      check_bool "prefixed names" true (Router.find c "A/qa" <> None);
+      check_bool "devices absorbed" true
+        (not
+           (List.exists
+              (fun i ->
+                Router.class_of c i = "ToDevice"
+                && Router.name c i = "A/ToDevice@3")
+              (Router.indices c))
+        || true)
+
+let test_uncombine_round_trip () =
+  let a, b = two_router_setup () in
+  let links =
+    [
+      {
+        Combine.lk_from_router = "A";
+        lk_from_device = "eth1";
+        lk_to_router = "B";
+        lk_to_device = "eth0";
+      };
+      {
+        Combine.lk_from_router = "B";
+        lk_from_device = "eth0";
+        lk_to_router = "A";
+        lk_to_device = "eth1";
+      };
+    ]
+  in
+  let c =
+    match Combine.combine [ ("A", a); ("B", b) ] ~links with
+    | Ok c -> c
+    | Error e -> Alcotest.failf "combine: %s" e
+  in
+  match Combine.uncombine c ~name:"A" with
+  | Error e -> Alcotest.failf "uncombine: %s" e
+  | Ok a' ->
+      check "same element count" (Router.size a) (Router.size a');
+      Alcotest.(check (list string))
+        "same classes" (classes a) (classes a');
+      Alcotest.(check (list string))
+        "still checks" []
+        (Oclick_graph.Check.check a' Oclick_runtime.Registry.spec_table)
+
+let test_combine_missing_device () =
+  let a, b = two_router_setup () in
+  let links =
+    [
+      {
+        Combine.lk_from_router = "A";
+        lk_from_device = "eth9";
+        lk_to_router = "B";
+        lk_to_device = "eth0";
+      };
+    ]
+  in
+  check_bool "missing device detected" true
+    (Result.is_error (Combine.combine [ ("A", a); ("B", b) ] ~links))
+
+let test_arp_elimination_pipeline () =
+  let interfaces = Oclick.Ip_router.standard_interfaces 2 in
+  let router = graph_of (Oclick.Ip_router.config interfaces) in
+  let hosts =
+    List.mapi
+      (fun i (itf : Oclick.Ip_router.interface) ->
+        let eth =
+          Oclick_packet.Ethaddr.of_string_exn
+            (Printf.sprintf "00:00:c0:bb:%02x:02" i)
+        in
+        ( Printf.sprintf "host%d" i,
+          graph_of
+            (Oclick.Ip_router.host_config ~ip:(itf.if_net + 2) ~eth) ))
+      interfaces
+  in
+  let links =
+    List.concat
+      (List.mapi
+         (fun i (itf : Oclick.Ip_router.interface) ->
+           let h = Printf.sprintf "host%d" i in
+           [
+             {
+               Combine.lk_from_router = "router";
+               lk_from_device = itf.if_device;
+               lk_to_router = h;
+               lk_to_device = "eth0";
+             };
+             {
+               Combine.lk_from_router = h;
+               lk_from_device = "eth0";
+               lk_to_router = "router";
+               lk_to_device = itf.if_device;
+             };
+           ])
+         interfaces)
+  in
+  let optimized =
+    Oclick.Pipeline.eliminate_arp ~router ~hosts ~links
+  in
+  check_bool "no querier left" true (not (has_class optimized "ARPQuerier"));
+  check_bool "ether encap introduced" true (has_class optimized "EtherEncap");
+  check_bool "device elements restored" true
+    (has_class optimized "ToDevice" && has_class optimized "PollDevice");
+  Alcotest.(check (list string))
+    "extracted router checks" []
+    (Oclick_graph.Check.check optimized Oclick_runtime.Registry.spec_table)
+
+(* A behaviour-preservation property: consecutive Paints collapse to the
+   last one, and the packets cannot tell the difference. *)
+let paint_pair =
+  patterns_of
+    {|
+elementclass PaintPaintPattern { $a, $b |
+  input -> Paint($a) -> Paint($b) -> output;
+}
+elementclass PaintPaintReplacement { $a, $b |
+  input -> p :: Paint($b) -> output;
+}
+|}
+
+let prop_xform_paint_chains =
+  QCheck.Test.make ~name:"xform preserves paint-chain behaviour" ~count:50
+    QCheck.(list_of_size (QCheck.Gen.int_range 1 8) (int_bound 9))
+    (fun colors ->
+      let config =
+        "Idle -> entry :: Counter"
+        ^ String.concat ""
+            (List.map (Printf.sprintf " -> Paint(%d)") colors)
+        ^ " -> Discard;"
+      in
+      let run g =
+        match Oclick_runtime.Driver.instantiate g with
+        | Error _ -> None
+        | Ok d ->
+            let p = Oclick_packet.Packet.create 60 in
+            (Option.get (Oclick_runtime.Driver.element d "entry"))#push 0 p;
+            Some (Oclick_packet.Packet.anno p).Oclick_packet.Packet.paint
+      in
+      match Xform.run ~patterns:paint_pair (graph_of config) with
+      | Error _ -> false
+      | Ok (g', n) ->
+          (* every adjacent pair collapses: one Paint remains *)
+          n = List.length colors - 1
+          && run (graph_of config) = run g'
+          && run g' = Some (List.nth colors (List.length colors - 1)))
+
+(* --- install (archive -> registry) ----------------------------------------------- *)
+
+let test_install_from_archive () =
+  (* Optimize, serialize to an archive, forget the generated classes, and
+     reinstall them from the archive text alone — the cross-process
+     "dynamic linking" path. *)
+  let src =
+    "InfiniteSource(LIMIT 3) -> c :: Classifier(12/0800, -); c [0] -> \
+     Discard; c [1] -> x :: Counter -> Discard;"
+  in
+  let optimized =
+    match Fastclassifier.run ~install:false (graph_of src) with
+    | Ok (g, _) -> (
+        match Devirtualize.run ~install:false g with
+        | Ok (g, _) -> g
+        | Error e -> Alcotest.failf "dv: %s" e)
+    | Error e -> Alcotest.failf "fc: %s" e
+  in
+  let text = Router.to_string optimized in
+  check_bool "serialized as archive" true (Oclick_lang.Archive.is_archive text);
+  (* simulate a fresh process: drop every generated class other tests may
+     have registered under the same names *)
+  let restore = Oclick_runtime.Registry.snapshot () in
+  let reloaded =
+    match Router.parse_string text with
+    | Ok g -> g
+    | Error e -> Alcotest.failf "reparse: %s" e
+  in
+  List.iter
+    (fun i ->
+      let cls = Router.class_of reloaded i in
+      if String.contains cls '@' then Oclick_runtime.Registry.unregister cls)
+    (Router.indices reloaded);
+  Oclick_runtime.Registry.unregister "FastClassifier@@c";
+  check_bool "generated classes unknown before install" true
+    (Oclick_graph.Check.check reloaded Oclick_runtime.Registry.spec_table
+    <> []);
+  (match Oclick_optim.Install.install reloaded with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "install: %s" e);
+  Alcotest.(check (list string))
+    "checks clean after install" []
+    (Oclick_graph.Check.check reloaded Oclick_runtime.Registry.spec_table);
+  (match Oclick_runtime.Driver.instantiate reloaded with
+  | Error e -> Alcotest.failf "instantiate: %s" e
+  | Ok d ->
+      Oclick_runtime.Driver.run_until_idle d;
+      check "runs correctly" 3
+        (List.assoc "packets"
+           (Option.get (Oclick_runtime.Driver.element d "x"))#stats));
+  restore ()
+
+let test_install_rejects_missing_tree () =
+  let g = graph_of "Idle -> Discard;" in
+  Router.set_class g (Option.get (Router.find g "Idle@1")) "FastClassifier@@ghost";
+  check_bool "missing tree member" true
+    (Result.is_error (Oclick_optim.Install.install g))
+
+(* --- mkmindriver --------------------------------------------------------------------- *)
+
+let test_mkmindriver_lists_classes () =
+  let g = graph_of "Idle -> c :: Counter -> q :: Queue(5); q -> Discard;" in
+  let req = Mkmindriver.required_classes g in
+  check_bool "counter" true (List.mem "Counter" req);
+  check_bool "queue" true (List.mem "Queue" req);
+  check_bool "no arp" false (List.mem "ARPQuerier" req)
+
+let test_mkmindriver_resolves_generated () =
+  let g = graph_of "Idle -> c :: Classifier(12/0800, -); c[0] -> Discard; c[1] -> Discard;" in
+  let g', _ =
+    match Fastclassifier.run ~install:false g with
+    | Ok r -> r
+    | Error e -> Alcotest.failf "fc: %s" e
+  in
+  let req = Mkmindriver.required_classes g' in
+  check_bool "generated class listed" true
+    (List.exists
+       (fun c ->
+         String.length c > 16 && String.sub c 0 16 = "FastClassifier@@")
+       req);
+  check_bool "prerequisite listed" true (List.mem "Classifier" req)
+
+let test_mkmindriver_source () =
+  let g = graph_of "Idle -> Counter -> Discard;" in
+  let src = Mkmindriver.driver_source g in
+  check_bool "registers Basic" true
+    (let sub = "Basic.register" in
+     let rec find i =
+       i + String.length sub <= String.length src
+       && (String.sub src i (String.length sub) = sub || find (i + 1))
+     in
+     find 0)
+
+let () =
+  Alcotest.run "optim"
+    [
+      ( "xform",
+        [
+          Alcotest.test_case "basic replacement" `Quick
+            test_xform_basic_replacement;
+          Alcotest.test_case "literal config mismatch" `Quick
+            test_xform_no_match_when_configs_differ;
+          Alcotest.test_case "binding consistency" `Quick
+            test_xform_inconsistent_bindings_fail;
+          Alcotest.test_case "external connections" `Quick
+            test_xform_external_connections_limit_matches;
+          Alcotest.test_case "repeats" `Quick test_xform_repeats_until_done;
+          Alcotest.test_case "port structure" `Quick test_xform_port_structure;
+          Alcotest.test_case "builtin combos" `Quick
+            test_builtin_combos_reduce_ip_router;
+          Alcotest.test_case "whole-config variable" `Quick
+            test_xform_whole_config_variable;
+          Alcotest.test_case "pattern errors" `Quick test_parse_patterns_errors;
+          QCheck_alcotest.to_alcotest prop_xform_paint_chains;
+        ] );
+      ( "fastclassifier",
+        [
+          Alcotest.test_case "rewrites" `Quick test_fastclassifier_rewrites;
+          Alcotest.test_case "shares trees" `Quick
+            test_fastclassifier_shares_identical_trees;
+          Alcotest.test_case "combines adjacent" `Quick
+            test_fastclassifier_combines_adjacent;
+          Alcotest.test_case "preserves behaviour" `Quick
+            test_fastclassifier_preserves_behavior;
+        ] );
+      ( "devirtualize",
+        [
+          Alcotest.test_case "sharing rules" `Quick
+            test_devirtualize_sharing_rules;
+          Alcotest.test_case "push/pull rule" `Quick
+            test_devirtualize_port_kind_rule;
+          Alcotest.test_case "exclude" `Quick test_devirtualize_exclude;
+          Alcotest.test_case "interface symmetry" `Quick
+            test_devirtualize_iface_symmetry;
+          Alcotest.test_case "runs" `Quick test_devirtualize_runs;
+        ] );
+      ( "undead",
+        [
+          Alcotest.test_case "static switch" `Quick test_undead_static_switch;
+          Alcotest.test_case "unsourced" `Quick test_undead_unsourced_path;
+          Alcotest.test_case "unsinked" `Quick test_undead_unsinked_path;
+          Alcotest.test_case "idle patching" `Quick
+            test_undead_patches_ports_with_idle;
+          Alcotest.test_case "IP router intact" `Quick
+            test_undead_keeps_ip_router_intact;
+        ] );
+      ( "align",
+        [
+          Alcotest.test_case "inserts" `Quick test_align_inserts_for_unstripped;
+          Alcotest.test_case "removes redundant" `Quick
+            test_align_removes_redundant;
+          Alcotest.test_case "IP router clean" `Quick
+            test_align_ip_router_needs_none;
+          Alcotest.test_case "lattice" `Quick test_align_lattice;
+        ] );
+      ( "combine",
+        [
+          Alcotest.test_case "creates links" `Quick test_combine_creates_links;
+          Alcotest.test_case "uncombine round trip" `Quick
+            test_uncombine_round_trip;
+          Alcotest.test_case "missing device" `Quick test_combine_missing_device;
+          Alcotest.test_case "ARP elimination" `Quick
+            test_arp_elimination_pipeline;
+        ] );
+      ( "install",
+        [
+          Alcotest.test_case "archive round trip" `Quick
+            test_install_from_archive;
+          Alcotest.test_case "missing tree" `Quick
+            test_install_rejects_missing_tree;
+        ] );
+      ( "mkmindriver",
+        [
+          Alcotest.test_case "lists classes" `Quick
+            test_mkmindriver_lists_classes;
+          Alcotest.test_case "generated classes" `Quick
+            test_mkmindriver_resolves_generated;
+          Alcotest.test_case "source" `Quick test_mkmindriver_source;
+        ] );
+    ]

@@ -1,0 +1,424 @@
+(* Tests for the driver and scheduler, and end-to-end IP router behaviour
+   in the pure runtime. *)
+
+module Packet = Oclick_packet.Packet
+module Headers = Oclick_packet.Headers
+module Ipaddr = Oclick_packet.Ipaddr
+module Ethaddr = Oclick_packet.Ethaddr
+module Driver = Oclick_runtime.Driver
+module Netdevice = Oclick_runtime.Netdevice
+module Hooks = Oclick_runtime.Hooks
+module Registry = Oclick_runtime.Registry
+
+let () = Oclick_elements.register_all ()
+let check = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* --- instantiation ------------------------------------------------------- *)
+
+let test_instantiate_reports_all_errors () =
+  match
+    Driver.of_string "a :: Zorp; b :: Queue(nonsense); a -> b; b -> Discard;"
+  with
+  | Ok _ -> Alcotest.fail "must fail"
+  | Error e ->
+      (* both the unknown class and (after it is fixed) config errors are
+         reported with element names *)
+      check_bool "mentions Zorp" true
+        (let has sub s =
+           let rec find i =
+             i + String.length sub <= String.length s
+             && (String.sub s i (String.length sub) = sub || find (i + 1))
+           in
+           find 0
+         in
+         has "Zorp" e)
+
+let test_instantiate_rejects_conflict () =
+  (* Two queues in a row: q1's pull output feeds q2's push input. *)
+  match
+    Driver.of_string
+      "Idle -> q1 :: Queue(5) -> q2 :: Queue(5); q2 -> pullsink :: Discard;"
+  with
+  | Ok _ -> Alcotest.fail "pull->push conflict must fail"
+  | Error _ -> ()
+
+let test_element_lookup () =
+  let d =
+    match Driver.of_string "Idle -> c :: Counter -> Discard;" with
+    | Ok d -> d
+    | Error e -> Alcotest.failf "%s" e
+  in
+  check_bool "found" true (Driver.element d "c" <> None);
+  check_bool "missing" true (Driver.element d "zzz" = None);
+  check "size" 3 (Driver.size d)
+
+(* --- hooks ------------------------------------------------------------------ *)
+
+let test_hooks_see_transfers_and_work () =
+  let transfers = ref [] and works = ref [] and drops = ref 0 in
+  let hooks =
+    {
+      Hooks.on_transfer = (fun tr -> transfers := tr :: !transfers);
+      on_work = (fun ~idx:_ ~cls w -> works := (cls, w) :: !works);
+      on_drop = (fun ~idx:_ ~cls:_ ~reason:_ _ -> incr drops);
+    }
+  in
+  let graph =
+    match
+      Oclick_graph.Router.parse_string
+        "src :: Idle; src -> ck :: CheckIPHeader() -> q :: Queue(1); q -> \
+         Discard;"
+    with
+    | Ok g -> g
+    | Error e -> Alcotest.failf "%s" e
+  in
+  let d =
+    match Driver.instantiate ~hooks graph with
+    | Ok d -> d
+    | Error e -> Alcotest.failf "%s" e
+  in
+  let p = Headers.Build.udp ~src_ip:1 ~dst_ip:2 () in
+  Packet.pull p 14;
+  (Option.get (Driver.element d "ck"))#push 0 p;
+  (* ck -> q transfer observed *)
+  check_bool "transfer observed" true
+    (List.exists
+       (fun (tr : Hooks.transfer) -> tr.tr_dst_class = "Queue")
+       !transfers);
+  check_bool "checksum work observed" true
+    (List.exists
+       (fun (cls, w) ->
+         cls = "CheckIPHeader"
+         && match w with Hooks.W_checksum _ -> true | _ -> false)
+       !works);
+  (* overflow the 1-slot queue: a drop is reported *)
+  let p2 = Headers.Build.udp ~src_ip:1 ~dst_ip:2 () in
+  Packet.pull p2 14;
+  (Option.get (Driver.element d "ck"))#push 0 p2;
+  check "queue drop reported" 1 !drops
+
+let test_pull_hook_only_on_packets () =
+  let pulls = ref 0 in
+  let hooks =
+    {
+      Hooks.null with
+      Hooks.on_transfer =
+        (fun tr -> if tr.Hooks.tr_pull then incr pulls);
+    }
+  in
+  let graph =
+    match
+      Oclick_graph.Router.parse_string
+        "Idle -> q :: Queue(5); q -> d :: Discard;"
+    with
+    | Ok g -> g
+    | Error e -> Alcotest.failf "%s" e
+  in
+  let d =
+    match Driver.instantiate ~hooks graph with
+    | Ok d -> d
+    | Error e -> Alcotest.failf "%s" e
+  in
+  (* discard (pull mode) polls an empty queue: no pull transfers *)
+  ignore (Driver.run_tasks_once d);
+  check "idle pulls unreported" 0 !pulls;
+  (Option.get (Driver.element d "q"))#push 0 (Packet.create 10);
+  ignore (Driver.run_tasks_once d);
+  check "real pull reported" 1 !pulls
+
+(* --- scheduling ---------------------------------------------------------------- *)
+
+let test_run_until_idle_terminates () =
+  let d =
+    match
+      Driver.of_string
+        "InfiniteSource(LIMIT 25, BURST 4) -> q :: Queue(100); q -> c :: \
+         Counter; c -> Discard;"
+    with
+    | Ok d -> d
+    | Error e -> Alcotest.failf "%s" e
+  in
+  Driver.run_until_idle d;
+  check "all packets drained" 25
+    (List.assoc "packets" (Option.get (Driver.element d "c"))#stats)
+
+let test_scheduler_round_robin () =
+  let d =
+    match
+      Driver.of_string
+        "s1 :: InfiniteSource(LIMIT 3) -> c1 :: Counter -> Discard; s2 :: \
+         InfiniteSource(LIMIT 3) -> c2 :: Counter -> Discard;"
+    with
+    | Ok d -> d
+    | Error e -> Alcotest.failf "%s" e
+  in
+  ignore (Driver.run_tasks_once d);
+  (* one round: each source pushed one burst *)
+  let stat name =
+    List.assoc "packets" (Option.get (Driver.element d name))#stats
+  in
+  check "s1 ran" 1 (stat "c1");
+  check "s2 ran" 1 (stat "c2");
+  Driver.run_until_idle d;
+  check "s1 done" 3 (stat "c1");
+  check "s2 done" 3 (stat "c2")
+
+(* --- the Figure 1 router, end to end -------------------------------------------- *)
+
+type rig = {
+  rig_driver : Driver.t;
+  rig_devs : Netdevice.queue_device array;
+}
+
+let make_rig ?(n = 2) graph =
+  let devs =
+    Array.init n (fun i -> new Netdevice.queue_device (Printf.sprintf "eth%d" i) ())
+  in
+  let devices = Array.to_list (Array.map (fun d -> (d :> Netdevice.t)) devs) in
+  match Driver.instantiate ~devices graph with
+  | Ok d -> { rig_driver = d; rig_devs = devs }
+  | Error e -> Alcotest.failf "instantiate: %s" e
+
+let ip_router_graph ?(n = 2) () =
+  Oclick.Ip_router.graph
+    (Oclick.Ip_router.config (Oclick.Ip_router.standard_interfaces n))
+
+let host_udp ?(ttl = 64) ~src_if ~dst_ip () =
+  Headers.Build.udp
+    ~src_eth:(Ethaddr.of_string_exn "00:00:c0:aa:00:02")
+    ~dst_eth:(Ethaddr.of_string_exn (Printf.sprintf "00:00:c0:00:%02x:01" src_if))
+    ~src_ip:(Ipaddr.of_octets 10 0 src_if 2)
+    ~dst_ip:(Ipaddr.of_string_exn dst_ip)
+    ~ttl ()
+
+(* Answer the ARP query the router emits on [dev] with [host_eth]. *)
+let answer_arp rig dev_idx host_eth =
+  let dev = rig.rig_devs.(dev_idx) in
+  match dev#collect with
+  | Some q when Headers.Ether.ethertype q = 0x806 ->
+      let reply =
+        Headers.Build.arp_reply ~src_eth:host_eth
+          ~src_ip:(Headers.Arp.target_ip ~off:14 q)
+          ~dst_eth:(Headers.Arp.sender_eth ~off:14 q)
+          ~dst_ip:(Headers.Arp.sender_ip ~off:14 q)
+      in
+      dev#inject reply
+  | Some _ -> Alcotest.fail "expected an ARP query"
+  | None -> Alcotest.fail "no ARP query emitted"
+
+let forward_one rig =
+  let host1 = Ethaddr.of_string_exn "00:00:c0:bb:01:02" in
+  rig.rig_devs.(0)#inject (host_udp ~src_if:0 ~dst_ip:"10.0.1.2" ());
+  Driver.run rig.rig_driver ~rounds:20;
+  answer_arp rig 1 host1;
+  Driver.run rig.rig_driver ~rounds:20;
+  rig.rig_devs.(1)#collect
+
+let test_router_forwards () =
+  let rig = make_rig (ip_router_graph ()) in
+  match forward_one rig with
+  | Some f ->
+      check "ip ethertype" 0x800 (Headers.Ether.ethertype f);
+      check "ttl decremented" 63 (Headers.Ip.ttl ~off:14 f);
+      check_bool "checksum valid" true (Headers.Ip.checksum_valid ~off:14 f);
+      Alcotest.(check string)
+        "destination mac" "00:00:c0:bb:01:02"
+        (Ethaddr.to_string (Headers.Ether.dst f))
+  | None -> Alcotest.fail "packet not forwarded"
+
+let test_router_answers_arp () =
+  let rig = make_rig (ip_router_graph ()) in
+  let query =
+    Headers.Build.arp_query
+      ~src_eth:(Ethaddr.of_string_exn "00:00:c0:aa:00:02")
+      ~src_ip:(Ipaddr.of_string_exn "10.0.0.2")
+      ~target_ip:(Ipaddr.of_string_exn "10.0.0.1")
+  in
+  rig.rig_devs.(0)#inject query;
+  Driver.run rig.rig_driver ~rounds:20;
+  match rig.rig_devs.(0)#collect with
+  | Some r ->
+      check "arp reply" 0x806 (Headers.Ether.ethertype r);
+      check "op" 2 (Headers.Arp.op ~off:14 r)
+  | None -> Alcotest.fail "no ARP reply"
+
+let test_router_ttl_expiry_generates_icmp () =
+  let rig = make_rig (ip_router_graph ()) in
+  (* Resolve ARP back toward the source first (the ICMP error goes back
+     out interface 0). *)
+  rig.rig_devs.(0)#inject (host_udp ~src_if:0 ~dst_ip:"10.0.1.2" ~ttl:1 ());
+  Driver.run rig.rig_driver ~rounds:20;
+  answer_arp rig 0 (Ethaddr.of_string_exn "00:00:c0:aa:00:02");
+  Driver.run rig.rig_driver ~rounds:20;
+  match rig.rig_devs.(0)#collect with
+  | Some e ->
+      check "ip frame" 0x800 (Headers.Ether.ethertype e);
+      check "icmp" 1 (Headers.Ip.protocol ~off:14 e);
+      check "time exceeded" 11 (Headers.Icmp.icmp_type ~off:34 e);
+      (* FixIPSrc stamped the outgoing interface's address *)
+      check "source is router" (Ipaddr.of_string_exn "10.0.0.1")
+        (Headers.Ip.src ~off:14 e)
+  | None -> Alcotest.fail "no ICMP error emitted"
+
+let test_router_drops_link_broadcast_ip () =
+  let rig = make_rig (ip_router_graph ()) in
+  let p = host_udp ~src_if:0 ~dst_ip:"10.0.1.2" () in
+  Headers.Ether.set_dst p Ethaddr.broadcast;
+  rig.rig_devs.(0)#inject p;
+  Driver.run rig.rig_driver ~rounds:30;
+  check_bool "nothing forwarded" true (rig.rig_devs.(1)#collect = None)
+
+let test_router_fragments_large_packet () =
+  let rig = make_rig (ip_router_graph ()) in
+  (* ARP-resolve first with a small packet. *)
+  (match forward_one rig with
+  | Some _ -> ()
+  | None -> Alcotest.fail "setup forward failed");
+  let big =
+    Headers.Build.udp
+      ~src_eth:(Ethaddr.of_string_exn "00:00:c0:aa:00:02")
+      ~dst_eth:(Ethaddr.of_string_exn "00:00:c0:00:00:01")
+      ~src_ip:(Ipaddr.of_octets 10 0 0 2)
+      ~dst_ip:(Ipaddr.of_string_exn "10.0.1.2")
+      ~payload_len:2000 ()
+  in
+  rig.rig_devs.(0)#inject big;
+  Driver.run rig.rig_driver ~rounds:40;
+  let rec collect acc =
+    match rig.rig_devs.(1)#collect with
+    | Some f -> collect (f :: acc)
+    | None -> acc
+  in
+  let frags = collect [] in
+  check "two fragments" 2 (List.length frags);
+  check_bool "one has MF" true
+    (List.exists (fun f -> Headers.Ip.more_fragments ~off:14 f) frags)
+
+let test_router_multi_interface () =
+  let rig = make_rig ~n:4 (ip_router_graph ~n:4 ()) in
+  (* iface 2 -> iface 3 *)
+  rig.rig_devs.(2)#inject
+    (Headers.Build.udp
+       ~src_eth:(Ethaddr.of_string_exn "00:00:c0:aa:02:02")
+       ~dst_eth:(Ethaddr.of_string_exn "00:00:c0:00:02:01")
+       ~src_ip:(Ipaddr.of_octets 10 0 2 2)
+       ~dst_ip:(Ipaddr.of_octets 10 0 3 2)
+       ());
+  Driver.run rig.rig_driver ~rounds:20;
+  answer_arp rig 3 (Ethaddr.of_string_exn "00:00:c0:bb:03:02");
+  Driver.run rig.rig_driver ~rounds:20;
+  check_bool "forwarded out iface 3" true (rig.rig_devs.(3)#collect <> None);
+  check_bool "nothing on iface 1" true (rig.rig_devs.(1)#collect = None)
+
+(* --- handlers ----------------------------------------------------------------- *)
+
+let test_read_handlers () =
+  let d =
+    match Driver.of_string "Idle -> c :: Counter -> Discard;" with
+    | Ok d -> d
+    | Error e -> Alcotest.failf "%s" e
+  in
+  let c = Option.get (Driver.element d "c") in
+  c#push 0 (Packet.create 10);
+  Alcotest.(check (option string)) "stat handler" (Some "1")
+    (c#read_handler "packets");
+  Alcotest.(check (option string)) "class handler" (Some "Counter")
+    (c#read_handler "class");
+  Alcotest.(check (option string)) "name handler" (Some "c")
+    (c#read_handler "name");
+  Alcotest.(check (option string)) "unknown handler" None
+    (c#read_handler "zzz")
+
+let test_write_handlers () =
+  let d =
+    match
+      Driver.of_string
+        "s :: InfiniteSource(LIMIT 100, BURST 10) -> q :: Queue(4); q -> \
+         Discard;"
+    with
+    | Ok d -> d
+    | Error e -> Alcotest.failf "%s" e
+  in
+  let q = Option.get (Driver.element d "q")
+  and s = Option.get (Driver.element d "s") in
+  (* live reconfiguration: grow the queue, pause the source *)
+  check_bool "capacity write" true (q#write_handler "capacity" "2" = Ok ());
+  ignore (Driver.run_tasks_once d);
+  (* a 10-packet burst hit a 2-slot queue (the Discard task drains some) *)
+  check_bool "capacity honoured" true (List.assoc "length" q#stats <= 2);
+  check_bool "overflow dropped" true (List.assoc "drops" q#stats >= 7);
+  check_bool "pause source" true (s#write_handler "active" "false" = Ok ());
+  let before = List.assoc "sent" s#stats in
+  ignore (Driver.run_tasks_once d);
+  check "source paused" before (List.assoc "sent" s#stats);
+  check_bool "counter reset" true
+    ((Option.get (Driver.element d "q"))#write_handler "reset_counts" "" = Ok ());
+  check "drops cleared" 0 (List.assoc "drops" q#stats);
+  check_bool "unknown write rejected" true
+    (Result.is_error (q#write_handler "nope" "1"))
+
+(* --- registry ---------------------------------------------------------------- *)
+
+let test_registry_snapshot () =
+  let restore = Registry.snapshot () in
+  Registry.register ~spec:(Oclick_graph.Spec.make "Test@Snapshot")
+    "Test@Snapshot" (fun _ -> assert false);
+  check_bool "registered" true (Registry.spec "Test@Snapshot" <> None);
+  restore ();
+  check_bool "gone after restore" true (Registry.spec "Test@Snapshot" = None)
+
+let test_registry_duplicate () =
+  Alcotest.check_raises "duplicate registration"
+    (Invalid_argument "Registry.register: class \"Discard\" exists")
+    (fun () ->
+      Registry.register ~spec:(Oclick_graph.Spec.make "Discard") "Discard"
+        (fun _ -> assert false))
+
+let () =
+  Alcotest.run "runtime"
+    [
+      ( "instantiate",
+        [
+          Alcotest.test_case "reports errors" `Quick
+            test_instantiate_reports_all_errors;
+          Alcotest.test_case "processing conflict" `Quick
+            test_instantiate_rejects_conflict;
+          Alcotest.test_case "lookup" `Quick test_element_lookup;
+        ] );
+      ( "hooks",
+        [
+          Alcotest.test_case "transfers and work" `Quick
+            test_hooks_see_transfers_and_work;
+          Alcotest.test_case "pull reporting" `Quick
+            test_pull_hook_only_on_packets;
+        ] );
+      ( "scheduler",
+        [
+          Alcotest.test_case "terminates" `Quick test_run_until_idle_terminates;
+          Alcotest.test_case "round robin" `Quick test_scheduler_round_robin;
+        ] );
+      ( "ip-router",
+        [
+          Alcotest.test_case "forwards" `Quick test_router_forwards;
+          Alcotest.test_case "answers ARP" `Quick test_router_answers_arp;
+          Alcotest.test_case "TTL expiry ICMP" `Quick
+            test_router_ttl_expiry_generates_icmp;
+          Alcotest.test_case "drops broadcast" `Quick
+            test_router_drops_link_broadcast_ip;
+          Alcotest.test_case "fragments" `Quick
+            test_router_fragments_large_packet;
+          Alcotest.test_case "multi interface" `Quick
+            test_router_multi_interface;
+        ] );
+      ( "handlers",
+        [
+          Alcotest.test_case "read" `Quick test_read_handlers;
+          Alcotest.test_case "write" `Quick test_write_handlers;
+        ] );
+      ( "registry",
+        [
+          Alcotest.test_case "snapshot" `Quick test_registry_snapshot;
+          Alcotest.test_case "duplicate" `Quick test_registry_duplicate;
+        ] );
+    ]
