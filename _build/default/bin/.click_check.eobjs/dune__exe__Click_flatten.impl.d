@@ -1,1 +1,1 @@
-bin/click_flatten.ml: Cmdliner Oclick_lang Term Tool_common
+bin/click_flatten.ml: Cmdliner Oclick_graph Oclick_lang Term Tool_common

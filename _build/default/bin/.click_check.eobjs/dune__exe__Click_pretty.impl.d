@@ -1,1 +1,1 @@
-bin/click_pretty.ml: Arg Cmdliner Oclick_lang Term Tool_common
+bin/click_pretty.ml: Arg Cmdliner Oclick_graph Oclick_lang Term Tool_common

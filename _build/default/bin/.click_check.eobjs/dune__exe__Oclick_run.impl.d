@@ -1,1 +1,1 @@
-bin/oclick_run.ml: Arg Cmdliner Fun List Oclick_graph Oclick_lang Oclick_runtime Printf String Term Tool_common
+bin/oclick_run.ml: Arg Cmdliner Fun Hashtbl List Oclick_fault Oclick_graph Oclick_lang Oclick_runtime Option Printf String Term Tool_common

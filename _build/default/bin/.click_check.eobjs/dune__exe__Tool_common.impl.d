@@ -1,1 +1,1 @@
-bin/tool_common.ml: Arg Buffer Cmd Cmdliner Oclick_elements Oclick_graph Oclick_optim Printf
+bin/tool_common.ml: Arg Buffer Cmd Cmdliner List Oclick_elements Oclick_graph Oclick_optim Oclick_runtime Printf String

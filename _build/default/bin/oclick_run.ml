@@ -38,7 +38,7 @@ let parse_read spec =
       ( String.sub spec 0 dot,
         String.sub spec (dot + 1) (String.length spec - dot - 1) )
 
-let run rounds stats writes reads input =
+let run rounds stats fault fault_seed writes reads input =
   let source = Tool_common.read_input input in
   let router = Tool_common.parse_router source in
   let devices =
@@ -48,7 +48,37 @@ let run rounds stats writes reads input =
           :> Oclick_runtime.Netdevice.t))
       (device_names router)
   in
-  match Oclick_runtime.Driver.instantiate ~devices router with
+  let injector =
+    match fault with
+    | None -> None
+    | Some spec -> (
+        match Oclick_fault.Plan.parse ?seed:fault_seed spec with
+        | Ok plan -> Some (Oclick_fault.Injector.create plan)
+        | Error e -> Tool_common.die "bad --fault spec: %s" e)
+  in
+  let mangle =
+    Option.map
+      (fun inj p -> Oclick_fault.Injector.mangle_wire inj ~stream:"run" p)
+      injector
+  in
+  let quarantine =
+    Option.map
+      (fun inj -> (Oclick_fault.Injector.plan inj).Oclick_fault.Plan.p_quarantine)
+      injector
+  in
+  let drops : (string, int ref) Hashtbl.t = Hashtbl.create 8 in
+  let hooks =
+    {
+      Oclick_runtime.Hooks.null with
+      Oclick_runtime.Hooks.on_drop =
+        (fun ~idx:_ ~cls:_ ~reason _ ->
+          match Hashtbl.find_opt drops reason with
+          | Some r -> incr r
+          | None -> Hashtbl.replace drops reason (ref 1));
+      on_warn = (fun ~src msg -> Printf.eprintf "warning: %s: %s\n" src msg);
+    }
+  in
+  match Oclick_runtime.Driver.instantiate ~hooks ~devices ?mangle ?quarantine router with
   | Error e -> Tool_common.die "%s" e
   | Ok driver ->
       let element name =
@@ -83,7 +113,28 @@ let run rounds stats writes reads input =
                 Printf.printf "%s (%s): %s\n" e#name e#class_name
                   (String.concat ", "
                      (List.map (fun (k, v) -> Printf.sprintf "%s=%d" k v) st)))
-          (List.init (Oclick_runtime.Driver.size driver) Fun.id)
+          (List.init (Oclick_runtime.Driver.size driver) Fun.id);
+      (match injector with
+      | None -> ()
+      | Some inj ->
+          let pair (k, v) = Printf.sprintf "%s=%d" k v in
+          Printf.printf "faults injected: %s\n"
+            (match Oclick_fault.Injector.counters inj with
+            | [] -> "none"
+            | cs -> String.concat ", " (List.map pair cs));
+          let dropped =
+            Hashtbl.fold (fun k r acc -> (k, !r) :: acc) drops []
+            |> List.sort compare
+          in
+          if dropped <> [] then
+            Printf.printf "drops: %s\n"
+              (String.concat ", " (List.map pair dropped));
+          List.iter
+            (fun (name, faults, quarantined) ->
+              Printf.printf "element %s: %d fault%s contained%s\n" name faults
+                (if faults = 1 then "" else "s")
+                (if quarantined then " (quarantined)" else ""))
+            (Oclick_runtime.Driver.fault_report driver))
 
 let rounds_arg =
   Arg.(
@@ -92,6 +143,24 @@ let rounds_arg =
 
 let stats_arg =
   Arg.(value & flag & info [ "stats" ] ~doc:"Print element statistics.")
+
+let fault_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "fault" ] ~docv:"SPEC"
+        ~doc:
+          "Fault-injection plan, e.g. $(b,corrupt=0.01,truncate=0.005). \
+           In-flight wire faults apply to every packet transfer; faulting \
+           elements are contained and quarantined per the plan. A summary \
+           prints on exit.")
+
+let fault_seed_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "fault-seed" ] ~docv:"N"
+        ~doc:"Override the fault plan's random seed.")
 
 let write_arg =
   Arg.(
@@ -109,5 +178,5 @@ let () =
   Tool_common.run_tool "oclick-run"
     "Run a Click configuration in the user-level driver."
     Term.(
-      const run $ rounds_arg $ stats_arg $ write_arg $ read_arg
-      $ Tool_common.input_arg)
+      const run $ rounds_arg $ stats_arg $ fault_arg $ fault_seed_arg
+      $ write_arg $ read_arg $ Tool_common.input_arg)

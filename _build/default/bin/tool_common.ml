@@ -22,15 +22,29 @@ let read_input = function
 
 let die fmt = Printf.ksprintf (fun s -> prerr_endline s; exit 1) fmt
 
-let parse_router source =
+let parse_router ?(check = true) source =
+  if String.trim source = "" then die "empty configuration";
   Oclick_elements.register_all ();
   match Oclick_graph.Router.parse_string source with
-  | Ok router -> (
+  | Ok router ->
       (* Install any generated classes the archive carries (the analogue
          of Click compiling and linking archived element code). *)
-      match Oclick_optim.Install.install router with
-      | Ok () -> router
-      | Error e -> die "%s" e)
+      (match Oclick_optim.Install.install router with
+      | Ok () -> ()
+      | Error e -> die "%s" e);
+      (* Reject invalid graphs (out-of-range ports, unknown classes...)
+         with a one-line diagnostic before any tool transforms them.
+         click-check opts out: listing every error is its whole job. *)
+      (if check then
+         match
+           Oclick_graph.Check.check router Oclick_runtime.Registry.spec_table
+         with
+         | [] -> ()
+         | [ e ] -> die "%s" e
+         | e :: rest ->
+             die "%s (and %d more error%s)" e (List.length rest)
+               (if List.length rest = 1 then "" else "s"));
+      router
   | Error e -> die "%s" e
 
 let output_router router = print_string (Oclick_graph.Router.to_string router)

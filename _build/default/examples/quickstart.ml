@@ -44,7 +44,7 @@ let () =
     net0#inject (Headers.Build.icmp_echo ~src_ip ~dst_ip ())
   done;
   (* 4. Run the router's tasks until everything drains. *)
-  Driver.run_until_idle driver;
+  let (_ : bool) = Driver.run_until_idle driver in
   (* 5. Inspect the results. *)
   let stats name =
     match Driver.element driver name with

@@ -51,6 +51,7 @@ class arp_querier name =
       let q =
         Headers.Build.arp_query ~src_eth:my_eth ~src_ip:my_ip ~target_ip
       in
+      self#spawn q;
       self#output 0 q
 
     method private encap_and_send p dst_eth =
@@ -75,28 +76,37 @@ class arp_querier name =
       else begin
         (* An ARP response: learn, and release any held packet. *)
         responses <- responses + 1;
-        if
-          Packet.length p >= Ether.header_length + Arp.packet_length
-          && Arp.op ~off:Ether.header_length p = Arp.op_reply
-        then begin
-          let ip = Arp.sender_ip ~off:Ether.header_length p in
-          let eth = Arp.sender_eth ~off:Ether.header_length p in
-          let e = self#entry ip in
-          e.ae_eth <- Some eth;
-          match e.ae_pending with
-          | Some held ->
-              e.ae_pending <- None;
-              self#encap_and_send held eth
-          | None -> ()
-        end
+        (if
+           Packet.length p >= Ether.header_length + Arp.packet_length
+           && Arp.op ~off:Ether.header_length p = Arp.op_reply
+         then begin
+           let ip = Arp.sender_ip ~off:Ether.header_length p in
+           let eth = Arp.sender_eth ~off:Ether.header_length p in
+           let e = self#entry ip in
+           e.ae_eth <- Some eth;
+           match e.ae_pending with
+           | Some held ->
+               e.ae_pending <- None;
+               self#encap_and_send held eth
+           | None -> ()
+         end);
+        (* The response itself (or whatever malformed frame landed on the
+           response port) is consumed here either way. *)
+        self#drop ~reason:"ARP response consumed" p
       end
 
     method! stats =
+      let pending =
+        Hashtbl.fold
+          (fun _ e acc -> if e.ae_pending <> None then acc + 1 else acc)
+          table 0
+      in
       [
         ("queries", queries);
         ("responses", responses);
         ("encapsulated", encapsulated);
         ("cached", Hashtbl.length table);
+        ("pending", pending);
       ]
   end
 
@@ -146,7 +156,9 @@ class arp_responder name =
                 ~dst_ip:(Arp.sender_ip ~off:Ether.header_length p)
             in
             replies <- replies + 1;
-            self#output 0 reply
+            self#spawn reply;
+            self#output 0 reply;
+            self#drop ~reason:"ARP request consumed" p
         | None -> self#drop ~reason:"not my address" p
       end
       else self#drop ~reason:"not an ARP request" p

@@ -25,13 +25,17 @@ class discard name =
       | Error _ -> ());
       Ok ()
 
-    method! push _ _p = count <- count + 1
+    method! push _ p =
+      count <- count + 1;
+      self#drop ~reason:"discarded" p
+
     method! wants_task = pull_mode
 
     method! run_task =
       match self#input_pull 0 with
-      | Some _ ->
+      | Some p ->
           count <- count + 1;
+          self#drop ~reason:"discarded" p;
           true
       | None -> false
 
@@ -39,12 +43,12 @@ class discard name =
   end
 
 class idle name =
-  object
+  object (self)
     inherit E.base name
     method class_name = "Idle"
     method! port_count = "-/-"
     method! processing = "a/a"
-    method! push _ p = ignore p
+    method! push _ p = self#drop ~reason:"discarded" p
     method! pull _ = None
     method! configure _ = Ok ()
   end
@@ -102,7 +106,9 @@ class tee name =
 
     method! push _ p =
       for port = 1 to self#noutputs - 1 do
-        self#output port (Packet.clone p)
+        let c = Packet.clone p in
+        self#spawn c;
+        self#output port c
       done;
       self#output 0 p
   end

@@ -134,8 +134,11 @@ class ip_output_combo name =
       | Packet.Broadcast | Packet.Multicast ->
           self#drop ~reason:"link-level broadcast" p
       | Packet.To_host | Packet.To_other ->
-          if anno.Packet.paint = color && self#noutputs > 1 then
-            self#output 1 (Packet.clone p);
+          if anno.Packet.paint = color && self#noutputs > 1 then begin
+            let c = Packet.clone p in
+            self#spawn c;
+            self#output 1 c
+          end;
           if not (self#options_ok p) then self#reject 2 "bad IP options" p
           else begin
             if anno.Packet.fix_ip_src then begin

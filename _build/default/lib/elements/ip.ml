@@ -37,8 +37,11 @@ class check_paint name =
       | _ -> Error "CheckPaint expects a color"
 
     method private tee p =
-      if (Packet.anno p).Packet.paint = color && self#noutputs > 1 then
-        self#output 1 (Packet.clone p)
+      if (Packet.anno p).Packet.paint = color && self#noutputs > 1 then begin
+        let c = Packet.clone p in
+        self#spawn c;
+        self#output 1 c
+      end
 
     method! push _ p =
       self#tee p;
@@ -374,11 +377,15 @@ class ip_fragmenter name =
             anno.Packet.paint <- orig.Packet.paint;
             anno.Packet.device <- orig.Packet.device;
             fragments <- fragments + 1;
+            self#spawn frag;
             self#output 0 frag;
             emit (off + this_len)
           end
         in
-        emit 0
+        emit 0;
+        (* The original is consumed; its payload lives on in the
+           fragments, which are accounted as spawns. *)
+        self#drop ~reason:"fragmented" p
       end
 
     method! stats = [ ("fragments", fragments); ("too_big", too_big) ]
@@ -470,7 +477,9 @@ class icmp_error name =
         anno.Packet.dst_ip <- Ip.src p;
         anno.Packet.fix_ip_src <- true;
         sent <- sent + 1;
-        self#output 0 e
+        self#spawn e;
+        self#output 0 e;
+        self#drop ~reason:"ICMP error generated" p
       end
 
     method! stats = [ ("sent", sent) ]

@@ -1,0 +1,316 @@
+module Packet = Oclick_packet.Packet
+module Headers = Oclick_packet.Headers
+
+module Rng = struct
+  type t = { seed0 : int; mutable s : int }
+
+  let mask = (1 lsl 62) - 1
+
+  (* Scramble the raw seed so that nearby seeds (1, 2, 3...) give
+     uncorrelated streams; avoid the all-zero fixed point. *)
+  let create ~seed =
+    let s = ref (seed land mask) in
+    for _ = 1 to 4 do
+      s := (!s * 0x2545F4914F6CDD1D) + 0x9E3779B9 land mask;
+      s := !s land mask
+    done;
+    if !s = 0 then s := 0x5DEECE66D;
+    { seed0 = !s; s = !s }
+
+  let bits t =
+    let x = t.s in
+    let x = x lxor (x lsl 13) land mask in
+    let x = x lxor (x lsr 7) in
+    let x = x lxor (x lsl 17) land mask in
+    t.s <- x;
+    x
+
+  let split t label =
+    (* Child seed from the parent seed and the label only — not from the
+       parent's draw position — so stream identity is stable no matter
+       when the child is first requested. *)
+    create ~seed:(t.seed0 lxor (Hashtbl.hash label * 0x9E3779B97F4A7C1))
+
+  let int t n =
+    if n <= 0 then invalid_arg "Fault.Rng.int";
+    bits t mod n
+
+  (* [mask + 1] is 2^62, which overflows a 63-bit native int — scale by
+     ldexp instead. *)
+  let float t = Stdlib.ldexp (Stdlib.float_of_int (bits t)) (-62)
+
+  let coin t p =
+    let u = float t in
+    p > 0. && u < p
+end
+
+module Plan = struct
+  type window = { w_dev : string; w_start_ns : int; w_len_ns : int }
+
+  type t = {
+    p_seed : int;
+    p_corrupt : float;
+    p_truncate : float;
+    p_ttl0 : float;
+    p_badcksum : float;
+    p_badlen : float;
+    p_runt : float;
+    p_nic_stall : window list;
+    p_pci_stall : window list;
+    p_quarantine : int;
+  }
+
+  let default_quarantine = 8
+
+  let default =
+    {
+      p_seed = 1;
+      p_corrupt = 0.;
+      p_truncate = 0.;
+      p_ttl0 = 0.;
+      p_badcksum = 0.;
+      p_badlen = 0.;
+      p_runt = 0.;
+      p_nic_stall = [];
+      p_pci_stall = [];
+      p_quarantine = default_quarantine;
+    }
+
+  let is_null t =
+    t.p_corrupt = 0. && t.p_truncate = 0. && t.p_ttl0 = 0.
+    && t.p_badcksum = 0. && t.p_badlen = 0. && t.p_runt = 0.
+    && t.p_nic_stall = [] && t.p_pci_stall = []
+
+  let parse_prob key v =
+    match float_of_string_opt v with
+    | Some f when f >= 0. && f <= 1. -> Ok f
+    | Some _ -> Error (Printf.sprintf "%s: probability %s out of [0,1]" key v)
+    | None -> Error (Printf.sprintf "%s: bad probability %S" key v)
+
+  (* DEV@START_US:LEN_US *)
+  let parse_window key v =
+    let fail () =
+      Error (Printf.sprintf "%s: bad window %S (want DEV@START_US:LEN_US)" key v)
+    in
+    match String.index_opt v '@' with
+    | None -> fail ()
+    | Some at -> (
+        let dev = String.sub v 0 at in
+        let rest = String.sub v (at + 1) (String.length v - at - 1) in
+        match String.index_opt rest ':' with
+        | None -> fail ()
+        | Some colon -> (
+            let start = String.sub rest 0 colon in
+            let len =
+              String.sub rest (colon + 1) (String.length rest - colon - 1)
+            in
+            match (int_of_string_opt start, int_of_string_opt len) with
+            | Some s, Some l when s >= 0 && l > 0 && dev <> "" ->
+                Ok { w_dev = dev; w_start_ns = s * 1000; w_len_ns = l * 1000 }
+            | _ -> fail ()))
+
+  let parse ?seed spec =
+    let ( let* ) = Result.bind in
+    let settings =
+      String.split_on_char ',' spec
+      |> List.map String.trim
+      |> List.filter (fun s -> s <> "")
+    in
+    let* t =
+      List.fold_left
+        (fun acc setting ->
+          let* t = acc in
+          match String.index_opt setting '=' with
+          | None -> Error (Printf.sprintf "bad setting %S (want key=value)" setting)
+          | Some i -> (
+              let key = String.sub setting 0 i in
+              let v =
+                String.sub setting (i + 1) (String.length setting - i - 1)
+              in
+              match key with
+              | "corrupt" ->
+                  let* f = parse_prob key v in
+                  Ok { t with p_corrupt = f }
+              | "truncate" ->
+                  let* f = parse_prob key v in
+                  Ok { t with p_truncate = f }
+              | "ttl0" ->
+                  let* f = parse_prob key v in
+                  Ok { t with p_ttl0 = f }
+              | "badcksum" ->
+                  let* f = parse_prob key v in
+                  Ok { t with p_badcksum = f }
+              | "badlen" ->
+                  let* f = parse_prob key v in
+                  Ok { t with p_badlen = f }
+              | "runt" ->
+                  let* f = parse_prob key v in
+                  Ok { t with p_runt = f }
+              | "nic-stall" ->
+                  let* w = parse_window key v in
+                  Ok { t with p_nic_stall = t.p_nic_stall @ [ w ] }
+              | "pci-stall" ->
+                  let* w = parse_window key v in
+                  Ok { t with p_pci_stall = t.p_pci_stall @ [ w ] }
+              | "seed" -> (
+                  match int_of_string_opt v with
+                  | Some s -> Ok { t with p_seed = s }
+                  | None -> Error (Printf.sprintf "seed: bad integer %S" v))
+              | "quarantine" -> (
+                  match int_of_string_opt v with
+                  | Some n when n >= 0 -> Ok { t with p_quarantine = n }
+                  | _ -> Error (Printf.sprintf "quarantine: bad count %S" v))
+              | _ -> Error (Printf.sprintf "unknown fault key %S" key)))
+        (Ok default) settings
+    in
+    let* () =
+      if t.p_ttl0 +. t.p_badcksum +. t.p_badlen +. t.p_runt > 1. then
+        Error "ttl0+badcksum+badlen+runt probabilities exceed 1"
+      else Ok ()
+    in
+    match seed with None -> Ok t | Some s -> Ok { t with p_seed = s }
+
+  let to_string t =
+    let b = Buffer.create 64 in
+    let add fmt = Printf.ksprintf (fun s ->
+        if Buffer.length b > 0 then Buffer.add_char b ',';
+        Buffer.add_string b s) fmt
+    in
+    if t.p_seed <> default.p_seed then add "seed=%d" t.p_seed;
+    let prob key v = if v > 0. then add "%s=%g" key v in
+    prob "corrupt" t.p_corrupt;
+    prob "truncate" t.p_truncate;
+    prob "ttl0" t.p_ttl0;
+    prob "badcksum" t.p_badcksum;
+    prob "badlen" t.p_badlen;
+    prob "runt" t.p_runt;
+    List.iter
+      (fun w ->
+        add "nic-stall=%s@%d:%d" w.w_dev (w.w_start_ns / 1000)
+          (w.w_len_ns / 1000))
+      t.p_nic_stall;
+    List.iter
+      (fun w ->
+        add "pci-stall=%s@%d:%d" w.w_dev (w.w_start_ns / 1000)
+          (w.w_len_ns / 1000))
+      t.p_pci_stall;
+    if t.p_quarantine <> default.p_quarantine then
+      add "quarantine=%d" t.p_quarantine;
+    Buffer.contents b
+
+  let stall_until windows ~dev ~now_ns =
+    List.fold_left
+      (fun acc w ->
+        if
+          w.w_dev = dev && now_ns >= w.w_start_ns
+          && now_ns < w.w_start_ns + w.w_len_ns
+        then
+          let until = w.w_start_ns + w.w_len_ns in
+          match acc with
+          | Some u when u >= until -> acc
+          | _ -> Some until
+        else acc)
+      None windows
+end
+
+module Counters = struct
+  type t = (string, int ref) Hashtbl.t
+
+  let create () : t = Hashtbl.create 8
+
+  let bump t kind =
+    match Hashtbl.find_opt t kind with
+    | Some r -> incr r
+    | None -> Hashtbl.replace t kind (ref 1)
+
+  let to_list t =
+    Hashtbl.fold (fun k r acc -> (k, !r) :: acc) t []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+  let total t = Hashtbl.fold (fun _ r acc -> acc + !r) t 0
+end
+
+module Injector = struct
+  type t = {
+    i_plan : Plan.t;
+    i_root : Rng.t;
+    i_streams : (string, Rng.t) Hashtbl.t;
+    i_counts : Counters.t;
+  }
+
+  let create plan =
+    {
+      i_plan = plan;
+      i_root = Rng.create ~seed:plan.Plan.p_seed;
+      i_streams = Hashtbl.create 8;
+      i_counts = Counters.create ();
+    }
+
+  let plan t = t.i_plan
+  let counters t = Counters.to_list t.i_counts
+  let total t = Counters.total t.i_counts
+
+  let stream t name =
+    match Hashtbl.find_opt t.i_streams name with
+    | Some r -> r
+    | None ->
+        let r = Rng.split t.i_root name in
+        Hashtbl.replace t.i_streams name r;
+        r
+
+  let ip_off = Headers.Ether.header_length
+
+  (* One generation fault at most, selected by a single uniform draw over
+     the cumulative probabilities — mirrors how a real damaged sender
+     emits one kind of broken frame at a time. *)
+  let mangle_tx t ~stream:name p =
+    let plan = t.i_plan in
+    let rng = stream t name in
+    let u = Rng.float rng in
+    let ip_ok = Packet.length p >= ip_off + Headers.Ip.min_header_length in
+    let c1 = plan.Plan.p_ttl0 in
+    let c2 = c1 +. plan.Plan.p_badcksum in
+    let c3 = c2 +. plan.Plan.p_badlen in
+    let c4 = c3 +. plan.Plan.p_runt in
+    if u < c1 && ip_ok then begin
+      Headers.Ip.set_ttl ~off:ip_off p 0;
+      Headers.Ip.update_checksum ~off:ip_off p;
+      Counters.bump t.i_counts "ttl0"
+    end
+    else if u < c2 && ip_ok then begin
+      (* Flip all checksum bits: guaranteed wrong for a valid header. *)
+      let cksum = Packet.get_u16 p (ip_off + 10) in
+      Packet.set_u16 p (ip_off + 10) (cksum lxor 0xffff);
+      Counters.bump t.i_counts "badcksum"
+    end
+    else if u < c3 && ip_ok then begin
+      (* Header length nibble 4 => 16 bytes, below the IPv4 minimum. *)
+      Packet.set_u8 p ip_off 0x44;
+      Headers.Ip.update_checksum ~off:ip_off p;
+      Counters.bump t.i_counts "badlen"
+    end
+    else if u < c4 && Packet.length p > 1 then begin
+      let keep = 1 + Rng.int rng (min (Packet.length p - 1) 13) in
+      Packet.take p (Packet.length p - keep);
+      Counters.bump t.i_counts "runt"
+    end
+
+  let mangle_wire t ~stream:name p =
+    let plan = t.i_plan in
+    let rng = stream t name in
+    (* Draw both coins unconditionally so stream positions do not depend
+       on which faults are enabled. *)
+    let corrupt = Rng.coin rng plan.Plan.p_corrupt in
+    let truncate = Rng.coin rng plan.Plan.p_truncate in
+    if corrupt && Packet.length p > 0 then begin
+      let pos = Rng.int rng (Packet.length p) in
+      let bit = Rng.int rng 8 in
+      Packet.set_u8 p pos (Packet.get_u8 p pos lxor (1 lsl bit));
+      Counters.bump t.i_counts "corrupt"
+    end;
+    if truncate && Packet.length p > 1 then begin
+      let cut = 1 + Rng.int rng (Packet.length p - 1) in
+      Packet.take p cut;
+      Counters.bump t.i_counts "truncate"
+    end
+end

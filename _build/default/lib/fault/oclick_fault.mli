@@ -1,0 +1,122 @@
+(** Seeded, deterministic fault injection.
+
+    A {!Plan.t} — parsed from a compact spec string — describes {e what}
+    can go wrong: malformed traffic generation (bad IP checksums, bad
+    header lengths, TTL=0, runt frames), in-flight corruption and
+    truncation, and NIC/PCI stall windows. An {!Injector.t} is a live
+    instance of a plan: it owns the named random streams that make every
+    decision reproducible, and counts each fault it injects by kind.
+
+    Determinism contract: all randomness derives from the plan's seed
+    through named sub-streams ({!Rng.split}), so two runs with the same
+    plan and the same per-stream draw sequence make byte-identical
+    decisions — independent of wall clock, of scheduling order between
+    streams, and of the router configuration under test. *)
+
+module Rng : sig
+  type t
+
+  val create : seed:int -> t
+  (** A 62-bit xorshift generator. Any seed is accepted. *)
+
+  val split : t -> string -> t
+  (** [split t label] derives an independent child stream. Equal
+      [(seed, label)] pairs yield identical streams. *)
+
+  val bits : t -> int
+  (** The next 62 pseudo-random bits (non-negative). *)
+
+  val int : t -> int -> int
+  (** [int t n] is uniform in [\[0, n)]. [n] must be positive. *)
+
+  val float : t -> float
+  (** Uniform in [\[0, 1)]. *)
+
+  val coin : t -> float -> bool
+  (** [coin t p] is true with probability [p]. Always consumes exactly
+      one draw, even for [p <= 0.] or [p >= 1.] — stream positions stay
+      aligned across plans that differ only in probabilities. *)
+end
+
+module Plan : sig
+  type window = {
+    w_dev : string;  (** device name ([nic-stall]) or bus id ([pci-stall]) *)
+    w_start_ns : int;
+    w_len_ns : int;
+  }
+
+  type t = {
+    p_seed : int;
+    p_corrupt : float;  (** per-frame single-bit wire corruption *)
+    p_truncate : float;  (** per-frame tail truncation on the wire *)
+    p_ttl0 : float;  (** generated IP packet with TTL = 0 *)
+    p_badcksum : float;  (** generated IP packet with a wrong checksum *)
+    p_badlen : float;  (** generated IP packet with header length < 20 *)
+    p_runt : float;  (** generated frame shorter than an Ethernet header *)
+    p_nic_stall : window list;  (** DMA stall windows, by device name *)
+    p_pci_stall : window list;  (** bus arbitration stall windows *)
+    p_quarantine : int;  (** consecutive faults before quarantine *)
+  }
+
+  val default : t
+  (** Seed 1, no faults, quarantine threshold {!default_quarantine}. *)
+
+  val default_quarantine : int
+
+  val parse : ?seed:int -> string -> (t, string) result
+  (** Parse a spec string: comma-separated [key=value] settings.
+
+      Probabilities (in [0..1]): [corrupt], [truncate], [ttl0],
+      [badcksum], [badlen], [runt].
+      Stall windows (microseconds, repeatable):
+      [nic-stall=DEV\@START:LEN], [pci-stall=BUS\@START:LEN].
+      Integers: [seed] (overridden by the [?seed] argument), [quarantine].
+      The empty string parses to a fault-free plan. *)
+
+  val to_string : t -> string
+  (** A spec string that reparses to the same plan (sans default seed). *)
+
+  val is_null : t -> bool
+  (** No fault of any kind can fire. *)
+
+  val stall_until : window list -> dev:string -> now_ns:int -> int option
+  (** If [now_ns] falls inside a stall window for [dev], the absolute
+      time at which the longest such window ends. *)
+end
+
+module Counters : sig
+  type t
+
+  val create : unit -> t
+  val bump : t -> string -> unit
+  val to_list : t -> (string * int) list
+  (** Sorted by kind name. *)
+
+  val total : t -> int
+end
+
+module Injector : sig
+  type t
+
+  val create : Plan.t -> t
+  val plan : t -> Plan.t
+  val counters : t -> (string * int) list
+  (** Faults injected so far, by kind, sorted. *)
+
+  val total : t -> int
+
+  val stream : t -> string -> Rng.t
+  (** The named sub-stream for one decision source (e.g. one traffic
+      host). Created on first use; stable thereafter. *)
+
+  val mangle_tx : t -> stream:string -> Oclick_packet.Packet.t -> unit
+  (** Generation-side faults on a well-formed Ethernet+IP frame: at most
+      one of TTL=0 / bad checksum / bad header length / runt, chosen by
+      the plan's probabilities. Draws exactly one coin plus any
+      fault-specific randomness. Frames too short for an IP header only
+      qualify for the runt fault. *)
+
+  val mangle_wire : t -> stream:string -> Oclick_packet.Packet.t -> unit
+  (** Wire faults: single-bit corruption and/or tail truncation,
+      independent coins. *)
+end

@@ -1,1 +1,1 @@
-lib/hw/host.ml: Engine Hashtbl Oclick_packet Platform
+lib/hw/host.ml: Engine Hashtbl Oclick_fault Oclick_packet Platform

@@ -1,1 +1,1 @@
-lib/hw/host.mli: Engine Oclick_packet Platform
+lib/hw/host.mli: Engine Oclick_fault Oclick_packet Platform

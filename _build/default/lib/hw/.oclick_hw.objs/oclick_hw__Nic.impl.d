@@ -1,1 +1,1 @@
-lib/hw/nic.ml: Engine Oclick_packet Pci Platform Queue
+lib/hw/nic.ml: Engine List Oclick_packet Pci Platform Queue

@@ -1,1 +1,1 @@
-lib/hw/pci.ml: Array Engine Queue
+lib/hw/pci.ml: Array Engine List Queue

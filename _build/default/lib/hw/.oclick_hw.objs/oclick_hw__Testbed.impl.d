@@ -1,1 +1,1 @@
-lib/hw/testbed.ml: Array Btb Cost_model Engine Host List Nic Oclick_graph Oclick_packet Oclick_runtime Pci Platform Printf String
+lib/hw/testbed.ml: Array Btb Cost_model Engine Hashtbl Host List Nic Oclick_fault Oclick_graph Oclick_packet Oclick_runtime Option Pci Platform Printf String

@@ -1,1 +1,1 @@
-lib/hw/testbed.mli: Oclick_graph Oclick_packet Platform Stdlib
+lib/hw/testbed.mli: Oclick_fault Oclick_graph Oclick_packet Platform Stdlib

@@ -1,16 +1,21 @@
 module Packet = Oclick_packet.Packet
 module Headers = Oclick_packet.Headers
 module Ethaddr = Oclick_packet.Ethaddr
+module Fault = Oclick_fault
 
 let arp_reply_delay_ns = 5_000
 
-class host ~engine ~platform ~ip ~eth ~router_eth () =
+class host ~engine ~platform ~ip ~eth ~router_eth ?injector
+  ?(fault_stream = "host") () =
   object (self)
     val mutable wire : Packet.t -> unit = ignore
     val mutable sent_udp = 0
+    val mutable sent_frames = 0
     val mutable received_udp = 0
     val mutable received_icmp = 0
+    val mutable received_arp = 0
     val mutable received_other = 0
+    val mutable received_total = 0
     (* Deterministic per-host jitter stream: "even" flows still have
        phase drift and burstiness in practice, which is what lets a
        nearly-saturated PCI bus overflow NIC FIFOs transiently. *)
@@ -24,6 +29,7 @@ class host ~engine ~platform ~ip ~eth ~router_eth () =
       interval * (60 + (s mod 80)) / 100
 
     method private transmit p =
+      sent_frames <- sent_frames + 1;
       (* The frame occupies the host->router wire; generation rates are
          paced below so a busy wire never reorders frames. *)
       Engine.schedule_after engine
@@ -31,9 +37,16 @@ class host ~engine ~platform ~ip ~eth ~router_eth () =
         (fun () -> wire p)
 
     method receive p =
-      if Packet.length p >= Headers.Ether.header_length then begin
+      (* Every frame handed to the host is accounted: the ledger treats
+         reception — even of a runt or an unparseable frame — as a packet
+         death. *)
+      received_total <- received_total + 1;
+      if Packet.length p < Headers.Ether.header_length then
+        received_other <- received_other + 1
+      else begin
         match Headers.Ether.ethertype p with
         | t when t = Headers.Ether.ethertype_arp ->
+            received_arp <- received_arp + 1;
             if
               Packet.length p
               >= Headers.Ether.header_length + Headers.Arp.packet_length
@@ -48,7 +61,11 @@ class host ~engine ~platform ~ip ~eth ~router_eth () =
               Engine.schedule_after engine ~delay:arp_reply_delay_ns (fun () ->
                   self#transmit reply)
             end
-        | t when t = Headers.Ether.ethertype_ip -> (
+        | t
+          when t = Headers.Ether.ethertype_ip
+               && Packet.length p
+                  >= Headers.Ether.header_length + Headers.Ip.min_header_length
+          -> (
             match Headers.Ip.protocol ~off:14 p with
             | 17 -> received_udp <- received_udp + 1
             | 1 -> received_icmp <- received_icmp + 1
@@ -78,6 +95,15 @@ class host ~engine ~platform ~ip ~eth ~router_eth () =
               Headers.Build.udp ~src_eth:eth ~dst_eth:router_eth ~src_ip:ip
                 ~dst_ip ~payload_len ()
             in
+            (* Fault injection draws only from this host's own stream, so
+               the fault schedule is a function of (plan, seed, host) —
+               independent of router timing, which is what makes
+               differential runs comparable. *)
+            (match injector with
+            | Some inj ->
+                Fault.Injector.mangle_tx inj ~stream:fault_stream p;
+                Fault.Injector.mangle_wire inj ~stream:fault_stream p
+            | None -> ());
             sent_udp <- sent_udp + 1;
             self#transmit p;
             let wanted = self#next_jittered interval + !debt in
@@ -90,9 +116,12 @@ class host ~engine ~platform ~ip ~eth ~router_eth () =
       end
 
     method sent_udp = sent_udp
+    method sent_frames = sent_frames
     method received_udp = received_udp
     method received_icmp = received_icmp
+    method received_arp = received_arp
     method received_other = received_other
+    method received_total = received_total
 
     method reset_counters =
       sent_udp <- 0;

@@ -3,7 +3,14 @@
     Each host sits on a full-duplex point-to-point link to one router
     interface. It generates an even flow of 64-byte UDP packets at a
     configured rate, answers ARP queries for its address, and counts the
-    UDP packets it receives. *)
+    UDP packets it receives.
+
+    With an {!Oclick_fault.Injector.t} installed the host doubles as the
+    testbed's fault source: generated frames are mangled (TTL=0, bad
+    checksums, bad header lengths, runts) and wire-damaged (bit flips,
+    truncation) according to the injector's plan, drawing only from this
+    host's named random stream so the fault schedule is independent of
+    router timing. *)
 
 class host :
   engine:Engine.t
@@ -11,6 +18,8 @@ class host :
   -> ip:Oclick_packet.Ipaddr.t
   -> eth:Oclick_packet.Ethaddr.t
   -> router_eth:Oclick_packet.Ethaddr.t
+  -> ?injector:Oclick_fault.Injector.t
+  -> ?fault_stream:string (* this host's stream label; default "host" *)
   -> unit
   -> object
        method set_wire : (Oclick_packet.Packet.t -> unit) -> unit
@@ -28,5 +37,19 @@ class host :
        method received_udp : int
        method received_icmp : int
        method received_other : int
+
+       (** {2 Ledger counters — never reset} *)
+
+       method sent_frames : int
+       (** Every frame put on the wire, including ARP replies. *)
+
+       method received_arp : int
+
+       method received_total : int
+       (** Every frame handed to {!receive}, parseable or not. *)
+
        method reset_counters : unit
+       (** Resets the per-window counters ([sent_udp],
+           [received_udp/icmp/other]) only; ledger counters are
+           monotonic. *)
      end

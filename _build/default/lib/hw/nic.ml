@@ -11,7 +11,8 @@ type outcomes = {
 let descriptor_bytes = 16
 
 class tulip ~engine ~pci ~platform ~name ?(bus_id = 0) ?(rx_ring = 32)
-  ?(tx_ring = 32) ?(fifo_bytes = 4096) ~deliver ~on_cpu_rx ~on_cpu_tx () =
+  ?(tx_ring = 32) ?(fifo_bytes = 4096) ?(dma_stall = []) ~deliver ~on_cpu_rx
+  ~on_cpu_tx () =
   object (self)
     val fifo : Packet.t Queue.t = Queue.create ()
     val mutable fifo_fill = 0
@@ -21,6 +22,7 @@ class tulip ~engine ~pci ~platform ~name ?(bus_id = 0) ?(rx_ring = 32)
     val mutable rx_dma_busy = false
     val mutable tx_dma_busy = false
     val mutable tx_wire_busy = false
+    val mutable stall_resume_scheduled = false
     val outcomes =
       {
         o_wire_rx = 0;
@@ -32,6 +34,34 @@ class tulip ~engine ~pci ~platform ~name ?(bus_id = 0) ?(rx_ring = 32)
 
     method device_name : string = name
     method outcomes = outcomes
+
+    method buffered =
+      Queue.length fifo + Queue.length rx_q + Queue.length tx_q
+      + Queue.length tx_card
+
+    (* Injected DMA stalls ([dma_stall] windows, (start_ns, len_ns)): the
+       DMA engines do nothing inside a window; frames pile up in the
+       on-card FIFO (overflow bursts) and the TX ring backs up. Resume is
+       scheduled once per window. *)
+    method private stalled_until =
+      let now = Engine.now engine in
+      List.fold_left
+        (fun acc (start, len) ->
+          if now >= start && now < start + len then
+            match acc with
+            | Some u when u >= start + len -> acc
+            | _ -> Some (start + len)
+          else acc)
+        None dma_stall
+
+    method private defer_until_stall_end until =
+      if not stall_resume_scheduled then begin
+        stall_resume_scheduled <- true;
+        Engine.schedule engine ~at:until (fun () ->
+            stall_resume_scheduled <- false;
+            self#kick_rx_dma;
+            self#kick_tx_dma)
+      end
 
     (* --- wire RX -> FIFO -> (PCI) -> RX ring --- *)
 
@@ -48,6 +78,9 @@ class tulip ~engine ~pci ~platform ~name ?(bus_id = 0) ?(rx_ring = 32)
       end
 
     method private kick_rx_dma =
+      match self#stalled_until with
+      | Some until -> self#defer_until_stall_end until
+      | None ->
       if (not rx_dma_busy) && not (Queue.is_empty fifo) then begin
         rx_dma_busy <- true;
         (* First descriptor fetch. *)
@@ -111,6 +144,9 @@ class tulip ~engine ~pci ~platform ~name ?(bus_id = 0) ?(rx_ring = 32)
        frees the ring slot. *)
 
     method private kick_tx_dma =
+      match self#stalled_until with
+      | Some until -> self#defer_until_stall_end until
+      | None ->
       if
         (not tx_dma_busy)
         && (not (Queue.is_empty tx_q))

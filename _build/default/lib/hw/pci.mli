@@ -11,8 +11,16 @@
 type t
 
 val create :
-  Engine.t -> bytes_per_sec:int -> ?overhead_ns:int -> unit -> t
-(** [overhead_ns] defaults to 120. *)
+  Engine.t ->
+  bytes_per_sec:int ->
+  ?overhead_ns:int ->
+  ?stall_windows:(int * int) list ->
+  unit ->
+  t
+(** [overhead_ns] defaults to 120. [stall_windows] are injected
+    arbitration stalls, [(start_ns, len_ns)]: while inside a window the
+    arbiter grants nothing, and pending transactions wait — fault
+    injection for the evaluation testbed. *)
 
 val request : t -> requester:int -> bytes:int -> (unit -> unit) -> unit
 (** Enqueue a transaction for a device; the callback fires when it
@@ -21,6 +29,9 @@ val request : t -> requester:int -> bytes:int -> (unit -> unit) -> unit
 
 val busy_ns : t -> int
 (** Total bus-occupied time, ns. *)
+
+val stall_ns : t -> int
+(** Total injected-stall time, ns. *)
 
 val bytes_moved : t -> int
 val transactions : t -> int

@@ -3,6 +3,7 @@ module Ethaddr = Oclick_packet.Ethaddr
 module Hooks = Oclick_runtime.Hooks
 module Driver = Oclick_runtime.Driver
 module Router = Oclick_graph.Router
+module Fault = Oclick_fault
 
 type port_spec = {
   ps_device : string;
@@ -38,7 +39,16 @@ type outcome_counts = {
   oc_fifo_overflow : int;
   oc_missed_frame : int;
   oc_queue_drop : int;
+  oc_element_fault : int;
   oc_other_drop : int;
+}
+
+type conservation = {
+  cv_births : int;
+  cv_deliveries : int;
+  cv_nic_drops : int;
+  cv_hook_drops : int;
+  cv_residual : int;
 }
 
 type result = {
@@ -55,6 +65,13 @@ type result = {
   r_pci_utilization : float;
   r_cpu_utilization : float;
   r_code_footprint : int;
+  r_drop_reasons : (string * int) list;
+  r_fault_counts : (string * int) list;
+  r_element_faults : (string * int) list;
+  r_warnings : string list;
+  r_outcomes_total : outcome_counts;
+  r_drop_reasons_total : (string * int) list;
+  r_conservation : conservation;
 }
 
 (* Programmed-I/O cost per packet for the Pro/1000 (paper §8.5): the
@@ -64,8 +81,8 @@ let pio_ns_per_packet (p : Platform.t) =
 
 let ms n = n * 1_000_000
 
-let run ?(duration_ms = 60) ?(warmup_ms = 30) ?ports ?flows ?(payload_len = 14)
-    ~platform ~graph ~input_pps () =
+let run ?(duration_ms = 60) ?(warmup_ms = 30) ?(drain_ms = 10) ?ports ?flows
+    ?(payload_len = 14) ?fault ~platform ~graph ~input_pps () =
   let nports = platform.Platform.p_nports in
   let ports =
     match ports with Some p -> p | None -> standard_ports nports
@@ -74,6 +91,21 @@ let run ?(duration_ms = 60) ?(warmup_ms = 30) ?ports ?flows ?(payload_len = 14)
   if List.length ports < nports then Error "not enough port specs"
   else begin
     let engine = Engine.create () in
+    let injector = Option.map Fault.Injector.create fault in
+    let quarantine =
+      Option.map (fun pl -> pl.Fault.Plan.p_quarantine) fault
+    in
+    let windows_for sel dev =
+      match fault with
+      | None -> []
+      | Some pl ->
+          List.filter_map
+            (fun w ->
+              if w.Fault.Plan.w_dev = dev then
+                Some (w.Fault.Plan.w_start_ns, w.Fault.Plan.w_len_ns)
+              else None)
+            (sel pl)
+    in
     let cm = Cost_model.create () in
     let ns_of_cycles c = Platform.ns_of_cycles platform c in
     (* Per-category CPU time, in ns. *)
@@ -103,10 +135,15 @@ let run ?(duration_ms = 60) ?(warmup_ms = 30) ?ports ?flows ?(payload_len = 14)
       | Platform.Pro1000, true -> 75
     in
     let buses =
-      Array.init platform.Platform.p_pci_buses (fun _ ->
+      Array.init platform.Platform.p_pci_buses (fun b ->
           Pci.create engine
             ~bytes_per_sec:(Platform.pci_bytes_per_sec platform)
-            ~overhead_ns ())
+            ~overhead_ns
+            ~stall_windows:
+              (windows_for
+                 (fun pl -> pl.Fault.Plan.p_pci_stall)
+                 (string_of_int b))
+            ())
     in
     (* Hosts and NICs. *)
     let port_arr = Array.of_list ports in
@@ -114,13 +151,16 @@ let run ?(duration_ms = 60) ?(warmup_ms = 30) ?ports ?flows ?(payload_len = 14)
       Array.init nports (fun i ->
           let ps = port_arr.(i) in
           new Host.host ~engine ~platform ~ip:ps.ps_host_ip ~eth:ps.ps_host_eth
-            ~router_eth:ps.ps_router_eth ())
+            ~router_eth:ps.ps_router_eth ?injector
+            ~fault_stream:("tx:" ^ ps.ps_device) ())
     in
     let nics =
       Array.init nports (fun i ->
           let ps = port_arr.(i) in
           new Nic.tulip ~engine ~pci:buses.(i mod Array.length buses)
             ~platform ~name:ps.ps_device ~bus_id:i
+            ~dma_stall:
+              (windows_for (fun pl -> pl.Fault.Plan.p_nic_stall) ps.ps_device)
             ~deliver:(fun p -> hosts.(i)#receive p)
             ~on_cpu_rx:(fun () ->
               charge_cat Cost_model.Receive
@@ -143,6 +183,33 @@ let run ?(duration_ms = 60) ?(warmup_ms = 30) ?ports ?flows ?(payload_len = 14)
             ())
     in
     Array.iteri (fun i h -> h#set_wire (fun p -> nics.(i)#wire_arrive p)) hosts;
+    (* Packet-conservation ledger: births (host frames + in-router
+       spawns) must equal deaths (host receptions + NIC drops + hooked
+       drops) plus whatever is still buffered when the run ends. All
+       ledger counters are monotonic from t=0; measurement windows are
+       snapshot differences. *)
+    let drops_total : (string, int ref) Hashtbl.t = Hashtbl.create 16 in
+    let bump_drop reason =
+      match Hashtbl.find_opt drops_total reason with
+      | Some r -> incr r
+      | None -> Hashtbl.replace drops_total reason (ref 1)
+    in
+    let drops_snapshot () =
+      Hashtbl.fold (fun k r acc -> (k, !r) :: acc) drops_total []
+      |> List.sort compare
+    in
+    let drops_sum snap = List.fold_left (fun a (_, n) -> a + n) 0 snap in
+    (* window = later snapshot minus earlier, per reason *)
+    let drops_diff ~from:earlier later =
+      List.filter_map
+        (fun (k, n) ->
+          let n = n - Option.value ~default:0 (List.assoc_opt k earlier) in
+          if n > 0 then Some (k, n) else None)
+        later
+    in
+    let spawns_total = ref 0 in
+    let element_faults = Fault.Counters.create () in
+    let warnings = ref [] in
     (* Instrumentation hooks: the cost model prices every transfer and
        every unit of element work. *)
     let hooks =
@@ -175,13 +242,19 @@ let run ?(duration_ms = 60) ?(warmup_ms = 30) ?ports ?flows ?(payload_len = 14)
         Hooks.on_drop =
           (fun ~idx:_ ~cls:_ ~reason _p ->
             if String.equal reason "queue full" then incr queue_drops
-            else incr other_drops);
+            else incr other_drops;
+            bump_drop reason);
+        Hooks.on_spawn = (fun ~idx:_ ~cls:_ _p -> incr spawns_total);
+        Hooks.on_fault =
+          (fun ~idx:_ ~cls ~reason:_ -> Fault.Counters.bump element_faults cls);
+        Hooks.on_warn =
+          (fun ~src msg -> warnings := Printf.sprintf "%s: %s" src msg :: !warnings);
       }
     in
     let devices =
       Array.to_list (Array.map (fun n -> (n :> Oclick_runtime.Netdevice.t)) nics)
     in
-    match Driver.instantiate ~hooks ~devices graph with
+    match Driver.instantiate ~hooks ~devices ?quarantine graph with
     | Error e -> Error e
     | Ok driver ->
         List.iter
@@ -192,8 +265,11 @@ let run ?(duration_ms = 60) ?(warmup_ms = 30) ?ports ?flows ?(payload_len = 14)
         let total_ns () = !receive_ns +. !forward_ns +. !transmit_ns in
         let cpu_busy_ns = ref 0.0 in
         let stop_at = ms (warmup_ms + duration_ms) in
+        (* The CPU keeps scheduling through the drain phase so queued
+           packets reach their terminal outcome after traffic stops. *)
+        let drain_end = stop_at + ms drain_ms in
         let rec cpu_tick () =
-          if Engine.now engine < stop_at then begin
+          if Engine.now engine < drain_end then begin
             let before = total_ns () in
             let did_work = Driver.run_tasks_once driver in
             let consumed = total_ns () -. before in
@@ -214,18 +290,22 @@ let run ?(duration_ms = 60) ?(warmup_ms = 30) ?ports ?flows ?(payload_len = 14)
               ~dst_ip:port_arr.(f.fl_dst).ps_host_ip ~rate_pps:per_flow
               ~payload_len ~until:stop_at ())
           flows;
-        (* Warmup (ARP resolution), then reset and measure. *)
+        (* Warmup (ARP resolution), then snapshot the monotonic counters
+           and measure; per-CPU cost accumulators are simply zeroed (the
+           ledger does not use them). *)
         Engine.run_until engine (ms warmup_ms);
-        Array.iter (fun h -> h#reset_counters) hosts;
-        Array.iter
-          (fun (n : Nic.tulip) ->
-            let o = n#outcomes in
-            o.Nic.o_wire_rx <- 0;
-            o.o_fifo_overflow <- 0;
-            o.o_missed_frame <- 0;
-            o.o_rx_dma <- 0;
-            o.o_tx_sent <- 0)
-          nics;
+        let host_snapshot () =
+          Array.map (fun h -> (h#sent_udp, h#received_udp)) hosts
+        in
+        let nic_snapshot () =
+          Array.map
+            (fun (n : Nic.tulip) ->
+              (n#outcomes.Nic.o_fifo_overflow, n#outcomes.Nic.o_missed_frame))
+            nics
+        in
+        let warm_hosts = host_snapshot () in
+        let warm_nics = nic_snapshot () in
+        let warm_drops = drops_snapshot () in
         receive_ns := 0.0;
         forward_ns := 0.0;
         transmit_ns := 0.0;
@@ -237,56 +317,145 @@ let run ?(duration_ms = 60) ?(warmup_ms = 30) ?ports ?flows ?(payload_len = 14)
         Array.iter (fun b -> Pci.reset_counters b) buses;
         Btb.reset_counters (Cost_model.btb cm);
         Engine.run_until engine stop_at;
+        let stop_hosts = host_snapshot () in
+        let stop_nics = nic_snapshot () in
+        let stop_drops = drops_snapshot () in
         let seconds = float_of_int duration_ms /. 1000.0 in
-        let offered =
-          float_of_int
-            (Array.fold_left (fun acc h -> acc + h#sent_udp) 0 hosts)
-          /. seconds
+        let sum2 fst_or_snd a b =
+          let acc = ref 0 in
+          Array.iteri
+            (fun i x -> acc := !acc + fst_or_snd x - fst_or_snd b.(i))
+            a;
+          !acc
         in
-        let sent = Array.fold_left (fun acc h -> acc + h#received_udp) 0 hosts in
+        let offered = float_of_int (sum2 fst stop_hosts warm_hosts) /. seconds in
+        let sent = sum2 snd stop_hosts warm_hosts in
         let forwarded = float_of_int sent /. seconds in
-        let fifo_overflow =
-          Array.fold_left
-            (fun acc (n : Nic.tulip) -> acc + n#outcomes.Nic.o_fifo_overflow)
-            0 nics
-        and missed_frame =
-          Array.fold_left
-            (fun acc (n : Nic.tulip) -> acc + n#outcomes.Nic.o_missed_frame)
-            0 nics
-        in
+        let fifo_overflow = sum2 fst stop_nics warm_nics
+        and missed_frame = sum2 snd stop_nics warm_nics in
+        let drop_reasons = drops_diff ~from:warm_drops stop_drops in
         let per_packet x =
           if sent = 0 then 0.0 else x /. float_of_int sent
         in
         let busiest_bus =
           Array.fold_left (fun acc b -> max acc (Pci.busy_ns b)) 0 buses
         in
-        Ok
+        let outcome_counts_of ~sent ~fifo ~missed reasons =
+          let n key =
+            Option.value ~default:0 (List.assoc_opt key reasons)
+          in
+          let queue = n "queue full" in
+          let elt_fault = n "element fault" + n "quarantined element" in
+          let other = drops_sum reasons - queue - elt_fault in
           {
-            r_offered_pps = offered;
-            r_forwarded_pps = forwarded;
-            r_outcomes =
-              {
-                oc_sent = sent;
-                oc_fifo_overflow = fifo_overflow;
-                oc_missed_frame = missed_frame;
-                oc_queue_drop = !queue_drops;
-                oc_other_drop = !other_drops;
-              };
-            r_receive_ns = per_packet !receive_ns;
-            r_forward_ns = per_packet !forward_ns;
-            r_transmit_ns = per_packet !transmit_ns;
-            r_total_ns = per_packet (total_ns ());
-            r_instructions = per_packet (float_of_int !instructions);
-            r_cache_misses = per_packet (float_of_int !cache_misses);
-            r_btb_mispredicts =
-              per_packet
-                (float_of_int (Btb.mispredictions (Cost_model.btb cm)));
-            r_pci_utilization =
-              float_of_int busiest_bus /. (float_of_int duration_ms *. 1e6);
-            r_cpu_utilization =
-              !cpu_busy_ns /. (float_of_int duration_ms *. 1e6);
-            r_code_footprint = Cost_model.code_footprint_bytes cm;
+            oc_sent = sent;
+            oc_fifo_overflow = fifo;
+            oc_missed_frame = missed;
+            oc_queue_drop = queue;
+            oc_element_fault = elt_fault;
+            oc_other_drop = other;
           }
+        in
+        (* Drain: let in-flight packets reach a terminal outcome, then
+           settle any events scheduled just past the horizon. *)
+        Engine.run_until engine drain_end;
+        let settle = ref 0 in
+        while Engine.pending engine > 0 && !settle < 1000 do
+          incr settle;
+          Engine.run_until engine (Engine.now engine + ms 1)
+        done;
+        (* The conservation invariant, over the whole run. *)
+        let births =
+          Array.fold_left (fun a h -> a + h#sent_frames) 0 hosts
+          + !spawns_total
+        in
+        let deliveries =
+          Array.fold_left (fun a h -> a + h#received_total) 0 hosts
+        in
+        let nic_drops =
+          Array.fold_left
+            (fun a (n : Nic.tulip) ->
+              a + n#outcomes.Nic.o_fifo_overflow
+              + n#outcomes.Nic.o_missed_frame)
+            0 nics
+        in
+        let final_drops = drops_snapshot () in
+        let hook_drops = drops_sum final_drops in
+        let residual =
+          let acc = ref 0 in
+          Array.iter (fun (n : Nic.tulip) -> acc := !acc + n#buffered) nics;
+          for i = 0 to Driver.size driver - 1 do
+            List.iter
+              (fun (k, v) ->
+                if String.equal k "length" || String.equal k "pending" then
+                  acc := !acc + v)
+              (Driver.element_at driver i)#stats
+          done;
+          !acc
+        in
+        let conservation =
+          {
+            cv_births = births;
+            cv_deliveries = deliveries;
+            cv_nic_drops = nic_drops;
+            cv_hook_drops = hook_drops;
+            cv_residual = residual;
+          }
+        in
+        if births <> deliveries + nic_drops + hook_drops + residual then
+          Error
+            (Printf.sprintf
+               "packet conservation violated: %d born <> %d delivered + %d \
+                NIC drops + %d accounted drops + %d residual (leak of %d)"
+               births deliveries nic_drops hook_drops residual
+               (births - (deliveries + nic_drops + hook_drops + residual)))
+        else
+          let sent_total =
+            Array.fold_left (fun a h -> a + h#received_udp) 0 hosts
+          in
+          let fifo_total =
+            Array.fold_left
+              (fun a (n : Nic.tulip) -> a + n#outcomes.Nic.o_fifo_overflow)
+              0 nics
+          and missed_total =
+            Array.fold_left
+              (fun a (n : Nic.tulip) -> a + n#outcomes.Nic.o_missed_frame)
+              0 nics
+          in
+          Ok
+            {
+              r_offered_pps = offered;
+              r_forwarded_pps = forwarded;
+              r_outcomes =
+                outcome_counts_of ~sent ~fifo:fifo_overflow
+                  ~missed:missed_frame drop_reasons;
+              r_receive_ns = per_packet !receive_ns;
+              r_forward_ns = per_packet !forward_ns;
+              r_transmit_ns = per_packet !transmit_ns;
+              r_total_ns = per_packet (total_ns ());
+              r_instructions = per_packet (float_of_int !instructions);
+              r_cache_misses = per_packet (float_of_int !cache_misses);
+              r_btb_mispredicts =
+                per_packet
+                  (float_of_int (Btb.mispredictions (Cost_model.btb cm)));
+              r_pci_utilization =
+                float_of_int busiest_bus /. (float_of_int duration_ms *. 1e6);
+              r_cpu_utilization =
+                !cpu_busy_ns /. (float_of_int duration_ms *. 1e6);
+              r_code_footprint = Cost_model.code_footprint_bytes cm;
+              r_drop_reasons = drop_reasons;
+              r_fault_counts =
+                (match injector with
+                | Some inj -> Fault.Injector.counters inj
+                | None -> []);
+              r_element_faults = Fault.Counters.to_list element_faults;
+              r_warnings = List.rev !warnings;
+              r_outcomes_total =
+                outcome_counts_of ~sent:sent_total ~fifo:fifo_total
+                  ~missed:missed_total final_drops;
+              r_drop_reasons_total = final_drops;
+              r_conservation = conservation;
+            }
   end
 
 let mlffr ?ports ?flows ?(loss_tolerance = 0.002) ~platform ~graph () =

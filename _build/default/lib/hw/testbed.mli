@@ -32,13 +32,26 @@ type outcome_counts = {
   oc_fifo_overflow : int;
   oc_missed_frame : int;
   oc_queue_drop : int;
+  oc_element_fault : int;
+      (** packets dropped because an element raised or was quarantined *)
   oc_other_drop : int;
 }
+
+type conservation = {
+  cv_births : int;  (** host frames sent + in-router packet spawns *)
+  cv_deliveries : int;  (** frames received by hosts, parseable or not *)
+  cv_nic_drops : int;  (** FIFO overflows + missed frames *)
+  cv_hook_drops : int;  (** drops accounted through [Hooks.on_drop] *)
+  cv_residual : int;  (** still buffered in NICs / queues at run end *)
+}
+(** The packet-conservation ledger: [run] checks
+    [cv_births = cv_deliveries + cv_nic_drops + cv_hook_drops +
+     cv_residual] after the drain phase and returns [Error] on a leak. *)
 
 type result = {
   r_offered_pps : float;  (** measured input rate *)
   r_forwarded_pps : float;
-  r_outcomes : outcome_counts;
+  r_outcomes : outcome_counts;  (** measurement window only *)
   r_receive_ns : float;  (** per forwarded packet, Fig. 8 *)
   r_forward_ns : float;
   r_transmit_ns : float;
@@ -49,21 +62,40 @@ type result = {
   r_pci_utilization : float;  (** busiest bus, 0..1 *)
   r_cpu_utilization : float;
   r_code_footprint : int;  (** bytes of element code (i-cache model) *)
+  r_drop_reasons : (string * int) list;
+      (** window drops by reason, sorted by reason *)
+  r_fault_counts : (string * int) list;
+      (** faults the injector generated, by kind; [[]] without a plan *)
+  r_element_faults : (string * int) list;
+      (** exceptions caught at element boundaries, by element class *)
+  r_warnings : string list;  (** quarantine / convergence warnings *)
+  r_outcomes_total : outcome_counts;
+      (** whole run including warmup and drain — the drain-complete
+          totals differential tests compare *)
+  r_drop_reasons_total : (string * int) list;
+  r_conservation : conservation;
 }
 
 val run :
   ?duration_ms:int ->
   ?warmup_ms:int ->
+  ?drain_ms:int ->
   ?ports:port_spec list ->
   ?flows:flow list ->
   ?payload_len:int ->
+  ?fault:Oclick_fault.Plan.t ->
   platform:Platform.t ->
   graph:Oclick_graph.Router.t ->
   input_pps:int ->
   unit ->
   (result, string) Stdlib.result
 (** [input_pps] is aggregate over all flows. Defaults: 60 ms measured
-    after 30 ms warmup. *)
+    after 30 ms warmup, then a 10 ms drain with traffic stopped so
+    in-flight packets reach a terminal outcome before the conservation
+    check. [fault] installs a fault-injection plan: hosts mangle the
+    traffic they generate (deterministically, per-host streams), NICs
+    and PCI buses honour the plan's stall windows, and elements run
+    under the plan's quarantine threshold. *)
 
 val mlffr :
   ?ports:port_spec list ->

@@ -1,1 +1,1 @@
-lib/runtime/driver.ml: Array Element Hashtbl Hooks List Netdevice Oclick_graph Option Printf Registry String
+lib/runtime/driver.ml: Array Element Hashtbl Hooks List Netdevice Oclick_graph Option Printexc Printf Registry String

@@ -1,1 +1,1 @@
-lib/runtime/driver.mli: Element Hooks Netdevice Oclick_graph
+lib/runtime/driver.mli: Element Hooks Netdevice Oclick_graph Oclick_packet

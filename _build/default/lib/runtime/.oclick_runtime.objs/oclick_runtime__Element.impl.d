@@ -1,1 +1,1 @@
-lib/runtime/element.ml: Array Hooks List Netdevice Oclick_graph Oclick_packet Option Printf String
+lib/runtime/element.ml: Array Hooks List Netdevice Oclick_graph Oclick_packet Option Printexc Printf String Sys

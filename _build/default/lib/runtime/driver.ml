@@ -5,9 +5,11 @@ type t = {
   elements : Element.t array;
   by_name : (string, Element.t) Hashtbl.t;
   tasks : Element.t array;
+  hooks : Hooks.t;
 }
 
-let instantiate ?(hooks = Hooks.null) ?(devices = []) source_graph =
+let instantiate ?(hooks = Hooks.null) ?(devices = []) ?mangle ?quarantine
+    source_graph =
   (* Normalize so element indices are dense and in declaration order. *)
   let graph = Graph.Router.of_ast_exn (Graph.Router.to_ast source_graph) in
   let errors = Graph.Check.check graph Registry.spec_table in
@@ -30,6 +32,10 @@ let instantiate ?(hooks = Hooks.null) ?(devices = []) source_graph =
                 let e = ctor (Graph.Router.name graph i) in
                 e#set_index i;
                 e#set_hooks hooks;
+                e#set_mangle mangle;
+                (match quarantine with
+                | Some n -> e#set_quarantine_threshold n
+                | None -> ());
                 elements.(i) <- Some e)
           indices;
         if !errors <> [] then Error (String.concat "\n" (List.rev !errors))
@@ -90,15 +96,15 @@ let instantiate ?(hooks = Hooks.null) ?(devices = []) source_graph =
               Array.of_list
                 (List.filter (fun e -> e#wants_task) (Array.to_list elements))
             in
-            Ok { graph; elements; by_name; tasks }
+            Ok { graph; elements; by_name; tasks; hooks }
           end
         end)
   end
 
-let of_string ?hooks ?devices source =
+let of_string ?hooks ?devices ?mangle ?quarantine source =
   match Graph.Router.parse_string source with
   | Error e -> Error e
-  | Ok graph -> instantiate ?hooks ?devices graph
+  | Ok graph -> instantiate ?hooks ?devices ?mangle ?quarantine graph
 
 let element t name = Hashtbl.find_opt t.by_name name
 let element_at t i = t.elements.(i)
@@ -107,7 +113,15 @@ let size t = Array.length t.elements
 
 let run_tasks_once t =
   let any = ref false in
-  Array.iter (fun e -> if e#run_task then any := true) t.tasks;
+  Array.iter
+    (fun e ->
+      if not e#is_quarantined then
+        match e#run_task with
+        | did -> if did then any := true
+        | exception e' when not (Element.fatal e') ->
+            e#record_fault (Printexc.to_string e');
+            any := true)
+    t.tasks;
   !any
 
 let run t ~rounds =
@@ -116,5 +130,18 @@ let run t ~rounds =
   done
 
 let run_until_idle ?(max_rounds = 1_000_000) t =
-  let rec loop n = if n > 0 && run_tasks_once t then loop (n - 1) in
-  loop max_rounds
+  let rec loop n = if n > 0 && run_tasks_once t then loop (n - 1) else n > 0 in
+  let converged = loop max_rounds in
+  if not converged then
+    t.hooks.Hooks.on_warn ~src:"driver"
+      (Printf.sprintf
+         "run_until_idle: still busy after %d rounds (possible livelock)"
+         max_rounds);
+  converged
+
+let fault_report t =
+  Array.to_list t.elements
+  |> List.filter_map (fun e ->
+         if e#fault_count > 0 then
+           Some (e#name, e#fault_count, e#is_quarantined)
+         else None)

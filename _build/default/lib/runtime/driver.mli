@@ -12,15 +12,26 @@ type t
 val instantiate :
   ?hooks:Hooks.t ->
   ?devices:Netdevice.t list ->
+  ?mangle:(Oclick_packet.Packet.t -> unit) ->
+  ?quarantine:int ->
   Oclick_graph.Router.t ->
   (t, string) result
 (** Checks the graph against the registry's specifications, builds and
     configures every element, wires push outputs and pull inputs, and
     initializes the router. All configuration errors are reported
-    together in the error string. *)
+    together in the error string.
+
+    [mangle] installs an in-flight fault injector applied to every packet
+    transfer (see {!Element.base.set_mangle}); [quarantine] overrides the
+    consecutive-fault quarantine threshold on every element. *)
 
 val of_string :
-  ?hooks:Hooks.t -> ?devices:Netdevice.t list -> string -> (t, string) result
+  ?hooks:Hooks.t ->
+  ?devices:Netdevice.t list ->
+  ?mangle:(Oclick_packet.Packet.t -> unit) ->
+  ?quarantine:int ->
+  string ->
+  (t, string) result
 (** Parse, flatten, instantiate. *)
 
 val element : t -> string -> Element.t option
@@ -32,5 +43,14 @@ val run_tasks_once : t -> bool
 (** One scheduler round over all task elements; [true] if any did work. *)
 
 val run : t -> rounds:int -> unit
-val run_until_idle : ?max_rounds:int -> t -> unit
-(** Runs until a full round does no work (default bound 1_000_000). *)
+
+val run_until_idle : ?max_rounds:int -> t -> bool
+(** Runs until a full round does no work. Returns whether the router
+    actually went idle: [false] means the bound (default 1_000_000
+    rounds) was exhausted with work still pending — a livelock, an
+    unbounded source, or genuinely unfinished work — in which case a
+    warning is also emitted through {!Hooks.on_warn}. *)
+
+val fault_report : t -> (string * int * bool) list
+(** [(element name, faults contained, quarantined?)] for every element
+    that faulted at least once. *)

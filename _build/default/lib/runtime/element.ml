@@ -34,7 +34,18 @@ and t = <
   run_task : bool;
   stats : (string * int) list;
   read_handler : string -> string option;
-  write_handler : string -> string -> (unit, string) result >
+  write_handler : string -> string -> (unit, string) result;
+  is_quarantined : bool;
+  fault_count : int;
+  set_quarantine_threshold : int -> unit;
+  set_mangle : (Oclick_packet.Packet.t -> unit) option -> unit;
+  record_fault : string -> unit;
+  note_ok : unit >
+
+(* Exceptions the degradation layer must never swallow. *)
+let fatal = function
+  | Out_of_memory | Stack_overflow | Sys.Break -> true
+  | _ -> false
 
 class virtual base (name : string) =
   object (self)
@@ -44,6 +55,11 @@ class virtual base (name : string) =
     val mutable in_targets : (t * int) option array = [||]
     val mutable direct_dispatch = false
     val mutable code_class_override : string option = None
+    val mutable quarantine_threshold = 8
+    val mutable fault_count = 0
+    val mutable consecutive_faults = 0
+    val mutable quarantined = false
+    val mutable mangle : (Oclick_packet.Packet.t -> unit) option = None
     method name = name
     method virtual class_name : string
 
@@ -105,6 +121,29 @@ class virtual base (name : string) =
     method write_handler handler (_value : string) : (unit, string) result =
       Error (Printf.sprintf "%s: no write handler %S" name handler)
 
+    (** {2 Degradation layer} *)
+
+    method is_quarantined = quarantined
+    method fault_count = fault_count
+    method set_quarantine_threshold n = quarantine_threshold <- n
+    method set_mangle f = mangle <- f
+    method note_ok = consecutive_faults <- 0
+
+    method record_fault reason =
+      fault_count <- fault_count + 1;
+      consecutive_faults <- consecutive_faults + 1;
+      hooks.Hooks.on_fault ~idx:index ~cls:self#class_name ~reason;
+      if
+        quarantine_threshold > 0
+        && consecutive_faults >= quarantine_threshold
+        && not quarantined
+      then begin
+        quarantined <- true;
+        hooks.Hooks.on_warn ~src:name
+          (Printf.sprintf "quarantined after %d consecutive faults (last: %s)"
+             consecutive_faults reason)
+      end
+
     method output port p =
       match
         if port >= 0 && port < Array.length out_targets then
@@ -112,17 +151,26 @@ class virtual base (name : string) =
         else None
       with
       | Some (dst, dst_port) ->
-          hooks.Hooks.on_transfer
-            {
-              Hooks.tr_src_idx = index;
-              tr_src_class = self#code_class;
-              tr_src_port = port;
-              tr_dst_idx = dst#index;
-              tr_dst_class = dst#class_name;
-              tr_direct = direct_dispatch;
-              tr_pull = false;
-            };
-          dst#push dst_port p
+          (match mangle with Some f -> f p | None -> ());
+          if dst#is_quarantined then
+            self#drop ~reason:"quarantined element" p
+          else begin
+            hooks.Hooks.on_transfer
+              {
+                Hooks.tr_src_idx = index;
+                tr_src_class = self#code_class;
+                tr_src_port = port;
+                tr_dst_idx = dst#index;
+                tr_dst_class = dst#class_name;
+                tr_direct = direct_dispatch;
+                tr_pull = false;
+              };
+            match dst#push dst_port p with
+            | () -> dst#note_ok
+            | exception e when not (fatal e) ->
+                dst#record_fault (Printexc.to_string e);
+                self#drop ~reason:"element fault" p
+          end
       | None ->
           self#drop ~reason:(Printf.sprintf "unconnected output %d" port) p
 
@@ -132,29 +180,37 @@ class virtual base (name : string) =
         else None
       with
       | Some (src, src_port) -> (
-          match src#pull src_port with
-          | Some _ as result ->
-              (* Report only pulls that move a packet: idle polling is part
-                 of the scheduler loop, not per-packet cost (the paper's
-                 cycle counters bracket packet-processing code). *)
-              hooks.Hooks.on_transfer
-                {
-                  Hooks.tr_src_idx = index;
-                  tr_src_class = self#code_class;
-                  tr_src_port = port;
-                  tr_dst_idx = src#index;
-                  tr_dst_class = src#class_name;
-                  tr_direct = direct_dispatch;
-                  tr_pull = true;
-                };
-              result
-          | None -> None)
+          if src#is_quarantined then None
+          else
+            match src#pull src_port with
+            | Some _ as result ->
+                src#note_ok;
+                (* Report only pulls that move a packet: idle polling is part
+                   of the scheduler loop, not per-packet cost (the paper's
+                   cycle counters bracket packet-processing code). *)
+                hooks.Hooks.on_transfer
+                  {
+                    Hooks.tr_src_idx = index;
+                    tr_src_class = self#code_class;
+                    tr_src_port = port;
+                    tr_dst_idx = src#index;
+                    tr_dst_class = src#class_name;
+                    tr_direct = direct_dispatch;
+                    tr_pull = true;
+                  };
+                result
+            | None -> None
+            | exception e when not (fatal e) ->
+                src#record_fault (Printexc.to_string e);
+                None)
       | None -> None
 
     method charge w = hooks.Hooks.on_work ~idx:index ~cls:self#class_name w
 
     method drop ~reason p =
       hooks.Hooks.on_drop ~idx:index ~cls:self#class_name ~reason p
+
+    method spawn p = hooks.Hooks.on_spawn ~idx:index ~cls:self#class_name p
   end
 
 class virtual simple_action (name : string) =

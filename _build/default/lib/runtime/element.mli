@@ -50,7 +50,13 @@ and t = <
   run_task : bool;
   stats : (string * int) list;
   read_handler : string -> string option;
-  write_handler : string -> string -> (unit, string) result >
+  write_handler : string -> string -> (unit, string) result;
+  is_quarantined : bool;
+  fault_count : int;
+  set_quarantine_threshold : int -> unit;
+  set_mangle : (Oclick_packet.Packet.t -> unit) option -> unit;
+  record_fault : string -> unit;
+  note_ok : unit >
 
 class virtual base : string -> object
   method name : string
@@ -130,6 +136,36 @@ class virtual base : string -> object
 
   method charge : Hooks.work -> unit
   method drop : reason:string -> Oclick_packet.Packet.t -> unit
+
+  method spawn : Oclick_packet.Packet.t -> unit
+  (** Report a packet born inside this element (clone, ICMP error, IP
+      fragment, ARP query) so conservation accounting can balance. *)
+
+  (** {2 Degradation layer}
+
+      Packet transfers through {!output}/{!input_pull} contain exceptions
+      escaping the peer element: the fault is reported via
+      {!Hooks.on_fault}, the packet becomes an accounted drop
+      (["element fault"]), and an element failing
+      {!set_quarantine_threshold} consecutive times is quarantined — the
+      runtime mirror of [click-undead]: transfers into it become
+      accounted drops (["quarantined element"]) and its task is no
+      longer scheduled. [Out_of_memory], [Stack_overflow] and [Sys.Break]
+      are never contained. *)
+
+  method is_quarantined : bool
+  method fault_count : int
+  (** Exceptions contained so far on behalf of this element. *)
+
+  method set_quarantine_threshold : int -> unit
+  (** Consecutive faults before quarantine; [0] disables. Default 8. *)
+
+  method set_mangle : (Oclick_packet.Packet.t -> unit) option -> unit
+  (** Install an in-flight corruption function applied to every packet
+      this element transfers downstream (fault injection). *)
+
+  method record_fault : string -> unit
+  method note_ok : unit
 end
 
 (** Click's [simple_action] sugar: one agnostic input, one agnostic
@@ -148,3 +184,7 @@ end
 
 val configure_error : string -> ('a, string) result
 (** Shorthand for [Error msg] in configure methods. *)
+
+val fatal : exn -> bool
+(** Exceptions the degradation layer must never contain:
+    [Out_of_memory], [Stack_overflow], [Sys.Break]. *)

@@ -22,6 +22,9 @@ type t = {
   on_work : idx:int -> cls:string -> work -> unit;
   on_drop : idx:int -> cls:string -> reason:string ->
             Oclick_packet.Packet.t -> unit;
+  on_spawn : idx:int -> cls:string -> Oclick_packet.Packet.t -> unit;
+  on_fault : idx:int -> cls:string -> reason:string -> unit;
+  on_warn : src:string -> string -> unit;
 }
 
 let null =
@@ -29,4 +32,7 @@ let null =
     on_transfer = (fun _ -> ());
     on_work = (fun ~idx:_ ~cls:_ _ -> ());
     on_drop = (fun ~idx:_ ~cls:_ ~reason:_ _ -> ());
+    on_spawn = (fun ~idx:_ ~cls:_ _ -> ());
+    on_fault = (fun ~idx:_ ~cls:_ ~reason:_ -> ());
+    on_warn = (fun ~src:_ _ -> ());
   }

@@ -35,6 +35,15 @@ type t = {
   on_work : idx:int -> cls:string -> work -> unit;
   on_drop : idx:int -> cls:string -> reason:string ->
             Oclick_packet.Packet.t -> unit;
+  on_spawn : idx:int -> cls:string -> Oclick_packet.Packet.t -> unit;
+      (** A packet born inside the router (a [Tee] clone, an ICMP error,
+          an IP fragment, an ARP query). Needed for packet conservation:
+          every spawned packet is later delivered or dropped. *)
+  on_fault : idx:int -> cls:string -> reason:string -> unit;
+      (** An exception escaped element [idx]'s push/pull/task and was
+          contained by the degradation layer. *)
+  on_warn : src:string -> string -> unit;
+      (** Non-fatal runtime warnings (quarantine, livelock suspicion). *)
 }
 
 val null : t

@@ -53,3 +53,37 @@
   >   | oclick-run --rounds 20 --write src.active=false --read c.packets
   $ echo 'src :: InfiniteSource(LIMIT 50) -> c :: Counter -> Discard;' \
   >   | oclick-run --rounds 20 --read c.packets --read c.class
+  $ printf '\000\001garbage\377' > garbage.bin
+  $ : > empty.click
+  $ echo 'Idle -> [5] Discard;' > badport.click
+  $ click-check garbage.bin
+  $ click-check empty.click
+  $ for t in click-check click-flatten click-pretty click-xform \
+  >   click-fastclassifier click-devirtualize click-undead click-align \
+  >   click-mkmindriver oclick-run; do
+  >   $t garbage.bin >probe.out 2>&1 && echo "$t accepted garbage"
+  >   echo "$t: exit $? lines $(wc -l < probe.out)"
+  > done
+  $ for t in click-check click-flatten click-pretty click-xform \
+  >   click-fastclassifier click-devirtualize click-undead click-align \
+  >   click-mkmindriver oclick-run; do
+  >   $t empty.click >probe.out 2>&1 && echo "$t accepted empty input"
+  >   echo "$t: exit $? lines $(wc -l < probe.out)"
+  > done
+  $ for t in click-flatten click-pretty click-xform click-fastclassifier \
+  >   click-devirtualize click-undead click-align click-mkmindriver \
+  >   oclick-run; do
+  >   $t badport.click >probe.out 2>&1 && echo "$t accepted bad ports"
+  >   echo "$t: exit $? lines $(wc -l < probe.out)"
+  > done
+  $ click-devirtualize badport.click
+  $ click-check badport.click
+  $ click-combine -r a=garbage.bin
+  $ click-combine -r a=empty.click
+  $ click-combine -r a=badport.click
+  $ click-uncombine -n a garbage.bin
+  $ click-uncombine -n a empty.click
+  $ click-uncombine -n a badport.click
+  $ echo 'InfiniteSource(LIMIT 5) -> Discard;' | oclick-run --fault 'corrupt=banana'
+  $ echo 'InfiniteSource(LIMIT 200) -> c :: Counter -> Discard;' \
+  >   | oclick-run --rounds 300 --fault 'corrupt=0.05,truncate=0.05' --fault-seed 9

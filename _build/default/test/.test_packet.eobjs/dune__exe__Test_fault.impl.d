@@ -1,0 +1,1 @@
+test/test_fault.ml: Alcotest Array Fun Hashtbl List Oclick Oclick_elements Oclick_fault Oclick_graph Oclick_hw Oclick_packet Oclick_runtime Option Printf Result String

@@ -627,7 +627,7 @@ let test_devices_round_trip () =
   for _ = 1 to 5 do
     dev0#inject (udp ())
   done;
-  Driver.run_until_idle d;
+  let (_ : bool) = Driver.run_until_idle d in
   check "all forwarded" 5 dev1#tx_count
 
 let test_missing_device_fails () =
@@ -639,7 +639,7 @@ let test_infinite_source_limit () =
   let d =
     driver "s :: InfiniteSource(LENGTH 60, LIMIT 7, BURST 3) -> c :: Counter -> Discard;"
   in
-  Driver.run_until_idle d;
+  let (_ : bool) = Driver.run_until_idle d in
   check "limited" 7 (stat d "c" "packets")
 
 let test_udp_source () =
@@ -650,7 +650,7 @@ let test_udp_source () =
       "s :: UDPSource(SRCIP 10.0.0.2, DSTIP 10.0.1.2, LIMIT 2) -> c :: \
        Counter -> q :: Queue(5); q -> Idle;"
   in
-  Driver.run_until_idle d;
+  let (_ : bool) = Driver.run_until_idle d in
   check "sent" 2 (stat d "c" "packets");
   let q = Option.get (Driver.element d "q") in
   let p = Option.get (q#pull 0) in

@@ -428,7 +428,7 @@ let test_trace_replay_capture () =
           all) -> ToTrace(%s) -> c :: Counter -> Discard;"
          in_path out_path)
   in
-  Driver.run_until_idle d;
+  let (_ : bool) = Driver.run_until_idle d in
   check "only 10/8 packets survive" 2 (stat d "c" "packets");
   let ic = open_in_bin out_path in
   let captured = really_input_string ic (in_channel_length ic) in

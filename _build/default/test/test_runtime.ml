@@ -62,6 +62,9 @@ let test_hooks_see_transfers_and_work () =
       Hooks.on_transfer = (fun tr -> transfers := tr :: !transfers);
       on_work = (fun ~idx:_ ~cls w -> works := (cls, w) :: !works);
       on_drop = (fun ~idx:_ ~cls:_ ~reason:_ _ -> incr drops);
+      on_spawn = (fun ~idx:_ ~cls:_ _ -> ());
+      on_fault = (fun ~idx:_ ~cls:_ ~reason:_ -> ());
+      on_warn = (fun ~src:_ _ -> ());
     }
   in
   let graph =
@@ -139,7 +142,7 @@ let test_run_until_idle_terminates () =
     | Ok d -> d
     | Error e -> Alcotest.failf "%s" e
   in
-  Driver.run_until_idle d;
+  check_bool "converged" true (Driver.run_until_idle d);
   check "all packets drained" 25
     (List.assoc "packets" (Option.get (Driver.element d "c"))#stats)
 
@@ -160,7 +163,7 @@ let test_scheduler_round_robin () =
   in
   check "s1 ran" 1 (stat "c1");
   check "s2 ran" 1 (stat "c2");
-  Driver.run_until_idle d;
+  check_bool "converged" true (Driver.run_until_idle d);
   check "s1 done" 3 (stat "c1");
   check "s2 done" 3 (stat "c2")
 

@@ -4,6 +4,9 @@ open Cmdliner
 
 let run input =
   let source = Tool_common.read_input input in
+  (* Validate against the registry first: garbage, empty input, and
+     out-of-range ports all die with a one-line diagnostic. *)
+  let (_ : Oclick_graph.Router.t) = Tool_common.parse_router source in
   match Oclick_lang.Parser.parse source with
   | Error e ->
       prerr_endline e;

@@ -65,7 +65,7 @@ let () =
   in
   send ~host:"192.168.0.5" ~sport:1111;
   send ~host:"192.168.0.6" ~sport:1111 (* same source port! *);
-  Driver.run_until_idle driver;
+  let (_ : bool) = Driver.run_until_idle driver in
   let public = ref [] in
   let rec drain () =
     match wan0#collect with
@@ -93,7 +93,7 @@ let () =
       ~src_port:53 ~dst_port:reply_port ()
   in
   wan0#inject reply;
-  Driver.run_until_idle driver;
+  let (_ : bool) = Driver.run_until_idle driver in
   (match lan0#collect with
   | Some f ->
       Printf.printf "reply delivered to %s:%d\n"

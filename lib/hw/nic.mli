@@ -31,6 +31,10 @@ class tulip :
   -> ?rx_ring:int (* default 32 *)
   -> ?tx_ring:int (* default 32 *)
   -> ?fifo_bytes:int (* default 4096 *)
+  -> ?dma_stall:(int * int) list
+     (* injected DMA-stall windows, (start_ns, len_ns): both DMA engines
+        freeze inside a window — FIFO-overflow bursts on receive, ring
+        backlog on transmit *)
   -> deliver:(Oclick_packet.Packet.t -> unit)
   -> on_cpu_rx:(unit -> unit)
   -> on_cpu_tx:(unit -> unit)
@@ -41,4 +45,8 @@ class tulip :
        (** A frame arrives from the attached host's wire. *)
 
        method outcomes : outcomes
+
+       method buffered : int
+       (** Frames currently held on card or in the DMA rings — the NIC's
+           contribution to the conservation ledger's residual term. *)
      end

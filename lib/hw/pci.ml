@@ -4,26 +4,45 @@ type t = {
   engine : Engine.t;
   bytes_per_sec : int;
   overhead_ns : int;
+  stall_windows : (int * int) list; (* (start_ns, len_ns): arbiter frozen *)
   mutable queues : txn Queue.t array; (* per requester, grown on demand *)
   mutable last_granted : int;
   mutable bus_busy : bool;
+  mutable stalled : bool;
+  mutable stall_ns : int;
   mutable busy_ns : int;
   mutable bytes_moved : int;
   mutable transactions : int;
 }
 
-let create engine ~bytes_per_sec ?(overhead_ns = 120) () =
+let create engine ~bytes_per_sec ?(overhead_ns = 120) ?(stall_windows = []) ()
+    =
   {
     engine;
     bytes_per_sec;
     overhead_ns;
+    stall_windows;
     queues = Array.init 4 (fun _ -> Queue.create ());
     last_granted = -1;
     bus_busy = false;
+    stalled = false;
+    stall_ns = 0;
     busy_ns = 0;
     bytes_moved = 0;
     transactions = 0;
   }
+
+(* If the arbiter is inside an injected stall window, the absolute time
+   the longest covering window ends. *)
+let stall_until t now =
+  List.fold_left
+    (fun acc (start, len) ->
+      if now >= start && now < start + len then
+        match acc with
+        | Some u when u >= start + len -> acc
+        | _ -> Some (start + len)
+      else acc)
+    None t.stall_windows
 
 let ensure_requester t r =
   if r >= Array.length t.queues then begin
@@ -46,22 +65,33 @@ let next_requester t =
   scan 1
 
 let rec grant t =
-  if not t.bus_busy then begin
-    match next_requester t with
-    | None -> ()
-    | Some r ->
-        let txn = Queue.pop t.queues.(r) in
-        t.last_granted <- r;
-        t.bus_busy <- true;
-        let data_ns = txn.tx_bytes * 1_000_000_000 / t.bytes_per_sec in
-        let cost = t.overhead_ns + data_ns in
-        t.busy_ns <- t.busy_ns + cost;
-        t.bytes_moved <- t.bytes_moved + txn.tx_bytes;
-        t.transactions <- t.transactions + 1;
-        Engine.schedule_after t.engine ~delay:cost (fun () ->
-            t.bus_busy <- false;
-            txn.tx_done ();
+  if (not t.bus_busy) && not t.stalled then begin
+    match stall_until t (Engine.now t.engine) with
+    | Some until ->
+        (* Injected arbitration stall: the bus sits idle (from the
+           devices' point of view, busy) until the window ends. *)
+        t.stalled <- true;
+        let now = Engine.now t.engine in
+        t.stall_ns <- t.stall_ns + (until - now);
+        Engine.schedule t.engine ~at:until (fun () ->
+            t.stalled <- false;
             grant t)
+    | None -> (
+        match next_requester t with
+        | None -> ()
+        | Some r ->
+            let txn = Queue.pop t.queues.(r) in
+            t.last_granted <- r;
+            t.bus_busy <- true;
+            let data_ns = txn.tx_bytes * 1_000_000_000 / t.bytes_per_sec in
+            let cost = t.overhead_ns + data_ns in
+            t.busy_ns <- t.busy_ns + cost;
+            t.bytes_moved <- t.bytes_moved + txn.tx_bytes;
+            t.transactions <- t.transactions + 1;
+            Engine.schedule_after t.engine ~delay:cost (fun () ->
+                t.bus_busy <- false;
+                txn.tx_done ();
+                grant t))
   end
 
 let request t ~requester ~bytes k =
@@ -70,6 +100,7 @@ let request t ~requester ~bytes k =
   grant t
 
 let busy_ns t = t.busy_ns
+let stall_ns t = t.stall_ns
 let bytes_moved t = t.bytes_moved
 let transactions t = t.transactions
 

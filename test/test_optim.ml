@@ -362,7 +362,7 @@ let test_devirtualize_runs () =
       match Oclick_runtime.Driver.instantiate g' with
       | Error e -> Alcotest.failf "instantiate: %s" e
       | Ok d ->
-          Oclick_runtime.Driver.run_until_idle d;
+          let (_ : bool) = Oclick_runtime.Driver.run_until_idle d in
           check "forwarded through specialized classes" 4
             (List.assoc "packets"
                (Option.get (Oclick_runtime.Driver.element d "c"))#stats))
@@ -717,7 +717,7 @@ let test_install_from_archive () =
   (match Oclick_runtime.Driver.instantiate reloaded with
   | Error e -> Alcotest.failf "instantiate: %s" e
   | Ok d ->
-      Oclick_runtime.Driver.run_until_idle d;
+      let (_ : bool) = Oclick_runtime.Driver.run_until_idle d in
       check "runs correctly" 3
         (List.assoc "packets"
            (Option.get (Oclick_runtime.Driver.element d "x"))#stats));
