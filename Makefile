@@ -1,0 +1,27 @@
+# Convenience wrappers around dune. `make bench-smoke` (also run as part
+# of `make test` via the @bench-smoke alias) is the sub-second sanity run
+# of the wall-clock batch benchmark; `make bench` regenerates every
+# section, and `make bench-json` refreshes the committed BENCH_batch.json
+# baseline in the repo root.
+
+.PHONY: all build test bench bench-smoke bench-json clean
+
+all: build
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+bench: build
+	dune exec bench/main.exe
+
+bench-smoke:
+	dune build @bench-smoke
+
+bench-json: build
+	cd $(CURDIR) && dune exec --no-build bench/main.exe -- batch --json
+
+clean:
+	dune clean

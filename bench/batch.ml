@@ -1,0 +1,180 @@
+(* Scalar vs batched transfer path on the Fig. 8 forwarding path.
+
+   Unlike the figure sections, which report *simulated* cycles from the
+   testbed cost model, this section measures real wall-clock throughput
+   of the user-level driver: the full IP router graph forwarding UDP
+   between two attached queue devices. The scalar variant runs the
+   per-packet push/pull path with fresh allocations; the batched variant
+   runs the same graph with `--batch`-style array transfers and a
+   recycling packet pool. Both execute identical element code over
+   identical traffic, so the ratio isolates the per-transfer overhead the
+   batching work removes. *)
+
+module Driver = Oclick_runtime.Driver
+module Netdevice = Oclick_runtime.Netdevice
+module Packet = Oclick_packet.Packet
+module Pool = Oclick_packet.Packet.Pool
+module Headers = Oclick_packet.Headers
+module Ethaddr = Oclick_packet.Ethaddr
+module Ipaddr = Oclick_packet.Ipaddr
+
+let n_ifaces = 2
+let burst = 256
+
+type rig = {
+  rg_driver : Driver.t;
+  rg_devs : Netdevice.queue_device array;
+  rg_pool : Pool.t option;
+}
+
+let make_rig ~batch ~pool =
+  let graph = Common.base_graph n_ifaces in
+  let devs =
+    Array.init n_ifaces (fun i ->
+        new Netdevice.queue_device (Printf.sprintf "eth%d" i) ())
+  in
+  let devices =
+    Array.to_list (Array.map (fun d -> (d :> Netdevice.t)) devs)
+  in
+  let pool = if pool then Some (Pool.create ~capacity:4096 ()) else None in
+  match Driver.instantiate ~devices ~batch ?pool graph with
+  | Ok d -> { rg_driver = d; rg_devs = devs; rg_pool = pool }
+  | Error e -> failwith ("batch bench: " ^ e)
+
+(* The one traffic flow: host on eth0 sends UDP to the host on eth1. *)
+let template =
+  Headers.Build.udp
+    ~src_eth:(Ethaddr.of_string_exn "00:00:c0:aa:00:02")
+    ~dst_eth:(Ethaddr.of_string_exn "00:00:c0:00:00:01")
+    ~src_ip:(Ipaddr.of_octets 10 0 0 2)
+    ~dst_ip:(Ipaddr.of_octets 10 0 1 2)
+    ~ttl:64 ()
+
+(* Answer the router's ARP query on [dev] so the flow's next hop resolves
+   before measurement starts. *)
+let answer_arp (dev : Netdevice.queue_device) host_eth =
+  match dev#collect with
+  | Some q when Headers.Ether.ethertype q = 0x806 ->
+      dev#inject
+        (Headers.Build.arp_reply ~src_eth:host_eth
+           ~src_ip:(Headers.Arp.target_ip ~off:14 q)
+           ~dst_eth:(Headers.Arp.sender_eth ~off:14 q)
+           ~dst_ip:(Headers.Arp.sender_ip ~off:14 q))
+  | Some _ -> failwith "batch bench: expected an ARP query"
+  | None -> failwith "batch bench: no ARP query emitted"
+
+let prime rig =
+  rig.rg_devs.(0)#inject (Packet.clone template);
+  ignore (Driver.run_until_idle rig.rg_driver);
+  answer_arp rig.rg_devs.(1) (Ethaddr.of_string_exn "00:00:c0:bb:01:02");
+  ignore (Driver.run_until_idle rig.rg_driver);
+  let rec drain n =
+    match rig.rg_devs.(1)#collect with Some _ -> drain (n + 1) | None -> n
+  in
+  if drain 0 < 1 then failwith "batch bench: priming forward failed"
+
+(* One measured burst: inject [burst] copies of the template, run the
+   driver to completion, collect (and with a pool, recycle) the frames
+   that reached eth1. Generation cost is symmetric — one buffer fill plus
+   one header blit per packet — except that the pooled variant reuses
+   recycled buffers where the scalar variant allocates fresh ones. *)
+let run_burst rig =
+  let len = Packet.length template in
+  let tbuf = Packet.buffer template and toff = Packet.data_offset template in
+  for _ = 1 to burst do
+    let p =
+      match rig.rg_pool with
+      | Some pool -> Pool.alloc pool len
+      | None -> Packet.create len
+    in
+    Bytes.blit tbuf toff (Packet.buffer p) (Packet.data_offset p) len;
+    rig.rg_devs.(0)#inject p
+  done;
+  ignore (Driver.run_until_idle rig.rg_driver);
+  let rec drain n =
+    match rig.rg_devs.(1)#collect with
+    | Some p ->
+        (match rig.rg_pool with
+        | Some pool -> Pool.recycle pool p
+        | None -> ());
+        drain (n + 1)
+    | None -> n
+  in
+  drain 0
+
+let run_mode ~batch ~pool ~packets =
+  let rig = make_rig ~batch ~pool in
+  prime rig;
+  let bursts = max 1 (packets / burst) in
+  (* warmup: fault counters settle, pool fills, caches warm *)
+  for _ = 1 to max 1 (bursts / 10) do
+    ignore (run_burst rig)
+  done;
+  let forwarded = ref 0 in
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to bursts do
+    forwarded := !forwarded + run_burst rig
+  done;
+  let dt = Unix.gettimeofday () -. t0 in
+  let offered = bursts * burst in
+  (!forwarded, offered, dt, float_of_int !forwarded /. dt)
+
+let run () =
+  Common.section "batch: scalar vs batched transfer path (wall clock)";
+  let packets = if !Common.smoke then 2_048 else 262_144 in
+  let batch_size = 32 in
+  Printf.printf
+    "IP router (%d interfaces), one UDP flow, %d packets per variant\n"
+    n_ifaces packets;
+  let s_fwd, s_off, s_dt, s_pps =
+    run_mode ~batch:1 ~pool:false ~packets
+  in
+  let b_fwd, b_off, b_dt, b_pps =
+    run_mode ~batch:batch_size ~pool:true ~packets
+  in
+  let speedup = b_pps /. s_pps in
+  Printf.printf "\n%-26s %12s %12s %10s\n" "variant" "forwarded" "kpkts/s"
+    "time s";
+  Printf.printf "%-26s %12d %12.1f %10.3f\n" "scalar (batch 1)" s_fwd
+    (Common.kpps s_pps) s_dt;
+  Printf.printf "%-26s %12d %12.1f %10.3f\n"
+    (Printf.sprintf "batched (batch %d + pool)" batch_size)
+    b_fwd (Common.kpps b_pps) b_dt;
+  Printf.printf "\nspeedup: %.2fx\n" speedup;
+  if s_fwd <> s_off || b_fwd <> b_off then
+    Printf.printf "warning: lossy run (scalar %d/%d, batched %d/%d)\n" s_fwd
+      s_off b_fwd b_off;
+  Common.write_json ~section:"batch"
+    (Common.J_obj
+       [
+         ("section", Common.J_string "batch");
+         ("graph", Common.J_string "ip-router");
+         ("interfaces", Common.J_int n_ifaces);
+         ("burst", Common.J_int burst);
+         ("smoke", Common.J_bool !Common.smoke);
+         ( "variants",
+           Common.J_list
+             [
+               Common.J_obj
+                 [
+                   ("name", Common.J_string "scalar");
+                   ("batch", Common.J_int 1);
+                   ("pool", Common.J_bool false);
+                   ("offered", Common.J_int s_off);
+                   ("forwarded", Common.J_int s_fwd);
+                   ("seconds", Common.J_float s_dt);
+                   ("pps", Common.J_float s_pps);
+                 ];
+               Common.J_obj
+                 [
+                   ("name", Common.J_string "batched");
+                   ("batch", Common.J_int batch_size);
+                   ("pool", Common.J_bool true);
+                   ("offered", Common.J_int b_off);
+                   ("forwarded", Common.J_int b_fwd);
+                   ("seconds", Common.J_float b_dt);
+                   ("pps", Common.J_float b_pps);
+                 ];
+             ] );
+         ("speedup", Common.J_float speedup);
+       ])

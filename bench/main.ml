@@ -3,7 +3,11 @@
 
    Run everything:        dune exec bench/main.exe
    Run one section:       dune exec bench/main.exe -- fig9 fig12
-   List the sections:     dune exec bench/main.exe -- --list *)
+   List the sections:     dune exec bench/main.exe -- --list
+   Machine-readable out:  dune exec bench/main.exe -- batch --json
+                          (writes BENCH_<section>.json per supporting
+                          section, in the current directory)
+   Quick smoke run:       dune exec bench/main.exe -- batch --smoke *)
 
 let sections =
   [
@@ -19,10 +23,23 @@ let sections =
     ("lookup", Figures.lookup_scaling);
     ("ablation", Figures.devirtualize_ablation);
     ("micro", Micro.run);
+    ("batch", Batch.run);
   ]
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
+  let args =
+    List.filter
+      (function
+        | "--json" ->
+            Common.json := true;
+            false
+        | "--smoke" ->
+            Common.smoke := true;
+            false
+        | _ -> true)
+      args
+  in
   match args with
   | [ "--list" ] -> List.iter (fun (n, _) -> print_endline n) sections
   | [] ->

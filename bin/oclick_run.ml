@@ -38,7 +38,7 @@ let parse_read spec =
       ( String.sub spec 0 dot,
         String.sub spec (dot + 1) (String.length spec - dot - 1) )
 
-let run rounds stats fault fault_seed writes reads input =
+let run rounds stats batch pool fault fault_seed writes reads input =
   let source = Tool_common.read_input input in
   let router = Tool_common.parse_router source in
   let devices =
@@ -78,7 +78,13 @@ let run rounds stats fault fault_seed writes reads input =
       on_warn = (fun ~src msg -> Printf.eprintf "warning: %s: %s\n" src msg);
     }
   in
-  match Oclick_runtime.Driver.instantiate ~hooks ~devices ?mangle ?quarantine router with
+  let pool =
+    if pool then Some (Oclick_packet.Packet.Pool.create ()) else None
+  in
+  match
+    Oclick_runtime.Driver.instantiate ~hooks ~devices ?mangle ?quarantine
+      ~batch ?pool router
+  with
   | Error e -> Tool_common.die "%s" e
   | Ok driver ->
       let element name =
@@ -134,7 +140,15 @@ let run rounds stats fault fault_seed writes reads input =
               Printf.printf "element %s: %d fault%s contained%s\n" name faults
                 (if faults = 1 then "" else "s")
                 (if quarantined then " (quarantined)" else ""))
-            (Oclick_runtime.Driver.fault_report driver))
+            (Oclick_runtime.Driver.fault_report driver));
+      match pool with
+      | Some pl when stats ->
+          let st = Oclick_packet.Packet.Pool.stats pl in
+          Printf.printf
+            "pool: allocs=%d reuses=%d recycles=%d rejected=%d free=%d\n"
+            st.Oclick_packet.Packet.Pool.st_allocs st.st_reuses st.st_recycles
+            st.st_rejected st.st_free
+      | _ -> ()
 
 let rounds_arg =
   Arg.(
@@ -143,6 +157,24 @@ let rounds_arg =
 
 let stats_arg =
   Arg.(value & flag & info [ "stats" ] ~doc:"Print element statistics.")
+
+let batch_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "batch" ] ~docv:"N"
+        ~doc:
+          "Transfer batch size. With $(docv) > 1 device polling hands up \
+           to $(docv) packets per task through the batched push/pull path; \
+           1 (the default) runs the scalar path everywhere.")
+
+let pool_arg =
+  Arg.(
+    value & flag
+    & info [ "pool" ]
+        ~doc:
+          "Allocate packets from a recycling free-list pool: dropped and \
+           transmitted packets return to the pool and later allocations \
+           reuse their buffers (copy-on-recycle policy; see README).")
 
 let fault_arg =
   Arg.(
@@ -178,5 +210,5 @@ let () =
   Tool_common.run_tool "oclick-run"
     "Run a Click configuration in the user-level driver."
     Term.(
-      const run $ rounds_arg $ stats_arg $ fault_arg $ fault_seed_arg
-      $ write_arg $ read_arg $ Tool_common.input_arg)
+      const run $ rounds_arg $ stats_arg $ batch_arg $ pool_arg $ fault_arg
+      $ fault_seed_arg $ write_arg $ read_arg $ Tool_common.input_arg)

@@ -95,6 +95,61 @@ class arp_querier name =
         self#drop ~reason:"ARP response consumed" p
       end
 
+    method! push_batch port batch =
+      if port <> 0 then
+        (* ARP responses are rare control traffic: scalar loop. *)
+        let f = self#push port in
+        Array.iter (fun p -> self#guard f p) batch
+      else begin
+        (* Steady-state fast path: every destination already resolved.
+           Encapsulate in place and forward the resolved prefix runs in
+           batched transfers; unresolved or faulting packets fall back
+           to the scalar path (query + hold). *)
+        let n = Array.length batch in
+        let m = ref 0 in
+        let flush () =
+          if !m > 0 then begin
+            self#output_batch 0 (self#sub_batch batch !m);
+            m := 0
+          end
+        in
+        for i = 0 to n - 1 do
+          let p = batch.(i) in
+          if self#is_quarantined then begin
+            flush ();
+            self#drop ~reason:"quarantined element" p
+          end
+          else
+            match
+              let dst = (Packet.anno p).Packet.dst_ip in
+              (self#entry dst).ae_eth
+            with
+            | Some eth -> (
+                match
+                  Ether.encap p ~dst:eth ~src:my_eth
+                    ~ethertype:Ether.ethertype_ip
+                with
+                | () ->
+                    encapsulated <- encapsulated + 1;
+                    self#note_ok;
+                    batch.(!m) <- p;
+                    incr m
+                | exception e when not (E.fatal e) ->
+                    self#record_fault (Printexc.to_string e);
+                    self#drop ~reason:"element fault" p)
+            | None ->
+                (* The held/query path transfers scalar packets of its
+                   own, so flush the resolved run first to keep
+                   downstream ordering intact. *)
+                flush ();
+                self#guard (self#push 0) p
+            | exception e when not (E.fatal e) ->
+                self#record_fault (Printexc.to_string e);
+                self#drop ~reason:"element fault" p
+        done;
+        flush ()
+      end
+
     method! stats =
       let pending =
         Hashtbl.fold

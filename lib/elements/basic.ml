@@ -39,6 +39,13 @@ class discard name =
           true
       | None -> false
 
+    method! push_batch _ batch =
+      let n = Array.length batch in
+      count <- count + n;
+      for i = 0 to n - 1 do
+        self#drop ~reason:"discarded" batch.(i)
+      done
+
     method! stats = [ ("count", count) ]
   end
 
@@ -72,6 +79,14 @@ class counter name =
           bytes <- bytes + Packet.length p;
           Some p
       | None -> None
+
+    method! push_batch _ batch =
+      let n = Array.length batch in
+      packets <- packets + n;
+      for i = 0 to n - 1 do
+        bytes <- bytes + Packet.length batch.(i)
+      done;
+      self#output_batch 0 batch
 
     method! stats = [ ("packets", packets); ("bytes", bytes) ]
 
@@ -227,6 +242,35 @@ class queue name =
     method! pull _ =
       self#charge Hooks.W_queue;
       Queue.take_opt q
+
+    method! push_batch _ batch =
+      (* Hoisted batch enqueue: one W_queue charge per packet is folded
+         into a single charge for the whole batch (the amortization the
+         batched path models), the capacity headroom is computed once,
+         and the overflow tail is dropped without re-testing per
+         packet. *)
+      let n = Array.length batch in
+      self#charge Hooks.W_queue;
+      let room = capacity - Queue.length q in
+      let accept = if room < n then max room 0 else n in
+      for i = 0 to accept - 1 do
+        Queue.add batch.(i) q
+      done;
+      highwater <- max highwater (Queue.length q);
+      for i = accept to n - 1 do
+        drops <- drops + 1;
+        self#drop ~reason:"queue full" batch.(i)
+      done
+
+    method! pull_batch _ dst =
+      let want = min (Array.length dst) (Queue.length q) in
+      if want > 0 then begin
+        self#charge Hooks.W_queue;
+        for i = 0 to want - 1 do
+          dst.(i) <- Queue.take q
+        done
+      end;
+      want
 
     method! stats =
       [

@@ -18,6 +18,7 @@ class virtual tree_classifier name =
     inherit E.base name
     val mutable tree = Tree.leaf_tree Tree.drop 1
     val mutable dropped = 0
+    val mutable port_scratch : int array = [||]
     method virtual private build_tree : string -> (Tree.t, string) result
     method! port_count = "1/-"
     method! processing = "h/h"
@@ -38,6 +39,36 @@ class virtual tree_classifier name =
         dropped <- dropped + 1;
         self#drop ~reason:"classified to no output" p
       end
+
+    method! push_batch _ batch =
+      (* Classify the whole batch first (one summed work charge — the
+         cost model is linear in nodes visited), then emit contiguous
+         same-output runs as single transfers. *)
+      let n = Array.length batch in
+      if Array.length port_scratch < n then port_scratch <- Array.make n 0;
+      let ports = port_scratch in
+      let visited_total = ref 0 in
+      for i = 0 to n - 1 do
+        if self#is_quarantined then begin
+          self#drop ~reason:"quarantined element" batch.(i);
+          ports.(i) <- consumed
+        end
+        else
+          match Tree.classify_count tree batch.(i) with
+          | out, visited ->
+              visited_total := !visited_total + visited;
+              self#note_ok;
+              ports.(i) <- out
+          | exception e when not (E.fatal e) ->
+              self#record_fault (Printexc.to_string e);
+              self#drop ~reason:"element fault" batch.(i);
+              ports.(i) <- consumed
+      done;
+      if !visited_total > 0 then
+        self#charge (Hooks.W_classify_interp !visited_total);
+      emit_runs self ports batch n ~on_invalid:(fun p ->
+          dropped <- dropped + 1;
+          self#drop ~reason:"classified to no output" p)
 
     method! stats =
       [
@@ -78,6 +109,7 @@ class fast_classifier cls name (t : Tree.t) =
     inherit E.base name
     val compiled = Compile.compile_count t
     val mutable dropped = 0
+    val mutable port_scratch : int array = [||]
     method class_name = cls
     method! port_count = "1/-"
     method! processing = "h/h"
@@ -91,6 +123,33 @@ class fast_classifier cls name (t : Tree.t) =
         dropped <- dropped + 1;
         self#drop ~reason:"classified to no output" p
       end
+
+    method! push_batch _ batch =
+      let n = Array.length batch in
+      if Array.length port_scratch < n then port_scratch <- Array.make n 0;
+      let ports = port_scratch in
+      let visited_total = ref 0 in
+      for i = 0 to n - 1 do
+        if self#is_quarantined then begin
+          self#drop ~reason:"quarantined element" batch.(i);
+          ports.(i) <- consumed
+        end
+        else
+          match compiled ~read:(Tree.packet_read batch.(i)) with
+          | out, visited ->
+              visited_total := !visited_total + visited;
+              self#note_ok;
+              ports.(i) <- out
+          | exception e when not (E.fatal e) ->
+              self#record_fault (Printexc.to_string e);
+              self#drop ~reason:"element fault" batch.(i);
+              ports.(i) <- consumed
+      done;
+      if !visited_total > 0 then
+        self#charge (Hooks.W_classify_compiled !visited_total);
+      emit_runs self ports batch n ~on_invalid:(fun p ->
+          dropped <- dropped + 1;
+          self#drop ~reason:"classified to no output" p)
 
     method! stats =
       [ ("nodes", Tree.node_count t); ("dropped", dropped) ]

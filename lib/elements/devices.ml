@@ -54,20 +54,39 @@ class poll_device name =
       match dev with
       | None -> false
       | Some d ->
-          let rec loop i did =
-            if i >= burst then did
-            else
-              match d#rx () with
-              | None -> did
-              | Some p ->
-                  received <- received + 1;
-                  let anno = Packet.anno p in
-                  anno.Packet.device <- dev_number;
-                  anno.Packet.link_type <- classify_link_type p;
-                  self#output 0 p;
-                  loop (i + 1) true
-          in
-          loop 0 false
+          if self#batch_size <= 1 then
+            let rec loop i did =
+              if i >= burst then did
+              else
+                match d#rx () with
+                | None -> did
+                | Some p ->
+                    received <- received + 1;
+                    let anno = Packet.anno p in
+                    anno.Packet.device <- dev_number;
+                    anno.Packet.link_type <- classify_link_type p;
+                    self#output 0 p;
+                    loop (i + 1) true
+            in
+            loop 0 false
+          else begin
+            (* Batch mode: the batch is the polling burst — one ring
+               drain, one annotation loop, one downstream transfer. *)
+            let buf = self#scratch self#batch_size in
+            let got = d#rx_batch buf in
+            if got = 0 then false
+            else begin
+              received <- received + got;
+              for i = 0 to got - 1 do
+                let p = buf.(i) in
+                let anno = Packet.anno p in
+                anno.Packet.device <- dev_number;
+                anno.Packet.link_type <- classify_link_type p
+              done;
+              self#output_batch 0 (self#sub_batch buf got);
+              true
+            end
+          end
 
     method! stats = [ ("received", received) ]
   end
@@ -111,20 +130,44 @@ class to_device name =
       match dev with
       | None -> false
       | Some d ->
-          let rec loop i did =
-            if i >= burst || not d#tx_ready then did
-            else
-              match self#input_pull 0 with
-              | None -> did
-              | Some p ->
+          if self#batch_size <= 1 then
+            let rec loop i did =
+              if i >= burst || not d#tx_ready then did
+              else
+                match self#input_pull 0 with
+                | None -> did
+                | Some p ->
+                    if d#tx p then sent <- sent + 1
+                    else begin
+                      rejected <- rejected + 1;
+                      self#drop ~reason:"device transmit ring full" p
+                    end;
+                    loop (i + 1) true
+            in
+            loop 0 false
+          else begin
+            (* Batch mode: pull exactly what the TX ring can take right
+               now, in one upstream request. *)
+            let want = min self#batch_size d#tx_space in
+            if want <= 0 then false
+            else begin
+              let buf = self#scratch self#batch_size in
+              let dst = if want = Array.length buf then buf else Array.sub buf 0 want in
+              let got = self#input_pull_batch 0 dst in
+              if got = 0 then false
+              else begin
+                for i = 0 to got - 1 do
+                  let p = dst.(i) in
                   if d#tx p then sent <- sent + 1
                   else begin
                     rejected <- rejected + 1;
                     self#drop ~reason:"device transmit ring full" p
-                  end;
-                  loop (i + 1) true
-          in
-          loop 0 false
+                  end
+                done;
+                true
+              end
+            end
+          end
 
     method! stats = [ ("sent", sent); ("rejected", rejected) ]
   end
@@ -180,13 +223,31 @@ class infinite_source name =
 
     method! run_task =
       if (not active) || (limit >= 0 && sent >= limit) then false
-      else begin
+      else if self#batch_size <= 1 then begin
         let n =
           if limit < 0 then burst else min burst (limit - sent)
         in
         for _ = 1 to n do
           sent <- sent + 1;
-          self#output 0 (Packet.create length)
+          self#output 0 (self#alloc length)
+        done;
+        n > 0
+      end
+      else begin
+        (* Batch mode drives the source at least one full batch per task
+           run, allocating through the pool when one is installed. *)
+        let per = max burst self#batch_size in
+        let n = if limit < 0 then per else min per (limit - sent) in
+        let emitted = ref 0 in
+        while !emitted < n do
+          let k = min self#batch_size (n - !emitted) in
+          let buf = self#scratch self#batch_size in
+          for i = 0 to k - 1 do
+            buf.(i) <- self#alloc length
+          done;
+          sent <- sent + k;
+          emitted := !emitted + k;
+          self#output_batch 0 (self#sub_batch buf k)
         done;
         n > 0
       end

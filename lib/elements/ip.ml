@@ -25,7 +25,7 @@ class paint name =
    sends a clone to output 1 — the ICMP-redirect path in the IP router. *)
 class check_paint name =
   object (self)
-    inherit E.base name
+    inherit E.simple_action name
     val mutable color = 0
     method class_name = "CheckPaint"
     method! port_count = "1/1-2"
@@ -43,16 +43,9 @@ class check_paint name =
         self#output 1 c
       end
 
-    method! push _ p =
+    method private action p =
       self#tee p;
-      self#output 0 p
-
-    method! pull _ =
-      match self#input_pull 0 with
-      | Some p ->
-          self#tee p;
-          Some p
-      | None -> None
+      Some p
   end
 
 class strip name =
@@ -99,7 +92,7 @@ class unstrip name =
    are dropped — as in Click. *)
 class check_ip_header name =
   object (self)
-    inherit E.base name
+    inherit E.simple_action name
     val mutable bad_src : Ipaddr.t list = []
     val mutable drops = 0
     method class_name = "CheckIPHeader"
@@ -151,14 +144,6 @@ class check_ip_header name =
         self#handle_bad p;
         None
       end
-
-    method! push _ p =
-      match self#action p with Some p -> self#output 0 p | None -> ()
-
-    method! pull _ =
-      match self#input_pull 0 with
-      | Some p -> self#action p
-      | None -> None
 
     method! stats = [ ("drops", drops) ]
   end
@@ -223,7 +208,7 @@ class drop_broadcasts name =
    them), anything else is a parameter problem and exits on output 1. *)
 class ip_gw_options name =
   object (self)
-    inherit E.base name
+    inherit E.simple_action name
     val mutable my_addr = 0
     val mutable problems = 0
     method class_name = "IPGWOptions"
@@ -264,14 +249,6 @@ class ip_gw_options name =
         None
       end
 
-    method! push _ p =
-      match self#action p with Some p -> self#output 0 p | None -> ()
-
-    method! pull _ =
-      match self#input_pull 0 with
-      | Some p -> self#action p
-      | None -> None
-
     method! stats = [ ("problems", problems) ]
   end
 
@@ -299,7 +276,7 @@ class fix_ip_src name =
 
 class dec_ip_ttl name =
   object (self)
-    inherit E.base name
+    inherit E.simple_action name
     val mutable expired = 0
     method class_name = "DecIPTTL"
     method! port_count = "1/1-2"
@@ -316,14 +293,6 @@ class dec_ip_ttl name =
         Ip.decrement_ttl p;
         Some p
       end
-
-    method! push _ p =
-      match self#action p with Some p -> self#output 0 p | None -> ()
-
-    method! pull _ =
-      match self#input_pull 0 with
-      | Some p -> self#action p
-      | None -> None
 
     method! stats = [ ("expired", expired) ]
   end
@@ -387,6 +356,22 @@ class ip_fragmenter name =
            fragments, which are accounted as spawns. *)
         self#drop ~reason:"fragmented" p
       end
+
+    method! push_batch _ batch =
+      (* The common case is a whole batch of frames already under the
+         MTU: compact those and forward them in one transfer; anything
+         needing fragmentation takes the scalar slow path. *)
+      let n = Array.length batch in
+      let m = ref 0 in
+      for i = 0 to n - 1 do
+        let p = batch.(i) in
+        if Packet.length p <= mtu && not self#is_quarantined then begin
+          batch.(!m) <- p;
+          incr m
+        end
+        else self#guard (self#push 0) p
+      done;
+      if !m > 0 then self#output_batch 0 (self#sub_batch batch !m)
 
     method! stats = [ ("fragments", fragments); ("too_big", too_big) ]
   end

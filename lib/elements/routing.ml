@@ -32,6 +32,7 @@ class lookup_ip_route name =
     inherit E.base name
     val mutable routes : route array = [||]
     val mutable misses = 0
+    val mutable port_scratch : int array = [||]
     method class_name = "LookupIPRoute"
     method! port_count = "1/-"
     method! processing = "h/h"
@@ -68,6 +69,48 @@ class lookup_ip_route name =
           self#charge (Hooks.W_lookup n);
           misses <- misses + 1;
           self#drop ~reason:"no route" p
+
+    method! push_batch _ batch =
+      (* Look the whole batch up first (one summed W_lookup charge —
+         entries scanned is additive), rewriting gateway annotations as
+         we go, then emit contiguous same-port runs as single
+         transfers. *)
+      let bn = Array.length batch in
+      if Array.length port_scratch < bn then port_scratch <- Array.make bn 0;
+      let ports = port_scratch in
+      let n = Array.length routes in
+      let scanned_total = ref 0 in
+      for i = 0 to bn - 1 do
+        let p = batch.(i) in
+        if self#is_quarantined then begin
+          self#drop ~reason:"quarantined element" p;
+          ports.(i) <- consumed
+        end
+        else begin
+          let dst = (Packet.anno p).Packet.dst_ip in
+          let rec scan j =
+            if j >= n then None
+            else
+              let r = routes.(j) in
+              if dst land r.rt_mask = r.rt_addr then Some (r, j + 1)
+              else scan (j + 1)
+          in
+          match scan 0 with
+          | Some (r, scanned) ->
+              scanned_total := !scanned_total + scanned;
+              self#note_ok;
+              if r.rt_gw <> 0 then (Packet.anno p).Packet.dst_ip <- r.rt_gw;
+              ports.(i) <- r.rt_port
+          | None ->
+              scanned_total := !scanned_total + n;
+              misses <- misses + 1;
+              self#drop ~reason:"no route" p;
+              ports.(i) <- consumed
+        end
+      done;
+      if !scanned_total > 0 then self#charge (Hooks.W_lookup !scanned_total);
+      emit_runs self ports batch bn ~on_invalid:(fun p ->
+          self#drop ~reason:"route to unconnected port" p)
 
     method! stats = [ ("routes", Array.length routes); ("misses", misses) ]
   end

@@ -125,6 +125,20 @@ class tulip ~engine ~pci ~platform ~name ?(bus_id = 0) ?(rx_ring = 32)
           Some p
       | None -> None
 
+    method rx_batch (dst : Packet.t array) =
+      (* Click's polling batch: drain up to a full array of frames from
+         the RX ring in one call. Per-frame CPU receive cost is still
+         charged ([on_cpu_rx] per frame), but the freed descriptors are
+         handed back to the DMA engine with a single kick at the end. *)
+      let want = min (Array.length dst) (Queue.length rx_q) in
+      for i = 0 to want - 1 do
+        let p = Queue.take rx_q in
+        on_cpu_rx ();
+        dst.(i) <- p
+      done;
+      if want > 0 then self#kick_rx_dma;
+      want
+
     method tx p =
       if Queue.length tx_q >= tx_ring then false
       else begin
@@ -135,6 +149,7 @@ class tulip ~engine ~pci ~platform ~name ?(bus_id = 0) ?(rx_ring = 32)
       end
 
     method tx_ready = Queue.length tx_q < tx_ring
+    method tx_space = tx_ring - Queue.length tx_q
 
     (* --- TX ring -> (PCI) -> on-card FIFO -> wire ---
 

@@ -84,6 +84,7 @@ val run :
   ?flows:flow list ->
   ?payload_len:int ->
   ?fault:Oclick_fault.Plan.t ->
+  ?batch:int ->
   platform:Platform.t ->
   graph:Oclick_graph.Router.t ->
   input_pps:int ->
@@ -92,7 +93,8 @@ val run :
 (** [input_pps] is aggregate over all flows. Defaults: 60 ms measured
     after 30 ms warmup, then a 10 ms drain with traffic stopped so
     in-flight packets reach a terminal outcome before the conservation
-    check. [fault] installs a fault-injection plan: hosts mangle the
+    check. [batch] is the transfer batch size handed to
+    [Driver.instantiate] (default 1 = scalar push/pull throughout). [fault] installs a fault-injection plan: hosts mangle the
     traffic they generate (deterministically, per-host streams), NICs
     and PCI buses honour the plan's stall windows, and elements run
     under the plan's quarantine threshold. *)

@@ -13,6 +13,7 @@ type t = {
   mutable buf : bytes;
   mutable head : int;
   mutable len : int;
+  mutable in_pool : bool;
   anno : anno;
 }
 
@@ -34,6 +35,7 @@ let create ?(headroom = default_headroom) ?(tailroom = default_headroom) len =
     buf = Bytes.make (headroom + len + tailroom) '\000';
     head = headroom;
     len;
+    in_pool = false;
     anno = fresh_anno ();
   }
 
@@ -53,6 +55,7 @@ let clone p =
     buf = Bytes.copy p.buf;
     head = p.head;
     len = p.len;
+    in_pool = false;
     anno = { p.anno with paint = p.anno.paint };
   }
 
@@ -158,3 +161,83 @@ let realign p ~modulus ~offset =
     p.buf <- buf;
     p.head <- head
   end
+
+module Pool = struct
+  type packet = t
+
+  let fresh_packet = create
+
+  type t = {
+    free : packet Stack.t;
+    capacity : int;
+    mutable allocs : int;
+    mutable reuses : int;
+    mutable recycles : int;
+    mutable rejected : int;
+  }
+
+  type stats = {
+    st_allocs : int;
+    st_reuses : int;
+    st_recycles : int;
+    st_rejected : int;
+    st_free : int;
+  }
+
+  let create ?(capacity = 1024) () =
+    if capacity < 0 then invalid_arg "Packet.Pool.create";
+    { free = Stack.create (); capacity;
+      allocs = 0; reuses = 0; recycles = 0; rejected = 0 }
+
+  let reset_anno a =
+    a.paint <- -1;
+    a.dst_ip <- 0;
+    a.fix_ip_src <- false;
+    a.device <- -1;
+    a.timestamp <- 0.;
+    a.link_type <- To_host
+
+  (* Copy-on-recycle policy: [clone] always deep-copies the buffer, so a
+     recycled packet's buffer is never shared with a live packet and can
+     be reused in place. Only the data window is re-zeroed on reuse —
+     headroom/tailroom are scratch space whose contents [push]/[put]
+     manage themselves, exactly as for a fresh [create]. *)
+  let alloc pool ?(headroom = default_headroom) ?(tailroom = default_headroom)
+      len =
+    if len < 0 || headroom < 0 || tailroom < 0 then
+      invalid_arg "Packet.Pool.alloc";
+    match Stack.pop_opt pool.free with
+    | None ->
+        pool.allocs <- pool.allocs + 1;
+        fresh_packet ~headroom ~tailroom len
+    | Some p ->
+        let need = headroom + len + tailroom in
+        if Bytes.length p.buf < need then p.buf <- Bytes.make need '\000'
+        else Bytes.fill p.buf headroom len '\000';
+        p.head <- headroom;
+        p.len <- len;
+        p.in_pool <- false;
+        reset_anno p.anno;
+        pool.reuses <- pool.reuses + 1;
+        p
+
+  let recycle pool p =
+    (* Guard against double-recycle: a packet already on the free list is
+       left alone, so recycling from both a drop hook and a transmit path
+       can never corrupt the pool. *)
+    if (not p.in_pool) && Stack.length pool.free < pool.capacity then begin
+      p.in_pool <- true;
+      pool.recycles <- pool.recycles + 1;
+      Stack.push p pool.free
+    end
+    else pool.rejected <- pool.rejected + 1
+
+  let stats pool =
+    {
+      st_allocs = pool.allocs;
+      st_reuses = pool.reuses;
+      st_recycles = pool.recycles;
+      st_rejected = pool.rejected;
+      st_free = Stack.length pool.free;
+    }
+end

@@ -94,3 +94,39 @@ val alignment : t -> int
 val realign : t -> modulus:int -> offset:int -> unit
 (** Move the data (copying within or into a fresh buffer) so that
     [data_offset mod modulus = offset]. Used by the [Align] element. *)
+
+(** {2 Recycling pool}
+
+    A free list of dead packets, so the forwarding hot path can reuse
+    buffers instead of allocating a fresh one per packet and leaving the
+    old one to the GC. Correctness relies on the copy-on-recycle policy:
+    {!clone} deep-copies, so no live packet ever shares a buffer with a
+    recycled one, and {!Pool.recycle} marks packets so double-recycling
+    is a safe no-op. Pools are single-threaded, like the driver. *)
+module Pool : sig
+  type packet = t
+  type t
+
+  type stats = {
+    st_allocs : int;  (** fresh heap allocations (free list was empty) *)
+    st_reuses : int;  (** allocations served from the free list *)
+    st_recycles : int;  (** packets accepted back into the pool *)
+    st_rejected : int;  (** recycles refused (pool full or double-recycle) *)
+    st_free : int;  (** packets currently on the free list *)
+  }
+
+  val create : ?capacity:int -> unit -> t
+  (** A pool holding at most [capacity] (default 1024) free packets. *)
+
+  val alloc : t -> ?headroom:int -> ?tailroom:int -> int -> packet
+  (** Like {!Packet.create}, but reuses a recycled packet when one is
+      available (re-zeroing its data window and resetting annotations;
+      growing the buffer if it is too small). *)
+
+  val recycle : t -> packet -> unit
+  (** Return a dead packet to the pool. The caller must not touch the
+      packet afterwards. Recycling the same packet twice, or into a full
+      pool, is a no-op counted in [st_rejected]. *)
+
+  val stats : t -> stats
+end

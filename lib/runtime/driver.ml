@@ -9,7 +9,23 @@ type t = {
 }
 
 let instantiate ?(hooks = Hooks.null) ?(devices = []) ?mangle ?quarantine
-    source_graph =
+    ?(batch = 1) ?pool source_graph =
+  (* With a pool installed, every accounted drop is also a recycling
+     opportunity: the packet is dead once reported. The user's drop hook
+     runs first and must not retain the packet. *)
+  let hooks =
+    match pool with
+    | None -> hooks
+    | Some pl ->
+        let user_on_drop = hooks.Hooks.on_drop in
+        {
+          hooks with
+          Hooks.on_drop =
+            (fun ~idx ~cls ~reason p ->
+              user_on_drop ~idx ~cls ~reason p;
+              Oclick_packet.Packet.Pool.recycle pl p);
+        }
+  in
   (* Normalize so element indices are dense and in declaration order. *)
   let graph = Graph.Router.of_ast_exn (Graph.Router.to_ast source_graph) in
   let errors = Graph.Check.check graph Registry.spec_table in
@@ -33,6 +49,8 @@ let instantiate ?(hooks = Hooks.null) ?(devices = []) ?mangle ?quarantine
                 e#set_index i;
                 e#set_hooks hooks;
                 e#set_mangle mangle;
+                e#set_batch_size batch;
+                e#set_pool pool;
                 (match quarantine with
                 | Some n -> e#set_quarantine_threshold n
                 | None -> ());
@@ -101,10 +119,10 @@ let instantiate ?(hooks = Hooks.null) ?(devices = []) ?mangle ?quarantine
         end)
   end
 
-let of_string ?hooks ?devices ?mangle ?quarantine source =
+let of_string ?hooks ?devices ?mangle ?quarantine ?batch ?pool source =
   match Graph.Router.parse_string source with
   | Error e -> Error e
-  | Ok graph -> instantiate ?hooks ?devices ?mangle ?quarantine graph
+  | Ok graph -> instantiate ?hooks ?devices ?mangle ?quarantine ?batch ?pool graph
 
 let element t name = Hashtbl.find_opt t.by_name name
 let element_at t i = t.elements.(i)

@@ -14,6 +14,8 @@ val instantiate :
   ?devices:Netdevice.t list ->
   ?mangle:(Oclick_packet.Packet.t -> unit) ->
   ?quarantine:int ->
+  ?batch:int ->
+  ?pool:Oclick_packet.Packet.Pool.t ->
   Oclick_graph.Router.t ->
   (t, string) result
 (** Checks the graph against the registry's specifications, builds and
@@ -23,13 +25,24 @@ val instantiate :
 
     [mangle] installs an in-flight fault injector applied to every packet
     transfer (see {!Element.base.set_mangle}); [quarantine] overrides the
-    consecutive-fault quarantine threshold on every element. *)
+    consecutive-fault quarantine threshold on every element.
+
+    [batch] (default 1 = scalar) sets every element's preferred batch
+    size: device and source task loops then move packets through the
+    graph in arrays via the batched transfer path, which is
+    semantics-preserving (identical per-reason drop totals and
+    conservation balance). [pool] installs a recycling packet pool:
+    sources allocate through it and every accounted drop is recycled
+    after the drop hook has run — drop hooks must not retain packets
+    when a pool is in use. *)
 
 val of_string :
   ?hooks:Hooks.t ->
   ?devices:Netdevice.t list ->
   ?mangle:(Oclick_packet.Packet.t -> unit) ->
   ?quarantine:int ->
+  ?batch:int ->
+  ?pool:Oclick_packet.Packet.Pool.t ->
   string ->
   (t, string) result
 (** Parse, flatten, instantiate. *)

@@ -28,8 +28,13 @@ and t = <
   connect_input : int -> t -> int -> unit;
   push : int -> Oclick_packet.Packet.t -> unit;
   pull : int -> Oclick_packet.Packet.t option;
+  push_batch : int -> Oclick_packet.Packet.t array -> unit;
+  pull_batch : int -> Oclick_packet.Packet.t array -> int;
   output : int -> Oclick_packet.Packet.t -> unit;
   input_pull : int -> Oclick_packet.Packet.t option;
+  batch_size : int;
+  set_batch_size : int -> unit;
+  set_pool : Oclick_packet.Packet.Pool.t option -> unit;
   wants_task : bool;
   run_task : bool;
   stats : (string * int) list;
@@ -47,6 +52,10 @@ let fatal = function
   | Out_of_memory | Stack_overflow | Sys.Break -> true
   | _ -> false
 
+(* Shared fill value for scratch batch arrays; never read before a real
+   packet is written over it. *)
+let placeholder = lazy (Oclick_packet.Packet.create 0)
+
 class virtual base (name : string) =
   object (self)
     val mutable index = -1
@@ -60,6 +69,9 @@ class virtual base (name : string) =
     val mutable consecutive_faults = 0
     val mutable quarantined = false
     val mutable mangle : (Oclick_packet.Packet.t -> unit) option = None
+    val mutable batch_size = 1
+    val mutable pool : Oclick_packet.Packet.Pool.t option = None
+    val mutable scratch_arr : Oclick_packet.Packet.t array = [||]
     method name = name
     method virtual class_name : string
 
@@ -108,6 +120,84 @@ class virtual base (name : string) =
       self#drop ~reason:"push to non-push element" p
 
     method pull (_port : int) : Oclick_packet.Packet.t option = None
+
+    (** {2 Batched transfer path} *)
+
+    method batch_size = batch_size
+    method set_batch_size n = batch_size <- max 1 n
+    method set_pool p = pool <- p
+
+    (* Pool-aware allocation for source elements: recycled buffer when a
+       pool is installed, fresh packet otherwise. *)
+    method private alloc ?headroom len =
+      match pool with
+      | Some pl -> Oclick_packet.Packet.Pool.alloc pl ?headroom len
+      | None -> Oclick_packet.Packet.create ?headroom len
+
+    method private recycle p =
+      match pool with
+      | Some pl -> Oclick_packet.Packet.Pool.recycle pl p
+      | None -> ()
+
+    (* Run [f p] under the same per-packet fault containment the scalar
+       transfer path provides, but from the receiving side: push_batch
+       implementations run inside the destination element, so they must
+       contain their own per-packet faults (the caller has already handed
+       the whole batch over). Reason strings match the scalar path
+       exactly, so per-reason drop totals are batch-invariant; only the
+       reporting element differs (the destination rather than the
+       source). *)
+    method private guard (f : Oclick_packet.Packet.t -> unit) p =
+      if quarantined then self#drop ~reason:"quarantined element" p
+      else
+        match f p with
+        | () -> consecutive_faults <- 0
+        | exception e when not (fatal e) ->
+            self#record_fault (Printexc.to_string e);
+            self#drop ~reason:"element fault" p
+
+    (* Reuse the batch array for a shorter prefix without copying when
+       nothing was filtered out. *)
+    method private sub_batch (batch : Oclick_packet.Packet.t array) m =
+      if m = Array.length batch then batch else Array.sub batch 0 m
+
+    (* A per-element reusable batch array (grow-only), so task loops
+       don't allocate one per scheduler round. *)
+    method private scratch n =
+      if Array.length scratch_arr < n then
+        scratch_arr <- Array.make n (Lazy.force placeholder);
+      scratch_arr
+
+    method push_batch port (batch : Oclick_packet.Packet.t array) =
+      (* Compatibility default: every element class works under batching
+         unmodified by looping the scalar [push]. Hot elements override
+         this with loops that hoist dispatch, hook reporting, and config
+         lookups out of the per-packet body. *)
+      let f = self#push port in
+      for i = 0 to Array.length batch - 1 do
+        self#guard f batch.(i)
+      done
+
+    method pull_batch port (dst : Oclick_packet.Packet.t array) =
+      (* Fill-style: write up to [Array.length dst] packets into [dst]
+         from the front, return how many. Default loops the scalar
+         [pull]; stops at the first refusal or contained fault. *)
+      let n = Array.length dst in
+      let i = ref 0 in
+      let eos = ref false in
+      while (not !eos) && !i < n do
+        match self#pull port with
+        | Some p ->
+            dst.(!i) <- p;
+            incr i;
+            consecutive_faults <- 0
+        | None -> eos := true
+        | exception e when not (fatal e) ->
+            self#record_fault (Printexc.to_string e);
+            eos := true
+      done;
+      !i
+
     method wants_task = false
     method run_task = false
     method stats : (string * int) list = []
@@ -205,6 +295,100 @@ class virtual base (name : string) =
                 None)
       | None -> None
 
+    method output_batch port (batch : Oclick_packet.Packet.t array) =
+      let n = Array.length batch in
+      if n = 1 then self#output port batch.(0)
+      else if n > 0 then
+        match
+          if port >= 0 && port < Array.length out_targets then
+            out_targets.(port)
+          else None
+        with
+        | Some (dst, dst_port) -> (
+            (match mangle with
+            | Some f ->
+                for i = 0 to n - 1 do
+                  f batch.(i)
+                done
+            | None -> ());
+            if dst#is_quarantined then
+              for i = 0 to n - 1 do
+                self#drop ~reason:"quarantined element" batch.(i)
+              done
+            else begin
+              hooks.Hooks.on_transfer_batch
+                {
+                  Hooks.tr_src_idx = index;
+                  tr_src_class = self#code_class;
+                  tr_src_port = port;
+                  tr_dst_idx = dst#index;
+                  tr_dst_class = dst#class_name;
+                  tr_direct = direct_dispatch;
+                  tr_pull = false;
+                }
+                n;
+              match dst#push_batch dst_port batch with
+              | () -> dst#note_ok
+              | exception e when not (fatal e) ->
+                  (* push_batch implementations contain their own
+                     per-packet faults; an escape means we no longer know
+                     which packets were consumed, so account the whole
+                     batch as faulted rather than leak it from the
+                     conservation ledger. *)
+                  dst#record_fault (Printexc.to_string e);
+                  for i = 0 to n - 1 do
+                    self#drop ~reason:"element fault" batch.(i)
+                  done
+            end)
+        | None ->
+            for i = 0 to n - 1 do
+              self#drop
+                ~reason:(Printf.sprintf "unconnected output %d" port)
+                batch.(i)
+            done
+
+    method input_pull_batch port (dst : Oclick_packet.Packet.t array) =
+      if Array.length dst = 1 then (
+        match self#input_pull port with
+        | Some p ->
+            dst.(0) <- p;
+            1
+        | None -> 0)
+      else
+        match
+          if port >= 0 && port < Array.length in_targets then in_targets.(port)
+          else None
+        with
+        | Some (src, src_port) ->
+            if src#is_quarantined then 0
+            else
+              let n =
+                (* pull_batch implementations contain their own faults
+                   (the base default does); a defensive catch here keeps
+                   an escape from killing the pulling element's task. *)
+                match src#pull_batch src_port dst with
+                | n -> n
+                | exception e when not (fatal e) ->
+                    src#record_fault (Printexc.to_string e);
+                    0
+              in
+              if n > 0 then begin
+                src#note_ok;
+                hooks.Hooks.on_transfer_batch
+                  {
+                    Hooks.tr_src_idx = index;
+                    tr_src_class = self#code_class;
+                    tr_src_port = port;
+                    tr_dst_idx = src#index;
+                    tr_dst_class = src#class_name;
+                    tr_direct = direct_dispatch;
+                    tr_pull = true;
+                  }
+                  n
+              end;
+              n
+        | None -> 0
+
     method charge w = hooks.Hooks.on_work ~idx:index ~cls:self#class_name w
 
     method drop ~reason p =
@@ -227,6 +411,30 @@ class virtual simple_action (name : string) =
       match self#input_pull 0 with
       | Some p -> self#action p
       | None -> None
+
+    method! push_batch _ batch =
+      (* Generic batched fast path for every simple_action element:
+         apply [action] to each packet, compacting survivors in place,
+         then forward the whole surviving prefix in one transfer. The
+         batch array is scratch — callers must not rely on its contents
+         after push_batch returns. *)
+      let n = Array.length batch in
+      let m = ref 0 in
+      for i = 0 to n - 1 do
+        let p = batch.(i) in
+        if quarantined then self#drop ~reason:"quarantined element" p
+        else
+          match self#action p with
+          | Some q ->
+              batch.(!m) <- q;
+              incr m;
+              consecutive_faults <- 0
+          | None -> consecutive_faults <- 0
+          | exception e when not (fatal e) ->
+              self#record_fault (Printexc.to_string e);
+              self#drop ~reason:"element fault" p
+      done;
+      if !m > 0 then self#output_batch 0 (self#sub_batch batch !m)
   end
 
 let configure_error msg = Error msg

@@ -44,8 +44,13 @@ and t = <
   connect_input : int -> t -> int -> unit;
   push : int -> Oclick_packet.Packet.t -> unit;
   pull : int -> Oclick_packet.Packet.t option;
+  push_batch : int -> Oclick_packet.Packet.t array -> unit;
+  pull_batch : int -> Oclick_packet.Packet.t array -> int;
   output : int -> Oclick_packet.Packet.t -> unit;
   input_pull : int -> Oclick_packet.Packet.t option;
+  batch_size : int;
+  set_batch_size : int -> unit;
+  set_pool : Oclick_packet.Packet.Pool.t option -> unit;
   wants_task : bool;
   run_task : bool;
   stats : (string * int) list;
@@ -108,6 +113,43 @@ class virtual base : string -> object
   method pull : int -> Oclick_packet.Packet.t option
   (** Default: [None]. *)
 
+  (** {2 Batched transfer path}
+
+      The hot-path alternative to per-packet [push]/[pull]: a whole
+      array of packets crosses a hookup in one dynamic dispatch and one
+      {!Hooks.t.on_transfer_batch} report. Semantics are preserved — the
+      default implementations loop the scalar methods under the same
+      fault containment, so every element class works under batching;
+      hot elements override them with loops that hoist config lookups,
+      hook reporting, and dispatch out of the per-packet body.
+
+      Contract: [push_batch] implementations contain their own
+      per-packet faults (use [guard], or pattern-match exceptions as the
+      default does) — drop reasons match the scalar path (["element
+      fault"], ["quarantined element"]), so per-reason drop totals are
+      identical in both modes. The batch array is scratch owned by the
+      callee once handed over: callers must not rely on its contents
+      after [push_batch]/[output_batch] returns. *)
+
+  method push_batch : int -> Oclick_packet.Packet.t array -> unit
+  (** Process a whole batch arriving on a port. Default: loops the
+      scalar {!push} with per-packet fault containment. *)
+
+  method pull_batch : int -> Oclick_packet.Packet.t array -> int
+  (** Fill-style batched pull: write up to [Array.length dst] packets
+      into the array from the front and return how many. Default: loops
+      the scalar {!pull}, stopping at the first refusal. *)
+
+  method batch_size : int
+  (** Preferred batch size for this element's task loops; 1 = scalar. *)
+
+  method set_batch_size : int -> unit
+  (** Set by the driver ([clamped to >= 1]). *)
+
+  method set_pool : Oclick_packet.Packet.Pool.t option -> unit
+  (** Install a recycling packet pool; source elements then allocate
+      through it (see {!Oclick_packet.Packet.Pool}). *)
+
   method wants_task : bool
   (** Whether the scheduler should call {!run_task}; default [false]. *)
 
@@ -133,6 +175,35 @@ class virtual base : string -> object
 
   method input_pull : int -> Oclick_packet.Packet.t option
   (** Request a packet from upstream (a pull "virtual call"). *)
+
+  method output_batch : int -> Oclick_packet.Packet.t array -> unit
+  (** Transfer a whole batch downstream: one quarantine check, one
+      {!Hooks.t.on_transfer_batch} report, one [push_batch] dispatch.
+      Per-packet mangle (fault injection) still applies. A batch of one
+      falls back to the scalar {!output}. *)
+
+  method input_pull_batch : int -> Oclick_packet.Packet.t array -> int
+  (** Batched upstream request: fills the array from the front via the
+      peer's [pull_batch], reports one batched transfer, returns the
+      count. *)
+
+  method private guard : (Oclick_packet.Packet.t -> unit) -> Oclick_packet.Packet.t -> unit
+  (** [guard f p] runs [f p] under scalar-equivalent per-packet fault
+      containment — the building block for [push_batch] overrides. *)
+
+  method private sub_batch : Oclick_packet.Packet.t array -> int -> Oclick_packet.Packet.t array
+  (** [sub_batch batch m] is the first [m] packets of [batch], reusing
+      the array itself when [m = Array.length batch]. *)
+
+  method private scratch : int -> Oclick_packet.Packet.t array
+  (** A reusable per-element batch array of at least [n] slots, for task
+      loops (contents are garbage; fill before use). *)
+
+  method private alloc : ?headroom:int -> int -> Oclick_packet.Packet.t
+  (** Pool-aware packet allocation for source elements. *)
+
+  method private recycle : Oclick_packet.Packet.t -> unit
+  (** Return a dead packet to the installed pool (no-op without one). *)
 
   method charge : Hooks.work -> unit
   method drop : reason:string -> Oclick_packet.Packet.t -> unit

@@ -19,6 +19,7 @@ type work =
 
 type t = {
   on_transfer : transfer -> unit;
+  on_transfer_batch : transfer -> int -> unit;
   on_work : idx:int -> cls:string -> work -> unit;
   on_drop : idx:int -> cls:string -> reason:string ->
             Oclick_packet.Packet.t -> unit;
@@ -30,6 +31,7 @@ type t = {
 let null =
   {
     on_transfer = (fun _ -> ());
+    on_transfer_batch = (fun _ _ -> ());
     on_work = (fun ~idx:_ ~cls:_ _ -> ());
     on_drop = (fun ~idx:_ ~cls:_ ~reason:_ _ -> ());
     on_spawn = (fun ~idx:_ ~cls:_ _ -> ());

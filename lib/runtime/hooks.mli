@@ -32,6 +32,11 @@ type work =
 
 type t = {
   on_transfer : transfer -> unit;
+  on_transfer_batch : transfer -> int -> unit;
+      (** One report for a whole batch of packets moving over the same
+          hookup (the batched transfer path): the [int] is the batch
+          size. Amortizes per-packet observability cost — a batch of [n]
+          stands for [n] scalar transfers. *)
   on_work : idx:int -> cls:string -> work -> unit;
   on_drop : idx:int -> cls:string -> reason:string ->
             Oclick_packet.Packet.t -> unit;

@@ -1,8 +1,10 @@
 class type t = object
   method device_name : string
   method rx : unit -> Oclick_packet.Packet.t option
+  method rx_batch : Oclick_packet.Packet.t array -> int
   method tx : Oclick_packet.Packet.t -> bool
   method tx_ready : bool
+  method tx_space : int
 end
 
 class queue_device name ?(tx_capacity = max_int) () =
@@ -13,6 +15,13 @@ class queue_device name ?(tx_capacity = max_int) () =
     method device_name : string = name
     method rx () = Queue.take_opt rx_q
 
+    method rx_batch (dst : Oclick_packet.Packet.t array) =
+      let want = min (Array.length dst) (Queue.length rx_q) in
+      for i = 0 to want - 1 do
+        dst.(i) <- Queue.take rx_q
+      done;
+      want
+
     method tx p =
       if Queue.length tx_q >= tx_capacity then false
       else begin
@@ -22,6 +31,7 @@ class queue_device name ?(tx_capacity = max_int) () =
       end
 
     method tx_ready = Queue.length tx_q < tx_capacity
+    method tx_space = tx_capacity - Queue.length tx_q
     method inject p = Queue.add p rx_q
     method collect = Queue.take_opt tx_q
     method tx_count = sent

@@ -12,11 +12,20 @@ class type t = object
   (** The CPU takes the next received packet from the RX DMA ring,
       refilling the ring's descriptor. [None] when the ring is empty. *)
 
+  method rx_batch : Oclick_packet.Packet.t array -> int
+  (** Batched receive, mirroring Click's polling batch: fill the array
+      from the front with up to [Array.length dst] frames in one call
+      and return how many — amortizing per-frame ring bookkeeping. *)
+
   method tx : Oclick_packet.Packet.t -> bool
   (** Enqueue a packet on the TX DMA ring; [false] if the ring is full. *)
 
   method tx_ready : bool
   (** Whether the TX ring can accept another packet. *)
+
+  method tx_space : int
+  (** How many more packets the TX ring can accept right now — lets a
+      batched [ToDevice] pull exactly what it can transmit. *)
 end
 
 (** A device backed by two in-memory queues, for tests and examples:

@@ -168,6 +168,72 @@ let test_checksum_combine () =
   and b = Checksum.ones_complement_sum data ~pos:2 ~len:2 in
   check "combine" whole (Checksum.combine a b)
 
+(* --- packet pool --------------------------------------------------------- *)
+
+let test_pool_alloc_fresh () =
+  let pool = Packet.Pool.create () in
+  let p = Packet.Pool.alloc pool 64 in
+  check "length" 64 (Packet.length p);
+  check "zeroed" 0 (Packet.get_u8 p 63);
+  let st = Packet.Pool.stats pool in
+  check "allocs" 1 st.Packet.Pool.st_allocs;
+  check "reuses" 0 st.Packet.Pool.st_reuses;
+  check "free" 0 st.Packet.Pool.st_free
+
+let test_pool_recycle_reuse () =
+  let pool = Packet.Pool.create () in
+  let p = Packet.Pool.alloc pool 32 in
+  Packet.set_u8 p 0 0xff;
+  Packet.Pool.recycle pool p;
+  check "free after recycle" 1 (Packet.Pool.stats pool).Packet.Pool.st_free;
+  let q = Packet.Pool.alloc pool 32 in
+  check "reuses" 1 (Packet.Pool.stats pool).Packet.Pool.st_reuses;
+  check "length" 32 (Packet.length q);
+  (* the data window is re-zeroed on reuse, like a fresh create *)
+  check "rezeroed" 0 (Packet.get_u8 q 0);
+  check "free drained" 0 (Packet.Pool.stats pool).Packet.Pool.st_free
+
+let test_pool_double_recycle_is_noop () =
+  let pool = Packet.Pool.create () in
+  let p = Packet.Pool.alloc pool 16 in
+  Packet.Pool.recycle pool p;
+  Packet.Pool.recycle pool p;
+  let st = Packet.Pool.stats pool in
+  check "only one free entry" 1 st.Packet.Pool.st_free;
+  check "second recycle rejected" 1 st.Packet.Pool.st_rejected
+
+let test_pool_capacity_bound () =
+  let pool = Packet.Pool.create ~capacity:1 () in
+  let p = Packet.Pool.alloc pool 16 and q = Packet.Pool.alloc pool 16 in
+  Packet.Pool.recycle pool p;
+  Packet.Pool.recycle pool q;
+  let st = Packet.Pool.stats pool in
+  check "capacity respected" 1 st.Packet.Pool.st_free;
+  check "overflow rejected" 1 st.Packet.Pool.st_rejected
+
+let test_pool_copy_on_recycle () =
+  (* A clone taken before recycling must not observe the buffer being
+     reused: clone deep-copies, so no live packet shares a recycled
+     buffer (the copy-on-recycle policy). *)
+  let pool = Packet.Pool.create () in
+  let p = Packet.Pool.alloc pool 8 in
+  Packet.set_u8 p 0 0xaa;
+  let held = Packet.clone p in
+  Packet.Pool.recycle pool p;
+  let q = Packet.Pool.alloc pool 8 in
+  Packet.set_u8 q 0 0x55;
+  check "held clone unaffected" 0xaa (Packet.get_u8 held 0)
+
+let test_pool_grows_small_buffer () =
+  let pool = Packet.Pool.create () in
+  let p = Packet.Pool.alloc pool 8 in
+  Packet.Pool.recycle pool p;
+  let q = Packet.Pool.alloc pool 512 in
+  check "reused and grown" 512 (Packet.length q);
+  check "grown buffer zeroed" 0 (Packet.get_u8 q 511);
+  check "still counts as reuse" 1
+    (Packet.Pool.stats pool).Packet.Pool.st_reuses
+
 (* --- headers ------------------------------------------------------------- *)
 
 let test_ether_encap () =
@@ -285,6 +351,48 @@ let prop_realign_preserves_data =
       Packet.data_offset p mod modulus = off mod modulus
       && Packet.to_string p = data)
 
+(* Reference for the word-at-a-time checksum: the textbook byte-pair sum
+   with end-around carry folding, no unrolling, no unsafe accesses. *)
+let naive_ones_complement_sum buf ~pos ~len =
+  let sum = ref 0 in
+  let i = ref pos in
+  while !i + 2 <= pos + len do
+    sum :=
+      !sum
+      + ((Char.code (Bytes.get buf !i) lsl 8)
+        lor Char.code (Bytes.get buf (!i + 1)));
+    i := !i + 2
+  done;
+  if !i < pos + len then
+    sum := !sum + (Char.code (Bytes.get buf !i) lsl 8);
+  let s = ref !sum in
+  while !s > 0xffff do
+    s := (!s land 0xffff) + (!s lsr 16)
+  done;
+  !s
+
+let prop_checksum_matches_naive =
+  QCheck.Test.make ~name:"word-at-a-time checksum = naive reference"
+    ~count:500
+    QCheck.(
+      triple (string_of_size (Gen.int_range 0 256)) small_nat small_nat)
+    (fun (data, a, b) ->
+      let buf = Bytes.of_string data in
+      let n = Bytes.length buf in
+      let pos = if n = 0 then 0 else a mod (n + 1) in
+      let len = min (b mod 300) (n - pos) in
+      Checksum.ones_complement_sum buf ~pos ~len
+      = naive_ones_complement_sum buf ~pos ~len)
+
+let test_checksum_bounds () =
+  let buf = Bytes.create 8 in
+  Alcotest.check_raises "negative pos"
+    (Invalid_argument "Checksum.ones_complement_sum") (fun () ->
+      ignore (Checksum.ones_complement_sum buf ~pos:(-1) ~len:2));
+  Alcotest.check_raises "len past end"
+    (Invalid_argument "Checksum.ones_complement_sum") (fun () ->
+      ignore (Checksum.ones_complement_sum buf ~pos:4 ~len:5))
+
 let prop_u32_byte_consistency =
   QCheck.Test.make ~name:"u32 equals its four bytes" ~count:200
     QCheck.(int_bound 0xffffff)
@@ -327,6 +435,19 @@ let () =
           Alcotest.test_case "odd length" `Quick test_checksum_odd;
           Alcotest.test_case "verify" `Quick test_checksum_verify;
           Alcotest.test_case "combine" `Quick test_checksum_combine;
+          Alcotest.test_case "bounds" `Quick test_checksum_bounds;
+        ] );
+      ( "pool",
+        [
+          Alcotest.test_case "alloc fresh" `Quick test_pool_alloc_fresh;
+          Alcotest.test_case "recycle reuse" `Quick test_pool_recycle_reuse;
+          Alcotest.test_case "double recycle" `Quick
+            test_pool_double_recycle_is_noop;
+          Alcotest.test_case "capacity bound" `Quick test_pool_capacity_bound;
+          Alcotest.test_case "copy on recycle" `Quick
+            test_pool_copy_on_recycle;
+          Alcotest.test_case "grows small buffer" `Quick
+            test_pool_grows_small_buffer;
         ] );
       ( "headers",
         [
@@ -344,6 +465,7 @@ let () =
           [
             prop_pull_push_inverse;
             prop_checksum_update_valid;
+            prop_checksum_matches_naive;
             prop_realign_preserves_data;
             prop_u32_byte_consistency;
           ] );

@@ -60,6 +60,11 @@ let test_hooks_see_transfers_and_work () =
   let hooks =
     {
       Hooks.on_transfer = (fun tr -> transfers := tr :: !transfers);
+      on_transfer_batch =
+        (fun tr n ->
+          for _ = 1 to n do
+            transfers := tr :: !transfers
+          done);
       on_work = (fun ~idx:_ ~cls w -> works := (cls, w) :: !works);
       on_drop = (fun ~idx:_ ~cls:_ ~reason:_ _ -> incr drops);
       on_spawn = (fun ~idx:_ ~cls:_ _ -> ());
@@ -174,12 +179,12 @@ type rig = {
   rig_devs : Netdevice.queue_device array;
 }
 
-let make_rig ?(n = 2) graph =
+let make_rig ?(n = 2) ?hooks ?batch ?pool graph =
   let devs =
     Array.init n (fun i -> new Netdevice.queue_device (Printf.sprintf "eth%d" i) ())
   in
   let devices = Array.to_list (Array.map (fun d -> (d :> Netdevice.t)) devs) in
-  match Driver.instantiate ~devices graph with
+  match Driver.instantiate ?hooks ~devices ?batch ?pool graph with
   | Ok d -> { rig_driver = d; rig_devs = devs }
   | Error e -> Alcotest.failf "instantiate: %s" e
 
@@ -314,6 +319,153 @@ let test_router_multi_interface () =
   check_bool "forwarded out iface 3" true (rig.rig_devs.(3)#collect <> None);
   check_bool "nothing on iface 1" true (rig.rig_devs.(1)#collect = None)
 
+(* --- batched vs scalar differential -------------------------------------------- *)
+
+(* The batched transfer path must be semantics-preserving: the same
+   traffic through the same router yields identical forwarded counts and
+   identical per-reason drop totals whatever the batch size (and whether
+   or not a recycling pool is installed). The traffic mix is a seeded
+   deterministic fuzz over the interesting paths: valid forwards, bad IP
+   checksums, TTL expiry (spawns ICMP back out the ingress), unroutable
+   destinations, and link-layer broadcasts. *)
+
+let mixed_traffic seed k =
+  let state = ref (seed land 0x3fffffff) in
+  let next () =
+    state := ((!state * 1103515245) + 12345) land 0x3fffffff;
+    !state
+  in
+  List.init k (fun _ ->
+      match next () mod 8 with
+      | 0 ->
+          (* corrupt the IP header checksum: CheckIPHeader drops it *)
+          let p = host_udp ~src_if:0 ~dst_ip:"10.0.1.2" () in
+          Packet.set_u8 p 24 (Packet.get_u8 p 24 lxor 0xff);
+          p
+      | 1 -> host_udp ~src_if:0 ~dst_ip:"10.0.1.2" ~ttl:1 ()
+      | 2 -> host_udp ~src_if:0 ~dst_ip:"192.168.9.9" ()
+      | 3 ->
+          let p = host_udp ~src_if:0 ~dst_ip:"10.0.1.2" () in
+          Headers.Ether.set_dst p Ethaddr.broadcast;
+          p
+      | _ -> host_udp ~src_if:0 ~dst_ip:"10.0.1.2" ())
+
+(* Run [k] fuzzed packets through the two-interface router and return
+   (forwarded out eth1, returned to eth0, sorted per-reason drops). *)
+let run_differential_variant ~batch ~pool ~seed ~k =
+  let drops : (string, int ref) Hashtbl.t = Hashtbl.create 16 in
+  let hooks =
+    {
+      Hooks.null with
+      Hooks.on_drop =
+        (fun ~idx:_ ~cls:_ ~reason _ ->
+          match Hashtbl.find_opt drops reason with
+          | Some r -> incr r
+          | None -> Hashtbl.replace drops reason (ref 1));
+    }
+  in
+  let pool = if pool then Some (Packet.Pool.create ()) else None in
+  let rig = make_rig ~hooks ~batch ?pool (ip_router_graph ()) in
+  (* Resolve ARP in both directions before the measured traffic: forward
+     flow out eth1, ICMP errors back out eth0. *)
+  rig.rig_devs.(0)#inject (host_udp ~src_if:0 ~dst_ip:"10.0.1.2" ());
+  ignore (Driver.run_until_idle rig.rig_driver);
+  answer_arp rig 1 (Ethaddr.of_string_exn "00:00:c0:bb:01:02");
+  ignore (Driver.run_until_idle rig.rig_driver);
+  rig.rig_devs.(0)#inject (host_udp ~src_if:0 ~dst_ip:"10.0.1.2" ~ttl:1 ());
+  ignore (Driver.run_until_idle rig.rig_driver);
+  answer_arp rig 0 (Ethaddr.of_string_exn "00:00:c0:aa:00:02");
+  ignore (Driver.run_until_idle rig.rig_driver);
+  let rec drain dev n =
+    match dev#collect with Some _ -> drain dev (n + 1) | None -> n
+  in
+  ignore (drain rig.rig_devs.(0) 0);
+  ignore (drain rig.rig_devs.(1) 0);
+  Hashtbl.reset drops;
+  List.iter rig.rig_devs.(0)#inject (mixed_traffic seed k);
+  ignore (Driver.run_until_idle rig.rig_driver);
+  let forwarded = drain rig.rig_devs.(1) 0
+  and returned = drain rig.rig_devs.(0) 0 in
+  let drop_list =
+    Hashtbl.fold (fun r n acc -> (r, !n) :: acc) drops [] |> List.sort compare
+  in
+  (forwarded, returned, drop_list)
+
+let test_batch_differential () =
+  let k = 200 in
+  List.iter
+    (fun seed ->
+      let scalar = run_differential_variant ~batch:1 ~pool:false ~seed ~k in
+      let _, _, scalar_drops = scalar in
+      check_bool "fuzz exercised drop paths" true
+        (List.mem_assoc "no route" scalar_drops
+        && List.length scalar_drops >= 3);
+      List.iter
+        (fun (batch, pool) ->
+          let name fmt =
+            Printf.sprintf fmt seed batch (if pool then "+pool" else "")
+          in
+          let forwarded, returned, drops =
+            run_differential_variant ~batch ~pool ~seed ~k
+          in
+          let s_fwd, s_ret, s_drops = scalar in
+          check (name "seed %d batch %d%s: forwarded") s_fwd forwarded;
+          check (name "seed %d batch %d%s: returned") s_ret returned;
+          Alcotest.(check (list (pair string int)))
+            (name "seed %d batch %d%s: drop reasons")
+            s_drops drops)
+        [ (4, false); (8, true); (32, true) ])
+    [ 7; 42; 1234 ]
+
+(* The same invariant end to end through the simulated testbed, under a
+   seeded fault-injection plan: whole-run outcome totals, per-reason drop
+   totals, and the packet-conservation ledger must not depend on the
+   batch size. Rates stay well below saturation so no outcome depends on
+   queue timing. *)
+let test_testbed_batch_differential () =
+  let module Testbed = Oclick_hw.Testbed in
+  let module Platform = Oclick_hw.Platform in
+  let graph = ip_router_graph ~n:8 () in
+  List.iter
+    (fun seed ->
+      let fault =
+        match
+          Oclick_fault.Plan.parse
+            (Printf.sprintf
+               "seed=%d,corrupt=0.02,ttl0=0.02,badcksum=0.03,badlen=0.01,\
+                truncate=0.01"
+               seed)
+        with
+        | Ok p -> p
+        | Error e -> Alcotest.failf "plan: %s" e
+      in
+      let run batch =
+        match
+          Testbed.run ~duration_ms:20 ~warmup_ms:10 ~batch
+            ~platform:Platform.p0 ~graph ~fault ~input_pps:20_000 ()
+        with
+        | Ok r -> r
+        | Error e -> Alcotest.failf "testbed (batch %d): %s" batch e
+      in
+      let scalar = run 1 and batched = run 32 in
+      let name s = Printf.sprintf "seed %d: %s" seed s in
+      check_bool
+        (name "outcome totals identical")
+        true
+        (scalar.Testbed.r_outcomes_total = batched.Testbed.r_outcomes_total);
+      Alcotest.(check (list (pair string int)))
+        (name "drop reasons identical")
+        scalar.Testbed.r_drop_reasons_total batched.Testbed.r_drop_reasons_total;
+      check_bool
+        (name "conservation ledgers identical")
+        true
+        (scalar.Testbed.r_conservation = batched.Testbed.r_conservation);
+      check_bool (name "faults were injected") true
+        (scalar.Testbed.r_fault_counts <> []);
+      check_bool (name "traffic flowed") true
+        (scalar.Testbed.r_outcomes_total.Testbed.oc_sent > 0))
+    [ 3; 42; 77 ]
+
 (* --- handlers ----------------------------------------------------------------- *)
 
 let test_read_handlers () =
@@ -413,6 +565,12 @@ let () =
             test_router_fragments_large_packet;
           Alcotest.test_case "multi interface" `Quick
             test_router_multi_interface;
+        ] );
+      ( "batch-differential",
+        [
+          Alcotest.test_case "pure runtime" `Quick test_batch_differential;
+          Alcotest.test_case "testbed under faults" `Quick
+            test_testbed_batch_differential;
         ] );
       ( "handlers",
         [
