@@ -2,9 +2,11 @@
 # of `make test` via the @bench-smoke alias) is the sub-second sanity run
 # of the wall-clock batch benchmark; `make bench` regenerates every
 # section, and `make bench-json` refreshes the committed BENCH_batch.json
-# baseline in the repo root.
+# and BENCH_obs.json baselines in the repo root. `make obs-smoke` (also
+# part of `dune runtest`) validates oclick-report's JSON output against
+# the report schema on the example configurations.
 
-.PHONY: all build test bench bench-smoke bench-json clean
+.PHONY: all build test bench bench-smoke bench-json obs-smoke clean
 
 all: build
 
@@ -22,6 +24,10 @@ bench-smoke:
 
 bench-json: build
 	cd $(CURDIR) && dune exec --no-build bench/main.exe -- batch --json
+	cd $(CURDIR) && dune exec --no-build bench/main.exe -- obs --json
+
+obs-smoke:
+	dune build @obs-smoke
 
 clean:
 	dune clean

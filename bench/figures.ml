@@ -21,6 +21,7 @@ let dispatch () =
       tr_src_port = 0;
       tr_dst_idx = target;
       tr_dst_class = "Queue";
+      tr_dst_port = 0;
       tr_direct = false;
       tr_pull = false;
     }

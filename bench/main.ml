@@ -24,6 +24,7 @@ let sections =
     ("ablation", Figures.devirtualize_ablation);
     ("micro", Micro.run);
     ("batch", Batch.run);
+    ("obs", Obs.run);
   ]
 
 let () =

@@ -1,0 +1,182 @@
+(* oclick-report: run a configuration in the simulated testbed and print
+   the paper-style per-element cost breakdown — each element's packet
+   counts and its share of modeled CPU time, sorted by cost with percent
+   of total. With --passes, the breakdown is printed before and after
+   each optimizer pass (click-xform, click-fastclassifier,
+   click-devirtualize, applied cumulatively), which is exactly how the
+   paper explains where each optimization saves its cycles.
+
+   The testbed attaches one simulated NIC/host pair per device element,
+   with the standard eth<i>/10.0.<i>.x addressing (the same assumption
+   the bench figures make), so configurations built like the examples/
+   IP routers measure end to end. *)
+
+open Cmdliner
+module Obs = Oclick_obs
+module Json = Oclick_obs.Json
+module Testbed = Oclick_hw.Testbed
+module Platform = Oclick_hw.Platform
+module Router = Oclick_graph.Router
+
+let device_count router =
+  let names = ref [] in
+  List.iter
+    (fun i ->
+      match Router.class_of router i with
+      | "PollDevice" | "FromDevice" | "ToDevice" -> (
+          match Oclick_lang.Args.split (Router.config router i) with
+          | d :: _ when not (List.mem d !names) -> names := d :: !names
+          | _ -> ())
+      | _ -> ())
+    (Router.indices router);
+  List.length !names
+
+let passes_of router =
+  let xf = Oclick.Pipeline.transform router in
+  let fc = Oclick.Pipeline.fastclassify xf in
+  let dv = Oclick.Pipeline.devirtualize fc in
+  [
+    ("unoptimized", router);
+    ("after click-xform", xf);
+    ("after click-fastclassifier", fc);
+    ("after click-devirtualize", dv);
+  ]
+
+let measure ~platform ~batch ~input_pps ~duration_ms ~warmup_ms obs graph =
+  match
+    Testbed.run ~duration_ms ~warmup_ms ~batch ~obs ~platform ~graph
+      ~input_pps ()
+  with
+  | Ok r -> r
+  | Error e -> Tool_common.die "%s" e
+
+(* The per-element columns must sum to the cost model's aggregate
+   exactly: any difference means a transfer was double- or
+   under-charged somewhere. Refuse to print numbers that disagree. *)
+let aggregate_check obs (r : Testbed.result) =
+  let total = Obs.total_sim_ns obs in
+  let aggregate = int_of_float r.Testbed.r_model_ns in
+  if abs (total - aggregate) > 1 then
+    Tool_common.die
+      "per-element attribution (%d ns) disagrees with the testbed aggregate \
+       (%d ns)"
+      total aggregate;
+  aggregate
+
+let pass_json ~label ~mhz obs (r : Testbed.result) =
+  let aggregate = aggregate_check obs r in
+  match Obs.Report.json (Obs.Report.Sim mhz) obs with
+  | Json.Obj kvs ->
+      Json.Obj
+        (("pass", Json.String label)
+        :: ("aggregate_ns", Json.Int aggregate)
+        :: ("forwarded_pps", Json.Float r.Testbed.r_forwarded_pps)
+        :: ("ns_per_packet", Json.Float r.Testbed.r_total_ns)
+        :: kvs)
+  | v -> v
+
+let run json passes batch input_pps duration_ms warmup_ms input =
+  if batch < 1 then Tool_common.die "bad --batch %d (must be at least 1)" batch;
+  if input_pps < 1 then
+    Tool_common.die "bad --input-pps %d (must be at least 1)" input_pps;
+  if duration_ms < 1 || warmup_ms < 0 then
+    Tool_common.die "bad measurement window (%d ms after %d ms warmup)"
+      duration_ms warmup_ms;
+  let source = Tool_common.read_input input in
+  let router = Tool_common.parse_router source in
+  let ndev = device_count router in
+  if ndev < 1 then
+    Tool_common.die
+      "configuration has no device elements (PollDevice/FromDevice/ToDevice)";
+  let platform = { Platform.p0 with Platform.p_nports = ndev } in
+  let mhz = float_of_int platform.Platform.p_cpu_mhz in
+  let obs = Obs.create () in
+  let variants =
+    if passes then passes_of router else [ ("unoptimized", router) ]
+  in
+  let measure =
+    measure ~platform ~batch ~input_pps ~duration_ms ~warmup_ms obs
+  in
+  if json then begin
+    let reports =
+      List.map
+        (fun (label, graph) ->
+          pass_json ~label ~mhz obs (measure graph))
+        variants
+    in
+    let header =
+      [
+        ("tool", Json.String "oclick-report");
+        ("cpu_mhz", Json.Float mhz);
+        ("ports", Json.Int ndev);
+        ("batch", Json.Int batch);
+        ("input_pps", Json.Int input_pps);
+        ("duration_ms", Json.Int duration_ms);
+      ]
+    in
+    let body =
+      match reports with
+      | [ Json.Obj kvs ] when not passes -> kvs
+      | rs -> [ ("passes", Json.List rs) ]
+    in
+    print_endline (Json.to_string (Json.Obj (header @ body)))
+  end
+  else
+    List.iter
+      (fun (label, graph) ->
+        let r = measure graph in
+        let aggregate = aggregate_check obs r in
+        Printf.printf
+          "%s: %d ports, batch %d, %d pps offered — %.0f pps forwarded, \
+           %.0f ns/packet\n"
+          label ndev batch input_pps r.Testbed.r_forwarded_pps
+          r.Testbed.r_total_ns;
+        print_string (Obs.Report.table (Obs.Report.Sim mhz) obs);
+        Printf.printf "aggregate (cost model): %d ns — matches per-element \
+                       total\n\n"
+          aggregate)
+      variants
+
+let json_arg =
+  Arg.(
+    value & flag
+    & info [ "json" ] ~doc:"Emit the breakdown as JSON on standard output.")
+
+let passes_arg =
+  Arg.(
+    value & flag
+    & info [ "passes" ]
+        ~doc:
+          "Report before and after each optimizer pass: unoptimized, then \
+           cumulatively click-xform, click-fastclassifier, \
+           click-devirtualize.")
+
+let batch_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "batch" ] ~docv:"N"
+        ~doc:"Transfer batch size handed to the driver (default 1, scalar).")
+
+let input_pps_arg =
+  Arg.(
+    value & opt int 200_000
+    & info [ "input-pps" ] ~docv:"PPS"
+        ~doc:"Offered load, aggregate over all flows.")
+
+let duration_arg =
+  Arg.(
+    value & opt int 40
+    & info [ "duration-ms" ] ~docv:"MS" ~doc:"Measurement window length.")
+
+let warmup_arg =
+  Arg.(
+    value & opt int 20
+    & info [ "warmup-ms" ] ~docv:"MS"
+        ~doc:"Warmup before the window (ARP resolves here).")
+
+let () =
+  Tool_common.run_tool "oclick-report"
+    "Per-element cost breakdown of a configuration in the simulated testbed."
+    Term.(
+      const run $ json_arg $ passes_arg $ batch_arg $ input_pps_arg
+      $ duration_arg $ warmup_arg $ Tool_common.input_arg)

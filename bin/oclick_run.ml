@@ -38,7 +38,14 @@ let parse_read spec =
       ( String.sub spec 0 dot,
         String.sub spec (dot + 1) (String.length spec - dot - 1) )
 
-let run rounds stats batch pool fault fault_seed writes reads input =
+let run rounds stats batch pool fault fault_seed writes reads report
+    report_json trace input =
+  if rounds < 0 then Tool_common.die "bad --rounds %d (must be >= 0)" rounds;
+  if batch < 1 then Tool_common.die "bad --batch %d (must be at least 1)" batch;
+  (match trace with
+  | Some n when n < 1 ->
+      Tool_common.die "bad --trace %d (must be at least 1)" n
+  | _ -> ());
   let source = Tool_common.read_input input in
   let router = Tool_common.parse_router source in
   let devices =
@@ -81,12 +88,37 @@ let run rounds stats batch pool fault fault_seed writes reads input =
   let pool =
     if pool then Some (Oclick_packet.Packet.Pool.create ()) else None
   in
+  (* The observability layer wraps the drop-counting hooks only when
+     asked for, so plain runs keep the bare hot path. Cost column is
+     wall-clock ns (no cost model outside the testbed). *)
+  let obs =
+    if report || report_json || trace <> None then
+      Some (Oclick_obs.create ?trace ~recycles:(pool <> None) ())
+    else None
+  in
+  let hooks =
+    match obs with
+    | None -> hooks
+    | Some o ->
+        let t0 = Unix.gettimeofday () in
+        let now () = int_of_float ((Unix.gettimeofday () -. t0) *. 1e9) in
+        Oclick_obs.hooks ~now ~wall:true o hooks
+  in
   match
     Oclick_runtime.Driver.instantiate ~hooks ~devices ?mangle ?quarantine
       ~batch ?pool router
   with
   | Error e -> Tool_common.die "%s" e
   | Ok driver ->
+      (match obs with
+      | None -> ()
+      | Some o ->
+          List.iter
+            (fun i ->
+              Oclick_obs.set_meta o ~idx:i
+                ~name:(Oclick_graph.Router.name router i)
+                ~cls:(Oclick_graph.Router.class_of router i))
+            (Oclick_graph.Router.indices router));
       let element name =
         match Oclick_runtime.Driver.element driver name with
         | Some e -> e
@@ -141,14 +173,65 @@ let run rounds stats batch pool fault fault_seed writes reads input =
                 (if faults = 1 then "" else "s")
                 (if quarantined then " (quarantined)" else ""))
             (Oclick_runtime.Driver.fault_report driver));
-      match pool with
+      (match pool with
       | Some pl when stats ->
           let st = Oclick_packet.Packet.Pool.stats pl in
           Printf.printf
             "pool: allocs=%d reuses=%d recycles=%d rejected=%d free=%d\n"
             st.Oclick_packet.Packet.Pool.st_allocs st.st_reuses st.st_recycles
             st.st_rejected st.st_free
-      | _ -> ()
+      | _ -> ());
+      match obs with
+      | None -> ()
+      | Some o ->
+          let ename idx =
+            if idx < 0 then "-"
+            else if idx < Oclick_runtime.Driver.size driver then
+              (Oclick_runtime.Driver.element_at driver idx)#name
+            else Printf.sprintf "e%d" idx
+          in
+          if report then (
+            Printf.printf "per-element breakdown (wall clock):\n";
+            print_string (Oclick_obs.Report.table Oclick_obs.Report.Wall o));
+          if report_json then begin
+            let j = Oclick_obs.Report.json Oclick_obs.Report.Wall o in
+            let j =
+              match j with
+              | Oclick_obs.Json.Obj kvs ->
+                  Oclick_obs.Json.Obj
+                    (("tool", Oclick_obs.Json.String "oclick-run")
+                    :: ("rounds", Oclick_obs.Json.Int rounds)
+                    :: ("batch", Oclick_obs.Json.Int batch)
+                    :: kvs)
+              | v -> v
+            in
+            print_endline (Oclick_obs.Json.to_string j)
+          end;
+          match Oclick_obs.trace o with
+          | None -> ()
+          | Some tr ->
+              Printf.printf "trace (last %d of %d events):\n"
+                (Oclick_obs.Trace.length tr)
+                (Oclick_obs.Trace.seen tr);
+              List.iter
+                (fun (ev : Oclick_obs.Trace.event) ->
+                  let open Oclick_obs.Trace in
+                  match ev.ev_kind with
+                  | Push | Pull ->
+                      Printf.printf "%8d %10dns %-5s %s[%d] -> %s[%d] pkt %d\n"
+                        ev.ev_seq ev.ev_ns
+                        (kind_name ev.ev_kind)
+                        (ename ev.ev_src_idx) ev.ev_src_port
+                        (ename ev.ev_dst_idx) ev.ev_dst_port ev.ev_packet
+                  | Drop ->
+                      Printf.printf "%8d %10dns %-5s %s pkt %d (%s)\n"
+                        ev.ev_seq ev.ev_ns (kind_name ev.ev_kind)
+                        (ename ev.ev_src_idx) ev.ev_packet ev.ev_reason
+                  | Spawn ->
+                      Printf.printf "%8d %10dns %-5s %s pkt %d\n" ev.ev_seq
+                        ev.ev_ns (kind_name ev.ev_kind) (ename ev.ev_src_idx)
+                        ev.ev_packet)
+                (Oclick_obs.Trace.events tr)
 
 let rounds_arg =
   Arg.(
@@ -206,9 +289,33 @@ let read_arg =
     & info [ "read" ] ~docv:"ELEMENT.HANDLER"
         ~doc:"Print a read handler after running (repeatable).")
 
+let report_arg =
+  Arg.(
+    value & flag
+    & info [ "report" ]
+        ~doc:
+          "Print the per-element breakdown table after running: packets \
+           in/out, drops, and wall-clock cost attribution per element.")
+
+let report_json_arg =
+  Arg.(
+    value & flag
+    & info [ "report-json" ]
+        ~doc:"Like $(b,--report), as a JSON object on standard output.")
+
+let trace_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "trace" ] ~docv:"N"
+        ~doc:
+          "Keep the last $(docv) packet events (transfers, drops, spawns) \
+           in a ring buffer and dump them after running.")
+
 let () =
   Tool_common.run_tool "oclick-run"
     "Run a Click configuration in the user-level driver."
     Term.(
       const run $ rounds_arg $ stats_arg $ batch_arg $ pool_arg $ fault_arg
-      $ fault_seed_arg $ write_arg $ read_arg $ Tool_common.input_arg)
+      $ fault_seed_arg $ write_arg $ read_arg $ report_arg $ report_json_arg
+      $ trace_arg $ Tool_common.input_arg)

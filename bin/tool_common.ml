@@ -59,4 +59,23 @@ let input_arg =
 
 let run_tool name doc term =
   let cmd = Cmd.v (Cmd.info name ~doc) term in
-  exit (Cmd.eval cmd)
+  (* Command-line errors (unknown flag, missing or unparseable option
+     argument) follow the same convention as every other tool failure:
+     one diagnostic line on stderr and exit 1 — not cmdliner's
+     multi-line usage dump and exit 124. *)
+  let buf = Buffer.create 256 in
+  let err = Format.formatter_of_buffer buf in
+  Format.pp_set_margin err 10_000;
+  let code = Cmd.eval ~err cmd in
+  Format.pp_print_flush err ();
+  let msg = Buffer.contents buf in
+  if code = Cmd.Exit.cli_error then begin
+    (match String.split_on_char '\n' (String.trim msg) with
+    | line :: _ when String.trim line <> "" -> prerr_endline (String.trim line)
+    | _ -> prerr_endline (name ^ ": bad command line"));
+    exit 1
+  end
+  else begin
+    if msg <> "" then prerr_string msg;
+    exit code
+  end

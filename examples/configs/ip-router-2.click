@@ -1,0 +1,42 @@
+// A standards-compliant IP router (paper Figure 1), 2 interfaces.
+rt :: LookupIPRoute(10.0.0.1/32 0, 10.0.1.1/32 0, 10.0.0.0/24 1, 10.0.1.0/24 2);
+rt [0] -> host :: Discard;  // packets for the router itself
+
+// interface 0: eth0 (10.0.0.1, 00:00:c0:00:00:01)
+pd0 :: PollDevice(eth0);
+out0 :: Queue(200);
+td0 :: ToDevice(eth0);
+c0 :: Classifier(12/0806 20/0001, 12/0806 20/0002, 12/0800, -);
+ar0 :: ARPResponder(10.0.0.1 00:00:c0:00:00:01);
+aq0 :: ARPQuerier(10.0.0.1, 00:00:c0:00:00:01);
+pd0 -> c0;
+c0 [0] -> ar0 -> out0;
+c0 [1] -> [1] aq0;
+c0 [2] -> Paint(1) -> Strip(14) -> CheckIPHeader() -> GetIPAddress(16) -> rt;
+c0 [3] -> Discard;
+rt [1] -> DropBroadcasts -> cp0 :: CheckPaint(1) -> gio0 :: IPGWOptions(10.0.0.1) -> FixIPSrc(10.0.0.1) -> dt0 :: DecIPTTL -> fr0 :: IPFragmenter(1500) -> [0] aq0;
+aq0 -> out0 -> td0;
+cp0 [1] -> ICMPError(10.0.0.1, redirect, host) -> rt;
+gio0 [1] -> ICMPError(10.0.0.1, parameterproblem) -> rt;
+dt0 [1] -> ICMPError(10.0.0.1, timeexceeded) -> rt;
+fr0 [1] -> ICMPError(10.0.0.1, unreachable, needfrag) -> rt;
+
+// interface 1: eth1 (10.0.1.1, 00:00:c0:00:01:01)
+pd1 :: PollDevice(eth1);
+out1 :: Queue(200);
+td1 :: ToDevice(eth1);
+c1 :: Classifier(12/0806 20/0001, 12/0806 20/0002, 12/0800, -);
+ar1 :: ARPResponder(10.0.1.1 00:00:c0:00:01:01);
+aq1 :: ARPQuerier(10.0.1.1, 00:00:c0:00:01:01);
+pd1 -> c1;
+c1 [0] -> ar1 -> out1;
+c1 [1] -> [1] aq1;
+c1 [2] -> Paint(2) -> Strip(14) -> CheckIPHeader() -> GetIPAddress(16) -> rt;
+c1 [3] -> Discard;
+rt [2] -> DropBroadcasts -> cp1 :: CheckPaint(2) -> gio1 :: IPGWOptions(10.0.1.1) -> FixIPSrc(10.0.1.1) -> dt1 :: DecIPTTL -> fr1 :: IPFragmenter(1500) -> [0] aq1;
+aq1 -> out1 -> td1;
+cp1 [1] -> ICMPError(10.0.1.1, redirect, host) -> rt;
+gio1 [1] -> ICMPError(10.0.1.1, parameterproblem) -> rt;
+dt1 [1] -> ICMPError(10.0.1.1, timeexceeded) -> rt;
+fr1 [1] -> ICMPError(10.0.1.1, unreachable, needfrag) -> rt;
+

@@ -1,0 +1,156 @@
+// A standards-compliant IP router (paper Figure 1), 8 interfaces.
+rt :: LookupIPRoute(10.0.0.1/32 0, 10.0.1.1/32 0, 10.0.2.1/32 0, 10.0.3.1/32 0, 10.0.4.1/32 0, 10.0.5.1/32 0, 10.0.6.1/32 0, 10.0.7.1/32 0, 10.0.0.0/24 1, 10.0.1.0/24 2, 10.0.2.0/24 3, 10.0.3.0/24 4, 10.0.4.0/24 5, 10.0.5.0/24 6, 10.0.6.0/24 7, 10.0.7.0/24 8);
+rt [0] -> host :: Discard;  // packets for the router itself
+
+// interface 0: eth0 (10.0.0.1, 00:00:c0:00:00:01)
+pd0 :: PollDevice(eth0);
+out0 :: Queue(200);
+td0 :: ToDevice(eth0);
+c0 :: Classifier(12/0806 20/0001, 12/0806 20/0002, 12/0800, -);
+ar0 :: ARPResponder(10.0.0.1 00:00:c0:00:00:01);
+aq0 :: ARPQuerier(10.0.0.1, 00:00:c0:00:00:01);
+pd0 -> c0;
+c0 [0] -> ar0 -> out0;
+c0 [1] -> [1] aq0;
+c0 [2] -> Paint(1) -> Strip(14) -> CheckIPHeader() -> GetIPAddress(16) -> rt;
+c0 [3] -> Discard;
+rt [1] -> DropBroadcasts -> cp0 :: CheckPaint(1) -> gio0 :: IPGWOptions(10.0.0.1) -> FixIPSrc(10.0.0.1) -> dt0 :: DecIPTTL -> fr0 :: IPFragmenter(1500) -> [0] aq0;
+aq0 -> out0 -> td0;
+cp0 [1] -> ICMPError(10.0.0.1, redirect, host) -> rt;
+gio0 [1] -> ICMPError(10.0.0.1, parameterproblem) -> rt;
+dt0 [1] -> ICMPError(10.0.0.1, timeexceeded) -> rt;
+fr0 [1] -> ICMPError(10.0.0.1, unreachable, needfrag) -> rt;
+
+// interface 1: eth1 (10.0.1.1, 00:00:c0:00:01:01)
+pd1 :: PollDevice(eth1);
+out1 :: Queue(200);
+td1 :: ToDevice(eth1);
+c1 :: Classifier(12/0806 20/0001, 12/0806 20/0002, 12/0800, -);
+ar1 :: ARPResponder(10.0.1.1 00:00:c0:00:01:01);
+aq1 :: ARPQuerier(10.0.1.1, 00:00:c0:00:01:01);
+pd1 -> c1;
+c1 [0] -> ar1 -> out1;
+c1 [1] -> [1] aq1;
+c1 [2] -> Paint(2) -> Strip(14) -> CheckIPHeader() -> GetIPAddress(16) -> rt;
+c1 [3] -> Discard;
+rt [2] -> DropBroadcasts -> cp1 :: CheckPaint(2) -> gio1 :: IPGWOptions(10.0.1.1) -> FixIPSrc(10.0.1.1) -> dt1 :: DecIPTTL -> fr1 :: IPFragmenter(1500) -> [0] aq1;
+aq1 -> out1 -> td1;
+cp1 [1] -> ICMPError(10.0.1.1, redirect, host) -> rt;
+gio1 [1] -> ICMPError(10.0.1.1, parameterproblem) -> rt;
+dt1 [1] -> ICMPError(10.0.1.1, timeexceeded) -> rt;
+fr1 [1] -> ICMPError(10.0.1.1, unreachable, needfrag) -> rt;
+
+// interface 2: eth2 (10.0.2.1, 00:00:c0:00:02:01)
+pd2 :: PollDevice(eth2);
+out2 :: Queue(200);
+td2 :: ToDevice(eth2);
+c2 :: Classifier(12/0806 20/0001, 12/0806 20/0002, 12/0800, -);
+ar2 :: ARPResponder(10.0.2.1 00:00:c0:00:02:01);
+aq2 :: ARPQuerier(10.0.2.1, 00:00:c0:00:02:01);
+pd2 -> c2;
+c2 [0] -> ar2 -> out2;
+c2 [1] -> [1] aq2;
+c2 [2] -> Paint(3) -> Strip(14) -> CheckIPHeader() -> GetIPAddress(16) -> rt;
+c2 [3] -> Discard;
+rt [3] -> DropBroadcasts -> cp2 :: CheckPaint(3) -> gio2 :: IPGWOptions(10.0.2.1) -> FixIPSrc(10.0.2.1) -> dt2 :: DecIPTTL -> fr2 :: IPFragmenter(1500) -> [0] aq2;
+aq2 -> out2 -> td2;
+cp2 [1] -> ICMPError(10.0.2.1, redirect, host) -> rt;
+gio2 [1] -> ICMPError(10.0.2.1, parameterproblem) -> rt;
+dt2 [1] -> ICMPError(10.0.2.1, timeexceeded) -> rt;
+fr2 [1] -> ICMPError(10.0.2.1, unreachable, needfrag) -> rt;
+
+// interface 3: eth3 (10.0.3.1, 00:00:c0:00:03:01)
+pd3 :: PollDevice(eth3);
+out3 :: Queue(200);
+td3 :: ToDevice(eth3);
+c3 :: Classifier(12/0806 20/0001, 12/0806 20/0002, 12/0800, -);
+ar3 :: ARPResponder(10.0.3.1 00:00:c0:00:03:01);
+aq3 :: ARPQuerier(10.0.3.1, 00:00:c0:00:03:01);
+pd3 -> c3;
+c3 [0] -> ar3 -> out3;
+c3 [1] -> [1] aq3;
+c3 [2] -> Paint(4) -> Strip(14) -> CheckIPHeader() -> GetIPAddress(16) -> rt;
+c3 [3] -> Discard;
+rt [4] -> DropBroadcasts -> cp3 :: CheckPaint(4) -> gio3 :: IPGWOptions(10.0.3.1) -> FixIPSrc(10.0.3.1) -> dt3 :: DecIPTTL -> fr3 :: IPFragmenter(1500) -> [0] aq3;
+aq3 -> out3 -> td3;
+cp3 [1] -> ICMPError(10.0.3.1, redirect, host) -> rt;
+gio3 [1] -> ICMPError(10.0.3.1, parameterproblem) -> rt;
+dt3 [1] -> ICMPError(10.0.3.1, timeexceeded) -> rt;
+fr3 [1] -> ICMPError(10.0.3.1, unreachable, needfrag) -> rt;
+
+// interface 4: eth4 (10.0.4.1, 00:00:c0:00:04:01)
+pd4 :: PollDevice(eth4);
+out4 :: Queue(200);
+td4 :: ToDevice(eth4);
+c4 :: Classifier(12/0806 20/0001, 12/0806 20/0002, 12/0800, -);
+ar4 :: ARPResponder(10.0.4.1 00:00:c0:00:04:01);
+aq4 :: ARPQuerier(10.0.4.1, 00:00:c0:00:04:01);
+pd4 -> c4;
+c4 [0] -> ar4 -> out4;
+c4 [1] -> [1] aq4;
+c4 [2] -> Paint(5) -> Strip(14) -> CheckIPHeader() -> GetIPAddress(16) -> rt;
+c4 [3] -> Discard;
+rt [5] -> DropBroadcasts -> cp4 :: CheckPaint(5) -> gio4 :: IPGWOptions(10.0.4.1) -> FixIPSrc(10.0.4.1) -> dt4 :: DecIPTTL -> fr4 :: IPFragmenter(1500) -> [0] aq4;
+aq4 -> out4 -> td4;
+cp4 [1] -> ICMPError(10.0.4.1, redirect, host) -> rt;
+gio4 [1] -> ICMPError(10.0.4.1, parameterproblem) -> rt;
+dt4 [1] -> ICMPError(10.0.4.1, timeexceeded) -> rt;
+fr4 [1] -> ICMPError(10.0.4.1, unreachable, needfrag) -> rt;
+
+// interface 5: eth5 (10.0.5.1, 00:00:c0:00:05:01)
+pd5 :: PollDevice(eth5);
+out5 :: Queue(200);
+td5 :: ToDevice(eth5);
+c5 :: Classifier(12/0806 20/0001, 12/0806 20/0002, 12/0800, -);
+ar5 :: ARPResponder(10.0.5.1 00:00:c0:00:05:01);
+aq5 :: ARPQuerier(10.0.5.1, 00:00:c0:00:05:01);
+pd5 -> c5;
+c5 [0] -> ar5 -> out5;
+c5 [1] -> [1] aq5;
+c5 [2] -> Paint(6) -> Strip(14) -> CheckIPHeader() -> GetIPAddress(16) -> rt;
+c5 [3] -> Discard;
+rt [6] -> DropBroadcasts -> cp5 :: CheckPaint(6) -> gio5 :: IPGWOptions(10.0.5.1) -> FixIPSrc(10.0.5.1) -> dt5 :: DecIPTTL -> fr5 :: IPFragmenter(1500) -> [0] aq5;
+aq5 -> out5 -> td5;
+cp5 [1] -> ICMPError(10.0.5.1, redirect, host) -> rt;
+gio5 [1] -> ICMPError(10.0.5.1, parameterproblem) -> rt;
+dt5 [1] -> ICMPError(10.0.5.1, timeexceeded) -> rt;
+fr5 [1] -> ICMPError(10.0.5.1, unreachable, needfrag) -> rt;
+
+// interface 6: eth6 (10.0.6.1, 00:00:c0:00:06:01)
+pd6 :: PollDevice(eth6);
+out6 :: Queue(200);
+td6 :: ToDevice(eth6);
+c6 :: Classifier(12/0806 20/0001, 12/0806 20/0002, 12/0800, -);
+ar6 :: ARPResponder(10.0.6.1 00:00:c0:00:06:01);
+aq6 :: ARPQuerier(10.0.6.1, 00:00:c0:00:06:01);
+pd6 -> c6;
+c6 [0] -> ar6 -> out6;
+c6 [1] -> [1] aq6;
+c6 [2] -> Paint(7) -> Strip(14) -> CheckIPHeader() -> GetIPAddress(16) -> rt;
+c6 [3] -> Discard;
+rt [7] -> DropBroadcasts -> cp6 :: CheckPaint(7) -> gio6 :: IPGWOptions(10.0.6.1) -> FixIPSrc(10.0.6.1) -> dt6 :: DecIPTTL -> fr6 :: IPFragmenter(1500) -> [0] aq6;
+aq6 -> out6 -> td6;
+cp6 [1] -> ICMPError(10.0.6.1, redirect, host) -> rt;
+gio6 [1] -> ICMPError(10.0.6.1, parameterproblem) -> rt;
+dt6 [1] -> ICMPError(10.0.6.1, timeexceeded) -> rt;
+fr6 [1] -> ICMPError(10.0.6.1, unreachable, needfrag) -> rt;
+
+// interface 7: eth7 (10.0.7.1, 00:00:c0:00:07:01)
+pd7 :: PollDevice(eth7);
+out7 :: Queue(200);
+td7 :: ToDevice(eth7);
+c7 :: Classifier(12/0806 20/0001, 12/0806 20/0002, 12/0800, -);
+ar7 :: ARPResponder(10.0.7.1 00:00:c0:00:07:01);
+aq7 :: ARPQuerier(10.0.7.1, 00:00:c0:00:07:01);
+pd7 -> c7;
+c7 [0] -> ar7 -> out7;
+c7 [1] -> [1] aq7;
+c7 [2] -> Paint(8) -> Strip(14) -> CheckIPHeader() -> GetIPAddress(16) -> rt;
+c7 [3] -> Discard;
+rt [8] -> DropBroadcasts -> cp7 :: CheckPaint(8) -> gio7 :: IPGWOptions(10.0.7.1) -> FixIPSrc(10.0.7.1) -> dt7 :: DecIPTTL -> fr7 :: IPFragmenter(1500) -> [0] aq7;
+aq7 -> out7 -> td7;
+cp7 [1] -> ICMPError(10.0.7.1, redirect, host) -> rt;
+gio7 [1] -> ICMPError(10.0.7.1, parameterproblem) -> rt;
+dt7 [1] -> ICMPError(10.0.7.1, timeexceeded) -> rt;
+fr7 [1] -> ICMPError(10.0.7.1, unreachable, needfrag) -> rt;
+

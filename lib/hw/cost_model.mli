@@ -36,6 +36,11 @@ val element_cycles : t -> cls:string -> int
     original class. Includes i-cache pressure once the footprint of the
     classes seen so far exceeds L1i. *)
 
+val strip_generated : string -> string
+(** Resolve a generated class name ([FastClassifier@@...],
+    [Devirtualize@@ORIG@@N]) to the original class whose semantics it
+    carries; other names pass through. *)
+
 val category_of_class : string -> category
 
 val structural_miss_cycles : category -> int

@@ -4,6 +4,7 @@ module Hooks = Oclick_runtime.Hooks
 module Driver = Oclick_runtime.Driver
 module Router = Oclick_graph.Router
 module Fault = Oclick_fault
+module Obs = Oclick_obs
 
 type port_spec = {
   ps_device : string;
@@ -59,6 +60,7 @@ type result = {
   r_forward_ns : float;
   r_transmit_ns : float;
   r_total_ns : float;
+  r_model_ns : float;
   r_instructions : float;
   r_cache_misses : float;
   r_btb_mispredicts : float;
@@ -82,7 +84,13 @@ let pio_ns_per_packet (p : Platform.t) =
 let ms n = n * 1_000_000
 
 let run ?(duration_ms = 60) ?(warmup_ms = 30) ?(drain_ms = 10) ?ports ?flows
-    ?(payload_len = 14) ?fault ?(batch = 1) ~platform ~graph ~input_pps () =
+    ?(payload_len = 14) ?fault ?(batch = 1) ?obs ~platform ~graph ~input_pps
+    () =
+  (* A caller may reuse one observability accumulator across consecutive
+     runs (oclick-report's before/after passes, the MLFFR search); stale
+     counters and element metadata from the previous run — possibly of a
+     different graph — must never leak into this one. *)
+  Option.iter Obs.clear obs;
   let nports = platform.Platform.p_nports in
   let ports =
     match ports with Some p -> p | None -> standard_ports nports
@@ -122,6 +130,15 @@ let run ?(duration_ms = 60) ?(warmup_ms = 30) ?(drain_ms = 10) ?ports ?flows
       | Cost_model.Forward -> forward_ns := !forward_ns +. float_of_int ns
       | Cost_model.Transmit -> transmit_ns := !transmit_ns +. float_of_int ns
     in
+    (* Every aggregate charge is mirrored per element, so the sum of the
+       observability layer's element columns equals the aggregate cost
+       exactly — no double- or under-charging at any batch size. *)
+    let charge_cat_at idx cat ns =
+      charge_cat cat ns;
+      match obs with
+      | Some o -> Obs.charge_sim_ns o ~idx ns
+      | None -> ()
+    in
     let pio = pio_ns_per_packet platform in
     (* PCI buses; NIC i sits on bus (i mod buses). Per-transaction
        overhead (arbitration, address phase, bridge latency) depends on
@@ -154,6 +171,10 @@ let run ?(duration_ms = 60) ?(warmup_ms = 30) ?(drain_ms = 10) ?ports ?flows
             ~router_eth:ps.ps_router_eth ?injector
             ~fault_stream:("tx:" ^ ps.ps_device) ())
     in
+    (* CPU-side rx/tx driver work is attributed to the graph's device
+       elements (PollDevice/FromDevice and ToDevice) in the per-element
+       breakdown; the mapping is resolved once the driver exists. *)
+    let rx_attr = Array.make nports (-1) and tx_attr = Array.make nports (-1) in
     let nics =
       Array.init nports (fun i ->
           let ps = port_arr.(i) in
@@ -163,7 +184,7 @@ let run ?(duration_ms = 60) ?(warmup_ms = 30) ?(drain_ms = 10) ?ports ?flows
               (windows_for (fun pl -> pl.Fault.Plan.p_nic_stall) ps.ps_device)
             ~deliver:(fun p -> hosts.(i)#receive p)
             ~on_cpu_rx:(fun () ->
-              charge_cat Cost_model.Receive
+              charge_cat_at rx_attr.(i) Cost_model.Receive
                 (ns_of_cycles
                    (Cost_model.element_cycles cm ~cls:"PollDevice"
                    + Cost_model.structural_miss_cycles Cost_model.Receive)
@@ -172,7 +193,7 @@ let run ?(duration_ms = 60) ?(warmup_ms = 30) ?(drain_ms = 10) ?ports ?flows
                 !instructions + Cost_model.instructions_of_class "PollDevice";
               incr cache_misses)
             ~on_cpu_tx:(fun () ->
-              charge_cat Cost_model.Transmit
+              charge_cat_at tx_attr.(i) Cost_model.Transmit
                 (ns_of_cycles
                    (Cost_model.element_cycles cm ~cls:"ToDevice"
                    + Cost_model.structural_miss_cycles Cost_model.Transmit)
@@ -215,27 +236,32 @@ let run ?(duration_ms = 60) ?(warmup_ms = 30) ?(drain_ms = 10) ?ports ?flows
     let hooks =
       {
         Hooks.on_transfer =
-          (fun tr ->
+          (fun tr _p ->
             let cycles =
               Cost_model.transfer_cycles cm tr
               + Cost_model.element_cycles cm ~cls:tr.Hooks.tr_dst_class
             in
             let cat = Cost_model.category_of_class tr.Hooks.tr_src_class in
             (* Transfers out of the receive path carry the packet into the
-               forwarding path; header fetch misses land there. *)
+               forwarding path; header fetch misses land there. The
+               per-element share goes to the element whose code runs —
+               the transfer's destination (for a pull, the pulled
+               element), whose element cycles dominate the charge. *)
             (match cat with
             | Cost_model.Receive ->
-                charge_cat Cost_model.Forward
+                charge_cat_at tr.Hooks.tr_dst_idx Cost_model.Forward
                   (ns_of_cycles
                      (cycles
                      + Cost_model.structural_miss_cycles Cost_model.Forward));
                 cache_misses := !cache_misses + 2
-            | _ -> charge_cat Cost_model.Forward (ns_of_cycles cycles));
+            | _ ->
+                charge_cat_at tr.Hooks.tr_dst_idx Cost_model.Forward
+                  (ns_of_cycles cycles));
             instructions :=
               !instructions
               + Cost_model.instructions_of_class tr.Hooks.tr_dst_class);
         Hooks.on_transfer_batch =
-          (fun tr n ->
+          (fun tr _batch n ->
             (* A batch of [n] stands for [n] scalar transfers, but the
                dispatch overhead and the branch/cache boundary misses are
                paid once per batch — that amortization is the point of
@@ -248,18 +274,20 @@ let run ?(duration_ms = 60) ?(warmup_ms = 30) ?(drain_ms = 10) ?ports ?flows
             let cat = Cost_model.category_of_class tr.Hooks.tr_src_class in
             (match cat with
             | Cost_model.Receive ->
-                charge_cat Cost_model.Forward
+                charge_cat_at tr.Hooks.tr_dst_idx Cost_model.Forward
                   (ns_of_cycles
                      (cycles
                      + Cost_model.structural_miss_cycles Cost_model.Forward));
                 cache_misses := !cache_misses + 2
-            | _ -> charge_cat Cost_model.Forward (ns_of_cycles cycles));
+            | _ ->
+                charge_cat_at tr.Hooks.tr_dst_idx Cost_model.Forward
+                  (ns_of_cycles cycles));
             instructions :=
               !instructions
               + (n * Cost_model.instructions_of_class tr.Hooks.tr_dst_class));
         Hooks.on_work =
-          (fun ~idx:_ ~cls w ->
-            charge_cat
+          (fun ~idx ~cls w ->
+            charge_cat_at idx
               (Cost_model.category_of_class cls)
               (ns_of_cycles (Cost_model.work_cycles w)));
         Hooks.on_drop =
@@ -274,6 +302,13 @@ let run ?(duration_ms = 60) ?(warmup_ms = 30) ?(drain_ms = 10) ?ports ?flows
           (fun ~src msg -> warnings := Printf.sprintf "%s: %s" src msg :: !warnings);
       }
     in
+    (* With observation on, wrap the cost hooks with the counting and
+       tracing layer; trace timestamps are simulated time. *)
+    let hooks =
+      match obs with
+      | Some o -> Obs.hooks ~now:(fun () -> Engine.now engine) o hooks
+      | None -> hooks
+    in
     let devices =
       Array.to_list (Array.map (fun n -> (n :> Oclick_runtime.Netdevice.t)) nics)
     in
@@ -283,6 +318,40 @@ let run ?(duration_ms = 60) ?(warmup_ms = 30) ?(drain_ms = 10) ?ports ?flows
         List.iter
           (fun i -> Cost_model.note_code_class cm (Router.class_of graph i))
           (Router.indices graph);
+        (match obs with
+        | None -> ()
+        | Some o ->
+            (* The driver normalizes its graph to dense, declaration-order
+               indices before instantiating, and every hook reports those
+               indices. A graph straight out of an optimizer pass can
+               have dead slots, so normalize the same way here or the
+               metadata and NIC attribution would label the wrong rows. *)
+            let graph = Router.of_ast_exn (Router.to_ast graph) in
+            let first_arg cfg =
+              match String.split_on_char ',' cfg with
+              | a :: _ -> String.trim a
+              | [] -> ""
+            in
+            List.iter
+              (fun i ->
+                let cls = Router.class_of graph i in
+                Obs.set_meta o ~idx:i ~name:(Router.name graph i) ~cls;
+                (* Map each NIC's CPU-side rx/tx charges onto the device
+                   element driving it. *)
+                let dev = first_arg (Router.config graph i) in
+                Array.iteri
+                  (fun n ps ->
+                    if String.equal ps.ps_device dev then
+                      (* Optimizers rename device classes to generated
+                         names (Devirtualize@@ToDevice@@3...); resolve
+                         back before matching. *)
+                      match Cost_model.strip_generated cls with
+                      | "PollDevice" | "FromDevice" ->
+                          if rx_attr.(n) < 0 then rx_attr.(n) <- i
+                      | "ToDevice" -> if tx_attr.(n) < 0 then tx_attr.(n) <- i
+                      | _ -> ())
+                  port_arr)
+              (Router.indices graph));
         (* The CPU: run scheduler rounds, advancing time by the cycles each
            round consumed. *)
         let total_ns () = !receive_ns +. !forward_ns +. !transmit_ns in
@@ -337,6 +406,11 @@ let run ?(duration_ms = 60) ?(warmup_ms = 30) ?(drain_ms = 10) ?ports ?flows
         queue_drops := 0;
         other_drops := 0;
         cpu_busy_ns := 0.0;
+        (* The per-element columns cover the same window as the aggregate
+           accumulators just zeroed (measurement plus drain), so obs
+           totals and the aggregate remain directly comparable. Reset
+           keeps element metadata. *)
+        Option.iter Obs.reset obs;
         Array.iter (fun b -> Pci.reset_counters b) buses;
         Btb.reset_counters (Cost_model.btb cm);
         Engine.run_until engine stop_at;
@@ -456,6 +530,7 @@ let run ?(duration_ms = 60) ?(warmup_ms = 30) ?(drain_ms = 10) ?ports ?flows
               r_forward_ns = per_packet !forward_ns;
               r_transmit_ns = per_packet !transmit_ns;
               r_total_ns = per_packet (total_ns ());
+              r_model_ns = total_ns ();
               r_instructions = per_packet (float_of_int !instructions);
               r_cache_misses = per_packet (float_of_int !cache_misses);
               r_btb_mispredicts =

@@ -56,6 +56,10 @@ type result = {
   r_forward_ns : float;
   r_transmit_ns : float;
   r_total_ns : float;
+  r_model_ns : float;
+      (** absolute modeled CPU ns accumulated from the warmup boundary
+          to the end of the drain — the aggregate the per-element [obs]
+          columns must sum to exactly *)
   r_instructions : float;  (** retired per forwarded packet, §8.2 *)
   r_cache_misses : float;  (** per forwarded packet, §8.2 *)
   r_btb_mispredicts : float;  (** per forwarded packet *)
@@ -85,6 +89,7 @@ val run :
   ?payload_len:int ->
   ?fault:Oclick_fault.Plan.t ->
   ?batch:int ->
+  ?obs:Oclick_obs.t ->
   platform:Platform.t ->
   graph:Oclick_graph.Router.t ->
   input_pps:int ->
@@ -97,7 +102,17 @@ val run :
     [Driver.instantiate] (default 1 = scalar push/pull throughout). [fault] installs a fault-injection plan: hosts mangle the
     traffic they generate (deterministically, per-host streams), NICs
     and PCI buses honour the plan's stall windows, and elements run
-    under the plan's quarantine threshold. *)
+    under the plan's quarantine threshold.
+
+    [obs] installs the per-element observability layer: counters and
+    trace via wrapped hooks, and simulated-nanosecond cost attribution
+    mirroring every aggregate charge (element transfers and work to the
+    element whose code runs; NIC CPU work to the corresponding
+    PollDevice/FromDevice/ToDevice element). The accumulator is reset at
+    the start of the run and again at the warmup boundary, so its
+    columns cover measurement plus drain — the same window as the
+    aggregate [r_*_ns] accumulators — and never leak across consecutive
+    runs reusing one accumulator. *)
 
 val mlffr :
   ?ports:port_spec list ->

@@ -1,0 +1,808 @@
+(* Per-element observability: counters, cost attribution, event trace.
+
+   The paper explains every optimization win with per-element cycle
+   tables (its per-element breakdowns of the IP router), so the
+   evaluation layer must attribute cost element-by-element, not just in
+   aggregate. This module holds the accumulators; the runtime reports
+   into them through a wrapped {!Oclick_runtime.Hooks.t}, so the hot
+   path pays nothing when observation is off (the driver keeps its plain
+   hooks) and no per-packet allocation when it is on. *)
+
+module Hooks = Oclick_runtime.Hooks
+module Packet = Oclick_packet.Packet
+
+(* ------------------------------------------------------------------ *)
+(* Bounded event trace *)
+
+module Trace = struct
+  type kind = Push | Pull | Drop | Spawn
+
+  type event = {
+    ev_seq : int;  (* position in the run's full event stream *)
+    ev_ns : int;
+    ev_kind : kind;
+    ev_src_idx : int;
+    ev_src_port : int;
+    ev_dst_idx : int;
+    ev_dst_port : int;
+    ev_packet : int;
+    ev_reason : string;
+  }
+
+  (* A ring: the last [capacity] events, oldest overwritten first. *)
+  type t = {
+    cap : int;
+    buf : event array;
+    mutable next : int;  (* slot for the next event *)
+    mutable seen : int;  (* events ever recorded *)
+  }
+
+  let none =
+    {
+      ev_seq = 0;
+      ev_ns = 0;
+      ev_kind = Push;
+      ev_src_idx = -1;
+      ev_src_port = -1;
+      ev_dst_idx = -1;
+      ev_dst_port = -1;
+      ev_packet = -1;
+      ev_reason = "";
+    }
+
+  let create cap =
+    if cap <= 0 then invalid_arg "Obs.Trace.create";
+    { cap; buf = Array.make cap none; next = 0; seen = 0 }
+
+  let capacity t = t.cap
+  let seen t = t.seen
+  let length t = min t.seen t.cap
+
+  let record t ~ns ~kind ~src_idx ~src_port ~dst_idx ~dst_port ~packet
+      ~reason =
+    t.buf.(t.next) <-
+      {
+        ev_seq = t.seen;
+        ev_ns = ns;
+        ev_kind = kind;
+        ev_src_idx = src_idx;
+        ev_src_port = src_port;
+        ev_dst_idx = dst_idx;
+        ev_dst_port = dst_port;
+        ev_packet = packet;
+        ev_reason = reason;
+      };
+    t.next <- (t.next + 1) mod t.cap;
+    t.seen <- t.seen + 1
+
+  let events t =
+    let n = length t in
+    let first = (t.next - n + t.cap) mod t.cap in
+    List.init n (fun i -> t.buf.((first + i) mod t.cap))
+
+  let reset t =
+    t.next <- 0;
+    t.seen <- 0
+
+  let kind_name = function
+    | Push -> "push"
+    | Pull -> "pull"
+    | Drop -> "drop"
+    | Spawn -> "spawn"
+end
+
+(* ------------------------------------------------------------------ *)
+(* Per-element accumulators *)
+
+type elem = {
+  mutable el_name : string;
+  mutable el_class : string;
+  mutable el_pushes : int;
+  mutable el_pulls : int;
+  mutable el_batches : int;
+  mutable el_in : int;
+  mutable el_out : int;
+  mutable el_in_ports : int array;
+  mutable el_out_ports : int array;
+  el_drop_reasons : (string, int ref) Hashtbl.t;
+  mutable el_drops : int;
+  mutable el_spawns : int;
+  mutable el_work : int;
+  mutable el_recycles : int;
+  mutable el_sim_ns : int;
+  mutable el_wall_ns : int;
+}
+
+let fresh_elem () =
+  {
+    el_name = "";
+    el_class = "";
+    el_pushes = 0;
+    el_pulls = 0;
+    el_batches = 0;
+    el_in = 0;
+    el_out = 0;
+    el_in_ports = [||];
+    el_out_ports = [||];
+    el_drop_reasons = Hashtbl.create 4;
+    el_drops = 0;
+    el_spawns = 0;
+    el_work = 0;
+    el_recycles = 0;
+    el_sim_ns = 0;
+    el_wall_ns = 0;
+  }
+
+type t = {
+  mutable elems : elem array;  (* grow-on-demand, indexed by element idx *)
+  trace : Trace.t option;
+  count_recycles : bool;
+  mutable w_cur : int;  (* element whose code is executing, for wall attribution *)
+  mutable w_last : int;  (* timestamp of the last attribution boundary *)
+}
+
+let create ?trace ?(recycles = false) () =
+  {
+    elems = [||];
+    trace = Option.map Trace.create trace;
+    count_recycles = recycles;
+    w_cur = -1;
+    w_last = 0;
+  }
+
+let trace t = t.trace
+
+let elem t idx =
+  if idx < 0 then invalid_arg "Obs.elem";
+  let n = Array.length t.elems in
+  if idx >= n then
+    t.elems <-
+      Array.init
+        (max (idx + 1) (max 8 (2 * n)))
+        (fun i -> if i < n then t.elems.(i) else fresh_elem ());
+  t.elems.(idx)
+
+let set_meta t ~idx ~name ~cls =
+  let e = elem t idx in
+  e.el_name <- name;
+  e.el_class <- cls
+
+let reset t =
+  Array.iter
+    (fun e ->
+      e.el_pushes <- 0;
+      e.el_pulls <- 0;
+      e.el_batches <- 0;
+      e.el_in <- 0;
+      e.el_out <- 0;
+      Array.fill e.el_in_ports 0 (Array.length e.el_in_ports) 0;
+      Array.fill e.el_out_ports 0 (Array.length e.el_out_ports) 0;
+      Hashtbl.reset e.el_drop_reasons;
+      e.el_drops <- 0;
+      e.el_spawns <- 0;
+      e.el_work <- 0;
+      e.el_recycles <- 0;
+      e.el_sim_ns <- 0;
+      e.el_wall_ns <- 0)
+    t.elems;
+  Option.iter Trace.reset t.trace;
+  t.w_cur <- -1;
+  t.w_last <- 0
+
+let clear t =
+  t.elems <- [||];
+  Option.iter Trace.reset t.trace;
+  t.w_cur <- -1;
+  t.w_last <- 0
+
+let charge_sim_ns t ~idx ns =
+  if idx >= 0 then (elem t idx).el_sim_ns <- (elem t idx).el_sim_ns + ns
+
+let bump_port e out port n =
+  let arr = if out then e.el_out_ports else e.el_in_ports in
+  let arr =
+    if port < Array.length arr then arr
+    else begin
+      let grown = Array.make (port + 1) 0 in
+      Array.blit arr 0 grown 0 (Array.length arr);
+      if out then e.el_out_ports <- grown else e.el_in_ports <- grown;
+      grown
+    end
+  in
+  if port >= 0 then arr.(port) <- arr.(port) + n
+
+(* One transfer of [n] packets. For a push the packets flow
+   [tr_src -> tr_dst]; for a pull the puller is [tr_src] and the packets
+   flow out of the pulled element [tr_dst] into it. *)
+let note_transfer t (tr : Hooks.transfer) n ~batched =
+  let producer, pport, consumer, cport =
+    if tr.Hooks.tr_pull then
+      (tr.Hooks.tr_dst_idx, tr.Hooks.tr_dst_port, tr.Hooks.tr_src_idx,
+       tr.Hooks.tr_src_port)
+    else
+      (tr.Hooks.tr_src_idx, tr.Hooks.tr_src_port, tr.Hooks.tr_dst_idx,
+       tr.Hooks.tr_dst_port)
+  in
+  let pe = elem t producer and ce = elem t consumer in
+  if String.equal pe.el_class "" then
+    pe.el_class <-
+      (if tr.Hooks.tr_pull then tr.Hooks.tr_dst_class
+       else tr.Hooks.tr_src_class);
+  if String.equal ce.el_class "" then
+    ce.el_class <-
+      (if tr.Hooks.tr_pull then tr.Hooks.tr_src_class
+       else tr.Hooks.tr_dst_class);
+  pe.el_out <- pe.el_out + n;
+  ce.el_in <- ce.el_in + n;
+  bump_port pe true pport n;
+  bump_port ce false cport n;
+  (* Invocation counters: a push invokes the consumer, a pull the
+     producer; a batched transfer is one invocation standing for [n]. *)
+  if batched then
+    if tr.Hooks.tr_pull then pe.el_batches <- pe.el_batches + 1
+    else ce.el_batches <- ce.el_batches + 1
+  else if tr.Hooks.tr_pull then pe.el_pulls <- pe.el_pulls + 1
+  else ce.el_pushes <- ce.el_pushes + 1
+
+let note_drop t ~idx ~cls ~reason =
+  let e = elem t idx in
+  if String.equal e.el_class "" then e.el_class <- cls;
+  e.el_drops <- e.el_drops + 1;
+  if t.count_recycles then e.el_recycles <- e.el_recycles + 1;
+  match Hashtbl.find_opt e.el_drop_reasons reason with
+  | Some r -> incr r
+  | None -> Hashtbl.replace e.el_drop_reasons reason (ref 1)
+
+(* Wall-clock attribution is an event-delta scheme: the time elapsed
+   between two consecutive hook events is charged to the element whose
+   code was executing in between, and transfers move that attribution
+   point through the graph. Pulled elements fold into their puller's
+   interval (pulls are cheap: Queue dequeues). An approximation, but an
+   allocation-free one that needs no per-element timers. *)
+let wall_tick t now next =
+  let nowv = now () in
+  if t.w_cur >= 0 then begin
+    let e = elem t t.w_cur in
+    let d = nowv - t.w_last in
+    if d > 0 then e.el_wall_ns <- e.el_wall_ns + d
+  end;
+  t.w_last <- nowv;
+  t.w_cur <- next
+
+let trace_transfer t now (tr : Hooks.transfer) p =
+  match t.trace with
+  | None -> ()
+  | Some tr_buf ->
+      Trace.record tr_buf ~ns:(now ())
+        ~kind:(if tr.Hooks.tr_pull then Trace.Pull else Trace.Push)
+        ~src_idx:tr.Hooks.tr_src_idx ~src_port:tr.Hooks.tr_src_port
+        ~dst_idx:tr.Hooks.tr_dst_idx ~dst_port:tr.Hooks.tr_dst_port
+        ~packet:(Packet.id p) ~reason:""
+
+let hooks ?(now = fun () -> 0) ?(wall = false) t (base : Hooks.t) : Hooks.t =
+  {
+    Hooks.on_transfer =
+      (fun tr p ->
+        base.Hooks.on_transfer tr p;
+        note_transfer t tr 1 ~batched:false;
+        trace_transfer t now tr p;
+        if wall then wall_tick t now tr.Hooks.tr_dst_idx);
+    Hooks.on_transfer_batch =
+      (fun tr batch n ->
+        base.Hooks.on_transfer_batch tr batch n;
+        note_transfer t tr n ~batched:true;
+        (match t.trace with
+        | None -> ()
+        | Some _ ->
+            for i = 0 to n - 1 do
+              trace_transfer t now tr batch.(i)
+            done);
+        if wall then wall_tick t now tr.Hooks.tr_dst_idx);
+    Hooks.on_work =
+      (fun ~idx ~cls w ->
+        base.Hooks.on_work ~idx ~cls w;
+        if idx >= 0 then begin
+          let e = elem t idx in
+          if String.equal e.el_class "" then e.el_class <- cls;
+          e.el_work <- e.el_work + 1
+        end);
+    Hooks.on_drop =
+      (fun ~idx ~cls ~reason p ->
+        base.Hooks.on_drop ~idx ~cls ~reason p;
+        note_drop t ~idx ~cls ~reason;
+        (match t.trace with
+        | None -> ()
+        | Some tr_buf ->
+            Trace.record tr_buf ~ns:(now ()) ~kind:Trace.Drop ~src_idx:idx
+              ~src_port:(-1) ~dst_idx:(-1) ~dst_port:(-1)
+              ~packet:(Packet.id p) ~reason);
+        if wall then wall_tick t now idx);
+    Hooks.on_spawn =
+      (fun ~idx ~cls p ->
+        base.Hooks.on_spawn ~idx ~cls p;
+        let e = elem t idx in
+        if String.equal e.el_class "" then e.el_class <- cls;
+        e.el_spawns <- e.el_spawns + 1;
+        match t.trace with
+        | None -> ()
+        | Some tr_buf ->
+            Trace.record tr_buf ~ns:(now ()) ~kind:Trace.Spawn ~src_idx:idx
+              ~src_port:(-1) ~dst_idx:(-1) ~dst_port:(-1)
+              ~packet:(Packet.id p) ~reason:"");
+    Hooks.on_fault = base.Hooks.on_fault;
+    Hooks.on_warn = base.Hooks.on_warn;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Immutable snapshots (for tests and rendering) *)
+
+type stats = {
+  s_idx : int;
+  s_name : string;
+  s_class : string;
+  s_pushes : int;
+  s_pulls : int;
+  s_batches : int;
+  s_in : int;
+  s_out : int;
+  s_in_ports : (int * int) list;
+  s_out_ports : (int * int) list;
+  s_drop_reasons : (string * int) list;
+  s_drops : int;
+  s_spawns : int;
+  s_work : int;
+  s_recycles : int;
+  s_sim_ns : int;
+  s_wall_ns : int;
+}
+
+let ports_list arr =
+  let acc = ref [] in
+  Array.iteri (fun i n -> if n > 0 then acc := (i, n) :: !acc) arr;
+  List.rev !acc
+
+let active e =
+  (not (String.equal e.el_name "")) || (not (String.equal e.el_class ""))
+  || e.el_in > 0 || e.el_out > 0 || e.el_drops > 0 || e.el_spawns > 0
+  || e.el_work > 0 || e.el_sim_ns > 0 || e.el_wall_ns > 0
+
+let snapshot t =
+  let acc = ref [] in
+  Array.iteri
+    (fun idx e ->
+      if active e then
+        acc :=
+          {
+            s_idx = idx;
+            s_name = (if String.equal e.el_name "" then
+                        Printf.sprintf "e%d" idx
+                      else e.el_name);
+            s_class = e.el_class;
+            s_pushes = e.el_pushes;
+            s_pulls = e.el_pulls;
+            s_batches = e.el_batches;
+            s_in = e.el_in;
+            s_out = e.el_out;
+            s_in_ports = ports_list e.el_in_ports;
+            s_out_ports = ports_list e.el_out_ports;
+            s_drop_reasons =
+              Hashtbl.fold (fun k r l -> (k, !r) :: l) e.el_drop_reasons []
+              |> List.sort compare;
+            s_drops = e.el_drops;
+            s_spawns = e.el_spawns;
+            s_work = e.el_work;
+            s_recycles = e.el_recycles;
+            s_sim_ns = e.el_sim_ns;
+            s_wall_ns = e.el_wall_ns;
+          }
+          :: !acc)
+    t.elems;
+  List.rev !acc
+
+let total_sim_ns t =
+  Array.fold_left (fun a e -> a + e.el_sim_ns) 0 t.elems
+
+let total_wall_ns t =
+  Array.fold_left (fun a e -> a + e.el_wall_ns) 0 t.elems
+
+let total_drops t = Array.fold_left (fun a e -> a + e.el_drops) 0 t.elems
+
+let drop_reasons t =
+  let acc : (string, int ref) Hashtbl.t = Hashtbl.create 16 in
+  Array.iter
+    (fun e ->
+      Hashtbl.iter
+        (fun k r ->
+          match Hashtbl.find_opt acc k with
+          | Some tot -> tot := !tot + !r
+          | None -> Hashtbl.replace acc k (ref !r))
+        e.el_drop_reasons)
+    t.elems;
+  Hashtbl.fold (fun k r l -> (k, !r) :: l) acc [] |> List.sort compare
+
+(* ------------------------------------------------------------------ *)
+(* A small self-contained JSON layer (printer + parser), enough for the
+   report renderer and for schema validation in tests. *)
+
+module Json = struct
+  type value =
+    | Null
+    | Bool of bool
+    | Int of int
+    | Float of float
+    | String of string
+    | List of value list
+    | Obj of (string * value) list
+
+  let escape s =
+    let b = Buffer.create (String.length s + 2) in
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string b "\\\""
+        | '\\' -> Buffer.add_string b "\\\\"
+        | '\n' -> Buffer.add_string b "\\n"
+        | '\r' -> Buffer.add_string b "\\r"
+        | '\t' -> Buffer.add_string b "\\t"
+        | c when Char.code c < 0x20 ->
+            Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char b c)
+      s;
+    Buffer.contents b
+
+  let rec print b = function
+    | Null -> Buffer.add_string b "null"
+    | Bool v -> Buffer.add_string b (if v then "true" else "false")
+    | Int n -> Buffer.add_string b (string_of_int n)
+    | Float f ->
+        if Float.is_integer f && Float.abs f < 1e15 then
+          Buffer.add_string b (Printf.sprintf "%.1f" f)
+        else begin
+          (* shortest representation that parses back to the same
+             float, so costs survive a print/parse round trip *)
+          let s = Printf.sprintf "%.15g" f in
+          if float_of_string s = f then Buffer.add_string b s
+          else Buffer.add_string b (Printf.sprintf "%.17g" f)
+        end
+    | String s ->
+        Buffer.add_char b '"';
+        Buffer.add_string b (escape s);
+        Buffer.add_char b '"'
+    | List vs ->
+        Buffer.add_char b '[';
+        List.iteri
+          (fun i v ->
+            if i > 0 then Buffer.add_string b ", ";
+            print b v)
+          vs;
+        Buffer.add_char b ']'
+    | Obj kvs ->
+        Buffer.add_char b '{';
+        List.iteri
+          (fun i (k, v) ->
+            if i > 0 then Buffer.add_string b ", ";
+            Buffer.add_char b '"';
+            Buffer.add_string b (escape k);
+            Buffer.add_string b "\": ";
+            print b v)
+          kvs;
+        Buffer.add_char b '}'
+
+  let to_string v =
+    let b = Buffer.create 256 in
+    print b v;
+    Buffer.contents b
+
+  exception Parse of string
+
+  let of_string s =
+    let pos = ref 0 in
+    let len = String.length s in
+    let peek () = if !pos < len then Some s.[!pos] else None in
+    let fail msg = raise (Parse (Printf.sprintf "%s at %d" msg !pos)) in
+    let advance () = incr pos in
+    let rec skip_ws () =
+      match peek () with
+      | Some (' ' | '\t' | '\n' | '\r') ->
+          advance ();
+          skip_ws ()
+      | _ -> ()
+    in
+    let expect c =
+      if peek () = Some c then advance ()
+      else fail (Printf.sprintf "expected %c" c)
+    in
+    let literal word v =
+      if !pos + String.length word <= len
+         && String.equal (String.sub s !pos (String.length word)) word
+      then begin
+        pos := !pos + String.length word;
+        v
+      end
+      else fail ("expected " ^ word)
+    in
+    let parse_string () =
+      expect '"';
+      let b = Buffer.create 16 in
+      let rec go () =
+        if !pos >= len then fail "unterminated string";
+        match s.[!pos] with
+        | '"' -> advance ()
+        | '\\' ->
+            advance ();
+            (if !pos >= len then fail "bad escape";
+             match s.[!pos] with
+             | '"' -> Buffer.add_char b '"'
+             | '\\' -> Buffer.add_char b '\\'
+             | '/' -> Buffer.add_char b '/'
+             | 'n' -> Buffer.add_char b '\n'
+             | 'r' -> Buffer.add_char b '\r'
+             | 't' -> Buffer.add_char b '\t'
+             | 'b' -> Buffer.add_char b '\b'
+             | 'f' -> Buffer.add_char b '\012'
+             | 'u' ->
+                 if !pos + 4 >= len then fail "bad \\u escape";
+                 let hex = String.sub s (!pos + 1) 4 in
+                 let code =
+                   try int_of_string ("0x" ^ hex)
+                   with _ -> fail "bad \\u escape"
+                 in
+                 (* ASCII-only escapes are all this layer emits *)
+                 if code < 0x80 then Buffer.add_char b (Char.chr code)
+                 else Buffer.add_string b (Printf.sprintf "\\u%s" hex);
+                 pos := !pos + 4
+             | c -> fail (Printf.sprintf "bad escape \\%c" c));
+            advance ();
+            go ()
+        | c ->
+            Buffer.add_char b c;
+            advance ();
+            go ()
+      in
+      go ();
+      Buffer.contents b
+    in
+    let parse_number () =
+      let start = !pos in
+      let is_num c =
+        (c >= '0' && c <= '9')
+        || c = '-' || c = '+' || c = '.' || c = 'e' || c = 'E'
+      in
+      while !pos < len && is_num s.[!pos] do
+        advance ()
+      done;
+      let tok = String.sub s start (!pos - start) in
+      match int_of_string_opt tok with
+      | Some n -> Int n
+      | None -> (
+          match float_of_string_opt tok with
+          | Some f -> Float f
+          | None -> fail "bad number")
+    in
+    let rec parse_value () =
+      skip_ws ();
+      match peek () with
+      | None -> fail "unexpected end of input"
+      | Some '{' ->
+          advance ();
+          skip_ws ();
+          if peek () = Some '}' then begin
+            advance ();
+            Obj []
+          end
+          else begin
+            let rec members acc =
+              skip_ws ();
+              let k = parse_string () in
+              skip_ws ();
+              expect ':';
+              let v = parse_value () in
+              skip_ws ();
+              match peek () with
+              | Some ',' ->
+                  advance ();
+                  members ((k, v) :: acc)
+              | Some '}' ->
+                  advance ();
+                  List.rev ((k, v) :: acc)
+              | _ -> fail "expected , or }"
+            in
+            Obj (members [])
+          end
+      | Some '[' ->
+          advance ();
+          skip_ws ();
+          if peek () = Some ']' then begin
+            advance ();
+            List []
+          end
+          else begin
+            let rec items acc =
+              let v = parse_value () in
+              skip_ws ();
+              match peek () with
+              | Some ',' ->
+                  advance ();
+                  items (v :: acc)
+              | Some ']' ->
+                  advance ();
+                  List.rev (v :: acc)
+              | _ -> fail "expected , or ]"
+            in
+            List (items [])
+          end
+      | Some '"' -> String (parse_string ())
+      | Some 't' -> literal "true" (Bool true)
+      | Some 'f' -> literal "false" (Bool false)
+      | Some 'n' -> literal "null" Null
+      | Some _ -> parse_number ()
+    in
+    match parse_value () with
+    | v ->
+        skip_ws ();
+        if !pos <> len then Error (Printf.sprintf "trailing input at %d" !pos)
+        else Ok v
+    | exception Parse msg -> Error msg
+
+  let member k = function
+    | Obj kvs -> List.assoc_opt k kvs
+    | _ -> None
+end
+
+(* ------------------------------------------------------------------ *)
+(* Rendering: the paper-style per-element breakdown *)
+
+module Report = struct
+  type mode =
+    | Sim of float  (** CPU MHz — cost column is simulated cycles *)
+    | Wall  (** cost column is wall-clock nanoseconds *)
+
+  let cost_of mode s =
+    match mode with
+    | Sim mhz -> float_of_int s.s_sim_ns *. mhz /. 1000.0
+    | Wall -> float_of_int s.s_wall_ns
+
+  let sorted mode t =
+    snapshot t
+    |> List.sort (fun a b ->
+           match compare (cost_of mode b) (cost_of mode a) with
+           | 0 -> compare a.s_idx b.s_idx
+           | c -> c)
+
+  let table mode t =
+    let rows = sorted mode t in
+    let total = List.fold_left (fun a s -> a +. cost_of mode s) 0.0 rows in
+    let t_in = List.fold_left (fun a s -> a + s.s_in) 0 rows in
+    let t_out = List.fold_left (fun a s -> a + s.s_out) 0 rows in
+    let t_drops = List.fold_left (fun a s -> a + s.s_drops) 0 rows in
+    let cost_hdr = match mode with Sim _ -> "cycles" | Wall -> "wall ns" in
+    let b = Buffer.create 1024 in
+    Buffer.add_string b
+      (Printf.sprintf "%-22s %-18s %10s %10s %8s %12s %10s %7s\n" "element"
+         "class" "in" "out" "drops" cost_hdr "cost/pkt" "%");
+    List.iter
+      (fun s ->
+        let c = cost_of mode s in
+        let per =
+          let n = max s.s_in s.s_out in
+          if n = 0 then 0.0 else c /. float_of_int n
+        in
+        let pct = if total > 0.0 then 100.0 *. c /. total else 0.0 in
+        Buffer.add_string b
+          (Printf.sprintf "%-22s %-18s %10d %10d %8d %12.0f %10.1f %6.1f%%\n"
+             s.s_name s.s_class s.s_in s.s_out s.s_drops c per pct))
+      rows;
+    Buffer.add_string b
+      (Printf.sprintf "%-22s %-18s %10d %10d %8d %12.0f %10s %6.1f%%\n"
+         "total" "" t_in t_out t_drops total "" 100.0);
+    Buffer.contents b
+
+  let json mode t =
+    let rows = sorted mode t in
+    let total = List.fold_left (fun a s -> a +. cost_of mode s) 0.0 rows in
+    let elements =
+      List.map
+        (fun s ->
+          let c = cost_of mode s in
+          let pct = if total > 0.0 then 100.0 *. c /. total else 0.0 in
+          Json.Obj
+            [
+              ("index", Json.Int s.s_idx);
+              ("name", Json.String s.s_name);
+              ("class", Json.String s.s_class);
+              ("in", Json.Int s.s_in);
+              ("out", Json.Int s.s_out);
+              ("pushes", Json.Int s.s_pushes);
+              ("pulls", Json.Int s.s_pulls);
+              ("batches", Json.Int s.s_batches);
+              ("spawns", Json.Int s.s_spawns);
+              ("work", Json.Int s.s_work);
+              ("drops", Json.Int s.s_drops);
+              ( "drop_reasons",
+                Json.Obj
+                  (List.map (fun (k, n) -> (k, Json.Int n)) s.s_drop_reasons)
+              );
+              ("ns", Json.Int (match mode with
+                               | Sim _ -> s.s_sim_ns
+                               | Wall -> s.s_wall_ns));
+              ("cost", Json.Float c);
+              ("percent", Json.Float pct);
+            ])
+        rows
+    in
+    Json.Obj
+      [
+        ( "cost_unit",
+          Json.String (match mode with Sim _ -> "cycles" | Wall -> "ns") );
+        ( "total_ns",
+          Json.Int
+            (match mode with
+            | Sim _ -> total_sim_ns t
+            | Wall -> total_wall_ns t) );
+        ("total_cost", Json.Float total);
+        ("elements", Json.List elements);
+      ]
+
+  (* Schema check for the JSON emitted above (and wrapped by
+     oclick-report): presence and types of every required field, and
+     per-element cost summing to the stated total. *)
+  let validate (v : Json.value) : (unit, string) result =
+    let err fmt = Printf.ksprintf (fun m -> Error m) fmt in
+    let int_field o k =
+      match Json.member k o with
+      | Some (Json.Int _) -> Ok ()
+      | _ -> err "missing or non-int field %S" k
+    in
+    let num_field o k =
+      match Json.member k o with
+      | Some (Json.Int _ | Json.Float _) -> Ok ()
+      | _ -> err "missing or non-number field %S" k
+    in
+    let str_field o k =
+      match Json.member k o with
+      | Some (Json.String _) -> Ok ()
+      | _ -> err "missing or non-string field %S" k
+    in
+    let ( >>= ) r f = Result.bind r (fun () -> f ()) in
+    let check_element e =
+      str_field e "name" >>= fun () ->
+      str_field e "class" >>= fun () ->
+      int_field e "index" >>= fun () ->
+      int_field e "in" >>= fun () ->
+      int_field e "out" >>= fun () ->
+      int_field e "drops" >>= fun () ->
+      int_field e "ns" >>= fun () ->
+      num_field e "cost" >>= fun () ->
+      num_field e "percent" >>= fun () ->
+      match Json.member "drop_reasons" e with
+      | Some (Json.Obj _) -> Ok ()
+      | _ -> err "missing drop_reasons object"
+    in
+    str_field v "cost_unit" >>= fun () ->
+    int_field v "total_ns" >>= fun () ->
+    num_field v "total_cost" >>= fun () ->
+    match Json.member "elements" v with
+    | Some (Json.List es) ->
+        let rec all = function
+          | [] -> Ok ()
+          | e :: rest -> Result.bind (check_element e) (fun () -> all rest)
+        in
+        Result.bind (all es) (fun () ->
+            let num = function
+              | Some (Json.Float f) -> f
+              | Some (Json.Int n) -> float_of_int n
+              | _ -> nan
+            in
+            let total = num (Json.member "total_cost" v) in
+            let sum =
+              List.fold_left
+                (fun a e -> a +. num (Json.member "cost" e))
+                0.0 es
+            in
+            if Float.abs (sum -. total) > 0.5 +. (1e-9 *. Float.abs total)
+            then
+              err "element costs sum to %.1f but total_cost is %.1f" sum
+                total
+            else Ok ())
+    | _ -> err "missing elements array"
+end

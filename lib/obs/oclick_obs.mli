@@ -1,0 +1,163 @@
+(** Per-element observability: counters, cost attribution, event trace.
+
+    The paper's evaluation explains every optimization by breaking
+    forwarding cost down element-by-element; this module is that layer
+    for oclick. An {!t} accumulates, per instantiated element:
+
+    - packet counters — packets in/out (total and per port), push/pull
+      invocations, batched transfers, drops by reason, spawns, work
+      units, pool recycles;
+    - two cost columns — simulated nanoseconds charged by the testbed's
+      cost model ({!charge_sim_ns}), and wall-clock nanoseconds
+      attributed between hook events when running under the plain
+      driver ({!hooks} with [~wall:true]).
+
+    Observation is threaded through {!Oclick_runtime.Hooks}: wrap any
+    base hooks with {!hooks} and install the result. When observation
+    is off nothing is wrapped, so the hot path pays nothing; when on,
+    the accumulators are preallocated and updated in place, with no
+    per-packet allocation. *)
+
+module Hooks = Oclick_runtime.Hooks
+
+(** Bounded ring-buffer event trace: the last [capacity] packet events
+    (transfer, drop, spawn), oldest overwritten first. *)
+module Trace : sig
+  type kind = Push | Pull | Drop | Spawn
+
+  type event = {
+    ev_seq : int;  (** position in the run's full event stream *)
+    ev_ns : int;  (** timestamp from the clock given to {!hooks} *)
+    ev_kind : kind;
+    ev_src_idx : int;
+    ev_src_port : int;
+    ev_dst_idx : int;  (** [-1] for drop/spawn events *)
+    ev_dst_port : int;
+    ev_packet : int;  (** {!Oclick_packet.Packet.id} *)
+    ev_reason : string;  (** drop reason; [""] otherwise *)
+  }
+
+  type t
+
+  val create : int -> t
+  (** [create cap] — ring of capacity [cap]; raises [Invalid_argument]
+      if [cap <= 0]. *)
+
+  val capacity : t -> int
+  val seen : t -> int
+  (** Events ever recorded (including overwritten ones). *)
+
+  val length : t -> int
+  (** Events currently held: [min seen capacity]. *)
+
+  val events : t -> event list
+  (** Retained events, oldest first. *)
+
+  val reset : t -> unit
+  val kind_name : kind -> string
+end
+
+type t
+
+val create : ?trace:int -> ?recycles:bool -> unit -> t
+(** [create ()] — an empty accumulator. [?trace] enables the event ring
+    with the given capacity. [~recycles:true] counts each drop as a pool
+    recycle too (install it when the driver runs with a packet pool,
+    whose recycle-on-drop path reclaims every dropped packet). *)
+
+val reset : t -> unit
+(** Zero every counter, cost column and the trace, keeping element
+    metadata. The testbed calls this at the warmup boundary, so the
+    columns cover exactly the measurement window onward. *)
+
+val clear : t -> unit
+(** Like {!reset}, but also forget every element and its metadata. The
+    testbed calls this at the start of each run, so an accumulator
+    reused across runs of different graphs carries nothing over. *)
+
+val set_meta : t -> idx:int -> name:string -> cls:string -> unit
+(** Record an element's name and class for rendering. *)
+
+val charge_sim_ns : t -> idx:int -> int -> unit
+(** Attribute simulated nanoseconds to element [idx] (no-op for a
+    negative index). The testbed mirrors every aggregate charge through
+    this, so per-element totals equal the aggregate exactly. *)
+
+val hooks : ?now:(unit -> int) -> ?wall:bool -> t -> Hooks.t -> Hooks.t
+(** [hooks t base] — hooks that update [t] and then forward every event
+    to [base]. [?now] supplies trace timestamps (nanoseconds; defaults
+    to a constant 0). [~wall:true] additionally attributes the
+    wall-clock time between consecutive hook events to the element
+    executing in between — the cost column for running under the plain
+    driver, where no cost model charges cycles. *)
+
+val trace : t -> Trace.t option
+
+(** {2 Snapshots} *)
+
+type stats = {
+  s_idx : int;
+  s_name : string;
+  s_class : string;
+  s_pushes : int;  (** scalar push invocations received *)
+  s_pulls : int;  (** scalar pulls serviced (that moved a packet) *)
+  s_batches : int;  (** batched transfers serviced *)
+  s_in : int;
+  s_out : int;
+  s_in_ports : (int * int) list;  (** (port, packets), active ports only *)
+  s_out_ports : (int * int) list;
+  s_drop_reasons : (string * int) list;
+  s_drops : int;
+  s_spawns : int;
+  s_work : int;
+  s_recycles : int;
+  s_sim_ns : int;
+  s_wall_ns : int;
+}
+
+val snapshot : t -> stats list
+(** Every element with recorded activity or metadata, by index. *)
+
+val total_sim_ns : t -> int
+val total_wall_ns : t -> int
+val total_drops : t -> int
+
+val drop_reasons : t -> (string * int) list
+(** Drop totals per reason across all elements, sorted — directly
+    comparable with the testbed ledger's drop table. *)
+
+(** Minimal JSON layer (printer and parser) used by the report renderer
+    and by schema validation in tests/CI. *)
+module Json : sig
+  type value =
+    | Null
+    | Bool of bool
+    | Int of int
+    | Float of float
+    | String of string
+    | List of value list
+    | Obj of (string * value) list
+
+  val to_string : value -> string
+  val of_string : string -> (value, string) result
+  val member : string -> value -> value option
+end
+
+(** The paper-style per-element breakdown table. *)
+module Report : sig
+  type mode =
+    | Sim of float  (** CPU MHz — cost column is simulated cycles *)
+    | Wall  (** cost column is wall-clock nanoseconds *)
+
+  val table : mode -> t -> string
+  (** Text table: one row per element, sorted by cost descending, with
+      a cost-per-packet column and percent of total. *)
+
+  val json : mode -> t -> Json.value
+  (** The same data as {!table}: an object with [cost_unit],
+      [total_ns], [total_cost] and an [elements] array. *)
+
+  val validate : Json.value -> (unit, string) result
+  (** Schema check for {!json} output (shape, field types, and that
+      per-element costs sum to the stated total). *)
+end

@@ -14,8 +14,19 @@ type t = {
   mutable head : int;
   mutable len : int;
   mutable in_pool : bool;
+  mutable id : int;
   anno : anno;
 }
+
+(* Packet identities are process-global serial numbers: every packet that
+   comes into existence — created, cloned, or reused from a pool — gets a
+   fresh one, so a trace can follow an individual packet even when its
+   buffer is recycled. *)
+let id_counter = ref 0
+
+let fresh_id () =
+  incr id_counter;
+  !id_counter
 
 let fresh_anno () =
   {
@@ -36,6 +47,7 @@ let create ?(headroom = default_headroom) ?(tailroom = default_headroom) len =
     head = headroom;
     len;
     in_pool = false;
+    id = fresh_id ();
     anno = fresh_anno ();
   }
 
@@ -49,6 +61,7 @@ let of_string ?headroom ?tailroom s =
 
 let length p = p.len
 let anno p = p.anno
+let id p = p.id
 
 let clone p =
   {
@@ -56,6 +69,7 @@ let clone p =
     head = p.head;
     len = p.len;
     in_pool = false;
+    id = fresh_id ();
     anno = { p.anno with paint = p.anno.paint };
   }
 
@@ -217,6 +231,7 @@ module Pool = struct
         p.head <- headroom;
         p.len <- len;
         p.in_pool <- false;
+        p.id <- fresh_id ();
         reset_anno p.anno;
         pool.reuses <- pool.reuses + 1;
         p

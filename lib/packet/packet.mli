@@ -39,8 +39,16 @@ val of_bytes : ?headroom:int -> ?tailroom:int -> bytes -> t
 val of_string : ?headroom:int -> ?tailroom:int -> string -> t
 val length : t -> int
 val anno : t -> anno
+
+val id : t -> int
+(** Process-global serial number identifying this packet. Every packet
+    that comes into existence — via {!create}, {!clone}, or
+    {!Pool.alloc} (including buffer reuse) — gets a fresh id, so traces
+    can follow one packet through the graph even across pool recycling. *)
+
 val clone : t -> t
-(** Deep copy: buffer and annotations are duplicated. *)
+(** Deep copy: buffer and annotations are duplicated (the copy gets its
+    own {!id}). *)
 
 val headroom : t -> int
 val tailroom : t -> int

@@ -45,6 +45,7 @@ and t = <
   set_quarantine_threshold : int -> unit;
   set_mangle : (Oclick_packet.Packet.t -> unit) option -> unit;
   record_fault : string -> unit;
+  drop : reason:string -> Oclick_packet.Packet.t -> unit;
   note_ok : unit >
 
 (* Exceptions the degradation layer must never swallow. *)
@@ -252,14 +253,21 @@ class virtual base (name : string) =
                 tr_src_port = port;
                 tr_dst_idx = dst#index;
                 tr_dst_class = dst#class_name;
+                tr_dst_port = dst_port;
                 tr_direct = direct_dispatch;
                 tr_pull = false;
-              };
+              }
+              p;
             match dst#push dst_port p with
             | () -> dst#note_ok
             | exception e when not (fatal e) ->
+                (* The packet died inside [dst], and the transfer into it
+                   was already reported, so the drop must be accounted to
+                   [dst]: that keeps per-element packet books balanced and
+                   matches the batched path, where push_batch's own guard
+                   (running inside the destination) records the drop. *)
                 dst#record_fault (Printexc.to_string e);
-                self#drop ~reason:"element fault" p
+                dst#drop ~reason:"element fault" p
           end
       | None ->
           self#drop ~reason:(Printf.sprintf "unconnected output %d" port) p
@@ -273,7 +281,7 @@ class virtual base (name : string) =
           if src#is_quarantined then None
           else
             match src#pull src_port with
-            | Some _ as result ->
+            | Some p as result ->
                 src#note_ok;
                 (* Report only pulls that move a packet: idle polling is part
                    of the scheduler loop, not per-packet cost (the paper's
@@ -285,9 +293,11 @@ class virtual base (name : string) =
                     tr_src_port = port;
                     tr_dst_idx = src#index;
                     tr_dst_class = src#class_name;
+                    tr_dst_port = src_port;
                     tr_direct = direct_dispatch;
                     tr_pull = true;
-                  };
+                  }
+                  p;
                 result
             | None -> None
             | exception e when not (fatal e) ->
@@ -323,10 +333,11 @@ class virtual base (name : string) =
                   tr_src_port = port;
                   tr_dst_idx = dst#index;
                   tr_dst_class = dst#class_name;
+                  tr_dst_port = dst_port;
                   tr_direct = direct_dispatch;
                   tr_pull = false;
                 }
-                n;
+                batch n;
               match dst#push_batch dst_port batch with
               | () -> dst#note_ok
               | exception e when not (fatal e) ->
@@ -334,10 +345,12 @@ class virtual base (name : string) =
                      per-packet faults; an escape means we no longer know
                      which packets were consumed, so account the whole
                      batch as faulted rather than leak it from the
-                     conservation ledger. *)
+                     conservation ledger. The drops belong to [dst] (the
+                     element the packets already transferred into), same
+                     as the scalar path. *)
                   dst#record_fault (Printexc.to_string e);
                   for i = 0 to n - 1 do
-                    self#drop ~reason:"element fault" batch.(i)
+                    dst#drop ~reason:"element fault" batch.(i)
                   done
             end)
         | None ->
@@ -381,10 +394,11 @@ class virtual base (name : string) =
                     tr_src_port = port;
                     tr_dst_idx = src#index;
                     tr_dst_class = src#class_name;
+                    tr_dst_port = src_port;
                     tr_direct = direct_dispatch;
                     tr_pull = true;
                   }
-                  n
+                  dst n
               end;
               n
         | None -> 0

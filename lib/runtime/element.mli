@@ -61,6 +61,7 @@ and t = <
   set_quarantine_threshold : int -> unit;
   set_mangle : (Oclick_packet.Packet.t -> unit) option -> unit;
   record_fault : string -> unit;
+  drop : reason:string -> Oclick_packet.Packet.t -> unit;
   note_ok : unit >
 
 class virtual base : string -> object

@@ -4,6 +4,7 @@ type transfer = {
   tr_src_port : int;
   tr_dst_idx : int;
   tr_dst_class : string;
+  tr_dst_port : int;
   tr_direct : bool;
   tr_pull : bool;
 }
@@ -18,8 +19,8 @@ type work =
   | W_custom of string * int
 
 type t = {
-  on_transfer : transfer -> unit;
-  on_transfer_batch : transfer -> int -> unit;
+  on_transfer : transfer -> Oclick_packet.Packet.t -> unit;
+  on_transfer_batch : transfer -> Oclick_packet.Packet.t array -> int -> unit;
   on_work : idx:int -> cls:string -> work -> unit;
   on_drop : idx:int -> cls:string -> reason:string ->
             Oclick_packet.Packet.t -> unit;
@@ -30,8 +31,8 @@ type t = {
 
 let null =
   {
-    on_transfer = (fun _ -> ());
-    on_transfer_batch = (fun _ _ -> ());
+    on_transfer = (fun _ _ -> ());
+    on_transfer_batch = (fun _ _ _ -> ());
     on_work = (fun ~idx:_ ~cls:_ _ -> ());
     on_drop = (fun ~idx:_ ~cls:_ ~reason:_ _ -> ());
     on_spawn = (fun ~idx:_ ~cls:_ _ -> ());

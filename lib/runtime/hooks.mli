@@ -16,6 +16,9 @@ type transfer = {
   tr_src_port : int;
   tr_dst_idx : int;
   tr_dst_class : string;
+  tr_dst_port : int;
+      (** for a push, the destination's input port; for a pull, the
+          pulled element's output port *)
   tr_direct : bool;  (** true once [click-devirtualize] has specialized *)
   tr_pull : bool;
 }
@@ -31,12 +34,16 @@ type work =
   | W_custom of string * int
 
 type t = {
-  on_transfer : transfer -> unit;
-  on_transfer_batch : transfer -> int -> unit;
+  on_transfer : transfer -> Oclick_packet.Packet.t -> unit;
+      (** One packet moving over one hookup. The packet is the one being
+          transferred; callbacks must not retain it past the call. *)
+  on_transfer_batch : transfer -> Oclick_packet.Packet.t array -> int -> unit;
       (** One report for a whole batch of packets moving over the same
-          hookup (the batched transfer path): the [int] is the batch
-          size. Amortizes per-packet observability cost — a batch of [n]
-          stands for [n] scalar transfers. *)
+          hookup (the batched transfer path): the first [int] elements of
+          the array are the packets, the [int] is the batch size. The
+          array is the transfer's scratch storage — callbacks must not
+          retain it. Amortizes per-packet observability cost — a batch of
+          [n] stands for [n] scalar transfers. *)
   on_work : idx:int -> cls:string -> work -> unit;
   on_drop : idx:int -> cls:string -> reason:string ->
             Oclick_packet.Packet.t -> unit;

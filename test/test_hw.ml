@@ -108,6 +108,7 @@ let test_cost_model_transfer_kinds () =
       tr_src_port = 0;
       tr_dst_idx = target;
       tr_dst_class = "Counter";
+      tr_dst_port = 0;
       tr_direct = direct;
       tr_pull = false;
     }
@@ -128,6 +129,7 @@ let test_cost_model_simple_action_shared_site () =
       tr_src_port = 0;
       tr_dst_idx = target;
       tr_dst_class = "Counter";
+      tr_dst_port = 0;
       tr_direct = false;
       tr_pull = false;
     }

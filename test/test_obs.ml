@@ -1,0 +1,396 @@
+(* Tests for the per-element observability layer: trace ring bounds,
+   the JSON layer and report schema, counter semantics under the plain
+   driver, per-element packet conservation at several batch sizes, the
+   obs-totals == testbed-ledger regression, counter reset between
+   consecutive runs sharing one accumulator, and a differential check
+   that observation changes no forwarding outcome. *)
+
+module Obs = Oclick_obs
+module Hooks = Oclick_runtime.Hooks
+module Driver = Oclick_runtime.Driver
+module Netdevice = Oclick_runtime.Netdevice
+module Packet = Oclick_packet.Packet
+module Headers = Oclick_packet.Headers
+module Ipaddr = Oclick_packet.Ipaddr
+module Ethaddr = Oclick_packet.Ethaddr
+module Testbed = Oclick_hw.Testbed
+module Platform = Oclick_hw.Platform
+module Fault = Oclick_fault
+
+let () = Oclick_elements.register_all ()
+let check = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* --- trace ring ------------------------------------------------------------- *)
+
+let transfer_to idx =
+  {
+    Hooks.tr_src_idx = 0;
+    tr_src_class = "A";
+    tr_src_port = 0;
+    tr_dst_idx = idx;
+    tr_dst_class = "B";
+    tr_dst_port = 0;
+    tr_direct = false;
+    tr_pull = false;
+  }
+
+let test_trace_ring_bounds () =
+  (try
+     ignore (Obs.Trace.create 0);
+     Alcotest.fail "capacity 0 accepted"
+   with Invalid_argument _ -> ());
+  let t = Obs.create ~trace:4 () in
+  let hooks = Obs.hooks t Hooks.null in
+  let p = Packet.create 64 in
+  for i = 1 to 10 do
+    hooks.Hooks.on_transfer (transfer_to i) p
+  done;
+  match Obs.trace t with
+  | None -> Alcotest.fail "trace enabled but absent"
+  | Some tr ->
+      check "capacity" 4 (Obs.Trace.capacity tr);
+      check "seen counts overwritten events" 10 (Obs.Trace.seen tr);
+      check "length is bounded" 4 (Obs.Trace.length tr);
+      let evs = Obs.Trace.events tr in
+      check "retains the last capacity events" 4 (List.length evs);
+      List.iteri
+        (fun i (ev : Obs.Trace.event) ->
+          check "oldest first" (6 + i) ev.Obs.Trace.ev_seq;
+          check "records destination" (7 + i) ev.Obs.Trace.ev_dst_idx)
+        evs;
+      Obs.reset t;
+      check "reset clears the ring" 0 (Obs.Trace.seen tr)
+
+(* --- json ------------------------------------------------------------------- *)
+
+let test_json_round_trip () =
+  let open Obs.Json in
+  let v =
+    Obj
+      [
+        ("name", String "a \"quoted\"\nvalue");
+        ("n", Int (-42));
+        ("x", Float 1.5);
+        ("ok", Bool true);
+        ("nothing", Null);
+        ("xs", List [ Int 1; Obj [ ("y", Int 2) ]; List [] ]);
+      ]
+  in
+  (match of_string (to_string v) with
+  | Ok v' -> check_bool "round trip" true (v = v')
+  | Error e -> Alcotest.failf "reparse: %s" e);
+  List.iter
+    (fun s ->
+      check_bool
+        (Printf.sprintf "rejects %S" s)
+        true
+        (Result.is_error (of_string s)))
+    [ ""; "{"; "[1,]"; "{\"a\":}"; "nul"; "{\"a\":1} trailing"; "'a'" ];
+  match of_string "{\"a\": {\"b\": [1, 2]}}" with
+  | Error e -> Alcotest.failf "parse: %s" e
+  | Ok v -> (
+      match Option.bind (member "a" v) (member "b") with
+      | Some (List [ Int 1; Int 2 ]) -> ()
+      | _ -> Alcotest.fail "member lookup")
+
+(* --- counters under the plain driver ----------------------------------------- *)
+
+let run_counted config =
+  let obs = Obs.create () in
+  let hooks = Obs.hooks obs Hooks.null in
+  match Driver.of_string ~hooks config with
+  | Error e -> Alcotest.failf "instantiate: %s" e
+  | Ok d ->
+      List.iter
+        (fun i ->
+          Obs.set_meta obs ~idx:i
+            ~name:(Driver.element_at d i)#name
+            ~cls:(Driver.element_at d i)#class_name)
+        (List.init (Driver.size d) Fun.id);
+      check_bool "idle" true (Driver.run_until_idle d);
+      (obs, d)
+
+let stats_of obs name =
+  match List.find_opt (fun s -> s.Obs.s_name = name) (Obs.snapshot obs) with
+  | Some s -> s
+  | None -> Alcotest.failf "no stats for %s" name
+
+let test_driver_counters () =
+  let obs, _ =
+    run_counted "src :: InfiniteSource(LIMIT 20) -> c :: Counter -> d :: Discard;"
+  in
+  let src = stats_of obs "src" and c = stats_of obs "c" and d = stats_of obs "d" in
+  check "source emits" 20 src.Obs.s_out;
+  check "source takes nothing in" 0 src.Obs.s_in;
+  check "counter in" 20 c.Obs.s_in;
+  check "counter out" 20 c.Obs.s_out;
+  check "counter pushes" 20 c.Obs.s_pushes;
+  check "discard in" 20 d.Obs.s_in;
+  check "discard drops" 20 d.Obs.s_drops;
+  check_bool "drop reason recorded" true
+    (List.mem_assoc "discarded" d.Obs.s_drop_reasons);
+  check_bool "global drop table matches" true
+    (Obs.drop_reasons obs = [ ("discarded", 20) ]);
+  check "port totals match" 20 (List.assoc 0 c.Obs.s_in_ports);
+  check "total drops" 20 (Obs.total_drops obs)
+
+(* --- per-element conservation through the IP router --------------------------- *)
+
+let host_udp ~src_if ~dst_ip =
+  Headers.Build.udp
+    ~src_eth:(Ethaddr.of_string_exn "00:00:c0:aa:00:02")
+    ~dst_eth:
+      (Ethaddr.of_string_exn (Printf.sprintf "00:00:c0:00:%02x:01" src_if))
+    ~src_ip:(Ipaddr.of_octets 10 0 src_if 2)
+    ~dst_ip:(Ipaddr.of_string_exn dst_ip)
+    ()
+
+(* Every element's books must balance: packets in (hooked transfers in,
+   spawns, and packets sourced from a device or thin air) equal packets
+   out (hooked transfers out, drops, packets still held, and packets
+   handed to a device). Checked per element from the observability
+   snapshot plus the element's own statistics — at several batch sizes,
+   since scalar and batched transfers take different accounting paths. *)
+let conservation_round ~batch =
+  let obs = Obs.create () in
+  let hooks = Obs.hooks obs Hooks.null in
+  let devs =
+    Array.init 2 (fun i ->
+        new Netdevice.queue_device (Printf.sprintf "eth%d" i) ())
+  in
+  let devices = Array.to_list (Array.map (fun d -> (d :> Netdevice.t)) devs) in
+  let graph =
+    Oclick.Ip_router.graph
+      (Oclick.Ip_router.config (Oclick.Ip_router.standard_interfaces 2))
+  in
+  let d =
+    match Driver.instantiate ~hooks ~devices ~batch graph with
+    | Ok d -> d
+    | Error e -> Alcotest.failf "instantiate: %s" e
+  in
+  List.iter
+    (fun i ->
+      Obs.set_meta obs ~idx:i
+        ~name:(Driver.element_at d i)#name
+        ~cls:(Driver.element_at d i)#class_name)
+    (List.init (Driver.size d) Fun.id);
+  let injected = ref 0 in
+  for k = 1 to 60 do
+    let iface = k mod 2 in
+    let dst_ip = if k mod 3 = 0 then "10.0.0.2" else "10.0.1.2" in
+    incr injected;
+    devs.(iface)#inject (host_udp ~src_if:iface ~dst_ip);
+    if k mod 5 = 0 then ignore (Driver.run_tasks_once d)
+  done;
+  check_bool "router goes idle" true (Driver.run_until_idle d);
+  let collected = ref 0 in
+  Array.iter
+    (fun dev ->
+      let rec drain () =
+        match dev#collect with Some _ -> incr collected; drain () | None -> ()
+      in
+      drain ())
+    devs;
+  let spawns = ref 0 and residual = ref 0 in
+  List.iter
+    (fun s ->
+      spawns := !spawns + s.Obs.s_spawns;
+      let st = (Driver.element_at d s.Obs.s_idx)#stats in
+      let stat k = Option.value ~default:0 (List.assoc_opt k st) in
+      let sourced =
+        match s.Obs.s_class with
+        | "PollDevice" | "FromDevice" -> stat "received"
+        | "InfiniteSource" | "RatedSource" -> stat "sent"
+        | _ -> 0
+      in
+      let transmitted =
+        match s.Obs.s_class with "ToDevice" -> stat "sent" | _ -> 0
+      in
+      let held = stat "length" + stat "pending" in
+      residual := !residual + held;
+      let inflow = s.Obs.s_in + s.Obs.s_spawns + sourced in
+      let outflow = s.Obs.s_out + s.Obs.s_drops + held + transmitted in
+      if inflow <> outflow then
+        Alcotest.failf
+          "batch %d: %s (%s): %d in + %d spawned + %d sourced <> %d out + %d \
+           dropped + %d held + %d transmitted"
+          batch s.Obs.s_name s.Obs.s_class s.Obs.s_in s.Obs.s_spawns sourced
+          s.Obs.s_out s.Obs.s_drops held transmitted)
+    (Obs.snapshot obs);
+  (* and globally: every injected or spawned packet was delivered,
+     dropped through the hooks, or is still held in some element *)
+  check
+    (Printf.sprintf "batch %d: global conservation" batch)
+    (!injected + !spawns)
+    (!collected + Obs.total_drops obs + !residual)
+
+let test_element_conservation () =
+  List.iter (fun batch -> conservation_round ~batch) [ 1; 8; 32 ]
+
+(* --- obs totals vs the testbed ledger ----------------------------------------- *)
+
+let router_graph n =
+  Oclick.Ip_router.graph
+    (Oclick.Ip_router.config (Oclick.Ip_router.standard_interfaces n))
+
+let testbed_run ?obs ?fault ?(batch = 1) () =
+  match
+    Testbed.run ~duration_ms:15 ~warmup_ms:0 ?obs ?fault ~batch
+      ~platform:Platform.p0 ~graph:(router_graph 8) ~input_pps:150_000 ()
+  with
+  | Ok r -> r
+  | Error e -> Alcotest.failf "testbed: %s" e
+
+(* With no warmup the observation window is the whole run, so the
+   per-element columns must reproduce the ledger totals exactly — at
+   every batch size, since scalar and batched transfers are charged
+   through different code paths. *)
+let test_obs_matches_ledger () =
+  List.iter
+    (fun batch ->
+      let obs = Obs.create () in
+      let r = testbed_run ~obs ~batch () in
+      let tag fmt = Printf.sprintf ("batch %d: " ^^ fmt) batch in
+      check (tag "per-element ns sum to the aggregate")
+        (int_of_float r.Testbed.r_model_ns)
+        (Obs.total_sim_ns obs);
+      check_bool
+        (tag "drop tables agree")
+        true
+        (Obs.drop_reasons obs = r.Testbed.r_drop_reasons_total);
+      check (tag "hook-counted drops equal the ledger's")
+        r.Testbed.r_conservation.Testbed.cv_hook_drops
+        (Obs.total_drops obs))
+    [ 1; 8; 32 ]
+
+(* An optimizer pass can leave dead slots in the router it returns, so
+   its indices differ from the dense ones the driver instantiates (and
+   every hook reports). Regression: on such a graph the metadata and
+   the NIC cost attribution must land on the same rows as the transfer
+   counters — each device element carries both its packets and its
+   cycles, on one row with the right class. *)
+let test_sparse_graph_attribution () =
+  let opt =
+    Oclick.Pipeline.devirtualize (Oclick.Pipeline.fastclassify (router_graph 8))
+  in
+  let obs = Obs.create () in
+  (match
+     Testbed.run ~duration_ms:15 ~warmup_ms:0 ~obs ~platform:Platform.p0
+       ~graph:opt ~input_pps:150_000 ()
+   with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "testbed: %s" e);
+  let polls =
+    List.filter
+      (fun s ->
+        Oclick_hw.Cost_model.strip_generated s.Obs.s_class = "PollDevice")
+      (Obs.snapshot obs)
+  in
+  check "all poll devices have rows" 8 (List.length polls);
+  List.iter
+    (fun s ->
+      check_bool
+        (Printf.sprintf "%s moved packets" s.Obs.s_name)
+        true (s.Obs.s_out > 0);
+      check_bool
+        (Printf.sprintf "%s was charged its NIC work" s.Obs.s_name)
+        true
+        (s.Obs.s_sim_ns > 0))
+    polls
+
+(* --- reset between consecutive runs ------------------------------------------- *)
+
+let test_reset_between_runs () =
+  let obs = Obs.create () in
+  let _ = testbed_run ~obs () in
+  let first = Obs.snapshot obs in
+  let first_ns = Obs.total_sim_ns obs in
+  let r = testbed_run ~obs () in
+  check_bool "second run's snapshot is identical, not accumulated" true
+    (Obs.snapshot obs = first);
+  check "second run's total is identical" first_ns (Obs.total_sim_ns obs);
+  check "still equal to the aggregate" (int_of_float r.Testbed.r_model_ns)
+    (Obs.total_sim_ns obs)
+
+(* --- observation is free of side effects --------------------------------------- *)
+
+let test_observation_changes_nothing () =
+  let bare = testbed_run () in
+  let obs = Obs.create ~trace:64 () in
+  let observed = testbed_run ~obs () in
+  check_bool "identical results with observation on" true (bare = observed);
+  let plan =
+    match
+      Fault.Plan.parse
+        "seed=42,corrupt=0.01,truncate=0.005,ttl0=0.02,badcksum=0.03"
+    with
+    | Ok p -> p
+    | Error e -> Alcotest.failf "plan: %s" e
+  in
+  let bare_f = testbed_run ~fault:plan () in
+  let obs' = Obs.create ~trace:64 () in
+  let observed_f = testbed_run ~obs:obs' ~fault:plan () in
+  check_bool "identical results under a fault plan" true (bare_f = observed_f);
+  check_bool "faults actually fired" true (bare_f.Testbed.r_fault_counts <> [])
+
+(* --- report rendering and schema ----------------------------------------------- *)
+
+let test_report_schema () =
+  let obs = Obs.create () in
+  let r = testbed_run ~obs () in
+  let mhz = float_of_int Platform.p0.Platform.p_cpu_mhz in
+  let j = Obs.Report.json (Obs.Report.Sim mhz) obs in
+  (match Obs.Report.validate j with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "validate: %s" e);
+  (* the schema check catches a tampered total *)
+  (match j with
+  | Obs.Json.Obj kvs ->
+      let broken =
+        Obs.Json.Obj
+          (List.map
+             (function
+               | "total_cost", _ -> ("total_cost", Obs.Json.Float 1.0)
+               | kv -> kv)
+             kvs)
+      in
+      check_bool "tampered total rejected" true
+        (Result.is_error (Obs.Report.validate broken))
+  | _ -> Alcotest.fail "report is not an object");
+  (match Obs.Json.member "total_ns" j with
+  | Some (Obs.Json.Int ns) ->
+      check "json total equals the aggregate" (int_of_float r.Testbed.r_model_ns)
+        ns
+  | _ -> Alcotest.fail "total_ns missing");
+  let table = Obs.Report.table (Obs.Report.Sim mhz) obs in
+  check_bool "table has a total row" true
+    (List.exists
+       (fun l -> String.length l >= 5 && String.sub l 0 5 = "total")
+       (String.split_on_char '\n' table))
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "trace",
+        [ Alcotest.test_case "ring bounds" `Quick test_trace_ring_bounds ] );
+      ("json", [ Alcotest.test_case "round trip" `Quick test_json_round_trip ]);
+      ( "counters",
+        [
+          Alcotest.test_case "driver counters" `Quick test_driver_counters;
+          Alcotest.test_case "per-element conservation at batch 1/8/32" `Quick
+            test_element_conservation;
+        ] );
+      ( "testbed",
+        [
+          Alcotest.test_case "obs totals equal the ledger" `Quick
+            test_obs_matches_ledger;
+          Alcotest.test_case "attribution on a sparse optimized graph" `Quick
+            test_sparse_graph_attribution;
+          Alcotest.test_case "reset between runs" `Quick test_reset_between_runs;
+          Alcotest.test_case "observation changes nothing" `Quick
+            test_observation_changes_nothing;
+        ] );
+      ( "report",
+        [ Alcotest.test_case "schema" `Quick test_report_schema ] );
+    ]

@@ -59,9 +59,9 @@ let test_hooks_see_transfers_and_work () =
   let transfers = ref [] and works = ref [] and drops = ref 0 in
   let hooks =
     {
-      Hooks.on_transfer = (fun tr -> transfers := tr :: !transfers);
+      Hooks.on_transfer = (fun tr _p -> transfers := tr :: !transfers);
       on_transfer_batch =
-        (fun tr n ->
+        (fun tr _batch n ->
           for _ = 1 to n do
             transfers := tr :: !transfers
           done);
@@ -112,7 +112,7 @@ let test_pull_hook_only_on_packets () =
     {
       Hooks.null with
       Hooks.on_transfer =
-        (fun tr -> if tr.Hooks.tr_pull then incr pulls);
+        (fun tr _p -> if tr.Hooks.tr_pull then incr pulls);
     }
   in
   let graph =

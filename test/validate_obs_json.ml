@@ -1,0 +1,59 @@
+(* Schema validation for observability JSON, used by the @obs-smoke
+   alias: reads an oclick-report --json document on stdin, checks every
+   per-element report against the schema (shape, field types, costs
+   summing to the stated total), and checks that each report's total_ns
+   equals the testbed aggregate it was measured against. Exits 1 with a
+   one-line diagnostic on the first violation. *)
+
+module Json = Oclick_obs.Json
+
+let die fmt =
+  Printf.ksprintf
+    (fun msg ->
+      prerr_endline msg;
+      exit 1)
+    fmt
+
+let read_all ic =
+  let buf = Buffer.create 4096 in
+  (try
+     while true do
+       Buffer.add_channel buf ic 4096
+     done
+   with End_of_file -> ());
+  Buffer.contents buf
+
+let check_report label v =
+  (match Oclick_obs.Report.validate v with
+  | Ok () -> ()
+  | Error e -> die "%s: %s" label e);
+  match (Json.member "total_ns" v, Json.member "aggregate_ns" v) with
+  | Some (Json.Int total), Some (Json.Int aggregate)
+    when abs (total - aggregate) > 1 ->
+      die "%s: per-element total %d ns != aggregate %d ns" label total
+        aggregate
+  | _ -> ()
+
+let () =
+  let doc =
+    match Json.of_string (read_all stdin) with
+    | Ok v -> v
+    | Error e -> die "not valid JSON: %s" e
+  in
+  (match Json.member "tool" doc with
+  | Some (Json.String _) -> ()
+  | _ -> die "missing \"tool\" field");
+  (match Json.member "passes" doc with
+  | Some (Json.List passes) ->
+      List.iteri
+        (fun i v ->
+          let label =
+            match Json.member "pass" v with
+            | Some (Json.String s) -> s
+            | _ -> Printf.sprintf "pass %d" i
+          in
+          check_report label v)
+        passes
+  | Some _ -> die "\"passes\" is not a list"
+  | None -> check_report "report" doc);
+  print_endline "ok"
