@@ -1,12 +1,14 @@
 # Convenience wrappers around dune. `make bench-smoke` (also run as part
 # of `make test` via the @bench-smoke alias) is the sub-second sanity run
-# of the wall-clock batch benchmark; `make bench` regenerates every
-# section, and `make bench-json` refreshes the committed BENCH_batch.json
-# and BENCH_obs.json baselines in the repo root. `make obs-smoke` (also
-# part of `dune runtest`) validates oclick-report's JSON output against
-# the report schema on the example configurations.
+# of the wall-clock batch benchmark; `make compile-smoke` is the same for
+# the interpreted-vs-compiled datapath section; `make bench` regenerates
+# every section, and `make bench-json` refreshes the committed
+# BENCH_batch.json, BENCH_compile.json, and BENCH_obs.json baselines in
+# the repo root. `make obs-smoke` (also part of `dune runtest`) validates
+# oclick-report's JSON output against the report schema on the example
+# configurations.
 
-.PHONY: all build test bench bench-smoke bench-json obs-smoke clean
+.PHONY: all build test bench bench-smoke compile-smoke bench-json obs-smoke clean
 
 all: build
 
@@ -22,8 +24,12 @@ bench: build
 bench-smoke:
 	dune build @bench-smoke
 
+compile-smoke:
+	dune build @compile-smoke
+
 bench-json: build
 	cd $(CURDIR) && dune exec --no-build bench/main.exe -- batch --json
+	cd $(CURDIR) && dune exec --no-build bench/main.exe -- compile --json
 	cd $(CURDIR) && dune exec --no-build bench/main.exe -- obs --json
 
 obs-smoke:

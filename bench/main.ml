@@ -24,6 +24,7 @@ let sections =
     ("ablation", Figures.devirtualize_ablation);
     ("micro", Micro.run);
     ("batch", Batch.run);
+    ("compile", Compile.run);
     ("obs", Obs.run);
   ]
 

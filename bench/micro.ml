@@ -30,19 +30,35 @@ let tests () =
   let udp = Oclick_packet.Headers.Build.udp ~src_ip:1 ~dst_ip:2 () in
   let arp_compiled = Compile.compile_packet arp in
   (* Dispatch: a push through the element framework's port indirection
-     (the "virtual call") vs a pre-resolved closure (devirtualized). *)
+     (the "virtual call") vs a pre-resolved closure (devirtualized). The
+     hooked variant installs a live on_transfer callback — the lean
+     variants above it show what hoisting the hook field reads out of
+     the transfer path buys when hooks are null. *)
   Oclick_elements.register_all ();
-  let driver =
+  Oclick_compile.register ();
+  let make_driver ?hooks ?(compile = false) () =
     match
-      Oclick_runtime.Driver.of_string
+      Oclick_runtime.Driver.of_string ?hooks ~compile
         "Idle -> c :: Counter -> c2 :: Counter -> Discard;"
     with
     | Ok d -> d
     | Error e -> failwith e
   in
+  let driver = make_driver () in
   let c = Option.get (Oclick_runtime.Driver.element driver "c") in
   let c2 = Option.get (Oclick_runtime.Driver.element driver "c2") in
   let direct = fun p -> c2#push 0 p in
+  let transfers = ref 0 in
+  let hooked_hooks =
+    {
+      Oclick_runtime.Hooks.null with
+      Oclick_runtime.Hooks.on_transfer = (fun _ _ -> incr transfers);
+    }
+  in
+  let hooked = make_driver ~hooks:hooked_hooks () in
+  let hc = Option.get (Oclick_runtime.Driver.element hooked "c") in
+  let fused = make_driver ~compile:true () in
+  let fc = Option.get (Oclick_runtime.Driver.element fused "c") in
   let small = Packet.create 60 in
   [
     Test.make ~name:"classifier/interp/firewall-DNS5"
@@ -55,6 +71,10 @@ let tests () =
       (Staged.stage (fun () -> arp_compiled udp));
     Test.make ~name:"dispatch/port-indirection"
       (Staged.stage (fun () -> c#output 0 small));
+    Test.make ~name:"dispatch/port-indirection-hooked"
+      (Staged.stage (fun () -> hc#output 0 small));
+    Test.make ~name:"dispatch/compiled-fused"
+      (Staged.stage (fun () -> fc#output 0 small));
     Test.make ~name:"dispatch/direct-closure"
       (Staged.stage (fun () -> direct small));
     Test.make ~name:"tools/parse+flatten IP router"

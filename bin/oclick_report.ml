@@ -31,20 +31,29 @@ let device_count router =
     (Router.indices router);
   List.length !names
 
+let () = Oclick_compile.register ()
+
+(* Each pass is (label, graph, compile?): the tool-chain passes rewrite
+   the graph source-to-source; the final "compiled" pass keeps the fully
+   optimized graph and additionally runs the whole-graph datapath
+   compiler at instantiation — attribution is printable before and after
+   because the compiled path reports the identical per-hop events. *)
 let passes_of router =
   let xf = Oclick.Pipeline.transform router in
   let fc = Oclick.Pipeline.fastclassify xf in
   let dv = Oclick.Pipeline.devirtualize fc in
   [
-    ("unoptimized", router);
-    ("after click-xform", xf);
-    ("after click-fastclassifier", fc);
-    ("after click-devirtualize", dv);
+    ("unoptimized", router, false);
+    ("after click-xform", xf, false);
+    ("after click-fastclassifier", fc, false);
+    ("after click-devirtualize", dv, false);
+    ("compiled", dv, true);
   ]
 
-let measure ~platform ~batch ~input_pps ~duration_ms ~warmup_ms obs graph =
+let measure ~platform ~batch ~input_pps ~duration_ms ~warmup_ms obs
+    (graph, compile) =
   match
-    Testbed.run ~duration_ms ~warmup_ms ~batch ~obs ~platform ~graph
+    Testbed.run ~duration_ms ~warmup_ms ~batch ~compile ~obs ~platform ~graph
       ~input_pps ()
   with
   | Ok r -> r
@@ -92,7 +101,7 @@ let run json passes batch input_pps duration_ms warmup_ms input =
   let mhz = float_of_int platform.Platform.p_cpu_mhz in
   let obs = Obs.create () in
   let variants =
-    if passes then passes_of router else [ ("unoptimized", router) ]
+    if passes then passes_of router else [ ("unoptimized", router, false) ]
   in
   let measure =
     measure ~platform ~batch ~input_pps ~duration_ms ~warmup_ms obs
@@ -100,8 +109,8 @@ let run json passes batch input_pps duration_ms warmup_ms input =
   if json then begin
     let reports =
       List.map
-        (fun (label, graph) ->
-          pass_json ~label ~mhz obs (measure graph))
+        (fun (label, graph, compile) ->
+          pass_json ~label ~mhz obs (measure (graph, compile)))
         variants
     in
     let header =
@@ -123,8 +132,8 @@ let run json passes batch input_pps duration_ms warmup_ms input =
   end
   else
     List.iter
-      (fun (label, graph) ->
-        let r = measure graph in
+      (fun (label, graph, compile) ->
+        let r = measure (graph, compile) in
         let aggregate = aggregate_check obs r in
         Printf.printf
           "%s: %d ports, batch %d, %d pps offered — %.0f pps forwarded, \

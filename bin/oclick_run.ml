@@ -4,6 +4,9 @@
 
 open Cmdliner
 
+(* Make --compile (Driver.instantiate ~compile:true) available. *)
+let () = Oclick_compile.register ()
+
 let device_names router =
   let names = ref [] in
   List.iter
@@ -38,7 +41,7 @@ let parse_read spec =
       ( String.sub spec 0 dot,
         String.sub spec (dot + 1) (String.length spec - dot - 1) )
 
-let run rounds stats batch pool fault fault_seed writes reads report
+let run rounds stats batch pool compile fault fault_seed writes reads report
     report_json trace input =
   if rounds < 0 then Tool_common.die "bad --rounds %d (must be >= 0)" rounds;
   if batch < 1 then Tool_common.die "bad --batch %d (must be at least 1)" batch;
@@ -106,7 +109,7 @@ let run rounds stats batch pool fault fault_seed writes reads report
   in
   match
     Oclick_runtime.Driver.instantiate ~hooks ~devices ?mangle ?quarantine
-      ~batch ?pool router
+      ~batch ?pool ~compile router
   with
   | Error e -> Tool_common.die "%s" e
   | Ok driver ->
@@ -259,6 +262,18 @@ let pool_arg =
            transmitted packets return to the pool and later allocations \
            reuse their buffers (copy-on-recycle policy; see README).")
 
+let compile_arg =
+  Arg.(
+    value & flag
+    & info [ "compile" ]
+        ~doc:
+          "Run the whole-graph datapath compiler after instantiation: \
+           push connections become direct-call closures and fusable \
+           element chains collapse into per-packet functions. Semantics \
+           (outcomes, drop reasons, reports) are identical to the \
+           interpreted path; composes with $(b,--batch), $(b,--pool) and \
+           $(b,--fault).")
+
 let fault_arg =
   Arg.(
     value
@@ -316,6 +331,6 @@ let () =
   Tool_common.run_tool "oclick-run"
     "Run a Click configuration in the user-level driver."
     Term.(
-      const run $ rounds_arg $ stats_arg $ batch_arg $ pool_arg $ fault_arg
-      $ fault_seed_arg $ write_arg $ read_arg $ report_arg $ report_json_arg
-      $ trace_arg $ Tool_common.input_arg)
+      const run $ rounds_arg $ stats_arg $ batch_arg $ pool_arg $ compile_arg
+      $ fault_arg $ fault_seed_arg $ write_arg $ read_arg $ report_arg
+      $ report_json_arg $ trace_arg $ Tool_common.input_arg)

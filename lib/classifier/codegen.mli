@@ -11,3 +11,17 @@ val ocaml_source : class_name:string -> original_config:string -> Tree.t -> stri
 (** A complete, human-readable OCaml module implementing the specialized
     classifier: one [step_N] function per decision-tree node, constants
     inlined. *)
+
+val closures :
+  Tree.t ->
+  leaf:(int -> Oclick_packet.Packet.t -> int -> unit) ->
+  Oclick_packet.Packet.t ->
+  unit
+(** Closure backend for the whole-graph datapath compiler
+    ({!Oclick_compile}): the decision tree as nested closures with
+    shared-subtree dedup (§4.1's dominator sharing — DAG-shared nodes
+    compile once). [leaf k], called once per distinct leaf target
+    (including {!Tree.drop}), supplies the continuation; at run time it
+    receives the packet and the number of nodes visited, exactly the
+    count {!Tree.classify_count} reports, so work charges match the
+    interpreted walk bit for bit. *)

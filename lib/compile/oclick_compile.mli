@@ -1,0 +1,52 @@
+(** The whole-graph datapath compiler.
+
+    The paper's biggest wins — click-devirtualize (§5) and
+    click-fastclassifier (§4) — remove virtual-dispatch and
+    generic-classifier overhead at the source level; this pass finishes
+    the job at execution time. Given an instantiated {!Driver.t}, it
+    compiles the push paths into direct-call closures:
+
+    - {b devirtualized transfers} — every push connection becomes one
+      [Packet.t -> unit] closure (and a batch-array twin), stored in a
+      dense per-port array on the source element. The hot path pays no
+      port-array lookup, no option match, no transfer-record allocation,
+      and — when the installed hooks are the no-op {!Hooks.null} ones —
+      no hook call at all.
+    - {b chain fusion} — elements that implement {!Element.base.fuse}
+      (every [simple_action] element, the classifiers, LookupIPRoute,
+      Queue) contribute their per-packet body directly, so a maximal run
+      of such elements collapses into one nested closure: a packet
+      crosses CheckIPHeader → DecIPTTL → … in straight-line calls.
+    - {b compiled classifiers} — classifier dispatch inside compiled
+      segments runs the decision tree as nested closures with
+      shared-subtree dedup ({!Oclick_classifier.Codegen.closures}).
+
+    Semantics are bit-identical to the interpreted path: mangle
+    (fault injection), quarantine checks, fault containment and drop
+    attribution, work charges, and — when observation is on — the exact
+    per-hop hook event sequence are all preserved, so outcome totals,
+    drop reasons, conservation balances and obs ledgers are equal by
+    construction. Elements without a fused body (devices, ARP, Tee,
+    ICMPError, …) keep dynamic [push] dispatch behind a compiled
+    connection: compilation degrades per element, never per graph.
+
+    The only configurations conservatively rejected are direct
+    self-loops (an element pushing straight into itself), where fusion
+    cannot bottom out. Cyclic paths through several elements (the IP
+    router's ICMPError loops) compile fine: the back edge falls back to
+    dynamic dispatch. *)
+
+type stats = {
+  st_connections : int;  (** push connections devirtualized *)
+  st_fused : int;  (** elements contributing fused per-packet bodies *)
+  st_fallbacks : int;  (** connections delivering via dynamic dispatch *)
+}
+
+val install : Oclick_runtime.Driver.t -> (stats, string) result
+(** Compile the driver's push paths in place. The installed hooks and
+    fault injectors are captured at compile time; callers must not
+    change them afterwards (the driver never does). *)
+
+val register : unit -> unit
+(** Make [Driver.instantiate ~compile:true] work by registering
+    {!install} with {!Oclick_runtime.Driver.register_compiler}. *)

@@ -46,6 +46,12 @@ class discard name =
         self#drop ~reason:"discarded" batch.(i)
       done
 
+    method! fuse _ =
+      Some
+        (fun p ->
+          count <- count + 1;
+          self#drop ~reason:"discarded" p)
+
     method! stats = [ ("count", count) ]
   end
 
@@ -87,6 +93,14 @@ class counter name =
         bytes <- bytes + Packet.length batch.(i)
       done;
       self#output_batch 0 batch
+
+    method! fuse ctx =
+      let k = ctx.E.fc_out 0 in
+      Some
+        (fun p ->
+          packets <- packets + 1;
+          bytes <- bytes + Packet.length p;
+          k p)
 
     method! stats = [ ("packets", packets); ("bytes", bytes) ]
 
@@ -261,6 +275,22 @@ class queue name =
         drops <- drops + 1;
         self#drop ~reason:"queue full" batch.(i)
       done
+
+    method! fuse ctx =
+      (* The enqueue half of push, verbatim; the work charge disappears
+         entirely when the hooks ignore it. *)
+      let lean = ctx.E.fc_lean_work in
+      Some
+        (fun p ->
+          if not lean then self#charge Hooks.W_queue;
+          if Queue.length q >= capacity then begin
+            drops <- drops + 1;
+            self#drop ~reason:"queue full" p
+          end
+          else begin
+            Queue.add p q;
+            highwater <- max highwater (Queue.length q)
+          end)
 
     method! pull_batch _ dst =
       let want = min (Array.length dst) (Queue.length q) in

@@ -12,6 +12,27 @@ open Prelude
 module Tree = Oclick_classifier.Tree
 module Optimize = Oclick_classifier.Optimize
 module Compile = Oclick_classifier.Compile
+module Codegen = Oclick_classifier.Codegen
+
+(* The fused classifier body shared by the tree-interpreting and
+   fast-classifier elements: the decision tree compiled to nested
+   closures (Codegen.closures), each leaf charging the same work the
+   scalar push charges — with the identical visited count, so cost
+   ledgers match the interpreted run exactly — and continuing straight
+   into the compiled connection for its output port. *)
+let fuse_classifier ctx tree ~noutputs ~charge ~on_invalid =
+  let lean = ctx.E.fc_lean_work in
+  let leaf k =
+    let finish =
+      if k >= 0 && k < noutputs then ctx.E.fc_out k else on_invalid
+    in
+    if lean then fun p _visited -> finish p
+    else
+      fun p visited ->
+        charge visited;
+        finish p
+  in
+  Codegen.closures tree ~leaf
 
 class virtual tree_classifier name =
   object (self)
@@ -69,6 +90,14 @@ class virtual tree_classifier name =
       emit_runs self ports batch n ~on_invalid:(fun p ->
           dropped <- dropped + 1;
           self#drop ~reason:"classified to no output" p)
+
+    method! fuse ctx =
+      Some
+        (fuse_classifier ctx tree ~noutputs:self#noutputs
+           ~charge:(fun v -> self#charge (Hooks.W_classify_interp v))
+           ~on_invalid:(fun p ->
+             dropped <- dropped + 1;
+             self#drop ~reason:"classified to no output" p))
 
     method! stats =
       [
@@ -150,6 +179,14 @@ class fast_classifier cls name (t : Tree.t) =
       emit_runs self ports batch n ~on_invalid:(fun p ->
           dropped <- dropped + 1;
           self#drop ~reason:"classified to no output" p)
+
+    method! fuse ctx =
+      Some
+        (fuse_classifier ctx t ~noutputs:self#noutputs
+           ~charge:(fun v -> self#charge (Hooks.W_classify_compiled v))
+           ~on_invalid:(fun p ->
+             dropped <- dropped + 1;
+             self#drop ~reason:"classified to no output" p))
 
     method! stats =
       [ ("nodes", Tree.node_count t); ("dropped", dropped) ]

@@ -112,6 +112,35 @@ class lookup_ip_route name =
       emit_runs self ports batch bn ~on_invalid:(fun p ->
           self#drop ~reason:"route to unconnected port" p)
 
+    method! fuse ctx =
+      (* The scalar push, with each route's output port resolved to its
+         compiled connection up front. The W_lookup charge (identical
+         scanned counts) is kept whenever the hooks might read it. *)
+      let nout = self#noutputs in
+      let outs = Array.init nout ctx.E.fc_out in
+      let lean = ctx.E.fc_lean_work in
+      Some
+        (fun p ->
+          let dst = (Packet.anno p).Packet.dst_ip in
+          let n = Array.length routes in
+          let rec scan i =
+            if i >= n then None
+            else
+              let r = routes.(i) in
+              if dst land r.rt_mask = r.rt_addr then Some (r, i + 1)
+              else scan (i + 1)
+          in
+          match scan 0 with
+          | Some (r, scanned) ->
+              if not lean then self#charge (Hooks.W_lookup scanned);
+              if r.rt_gw <> 0 then (Packet.anno p).Packet.dst_ip <- r.rt_gw;
+              if r.rt_port < nout then outs.(r.rt_port) p
+              else self#drop ~reason:"route to unconnected port" p
+          | None ->
+              if not lean then self#charge (Hooks.W_lookup n);
+              misses <- misses + 1;
+              self#drop ~reason:"no route" p)
+
     method! stats = [ ("routes", Array.length routes); ("misses", misses) ]
   end
 

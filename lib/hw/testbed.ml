@@ -84,8 +84,8 @@ let pio_ns_per_packet (p : Platform.t) =
 let ms n = n * 1_000_000
 
 let run ?(duration_ms = 60) ?(warmup_ms = 30) ?(drain_ms = 10) ?ports ?flows
-    ?(payload_len = 14) ?fault ?(batch = 1) ?obs ~platform ~graph ~input_pps
-    () =
+    ?(payload_len = 14) ?fault ?(batch = 1) ?compile ?obs ~platform ~graph
+    ~input_pps () =
   (* A caller may reuse one observability accumulator across consecutive
      runs (oclick-report's before/after passes, the MLFFR search); stale
      counters and element metadata from the previous run — possibly of a
@@ -312,7 +312,8 @@ let run ?(duration_ms = 60) ?(warmup_ms = 30) ?(drain_ms = 10) ?ports ?flows
     let devices =
       Array.to_list (Array.map (fun n -> (n :> Oclick_runtime.Netdevice.t)) nics)
     in
-    match Driver.instantiate ~hooks ~devices ?quarantine ~batch graph with
+    match Driver.instantiate ~hooks ~devices ?quarantine ~batch ?compile graph
+    with
     | Error e -> Error e
     | Ok driver ->
         List.iter

@@ -89,6 +89,7 @@ val run :
   ?payload_len:int ->
   ?fault:Oclick_fault.Plan.t ->
   ?batch:int ->
+  ?compile:bool ->
   ?obs:Oclick_obs.t ->
   platform:Platform.t ->
   graph:Oclick_graph.Router.t ->
@@ -99,7 +100,11 @@ val run :
     after 30 ms warmup, then a 10 ms drain with traffic stopped so
     in-flight packets reach a terminal outcome before the conservation
     check. [batch] is the transfer batch size handed to
-    [Driver.instantiate] (default 1 = scalar push/pull throughout). [fault] installs a fault-injection plan: hosts mangle the
+    [Driver.instantiate] (default 1 = scalar push/pull throughout).
+    [compile] runs the registered whole-graph datapath compiler over the
+    instantiated router (see [Driver.instantiate]); the cost hooks see
+    the identical per-hop event sequence, so attribution and ledgers are
+    unchanged. [fault] installs a fault-injection plan: hosts mangle the
     traffic they generate (deterministically, per-host streams), NICs
     and PCI buses honour the plan's stall windows, and elements run
     under the plan's quarantine threshold.

@@ -8,8 +8,24 @@ type t = {
   hooks : Hooks.t;
 }
 
+(* The graph compiler is a higher layer (lib/compile depends on this
+   library), so it reaches instantiate through a registration point:
+   [Oclick_compile.register ()] installs it, [?compile] invokes it. *)
+let compiler : (t -> (unit, string) result) option ref = ref None
+let register_compiler f = compiler := Some f
+
+let compile_installed t =
+  match !compiler with
+  | None ->
+      Error
+        "compile: no graph compiler registered (call Oclick_compile.register)"
+  | Some f -> (
+      match f t with
+      | Ok () -> Ok t
+      | Error e -> Error ("compile: " ^ e))
+
 let instantiate ?(hooks = Hooks.null) ?(devices = []) ?mangle ?quarantine
-    ?(batch = 1) ?pool source_graph =
+    ?(batch = 1) ?pool ?(compile = false) source_graph =
   (* With a pool installed, every accounted drop is also a recycling
      opportunity: the packet is dead once reported. The user's drop hook
      runs first and must not retain the packet. *)
@@ -114,20 +130,24 @@ let instantiate ?(hooks = Hooks.null) ?(devices = []) ?mangle ?quarantine
               Array.of_list
                 (List.filter (fun e -> e#wants_task) (Array.to_list elements))
             in
-            Ok { graph; elements; by_name; tasks; hooks }
+            let t = { graph; elements; by_name; tasks; hooks } in
+            if compile then compile_installed t else Ok t
           end
         end)
   end
 
-let of_string ?hooks ?devices ?mangle ?quarantine ?batch ?pool source =
+let of_string ?hooks ?devices ?mangle ?quarantine ?batch ?pool ?compile source =
   match Graph.Router.parse_string source with
   | Error e -> Error e
-  | Ok graph -> instantiate ?hooks ?devices ?mangle ?quarantine ?batch ?pool graph
+  | Ok graph ->
+      instantiate ?hooks ?devices ?mangle ?quarantine ?batch ?pool ?compile
+        graph
 
 let element t name = Hashtbl.find_opt t.by_name name
 let element_at t i = t.elements.(i)
 let graph t = t.graph
 let size t = Array.length t.elements
+let hooks t = t.hooks
 
 let run_tasks_once t =
   let any = ref false in

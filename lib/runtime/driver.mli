@@ -16,6 +16,7 @@ val instantiate :
   ?quarantine:int ->
   ?batch:int ->
   ?pool:Oclick_packet.Packet.Pool.t ->
+  ?compile:bool ->
   Oclick_graph.Router.t ->
   (t, string) result
 (** Checks the graph against the registry's specifications, builds and
@@ -34,7 +35,16 @@ val instantiate :
     conservation balance). [pool] installs a recycling packet pool:
     sources allocate through it and every accounted drop is recycled
     after the drop hook has run — drop hooks must not retain packets
-    when a pool is in use. *)
+    when a pool is in use.
+
+    [compile] (default false) runs the registered whole-graph datapath
+    compiler over the instantiated router before returning: push
+    connections become direct-call closures and fusable element chains
+    collapse into per-packet functions (see {!Oclick_compile}), with
+    semantics — outcome totals, drop reasons, conservation, observability
+    ledgers — identical to the interpreted path. Errors if no compiler
+    was registered ({!register_compiler}) or the compiler conservatively
+    rejects the configuration. *)
 
 val of_string :
   ?hooks:Hooks.t ->
@@ -43,14 +53,25 @@ val of_string :
   ?quarantine:int ->
   ?batch:int ->
   ?pool:Oclick_packet.Packet.Pool.t ->
+  ?compile:bool ->
   string ->
   (t, string) result
 (** Parse, flatten, instantiate. *)
+
+val register_compiler : (t -> (unit, string) result) -> unit
+(** Install the graph compiler invoked by [instantiate ~compile:true].
+    Registered once, by {!Oclick_compile.register} — the indirection
+    keeps this library from depending on the compiler that depends on
+    it. *)
 
 val element : t -> string -> Element.t option
 val element_at : t -> int -> Element.t
 val graph : t -> Oclick_graph.Router.t
 val size : t -> int
+
+val hooks : t -> Hooks.t
+(** The hooks installed at instantiation (after any pool wrapping) — the
+    exact record every element reports through. *)
 
 val run_tasks_once : t -> bool
 (** One scheduler round over all task elements; [true] if any did work. *)

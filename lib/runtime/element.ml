@@ -6,6 +6,16 @@ type init_ctx = {
   ic_index : int;
 }
 
+(* Context handed to [fuse] by the graph compiler: [fc_out port] is the
+   compiled connection closure for this element's output [port] — calling
+   it is exactly [output port p] on the compiled path. [fc_lean_work]
+   tells the element whether the installed hooks ignore work charges, so
+   a fused body may specialize the charge away. *)
+and fuse_ctx = {
+  fc_out : int -> Oclick_packet.Packet.t -> unit;
+  fc_lean_work : bool;
+}
+
 and t = <
   name : string;
   class_name : string;
@@ -35,6 +45,13 @@ and t = <
   batch_size : int;
   set_batch_size : int -> unit;
   set_pool : Oclick_packet.Packet.Pool.t option -> unit;
+  fuse : fuse_ctx -> (Oclick_packet.Packet.t -> unit) option;
+  set_fused :
+    out:(Oclick_packet.Packet.t -> unit) array ->
+    out_batch:(Oclick_packet.Packet.t array -> unit) array ->
+    unit;
+  degrade_cells : bool ref * int ref;
+  mangle_fn : (Oclick_packet.Packet.t -> unit) option;
   wants_task : bool;
   run_task : bool;
   stats : (string * int) list;
@@ -61,14 +78,31 @@ class virtual base (name : string) =
   object (self)
     val mutable index = -1
     val mutable hooks = Hooks.null
+
+    (* Leanness of the installed hooks, cached once in [set_hooks] so the
+       inner transfer paths pay a single branch instead of re-reading the
+       hook record (and allocating a transfer report) per packet. *)
+    val mutable lean_transfer = true
+    val mutable lean_transfer_batch = true
     val mutable out_targets : (t * int) option array = [||]
     val mutable in_targets : (t * int) option array = [||]
+
+    (* Compiled connection closures, one per output port, installed by the
+       graph compiler (lib/compile). Empty = interpreted dispatch. *)
+    val mutable fused_out : (Oclick_packet.Packet.t -> unit) array = [||]
+
+    val mutable fused_out_batch :
+        (Oclick_packet.Packet.t array -> unit) array = [||]
+
     val mutable direct_dispatch = false
     val mutable code_class_override : string option = None
     val mutable quarantine_threshold = 8
     val mutable fault_count = 0
-    val mutable consecutive_faults = 0
-    val mutable quarantined = false
+
+    (* Refs (not mutable fields) so compiled connection closures can read
+       and clear them without a method dispatch per packet. *)
+    val consecutive_faults = ref 0
+    val quarantined = ref false
     val mutable mangle : (Oclick_packet.Packet.t -> unit) option = None
     val mutable batch_size = 1
     val mutable pool : Oclick_packet.Packet.Pool.t option = None
@@ -98,7 +132,12 @@ class virtual base (name : string) =
     method initialize (_ctx : init_ctx) : (unit, string) result = Ok ()
     method index = index
     method set_index i = index <- i
-    method set_hooks h = hooks <- h
+
+    method set_hooks h =
+      hooks <- h;
+      lean_transfer <- h.Hooks.on_transfer == Hooks.null.Hooks.on_transfer;
+      lean_transfer_batch <-
+        h.Hooks.on_transfer_batch == Hooks.null.Hooks.on_transfer_batch
 
     method set_nports ~inputs ~outputs =
       in_targets <- Array.make inputs None;
@@ -149,10 +188,10 @@ class virtual base (name : string) =
        reporting element differs (the destination rather than the
        source). *)
     method private guard (f : Oclick_packet.Packet.t -> unit) p =
-      if quarantined then self#drop ~reason:"quarantined element" p
+      if !quarantined then self#drop ~reason:"quarantined element" p
       else
         match f p with
-        | () -> consecutive_faults <- 0
+        | () -> consecutive_faults := 0
         | exception e when not (fatal e) ->
             self#record_fault (Printexc.to_string e);
             self#drop ~reason:"element fault" p
@@ -191,7 +230,7 @@ class virtual base (name : string) =
         | Some p ->
             dst.(!i) <- p;
             incr i;
-            consecutive_faults <- 0
+            consecutive_faults := 0
         | None -> eos := true
         | exception e when not (fatal e) ->
             self#record_fault (Printexc.to_string e);
@@ -214,50 +253,66 @@ class virtual base (name : string) =
 
     (** {2 Degradation layer} *)
 
-    method is_quarantined = quarantined
+    method is_quarantined = !quarantined
     method fault_count = fault_count
     method set_quarantine_threshold n = quarantine_threshold <- n
     method set_mangle f = mangle <- f
-    method note_ok = consecutive_faults <- 0
+    method mangle_fn = mangle
+    method note_ok = consecutive_faults := 0
+
+    (* The degradation state as raw cells, for the graph compiler: the
+       quarantine flag (read per packet) and the consecutive-fault counter
+       (cleared per successful delivery). *)
+    method degrade_cells = (quarantined, consecutive_faults)
 
     method record_fault reason =
       fault_count <- fault_count + 1;
-      consecutive_faults <- consecutive_faults + 1;
+      incr consecutive_faults;
       hooks.Hooks.on_fault ~idx:index ~cls:self#class_name ~reason;
       if
         quarantine_threshold > 0
-        && consecutive_faults >= quarantine_threshold
-        && not quarantined
+        && !consecutive_faults >= quarantine_threshold
+        && not !quarantined
       then begin
-        quarantined <- true;
+        quarantined := true;
         hooks.Hooks.on_warn ~src:name
           (Printf.sprintf "quarantined after %d consecutive faults (last: %s)"
-             consecutive_faults reason)
+             !consecutive_faults reason)
       end
 
+    method fuse (_ : fuse_ctx) : (Oclick_packet.Packet.t -> unit) option =
+      None
+
+    method set_fused ~out ~out_batch =
+      fused_out <- out;
+      fused_out_batch <- out_batch
+
     method output port p =
-      match
-        if port >= 0 && port < Array.length out_targets then
-          out_targets.(port)
-        else None
-      with
+      if port >= 0 && port < Array.length fused_out then fused_out.(port) p
+      else
+        match
+          if port >= 0 && port < Array.length out_targets then
+            out_targets.(port)
+          else None
+        with
       | Some (dst, dst_port) ->
           (match mangle with Some f -> f p | None -> ());
           if dst#is_quarantined then
             self#drop ~reason:"quarantined element" p
           else begin
-            hooks.Hooks.on_transfer
-              {
-                Hooks.tr_src_idx = index;
-                tr_src_class = self#code_class;
-                tr_src_port = port;
-                tr_dst_idx = dst#index;
-                tr_dst_class = dst#class_name;
-                tr_dst_port = dst_port;
-                tr_direct = direct_dispatch;
-                tr_pull = false;
-              }
-              p;
+            if not lean_transfer then
+              hooks.Hooks.on_transfer
+                {
+                  Hooks.tr_src_idx = index;
+                  tr_src_class = self#code_class;
+                  tr_src_port = port;
+                  tr_dst_idx = dst#index;
+                  tr_dst_class = dst#class_name;
+                  tr_dst_port = dst_port;
+                  tr_direct = direct_dispatch;
+                  tr_pull = false;
+                }
+                p;
             match dst#push dst_port p with
             | () -> dst#note_ok
             | exception e when not (fatal e) ->
@@ -286,18 +341,19 @@ class virtual base (name : string) =
                 (* Report only pulls that move a packet: idle polling is part
                    of the scheduler loop, not per-packet cost (the paper's
                    cycle counters bracket packet-processing code). *)
-                hooks.Hooks.on_transfer
-                  {
-                    Hooks.tr_src_idx = index;
-                    tr_src_class = self#code_class;
-                    tr_src_port = port;
-                    tr_dst_idx = src#index;
-                    tr_dst_class = src#class_name;
-                    tr_dst_port = src_port;
-                    tr_direct = direct_dispatch;
-                    tr_pull = true;
-                  }
-                  p;
+                if not lean_transfer then
+                  hooks.Hooks.on_transfer
+                    {
+                      Hooks.tr_src_idx = index;
+                      tr_src_class = self#code_class;
+                      tr_src_port = port;
+                      tr_dst_idx = src#index;
+                      tr_dst_class = src#class_name;
+                      tr_dst_port = src_port;
+                      tr_direct = direct_dispatch;
+                      tr_pull = true;
+                    }
+                    p;
                 result
             | None -> None
             | exception e when not (fatal e) ->
@@ -309,6 +365,9 @@ class virtual base (name : string) =
       let n = Array.length batch in
       if n = 1 then self#output port batch.(0)
       else if n > 0 then
+        if port >= 0 && port < Array.length fused_out_batch then
+          fused_out_batch.(port) batch
+        else
         match
           if port >= 0 && port < Array.length out_targets then
             out_targets.(port)
@@ -326,18 +385,19 @@ class virtual base (name : string) =
                 self#drop ~reason:"quarantined element" batch.(i)
               done
             else begin
-              hooks.Hooks.on_transfer_batch
-                {
-                  Hooks.tr_src_idx = index;
-                  tr_src_class = self#code_class;
-                  tr_src_port = port;
-                  tr_dst_idx = dst#index;
-                  tr_dst_class = dst#class_name;
-                  tr_dst_port = dst_port;
-                  tr_direct = direct_dispatch;
-                  tr_pull = false;
-                }
-                batch n;
+              if not lean_transfer_batch then
+                hooks.Hooks.on_transfer_batch
+                  {
+                    Hooks.tr_src_idx = index;
+                    tr_src_class = self#code_class;
+                    tr_src_port = port;
+                    tr_dst_idx = dst#index;
+                    tr_dst_class = dst#class_name;
+                    tr_dst_port = dst_port;
+                    tr_direct = direct_dispatch;
+                    tr_pull = false;
+                  }
+                  batch n;
               match dst#push_batch dst_port batch with
               | () -> dst#note_ok
               | exception e when not (fatal e) ->
@@ -387,18 +447,19 @@ class virtual base (name : string) =
               in
               if n > 0 then begin
                 src#note_ok;
-                hooks.Hooks.on_transfer_batch
-                  {
-                    Hooks.tr_src_idx = index;
-                    tr_src_class = self#code_class;
-                    tr_src_port = port;
-                    tr_dst_idx = src#index;
-                    tr_dst_class = src#class_name;
-                    tr_dst_port = src_port;
-                    tr_direct = direct_dispatch;
-                    tr_pull = true;
-                  }
-                  dst n
+                if not lean_transfer_batch then
+                  hooks.Hooks.on_transfer_batch
+                    {
+                      Hooks.tr_src_idx = index;
+                      tr_src_class = self#code_class;
+                      tr_src_port = port;
+                      tr_dst_idx = src#index;
+                      tr_dst_class = src#class_name;
+                      tr_dst_port = src_port;
+                      tr_direct = direct_dispatch;
+                      tr_pull = true;
+                    }
+                    dst n
               end;
               n
         | None -> 0
@@ -436,19 +497,26 @@ class virtual simple_action (name : string) =
       let m = ref 0 in
       for i = 0 to n - 1 do
         let p = batch.(i) in
-        if quarantined then self#drop ~reason:"quarantined element" p
+        if !quarantined then self#drop ~reason:"quarantined element" p
         else
           match self#action p with
           | Some q ->
               batch.(!m) <- q;
               incr m;
-              consecutive_faults <- 0
-          | None -> consecutive_faults <- 0
+              consecutive_faults := 0
+          | None -> consecutive_faults := 0
           | exception e when not (fatal e) ->
               self#record_fault (Printexc.to_string e);
               self#drop ~reason:"element fault" p
       done;
       if !m > 0 then self#output_batch 0 (self#sub_batch batch !m)
+
+    method! fuse ctx =
+      (* The generic fused body for every simple_action element: exactly
+         [push], with the downstream transfer already resolved to the
+         compiled connection closure. *)
+      let k = ctx.fc_out 0 in
+      Some (fun p -> match self#action p with Some q -> k q | None -> ())
   end
 
 let configure_error msg = Error msg

@@ -20,6 +20,18 @@ type init_ctx = {
   ic_index : int;  (** the index of the element being initialized *)
 }
 
+(** Context handed to {!base.fuse} by the graph compiler
+    ({!Oclick_compile}): [fc_out port] is the compiled connection closure
+    for the element's output [port] — calling it has exactly the
+    semantics of [output port] on the compiled path (mangle, quarantine,
+    hook report, containment). [fc_lean_work] is whether the installed
+    hooks ignore {!Hooks.t.on_work} charges, so a fused body may
+    specialize the charge away. *)
+and fuse_ctx = {
+  fc_out : int -> Oclick_packet.Packet.t -> unit;
+  fc_lean_work : bool;
+}
+
 (* The full element interface (the object type every element is coerced
    to). *)
 and t = <
@@ -51,6 +63,13 @@ and t = <
   batch_size : int;
   set_batch_size : int -> unit;
   set_pool : Oclick_packet.Packet.Pool.t option -> unit;
+  fuse : fuse_ctx -> (Oclick_packet.Packet.t -> unit) option;
+  set_fused :
+    out:(Oclick_packet.Packet.t -> unit) array ->
+    out_batch:(Oclick_packet.Packet.t array -> unit) array ->
+    unit;
+  degrade_cells : bool ref * int ref;
+  mangle_fn : (Oclick_packet.Packet.t -> unit) option;
   wants_task : bool;
   run_task : bool;
   stats : (string * int) list;
@@ -150,6 +169,37 @@ class virtual base : string -> object
   method set_pool : Oclick_packet.Packet.Pool.t option -> unit
   (** Install a recycling packet pool; source elements then allocate
       through it (see {!Oclick_packet.Packet.Pool}). *)
+
+  (** {2 Graph compilation}
+
+      The runtime graph compiler ({!Oclick_compile}) replaces interpreted
+      dispatch with direct-call closures. [fuse] is the element's side of
+      the bargain: return a closure with exactly the semantics of [push]
+      (for {e any} input port), transferring downstream through
+      [ctx.fc_out] instead of {!output}. Elements whose [push] is
+      port-sensitive, stateful across ports, or otherwise not expressible
+      this way keep the default ([None]) and the compiler falls back to
+      dynamic dispatch into them — compilation never changes semantics,
+      only the call path. *)
+
+  method fuse : fuse_ctx -> (Oclick_packet.Packet.t -> unit) option
+  (** Default [None]: not fusable, the compiler calls [push] dynamically. *)
+
+  method set_fused :
+    out:(Oclick_packet.Packet.t -> unit) array ->
+    out_batch:(Oclick_packet.Packet.t array -> unit) array ->
+    unit
+  (** Install compiled connection closures, one per output port;
+      {!output} and {!output_batch} then jump straight into them. Called
+      only by the graph compiler. *)
+
+  method degrade_cells : bool ref * int ref
+  (** The quarantine flag and consecutive-fault counter as raw cells, so
+      compiled connections can check and clear them without per-packet
+      method dispatch. *)
+
+  method mangle_fn : (Oclick_packet.Packet.t -> unit) option
+  (** The installed in-flight fault injector (see {!set_mangle}). *)
 
   method wants_task : bool
   (** Whether the scheduler should call {!run_task}; default [false]. *)

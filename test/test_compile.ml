@@ -1,0 +1,314 @@
+(* Tests for the whole-graph datapath compiler (lib/compile): the
+   compiled router must be observationally identical to the interpreted
+   one — same emitted frames, same drop reasons, same contained faults,
+   same conservation ledger, and the same per-element observability
+   ledger under the testbed's stateful cost model — across batch sizes
+   and under seeded fault injection. Plus the conservative-rejection
+   and installation-stats surface. *)
+
+module Fault = Oclick_fault
+module Driver = Oclick_runtime.Driver
+module Hooks = Oclick_runtime.Hooks
+module Netdevice = Oclick_runtime.Netdevice
+module Packet = Oclick_packet.Packet
+module Headers = Oclick_packet.Headers
+module Ipaddr = Oclick_packet.Ipaddr
+module Ethaddr = Oclick_packet.Ethaddr
+module Testbed = Oclick_hw.Testbed
+module Platform = Oclick_hw.Platform
+module Obs = Oclick_obs
+
+let () = Oclick_elements.register_all ()
+let () = Oclick_compile.register ()
+let check = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let batches = [ 1; 8; 32 ]
+
+let ip_router_graph ?(n = 2) () =
+  Oclick.Ip_router.graph
+    (Oclick.Ip_router.config (Oclick.Ip_router.standard_interfaces n))
+
+(* --- pure-runtime fuzz differential ----------------------------------- *)
+
+(* A deterministic traffic script, seeded like test_fault's fuzz rounds:
+   a mix of injector-mangled UDP and raw random bytes, with interleaved
+   scheduling points. The same script replays against the interpreted
+   and the compiled instantiation of the same graph. *)
+type step = Inject of int * Packet.t | RunOnce
+
+let make_script seed =
+  let plan =
+    match
+      Fault.Plan.parse ~seed
+        "ttl0=0.15,badcksum=0.15,badlen=0.1,runt=0.1,corrupt=0.3,truncate=0.2"
+    with
+    | Ok p -> p
+    | Error e -> Alcotest.failf "plan: %s" e
+  in
+  let inj = Fault.Injector.create plan in
+  let rng = Fault.Injector.stream inj "fuzz-bytes" in
+  let steps = ref [] in
+  for _ = 1 to 40 do
+    let iface = Fault.Rng.int rng 2 in
+    let p =
+      if Fault.Rng.coin rng 0.3 then begin
+        let len = 1 + Fault.Rng.int rng 200 in
+        let p = Packet.create len in
+        for i = 0 to len - 1 do
+          Packet.set_u8 p i (Fault.Rng.int rng 256)
+        done;
+        p
+      end
+      else begin
+        let dst_ip =
+          if Fault.Rng.coin rng 0.5 then "10.0.1.2" else "10.0.0.2"
+        in
+        let p =
+          Headers.Build.udp
+            ~src_eth:(Ethaddr.of_string_exn "00:00:c0:aa:00:02")
+            ~dst_eth:
+              (Ethaddr.of_string_exn
+                 (Printf.sprintf "00:00:c0:00:%02x:01" iface))
+            ~src_ip:(Ipaddr.of_octets 10 0 iface 2)
+            ~dst_ip:(Ipaddr.of_string_exn dst_ip)
+            ()
+        in
+        Fault.Injector.mangle_tx inj ~stream:"fuzz-tx" p;
+        Fault.Injector.mangle_wire inj ~stream:"fuzz-tx" p;
+        p
+      end
+    in
+    steps := Inject (iface, p) :: !steps;
+    if Fault.Rng.coin rng 0.25 then steps := RunOnce :: !steps
+  done;
+  List.rev !steps
+
+type outcome = {
+  o_emitted : string list array;  (** raw frames per device, in order *)
+  o_drops : (string * int) list;
+  o_spawns : int;
+  o_faults : int;
+  o_residual : int;
+  o_injected : int;
+}
+
+let frame_bytes p =
+  Bytes.sub_string (Packet.buffer p) (Packet.data_offset p) (Packet.length p)
+
+let play ~batch ~compile script =
+  let drops = Hashtbl.create 8 and spawns = ref 0 and faults = ref 0 in
+  let hooks =
+    {
+      Hooks.null with
+      Hooks.on_drop =
+        (fun ~idx:_ ~cls:_ ~reason _ ->
+          Hashtbl.replace drops reason
+            (1 + Option.value ~default:0 (Hashtbl.find_opt drops reason)));
+      on_spawn = (fun ~idx:_ ~cls:_ _ -> incr spawns);
+      on_fault = (fun ~idx:_ ~cls:_ ~reason:_ -> incr faults);
+    }
+  in
+  let devs =
+    Array.init 2 (fun i ->
+        new Netdevice.queue_device (Printf.sprintf "eth%d" i) ())
+  in
+  let devices =
+    Array.to_list (Array.map (fun d -> (d :> Netdevice.t)) devs)
+  in
+  let d =
+    match
+      Driver.instantiate ~hooks ~devices ~batch ~compile
+        (ip_router_graph ())
+    with
+    | Ok d -> d
+    | Error e -> Alcotest.failf "instantiate (compile=%b): %s" compile e
+  in
+  let injected = ref 0 in
+  List.iter
+    (function
+      | Inject (iface, p) ->
+          incr injected;
+          devs.(iface)#inject (Packet.clone p)
+      | RunOnce -> ignore (Driver.run_tasks_once d))
+    script;
+  check_bool "router goes idle" true (Driver.run_until_idle d);
+  let emitted =
+    Array.map
+      (fun (dev : Netdevice.queue_device) ->
+        let rec drain acc =
+          match dev#collect with
+          | Some p -> drain (frame_bytes p :: acc)
+          | None -> List.rev acc
+        in
+        drain [])
+      devs
+  in
+  let residual = ref 0 in
+  for i = 0 to Driver.size d - 1 do
+    List.iter
+      (fun (k, v) ->
+        if k = "length" || k = "pending" then residual := !residual + v)
+      (Driver.element_at d i)#stats
+  done;
+  {
+    o_emitted = emitted;
+    o_drops =
+      List.sort compare
+        (Hashtbl.fold (fun k v acc -> (k, v) :: acc) drops []);
+    o_spawns = !spawns;
+    o_faults = !faults;
+    o_residual = !residual;
+    o_injected = !injected;
+  }
+
+let check_outcomes_equal ~ctx a b =
+  let label s = Printf.sprintf "%s: %s" ctx s in
+  Alcotest.(check (list (pair string int))) (label "drop reasons") a.o_drops
+    b.o_drops;
+  check (label "spawns") a.o_spawns b.o_spawns;
+  check (label "contained faults") a.o_faults b.o_faults;
+  check (label "residual") a.o_residual b.o_residual;
+  Array.iteri
+    (fun i frames ->
+      Alcotest.(check (list string))
+        (label (Printf.sprintf "frames out eth%d" i))
+        frames b.o_emitted.(i))
+    a.o_emitted;
+  (* both sides individually conserve packets *)
+  List.iter
+    (fun (o : outcome) ->
+      let births = o.o_injected + o.o_spawns in
+      let drops = List.fold_left (fun a (_, n) -> a + n) 0 o.o_drops in
+      let emitted =
+        Array.fold_left (fun a l -> a + List.length l) 0 o.o_emitted
+      in
+      check (label "conservation") births (emitted + drops + o.o_residual))
+    [ a; b ]
+
+let test_fuzz_differential () =
+  List.iter
+    (fun batch ->
+      for seed = 1 to 8 do
+        let script = make_script seed in
+        let interp = play ~batch ~compile:false script in
+        let compiled = play ~batch ~compile:true script in
+        check_outcomes_equal
+          ~ctx:(Printf.sprintf "seed %d batch %d" seed batch)
+          interp compiled
+      done)
+    batches
+
+(* --- testbed differential under seeded faults -------------------------- *)
+
+let testbed_plan =
+  "seed=42,corrupt=0.01,truncate=0.005,ttl0=0.02,badcksum=0.03,badlen=0.01,\
+   runt=0.01,nic-stall=eth1@35000:2000,pci-stall=0@40000:1000"
+
+let testbed_run ?obs ~batch ~compile () =
+  let plan =
+    match Fault.Plan.parse testbed_plan with
+    | Ok p -> p
+    | Error e -> Alcotest.failf "plan: %s" e
+  in
+  match
+    Testbed.run ~duration_ms:20 ~warmup_ms:10 ~batch ~compile ?obs
+      ~platform:Platform.p0
+      ~graph:(ip_router_graph ~n:8 ())
+      ~fault:plan ~input_pps:100_000 ()
+  with
+  | Ok r -> r
+  | Error e -> Alcotest.failf "testbed (compile=%b): %s" compile e
+
+(* The compiled path reports the identical per-hop event sequence to the
+   cost hooks, so the *entire* result record — forwarding rate, modeled
+   per-packet nanoseconds, outcome totals, drop reasons, fault counts,
+   conservation ledger — must be equal, not merely close. *)
+let test_testbed_differential_under_faults () =
+  List.iter
+    (fun batch ->
+      let a = testbed_run ~batch ~compile:false () in
+      let b = testbed_run ~batch ~compile:true () in
+      check_bool
+        (Printf.sprintf "batch %d: identical testbed results" batch)
+        true (a = b);
+      check_bool
+        (Printf.sprintf "batch %d: faults were injected" batch)
+        true
+        (b.Testbed.r_fault_counts <> []))
+    batches
+
+(* --- observability-ledger equality ------------------------------------- *)
+
+let test_obs_ledger_equality () =
+  List.iter
+    (fun batch ->
+      let obs_i = Obs.create () and obs_c = Obs.create () in
+      let ri = testbed_run ~obs:obs_i ~batch ~compile:false () in
+      let rc = testbed_run ~obs:obs_c ~batch ~compile:true () in
+      let ctx = Printf.sprintf "batch %d" batch in
+      check_bool (ctx ^ ": results equal") true (ri = rc);
+      check
+        (ctx ^ ": total attributed sim ns")
+        (Obs.total_sim_ns obs_i) (Obs.total_sim_ns obs_c);
+      check_bool
+        (ctx ^ ": per-element snapshots equal")
+        true
+        (Obs.snapshot obs_i = Obs.snapshot obs_c);
+      check_bool (ctx ^ ": ledger is non-trivial") true
+        (Obs.total_sim_ns obs_i > 0))
+    batches
+
+(* --- conservative rejection and stats ---------------------------------- *)
+
+let test_self_loop_rejected () =
+  match
+    Driver.of_string ~compile:true
+      "InfiniteSource(LIMIT 1) -> t :: Tee(2) -> Discard; t [1] -> t;"
+  with
+  | Ok _ -> Alcotest.fail "self-loop config must not compile"
+  | Error e ->
+      let mem sub =
+        let n = String.length sub and m = String.length e in
+        let rec go i = i + n <= m && (String.sub e i n = sub || go (i + 1)) in
+        go 0
+      in
+      check_bool "names the offending element" true (mem "t: self-loop");
+      check_bool "one-line diagnostic" true (not (String.contains e '\n'))
+
+let test_install_stats () =
+  let devices =
+    List.init 2 (fun i ->
+        (new Netdevice.queue_device (Printf.sprintf "eth%d" i) ()
+          :> Netdevice.t))
+  in
+  match Driver.instantiate ~devices (ip_router_graph ()) with
+  | Error e -> Alcotest.failf "instantiate: %s" e
+  | Ok d -> (
+      match Oclick_compile.install d with
+      | Error e -> Alcotest.failf "install: %s" e
+      | Ok st ->
+          check_bool "wired connections" true (st.Oclick_compile.st_connections > 0);
+          check_bool "fused a chain" true (st.Oclick_compile.st_fused > 0);
+          (* the ICMPError back edges keep some dynamic fallbacks alive *)
+          check_bool "fallbacks counted" true
+            (st.Oclick_compile.st_fallbacks >= 0))
+
+let () =
+  Alcotest.run "compile"
+    [
+      ( "differential",
+        [
+          Alcotest.test_case "pure-runtime fuzz" `Quick test_fuzz_differential;
+          Alcotest.test_case "testbed under faults" `Quick
+            test_testbed_differential_under_faults;
+          Alcotest.test_case "obs ledger equality" `Quick
+            test_obs_ledger_equality;
+        ] );
+      ( "surface",
+        [
+          Alcotest.test_case "self-loop rejected" `Quick
+            test_self_loop_rejected;
+          Alcotest.test_case "install stats" `Quick test_install_stats;
+        ] );
+    ]
