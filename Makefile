@@ -1,14 +1,18 @@
 # Convenience wrappers around dune. `make bench-smoke` (also run as part
 # of `make test` via the @bench-smoke alias) is the sub-second sanity run
 # of the wall-clock batch benchmark; `make compile-smoke` is the same for
-# the interpreted-vs-compiled datapath section; `make bench` regenerates
-# every section, and `make bench-json` refreshes the committed
-# BENCH_batch.json, BENCH_compile.json, and BENCH_obs.json baselines in
-# the repo root. `make obs-smoke` (also part of `dune runtest`) validates
-# oclick-report's JSON output against the report schema on the example
-# configurations.
+# the interpreted-vs-compiled datapath section and `make parallel-smoke`
+# for the multicore-scaling section; `make bench` regenerates every
+# section, and `make bench-json` refreshes the committed BENCH_batch.json,
+# BENCH_compile.json, and BENCH_obs.json baselines in the repo root.
+# `make bench-parallel` refreshes BENCH_parallel.json (the multicore
+# scaling grid), and `make bench-all` regenerates every committed
+# BENCH_*.json in one go. `make obs-smoke` (also part of `dune runtest`)
+# validates oclick-report's JSON output against the report schema on the
+# example configurations.
 
-.PHONY: all build test bench bench-smoke compile-smoke bench-json obs-smoke clean
+.PHONY: all build test bench bench-smoke compile-smoke parallel-smoke \
+	bench-json bench-parallel bench-all obs-smoke clean
 
 all: build
 
@@ -27,10 +31,18 @@ bench-smoke:
 compile-smoke:
 	dune build @compile-smoke
 
+parallel-smoke:
+	dune build @parallel-smoke
+
 bench-json: build
 	cd $(CURDIR) && dune exec --no-build bench/main.exe -- batch --json
 	cd $(CURDIR) && dune exec --no-build bench/main.exe -- compile --json
 	cd $(CURDIR) && dune exec --no-build bench/main.exe -- obs --json
+
+bench-parallel: build
+	cd $(CURDIR) && dune exec --no-build bench/main.exe -- parallel --json
+
+bench-all: bench-json bench-parallel
 
 obs-smoke:
 	dune build @obs-smoke

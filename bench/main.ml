@@ -26,6 +26,7 @@ let sections =
     ("batch", Batch.run);
     ("compile", Compile.run);
     ("obs", Obs.run);
+    ("parallel", Parallel.run);
   ]
 
 let () =

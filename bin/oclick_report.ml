@@ -17,6 +17,7 @@ module Json = Oclick_obs.Json
 module Testbed = Oclick_hw.Testbed
 module Platform = Oclick_hw.Platform
 module Router = Oclick_graph.Router
+module Partition = Oclick_parallel.Partition
 
 let device_count router =
   let names = ref [] in
@@ -50,14 +51,80 @@ let passes_of router =
     ("compiled", dv, true);
   ]
 
-let measure ~platform ~batch ~input_pps ~duration_ms ~warmup_ms obs
+let measure ~platform ~batch ~domains ~input_pps ~duration_ms ~warmup_ms obs
     (graph, compile) =
   match
-    Testbed.run ~duration_ms ~warmup_ms ~batch ~compile ~obs ~platform ~graph
-      ~input_pps ()
+    Testbed.run ~duration_ms ~warmup_ms ~batch ~compile ~obs ~domains ~platform
+      ~graph ~input_pps ()
   with
   | Ok r -> r
   | Error e -> Tool_common.die "%s" e
+
+(* --- partition summary (--shards) -------------------------------------- *)
+
+(* Ring depth a cut Queue would run with: inserted stages carry their
+   capacity in the config; pre-existing Queues default to 1000. *)
+let ring_depth graph idx =
+  match Oclick_lang.Args.split (Router.config graph idx) with
+  | c :: _ -> ( match int_of_string_opt c with Some n -> n | None -> 1000)
+  | [] -> 1000
+
+let shards_table ~domains router =
+  match Partition.compute ~domains router with
+  | Error e -> Tool_common.die "%s" e
+  | Ok p ->
+      let g = p.Partition.pt_graph in
+      let counts = Partition.shard_counts p in
+      Printf.printf "partition: %d domain%s, %d elements (%d inserted)\n"
+        domains
+        (if domains = 1 then "" else "s")
+        (List.length (Router.indices g))
+        (2 * List.length p.Partition.pt_inserted);
+      Array.iteri
+        (fun s n -> Printf.printf "  shard %d: %d elements\n" s n)
+        counts;
+      (match p.Partition.pt_cuts with
+      | [] -> Printf.printf "cut queues: none\n"
+      | cuts ->
+          Printf.printf "cut queues (%d):\n" (List.length cuts);
+          List.iter
+            (fun (c : Partition.cut) ->
+              Printf.printf "  %s: shard %d -> shard %d, ring %d%s\n"
+                c.Partition.cut_queue_name c.cut_from_shard c.cut_to_shard
+                (ring_depth g c.cut_queue)
+                (if c.cut_inserted then ", inserted" else ""))
+            cuts);
+      print_newline ()
+
+let shards_json ~domains router =
+  match Partition.compute ~domains router with
+  | Error e -> Tool_common.die "%s" e
+  | Ok p ->
+      let g = p.Partition.pt_graph in
+      Json.Obj
+        [
+          ("domains", Json.Int domains);
+          ("elements", Json.Int (List.length (Router.indices g)));
+          ("inserted", Json.Int (2 * List.length p.Partition.pt_inserted));
+          ( "shard_sizes",
+            Json.List
+              (Array.to_list
+                 (Array.map (fun n -> Json.Int n) (Partition.shard_counts p)))
+          );
+          ( "cuts",
+            Json.List
+              (List.map
+                 (fun (c : Partition.cut) ->
+                   Json.Obj
+                     [
+                       ("queue", Json.String c.Partition.cut_queue_name);
+                       ("from_shard", Json.Int c.cut_from_shard);
+                       ("to_shard", Json.Int c.cut_to_shard);
+                       ("ring", Json.Int (ring_depth g c.cut_queue));
+                       ("inserted", Json.Bool c.cut_inserted);
+                     ])
+                 p.Partition.pt_cuts) );
+        ]
 
 (* The per-element columns must sum to the cost model's aggregate
    exactly: any difference means a transfer was double- or
@@ -84,8 +151,11 @@ let pass_json ~label ~mhz obs (r : Testbed.result) =
         :: kvs)
   | v -> v
 
-let run json passes batch input_pps duration_ms warmup_ms input =
+let run json passes batch domains shards input_pps duration_ms warmup_ms input
+    =
   if batch < 1 then Tool_common.die "bad --batch %d (must be at least 1)" batch;
+  if domains < 1 then
+    Tool_common.die "bad --domains %d (must be at least 1)" domains;
   if input_pps < 1 then
     Tool_common.die "bad --input-pps %d (must be at least 1)" input_pps;
   if duration_ms < 1 || warmup_ms < 0 then
@@ -104,7 +174,7 @@ let run json passes batch input_pps duration_ms warmup_ms input =
     if passes then passes_of router else [ ("unoptimized", router, false) ]
   in
   let measure =
-    measure ~platform ~batch ~input_pps ~duration_ms ~warmup_ms obs
+    measure ~platform ~batch ~domains ~input_pps ~duration_ms ~warmup_ms obs
   in
   if json then begin
     let reports =
@@ -119,9 +189,14 @@ let run json passes batch input_pps duration_ms warmup_ms input =
         ("cpu_mhz", Json.Float mhz);
         ("ports", Json.Int ndev);
         ("batch", Json.Int batch);
+        ("domains", Json.Int domains);
         ("input_pps", Json.Int input_pps);
         ("duration_ms", Json.Int duration_ms);
       ]
+    in
+    let header =
+      if shards then header @ [ ("partition", shards_json ~domains router) ]
+      else header
     in
     let body =
       match reports with
@@ -130,7 +205,8 @@ let run json passes batch input_pps duration_ms warmup_ms input =
     in
     print_endline (Json.to_string (Json.Obj (header @ body)))
   end
-  else
+  else begin
+    if shards then shards_table ~domains router;
     List.iter
       (fun (label, graph, compile) ->
         let r = measure (graph, compile) in
@@ -145,6 +221,7 @@ let run json passes batch input_pps duration_ms warmup_ms input =
                        total\n\n"
           aggregate)
       variants
+  end
 
 let json_arg =
   Arg.(
@@ -165,6 +242,27 @@ let batch_arg =
     value & opt int 1
     & info [ "batch" ] ~docv:"N"
         ~doc:"Transfer batch size handed to the driver (default 1, scalar).")
+
+let domains_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "domains" ] ~docv:"N"
+        ~doc:
+          "Simulate an $(docv)-CPU router: the graph is partitioned at \
+           Queue boundaries exactly as the multi-domain runner partitions \
+           it, and each shard's scheduler advances its own simulated \
+           clock. CPU utilization then reports the busiest simulated \
+           CPU.")
+
+let shards_arg =
+  Arg.(
+    value & flag
+    & info [ "shards" ]
+        ~doc:
+          "Print the partition before measuring: elements per shard, and \
+           each cut Queue with its producer and consumer shards and ring \
+           depth. With $(b,--json), adds a $(b,partition) object to the \
+           report.")
 
 let input_pps_arg =
   Arg.(
@@ -187,5 +285,5 @@ let () =
   Tool_common.run_tool "oclick-report"
     "Per-element cost breakdown of a configuration in the simulated testbed."
     Term.(
-      const run $ json_arg $ passes_arg $ batch_arg $ input_pps_arg
-      $ duration_arg $ warmup_arg $ Tool_common.input_arg)
+      const run $ json_arg $ passes_arg $ batch_arg $ domains_arg $ shards_arg
+      $ input_pps_arg $ duration_arg $ warmup_arg $ Tool_common.input_arg)

@@ -1,6 +1,8 @@
 (* oclick-run: install a configuration in the user-level driver and run
    its tasks. Devices named in the configuration are backed by in-memory
-   queue devices; element statistics print on exit. *)
+   queue devices; element statistics print on exit. With --domains N the
+   graph is partitioned at Queue boundaries and each shard runs on its
+   own OCaml domain. *)
 
 open Cmdliner
 
@@ -41,10 +43,165 @@ let parse_read spec =
       ( String.sub spec 0 dot,
         String.sub spec (dot + 1) (String.length spec - dot - 1) )
 
-let run rounds stats batch pool compile fault fault_seed writes reads report
-    report_json trace input =
+let element driver name =
+  match Oclick_runtime.Driver.element driver name with
+  | Some e -> e
+  | None -> Tool_common.die "no element named %S" name
+
+let apply_writes driver writes =
+  List.iter
+    (fun spec ->
+      let el, handler, value = parse_write spec in
+      match (element driver el)#write_handler handler value with
+      | Ok () -> ()
+      | Error e -> Tool_common.die "%s" e)
+    writes
+
+let apply_reads driver reads =
+  List.iter
+    (fun spec ->
+      let el, handler = parse_read spec in
+      match (element driver el)#read_handler handler with
+      | Some v -> Printf.printf "%s.%s = %s\n" el handler v
+      | None -> Tool_common.die "%s: no read handler %S" el handler)
+    reads
+
+let print_stats driver =
+  List.iter
+    (fun i ->
+      let e = Oclick_runtime.Driver.element_at driver i in
+      match e#stats with
+      | [] -> ()
+      | st ->
+          Printf.printf "%s (%s): %s\n" e#name e#class_name
+            (String.concat ", "
+               (List.map (fun (k, v) -> Printf.sprintf "%s=%d" k v) st)))
+    (List.init (Oclick_runtime.Driver.size driver) Fun.id)
+
+let print_pool_stats (st : Oclick_packet.Packet.Pool.stats) =
+  Printf.printf "pool: allocs=%d reuses=%d recycles=%d rejected=%d free=%d\n"
+    st.Oclick_packet.Packet.Pool.st_allocs st.st_reuses st.st_recycles
+    st.st_rejected st.st_free
+
+let print_obs ~driver ~rounds ~batch ~report ~report_json o =
+  let ename idx =
+    if idx < 0 then "-"
+    else if idx < Oclick_runtime.Driver.size driver then
+      (Oclick_runtime.Driver.element_at driver idx)#name
+    else Printf.sprintf "e%d" idx
+  in
+  if report then (
+    Printf.printf "per-element breakdown (wall clock):\n";
+    print_string (Oclick_obs.Report.table Oclick_obs.Report.Wall o));
+  if report_json then begin
+    let j = Oclick_obs.Report.json Oclick_obs.Report.Wall o in
+    let j =
+      match j with
+      | Oclick_obs.Json.Obj kvs ->
+          Oclick_obs.Json.Obj
+            (("tool", Oclick_obs.Json.String "oclick-run")
+            :: ("rounds", Oclick_obs.Json.Int rounds)
+            :: ("batch", Oclick_obs.Json.Int batch)
+            :: kvs)
+      | v -> v
+    in
+    print_endline (Oclick_obs.Json.to_string j)
+  end;
+  match Oclick_obs.trace o with
+  | None -> ()
+  | Some tr ->
+      Printf.printf "trace (last %d of %d events):\n"
+        (Oclick_obs.Trace.length tr)
+        (Oclick_obs.Trace.seen tr);
+      List.iter
+        (fun (ev : Oclick_obs.Trace.event) ->
+          let open Oclick_obs.Trace in
+          match ev.ev_kind with
+          | Push | Pull ->
+              Printf.printf "%8d %10dns %-5s %s[%d] -> %s[%d] pkt %d\n"
+                ev.ev_seq ev.ev_ns (kind_name ev.ev_kind)
+                (ename ev.ev_src_idx) ev.ev_src_port (ename ev.ev_dst_idx)
+                ev.ev_dst_port ev.ev_packet
+          | Drop ->
+              Printf.printf "%8d %10dns %-5s %s pkt %d (%s)\n" ev.ev_seq
+                ev.ev_ns (kind_name ev.ev_kind) (ename ev.ev_src_idx)
+                ev.ev_packet ev.ev_reason
+          | Spawn ->
+              Printf.printf "%8d %10dns %-5s %s pkt %d\n" ev.ev_seq ev.ev_ns
+                (kind_name ev.ev_kind) (ename ev.ev_src_idx) ev.ev_packet)
+        (Oclick_obs.Trace.events tr)
+
+let set_meta obs router =
+  List.iter
+    (fun i ->
+      Oclick_obs.set_meta obs ~idx:i
+        ~name:(Oclick_graph.Router.name router i)
+        ~cls:(Oclick_graph.Router.class_of router i))
+    (Oclick_graph.Router.indices router)
+
+(* The multi-domain path: every shard gets its own hook record and
+   observability ledger (each mutated only by its owning domain), and the
+   ledgers merge in shard order after the run, so the combined report is
+   deterministic. --rounds bounds the *working* rounds per domain; the
+   run otherwise stops when every shard quiesces and every cut ring
+   drains. *)
+let run_parallel ~rounds ~stats ~batch ~pool ~compile ~domains ~ring_capacity
+    ~writes ~reads ~report ~report_json ~trace router devices =
+  let want_obs = report || report_json || trace <> None in
+  let t0 = Unix.gettimeofday () in
+  let now () = int_of_float ((Unix.gettimeofday () -. t0) *. 1e9) in
+  let obs_shards =
+    if want_obs then
+      Some (Array.init domains (fun _ -> Oclick_obs.create ?trace ~recycles:pool ()))
+    else None
+  in
+  let base =
+    {
+      Oclick_runtime.Hooks.null with
+      Oclick_runtime.Hooks.on_warn =
+        (fun ~src msg -> Printf.eprintf "warning: %s: %s\n" src msg);
+    }
+  in
+  let hooks_for shard =
+    match obs_shards with
+    | None -> base
+    | Some a -> Oclick_obs.hooks ~now ~wall:true a.(shard) base
+  in
+  match
+    Oclick_parallel.Runner.create ~hooks_for ~devices ~batch ~pool ~compile
+      ~ring_capacity ~domains router
+  with
+  | Error e -> Tool_common.die "%s" e
+  | Ok runner ->
+      let driver = Oclick_parallel.Runner.driver runner in
+      apply_writes driver writes;
+      ignore (Oclick_parallel.Runner.run_until_idle ~max_rounds:rounds runner);
+      apply_reads driver reads;
+      if stats then print_stats driver;
+      if pool && stats then
+        Array.iter print_pool_stats (Oclick_parallel.Runner.pool_stats runner);
+      match obs_shards with
+      | None -> ()
+      | Some shards ->
+          let merged = Oclick_obs.create ?trace ~recycles:pool () in
+          (* The instantiated graph is the partition's transformed graph
+             (inserted queue/unqueue stages included), not the source. *)
+          let part = Oclick_parallel.Runner.partition runner in
+          set_meta merged part.Oclick_parallel.Partition.pt_graph;
+          Array.iter (fun o -> Oclick_obs.merge_into ~src:o ~dst:merged) shards;
+          print_obs ~driver ~rounds ~batch ~report ~report_json merged
+
+let run rounds stats batch pool compile fault fault_seed domains ring_capacity
+    writes reads report report_json trace input =
   if rounds < 0 then Tool_common.die "bad --rounds %d (must be >= 0)" rounds;
   if batch < 1 then Tool_common.die "bad --batch %d (must be at least 1)" batch;
+  if domains < 1 then
+    Tool_common.die "bad --domains %d (must be at least 1)" domains;
+  if ring_capacity < 1 then
+    Tool_common.die "bad --ring-capacity %d (must be at least 1)" ring_capacity;
+  if domains > 1 && fault <> None then
+    Tool_common.die
+      "--fault requires --domains 1 (injection streams are sequential)";
   (match trace with
   | Some n when n < 1 ->
       Tool_common.die "bad --trace %d (must be at least 1)" n
@@ -58,6 +215,10 @@ let run rounds stats batch pool compile fault fault_seed writes reads report
           :> Oclick_runtime.Netdevice.t))
       (device_names router)
   in
+  if domains > 1 then
+    run_parallel ~rounds ~stats ~batch ~pool ~compile ~domains ~ring_capacity
+      ~writes ~reads ~report ~report_json ~trace router devices
+  else begin
   let injector =
     match fault with
     | None -> None
@@ -113,48 +274,11 @@ let run rounds stats batch pool compile fault fault_seed writes reads report
   with
   | Error e -> Tool_common.die "%s" e
   | Ok driver ->
-      (match obs with
-      | None -> ()
-      | Some o ->
-          List.iter
-            (fun i ->
-              Oclick_obs.set_meta o ~idx:i
-                ~name:(Oclick_graph.Router.name router i)
-                ~cls:(Oclick_graph.Router.class_of router i))
-            (Oclick_graph.Router.indices router));
-      let element name =
-        match Oclick_runtime.Driver.element driver name with
-        | Some e -> e
-        | None -> Tool_common.die "no element named %S" name
-      in
-      List.iter
-        (fun spec ->
-          let el, handler, value = parse_write spec in
-          match (element el)#write_handler handler value with
-          | Ok () -> ()
-          | Error e -> Tool_common.die "%s" e)
-        writes;
+      (match obs with None -> () | Some o -> set_meta o router);
+      apply_writes driver writes;
       Oclick_runtime.Driver.run driver ~rounds;
-      List.iter
-        (fun spec ->
-          let el, handler = parse_read spec in
-          match (element el)#read_handler handler with
-          | Some v -> Printf.printf "%s.%s = %s\n" el handler v
-          | None -> Tool_common.die "%s: no read handler %S" el handler)
-        reads;
-      if stats then
-        List.iter
-          (fun i ->
-            let e =
-              Oclick_runtime.Driver.element_at driver i
-            in
-            match e#stats with
-            | [] -> ()
-            | st ->
-                Printf.printf "%s (%s): %s\n" e#name e#class_name
-                  (String.concat ", "
-                     (List.map (fun (k, v) -> Printf.sprintf "%s=%d" k v) st)))
-          (List.init (Oclick_runtime.Driver.size driver) Fun.id);
+      apply_reads driver reads;
+      if stats then print_stats driver;
       (match injector with
       | None -> ()
       | Some inj ->
@@ -178,68 +302,21 @@ let run rounds stats batch pool compile fault fault_seed writes reads report
             (Oclick_runtime.Driver.fault_report driver));
       (match pool with
       | Some pl when stats ->
-          let st = Oclick_packet.Packet.Pool.stats pl in
-          Printf.printf
-            "pool: allocs=%d reuses=%d recycles=%d rejected=%d free=%d\n"
-            st.Oclick_packet.Packet.Pool.st_allocs st.st_reuses st.st_recycles
-            st.st_rejected st.st_free
+          print_pool_stats (Oclick_packet.Packet.Pool.stats pl)
       | _ -> ());
       match obs with
       | None -> ()
-      | Some o ->
-          let ename idx =
-            if idx < 0 then "-"
-            else if idx < Oclick_runtime.Driver.size driver then
-              (Oclick_runtime.Driver.element_at driver idx)#name
-            else Printf.sprintf "e%d" idx
-          in
-          if report then (
-            Printf.printf "per-element breakdown (wall clock):\n";
-            print_string (Oclick_obs.Report.table Oclick_obs.Report.Wall o));
-          if report_json then begin
-            let j = Oclick_obs.Report.json Oclick_obs.Report.Wall o in
-            let j =
-              match j with
-              | Oclick_obs.Json.Obj kvs ->
-                  Oclick_obs.Json.Obj
-                    (("tool", Oclick_obs.Json.String "oclick-run")
-                    :: ("rounds", Oclick_obs.Json.Int rounds)
-                    :: ("batch", Oclick_obs.Json.Int batch)
-                    :: kvs)
-              | v -> v
-            in
-            print_endline (Oclick_obs.Json.to_string j)
-          end;
-          match Oclick_obs.trace o with
-          | None -> ()
-          | Some tr ->
-              Printf.printf "trace (last %d of %d events):\n"
-                (Oclick_obs.Trace.length tr)
-                (Oclick_obs.Trace.seen tr);
-              List.iter
-                (fun (ev : Oclick_obs.Trace.event) ->
-                  let open Oclick_obs.Trace in
-                  match ev.ev_kind with
-                  | Push | Pull ->
-                      Printf.printf "%8d %10dns %-5s %s[%d] -> %s[%d] pkt %d\n"
-                        ev.ev_seq ev.ev_ns
-                        (kind_name ev.ev_kind)
-                        (ename ev.ev_src_idx) ev.ev_src_port
-                        (ename ev.ev_dst_idx) ev.ev_dst_port ev.ev_packet
-                  | Drop ->
-                      Printf.printf "%8d %10dns %-5s %s pkt %d (%s)\n"
-                        ev.ev_seq ev.ev_ns (kind_name ev.ev_kind)
-                        (ename ev.ev_src_idx) ev.ev_packet ev.ev_reason
-                  | Spawn ->
-                      Printf.printf "%8d %10dns %-5s %s pkt %d\n" ev.ev_seq
-                        ev.ev_ns (kind_name ev.ev_kind) (ename ev.ev_src_idx)
-                        ev.ev_packet)
-                (Oclick_obs.Trace.events tr)
+      | Some o -> print_obs ~driver ~rounds ~batch ~report ~report_json o
+  end
 
 let rounds_arg =
   Arg.(
     value & opt int 1000
-    & info [ "rounds" ] ~docv:"N" ~doc:"Scheduler rounds to run.")
+    & info [ "rounds" ] ~docv:"N"
+        ~doc:
+          "Scheduler rounds to run. With $(b,--domains) > 1 this bounds \
+           the $(i,working) rounds per domain instead; the run stops \
+           early once every shard quiesces.")
 
 let stats_arg =
   Arg.(value & flag & info [ "stats" ] ~doc:"Print element statistics.")
@@ -260,7 +337,8 @@ let pool_arg =
         ~doc:
           "Allocate packets from a recycling free-list pool: dropped and \
            transmitted packets return to the pool and later allocations \
-           reuse their buffers (copy-on-recycle policy; see README).")
+           reuse their buffers (copy-on-recycle policy; see README). With \
+           $(b,--domains) > 1 each domain gets a private pool.")
 
 let compile_arg =
   Arg.(
@@ -291,6 +369,29 @@ let fault_seed_arg =
     & opt (some int) None
     & info [ "fault-seed" ] ~docv:"N"
         ~doc:"Override the fault plan's random seed.")
+
+let domains_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "domains" ] ~docv:"N"
+        ~doc:
+          "Shard the router across $(docv) OCaml domains. The flattened \
+           graph is partitioned at Queue boundaries (inserting \
+           queue/unqueue stages where a source region meets the shared \
+           core), cut Queues become lock-free single-producer rings, and \
+           each shard runs its own scheduler until the whole router \
+           quiesces. Incompatible with $(b,--fault).")
+
+let ring_capacity_arg =
+  Arg.(
+    value & opt int 128
+    & info [ "ring-capacity" ] ~docv:"N"
+        ~doc:
+          "Capacity of the SPSC rings backing queue/unqueue stages the \
+           partitioner inserts (cut Queues that already existed keep \
+           their configured capacity). A full ring drops like a full \
+           Queue; size it above the expected burst for loss-free runs. \
+           Only meaningful with $(b,--domains) > 1.")
 
 let write_arg =
   Arg.(
@@ -332,5 +433,6 @@ let () =
     "Run a Click configuration in the user-level driver."
     Term.(
       const run $ rounds_arg $ stats_arg $ batch_arg $ pool_arg $ compile_arg
-      $ fault_arg $ fault_seed_arg $ write_arg $ read_arg $ report_arg
-      $ report_json_arg $ trace_arg $ Tool_common.input_arg)
+      $ fault_arg $ fault_seed_arg $ domains_arg $ ring_capacity_arg
+      $ write_arg $ read_arg $ report_arg $ report_json_arg $ trace_arg
+      $ Tool_common.input_arg)

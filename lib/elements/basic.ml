@@ -225,6 +225,15 @@ class queue name =
   object (self)
     inherit E.base name
     val q : Packet.t Queue.t = Queue.create ()
+
+    (* Ring mode: when the sharded runtime cuts the graph at this queue,
+       the storage is swapped (via the "spsc" write handler, before any
+       traffic) for a lock-free SPSC ring so the push half can run on the
+       producing domain and the pull half on the consuming one. In ring
+       mode the pull side stays hands-off of this element's mutable
+       counters and hooks — those belong to the producer's domain — so
+       the W_queue charge and highwater tracking happen on push only. *)
+    val mutable ring : Packet.t Spsc.t option = None
     val mutable capacity = 1000
     val mutable drops = 0
     val mutable highwater = 0
@@ -242,20 +251,34 @@ class queue name =
           | _ -> Error (Printf.sprintf "bad Queue capacity %S" n))
       | _ -> Error "Queue takes at most one argument"
 
+    method private enqueue p =
+      match ring with
+      | Some r ->
+          if Spsc.push r p then highwater <- max highwater (Spsc.length r)
+          else begin
+            drops <- drops + 1;
+            self#drop ~reason:"queue full" p
+          end
+      | None ->
+          if Queue.length q >= capacity then begin
+            drops <- drops + 1;
+            self#drop ~reason:"queue full" p
+          end
+          else begin
+            Queue.add p q;
+            highwater <- max highwater (Queue.length q)
+          end
+
     method! push _ p =
       self#charge Hooks.W_queue;
-      if Queue.length q >= capacity then begin
-        drops <- drops + 1;
-        self#drop ~reason:"queue full" p
-      end
-      else begin
-        Queue.add p q;
-        highwater <- max highwater (Queue.length q)
-      end
+      self#enqueue p
 
     method! pull _ =
-      self#charge Hooks.W_queue;
-      Queue.take_opt q
+      match ring with
+      | Some r -> Spsc.pop r
+      | None ->
+          self#charge Hooks.W_queue;
+          Queue.take_opt q
 
     method! push_batch _ batch =
       (* Hoisted batch enqueue: one W_queue charge per packet is folded
@@ -265,16 +288,22 @@ class queue name =
          packet. *)
       let n = Array.length batch in
       self#charge Hooks.W_queue;
-      let room = capacity - Queue.length q in
-      let accept = if room < n then max room 0 else n in
-      for i = 0 to accept - 1 do
-        Queue.add batch.(i) q
-      done;
-      highwater <- max highwater (Queue.length q);
-      for i = accept to n - 1 do
-        drops <- drops + 1;
-        self#drop ~reason:"queue full" batch.(i)
-      done
+      match ring with
+      | Some _ ->
+          for i = 0 to n - 1 do
+            self#enqueue batch.(i)
+          done
+      | None ->
+          let room = capacity - Queue.length q in
+          let accept = if room < n then max room 0 else n in
+          for i = 0 to accept - 1 do
+            Queue.add batch.(i) q
+          done;
+          highwater <- max highwater (Queue.length q);
+          for i = accept to n - 1 do
+            drops <- drops + 1;
+            self#drop ~reason:"queue full" batch.(i)
+          done
 
     method! fuse ctx =
       (* The enqueue half of push, verbatim; the work charge disappears
@@ -283,32 +312,47 @@ class queue name =
       Some
         (fun p ->
           if not lean then self#charge Hooks.W_queue;
-          if Queue.length q >= capacity then begin
-            drops <- drops + 1;
-            self#drop ~reason:"queue full" p
-          end
-          else begin
-            Queue.add p q;
-            highwater <- max highwater (Queue.length q)
-          end)
+          self#enqueue p)
 
     method! pull_batch _ dst =
-      let want = min (Array.length dst) (Queue.length q) in
-      if want > 0 then begin
-        self#charge Hooks.W_queue;
-        for i = 0 to want - 1 do
-          dst.(i) <- Queue.take q
-        done
-      end;
-      want
+      match ring with
+      | Some r ->
+          let want = min (Array.length dst) (Spsc.length r) in
+          let got = ref 0 in
+          let continue = ref true in
+          while !continue && !got < want do
+            match Spsc.pop r with
+            | Some p ->
+                dst.(!got) <- p;
+                incr got
+            | None -> continue := false
+          done;
+          !got
+      | None ->
+          let want = min (Array.length dst) (Queue.length q) in
+          if want > 0 then begin
+            self#charge Hooks.W_queue;
+            for i = 0 to want - 1 do
+              dst.(i) <- Queue.take q
+            done
+          end;
+          want
 
     method! stats =
-      [
-        ("length", Queue.length q);
-        ("capacity", capacity);
-        ("drops", drops);
-        ("highwater", highwater);
-      ]
+      let base =
+        [
+          ( "length",
+            match ring with
+            | Some r -> Spsc.length r
+            | None -> Queue.length q );
+          ("capacity", capacity);
+          ("drops", drops);
+          ("highwater", highwater);
+        ]
+      in
+      match ring with
+      | Some r -> base @ [ ("ring", Spsc.capacity r) ]
+      | None -> base
 
     method! write_handler handler value =
       match handler with
@@ -318,11 +362,91 @@ class queue name =
               capacity <- c;
               Ok ()
           | _ -> Error "capacity must be a positive integer")
+      | "spsc" -> (
+          (* Switch to ring mode. Setup-time only: any packets already
+             buffered move into the ring, which must be able to hold
+             them. *)
+          match Args.parse_int value with
+          | Some c when c > 0 ->
+              let r = Spsc.create c in
+              let overflow = ref false in
+              Queue.iter
+                (fun p -> if not (Spsc.push r p) then overflow := true)
+                q;
+              if !overflow then Error "spsc: buffered packets exceed ring capacity"
+              else begin
+                Queue.clear q;
+                capacity <- c;
+                ring <- Some r;
+                Ok ()
+              end
+          | _ -> Error "spsc capacity must be a positive integer")
       | "reset_counts" ->
           drops <- 0;
-          highwater <- Queue.length q;
+          highwater <-
+            (match ring with
+            | Some r -> Spsc.length r
+            | None -> Queue.length q);
           Ok ()
       | h -> Error (Printf.sprintf "Queue: no write handler %S" h)
+  end
+
+(* Unqueue: a pull-to-push conduit — a scheduled task that pulls up to
+   BURST packets from its input and pushes them downstream. The sharding
+   pass inserts Queue→Unqueue pairs to create scheduling boundaries on
+   push paths that had none (the click-combine trick), so a private
+   upstream region and the shared core can run on different domains. *)
+class unqueue name =
+  object (self)
+    inherit E.base name
+    val mutable burst = 8
+    val mutable moved = 0
+    method class_name = "Unqueue"
+    method! port_count = "1/1"
+    method! processing = "l/h"
+
+    method! configure config =
+      match Args.split config with
+      | [] -> Ok ()
+      | [ b ] -> (
+          match Args.parse_int b with
+          | Some n when n > 0 ->
+              burst <- n;
+              Ok ()
+          | _ -> Error (Printf.sprintf "bad Unqueue burst %S" b))
+      | _ -> Error "Unqueue takes at most one argument"
+
+    method! wants_task = true
+
+    method! run_task =
+      if self#batch_size <= 1 then
+        let rec loop i did =
+          if i >= burst then did
+          else
+            match self#input_pull 0 with
+            | None -> did
+            | Some p ->
+                moved <- moved + 1;
+                self#output 0 p;
+                loop (i + 1) true
+        in
+        loop 0 false
+      else begin
+        (* Batch mode: one upstream pull request, one downstream
+           transfer, sized by the smaller of burst and batch. *)
+        let want = min burst self#batch_size in
+        let buf = self#scratch self#batch_size in
+        let dst = if want = Array.length buf then buf else Array.sub buf 0 want in
+        let got = self#input_pull_batch 0 dst in
+        if got = 0 then false
+        else begin
+          moved <- moved + got;
+          self#output_batch 0 (self#sub_batch dst got);
+          true
+        end
+      end
+
+    method! stats = [ ("moved", moved) ]
   end
 
 (* RED dropping ahead of a Queue. Like Click, the element locates its
@@ -422,4 +546,6 @@ let register () =
       (new paint_switch n :> E.t));
   def "Print" (fun n -> (new print n :> E.t));
   def "Queue" ~ports:"1/1" ~processing:"h/l" (fun n -> (new queue n :> E.t));
+  def "Unqueue" ~ports:"1/1" ~processing:"l/h" (fun n ->
+      (new unqueue n :> E.t));
   def "RED" (fun n -> (new red n :> E.t))

@@ -5,6 +5,7 @@ module E = Oclick_runtime.Element
 module Hooks = Oclick_runtime.Hooks
 module Registry = Oclick_runtime.Registry
 module Netdevice = Oclick_runtime.Netdevice
+module Spsc = Oclick_runtime.Spsc
 module Spec = Oclick_graph.Spec
 module Packet = Oclick_packet.Packet
 module Headers = Oclick_packet.Headers

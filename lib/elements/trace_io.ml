@@ -89,9 +89,7 @@ class to_trace name =
       close_out oc
 
     method private action p =
-      let ts =
-        int_of_float ((Packet.anno p).Packet.timestamp *. 1e9)
-      in
+      let ts = (Packet.anno p).Packet.timestamp_ns in
       let ts = if ts > 0 then ts else recorded in
       Trace.append_packet buf ts p;
       recorded <- recorded + 1;

@@ -39,6 +39,7 @@ let class_base_cycles = function
   | "EtherEncap" -> 30
   | "ICMPError" -> 220
   | "Queue" -> 38 (* each enqueue or dequeue entry *)
+  | "Unqueue" -> 22 (* dequeue + push handoff, no device I/O *)
   | "RED" -> 60
   | "Counter" -> 14
   | "Tee" -> 30
@@ -78,6 +79,7 @@ let class_code_bytes = function
   | "ARPQuerier" -> 700
   | "IPInputCombo" | "IPOutputCombo" -> 1000
   | "Queue" -> 500
+  | "Unqueue" -> 300
   | "FastClassifier" -> 300
   | _ -> 400
 

@@ -5,6 +5,7 @@ module Driver = Oclick_runtime.Driver
 module Router = Oclick_graph.Router
 module Fault = Oclick_fault
 module Obs = Oclick_obs
+module Partition = Oclick_parallel.Partition
 
 type port_spec = {
   ps_device : string;
@@ -84,8 +85,8 @@ let pio_ns_per_packet (p : Platform.t) =
 let ms n = n * 1_000_000
 
 let run ?(duration_ms = 60) ?(warmup_ms = 30) ?(drain_ms = 10) ?ports ?flows
-    ?(payload_len = 14) ?fault ?(batch = 1) ?compile ?obs ~platform ~graph
-    ~input_pps () =
+    ?(payload_len = 14) ?fault ?(batch = 1) ?compile ?obs ?(domains = 1)
+    ~platform ~graph ~input_pps () =
   (* A caller may reuse one observability accumulator across consecutive
      runs (oclick-report's before/after passes, the MLFFR search); stale
      counters and element metadata from the previous run — possibly of a
@@ -96,6 +97,23 @@ let run ?(duration_ms = 60) ?(warmup_ms = 30) ?(drain_ms = 10) ?ports ?flows
     match ports with Some p -> p | None -> standard_ports nports
   in
   let flows = match flows with Some f -> f | None -> standard_flows platform in
+  (* Simulated multicore: partition the graph exactly as the real
+     multi-domain runner would, then give each shard its own CPU tick
+     loop — every shard's simulated clock advances only by the cycles
+     that shard's round consumed, so the shards progress concurrently in
+     simulated time on one wall-clock thread. Cut queues stay ordinary
+     queues (the event engine serializes the rounds, so no ring is
+     needed); [domains = 1] leaves the graph and schedule untouched. *)
+  let partition =
+    if domains = 1 then Ok None
+    else Result.map Option.some (Partition.compute ~domains graph)
+  in
+  match partition with
+  | Error e -> Error e
+  | Ok partition ->
+  let graph =
+    match partition with Some p -> p.Partition.pt_graph | None -> graph
+  in
   if List.length ports < nports then Error "not enough port specs"
   else begin
     let engine = Engine.create () in
@@ -353,28 +371,69 @@ let run ?(duration_ms = 60) ?(warmup_ms = 30) ?(drain_ms = 10) ?ports ?flows
                       | _ -> ())
                   port_arr)
               (Router.indices graph));
-        (* The CPU: run scheduler rounds, advancing time by the cycles each
-           round consumed. *)
+        (* The CPU(s): run scheduler rounds, advancing time by the cycles
+           each round consumed. With [domains > 1] every shard gets its
+           own tick loop over its own slice of the task schedule, and its
+           clock advances only by what its own round consumed — the
+           single-threaded event engine interleaves the loops, simulating
+           [domains] CPUs running their shards concurrently. *)
         let total_ns () = !receive_ns +. !forward_ns +. !transmit_ns in
-        let cpu_busy_ns = ref 0.0 in
+        let cpu_busy = Array.make domains 0.0 in
         let stop_at = ms (warmup_ms + duration_ms) in
         (* The CPU keeps scheduling through the drain phase so queued
            packets reach their terminal outcome after traffic stops. *)
         let drain_end = stop_at + ms drain_ms in
-        let rec cpu_tick () =
-          if Engine.now engine < drain_end then begin
-            let before = total_ns () in
-            let did_work = Driver.run_tasks_once driver in
-            let consumed = total_ns () -. before in
-            cpu_busy_ns := !cpu_busy_ns +. consumed;
-            let advance =
-              if did_work then max 1 (int_of_float consumed)
-              else 800 (* polling all quiet devices once *)
+        (match partition with
+        | None ->
+            let rec cpu_tick () =
+              if Engine.now engine < drain_end then begin
+                let before = total_ns () in
+                let did_work = Driver.run_tasks_once driver in
+                let consumed = total_ns () -. before in
+                cpu_busy.(0) <- cpu_busy.(0) +. consumed;
+                let advance =
+                  if did_work then max 1 (int_of_float consumed)
+                  else 800 (* polling all quiet devices once *)
+                in
+                Engine.schedule_after engine ~delay:advance cpu_tick
+              end
             in
-            Engine.schedule_after engine ~delay:advance cpu_tick
-          end
-        in
-        cpu_tick ();
+            cpu_tick ()
+        | Some part ->
+            let all_tasks = Driver.tasks driver in
+            let shard_tasks =
+              Array.init domains (fun s ->
+                  Array.of_list
+                    (List.filter
+                       (fun (e : Oclick_runtime.Element.t) ->
+                         part.Partition.pt_shard_of.(e#index) = s)
+                       (Array.to_list all_tasks)))
+            in
+            let rrs = Array.make domains 0 in
+            for s = 0 to domains - 1 do
+              let rec cpu_tick () =
+                if Engine.now engine < drain_end then begin
+                  let tasks = shard_tasks.(s) in
+                  let n = Array.length tasks in
+                  let before = total_ns () in
+                  let did_work =
+                    n > 0 && Driver.run_task_array tasks ~start:rrs.(s)
+                  in
+                  if n > 0 then rrs.(s) <- (rrs.(s) + 1) mod n;
+                  (* All charges during this round came from this shard's
+                     elements (the engine is single-threaded), so the
+                     delta is this simulated CPU's consumption. *)
+                  let consumed = total_ns () -. before in
+                  cpu_busy.(s) <- cpu_busy.(s) +. consumed;
+                  let advance =
+                    if did_work then max 1 (int_of_float consumed)
+                    else 800 (* polling all quiet devices once *)
+                  in
+                  Engine.schedule_after engine ~delay:advance cpu_tick
+                end
+              in
+              cpu_tick ()
+            done);
         (* Traffic: each flow gets an equal share of the offered load. *)
         let per_flow = input_pps / max 1 (List.length flows) in
         List.iter
@@ -406,7 +465,7 @@ let run ?(duration_ms = 60) ?(warmup_ms = 30) ?(drain_ms = 10) ?ports ?flows
         cache_misses := 0;
         queue_drops := 0;
         other_drops := 0;
-        cpu_busy_ns := 0.0;
+        Array.fill cpu_busy 0 domains 0.0;
         (* The per-element columns cover the same window as the aggregate
            accumulators just zeroed (measurement plus drain), so obs
            totals and the aggregate remain directly comparable. Reset
@@ -540,7 +599,10 @@ let run ?(duration_ms = 60) ?(warmup_ms = 30) ?(drain_ms = 10) ?ports ?flows
               r_pci_utilization =
                 float_of_int busiest_bus /. (float_of_int duration_ms *. 1e6);
               r_cpu_utilization =
-                !cpu_busy_ns /. (float_of_int duration_ms *. 1e6);
+                (* The busiest simulated CPU — the one that saturates
+                   first and caps the forwarding rate. *)
+                Array.fold_left max 0.0 cpu_busy
+                /. (float_of_int duration_ms *. 1e6);
               r_code_footprint = Cost_model.code_footprint_bytes cm;
               r_drop_reasons = drop_reasons;
               r_fault_counts =
@@ -557,7 +619,8 @@ let run ?(duration_ms = 60) ?(warmup_ms = 30) ?(drain_ms = 10) ?ports ?flows
             }
   end
 
-let mlffr ?ports ?flows ?(loss_tolerance = 0.002) ~platform ~graph () =
+let mlffr ?ports ?flows ?(loss_tolerance = 0.002) ?domains ~platform ~graph ()
+    =
   let flows_v =
     match flows with Some f -> f | None -> standard_flows platform
   in
@@ -565,7 +628,7 @@ let mlffr ?ports ?flows ?(loss_tolerance = 0.002) ~platform ~graph () =
   let max_rate = nflows * Platform.max_host_rate_pps platform in
   let loss_free rate =
     match
-      run ?ports ?flows ~platform ~graph ~input_pps:rate ()
+      run ?ports ?flows ?domains ~platform ~graph ~input_pps:rate ()
     with
     | Error e -> failwith e
     | Ok r ->

@@ -91,6 +91,7 @@ val run :
   ?batch:int ->
   ?compile:bool ->
   ?obs:Oclick_obs.t ->
+  ?domains:int ->
   platform:Platform.t ->
   graph:Oclick_graph.Router.t ->
   input_pps:int ->
@@ -117,12 +118,23 @@ val run :
     the start of the run and again at the warmup boundary, so its
     columns cover measurement plus drain — the same window as the
     aggregate [r_*_ns] accumulators — and never leak across consecutive
-    runs reusing one accumulator. *)
+    runs reusing one accumulator.
+
+    [domains] (default 1) simulates a multicore CPU: the graph is
+    partitioned at Queue boundaries exactly as the real multi-domain
+    runner partitions it ({!Oclick_parallel.Partition}), and each shard
+    runs its own scheduler loop whose simulated clock advances only by
+    the cycles that shard consumed — [domains] CPUs progressing
+    concurrently in simulated time. [r_cpu_utilization] then reports the
+    busiest simulated CPU. Outcome totals, drop reasons, and the
+    conservation ledger are computed exactly as for one domain, so
+    differential comparisons across domain counts are direct. *)
 
 val mlffr :
   ?ports:port_spec list ->
   ?flows:flow list ->
   ?loss_tolerance:float ->
+  ?domains:int ->
   platform:Platform.t ->
   graph:Oclick_graph.Router.t ->
   unit ->

@@ -211,6 +211,59 @@ let bump_port e out port n =
   in
   if port >= 0 then arr.(port) <- arr.(port) + n
 
+(* Fold one accumulator into another — the deterministic merge the
+   multi-domain runner uses to combine per-domain ledgers into a single
+   report. Counters add; metadata fills empty slots; trace events append
+   in the source's order (call once per shard, in shard order, for a
+   deterministic combined stream). The source is left untouched. *)
+let merge_into ~src ~dst =
+  Array.iteri
+    (fun idx (se : elem) ->
+      let touched =
+        (not (String.equal se.el_name "")) || not (String.equal se.el_class "")
+        || se.el_pushes <> 0 || se.el_pulls <> 0 || se.el_batches <> 0
+        || se.el_in <> 0 || se.el_out <> 0 || se.el_drops <> 0
+        || se.el_spawns <> 0 || se.el_work <> 0 || se.el_recycles <> 0
+        || se.el_sim_ns <> 0 || se.el_wall_ns <> 0
+      in
+      if touched then begin
+        let de = elem dst idx in
+        if String.equal de.el_name "" then de.el_name <- se.el_name;
+        if String.equal de.el_class "" then de.el_class <- se.el_class;
+        de.el_pushes <- de.el_pushes + se.el_pushes;
+        de.el_pulls <- de.el_pulls + se.el_pulls;
+        de.el_batches <- de.el_batches + se.el_batches;
+        de.el_in <- de.el_in + se.el_in;
+        de.el_out <- de.el_out + se.el_out;
+        Array.iteri (fun p n -> if n > 0 then bump_port de false p n)
+          se.el_in_ports;
+        Array.iteri (fun p n -> if n > 0 then bump_port de true p n)
+          se.el_out_ports;
+        Hashtbl.iter
+          (fun reason r ->
+            match Hashtbl.find_opt de.el_drop_reasons reason with
+            | Some tot -> tot := !tot + !r
+            | None -> Hashtbl.replace de.el_drop_reasons reason (ref !r))
+          se.el_drop_reasons;
+        de.el_drops <- de.el_drops + se.el_drops;
+        de.el_spawns <- de.el_spawns + se.el_spawns;
+        de.el_work <- de.el_work + se.el_work;
+        de.el_recycles <- de.el_recycles + se.el_recycles;
+        de.el_sim_ns <- de.el_sim_ns + se.el_sim_ns;
+        de.el_wall_ns <- de.el_wall_ns + se.el_wall_ns
+      end)
+    src.elems;
+  match (dst.trace, src.trace) with
+  | Some dt, Some st ->
+      List.iter
+        (fun (ev : Trace.event) ->
+          Trace.record dt ~ns:ev.Trace.ev_ns ~kind:ev.Trace.ev_kind
+            ~src_idx:ev.Trace.ev_src_idx ~src_port:ev.Trace.ev_src_port
+            ~dst_idx:ev.Trace.ev_dst_idx ~dst_port:ev.Trace.ev_dst_port
+            ~packet:ev.Trace.ev_packet ~reason:ev.Trace.ev_reason)
+        (Trace.events st)
+  | _ -> ()
+
 (* One transfer of [n] packets. For a push the packets flow
    [tr_src -> tr_dst]; for a pull the puller is [tr_src] and the packets
    flow out of the pulled element [tr_dst] into it. *)

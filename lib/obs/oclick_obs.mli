@@ -83,6 +83,16 @@ val charge_sim_ns : t -> idx:int -> int -> unit
     negative index). The testbed mirrors every aggregate charge through
     this, so per-element totals equal the aggregate exactly. *)
 
+val merge_into : src:t -> dst:t -> unit
+(** Fold [src] into [dst]: counters and cost columns add per element
+    index, drop-reason tables merge, metadata fills empty slots, and
+    [src]'s trace events (if both sides trace) append to [dst]'s ring in
+    [src] order. [src] is left untouched. The multi-domain runner keeps
+    one accumulator per domain — each written only by its owner — and
+    merges them in shard order after the run, so the combined ledger is
+    deterministic and its totals satisfy the same exact-sum invariants
+    as a single-domain ledger. *)
+
 val hooks : ?now:(unit -> int) -> ?wall:bool -> t -> Hooks.t -> Hooks.t
 (** [hooks t base] — hooks that update [t] and then forward every event
     to [base]. [?now] supplies trace timestamps (nanoseconds; defaults

@@ -3,7 +3,7 @@ type anno = {
   mutable dst_ip : Ipaddr.t;
   mutable fix_ip_src : bool;
   mutable device : int;
-  mutable timestamp : float;
+  mutable timestamp_ns : int;
   mutable link_type : link_type;
 }
 
@@ -21,12 +21,11 @@ type t = {
 (* Packet identities are process-global serial numbers: every packet that
    comes into existence — created, cloned, or reused from a pool — gets a
    fresh one, so a trace can follow an individual packet even when its
-   buffer is recycled. *)
-let id_counter = ref 0
+   buffer is recycled. The counter is atomic so packets born on different
+   domains (the sharded datapath) still get distinct identities. *)
+let id_counter = Atomic.make 0
 
-let fresh_id () =
-  incr id_counter;
-  !id_counter
+let fresh_id () = Atomic.fetch_and_add id_counter 1 + 1
 
 let fresh_anno () =
   {
@@ -34,7 +33,7 @@ let fresh_anno () =
     dst_ip = 0;
     fix_ip_src = false;
     device = -1;
-    timestamp = 0.;
+    timestamp_ns = 0;
     link_type = To_host;
   }
 
@@ -184,6 +183,7 @@ module Pool = struct
   type t = {
     free : packet Stack.t;
     capacity : int;
+    mutable owner : int;  (* owning domain id; -1 = unclaimed *)
     mutable allocs : int;
     mutable reuses : int;
     mutable recycles : int;
@@ -198,17 +198,34 @@ module Pool = struct
     st_free : int;
   }
 
+  (* A pool is single-domain-owned: the free list is a plain Stack and
+     [alloc]/[recycle] mutate it without synchronization, so a packet
+     recycled by one domain must never be resurrected by another. The
+     pool claims the domain that first touches it (normally its
+     creator); [detach] hands an untouched pool to whichever domain uses
+     it next. The claim is checked with [assert] on every hot-path
+     operation, so debug builds catch cross-domain aliasing at the exact
+     faulty call while release builds compiled with [-noassert] pay
+     nothing. *)
   let create ?(capacity = 1024) () =
     if capacity < 0 then invalid_arg "Packet.Pool.create";
     { free = Stack.create (); capacity;
+      owner = (Domain.self () :> int);
       allocs = 0; reuses = 0; recycles = 0; rejected = 0 }
+
+  let detach pool = pool.owner <- -1
+
+  let owned_by_caller pool =
+    let self = (Domain.self () :> int) in
+    if pool.owner = -1 then pool.owner <- self;
+    pool.owner = self
 
   let reset_anno a =
     a.paint <- -1;
     a.dst_ip <- 0;
     a.fix_ip_src <- false;
     a.device <- -1;
-    a.timestamp <- 0.;
+    a.timestamp_ns <- 0;
     a.link_type <- To_host
 
   (* Copy-on-recycle policy: [clone] always deep-copies the buffer, so a
@@ -220,6 +237,7 @@ module Pool = struct
       len =
     if len < 0 || headroom < 0 || tailroom < 0 then
       invalid_arg "Packet.Pool.alloc";
+    assert (owned_by_caller pool);
     match Stack.pop_opt pool.free with
     | None ->
         pool.allocs <- pool.allocs + 1;
@@ -237,6 +255,7 @@ module Pool = struct
         p
 
   let recycle pool p =
+    assert (owned_by_caller pool);
     (* Guard against double-recycle: a packet already on the free list is
        left alone, so recycling from both a drop hook and a transmit path
        can never corrupt the pool. *)

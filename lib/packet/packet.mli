@@ -17,7 +17,10 @@ type anno = {
           [LookupIPRoute] and [ARPQuerier] *)
   mutable fix_ip_src : bool;  (** set by [ICMPError], read by [FixIPSrc] *)
   mutable device : int;  (** input device number; -1 unset *)
-  mutable timestamp : float;  (** simulated arrival time, seconds *)
+  mutable timestamp_ns : int;
+      (** simulated arrival time, integer nanoseconds — an immediate
+          [int], so stamping a packet on the hot path never allocates a
+          boxed float *)
   mutable link_type : link_type;
       (** link-layer addressing of the received frame, set by devices;
           read by [DropBroadcasts] *)
@@ -110,7 +113,15 @@ val realign : t -> modulus:int -> offset:int -> unit
     old one to the GC. Correctness relies on the copy-on-recycle policy:
     {!clone} deep-copies, so no live packet ever shares a buffer with a
     recycled one, and {!Pool.recycle} marks packets so double-recycling
-    is a safe no-op. Pools are single-threaded, like the driver. *)
+    is a safe no-op.
+
+    Pools are single-domain-owned: the free list is unsynchronized, so
+    the sharded runtime gives every domain its own pool. A pool claims
+    the first domain that operates on it and asserts (in debug builds)
+    that every later {!Pool.alloc}/{!Pool.recycle} comes from that same
+    domain — a recycled packet can never be resurrected concurrently by
+    another domain. Use {!Pool.detach} to hand an idle pool over to a
+    different domain. *)
 module Pool : sig
   type packet = t
   type t
@@ -135,6 +146,12 @@ module Pool : sig
   (** Return a dead packet to the pool. The caller must not touch the
       packet afterwards. Recycling the same packet twice, or into a full
       pool, is a no-op counted in [st_rejected]. *)
+
+  val detach : t -> unit
+  (** Release the pool's domain claim so the next domain that touches it
+      becomes the owner — for handing a (typically empty) pool to the
+      domain that will run it. The pool must be quiescent: detaching
+      does not make concurrent use safe. *)
 
   val stats : t -> stats
 end

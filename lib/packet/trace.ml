@@ -54,8 +54,7 @@ let of_string s =
               and hex = String.sub line (sp + 1) (String.length line - sp - 1) in
               match (int_of_string_opt ts_s, packet_of_hex (String.trim hex)) with
               | Some ts, Some p ->
-                  (Packet.anno p).Packet.timestamp <-
-                    float_of_int ts /. 1e9;
+                  (Packet.anno p).Packet.timestamp_ns <- ts;
                   go (lineno + 1) ((ts, p) :: acc) rest
               | None, _ ->
                   Error (Printf.sprintf "trace line %d: bad timestamp %S" lineno ts_s)

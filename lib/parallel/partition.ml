@@ -1,0 +1,350 @@
+module Router = Oclick_graph.Router
+module Check = Oclick_graph.Check
+module Spec = Oclick_graph.Spec
+module Registry = Oclick_runtime.Registry
+
+type owner = Unowned | One of int | Shared
+
+type cut = {
+  cut_queue : int;
+  cut_queue_name : string;
+  cut_from_shard : int;
+  cut_to_shard : int;
+  cut_inserted : bool;
+}
+
+type t = {
+  pt_domains : int;
+  pt_graph : Router.t;
+  pt_shard_of : int array;
+  pt_shards : int list array;
+  pt_cuts : cut list;
+  pt_inserted : (int * int) list;
+}
+
+(* Element classes whose tasks originate push traffic. Flooding forward
+   from these along push edges tells us which parts of the graph are
+   private to one source (can run on that source's domain) and which are
+   shared fabric (reached from several sources, must be one region). *)
+let push_source_classes =
+  [ "PollDevice"; "FromDevice"; "InfiniteSource"; "UDPSource"; "FromTrace";
+    "Unqueue" ]
+
+(* --- union-find ---------------------------------------------------------- *)
+
+let uf_create n = Array.init n (fun i -> i)
+
+let rec uf_find uf i = if uf.(i) = i then i else uf_find uf uf.(i)
+
+let uf_union uf a b =
+  let ra = uf_find uf a and rb = uf_find uf b in
+  (* Deterministic: the smaller index becomes the root. *)
+  if ra < rb then uf.(rb) <- ra else if rb < ra then uf.(ra) <- rb
+
+(* --- graph helpers ------------------------------------------------------- *)
+
+let is_queue g i = Router.class_of g i = "Queue"
+
+(* Successors along push (or push-resolved agnostic) edges, per element. *)
+let push_succs g (resolved : Check.resolved) =
+  let n = Router.size g in
+  let succs = Array.make n [] in
+  List.iter
+    (fun (h : Router.hookup) ->
+      match resolved.Check.output_kind.(h.from_idx).(h.from_port) with
+      | Spec.Push | Spec.Agnostic ->
+          succs.(h.from_idx) <- h.to_idx :: succs.(h.from_idx)
+      | Spec.Pull -> ())
+    (Router.hookups g);
+  Array.map List.rev succs
+
+(* Producers pushing into each Queue (sources of edges into it). *)
+let queue_producers g =
+  let n = Router.size g in
+  let prods = Array.make n [] in
+  List.iter
+    (fun (h : Router.hookup) ->
+      if is_queue g h.to_idx then
+        prods.(h.to_idx) <- h.from_idx :: prods.(h.to_idx))
+    (Router.hookups g);
+  Array.map List.rev prods
+
+(* The region structure: union endpoints of every hookup EXCEPT edges
+   into a Queue (those are the cuttable boundaries), then re-tie the
+   pieces a cut must never separate: all producers of one Queue stay
+   together (the ring is single-producer), and a RED stays with the
+   downstream Queues whose lengths it reads (a cross-domain length probe
+   would race). *)
+let region_uf g =
+  let n = Router.size g in
+  let uf = uf_create n in
+  List.iter
+    (fun (h : Router.hookup) ->
+      if not (is_queue g h.to_idx) then uf_union uf h.from_idx h.to_idx)
+    (Router.hookups g);
+  let prods = queue_producers g in
+  Array.iter
+    (fun ps ->
+      match ps with
+      | first :: rest -> List.iter (fun p -> uf_union uf first p) rest
+      | [] -> ())
+    prods;
+  (* RED finds its queues by forward BFS exactly like red#initialize. *)
+  List.iter
+    (fun i ->
+      if Router.class_of g i = "RED" then begin
+        let seen = Array.make n false in
+        let rec bfs j =
+          if not seen.(j) then begin
+            seen.(j) <- true;
+            if is_queue g j then uf_union uf i j
+            else
+              List.iter (fun (_, k, _) -> bfs k) (Router.outputs_of g j)
+          end
+        in
+        List.iter (fun (_, k, _) -> bfs k) (Router.outputs_of g i)
+      end)
+    (Router.indices g);
+  uf
+
+(* Region list from a union-find: [(min_index, members_ascending)] sorted
+   by min index. *)
+let regions_of_uf g uf =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun i ->
+      let r = uf_find uf i in
+      Hashtbl.replace tbl r (i :: (try Hashtbl.find tbl r with Not_found -> [])))
+    (Router.indices g);
+  Hashtbl.fold (fun _ members acc -> List.rev members :: acc) tbl []
+  |> List.sort (fun a b -> compare (List.hd a) (List.hd b))
+
+(* --- source ownership flood --------------------------------------------- *)
+
+let join a b =
+  match (a, b) with
+  | Unowned, x | x, Unowned -> x
+  | Shared, _ | _, Shared -> Shared
+  | One x, One y -> if x = y then One x else Shared
+
+(* Monotone flood over the One/Shared lattice: every element ends up
+   tagged with the set-abstraction of push sources that reach it without
+   crossing a Queue. *)
+let flood_owners g succs sources =
+  let n = Router.size g in
+  let owner = Array.make n Unowned in
+  let work = Queue.create () in
+  let update i tag =
+    let j = join owner.(i) tag in
+    if j <> owner.(i) then begin
+      owner.(i) <- j;
+      Queue.add i work
+    end
+  in
+  List.iter (fun s -> update s (One s)) sources;
+  let drain () =
+    while not (Queue.is_empty work) do
+      let i = Queue.pop work in
+      List.iter
+        (fun s -> if not (is_queue g s) then update s owner.(i))
+        succs.(i)
+    done
+  in
+  drain ();
+  (* A Queue's producers must form one region (single-producer ring), so
+     a Queue fed from several distinct owners forces its privately-owned
+     producers into the shared fabric; promoting them can reach further
+     queues, hence the fixpoint loop. *)
+  let prods = queue_producers g in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    Array.iter
+      (fun ps ->
+        let tags =
+          List.sort_uniq compare
+            (List.filter_map
+               (fun p -> match owner.(p) with Unowned -> None | t -> Some t)
+               ps)
+        in
+        if List.length tags > 1 then
+          List.iter
+            (fun p ->
+              match owner.(p) with
+              | One _ ->
+                  update p Shared;
+                  changed := true
+              | _ -> ())
+            ps)
+      prods;
+    drain ()
+  done;
+  owner
+
+(* --- boundary insertion -------------------------------------------------- *)
+
+(* Splice [f[fp] -> Queue -> Unqueue -> g[gp]] in place of a direct push
+   edge. The new Queue is the cuttable boundary; the Unqueue is the task
+   that drives the consumer side. *)
+let insert_stage g ~ring_capacity (h : Router.hookup) =
+  let qname = Router.fresh_name g "shard_q" in
+  let qi =
+    Router.add_element g ~name:qname ~cls:"Queue"
+      ~config:(string_of_int ring_capacity)
+  in
+  let uname = Router.fresh_name g "shard_uq" in
+  let ui = Router.add_element g ~name:uname ~cls:"Unqueue" ~config:"" in
+  Router.remove_hookup g h;
+  Router.add_hookup g
+    { Router.from_idx = h.from_idx; from_port = h.from_port; to_idx = qi;
+      to_port = 0 };
+  Router.add_hookup g
+    { Router.from_idx = qi; from_port = 0; to_idx = ui; to_port = 0 };
+  Router.add_hookup g
+    { Router.from_idx = ui; from_port = 0; to_idx = h.to_idx;
+      to_port = h.to_port };
+  (qi, ui)
+
+(* Whether the existing Queue boundaries already yield a partition that
+   can occupy [domains] shards without one region dominating. *)
+let balanced_enough g uf ~domains =
+  let regions = regions_of_uf g uf in
+  let total = Router.size g in
+  let largest =
+    List.fold_left (fun m r -> max m (List.length r)) 0 regions
+  in
+  List.length regions >= domains
+  && largest <= (total + domains - 1) / domains
+
+(* --- shard assignment ---------------------------------------------------- *)
+
+(* Longest-processing-time greedy: biggest region first onto the least
+   loaded shard. Ties break on lowest region min-index / lowest shard
+   index, so the assignment is deterministic. *)
+let assign_shards regions ~domains =
+  let ordered =
+    List.sort
+      (fun a b ->
+        match compare (List.length b) (List.length a) with
+        | 0 -> compare (List.hd a) (List.hd b)
+        | c -> c)
+      regions
+  in
+  let load = Array.make domains 0 in
+  List.map
+    (fun region ->
+      let best = ref 0 in
+      for s = 1 to domains - 1 do
+        if load.(s) < load.(!best) then best := s
+      done;
+      load.(!best) <- load.(!best) + List.length region;
+      (region, !best))
+    ordered
+
+(* --- entry point --------------------------------------------------------- *)
+
+let trivial g =
+  let g = Router.of_ast_exn (Router.to_ast g) in
+  let n = Router.size g in
+  {
+    pt_domains = 1;
+    pt_graph = g;
+    pt_shard_of = Array.make n 0;
+    pt_shards = [| Router.indices g |];
+    pt_cuts = [];
+    pt_inserted = [];
+  }
+
+let compute ?(ring_capacity = 128) ~domains source_graph =
+  if domains < 1 then
+    Error (Printf.sprintf "partition: bad domain count %d" domains)
+  else if ring_capacity < 1 then
+    Error (Printf.sprintf "partition: bad ring capacity %d" ring_capacity)
+  else if domains = 1 then Ok (trivial source_graph)
+  else begin
+    (* Normalize so indices are dense and match what Driver.instantiate
+       will produce for the same graph. *)
+    let g = Router.of_ast_exn (Router.to_ast source_graph) in
+    match Check.resolve_processing g Registry.spec_table with
+    | Error msgs -> Error (String.concat "\n" msgs)
+    | Ok resolved ->
+        let inserted =
+          if balanced_enough g (region_uf g) ~domains then []
+          else begin
+            let succs = push_succs g resolved in
+            let sources =
+              List.filter
+                (fun i ->
+                  List.mem (Router.class_of g i) push_source_classes)
+                (Router.indices g)
+            in
+            let owner = flood_owners g succs sources in
+            (* Boundary edges: a privately-owned element pushing into the
+               shared fabric (and not into a Queue, which is already a
+               boundary). Collect first — insertion mutates the graph. *)
+            let edges =
+              List.filter
+                (fun (h : Router.hookup) ->
+                  (match
+                     resolved.Check.output_kind.(h.from_idx).(h.from_port)
+                   with
+                  | Spec.Push | Spec.Agnostic -> true
+                  | Spec.Pull -> false)
+                  && (match owner.(h.from_idx) with One _ -> true | _ -> false)
+                  && owner.(h.to_idx) = Shared
+                  && not (is_queue g h.to_idx))
+                (Router.hookups g)
+            in
+            List.map (insert_stage g ~ring_capacity) edges
+          end
+        in
+        let uf = region_uf g in
+        let regions = regions_of_uf g uf in
+        let n = Router.size g in
+        let shard_of = Array.make n (-1) in
+        List.iter
+          (fun (region, s) -> List.iter (fun i -> shard_of.(i) <- s) region)
+          (assign_shards regions ~domains);
+        let shards =
+          Array.init domains (fun s ->
+              List.filter (fun i -> shard_of.(i) = s) (Router.indices g))
+        in
+        let prods = queue_producers g in
+        let cuts =
+          List.filter_map
+            (fun qi ->
+              if not (is_queue g qi) then None
+              else
+                match prods.(qi) with
+                | [] -> None
+                | p :: _ ->
+                    let from_shard = shard_of.(p) in
+                    let to_shard = shard_of.(qi) in
+                    if from_shard = to_shard then None
+                    else
+                      Some
+                        {
+                          cut_queue = qi;
+                          cut_queue_name = Router.name g qi;
+                          cut_from_shard = from_shard;
+                          cut_to_shard = to_shard;
+                          cut_inserted =
+                            List.exists (fun (q, _) -> q = qi) inserted;
+                        })
+            (Router.indices g)
+        in
+        Ok
+          {
+            pt_domains = domains;
+            pt_graph = g;
+            pt_shard_of = shard_of;
+            pt_shards = shards;
+            pt_cuts = cuts;
+            pt_inserted = inserted;
+          }
+  end
+
+let shard_counts t = Array.map List.length t.pt_shards
+
+let cut_of_queue t qi =
+  List.find_opt (fun c -> c.cut_queue = qi) t.pt_cuts

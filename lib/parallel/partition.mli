@@ -1,0 +1,74 @@
+(** Graph partitioning for the multicore datapath.
+
+    Cuts a flattened router configuration into [domains] shards along
+    Queue boundaries — the only places in a Click graph where packet
+    handoff is already asynchronous, so a cut changes scheduling but not
+    semantics. A Queue whose producers and consumer land on different
+    shards becomes a {e cut queue}: at run time its storage is swapped
+    for a lock-free SPSC ring ({!Oclick_runtime.Spsc}) and the push half
+    executes on the producing domain while the pull half executes on the
+    consuming one.
+
+    Configurations written for a uniprocessor often have long push paths
+    with no Queue at all between the receive devices and the forwarding
+    core; cutting only at existing Queues would leave everything in one
+    shard. When the existing boundaries cannot spread the work over
+    [domains] shards, the pass {e creates} boundaries the way
+    [click-combine] does — by splicing a [Queue -> Unqueue] pair into
+    push edges where a single-source private region meets the shared
+    core. The inserted pair is semantically a no-op (every packet pushed
+    in is pushed out in order); it exists to give the scheduler a place
+    to cut.
+
+    The partition is a pure graph analysis: deterministic for a given
+    graph and domain count, independent of element state, and usable
+    both by the real multi-domain runner ({!Runner}) and by the
+    simulated testbed. *)
+
+type owner =
+  | Unowned  (** not reachable from any push-task source *)
+  | One of int  (** reachable from exactly one source element (index) *)
+  | Shared  (** reachable from two or more sources *)
+
+type cut = {
+  cut_queue : int;  (** element index of the cut Queue in {!t.pt_graph} *)
+  cut_queue_name : string;
+  cut_from_shard : int;  (** shard executing the push (producer) half *)
+  cut_to_shard : int;  (** shard executing the pull (consumer) half *)
+  cut_inserted : bool;  (** [true] if the pass spliced this Queue in *)
+}
+
+type t = {
+  pt_domains : int;
+  pt_graph : Oclick_graph.Router.t;
+      (** the transformed graph to instantiate — the input graph
+          normalized, plus any inserted [Queue -> Unqueue] stages *)
+  pt_shard_of : int array;  (** element index -> shard, total *)
+  pt_shards : int list array;
+      (** shard -> element indices, ascending; length [pt_domains] *)
+  pt_cuts : cut list;
+  pt_inserted : (int * int) list;
+      (** [(queue, unqueue)] element index pairs the pass inserted *)
+}
+
+val compute :
+  ?ring_capacity:int ->
+  domains:int ->
+  Oclick_graph.Router.t ->
+  (t, string) result
+(** [compute ~domains g] partitions [g] into [domains] shards.
+
+    [ring_capacity] (default 128) is the capacity given to inserted
+    Queues; pre-existing Queues keep their configured capacity.
+
+    [domains = 1] returns the trivial partition (everything in shard 0,
+    no cuts, no insertion) without transforming the graph. Errors if
+    [domains < 1] or if the graph fails processing resolution. Requires
+    the element registry to be populated
+    ([Oclick_elements.register_all]). *)
+
+val shard_counts : t -> int array
+(** Elements per shard. *)
+
+val cut_of_queue : t -> int -> cut option
+(** The cut at a given element index, if that Queue is cut. *)

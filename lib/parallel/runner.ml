@@ -1,0 +1,247 @@
+module Driver = Oclick_runtime.Driver
+module Element = Oclick_runtime.Element
+module Hooks = Oclick_runtime.Hooks
+module Netdevice = Oclick_runtime.Netdevice
+module Packet = Oclick_packet.Packet
+
+type t = {
+  part : Partition.t;
+  drv : Driver.t;
+  shard_tasks : Element.t array array;
+  pools : Packet.Pool.t array;
+  ndomains : int;
+  warn_hooks : Hooks.t;  (* shard 0's hooks, for runner-level warnings *)
+}
+
+(* Wrap a shard's hooks so accounted drops recycle into that shard's
+   pool — the same contract Driver.instantiate provides for the
+   single-pool case. *)
+let wrap_pool_recycle hooks pool =
+  let user_on_drop = hooks.Hooks.on_drop in
+  {
+    hooks with
+    Hooks.on_drop =
+      (fun ~idx ~cls ~reason p ->
+        user_on_drop ~idx ~cls ~reason p;
+        Packet.Pool.recycle pool p);
+  }
+
+let queue_capacity e =
+  match List.assoc_opt "capacity" e#stats with Some c -> c | None -> 1000
+
+let create ?(hooks_for = fun _ -> Hooks.null) ?(devices = []) ?(batch = 1)
+    ?(pool = false) ?(pool_capacity = 1024) ?(compile = false) ?ring_capacity
+    ~domains graph =
+  if domains < 1 then
+    Error (Printf.sprintf "runner: bad domain count %d" domains)
+  else if domains = 1 then begin
+    (* Degenerate case: exactly the unsharded driver, so single-domain
+       results are byte-identical to not using the runner at all. *)
+    let hooks = hooks_for 0 in
+    let pl = if pool then Some (Packet.Pool.create ~capacity:pool_capacity ()) else None in
+    match Driver.instantiate ~hooks ~devices ~batch ?pool:pl ~compile graph with
+    | Error e -> Error e
+    | Ok drv ->
+        Ok
+          {
+            part = (match Partition.compute ~domains:1 graph with
+                   | Ok p -> p
+                   | Error e -> invalid_arg e);
+            drv;
+            shard_tasks = [| Driver.tasks drv |];
+            pools = (match pl with Some p -> [| p |] | None -> [||]);
+            ndomains = 1;
+            warn_hooks = hooks;
+          }
+  end
+  else begin
+    match Partition.compute ?ring_capacity ~domains graph with
+    | Error e -> Error e
+    | Ok part -> (
+        let pools =
+          if pool then
+            Array.init domains (fun _ ->
+                Packet.Pool.create ~capacity:pool_capacity ())
+          else [||]
+        in
+        let shard_hooks =
+          Array.init domains (fun s ->
+              let h = hooks_for s in
+              if pool then wrap_pool_recycle h pools.(s) else h)
+        in
+        match
+          Driver.instantiate ~hooks:Hooks.null ~devices ~batch ~compile:false
+            part.Partition.pt_graph
+        with
+        | Error e -> Error e
+        | Ok drv ->
+            (* Every element reports through — and recycles into — its
+               own shard's hooks and pool; a cut Queue uses its producer
+               shard's, because push (and its drops) runs there. *)
+            let hook_shard_of = Array.copy part.Partition.pt_shard_of in
+            List.iter
+              (fun (c : Partition.cut) ->
+                hook_shard_of.(c.Partition.cut_queue) <-
+                  c.Partition.cut_from_shard)
+              part.Partition.pt_cuts;
+            let n = Driver.size drv in
+            let setup_err = ref None in
+            for i = 0 to n - 1 do
+              let e = Driver.element_at drv i in
+              let s = hook_shard_of.(i) in
+              e#set_hooks shard_hooks.(s);
+              if pool then e#set_pool (Some pools.(s))
+            done;
+            (* Switch cut Queues to ring mode at their configured
+               capacity. Must precede compilation: fused closures bind
+               element state at compile time. *)
+            List.iter
+              (fun (c : Partition.cut) ->
+                let e = Driver.element_at drv c.Partition.cut_queue in
+                let cap = queue_capacity e in
+                match e#write_handler "spsc" (string_of_int cap) with
+                | Ok () -> ()
+                | Error msg ->
+                    if !setup_err = None then
+                      setup_err := Some (e#name ^ ": " ^ msg))
+              part.Partition.pt_cuts;
+            match !setup_err with
+            | Some e -> Error e
+            | None -> (
+                let finish () =
+                  (* Shared lazies must not be forced concurrently. *)
+                  Element.force_scratch_placeholder ();
+                  let tasks = Driver.tasks drv in
+                  let shard_tasks =
+                    Array.init domains (fun s ->
+                        Array.of_list
+                          (List.filter
+                             (fun (e : Element.t) ->
+                               part.Partition.pt_shard_of.(e#index) = s)
+                             (Array.to_list tasks)))
+                  in
+                  {
+                    part;
+                    drv;
+                    shard_tasks;
+                    pools;
+                    ndomains = domains;
+                    warn_hooks = shard_hooks.(0);
+                  }
+                in
+                if compile then
+                  match Driver.compile drv with
+                  | Error e -> Error e
+                  | Ok () -> Ok (finish ())
+                else Ok (finish ())))
+  end
+
+let driver t = t.drv
+let partition t = t.part
+let domains t = t.ndomains
+let pool_stats t = Array.map Packet.Pool.stats t.pools
+
+(* How many consecutive idle rounds before a domain votes quiet, and how
+   many all-quiet-but-ring-not-empty polls before declaring a stall
+   (packets parked in a ring nobody will drain, e.g. a full device TX
+   ring with no consumer). *)
+let idle_threshold = 32
+let stall_threshold = 100_000
+
+let run_until_idle ?(max_rounds = 1_000_000) t =
+  if t.ndomains = 1 then Driver.run_until_idle ~max_rounds t.drv
+  else begin
+    (* Pools may still be claimed by the previous run's (now dead)
+       domains; each new domain re-claims on first use. *)
+    Array.iter Packet.Pool.detach t.pools;
+    let cut_queues =
+      List.map
+        (fun (c : Partition.cut) -> Driver.element_at t.drv c.Partition.cut_queue)
+        t.part.Partition.pt_cuts
+    in
+    let rings_empty () =
+      List.for_all
+        (fun (e : Element.t) ->
+          match List.assoc_opt "length" e#stats with
+          | Some l -> l = 0
+          | None -> true)
+        cut_queues
+    in
+    let work_stamp = Atomic.make 0 in
+    let quiet = Atomic.make 0 in
+    let stop = Atomic.make false in
+    let aborted = Atomic.make false in
+    let run_shard d =
+      let tasks = t.shard_tasks.(d) in
+      let n = Array.length tasks in
+      let rr = ref 0 in
+      let budget = ref max_rounds in
+      let idle = ref 0 in
+      let in_quiet = ref false in
+      let stalls = ref 0 in
+      let enter_quiet () =
+        if not !in_quiet then begin
+          in_quiet := true;
+          Atomic.incr quiet
+        end
+      in
+      let leave_quiet () =
+        if !in_quiet then begin
+          in_quiet := false;
+          Atomic.decr quiet
+        end
+      in
+      while not (Atomic.get stop) do
+        let did = n > 0 && Driver.run_task_array tasks ~start:!rr in
+        if n > 0 then rr := (!rr + 1) mod n;
+        if did then begin
+          leave_quiet ();
+          idle := 0;
+          stalls := 0;
+          Atomic.incr work_stamp;
+          decr budget;
+          if !budget <= 0 then begin
+            Atomic.set aborted true;
+            Atomic.set stop true
+          end
+        end
+        else begin
+          incr idle;
+          if !idle >= idle_threshold then enter_quiet ();
+          if !in_quiet then begin
+            (* Termination: everyone quiet and nothing in flight. The
+               stamp re-read rules out a peer that grabbed work between
+               our two checks. *)
+            let stamp = Atomic.get work_stamp in
+            if Atomic.get quiet = t.ndomains then begin
+              if rings_empty () && Atomic.get work_stamp = stamp then
+                Atomic.set stop true
+              else begin
+                incr stalls;
+                if !stalls >= stall_threshold then begin
+                  Atomic.set aborted true;
+                  Atomic.set stop true
+                end
+              end
+            end
+            else stalls := 0;
+            if not (Atomic.get stop) then Domain.cpu_relax ()
+          end
+        end
+      done
+    in
+    let spawned =
+      Array.init (t.ndomains - 1) (fun i ->
+          Domain.spawn (fun () -> run_shard (i + 1)))
+    in
+    run_shard 0;
+    Array.iter Domain.join spawned;
+    let converged = not (Atomic.get aborted) in
+    if not converged then
+      t.warn_hooks.Hooks.on_warn ~src:"parallel"
+        (Printf.sprintf
+           "run_until_idle: aborted after %d working rounds on some domain \
+            (possible livelock or stranded ring traffic)"
+           max_rounds);
+    converged
+  end

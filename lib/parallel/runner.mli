@@ -1,0 +1,74 @@
+(** Execute a partitioned router across real OCaml domains.
+
+    One domain per shard: shard 0 runs on the calling domain, shards
+    1..N-1 on spawned domains. Every element is touched by exactly one
+    domain — the partition guarantees cross-shard traffic only crosses at
+    cut Queues, whose storage is switched to a lock-free SPSC ring
+    ({!Oclick_runtime.Spsc}) with the push half (and its drop accounting)
+    executing on the producing domain and the pull half on the consuming
+    one.
+
+    Observability stays per-domain: [hooks_for shard] supplies the hook
+    record for every element of that shard (a cut Queue reports through
+    its {e producer} shard's hooks, since that is where its counters
+    mutate), so each domain writes only its own ledger; merge them after
+    the run ({!Oclick_obs.merge_into}). Packet pools are likewise
+    per-domain ({!Oclick_packet.Packet.Pool} is single-domain-owned).
+
+    Ordering guarantee: packets that traverse the same cut ring stay in
+    order (SPSC is FIFO), so per-flow order is preserved; packets of
+    different flows on different shards may interleave differently than
+    a single-domain run. Outcome totals, drop reasons, and conservation
+    ledgers are identical at loss-free rates. *)
+
+type t
+
+val create :
+  ?hooks_for:(int -> Oclick_runtime.Hooks.t) ->
+  ?devices:Oclick_runtime.Netdevice.t list ->
+  ?batch:int ->
+  ?pool:bool ->
+  ?pool_capacity:int ->
+  ?compile:bool ->
+  ?ring_capacity:int ->
+  domains:int ->
+  Oclick_graph.Router.t ->
+  (t, string) result
+(** Partition, instantiate, and prepare the graph for [domains] domains.
+
+    [domains = 1] degenerates to a plain {!Oclick_runtime.Driver}
+    instantiation (same hooks, pool, batch, and compile plumbing), so
+    results are byte-identical to the unsharded driver.
+
+    For [domains > 1]: the transformed graph is instantiated, every
+    element gets its shard's hooks and pool, cut Queues are switched to
+    ring mode, and — last, so compiled closures capture the final hooks —
+    the whole-graph compiler runs if [compile] is set. [pool] (default
+    false) gives each domain a private recycling pool of
+    [pool_capacity]. *)
+
+val run_until_idle : ?max_rounds:int -> t -> bool
+(** Run every shard's task schedule until the whole router quiesces:
+    each domain rotates over its own tasks ({!Oclick_runtime.Driver.run_task_array});
+    a domain that stays idle long enough votes quiet, and when all
+    domains are quiet and every cut ring is empty the run stops.
+
+    [max_rounds] (default 1_000_000) bounds the number of {e working}
+    rounds per domain; exhausting it — or stalling with packets parked in
+    a ring nobody drains — aborts the run with a warning through shard
+    0's hooks and returns [false]. Assumes monotone sources (once a task
+    goes idle with empty inputs it stays idle), which holds for every
+    source element in the tree.
+
+    May be called again after it returns; domains are respawned per
+    call. *)
+
+val driver : t -> Oclick_runtime.Driver.t
+(** The underlying single instantiation (element lookup, stats, faults).
+    Only safe to inspect while no run is in progress. *)
+
+val partition : t -> Partition.t
+val domains : t -> int
+
+val pool_stats : t -> Oclick_packet.Packet.Pool.stats array
+(** Per-domain pool statistics; empty if [pool] was not requested. *)

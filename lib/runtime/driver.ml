@@ -6,6 +6,10 @@ type t = {
   by_name : (string, Element.t) Hashtbl.t;
   tasks : Element.t array;
   hooks : Hooks.t;
+  mutable rr : int;
+      (* Round-robin rotation offset: each call to [run_tasks_once] starts
+         the task sweep one position later, so no element is permanently
+         favored by declaration order. *)
 }
 
 (* The graph compiler is a higher layer (lib/compile depends on this
@@ -130,7 +134,7 @@ let instantiate ?(hooks = Hooks.null) ?(devices = []) ?mangle ?quarantine
               Array.of_list
                 (List.filter (fun e -> e#wants_task) (Array.to_list elements))
             in
-            let t = { graph; elements; by_name; tasks; hooks } in
+            let t = { graph; elements; by_name; tasks; hooks; rr = 0 } in
             if compile then compile_installed t else Ok t
           end
         end)
@@ -149,18 +153,31 @@ let graph t = t.graph
 let size t = Array.length t.elements
 let hooks t = t.hooks
 
-let run_tasks_once t =
+let tasks t = t.tasks
+let compile t = Result.map (fun _ -> ()) (compile_installed t)
+
+let run_task_array tasks ~start =
+  let n = Array.length tasks in
   let any = ref false in
-  Array.iter
-    (fun e ->
-      if not e#is_quarantined then
-        match e#run_task with
-        | did -> if did then any := true
-        | exception e' when not (Element.fatal e') ->
-            e#record_fault (Printexc.to_string e');
-            any := true)
-    t.tasks;
+  for i = 0 to n - 1 do
+    let e = tasks.((start + i) mod n) in
+    if not e#is_quarantined then
+      match e#run_task with
+      | did -> if did then any := true
+      | exception e' when not (Element.fatal e') ->
+          e#record_fault (Printexc.to_string e');
+          any := true
+  done;
   !any
+
+let run_tasks_once t =
+  let n = Array.length t.tasks in
+  if n = 0 then false
+  else begin
+    let any = run_task_array t.tasks ~start:t.rr in
+    t.rr <- (t.rr + 1) mod n;
+    any
+  end
 
 let run t ~rounds =
   for _ = 1 to rounds do

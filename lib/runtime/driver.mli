@@ -73,8 +73,27 @@ val hooks : t -> Hooks.t
 (** The hooks installed at instantiation (after any pool wrapping) — the
     exact record every element reports through. *)
 
+val tasks : t -> Element.t array
+(** The task elements in declaration order — the exact array the
+    scheduler rounds iterate. Exposed so a sharding layer can split the
+    schedule across domains; do not mutate. *)
+
+val compile : t -> (unit, string) result
+(** Run the registered whole-graph compiler over an already-instantiated
+    router — equivalent to [instantiate ~compile:true] but deferred, so
+    callers can finish per-element setup (hooks, pools) that the compiled
+    closures must capture before compilation. *)
+
 val run_tasks_once : t -> bool
-(** One scheduler round over all task elements; [true] if any did work. *)
+(** One scheduler round over all task elements; [true] if any did work.
+    Successive rounds rotate their starting task round-robin (round [k]
+    starts at task [k mod n]), so no task monopolizes first position. *)
+
+val run_task_array : Element.t array -> start:int -> bool
+(** One containment-guarded round over an explicit task array, beginning
+    at index [start mod n]: the schedule primitive underlying
+    {!run_tasks_once}, exposed for per-shard schedulers that own a slice
+    of {!tasks}. *)
 
 val run : t -> rounds:int -> unit
 

@@ -73,6 +73,7 @@ let fatal = function
 (* Shared fill value for scratch batch arrays; never read before a real
    packet is written over it. *)
 let placeholder = lazy (Oclick_packet.Packet.create 0)
+let force_scratch_placeholder () = ignore (Lazy.force placeholder)
 
 class virtual base (name : string) =
   object (self)

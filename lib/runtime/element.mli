@@ -310,3 +310,10 @@ val configure_error : string -> ('a, string) result
 val fatal : exn -> bool
 (** Exceptions the degradation layer must never contain:
     [Out_of_memory], [Stack_overflow], [Sys.Break]. *)
+
+val force_scratch_placeholder : unit -> unit
+(** Force the lazy fill value shared by every element's scratch batch
+    array. The multi-domain runner calls this before spawning domains:
+    [Lazy.force] is not safe to race, and leaving the value lazy (rather
+    than making it eager) keeps packet-id sequences — and the golden
+    traces derived from them — unchanged for single-domain runs. *)

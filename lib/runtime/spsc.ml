@@ -1,0 +1,60 @@
+(* Classic bounded SPSC ring over a power-of-two slot array.
+
+   The producer owns [tail] (writes a slot, then publishes by bumping
+   tail); the consumer owns [head] (reads a slot, clears it so the ring
+   never retains a reference to a consumed element, then bumps head).
+   OCaml's [Atomic.get]/[Atomic.set] are sequentially consistent, which
+   gives the publish/consume ordering directly. Each index is read-mostly
+   for one side and write-mostly for the other, so the two atomics are
+   kept in separately allocated cells with a spacer array between the
+   record fields to keep them off one cache line. *)
+
+type 'a t = {
+  slots : 'a option array;
+  mask : int;
+  cap : int;  (* enforced capacity, <= Array.length slots *)
+  head : int Atomic.t;  (* next slot to pop (consumer-owned) *)
+  _pad : int array;  (* spacer: keeps head and tail allocations apart *)
+  tail : int Atomic.t;  (* next slot to fill (producer-owned) *)
+}
+
+let rec pow2 n k = if k >= n then k else pow2 n (k * 2)
+
+let create capacity =
+  if capacity <= 0 then invalid_arg "Spsc.create";
+  let n = pow2 capacity 1 in
+  {
+    slots = Array.make n None;
+    mask = n - 1;
+    cap = capacity;
+    head = Atomic.make 0;
+    _pad = Array.make 15 0;
+    tail = Atomic.make 0;
+  }
+
+let capacity t = t.cap
+
+let push t x =
+  let tail = Atomic.get t.tail in
+  let head = Atomic.get t.head in
+  if tail - head >= t.cap then false
+  else begin
+    t.slots.(tail land t.mask) <- Some x;
+    Atomic.set t.tail (tail + 1);
+    true
+  end
+
+let pop t =
+  let head = Atomic.get t.head in
+  let tail = Atomic.get t.tail in
+  if tail - head <= 0 then None
+  else begin
+    let i = head land t.mask in
+    let x = t.slots.(i) in
+    t.slots.(i) <- None;
+    Atomic.set t.head (head + 1);
+    x
+  end
+
+let length t = max 0 (Atomic.get t.tail - Atomic.get t.head)
+let is_empty t = length t = 0

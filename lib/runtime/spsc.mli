@@ -1,0 +1,37 @@
+(** Bounded lock-free single-producer/single-consumer ring.
+
+    The cross-domain handoff primitive of the sharded datapath: when the
+    partitioner cuts the router graph at a Queue, the queue's push half
+    runs on the producing domain and its pull half on the consuming
+    domain, exchanging packets through one of these rings — a push/pull
+    pair with no locks on the hot path.
+
+    Exactly one domain may call {!push} and exactly one domain may call
+    {!pop} (they may be the same domain). The indices are [Atomic.t]
+    cells allocated with padding between them, so the producer's and the
+    consumer's counters do not share a cache line (OCaml gives no hard
+    layout guarantee, but separately-allocated atomics with a dead
+    spacer between them do not false-share in practice). *)
+
+type 'a t
+
+val create : int -> 'a t
+(** [create capacity] — a ring holding at most [capacity] elements
+    (rounded up to a power of two internally; the stated capacity is
+    still enforced exactly). Raises [Invalid_argument] if
+    [capacity <= 0]. *)
+
+val capacity : 'a t -> int
+
+val push : 'a t -> 'a -> bool
+(** Producer side: enqueue, or return [false] if the ring is full. *)
+
+val pop : 'a t -> 'a option
+(** Consumer side: dequeue the oldest element, or [None] if empty. *)
+
+val length : 'a t -> int
+(** Racy but bounded estimate of the occupancy — exact when read from
+    either endpoint with the other side quiescent; monitoring only. *)
+
+val is_empty : 'a t -> bool
+(** [length t = 0]; same caveat as {!length}. *)
