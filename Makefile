@@ -6,13 +6,18 @@
 # section, and `make bench-json` refreshes the committed BENCH_batch.json,
 # BENCH_compile.json, and BENCH_obs.json baselines in the repo root.
 # `make bench-parallel` refreshes BENCH_parallel.json (the multicore
-# scaling grid), and `make bench-all` regenerates every committed
-# BENCH_*.json in one go. `make obs-smoke` (also part of `dune runtest`)
-# validates oclick-report's JSON output against the report schema on the
-# example configurations.
+# scaling grid), `make bench-overload` refreshes BENCH_overload.json
+# (offered-load-vs-goodput curves under adversarial traffic), and
+# `make bench-all` regenerates every committed BENCH_*.json in one go.
+# `make obs-smoke` (also part of `dune runtest`) validates
+# oclick-report's JSON output against the report schema on the example
+# configurations; `make overload-smoke` (likewise part of `dune
+# runtest`) runs the overload benchmark on the smoke budget and
+# validates its JSON against the curve schema.
 
 .PHONY: all build test bench bench-smoke compile-smoke parallel-smoke \
-	bench-json bench-parallel bench-all obs-smoke clean
+	bench-json bench-parallel bench-overload bench-all obs-smoke \
+	overload-smoke clean
 
 all: build
 
@@ -42,10 +47,16 @@ bench-json: build
 bench-parallel: build
 	cd $(CURDIR) && dune exec --no-build bench/main.exe -- parallel --json
 
-bench-all: bench-json bench-parallel
+bench-overload: build
+	cd $(CURDIR) && dune exec --no-build bench/main.exe -- overload --json
+
+bench-all: bench-json bench-parallel bench-overload
 
 obs-smoke:
 	dune build @obs-smoke
+
+overload-smoke:
+	dune build @overload-smoke
 
 clean:
 	dune clean

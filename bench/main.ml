@@ -27,6 +27,7 @@ let sections =
     ("compile", Compile.run);
     ("obs", Obs.run);
     ("parallel", Parallel.run);
+    ("overload", Overload.run);
   ]
 
 let () =

@@ -139,6 +139,13 @@ let aggregate_check obs (r : Testbed.result) =
       total aggregate;
   aggregate
 
+(* A run is degraded when the testbed had to intervene to finish it:
+   quarantined/faulting elements or convergence warnings (stalled
+   domains, drained rings). The ledger still balances — degraded means
+   "completed with accounted losses", never "numbers are suspect". *)
+let degraded (r : Testbed.result) =
+  r.Testbed.r_warnings <> [] || r.Testbed.r_element_faults <> []
+
 let pass_json ~label ~mhz obs (r : Testbed.result) =
   let aggregate = aggregate_check obs r in
   match Obs.Report.json (Obs.Report.Sim mhz) obs with
@@ -148,6 +155,10 @@ let pass_json ~label ~mhz obs (r : Testbed.result) =
         :: ("aggregate_ns", Json.Int aggregate)
         :: ("forwarded_pps", Json.Float r.Testbed.r_forwarded_pps)
         :: ("ns_per_packet", Json.Float r.Testbed.r_total_ns)
+        :: ("degraded", Json.Bool (degraded r))
+        :: ( "warnings",
+             Json.List
+               (List.map (fun w -> Json.String w) r.Testbed.r_warnings) )
         :: kvs)
   | v -> v
 
@@ -216,6 +227,15 @@ let run json passes batch domains shards input_pps duration_ms warmup_ms input
            %.0f ns/packet\n"
           label ndev batch input_pps r.Testbed.r_forwarded_pps
           r.Testbed.r_total_ns;
+        if degraded r then begin
+          Printf.printf "degraded run:\n";
+          List.iter (fun w -> Printf.printf "  %s\n" w) r.Testbed.r_warnings;
+          List.iter
+            (fun (name, n) ->
+              Printf.printf "  element %s: %d fault%s contained\n" name n
+                (if n = 1 then "" else "s"))
+            r.Testbed.r_element_faults
+        end;
         print_string (Obs.Report.table (Obs.Report.Sim mhz) obs);
         Printf.printf "aggregate (cost model): %d ns — matches per-element \
                        total\n\n"

@@ -146,7 +146,7 @@ let set_meta obs router =
    run otherwise stops when every shard quiesces and every cut ring
    drains. *)
 let run_parallel ~rounds ~stats ~batch ~pool ~compile ~domains ~ring_capacity
-    ~writes ~reads ~report ~report_json ~trace router devices =
+    ~watchdog_ms ~writes ~reads ~report ~report_json ~trace router devices =
   let want_obs = report || report_json || trace <> None in
   let t0 = Unix.gettimeofday () in
   let now () = int_of_float ((Unix.gettimeofday () -. t0) *. 1e9) in
@@ -169,13 +169,37 @@ let run_parallel ~rounds ~stats ~batch ~pool ~compile ~domains ~ring_capacity
   in
   match
     Oclick_parallel.Runner.create ~hooks_for ~devices ~batch ~pool ~compile
-      ~ring_capacity ~domains router
+      ~ring_capacity ~clock:now ~domains router
   with
   | Error e -> Tool_common.die "%s" e
   | Ok runner ->
       let driver = Oclick_parallel.Runner.driver runner in
       apply_writes driver writes;
-      ignore (Oclick_parallel.Runner.run_until_idle ~max_rounds:rounds runner);
+      let rp =
+        Oclick_parallel.Runner.run_until_idle_report ~max_rounds:rounds
+          ~watchdog_ms runner
+      in
+      (* A stalled shard means the run completed degraded, not cleanly:
+         say so, with the same fault-containment detail the sequential
+         path prints, so scripts scraping the output can tell. *)
+      if rp.Oclick_parallel.Runner.rp_stalled <> [] then begin
+        let ints l = String.concat "," (List.map string_of_int l) in
+        Printf.printf
+          "degraded run: stalled domains [%s]%s; %d packet%s drained from \
+           their rings\n"
+          (ints rp.Oclick_parallel.Runner.rp_stalled)
+          (match rp.Oclick_parallel.Runner.rp_leaked with
+          | [] -> ""
+          | l -> Printf.sprintf " (leaked: [%s])" (ints l))
+          rp.Oclick_parallel.Runner.rp_drained
+          (if rp.Oclick_parallel.Runner.rp_drained = 1 then "" else "s");
+        List.iter
+          (fun (name, faults, quarantined) ->
+            Printf.printf "element %s: %d fault%s contained%s\n" name faults
+              (if faults = 1 then "" else "s")
+              (if quarantined then " (quarantined)" else ""))
+          (Oclick_runtime.Driver.fault_report driver)
+      end;
       apply_reads driver reads;
       if stats then print_stats driver;
       if pool && stats then
@@ -192,13 +216,15 @@ let run_parallel ~rounds ~stats ~batch ~pool ~compile ~domains ~ring_capacity
           print_obs ~driver ~rounds ~batch ~report ~report_json merged
 
 let run rounds stats batch pool compile fault fault_seed domains ring_capacity
-    writes reads report report_json trace input =
+    watchdog_ms writes reads report report_json trace input =
   if rounds < 0 then Tool_common.die "bad --rounds %d (must be >= 0)" rounds;
   if batch < 1 then Tool_common.die "bad --batch %d (must be at least 1)" batch;
   if domains < 1 then
     Tool_common.die "bad --domains %d (must be at least 1)" domains;
   if ring_capacity < 1 then
     Tool_common.die "bad --ring-capacity %d (must be at least 1)" ring_capacity;
+  if watchdog_ms < 1 then
+    Tool_common.die "bad --watchdog-ms %d (must be at least 1)" watchdog_ms;
   if domains > 1 && fault <> None then
     Tool_common.die
       "--fault requires --domains 1 (injection streams are sequential)";
@@ -217,7 +243,7 @@ let run rounds stats batch pool compile fault fault_seed domains ring_capacity
   in
   if domains > 1 then
     run_parallel ~rounds ~stats ~batch ~pool ~compile ~domains ~ring_capacity
-      ~writes ~reads ~report ~report_json ~trace router devices
+      ~watchdog_ms ~writes ~reads ~report ~report_json ~trace router devices
   else begin
   let injector =
     match fault with
@@ -268,9 +294,13 @@ let run rounds stats batch pool compile fault fault_seed domains ring_capacity
         let now () = int_of_float ((Unix.gettimeofday () -. t0) *. 1e9) in
         Oclick_obs.hooks ~now ~wall:true o hooks
   in
+  (* Live runs age element state (ARP cache, rewriter flows) on the wall
+     clock, in ns since process start. *)
+  let t0 = Unix.gettimeofday () in
+  let clock () = int_of_float ((Unix.gettimeofday () -. t0) *. 1e9) in
   match
     Oclick_runtime.Driver.instantiate ~hooks ~devices ?mangle ?quarantine
-      ~batch ?pool ~compile router
+      ~batch ?pool ~compile ~clock router
   with
   | Error e -> Tool_common.die "%s" e
   | Ok driver ->
@@ -393,6 +423,17 @@ let ring_capacity_arg =
            Queue; size it above the expected burst for loss-free runs. \
            Only meaningful with $(b,--domains) > 1.")
 
+let watchdog_ms_arg =
+  Arg.(
+    value & opt int 1000
+    & info [ "watchdog-ms" ] ~docv:"MS"
+        ~doc:
+          "Watchdog deadline for $(b,--domains) > 1: a domain whose \
+           heartbeat stops for $(docv) milliseconds of wall time is \
+           declared stalled, the healthy domains stop waiting for it, \
+           its inbound rings are drained into accounted drops, and the \
+           run reports degraded instead of hanging.")
+
 let write_arg =
   Arg.(
     value & opt_all string []
@@ -434,5 +475,5 @@ let () =
     Term.(
       const run $ rounds_arg $ stats_arg $ batch_arg $ pool_arg $ compile_arg
       $ fault_arg $ fault_seed_arg $ domains_arg $ ring_capacity_arg
-      $ write_arg $ read_arg $ report_arg $ report_json_arg $ trace_arg
-      $ Tool_common.input_arg)
+      $ watchdog_ms_arg $ write_arg $ read_arg $ report_arg $ report_json_arg
+      $ trace_arg $ Tool_common.input_arg)

@@ -6,19 +6,32 @@ open Prelude
 module Ether = Headers.Ether
 module Arp = Headers.Arp
 
-(* One pending packet is held per unresolved address, as in Click. *)
+(* Each unresolved address holds a small bounded FIFO of pending
+   packets (Click holds one); queries for the same address are
+   rate-limited. The whole table is bounded and age-evicted
+   (Aged_table), so address scans cost bounded memory, and evicting an
+   entry turns its held packets into accounted drops. *)
 type arp_entry = {
   mutable ae_eth : Ethaddr.t option;
-  mutable ae_pending : Packet.t option;
+  ae_pending : Packet.t Queue.t;
+  mutable ae_last_query : int;  (* clock ns of last query; -1 = never *)
 }
+
+let default_arp_capacity = 512
+let default_arp_timeout_ms = 300_000 (* Click's 5-minute entry timeout *)
+let default_query_interval_ms = 1_000
+let default_pending_cap = 4
 
 class arp_querier name =
   object (self)
     inherit E.base name
     val mutable my_ip = 0
     val mutable my_eth = Ethaddr.zero
-    val table : (Ipaddr.t, arp_entry) Hashtbl.t = Hashtbl.create 64
+    val table : (Ipaddr.t, arp_entry) Aged_table.t = Aged_table.create ()
+    val mutable pending_cap = default_pending_cap
+    val mutable query_interval_ns = default_query_interval_ms * 1_000_000
     val mutable queries = 0
+    val mutable suppressed = 0
     val mutable responses = 0
     val mutable encapsulated = 0
     method class_name = "ARPQuerier"
@@ -27,32 +40,92 @@ class arp_querier name =
     (* IP packets arrive on 0, ARP responses on 1; both leave via 0. *)
     method! flow_code = "xy/x"
 
+    method! set_clock f =
+      clock <- f;
+      Aged_table.set_clock table f
+
+    method private drop_pending reason e =
+      Queue.iter (fun held -> self#drop ~reason held) e.ae_pending;
+      Queue.clear e.ae_pending
+
     method! configure config =
-      match Args.split config with
-      | [ ip; eth ] -> (
-          match (Ipaddr.of_string ip, Ethaddr.of_string eth) with
-          | Some ip, Some eth ->
-              my_ip <- ip;
-              my_eth <- eth;
-              Ok ()
+      let positional, keywords = parse_positional_and_keywords config in
+      let bad = ref None in
+      let int_kw key default ~min =
+        match List.assoc_opt key keywords with
+        | None -> default
+        | Some v -> (
+            match Args.parse_int v with
+            | Some n when n >= min -> n
+            | _ ->
+                if !bad = None then
+                  bad :=
+                    Some
+                      (Printf.sprintf "ARPQuerier: bad %s %S (integer >= %d)"
+                         key v min);
+                default)
+      in
+      let capacity = int_kw "CAPACITY" default_arp_capacity ~min:0 in
+      let timeout_ms = int_kw "TIMEOUT" default_arp_timeout_ms ~min:0 in
+      let interval_ms =
+        int_kw "QUERY_INTERVAL" default_query_interval_ms ~min:0
+      in
+      let pcap = int_kw "PENDING" default_pending_cap ~min:1 in
+      List.iter
+        (fun (k, _) ->
+          if
+            (not (List.mem k [ "CAPACITY"; "TIMEOUT"; "QUERY_INTERVAL"; "PENDING" ]))
+            && !bad = None
+          then bad := Some (Printf.sprintf "ARPQuerier: unknown keyword %s" k))
+        keywords;
+      match !bad with
+      | Some msg -> Error msg
+      | None -> (
+          match positional with
+          | [ ip; eth ] -> (
+              match (Ipaddr.of_string ip, Ethaddr.of_string eth) with
+              | Some ip, Some eth ->
+                  my_ip <- ip;
+                  my_eth <- eth;
+                  Aged_table.set_capacity table capacity;
+                  Aged_table.set_max_age_ns table (timeout_ms * 1_000_000);
+                  Aged_table.set_on_evict table (fun _ e _why ->
+                      self#drop_pending "ARP entry evicted" e);
+                  query_interval_ns <- interval_ms * 1_000_000;
+                  pending_cap <- pcap;
+                  Ok ()
+              | _ -> Error "ARPQuerier expects IP, ETH")
           | _ -> Error "ARPQuerier expects IP, ETH")
-      | _ -> Error "ARPQuerier expects IP, ETH"
 
     method private entry ip =
-      match Hashtbl.find_opt table ip with
+      match Aged_table.find table ip with
       | Some e -> e
       | None ->
-          let e = { ae_eth = None; ae_pending = None } in
-          Hashtbl.add table ip e;
+          let e =
+            { ae_eth = None; ae_pending = Queue.create (); ae_last_query = -1 }
+          in
+          Aged_table.put table ip e;
           e
 
-    method private send_query target_ip =
-      queries <- queries + 1;
-      let q =
-        Headers.Build.arp_query ~src_eth:my_eth ~src_ip:my_ip ~target_ip
-      in
-      self#spawn q;
-      self#output 0 q
+    (* Send at most one query per QUERY_INTERVAL per unresolved address:
+       under an address scan or ARP storm the querier no longer amplifies
+       every data packet into a broadcast. *)
+    method private maybe_query e target_ip =
+      let now = clock () in
+      if
+        e.ae_last_query >= 0
+        && query_interval_ns > 0
+        && now - e.ae_last_query < query_interval_ns
+      then suppressed <- suppressed + 1
+      else begin
+        e.ae_last_query <- now;
+        queries <- queries + 1;
+        let q =
+          Headers.Build.arp_query ~src_eth:my_eth ~src_ip:my_ip ~target_ip
+        in
+        self#spawn q;
+        self#output 0 q
+      end
 
     method private encap_and_send p dst_eth =
       Ether.encap p ~dst:dst_eth ~src:my_eth ~ethertype:Ether.ethertype_ip;
@@ -67,14 +140,15 @@ class arp_querier name =
         match e.ae_eth with
         | Some eth -> self#encap_and_send p eth
         | None ->
-            (match e.ae_pending with
-            | Some old -> self#drop ~reason:"ARP resolution in progress" old
-            | None -> ());
-            e.ae_pending <- Some p;
-            self#send_query dst
+            (* Hold the packet (bounded FIFO per address; overflow drops
+               the oldest so the freshest traffic survives resolution). *)
+            if Queue.length e.ae_pending >= pending_cap then
+              self#drop ~reason:"ARP pending overflow" (Queue.pop e.ae_pending);
+            Queue.push p e.ae_pending;
+            self#maybe_query e dst
       end
       else begin
-        (* An ARP response: learn, and release any held packet. *)
+        (* An ARP response: learn, and release any held packets. *)
         responses <- responses + 1;
         (if
            Packet.length p >= Ether.header_length + Arp.packet_length
@@ -84,11 +158,9 @@ class arp_querier name =
            let eth = Arp.sender_eth ~off:Ether.header_length p in
            let e = self#entry ip in
            e.ae_eth <- Some eth;
-           match e.ae_pending with
-           | Some held ->
-               e.ae_pending <- None;
-               self#encap_and_send held eth
-           | None -> ()
+           while not (Queue.is_empty e.ae_pending) do
+             self#encap_and_send (Queue.pop e.ae_pending) eth
+           done
          end);
         (* The response itself (or whatever malformed frame landed on the
            response port) is consumed here either way. *)
@@ -150,17 +222,46 @@ class arp_querier name =
         flush ()
       end
 
+    method! write_handler handler value =
+      let int_of v ~min err =
+        match Args.parse_int v with
+        | Some n when n >= min -> Ok n
+        | _ -> Error (Printf.sprintf "%s: %s" name err)
+      in
+      match handler with
+      | "capacity" ->
+          Result.map (Aged_table.set_capacity table)
+            (int_of value ~min:0 "capacity must be an integer >= 0")
+      | "timeout_ms" ->
+          Result.map
+            (fun ms -> Aged_table.set_max_age_ns table (ms * 1_000_000))
+            (int_of value ~min:0 "timeout_ms must be an integer >= 0")
+      | "query_interval_ms" ->
+          Result.map
+            (fun ms -> query_interval_ns <- ms * 1_000_000)
+            (int_of value ~min:0 "query_interval_ms must be an integer >= 0")
+      | "pending" ->
+          Result.map
+            (fun n -> pending_cap <- n)
+            (int_of value ~min:1 "pending must be an integer >= 1")
+      | h -> Error (Printf.sprintf "%s: no write handler %S" name h)
+
     method! stats =
+      (* "pending" is every packet currently held awaiting resolution:
+         the testbed's conservation residual counts it, so it must be
+         exact. *)
       let pending =
-        Hashtbl.fold
-          (fun _ e acc -> if e.ae_pending <> None then acc + 1 else acc)
-          table 0
+        Aged_table.fold table
+          (fun _ e acc -> acc + Queue.length e.ae_pending)
+          0
       in
       [
         ("queries", queries);
+        ("suppressed", suppressed);
         ("responses", responses);
         ("encapsulated", encapsulated);
-        ("cached", Hashtbl.length table);
+        ("cached", Aged_table.length table);
+        ("evictions", Aged_table.evicted table);
         ("pending", pending);
       ]
   end

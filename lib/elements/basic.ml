@@ -237,37 +237,105 @@ class queue name =
     val mutable capacity = 1000
     val mutable drops = 0
     val mutable highwater = 0
+
+    (* Admission control: RED-style early drop at the queue itself,
+       evaluated on the enqueue (producer) side — so under multicore
+       sharding the early drop, like all this element's counters, runs
+       and is accounted on the producing domain. Off by default. *)
+    val mutable early : (int * int * float) option = None
+    val mutable early_avg = 0.0
+    val mutable early_drops = 0
+    val early_rng = ref 0
     method class_name = "Queue"
     method! processing = "h/l"
 
+    method private parse_early value =
+      match
+        List.filter (( <> ) "") (String.split_on_char ' ' (String.trim value))
+      with
+      | [ mn; mx; p ] -> (
+          match (Args.parse_int mn, Args.parse_int mx, float_of_string_opt p)
+          with
+          | Some mn, Some mx, Some p
+            when 0 <= mn && mn < mx && p >= 0.0 && p <= 1.0 ->
+              Ok (Some (mn, mx, p))
+          | _ -> Error "bad EARLY MIN MAX P (0 <= MIN < MAX, 0 <= P <= 1)")
+      | _ -> Error "EARLY expects \"MIN MAX P\""
+
     method! configure config =
-      match Args.split config with
-      | [] -> Ok ()
-      | [ n ] -> (
-          match Args.parse_int n with
-          | Some c when c > 0 ->
-              capacity <- c;
-              Ok ()
-          | _ -> Error (Printf.sprintf "bad Queue capacity %S" n))
-      | _ -> Error "Queue takes at most one argument"
+      early_rng := lcg_seed_of_name name;
+      let positional, keywords = parse_positional_and_keywords config in
+      let cap_ok =
+        match positional with
+        | [] -> Ok ()
+        | [ n ] -> (
+            match Args.parse_int n with
+            | Some c when c > 0 ->
+                capacity <- c;
+                Ok ()
+            | _ -> Error (Printf.sprintf "bad Queue capacity %S" n))
+        | _ -> Error "Queue takes at most one capacity argument"
+      in
+      match cap_ok with
+      | Error _ as e -> e
+      | Ok () ->
+          List.fold_left
+            (fun acc (k, v) ->
+              match acc with
+              | Error _ -> acc
+              | Ok () -> (
+                  match k with
+                  | "EARLY" ->
+                      Result.map (fun e -> early <- e) (self#parse_early v)
+                  | _ -> Error (Printf.sprintf "Queue: unknown keyword %s" k)))
+            (Ok ()) keywords
+
+    method private early_dropped p =
+      match early with
+      | None -> false
+      | Some (min_thresh, max_thresh, max_p) ->
+          let len =
+            match ring with
+            | Some r -> Spsc.length r
+            | None -> Queue.length q
+          in
+          let w = 0.25 in
+          early_avg <- ((1.0 -. w) *. early_avg) +. (w *. float_of_int len);
+          let doomed =
+            if early_avg < float_of_int min_thresh then false
+            else if early_avg >= float_of_int max_thresh then true
+            else
+              let fraction =
+                (early_avg -. float_of_int min_thresh)
+                /. float_of_int (max_thresh - min_thresh)
+              in
+              lcg_float early_rng < max_p *. fraction
+          in
+          if doomed then begin
+            early_drops <- early_drops + 1;
+            drops <- drops + 1;
+            self#drop ~reason:"early drop" p
+          end;
+          doomed
 
     method private enqueue p =
-      match ring with
-      | Some r ->
-          if Spsc.push r p then highwater <- max highwater (Spsc.length r)
-          else begin
-            drops <- drops + 1;
-            self#drop ~reason:"queue full" p
-          end
-      | None ->
-          if Queue.length q >= capacity then begin
-            drops <- drops + 1;
-            self#drop ~reason:"queue full" p
-          end
-          else begin
-            Queue.add p q;
-            highwater <- max highwater (Queue.length q)
-          end
+      if not (self#early_dropped p) then
+        match ring with
+        | Some r ->
+            if Spsc.push r p then highwater <- max highwater (Spsc.length r)
+            else begin
+              drops <- drops + 1;
+              self#drop ~reason:"queue full" p
+            end
+        | None ->
+            if Queue.length q >= capacity then begin
+              drops <- drops + 1;
+              self#drop ~reason:"queue full" p
+            end
+            else begin
+              Queue.add p q;
+              highwater <- max highwater (Queue.length q)
+            end
 
     method! push _ p =
       self#charge Hooks.W_queue;
@@ -290,6 +358,12 @@ class queue name =
       self#charge Hooks.W_queue;
       match ring with
       | Some _ ->
+          for i = 0 to n - 1 do
+            self#enqueue batch.(i)
+          done
+      | None when early <> None ->
+          (* Early drop samples the occupancy per packet, so the bulk
+             headroom shortcut below doesn't apply. *)
           for i = 0 to n - 1 do
             self#enqueue batch.(i)
           done
@@ -347,6 +421,7 @@ class queue name =
             | None -> Queue.length q );
           ("capacity", capacity);
           ("drops", drops);
+          ("early_drops", early_drops);
           ("highwater", highwater);
         ]
       in
@@ -381,8 +456,15 @@ class queue name =
                 Ok ()
               end
           | _ -> Error "spsc capacity must be a positive integer")
+      | "early" ->
+          if String.trim value = "off" then begin
+            early <- None;
+            Ok ()
+          end
+          else Result.map (fun e -> early <- e) (self#parse_early value)
       | "reset_counts" ->
           drops <- 0;
+          early_drops <- 0;
           highwater <-
             (match ring with
             | Some r -> Spsc.length r

@@ -67,7 +67,73 @@ class router_link name =
     method! pull _ = self#input_pull 0
   end
 
+(* Stall(SPIN_MS [, AFTER n]): a transparent wire that wedges the
+   calling thread once — a busy-wait of SPIN_MS wall-clock milliseconds
+   when the AFTER-th packet passes (default: the first). The test
+   subject for the multi-domain watchdog: placing it in one shard turns
+   that shard into a deliberately stalled domain. *)
+class stall name =
+  object (self)
+    inherit E.base name
+    val mutable spin_ms = 100
+    val mutable after = 1
+    val mutable seen = 0
+    val mutable spun = false
+    method class_name = "Stall"
+    method! processing = "h/h"
+
+    method! configure config =
+      let positional, keywords = parse_positional_and_keywords config in
+      let ms_ok =
+        match positional with
+        | [] -> Ok ()
+        | [ ms ] -> (
+            match Args.parse_int ms with
+            | Some m when m >= 0 ->
+                spin_ms <- m;
+                Ok ()
+            | _ -> Error (Printf.sprintf "bad Stall spin %S (ms >= 0)" ms))
+        | _ -> Error "Stall expects SPIN_MS and optional AFTER n"
+      in
+      match ms_ok with
+      | Error _ as e -> e
+      | Ok () ->
+          List.fold_left
+            (fun acc (k, v) ->
+              match acc with
+              | Error _ -> acc
+              | Ok () -> (
+                  match k with
+                  | "AFTER" -> (
+                      match Args.parse_int v with
+                      | Some n when n >= 1 ->
+                          after <- n;
+                          Ok ()
+                      | _ ->
+                          Error
+                            (Printf.sprintf "bad Stall AFTER %S (integer >= 1)"
+                               v))
+                  | _ -> Error (Printf.sprintf "Stall: unknown keyword %s" k)))
+            (Ok ()) keywords
+
+    method! push _ p =
+      seen <- seen + 1;
+      if (not spun) && seen >= after then begin
+        spun <- true;
+        let until =
+          Unix.gettimeofday () +. (float_of_int spin_ms /. 1000.0)
+        in
+        while Unix.gettimeofday () < until do
+          ()
+        done
+      end;
+      self#output 0 p
+
+    method! stats = [ ("seen", seen); ("spun", (if spun then 1 else 0)) ]
+  end
+
 let register () =
   def "Align" (fun n -> (new align n :> E.t));
   def "AlignmentInfo" ~ports:"0/0" (fun n -> (new alignment_info n :> E.t));
-  def "RouterLink" (fun n -> (new router_link n :> E.t))
+  def "RouterLink" (fun n -> (new router_link n :> E.t));
+  def "Stall" (fun n -> (new stall n :> E.t))

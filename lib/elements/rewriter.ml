@@ -9,7 +9,15 @@
    port / port range ("1024-65535") / "-" to leave the field alone, e.g.
 
      IPRewriter(18.26.4.24 1024-65535 - -)      // classic NAPT
-*)
+
+   The flow table is bounded and age-evicted (comma keywords CAPACITY
+   and TIMEOUT, in entries and milliseconds), so adversarial flow churn
+   cannot grow it without bound:
+
+     IPRewriter(18.26.4.24 1024-65535 - -, CAPACITY 4096, TIMEOUT 300000)
+
+   Evicting a mapping removes both directions; replies to an evicted
+   flow fall into the existing "no reverse mapping" drop. *)
 
 open Prelude
 module Ip = Headers.Ip
@@ -47,6 +55,9 @@ let parse_field ~is_port s =
   end
   else Option.map (fun a -> Set a) (Ipaddr.of_string s)
 
+let default_flow_capacity = 4096
+let default_flow_timeout_ms = 300_000
+
 class ip_rewriter name =
   object (self)
     inherit E.base name
@@ -55,35 +66,81 @@ class ip_rewriter name =
     val mutable pat_daddr = Keep
     val mutable pat_dport = Keep
     val mutable next_port = 0
-    val forward : (flow, flow) Hashtbl.t = Hashtbl.create 64
-    val reverse : (flow, flow) Hashtbl.t = Hashtbl.create 64
+
+    (* forward: original flow -> (mapped flow, reverse key); reverse is
+       a plain mirror maintained by the forward table's eviction hook,
+       so both directions die together and the pair count stays bounded
+       by CAPACITY. *)
+    val forward : (flow, flow * flow) Aged_table.t =
+      Aged_table.create ~capacity:default_flow_capacity
+        ~max_age_ns:(default_flow_timeout_ms * 1_000_000)
+        ()
+
+    val reverse : (flow, flow * flow) Hashtbl.t = Hashtbl.create 64
     val mutable drops = 0
     method class_name = "IPRewriter"
     method! port_count = "2/1-2"
     method! processing = "h/h"
     method! flow_code = "xy/xy"
 
+    method! set_clock f =
+      clock <- f;
+      Aged_table.set_clock forward f
+
     method! configure config =
-      let parts =
-        List.filter (( <> ) "") (String.split_on_char ' ' (String.trim config))
+      let positional, keywords = parse_positional_and_keywords config in
+      let bad = ref None in
+      let int_kw key default =
+        match List.assoc_opt key keywords with
+        | None -> default
+        | Some v -> (
+            match Args.parse_int v with
+            | Some n when n >= 0 -> n
+            | _ ->
+                if !bad = None then
+                  bad :=
+                    Some
+                      (Printf.sprintf "IPRewriter: bad %s %S (integer >= 0)"
+                         key v);
+                default)
       in
-      match parts with
-      | [ sa; sp; da; dp ] -> (
-          match
-            ( parse_field ~is_port:false sa,
-              parse_field ~is_port:true sp,
-              parse_field ~is_port:false da,
-              parse_field ~is_port:true dp )
-          with
-          | Some a, Some b, Some c, Some d ->
-              pat_saddr <- a;
-              pat_sport <- b;
-              pat_daddr <- c;
-              pat_dport <- d;
-              (match b with Port_range (lo, _) -> next_port <- lo | _ -> ());
-              Ok ()
-          | _ -> Error "IPRewriter: bad pattern field")
-      | _ -> Error "IPRewriter expects \"SADDR SPORT DADDR DPORT\""
+      Aged_table.set_capacity forward (int_kw "CAPACITY" default_flow_capacity);
+      Aged_table.set_max_age_ns forward
+        (int_kw "TIMEOUT" default_flow_timeout_ms * 1_000_000);
+      List.iter
+        (fun (k, _) ->
+          if (not (List.mem k [ "CAPACITY"; "TIMEOUT" ])) && !bad = None then
+            bad := Some (Printf.sprintf "IPRewriter: unknown keyword %s" k))
+        keywords;
+      Aged_table.set_on_evict forward (fun _ (_, rkey) _why ->
+          Hashtbl.remove reverse rkey);
+      match !bad with
+      | Some msg -> Error msg
+      | None -> (
+          let parts =
+            match positional with
+            | [ pattern ] ->
+                List.filter (( <> ) "")
+                  (String.split_on_char ' ' (String.trim pattern))
+            | _ -> []
+          in
+          match parts with
+          | [ sa; sp; da; dp ] -> (
+              match
+                ( parse_field ~is_port:false sa,
+                  parse_field ~is_port:true sp,
+                  parse_field ~is_port:false da,
+                  parse_field ~is_port:true dp )
+              with
+              | Some a, Some b, Some c, Some d ->
+                  pat_saddr <- a;
+                  pat_sport <- b;
+                  pat_daddr <- c;
+                  pat_dport <- d;
+                  (match b with Port_range (lo, _) -> next_port <- lo | _ -> ());
+                  Ok ()
+              | _ -> Error "IPRewriter: bad pattern field")
+          | _ -> Error "IPRewriter expects \"SADDR SPORT DADDR DPORT\"")
 
     method private flow_of p =
       if
@@ -125,7 +182,6 @@ class ip_rewriter name =
           f_dport = self#apply_field pat_dport flow.f_dport ~alloc:false;
         }
       in
-      Hashtbl.replace forward flow mapped;
       (* the reply direction arrives with src/dst of the mapped flow
          swapped, and must be rewritten to the original, swapped *)
       let swap f =
@@ -137,7 +193,9 @@ class ip_rewriter name =
           f_dport = f.f_sport;
         }
       in
-      Hashtbl.replace reverse (swap mapped) (swap flow);
+      let rkey = swap mapped in
+      Aged_table.put forward flow (mapped, rkey);
+      Hashtbl.replace reverse rkey (swap flow, flow);
       mapped
 
     method private rewrite p (target : flow) =
@@ -160,24 +218,49 @@ class ip_rewriter name =
       | Some flow ->
           if port = 0 then begin
             let mapped =
-              match Hashtbl.find_opt forward flow with
-              | Some m -> m
+              match Aged_table.find forward flow with
+              | Some (m, _) -> m
               | None -> self#fresh_mapping flow
             in
             self#rewrite p mapped;
             self#output 0 p
           end
           else begin
+            (* Touch the forward entry so an active reply direction
+               keeps the mapping alive; a just-aged-out mapping is gone
+               in both directions. *)
             match Hashtbl.find_opt reverse flow with
-            | Some original ->
+            | Some (original, fkey) when Aged_table.find forward fkey <> None
+              ->
                 self#rewrite p original;
                 self#output (min 1 (self#noutputs - 1)) p
-            | None ->
+            | Some _ | None ->
                 drops <- drops + 1;
                 self#drop ~reason:"no reverse mapping" p
           end
 
-    method! stats = [ ("flows", Hashtbl.length forward); ("drops", drops) ]
+    method! write_handler handler value =
+      match handler with
+      | "capacity" -> (
+          match Args.parse_int value with
+          | Some n when n >= 0 ->
+              Aged_table.set_capacity forward n;
+              Ok ()
+          | _ -> Error (name ^ ": capacity must be an integer >= 0"))
+      | "timeout_ms" -> (
+          match Args.parse_int value with
+          | Some n when n >= 0 ->
+              Aged_table.set_max_age_ns forward (n * 1_000_000);
+              Ok ()
+          | _ -> Error (name ^ ": timeout_ms must be an integer >= 0"))
+      | h -> Error (Printf.sprintf "%s: no write handler %S" name h)
+
+    method! stats =
+      [
+        ("flows", Aged_table.length forward);
+        ("evictions", Aged_table.evicted forward);
+        ("drops", drops);
+      ]
   end
 
 let register () =

@@ -5,6 +5,25 @@ module Fault = Oclick_fault
 
 let arp_reply_delay_ns = 5_000
 
+(* Adversarial traffic shapes for overload experiments. All preserve the
+   configured mean rate; what varies is where the packets aim and how
+   they cluster:
+   - [Scan n]: UDP destinations sweep [n] consecutive addresses in the
+     destination subnet. Only the first (the real attached host)
+     resolves, so the router's ARP querier sees a worst-case miss
+     pattern — the address-scan state explosion.
+   - [Arp_storm k]: every [k]-th frame is an ARP request for the
+     router's own address, amplifying the control path (each request
+     spawns a reply).
+   - [Burst (mean, alpha)]: heavy-tailed ON/OFF traffic — back-to-back
+     frames at wire speed in bursts whose length is bounded-Pareto with
+     the given mean and shape, separated by mean-preserving gaps. *)
+type workload =
+  | Uniform
+  | Scan of int
+  | Arp_storm of int
+  | Burst of int * float
+
 class host ~engine ~platform ~ip ~eth ~router_eth ?injector
   ?(fault_stream = "host") () =
   object (self)
@@ -73,47 +92,101 @@ class host ~engine ~platform ~ip ~eth ~router_eth ?injector
         | _ -> received_other <- received_other + 1
       end
 
-    method start_traffic ~dst_ip ~rate_pps ?(payload_len = 14) ~until () =
+    (* Bounded Pareto draw from the host's deterministic stream: minimum
+       1, shape [alpha], scaled so the mean is about [mean], capped at
+       100x the mean so a single draw cannot freeze the run. *)
+    method private draw_burst mean alpha =
+      let s = ((!jitter * 1103515245) + 12345) land 0x3fffffff in
+      jitter := s;
+      let u = (float_of_int s +. 1.0) /. 1073741825.0 in
+      let xm = float_of_int mean *. (alpha -. 1.0) /. alpha in
+      let x = xm /. (u ** (1.0 /. alpha)) in
+      max 1 (min (mean * 100) (int_of_float x))
+
+    method start_workload ~workload ~dst_ip ~router_ip ~rate_pps
+        ?(payload_len = 14) ~until () =
       if rate_pps > 0 then begin
         let interval = 1_000_000_000 / rate_pps in
-        (* Never offer faster than the wire can carry. *)
-        let interval =
-          max interval
-            (Platform.wire_ns_per_frame platform
-               ~frame_bytes:(Headers.Ether.header_length + 20 + 8 + payload_len))
-        in
         let wire_floor =
           Platform.wire_ns_per_frame platform
             ~frame_bytes:(Headers.Ether.header_length + 20 + 8 + payload_len)
         in
+        (* Never offer faster than the wire can carry. *)
+        let interval = max interval wire_floor in
         (* Jittered pacing with a debt counter: sends clamped to the wire
            rate repay the clamped time later, so the mean rate is exact. *)
         let debt = ref 0 in
+        let seq = ref 0 in
+        let burst_left = ref 0 in
         let rec tick () =
           if Engine.now engine < until then begin
-            let p =
-              Headers.Build.udp ~src_eth:eth ~dst_eth:router_eth ~src_ip:ip
-                ~dst_ip ~payload_len ()
+            let i = !seq in
+            incr seq;
+            let arp =
+              match workload with
+              | Arp_storm k when k > 0 && i mod k = 0 -> true
+              | _ -> false
             in
-            (* Fault injection draws only from this host's own stream, so
-               the fault schedule is a function of (plan, seed, host) —
-               independent of router timing, which is what makes
-               differential runs comparable. *)
-            (match injector with
-            | Some inj ->
-                Fault.Injector.mangle_tx inj ~stream:fault_stream p;
-                Fault.Injector.mangle_wire inj ~stream:fault_stream p
-            | None -> ());
-            sent_udp <- sent_udp + 1;
-            self#transmit p;
-            let wanted = self#next_jittered interval + !debt in
-            let actual = max wire_floor wanted in
-            debt := wanted - actual;
-            Engine.schedule_after engine ~delay:actual tick
+            if arp then
+              self#transmit
+                (Headers.Build.arp_query ~src_eth:eth ~src_ip:ip
+                   ~target_ip:router_ip)
+            else begin
+              let dst_ip =
+                match workload with
+                | Scan n when n > 1 -> dst_ip + (i mod n)
+                | _ -> dst_ip
+              in
+              let p =
+                Headers.Build.udp ~src_eth:eth ~dst_eth:router_eth ~src_ip:ip
+                  ~dst_ip ~payload_len ()
+              in
+              (* Fault injection draws only from this host's own stream,
+                 so the fault schedule is a function of (plan, seed,
+                 host) — independent of router timing, which is what
+                 makes differential runs comparable. ARP-storm frames
+                 are left intact: the storm itself is the fault. *)
+              (match injector with
+              | Some inj ->
+                  Fault.Injector.mangle_tx inj ~stream:fault_stream p;
+                  Fault.Injector.mangle_wire inj ~stream:fault_stream p
+              | None -> ());
+              sent_udp <- sent_udp + 1;
+              self#transmit p
+            end;
+            let delay =
+              match workload with
+              | Burst (mean, alpha) ->
+                  if !burst_left = 0 then
+                    burst_left := self#draw_burst mean alpha;
+                  decr burst_left;
+                  if !burst_left > 0 then begin
+                    (* In-burst: wire speed, banking the time owed to
+                       the mean rate; the bank is paid out as the OFF
+                       gap when the burst ends. *)
+                    debt := !debt + (interval - wire_floor);
+                    wire_floor
+                  end
+                  else begin
+                    let d = max wire_floor (interval + !debt) in
+                    debt := interval + !debt - d;
+                    d
+                  end
+              | _ ->
+                  let wanted = self#next_jittered interval + !debt in
+                  let actual = max wire_floor wanted in
+                  debt := wanted - actual;
+                  actual
+            in
+            Engine.schedule_after engine ~delay tick
           end
         in
         tick ()
       end
+
+    method start_traffic ~dst_ip ~rate_pps ?payload_len ~until () =
+      self#start_workload ~workload:Uniform ~dst_ip ~router_ip:0 ~rate_pps
+        ?payload_len ~until ()
 
     method sent_udp = sent_udp
     method sent_frames = sent_frames

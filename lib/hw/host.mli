@@ -12,6 +12,19 @@
     host's named random stream so the fault schedule is independent of
     router timing. *)
 
+(** Adversarial traffic shapes for overload experiments; all preserve
+    the configured mean rate. *)
+type workload =
+  | Uniform  (** one destination, jittered even pacing (the default) *)
+  | Scan of int
+      (** sweep this many consecutive destination addresses — only the
+          first resolves, a worst-case ARP miss pattern *)
+  | Arp_storm of int
+      (** every k-th frame is an ARP request for the router's address *)
+  | Burst of int * float
+      (** [(mean, alpha)]: bounded-Pareto bursts at wire speed with
+          mean-preserving OFF gaps (heavy-tailed ON/OFF) *)
+
 class host :
   engine:Engine.t
   -> platform:Platform.t
@@ -32,6 +45,14 @@ class host :
          dst_ip:Oclick_packet.Ipaddr.t -> rate_pps:int ->
          ?payload_len:int -> until:int -> unit -> unit
        (** Generate UDP at [rate_pps] until simulation time [until] ns. *)
+
+       method start_workload :
+         workload:workload -> dst_ip:Oclick_packet.Ipaddr.t ->
+         router_ip:Oclick_packet.Ipaddr.t -> rate_pps:int ->
+         ?payload_len:int -> until:int -> unit -> unit
+       (** Like [start_traffic] with a traffic shape. [router_ip] is the
+           gateway address ARP-storm requests target (unused
+           otherwise). [Uniform] is exactly [start_traffic]. *)
 
        method sent_udp : int
        method received_udp : int

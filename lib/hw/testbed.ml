@@ -86,7 +86,7 @@ let ms n = n * 1_000_000
 
 let run ?(duration_ms = 60) ?(warmup_ms = 30) ?(drain_ms = 10) ?ports ?flows
     ?(payload_len = 14) ?fault ?(batch = 1) ?compile ?obs ?(domains = 1)
-    ~platform ~graph ~input_pps () =
+    ?(workload = Host.Uniform) ~platform ~graph ~input_pps () =
   (* A caller may reuse one observability accumulator across consecutive
      runs (oclick-report's before/after passes, the MLFFR search); stale
      counters and element metadata from the previous run — possibly of a
@@ -330,7 +330,10 @@ let run ?(duration_ms = 60) ?(warmup_ms = 30) ?(drain_ms = 10) ?ports ?flows
     let devices =
       Array.to_list (Array.map (fun n -> (n :> Oclick_runtime.Netdevice.t)) nics)
     in
-    match Driver.instantiate ~hooks ~devices ?quarantine ~batch ?compile graph
+    match
+      Driver.instantiate ~hooks ~devices ?quarantine ~batch ?compile
+        ~clock:(fun () -> Engine.now engine)
+        graph
     with
     | Error e -> Error e
     | Ok driver ->
@@ -438,8 +441,9 @@ let run ?(duration_ms = 60) ?(warmup_ms = 30) ?(drain_ms = 10) ?ports ?flows
         let per_flow = input_pps / max 1 (List.length flows) in
         List.iter
           (fun f ->
-            hosts.(f.fl_src)#start_traffic
-              ~dst_ip:port_arr.(f.fl_dst).ps_host_ip ~rate_pps:per_flow
+            hosts.(f.fl_src)#start_workload ~workload
+              ~dst_ip:port_arr.(f.fl_dst).ps_host_ip
+              ~router_ip:port_arr.(f.fl_src).ps_router_ip ~rate_pps:per_flow
               ~payload_len ~until:stop_at ())
           flows;
         (* Warmup (ARP resolution), then snapshot the monotonic counters

@@ -92,12 +92,18 @@ val run :
   ?compile:bool ->
   ?obs:Oclick_obs.t ->
   ?domains:int ->
+  ?workload:Host.workload ->
   platform:Platform.t ->
   graph:Oclick_graph.Router.t ->
   input_pps:int ->
   unit ->
   (result, string) Stdlib.result
-(** [input_pps] is aggregate over all flows. Defaults: 60 ms measured
+(** [input_pps] is aggregate over all flows. [workload] (default
+    [Host.Uniform]) selects the traffic shape every host generates —
+    the adversarial generators ([Scan], [Arp_storm], [Burst]) drive the
+    overload experiments. The driver is instantiated with the simulated
+    clock, so age-bounded element state (ARP cache, rewriter flow
+    tables) expires in simulated time. Defaults: 60 ms measured
     after 30 ms warmup, then a 10 ms drain with traffic stopped so
     in-flight packets reach a terminal outcome before the conservation
     check. [batch] is the transfer batch size handed to

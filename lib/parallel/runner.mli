@@ -31,6 +31,7 @@ val create :
   ?pool_capacity:int ->
   ?compile:bool ->
   ?ring_capacity:int ->
+  ?clock:(unit -> int) ->
   domains:int ->
   Oclick_graph.Router.t ->
   (t, string) result
@@ -47,7 +48,24 @@ val create :
     false) gives each domain a private recycling pool of
     [pool_capacity]. *)
 
-val run_until_idle : ?max_rounds:int -> t -> bool
+type report = {
+  rp_converged : bool;
+      (** clean quiesce: no abort, no stalled domain *)
+  rp_stalled : int list;
+      (** domains the watchdog marked stalled (no heartbeat) *)
+  rp_leaked : int list;
+      (** stalled domains that never returned from their wedged call —
+          their domains are leaked (joining would hang) and their
+          inbound rings could not be drained *)
+  rp_drained : int;
+      (** packets drained from stalled shards' inbound rings into
+          accounted drops (reason ["stalled domain drained"]) *)
+  rp_pressure : int array;
+      (** per-domain count of backpressure activations (outbound cut
+          ring pressure forced the shard's batch down to 1) *)
+}
+
+val run_until_idle_report : ?max_rounds:int -> ?watchdog_ms:int -> t -> report
 (** Run every shard's task schedule until the whole router quiesces:
     each domain rotates over its own tasks ({!Oclick_runtime.Driver.run_task_array});
     a domain that stays idle long enough votes quiet, and when all
@@ -56,12 +74,37 @@ val run_until_idle : ?max_rounds:int -> t -> bool
     [max_rounds] (default 1_000_000) bounds the number of {e working}
     rounds per domain; exhausting it — or stalling with packets parked in
     a ring nobody drains — aborts the run with a warning through shard
-    0's hooks and returns [false]. Assumes monotone sources (once a task
-    goes idle with empty inputs it stays idle), which holds for every
-    source element in the tree.
+    0's hooks. The stranded-ring abort is wall-clock gated to twice the
+    watchdog deadline: a wedged domain looks exactly like stranded ring
+    traffic to its peers, and the watchdog must get to diagnose (and
+    quarantine) it before the abort fires. Assumes monotone sources (once a task goes idle with
+    empty inputs it stays idle), which holds for every source element in
+    the tree.
+
+    Overload protection, for [domains > 1]:
+
+    {ul
+    {- {b Watchdog}: every domain heartbeats once per scheduler
+       iteration; the calling thread supervises. A domain whose
+       heartbeat sits still for [watchdog_ms] (default 1000) of wall
+       time is marked stalled: the healthy domains stop waiting for it,
+       its inbound cut rings are drained to accounted drops after the
+       run (reason ["stalled domain drained"]), and the run reports
+       degraded ([rp_stalled]) instead of hanging. A stalled domain
+       whose wedged element call eventually returns exits cleanly and is
+       joined; one that never returns is leaked ([rp_leaked]) and its
+       rings are left untouched.}
+    {- {b Backpressure}: each domain samples its outbound cut rings;
+       sustained occupancy above 7/8 of capacity shrinks the shard's
+       effective batch to 1 and yields until the consumer drains below
+       half — the receive-livelock rule: stop amplifying work that will
+       only become tail drops ([rp_pressure]).}}
 
     May be called again after it returns; domains are respawned per
     call. *)
+
+val run_until_idle : ?max_rounds:int -> ?watchdog_ms:int -> t -> bool
+(** [run_until_idle t = (run_until_idle_report t).rp_converged]. *)
 
 val driver : t -> Oclick_runtime.Driver.t
 (** The underlying single instantiation (element lookup, stats, faults).

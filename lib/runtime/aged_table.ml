@@ -1,0 +1,183 @@
+(* Bounded, age-evicted association table.
+
+   The overload-resilience workhorse: stateful elements (ARP caches,
+   rewriter flow tables) keep per-peer state here instead of in a bare
+   Hashtbl, so adversarial traffic (address scans, ARP storms) costs a
+   bounded amount of memory and old state ages out instead of
+   accumulating forever.
+
+   Implementation: a Hashtbl of intrusive doubly-linked nodes kept in
+   least-recently-used order. Every operation is O(1) (sweeps are
+   amortized), so a scan that misses on every lookup cannot degrade the
+   table into linear behaviour.
+
+   Time comes from a pluggable [clock] returning nanoseconds — the
+   testbed installs its simulated clock, live tools install the wall
+   clock, and the default of [fun () -> 0] disables aging entirely
+   (every entry is forever young), which keeps unit tests deterministic
+   unless they opt in. *)
+
+type reason = Capacity | Age
+
+type ('k, 'v) node = {
+  nd_key : 'k;
+  mutable nd_value : 'v;
+  mutable nd_stamp : int;  (* last-touch time, clock ns *)
+  mutable nd_prev : ('k, 'v) node option;
+  mutable nd_next : ('k, 'v) node option;
+}
+
+type ('k, 'v) t = {
+  tbl : ('k, ('k, 'v) node) Hashtbl.t;
+  mutable capacity : int;  (* 0 = unbounded *)
+  mutable max_age_ns : int;  (* 0 = never ages *)
+  mutable clock : unit -> int;
+  mutable lru : ('k, 'v) node option;  (* least recently used *)
+  mutable mru : ('k, 'v) node option;  (* most recently used *)
+  mutable on_evict : 'k -> 'v -> reason -> unit;
+  mutable evicted_capacity : int;
+  mutable evicted_age : int;
+}
+
+let create ?(capacity = 0) ?(max_age_ns = 0)
+    ?(on_evict = fun _ _ _ -> ()) () =
+  {
+    tbl = Hashtbl.create 64;
+    capacity = max 0 capacity;
+    max_age_ns = max 0 max_age_ns;
+    clock = (fun () -> 0);
+    lru = None;
+    mru = None;
+    on_evict;
+    evicted_capacity = 0;
+    evicted_age = 0;
+  }
+
+let set_clock t f = t.clock <- f
+let set_capacity t n = t.capacity <- max 0 n
+let set_max_age_ns t n = t.max_age_ns <- max 0 n
+let set_on_evict t f = t.on_evict <- f
+let capacity t = t.capacity
+let max_age_ns t = t.max_age_ns
+let length t = Hashtbl.length t.tbl
+let evicted_capacity t = t.evicted_capacity
+let evicted_age t = t.evicted_age
+let evicted t = t.evicted_capacity + t.evicted_age
+
+(* Unlink [n] from the recency list (it must be linked). *)
+let unlink t n =
+  (match n.nd_prev with
+  | Some p -> p.nd_next <- n.nd_next
+  | None -> t.lru <- n.nd_next);
+  (match n.nd_next with
+  | Some s -> s.nd_prev <- n.nd_prev
+  | None -> t.mru <- n.nd_prev);
+  n.nd_prev <- None;
+  n.nd_next <- None
+
+(* Link [n] at the most-recently-used end. *)
+let link_mru t n =
+  n.nd_prev <- t.mru;
+  n.nd_next <- None;
+  (match t.mru with Some m -> m.nd_next <- Some n | None -> t.lru <- Some n);
+  t.mru <- Some n
+
+let evict t n why =
+  unlink t n;
+  Hashtbl.remove t.tbl n.nd_key;
+  (match why with
+  | Capacity -> t.evicted_capacity <- t.evicted_capacity + 1
+  | Age -> t.evicted_age <- t.evicted_age + 1);
+  t.on_evict n.nd_key n.nd_value why
+
+(* Age out expired entries from the LRU end. The list is ordered by
+   last touch, so the first young entry terminates the walk: the cost
+   of a sweep is the number of evictions it performs, amortized O(1). *)
+let sweep t =
+  if t.max_age_ns > 0 then begin
+    let now = t.clock () in
+    let rec loop () =
+      match t.lru with
+      | Some n when now - n.nd_stamp > t.max_age_ns ->
+          evict t n Age;
+          loop ()
+      | _ -> ()
+    in
+    loop ()
+  end
+
+let touch t n =
+  n.nd_stamp <- t.clock ();
+  unlink t n;
+  link_mru t n
+
+let find t k =
+  sweep t;
+  match Hashtbl.find_opt t.tbl k with
+  | Some n ->
+      touch t n;
+      Some n.nd_value
+  | None -> None
+
+(* Non-touching lookup: reads the value without refreshing recency or
+   stamp (and without sweeping), for bookkeeping paths that must not
+   keep an entry alive. *)
+let peek t k =
+  match Hashtbl.find_opt t.tbl k with
+  | Some n -> Some n.nd_value
+  | None -> None
+
+let mem t k = Hashtbl.mem t.tbl k
+
+let put t k v =
+  sweep t;
+  (match Hashtbl.find_opt t.tbl k with
+  | Some n ->
+      n.nd_value <- v;
+      touch t n
+  | None ->
+      (* Make room first so the table never exceeds capacity, even
+         transiently. *)
+      if t.capacity > 0 then
+        while Hashtbl.length t.tbl >= t.capacity do
+          match t.lru with
+          | Some n -> evict t n Capacity
+          | None -> assert false
+        done;
+      let n =
+        { nd_key = k; nd_value = v; nd_stamp = t.clock ();
+          nd_prev = None; nd_next = None }
+      in
+      Hashtbl.add t.tbl k n;
+      link_mru t n)
+
+let remove t k =
+  match Hashtbl.find_opt t.tbl k with
+  | Some n ->
+      unlink t n;
+      Hashtbl.remove t.tbl k
+  | None -> ()
+
+let iter t f =
+  let rec loop = function
+    | Some n ->
+        let next = n.nd_next in
+        f n.nd_key n.nd_value;
+        loop next
+    | None -> ()
+  in
+  loop t.lru
+
+let fold t f acc =
+  let rec loop acc = function
+    | Some n ->
+        let next = n.nd_next in
+        loop (f n.nd_key n.nd_value acc) next
+    | None -> acc
+  in
+  loop acc t.lru
+
+let clear t =
+  Hashtbl.reset t.tbl;
+  t.lru <- None;
+  t.mru <- None

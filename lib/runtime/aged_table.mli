@@ -1,0 +1,74 @@
+(** Bounded, age-evicted association table (overload resilience).
+
+    An LRU-ordered hash table with two eviction triggers: a hard
+    [capacity] (inserting into a full table evicts the least recently
+    used entry first, so the table {e never} exceeds its bound, even
+    transiently) and a [max_age_ns] (entries untouched for longer than
+    the age are swept out, amortized O(1), on the next [find]/[put]).
+
+    Evictions call [on_evict] with the reason, so elements can account
+    evicted state — held packets become explicit drops, obs counters
+    bump — and the packet-conservation ledger balances exactly.
+
+    Time comes from a pluggable nanosecond [clock]
+    ({!Element.base.set_clock} threads the driver-wide one through):
+    the simulated testbed installs its event-engine clock, live tools
+    the wall clock. The default clock returns [0], which disables
+    aging — capacity bounds still hold. *)
+
+type reason =
+  | Capacity  (** evicted to make room for a new entry *)
+  | Age  (** untouched for longer than [max_age_ns] *)
+
+type ('k, 'v) t
+
+val create :
+  ?capacity:int ->
+  ?max_age_ns:int ->
+  ?on_evict:('k -> 'v -> reason -> unit) ->
+  unit ->
+  ('k, 'v) t
+(** [capacity = 0] (default) means unbounded; [max_age_ns = 0]
+    (default) means entries never age out. *)
+
+val set_clock : ('k, 'v) t -> (unit -> int) -> unit
+val set_capacity : ('k, 'v) t -> int -> unit
+(** Takes effect on subsequent insertions; does not evict immediately. *)
+
+val set_max_age_ns : ('k, 'v) t -> int -> unit
+val set_on_evict : ('k, 'v) t -> ('k -> 'v -> reason -> unit) -> unit
+val capacity : ('k, 'v) t -> int
+val max_age_ns : ('k, 'v) t -> int
+val length : ('k, 'v) t -> int
+
+val find : ('k, 'v) t -> 'k -> 'v option
+(** Sweeps expired entries, then looks up [k], refreshing its recency
+    and stamp on a hit. *)
+
+val peek : ('k, 'v) t -> 'k -> 'v option
+(** Lookup without sweeping or refreshing — for bookkeeping that must
+    not keep an entry alive. *)
+
+val mem : ('k, 'v) t -> 'k -> bool
+
+val put : ('k, 'v) t -> 'k -> 'v -> unit
+(** Insert or update (updates refresh recency). Sweeps first; then, if
+    inserting into a table at capacity, evicts from the LRU end. *)
+
+val remove : ('k, 'v) t -> 'k -> unit
+(** Removes without counting an eviction or calling [on_evict] — the
+    caller is disposing of the entry itself. *)
+
+val sweep : ('k, 'v) t -> unit
+(** Force an age sweep now (normally implicit in [find]/[put]). *)
+
+val iter : ('k, 'v) t -> ('k -> 'v -> unit) -> unit
+(** LRU-to-MRU order. [f] may [remove] the visited key. *)
+
+val fold : ('k, 'v) t -> ('k -> 'v -> 'a -> 'a) -> 'a -> 'a
+val clear : ('k, 'v) t -> unit
+
+val evicted_capacity : ('k, 'v) t -> int
+val evicted_age : ('k, 'v) t -> int
+val evicted : ('k, 'v) t -> int
+(** Lifetime eviction counts, for element [stats]. *)

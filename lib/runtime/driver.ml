@@ -29,7 +29,7 @@ let compile_installed t =
       | Error e -> Error ("compile: " ^ e))
 
 let instantiate ?(hooks = Hooks.null) ?(devices = []) ?mangle ?quarantine
-    ?(batch = 1) ?pool ?(compile = false) source_graph =
+    ?(batch = 1) ?pool ?(compile = false) ?clock source_graph =
   (* With a pool installed, every accounted drop is also a recycling
      opportunity: the packet is dead once reported. The user's drop hook
      runs first and must not retain the packet. *)
@@ -71,6 +71,7 @@ let instantiate ?(hooks = Hooks.null) ?(devices = []) ?mangle ?quarantine
                 e#set_mangle mangle;
                 e#set_batch_size batch;
                 e#set_pool pool;
+                (match clock with Some c -> e#set_clock c | None -> ());
                 (match quarantine with
                 | Some n -> e#set_quarantine_threshold n
                 | None -> ());
@@ -140,12 +141,13 @@ let instantiate ?(hooks = Hooks.null) ?(devices = []) ?mangle ?quarantine
         end)
   end
 
-let of_string ?hooks ?devices ?mangle ?quarantine ?batch ?pool ?compile source =
+let of_string ?hooks ?devices ?mangle ?quarantine ?batch ?pool ?compile ?clock
+    source =
   match Graph.Router.parse_string source with
   | Error e -> Error e
   | Ok graph ->
       instantiate ?hooks ?devices ?mangle ?quarantine ?batch ?pool ?compile
-        graph
+        ?clock graph
 
 let element t name = Hashtbl.find_opt t.by_name name
 let element_at t i = t.elements.(i)

@@ -17,6 +17,7 @@ val instantiate :
   ?batch:int ->
   ?pool:Oclick_packet.Packet.Pool.t ->
   ?compile:bool ->
+  ?clock:(unit -> int) ->
   Oclick_graph.Router.t ->
   (t, string) result
 (** Checks the graph against the registry's specifications, builds and
@@ -44,7 +45,12 @@ val instantiate :
     semantics — outcome totals, drop reasons, conservation, observability
     ledgers — identical to the interpreted path. Errors if no compiler
     was registered ({!register_compiler}) or the compiler conservatively
-    rejects the configuration. *)
+    rejects the configuration.
+
+    [clock] installs a nanosecond time source on every element
+    ({!Element.base.set_clock}) — the aging clock for bounded element
+    state ({!Aged_table}). Without it, state never ages (capacity
+    bounds still apply). *)
 
 val of_string :
   ?hooks:Hooks.t ->
@@ -54,6 +60,7 @@ val of_string :
   ?batch:int ->
   ?pool:Oclick_packet.Packet.Pool.t ->
   ?compile:bool ->
+  ?clock:(unit -> int) ->
   string ->
   (t, string) result
 (** Parse, flatten, instantiate. *)

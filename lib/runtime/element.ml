@@ -61,6 +61,7 @@ and t = <
   fault_count : int;
   set_quarantine_threshold : int -> unit;
   set_mangle : (Oclick_packet.Packet.t -> unit) option -> unit;
+  set_clock : (unit -> int) -> unit;
   record_fault : string -> unit;
   drop : reason:string -> Oclick_packet.Packet.t -> unit;
   note_ok : unit >
@@ -105,6 +106,11 @@ class virtual base (name : string) =
     val consecutive_faults = ref 0
     val quarantined = ref false
     val mutable mangle : (Oclick_packet.Packet.t -> unit) option = None
+
+    (* Nanosecond time source for aging element state (Aged_table);
+       installed by the driver. Default never advances, so state never
+       ages unless a clock is provided. *)
+    val mutable clock : unit -> int = fun () -> 0
     val mutable batch_size = 1
     val mutable pool : Oclick_packet.Packet.Pool.t option = None
     val mutable scratch_arr : Oclick_packet.Packet.t array = [||]
@@ -259,6 +265,7 @@ class virtual base (name : string) =
     method set_quarantine_threshold n = quarantine_threshold <- n
     method set_mangle f = mangle <- f
     method mangle_fn = mangle
+    method set_clock f = clock <- f
     method note_ok = consecutive_faults := 0
 
     (* The degradation state as raw cells, for the graph compiler: the

@@ -79,11 +79,18 @@ and t = <
   fault_count : int;
   set_quarantine_threshold : int -> unit;
   set_mangle : (Oclick_packet.Packet.t -> unit) option -> unit;
+  set_clock : (unit -> int) -> unit;
   record_fault : string -> unit;
   drop : reason:string -> Oclick_packet.Packet.t -> unit;
   note_ok : unit >
 
 class virtual base : string -> object
+  val mutable clock : unit -> int
+  (** Nanosecond time source for aging element state
+      ({!Aged_table}); installed driver-wide via {!set_clock}. The
+      default never advances ([fun () -> 0]), so state never ages
+      unless a clock is provided. *)
+
   method name : string
   method virtual class_name : string
 
@@ -285,6 +292,10 @@ class virtual base : string -> object
   method set_mangle : (Oclick_packet.Packet.t -> unit) option -> unit
   (** Install an in-flight corruption function applied to every packet
       this element transfers downstream (fault injection). *)
+
+  method set_clock : (unit -> int) -> unit
+  (** Install the nanosecond time source stateful elements age by —
+      the testbed's simulated clock, or the wall clock in live runs. *)
 
   method record_fault : string -> unit
   method note_ok : unit

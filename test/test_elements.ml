@@ -440,7 +440,7 @@ let test_arp_querier_resolves () =
   check "no extra query" 1 (stat d "aq" "queries");
   check "cached encap" 2 (stat d "aq" "encapsulated")
 
-let test_arp_querier_holds_one () =
+let test_arp_querier_holds_fifo () =
   let d =
     driver
       "aq :: ARPQuerier(10.0.0.1, 00:00:c0:00:00:01) -> q :: Queue(10); \
@@ -452,8 +452,10 @@ let test_arp_querier_holds_one () =
     push_into d "aq" p
   in
   send ();
-  send () (* displaces the held packet, re-queries *);
-  check "two queries" 2 (stat d "aq" "queries")
+  send () (* held behind the first; the repeat query is rate-limited *);
+  check "one query" 1 (stat d "aq" "queries");
+  check "repeat suppressed" 1 (stat d "aq" "suppressed");
+  check "both held" 2 (stat d "aq" "pending")
 
 let test_arp_responder () =
   let d =
@@ -701,8 +703,8 @@ let () =
         [
           Alcotest.test_case "querier resolves" `Quick
             test_arp_querier_resolves;
-          Alcotest.test_case "querier holds one" `Quick
-            test_arp_querier_holds_one;
+          Alcotest.test_case "querier holds fifo" `Quick
+            test_arp_querier_holds_fifo;
           Alcotest.test_case "responder" `Quick test_arp_responder;
         ] );
       ( "classify",

@@ -1,0 +1,481 @@
+(* Overload-resilience tests: the bounded aged table (unit + adversarial
+   fuzz), the ARP querier's bounded/rate-limited state, the rewriter's
+   bounded flow table, Queue early drop, the multi-domain runner's
+   watchdog and backpressure, and testbed differentials proving the
+   overload machinery is invisible on non-adversarial traffic and
+   conserves packets exactly on adversarial traffic. *)
+
+module Packet = Oclick_packet.Packet
+module Headers = Oclick_packet.Headers
+module Ipaddr = Oclick_packet.Ipaddr
+module Ethaddr = Oclick_packet.Ethaddr
+module Driver = Oclick_runtime.Driver
+module Hooks = Oclick_runtime.Hooks
+module Aged_table = Oclick_runtime.Aged_table
+module Router = Oclick_graph.Router
+module Runner = Oclick_parallel.Runner
+module Partition = Oclick_parallel.Partition
+module Testbed = Oclick_hw.Testbed
+module Platform = Oclick_hw.Platform
+module Host = Oclick_hw.Host
+
+let () = Oclick_elements.register_all ()
+let () = Oclick_compile.register ()
+let check = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* --- jig ------------------------------------------------------------------ *)
+
+(* Instantiate a configuration with drop reasons captured; configs
+   connect their own Idle feeds. *)
+let driver_capturing ?clock config =
+  let drops : (string, int ref) Hashtbl.t = Hashtbl.create 8 in
+  let hooks =
+    {
+      Hooks.null with
+      Hooks.on_drop =
+        (fun ~idx:_ ~cls:_ ~reason _ ->
+          match Hashtbl.find_opt drops reason with
+          | Some r -> incr r
+          | None -> Hashtbl.replace drops reason (ref 1));
+    }
+  in
+  let graph =
+    match Router.parse_string config with
+    | Ok g -> g
+    | Error e -> Alcotest.failf "parse: %s" e
+  in
+  match Driver.instantiate ~hooks ?clock graph with
+  | Ok d -> (d, drops)
+  | Error e -> Alcotest.failf "instantiate: %s" e
+
+let dropped drops reason =
+  match Hashtbl.find_opt drops reason with Some r -> !r | None -> 0
+
+let el d name = Option.get (Driver.element d name)
+
+let stat d name key =
+  match List.assoc_opt key (el d name)#stats with
+  | Some v -> v
+  | None -> Alcotest.failf "element %s has no stat %s" name key
+
+let ip_packet dst =
+  let p = Headers.Build.udp ~src_ip:(Ipaddr.of_string_exn "10.0.0.9")
+      ~dst_ip:(Ipaddr.of_string_exn dst) ()
+  in
+  Packet.pull p 14;
+  (Packet.anno p).Packet.dst_ip <- Ipaddr.of_string_exn dst;
+  p
+
+(* --- Aged_table ----------------------------------------------------------- *)
+
+let test_aged_capacity_lru () =
+  let evicted = ref [] in
+  let t =
+    Aged_table.create ~capacity:3
+      ~on_evict:(fun k _ why -> evicted := (k, why) :: !evicted)
+      ()
+  in
+  Aged_table.put t "a" 1;
+  Aged_table.put t "b" 2;
+  Aged_table.put t "c" 3;
+  check "at capacity" 3 (Aged_table.length t);
+  (* touch "a" so "b" is now the LRU entry *)
+  check_bool "find touches" true (Aged_table.find t "a" = Some 1);
+  Aged_table.put t "d" 4;
+  check "still at capacity" 3 (Aged_table.length t);
+  check_bool "LRU entry evicted" true (!evicted = [ ("b", Aged_table.Capacity) ]);
+  check_bool "touched entry survives" true (Aged_table.mem t "a");
+  check "eviction counted" 1 (Aged_table.evicted_capacity t);
+  (* updating an existing key at capacity evicts nothing *)
+  Aged_table.put t "a" 10;
+  check "update evicts nothing" 1 (Aged_table.evicted t);
+  check_bool "update visible" true (Aged_table.find t "a" = Some 10)
+
+let test_aged_age_sweep () =
+  let now = ref 0 in
+  let evicted = ref [] in
+  let t =
+    Aged_table.create ~max_age_ns:100
+      ~on_evict:(fun k _ why -> evicted := (k, why) :: !evicted)
+      ()
+  in
+  Aged_table.set_clock t (fun () -> !now);
+  Aged_table.put t "a" 1;
+  now := 60;
+  Aged_table.put t "b" 2;
+  (* at t=60 nothing has aged out *)
+  check "both live" 2 (Aged_table.length t);
+  now := 150;
+  (* "a" (stamp 0) is past the age; "b" (stamp 60) is not *)
+  Aged_table.sweep t;
+  check "aged entry swept" 1 (Aged_table.length t);
+  check_bool "aged eviction reported" true
+    (!evicted = [ ("a", Aged_table.Age) ]);
+  check "age eviction counted" 1 (Aged_table.evicted_age t);
+  (* a find refreshes the stamp and keeps the entry alive *)
+  check_bool "survivor found" true (Aged_table.find t "b" = Some 2);
+  now := 220;
+  Aged_table.sweep t;
+  check_bool "refreshed entry still live (stamp 150 at t=220)" true
+    (Aged_table.mem t "b")
+
+let test_aged_remove_is_silent () =
+  let calls = ref 0 in
+  let t = Aged_table.create ~capacity:4 ~on_evict:(fun _ _ _ -> incr calls) () in
+  Aged_table.put t 1 "x";
+  Aged_table.remove t 1;
+  check "no on_evict for remove" 0 !calls;
+  check "no eviction counted" 0 (Aged_table.evicted t);
+  check "empty" 0 (Aged_table.length t)
+
+(* Adversarial fuzz: the capacity bound must hold after every single
+   operation — never just eventually. *)
+let prop_aged_capacity_bound =
+  let op =
+    QCheck.Gen.(
+      pair (int_bound 30) (int_bound 2)
+      >|= fun (k, o) -> (k, match o with 0 -> `Put | 1 -> `Find | _ -> `Remove))
+  in
+  QCheck.Test.make ~name:"aged table never exceeds capacity" ~count:200
+    (QCheck.make QCheck.Gen.(list_size (int_range 0 200) op))
+    (fun ops ->
+      let t = Aged_table.create ~capacity:8 () in
+      List.for_all
+        (fun (k, o) ->
+          (match o with
+          | `Put -> Aged_table.put t k k
+          | `Find -> ignore (Aged_table.find t k)
+          | `Remove -> Aged_table.remove t k);
+          Aged_table.length t <= 8)
+        ops)
+
+(* With aging on, a sweep leaves no entry whose last touch predates the
+   age horizon (puts always refresh the stamp, so the model is exact). *)
+let prop_aged_age_bound =
+  let op = QCheck.Gen.(pair (int_bound 30) (int_bound 50)) in
+  QCheck.Test.make ~name:"sweep leaves no over-age entry" ~count:200
+    (QCheck.make QCheck.Gen.(list_size (int_range 0 200) op))
+    (fun ops ->
+      let now = ref 0 in
+      let t = Aged_table.create ~max_age_ns:100 () in
+      Aged_table.set_clock t (fun () -> !now);
+      let model = Hashtbl.create 16 in
+      List.iter
+        (fun (k, dt) ->
+          now := !now + dt;
+          Aged_table.put t k ();
+          Hashtbl.replace model k !now)
+        ops;
+      Aged_table.sweep t;
+      (* expiry is strict (age > max_age), so a stamp exactly at the
+         horizon survives *)
+      Aged_table.fold t
+        (fun k () acc -> acc && Hashtbl.find model k >= !now - 100)
+        true)
+
+(* --- ARPQuerier under overload ------------------------------------------- *)
+
+let arp_config extra =
+  Printf.sprintf
+    "aq :: ARPQuerier(10.0.0.1, 00:00:c0:00:00:01%s) -> q :: Queue(50); \
+     Idle -> aq; Idle -> [1] aq; q -> Discard;"
+    extra
+
+let test_arp_pending_overflow () =
+  let d, drops = driver_capturing (arp_config ", PENDING 2") in
+  for _ = 1 to 4 do
+    (el d "aq")#push 0 (ip_packet "10.0.0.2")
+  done;
+  (* FIFO bounded at 2: the two oldest were shed, the freshest survive *)
+  check "pending bounded" 2 (stat d "aq" "pending");
+  check "overflow accounted" 2 (dropped drops "ARP pending overflow");
+  check "one query" 1 (stat d "aq" "queries");
+  check "repeats suppressed" 3 (stat d "aq" "suppressed")
+
+let test_arp_cache_eviction_accounted () =
+  let d, drops = driver_capturing (arp_config ", CAPACITY 2") in
+  (el d "aq")#push 0 (ip_packet "10.0.0.2");
+  (el d "aq")#push 0 (ip_packet "10.0.0.3");
+  (el d "aq")#push 0 (ip_packet "10.0.0.4");
+  (* inserting the third address evicted the first entry, turning its
+     held packet into an accounted drop *)
+  check "cache bounded" 2 (stat d "aq" "cached");
+  check "eviction counted" 1 (stat d "aq" "evictions");
+  check "held packet became a drop" 1 (dropped drops "ARP entry evicted");
+  check "pending is exact after eviction" 2 (stat d "aq" "pending")
+
+let test_arp_query_rate_limit_clock () =
+  let now = ref 0 in
+  let d, _ =
+    driver_capturing ~clock:(fun () -> !now) (arp_config ", QUERY_INTERVAL 10")
+  in
+  (el d "aq")#push 0 (ip_packet "10.0.0.2");
+  check "first query sent" 1 (stat d "aq" "queries");
+  now := 5_000_000 (* 5 ms: inside the 10 ms interval *);
+  (el d "aq")#push 0 (ip_packet "10.0.0.2");
+  check "repeat inside interval suppressed" 1 (stat d "aq" "queries");
+  check "suppression counted" 1 (stat d "aq" "suppressed");
+  now := 12_000_000 (* past the interval: re-query allowed *);
+  (el d "aq")#push 0 (ip_packet "10.0.0.2");
+  check "re-query after interval" 2 (stat d "aq" "queries")
+
+(* --- IPRewriter bounded flow table ---------------------------------------- *)
+
+let nat_udp ~sport =
+  let p =
+    Headers.Build.udp ~src_ip:(Ipaddr.of_string_exn "192.168.0.5")
+      ~dst_ip:(Ipaddr.of_string_exn "8.8.8.8") ~src_port:sport ~dst_port:53 ()
+  in
+  Packet.pull p 14;
+  Headers.L4.update_udp p ~ip_off:0;
+  p
+
+let test_rewriter_flow_table_bounded () =
+  let d, drops =
+    driver_capturing
+      "Idle -> rw :: IPRewriter(18.26.4.24 5000-5100 - -, CAPACITY 2); \
+       Idle -> [1] rw; rw [0] -> Discard; rw [1] -> Discard;"
+  in
+  (el d "rw")#push 0 (nat_udp ~sport:1111);
+  (el d "rw")#push 0 (nat_udp ~sport:2222);
+  (el d "rw")#push 0 (nat_udp ~sport:3333);
+  check "flow table bounded" 2 (stat d "rw" "flows");
+  check "eviction counted" 1 (stat d "rw" "evictions");
+  (* the evicted flow's reverse mapping is gone with it: a late reply to
+     its public port is an accounted drop, not a mistranslation *)
+  let reply =
+    Headers.Build.udp ~src_ip:(Ipaddr.of_string_exn "8.8.8.8")
+      ~dst_ip:(Ipaddr.of_string_exn "18.26.4.24") ~src_port:53 ~dst_port:5000
+      ()
+  in
+  Packet.pull reply 14;
+  Headers.L4.update_udp reply ~ip_off:0;
+  (el d "rw")#push 1 reply;
+  check "reply to evicted flow dropped" 1 (dropped drops "no reverse mapping")
+
+(* --- Queue early drop ------------------------------------------------------ *)
+
+let test_queue_early_drop_accounted () =
+  let d, drops =
+    driver_capturing
+      "Idle -> q :: Queue(100, EARLY 1 2 1.0); q -> Discard;"
+  in
+  let q = el d "q" in
+  for _ = 1 to 10 do
+    q#push 0 (ip_packet "10.0.0.2")
+  done;
+  let early = stat d "q" "early_drops" in
+  check_bool "early drop engaged above MAX threshold" true (early > 0);
+  check "early drops are the only drops" early (stat d "q" "drops");
+  check "reason accounted" early (dropped drops "early drop");
+  check "conservation: enqueued + dropped = offered" 10
+    (stat d "q" "length" + early);
+  (* the write handler turns admission control off live *)
+  (match q#write_handler "early" "off" with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "write early off: %s" e);
+  for _ = 1 to 5 do
+    q#push 0 (ip_packet "10.0.0.2")
+  done;
+  check "no early drops once off" early (stat d "q" "early_drops")
+
+(* --- multi-domain watchdog -------------------------------------------------- *)
+
+let parse_exn src =
+  match Router.parse_string src with
+  | Ok g -> g
+  | Error e -> Alcotest.failf "parse: %s" e
+
+let sum_drops drv =
+  let total = ref 0 in
+  for i = 0 to Driver.size drv - 1 do
+    match List.assoc_opt "drops" (Driver.element_at drv i)#stats with
+    | Some n -> total := !total + n
+    | None -> ()
+  done;
+  !total
+
+(* A deliberately wedged shard: Stall busy-waits 220 ms of wall clock on
+   its first packet, while the watchdog deadline is 100 ms. The run must
+   complete (not hang), report the consumer shard stalled, and drain its
+   inbound ring to accounted drops — with the ledger still exact. *)
+let test_watchdog_stalled_domain () =
+  let g =
+    parse_exn
+      "s :: InfiniteSource(LIMIT 200) -> c :: Counter -> q :: Queue(64) -> \
+       u :: Unqueue -> st :: Stall(220, AFTER 1) -> d :: Discard;"
+  in
+  match Runner.create ~ring_capacity:64 ~domains:2 g with
+  | Error e -> Alcotest.failf "runner: %s" e
+  | Ok r ->
+      let rp = Runner.run_until_idle_report ~watchdog_ms:100 r in
+      check_bool "degraded, not converged" false rp.Runner.rp_converged;
+      check "one stalled domain" 1 (List.length rp.Runner.rp_stalled);
+      (* the stalled shard is the cut's consumer side *)
+      let part = Runner.partition r in
+      let cut = List.hd part.Partition.pt_cuts in
+      check "consumer shard stalled" cut.Partition.cut_to_shard
+        (List.hd rp.Runner.rp_stalled);
+      (* the 220 ms spin returns inside the 2x-deadline grace window, so
+         the domain is joined, not leaked, and its ring drains *)
+      check "no leaked domain" 0 (List.length rp.Runner.rp_leaked);
+      check_bool "parked ring traffic drained" true (rp.Runner.rp_drained > 0);
+      let drv = Runner.driver r in
+      let delivered = List.assoc "count" (el drv "d")#stats in
+      (* Drained packets report through hooks (reason "stalled domain
+         drained"), not the Queue's tail-drop stat, so they enter the
+         ledger via rp_drained. *)
+      check "conservation: delivered + drops = born" 200
+        (delivered + sum_drops drv + rp.Runner.rp_drained)
+
+(* Ring pressure: the consumer wedges briefly (no watchdog at the default
+   deadline), the producer slams the ring full — backpressure must
+   engage at least once, and once the consumer wakes the run converges
+   with every packet accounted. *)
+let test_backpressure_under_ring_pressure () =
+  let g =
+    parse_exn
+      "s :: InfiniteSource(LIMIT 5000) -> c :: Counter -> q :: Queue(32) -> \
+       u :: Unqueue -> st :: Stall(150, AFTER 1) -> d :: Discard;"
+  in
+  match Runner.create ~ring_capacity:32 ~batch:8 ~domains:2 g with
+  | Error e -> Alcotest.failf "runner: %s" e
+  | Ok r ->
+      let rp = Runner.run_until_idle_report r in
+      check_bool "converged" true rp.Runner.rp_converged;
+      check "nothing stalled" 0 (List.length rp.Runner.rp_stalled);
+      check_bool "backpressure engaged" true
+        (Array.fold_left ( + ) 0 rp.Runner.rp_pressure > 0);
+      let drv = Runner.driver r in
+      let delivered = List.assoc "count" (el drv "d")#stats in
+      check "conservation under pressure" 5000 (delivered + sum_drops drv)
+
+(* --- testbed differentials -------------------------------------------------- *)
+
+let platform8 = { Platform.p2 with Platform.p_nports = 8 }
+
+let flows8 =
+  List.init 8 (fun i -> { Testbed.fl_src = i; Testbed.fl_dst = (i + 4) mod 8 })
+
+let run_tb ?workload ~graph input_pps =
+  match
+    Testbed.run ~duration_ms:10 ~warmup_ms:5 ~platform:platform8 ~graph
+      ~flows:flows8 ?workload ~input_pps ()
+  with
+  | Ok r -> r
+  | Error e -> Alcotest.failf "testbed: %s" e
+
+(* Replace every "NEEDLE(" argument list with an augmented one. *)
+let amend_configs src ~needle ~extra =
+  let buf = Buffer.create (String.length src) in
+  let nlen = String.length needle in
+  let i = ref 0 in
+  let n = String.length src in
+  while !i < n do
+    if !i + nlen <= n && String.sub src !i nlen = needle then begin
+      let close = String.index_from src !i ')' in
+      Buffer.add_string buf (String.sub src !i (close - !i));
+      Buffer.add_string buf extra;
+      Buffer.add_char buf ')';
+      i := close + 1
+    end
+    else begin
+      Buffer.add_char buf src.[!i];
+      incr i
+    end
+  done;
+  Buffer.contents buf
+
+(* On non-adversarial traffic at a loss-free rate, turning the overload
+   machinery on explicitly (bounded ARP state at its defaults, RED
+   thresholds the queues never reach) must be invisible: identical
+   outcome totals and drop reasons, conservation exact both ways
+   (Testbed.run returns Error on any ledger leak). *)
+let test_differential_overload_features_inert () =
+  let src = Oclick.Ip_router.config (Oclick.Ip_router.standard_interfaces 8) in
+  let amended =
+    amend_configs
+      (amend_configs src ~needle:"ARPQuerier("
+         ~extra:", CAPACITY 512, TIMEOUT 300000, QUERY_INTERVAL 1000, PENDING 4")
+      ~needle:"Queue(" ~extra:", EARLY 150 199 0.05"
+  in
+  let graph s =
+    match Router.parse_string s with
+    | Ok g -> g
+    | Error e -> Alcotest.failf "parse amended config: %s" e
+  in
+  let off = run_tb ~graph:(graph src) 60_000 in
+  let on = run_tb ~graph:(graph amended) 60_000 in
+  check_bool "traffic flowed" true (off.Testbed.r_outcomes_total.Testbed.oc_sent > 0);
+  check_bool "same outcome totals" true
+    (off.Testbed.r_outcomes_total = on.Testbed.r_outcomes_total);
+  check_bool "same drop reasons" true
+    (off.Testbed.r_drop_reasons_total = on.Testbed.r_drop_reasons_total)
+
+(* Adversarial workloads at 2x saturation: the run must complete with the
+   ledger exact (Testbed.run checks conservation including evictions and
+   pending state, and returns Error on a leak) while still delivering
+   goodput. *)
+let test_adversarial_workloads_conserved () =
+  let graph =
+    Oclick.Ip_router.graph
+      (Oclick.Ip_router.config (Oclick.Ip_router.standard_interfaces 8))
+  in
+  List.iter
+    (fun (name, workload) ->
+      let r = run_tb ~workload ~graph 2_000_000 in
+      check_bool (name ^ ": goodput survived") true
+        (r.Testbed.r_outcomes_total.Testbed.oc_sent > 0))
+    [
+      ("scan", Host.Scan 16);
+      ("arp-storm", Host.Arp_storm 4);
+      ("burst", Host.Burst (64, 1.5));
+    ]
+
+let () =
+  Alcotest.run "overload"
+    [
+      ( "aged-table",
+        [
+          Alcotest.test_case "capacity evicts LRU" `Quick test_aged_capacity_lru;
+          Alcotest.test_case "age sweep" `Quick test_aged_age_sweep;
+          Alcotest.test_case "remove is silent" `Quick
+            test_aged_remove_is_silent;
+          QCheck_alcotest.to_alcotest prop_aged_capacity_bound;
+          QCheck_alcotest.to_alcotest prop_aged_age_bound;
+        ] );
+      ( "arp-overload",
+        [
+          Alcotest.test_case "pending FIFO overflow" `Quick
+            test_arp_pending_overflow;
+          Alcotest.test_case "cache eviction accounted" `Quick
+            test_arp_cache_eviction_accounted;
+          Alcotest.test_case "query rate limit (clock)" `Quick
+            test_arp_query_rate_limit_clock;
+        ] );
+      ( "rewriter-overload",
+        [
+          Alcotest.test_case "flow table bounded" `Quick
+            test_rewriter_flow_table_bounded;
+        ] );
+      ( "queue-early-drop",
+        [
+          Alcotest.test_case "early drop accounted" `Quick
+            test_queue_early_drop_accounted;
+        ] );
+      ( "watchdog",
+        [
+          Alcotest.test_case "stalled domain degrades, not hangs" `Quick
+            test_watchdog_stalled_domain;
+          Alcotest.test_case "backpressure under ring pressure" `Quick
+            test_backpressure_under_ring_pressure;
+        ] );
+      ( "testbed",
+        [
+          Alcotest.test_case "overload features inert off-adversary" `Quick
+            test_differential_overload_features_inert;
+          Alcotest.test_case "adversarial workloads conserved" `Quick
+            test_adversarial_workloads_conserved;
+        ] );
+    ]
