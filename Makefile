@@ -7,17 +7,20 @@
 # BENCH_compile.json, and BENCH_obs.json baselines in the repo root.
 # `make bench-parallel` refreshes BENCH_parallel.json (the multicore
 # scaling grid), `make bench-overload` refreshes BENCH_overload.json
-# (offered-load-vs-goodput curves under adversarial traffic), and
+# (offered-load-vs-goodput curves under adversarial traffic),
+# `make bench-lpm` refreshes BENCH_lpm.json (DIR-24-8 trie vs linear
+# route lookup up to 1M routes — the full run takes a few minutes), and
 # `make bench-all` regenerates every committed BENCH_*.json in one go.
 # `make obs-smoke` (also part of `dune runtest`) validates
 # oclick-report's JSON output against the report schema on the example
 # configurations; `make overload-smoke` (likewise part of `dune
 # runtest`) runs the overload benchmark on the smoke budget and
-# validates its JSON against the curve schema.
+# validates its JSON against the curve schema; `make lpm-smoke` does the
+# same for the route-lookup benchmark.
 
 .PHONY: all build test bench bench-smoke compile-smoke parallel-smoke \
-	bench-json bench-parallel bench-overload bench-all obs-smoke \
-	overload-smoke clean
+	bench-json bench-parallel bench-overload bench-lpm bench-all \
+	obs-smoke overload-smoke lpm-smoke clean
 
 all: build
 
@@ -50,13 +53,19 @@ bench-parallel: build
 bench-overload: build
 	cd $(CURDIR) && dune exec --no-build bench/main.exe -- overload --json
 
-bench-all: bench-json bench-parallel bench-overload
+bench-lpm: build
+	cd $(CURDIR) && dune exec --no-build bench/main.exe -- lpm --json
+
+bench-all: bench-json bench-parallel bench-overload bench-lpm
 
 obs-smoke:
 	dune build @obs-smoke
 
 overload-smoke:
 	dune build @overload-smoke
+
+lpm-smoke:
+	dune build @lpm-smoke
 
 clean:
 	dune clean

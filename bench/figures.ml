@@ -331,8 +331,8 @@ let xform_scale () =
     [ 8; 16; 32; 64; 128; 256 ]
 
 let lookup_scaling () =
-  section "Route-lookup scaling: general-purpose linear table vs radix trie \
-           (the paper's 3 general-vs-specialized trade)";
+  section "Route-lookup scaling: general-purpose linear table vs DIR-24-8 \
+           trie (the paper's 3 general-vs-specialized trade)";
   let cycles_for cls nroutes =
     let routes =
       String.concat ", "
@@ -375,15 +375,15 @@ let lookup_scaling () =
         done;
         float_of_int !total /. float_of_int (max 1 !count)
   in
-  row "%-8s %16s %16s\n" "routes" "LookupIPRoute" "RadixIPLookup";
+  row "%-8s %16s %16s\n" "routes" "LinearIPLookup" "LookupIPRoute";
   List.iter
     (fun n ->
       row "%-8d %13.0f cy %13.0f cy\n" n
-        (cycles_for "LookupIPRoute" n)
-        (cycles_for "RadixIPLookup" n))
+        (cycles_for "LinearIPLookup" n)
+        (cycles_for "LookupIPRoute" n))
     [ 4; 16; 64; 256; 1024 ];
-  row "\nthe generic table scans linearly; the specialized trie is bounded \
-       by the prefix length\n"
+  row "\nthe generic table scans linearly; the specialized trie touches at \
+       most two table entries per lookup\n"
 
 let devirtualize_ablation () =
   section "Ablation: devirtualization, code sharing, and the i-cache \

@@ -28,6 +28,7 @@ let sections =
     ("obs", Obs.run);
     ("parallel", Parallel.run);
     ("overload", Overload.run);
+    ("lpm", Lpm.run);
   ]
 
 let () =

@@ -146,6 +146,18 @@ let aggregate_check obs (r : Testbed.result) =
 let degraded (r : Testbed.result) =
   r.Testbed.r_warnings <> [] || r.Testbed.r_element_faults <> []
 
+(* Route-table elements (anything exposing a "routes" stat): name plus
+   stats, so table growth — routes, misses, trie memory — is observable
+   like every other element stat. *)
+let route_tables_json (r : Testbed.result) =
+  Json.List
+    (List.map
+       (fun (name, stats) ->
+         Json.Obj
+           (("name", Json.String name)
+           :: List.map (fun (k, v) -> (k, Json.Int v)) stats))
+       r.Testbed.r_route_tables)
+
 let pass_json ~label ~mhz obs (r : Testbed.result) =
   let aggregate = aggregate_check obs r in
   match Obs.Report.json (Obs.Report.Sim mhz) obs with
@@ -159,6 +171,7 @@ let pass_json ~label ~mhz obs (r : Testbed.result) =
         :: ( "warnings",
              Json.List
                (List.map (fun w -> Json.String w) r.Testbed.r_warnings) )
+        :: ("route_tables", route_tables_json r)
         :: kvs)
   | v -> v
 

@@ -32,13 +32,14 @@ let prefix_string net mask =
 
 let arp_classifier = "12/0806 20/0001, 12/0806 20/0002, 12/0800, -"
 
-let config interfaces =
+let config ?(extra_routes = []) interfaces =
   let buf = Buffer.create 2048 in
   let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
   add "// A standards-compliant IP router (paper Figure 1), %d interfaces.\n"
     (List.length interfaces);
   (* The shared routing table: local addresses to output 0 (the host),
-     each interface's subnet to output i+1. *)
+     each interface's subnet to output i+1, then any extra routes —
+     interface routes first, so they win where prefixes collide. *)
   let routes =
     String.concat ", "
       (List.map
@@ -48,7 +49,8 @@ let config interfaces =
           (fun i itf ->
             Printf.sprintf "%s %d" (prefix_string itf.if_net itf.if_mask)
               (i + 1))
-          interfaces)
+          interfaces
+      @ extra_routes)
   in
   add "rt :: LookupIPRoute(%s);\n" routes;
   add "rt [0] -> host :: Discard;  // packets for the router itself\n\n";

@@ -32,8 +32,12 @@ val standard_interfaces : int -> interface list
     addresses 10.0.[i].1/24, the addressing used throughout the tests and
     benchmarks. *)
 
-val config : interface list -> string
-(** The Figure 1 IP router, in Click language. *)
+val config : ?extra_routes:string list -> interface list -> string
+(** The Figure 1 IP router, in Click language. [extra_routes] appends
+    additional ["ADDR/LEN [GW] PORT"] entries to the shared routing
+    table after the interface routes (which therefore win on duplicate
+    prefixes) — used to load production-scale tables into the reference
+    router for large-LPM experiments. *)
 
 val simple_config : (string * string) list -> string
 (** [simple_config [(in_dev, out_dev); ...]]: PollDevice -> Queue ->

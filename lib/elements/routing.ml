@@ -4,7 +4,22 @@
    "18.26.4.0/24 1" or "0.0.0.0/0 18.26.4.1 1". The lookup reads the
    destination-address annotation (set by GetIPAddress) and, when the
    route has a gateway, rewrites the annotation so ARPQuerier resolves the
-   gateway — exactly Click's LookupIPRoute/StaticIPLookup behaviour. *)
+   gateway — exactly Click's LookupIPRoute/StaticIPLookup behaviour.
+
+   Two backends share that contract:
+
+   - [LookupIPRoute] / [StaticIPLookup] / [RadixIPLookup] run on the
+     DIR-24-8 trie in [Oclick_lpm.Dir24_8]: 1-2 memory touches per
+     lookup regardless of table size, off-heap storage, live add/remove
+     through write handlers. Prefixes only (contiguous netmasks).
+   - [LinearIPLookup] is the paper-era longest-prefix-sorted linear
+     scan: O(table size), but it accepts non-contiguous netmasks and is
+     the differential reference the trie is tested against.
+
+   Duplicate routes (same ADDR/MASK declared twice) resolve
+   first-declared-wins in both backends: the linear table got that from
+   sort stability, the trie refuses re-insertion; [configure] makes it
+   explicit by dropping later duplicates up front. *)
 
 open Prelude
 
@@ -27,28 +42,52 @@ let parse_route arg =
       | _ -> None)
   | _ -> None
 
-class lookup_ip_route name =
+(* Parse a whole config, making duplicate-prefix resolution explicit:
+   the first declaration of an ADDR/MASK wins, later ones are dropped
+   here so neither backend depends on incidental tie-breaking. *)
+let parse_table cls config =
+  let args = Args.split config in
+  let parsed = List.map parse_route args in
+  if List.exists Option.is_none parsed then
+    Error (Printf.sprintf "%s: bad route (want ADDR/MASK [GW] PORT)" cls)
+  else begin
+    let seen = Hashtbl.create 64 in
+    Ok
+      (List.filter
+         (fun r ->
+           let key = (r.rt_mask lsl 32) lor r.rt_addr in
+           if Hashtbl.mem seen key then false
+           else begin
+             Hashtbl.add seen key ();
+             true
+           end)
+         (List.filter_map Fun.id parsed))
+  end
+
+(* The paper's implementation: longest prefix first, linear scan.
+   W_lookup charges the number of entries scanned. *)
+class linear_ip_lookup name =
   object (self)
     inherit E.base name
     val mutable routes : route array = [||]
     val mutable misses = 0
     val mutable port_scratch : int array = [||]
-    method class_name = "LookupIPRoute"
+    method class_name = "LinearIPLookup"
     method! port_count = "1/-"
     method! processing = "h/h"
 
     method! configure config =
-      let args = Args.split config in
-      let parsed = List.map parse_route args in
-      if List.exists Option.is_none parsed then
-        Error "LookupIPRoute: bad route (want ADDR/MASK [GW] PORT)"
-      else begin
-        let rs = List.filter_map Fun.id parsed in
-        (* Longest prefix first so a linear scan is longest-prefix match. *)
-        let more_specific a b = Int.compare b.rt_mask a.rt_mask in
-        routes <- Array.of_list (List.stable_sort more_specific rs);
-        Ok ()
-      end
+      match parse_table self#class_name config with
+      | Error _ as e -> e
+      | Ok rs ->
+          (* Longest prefix first so a linear scan is longest-prefix
+             match. *)
+          let more_specific a b = Int.compare b.rt_mask a.rt_mask in
+          routes <- Array.of_list (List.stable_sort more_specific rs);
+          (* Live table swap: drop batch scratch sized for the old
+             table's traffic so stale dimensions can't leak. *)
+          port_scratch <- [||];
+          Ok ()
 
     method! push _ p =
       let dst = (Packet.anno p).Packet.dst_ip in
@@ -144,113 +183,207 @@ class lookup_ip_route name =
     method! stats = [ ("routes", Array.length routes); ("misses", misses) ]
   end
 
-(* A binary trie keyed by address bits, for longest-prefix match in
-   O(prefix length) instead of O(table size). *)
-module Radix = struct
-  type node = {
-    mutable zero : node option;
-    mutable one : node option;
-    mutable value : (Ipaddr.t * int) option; (* gateway, port *)
-  }
+module Lpm = Oclick_lpm.Dir24_8
 
-  let make () = { zero = None; one = None; value = None }
-  let bit addr i = (addr lsr (31 - i)) land 1
+(* DIR-24-8 trie backend. W_lookup charges the trie's memory touches
+   (1-2 at the production stride), so the obs ledger prices a lookup at
+   what it actually costs instead of the linear scan length; the charge
+   is a pure function of the destination address, hence identical across
+   scalar / batch / compiled paths.
 
-  let insert root ~addr ~prefix_len ~gw ~port =
-    let rec go node i =
-      if i = prefix_len then begin
-        (* first route wins among duplicates, like the linear table *)
-        if node.value = None then node.value <- Some (gw, port)
-      end
-      else begin
-        let next =
-          if bit addr i = 0 then (
-            match node.zero with
-            | Some n -> n
-            | None ->
-                let n = make () in
-                node.zero <- Some n;
-                n)
-          else
-            match node.one with
-            | Some n -> n
-            | None ->
-                let n = make () in
-                node.one <- Some n;
-                n
-        in
-        go next (i + 1)
-      end
-    in
-    go root 0
-
-  (* Returns (best match, nodes visited). *)
-  let lookup root addr =
-    let rec go node i best steps =
-      let best = match node.value with Some v -> Some v | None -> best in
-      if i >= 32 then (best, steps)
-      else
-        match if bit addr i = 0 then node.zero else node.one with
-        | Some next -> go next (i + 1) best (steps + 1)
-        | None -> (best, steps)
-    in
-    go root 0 None 1
-end
-
-(* RadixIPLookup: same configuration and behaviour as LookupIPRoute, with
-   a trie instead of a linear scan — the kind of
-   specialized-vs-general-purpose trade the paper discusses in §3. *)
-class radix_ip_lookup name =
+   Small tables get a 2^16 stage 1 (256 KB); at 65536 routes the table
+   rebuilds itself at the full 2^24 stage 1 (64 MB, the DIR-24-8 layout
+   proper), whether the routes arrived via [configure] or live [add]
+   write handlers. *)
+class trie_ip_lookup cls name =
   object (self)
     inherit E.base name
-    val root = Radix.make ()
-    val mutable nroutes = 0
+    val mutable trie = Lpm.create ~stride1:16 ()
     val mutable misses = 0
-    method class_name = "RadixIPLookup"
+    val mutable port_scratch : int array = [||]
+    val mutable dst_scratch : int array = [||]
+    val mutable nh_scratch : int array = [||]
+    method class_name = cls
+
     method! port_count = "1/-"
     method! processing = "h/h"
 
-    method! configure config =
-      let args = Args.split config in
-      let parsed = List.map parse_route args in
-      if List.exists Option.is_none parsed then
-        Error "RadixIPLookup: bad route (want ADDR/MASK [GW] PORT)"
-      else begin
-        List.iter
-          (fun r ->
-            let r = Option.get r in
-            match Ipaddr.prefix_length_of_netmask r.rt_mask with
-            | Some len ->
-                nroutes <- nroutes + 1;
-                Radix.insert root ~addr:r.rt_addr ~prefix_len:len ~gw:r.rt_gw
-                  ~port:r.rt_port
-            | None -> ())
-          parsed;
-        if nroutes < List.length parsed then
-          Error "RadixIPLookup: non-contiguous netmask"
-        else Ok ()
+    method private prefix_len_of r =
+      match Ipaddr.prefix_length_of_netmask r.rt_mask with
+      | Some len -> Ok len
+      | None -> Error (Printf.sprintf "%s: non-contiguous netmask" cls)
+
+    method private upgrade_stride_if_needed =
+      if Lpm.stride1 trie = 16 && Lpm.nroutes trie >= 65536 then begin
+        let big = Lpm.create ~stride1:24 () in
+        Lpm.iter_routes trie (fun ~addr ~len ~gw ~port ->
+            ignore (Lpm.add big ~addr ~len ~gw ~port));
+        trie <- big
       end
 
-    method! push _ p =
-      let dst = (Packet.anno p).Packet.dst_ip in
-      let best, steps = Radix.lookup root dst in
-      self#charge (Hooks.W_lookup steps);
-      match best with
-      | Some (gw, port) ->
-          if gw <> 0 then (Packet.anno p).Packet.dst_ip <- gw;
-          if port < self#noutputs then self#output port p
-          else self#drop ~reason:"route to unconnected port" p
-      | None ->
-          misses <- misses + 1;
-          self#drop ~reason:"no route" p
+    method! configure config =
+      match parse_table cls config with
+      | Error _ as e -> e
+      | Ok rs ->
+          let rec lens acc = function
+            | [] -> Ok (List.rev acc)
+            | r :: rest -> (
+                match self#prefix_len_of r with
+                | Ok len -> lens ((r, len) :: acc) rest
+                | Error _ as e -> e)
+          in
+          (match lens [] rs with
+          | Error _ as e -> e
+          | Ok routes ->
+              let stride1 = if List.length routes >= 65536 then 24 else 16 in
+              let t = Lpm.create ~stride1 () in
+              List.iter
+                (fun (r, len) ->
+                  ignore
+                    (Lpm.add t ~addr:r.rt_addr ~len ~gw:r.rt_gw ~port:r.rt_port))
+                routes;
+              trie <- t;
+              (* Live table swap: drop scratch sized for the old table's
+                 traffic so stale dimensions can't leak. *)
+              port_scratch <- [||];
+              dst_scratch <- [||];
+              nh_scratch <- [||];
+              Ok ())
 
-    method! stats = [ ("routes", nroutes); ("misses", misses) ]
+    method! push _ p =
+      let dst = (Packet.anno p).Packet.dst_ip land 0xffff_ffff in
+      let r = Lpm.lookup trie dst in
+      self#charge (Hooks.W_lookup (Lpm.result_touches r));
+      if Lpm.result_found r then begin
+        let nh = Lpm.result_nh r in
+        let gw = Lpm.gw trie nh in
+        if gw <> 0 then (Packet.anno p).Packet.dst_ip <- gw;
+        let port = Lpm.port trie nh in
+        if port < self#noutputs then self#output port p
+        else self#drop ~reason:"route to unconnected port" p
+      end
+      else begin
+        misses <- misses + 1;
+        self#drop ~reason:"no route" p
+      end
+
+    method! push_batch _ batch =
+      let bn = Array.length batch in
+      if self#is_quarantined then
+        (* The flag is stable for the duration of a batch, and the scalar
+           path never reaches [push] (hence never charges W_lookup) when
+           quarantined — so neither does this one. *)
+        for i = 0 to bn - 1 do
+          self#drop ~reason:"quarantined element" batch.(i)
+        done
+      else begin
+        if Array.length port_scratch < bn then begin
+          port_scratch <- Array.make bn 0;
+          dst_scratch <- Array.make bn 0;
+          nh_scratch <- Array.make bn 0
+        end;
+        let ports = port_scratch in
+        for i = 0 to bn - 1 do
+          dst_scratch.(i) <- (Packet.anno batch.(i)).Packet.dst_ip land 0xffff_ffff
+        done;
+        (* Two-pass batched walk: same results and touch counts as bn
+           scalar lookups, charged as one summed W_lookup. *)
+        let touches = Lpm.lookup_batch trie dst_scratch nh_scratch bn in
+        for i = 0 to bn - 1 do
+          let nh = nh_scratch.(i) in
+          if nh < 0 then begin
+            misses <- misses + 1;
+            self#drop ~reason:"no route" batch.(i);
+            ports.(i) <- consumed
+          end
+          else begin
+            self#note_ok;
+            let gw = Lpm.gw trie nh in
+            if gw <> 0 then (Packet.anno batch.(i)).Packet.dst_ip <- gw;
+            ports.(i) <- Lpm.port trie nh
+          end
+        done;
+        if touches > 0 then self#charge (Hooks.W_lookup touches);
+        emit_runs self ports batch bn ~on_invalid:(fun p ->
+            self#drop ~reason:"route to unconnected port" p)
+      end
+
+    method! fuse ctx =
+      (* The compiled decision closure: the fused body calls the trie
+         directly, with output ports pre-resolved to compiled
+         connections. The closure captures the element (not the trie
+         binding), so live adds/removes — and even a stride upgrade that
+         rebinds [trie] — stay visible to compiled graphs. *)
+      let nout = self#noutputs in
+      let outs = Array.init nout ctx.E.fc_out in
+      let lean = ctx.E.fc_lean_work in
+      Some
+        (fun p ->
+          let dst = (Packet.anno p).Packet.dst_ip land 0xffff_ffff in
+          let r = Lpm.lookup trie dst in
+          if not lean then self#charge (Hooks.W_lookup (Lpm.result_touches r));
+          if Lpm.result_found r then begin
+            let nh = Lpm.result_nh r in
+            let gw = Lpm.gw trie nh in
+            if gw <> 0 then (Packet.anno p).Packet.dst_ip <- gw;
+            let port = Lpm.port trie nh in
+            if port < nout then outs.(port) p
+            else self#drop ~reason:"route to unconnected port" p
+          end
+          else begin
+            misses <- misses + 1;
+            self#drop ~reason:"no route" p
+          end)
+
+    (* Live table updates, Click-handler style:
+         write rt.add "18.26.4.0/24 [GW] PORT"
+         write rt.remove "18.26.4.0/24"
+       Lookups between calls see a consistent table (each add/remove is
+       a complete incremental trie update). *)
+    method! write_handler handler value =
+      match handler with
+      | "add" -> (
+          match parse_route value with
+          | None ->
+              Error (Printf.sprintf "%s: bad route (want ADDR/MASK [GW] PORT)" cls)
+          | Some r -> (
+              match self#prefix_len_of r with
+              | Error _ as e -> e
+              | Ok len -> (
+                  match
+                    Lpm.add trie ~addr:r.rt_addr ~len ~gw:r.rt_gw ~port:r.rt_port
+                  with
+                  | `Duplicate ->
+                      Error (Printf.sprintf "%s: duplicate route" cls)
+                  | `Added ->
+                      self#upgrade_stride_if_needed;
+                      Ok ())))
+      | "remove" -> (
+          match Ipaddr.parse_prefix value with
+          | None -> Error (Printf.sprintf "%s: bad prefix (want ADDR/MASK)" cls)
+          | Some (addr, mask) -> (
+              match Ipaddr.prefix_length_of_netmask mask with
+              | None -> Error (Printf.sprintf "%s: non-contiguous netmask" cls)
+              | Some len ->
+                  if Lpm.remove trie ~addr:(addr land mask) ~len then Ok ()
+                  else Error (Printf.sprintf "%s: no such route" cls)))
+      | h -> Error (Printf.sprintf "%s: no write handler %S" name h)
+
+    method! stats =
+      [
+        ("routes", Lpm.nroutes trie);
+        ("misses", misses);
+        ("trie_bytes", Lpm.memory_bytes trie);
+        ("leaf_blocks", Lpm.leaf_blocks trie);
+      ]
   end
 
 let register () =
   def "LookupIPRoute" ~ports:"1/-" ~processing:"h/h" (fun n ->
-      (new lookup_ip_route n :> E.t));
+      (new trie_ip_lookup "LookupIPRoute" n :> E.t));
   def "StaticIPLookup" ~ports:"1/-" ~processing:"h/h" (fun n ->
-      (new lookup_ip_route n :> E.t));
+      (new trie_ip_lookup "StaticIPLookup" n :> E.t));
   def "RadixIPLookup" ~ports:"1/-" ~processing:"h/h" (fun n ->
-      (new radix_ip_lookup n :> E.t))
+      (new trie_ip_lookup "RadixIPLookup" n :> E.t));
+  def "LinearIPLookup" ~ports:"1/-" ~processing:"h/h" (fun n ->
+      (new linear_ip_lookup n :> E.t))

@@ -27,7 +27,8 @@ let class_base_cycles = function
   | "CheckIPHeader" -> 125 (* + checksum work *)
   | "GetIPAddress" -> 16
   | "SetIPAddress" -> 14
-  | "LookupIPRoute" | "StaticIPLookup" -> 90 (* + per-entry work *)
+  | "LookupIPRoute" | "StaticIPLookup" | "LinearIPLookup" ->
+      90 (* + per-entry / per-touch work *)
   | "DropBroadcasts" -> 14
   | "CheckPaint" | "PaintTee" -> 22
   | "IPGWOptions" -> 34
@@ -74,7 +75,9 @@ let uses_simple_action = function
    configuration — overflows it. *)
 let class_code_bytes = function
   | "PollDevice" | "FromDevice" | "ToDevice" -> 1200
-  | "CheckIPHeader" | "LookupIPRoute" | "StaticIPLookup" | "ICMPError" -> 800
+  | "CheckIPHeader" | "LookupIPRoute" | "StaticIPLookup" | "LinearIPLookup"
+  | "ICMPError" ->
+      800
   | "Classifier" | "IPClassifier" | "IPFilter" -> 900
   | "ARPQuerier" -> 700
   | "IPInputCombo" | "IPOutputCombo" -> 1000

@@ -75,6 +75,7 @@ type result = {
   r_outcomes_total : outcome_counts;
   r_drop_reasons_total : (string * int) list;
   r_conservation : conservation;
+  r_route_tables : (string * (string * int) list) list;
 }
 
 (* Programmed-I/O cost per packet for the Pro/1000 (paper §8.5): the
@@ -554,6 +555,19 @@ let run ?(duration_ms = 60) ?(warmup_ms = 30) ?(drain_ms = 10) ?ports ?flows
           done;
           !acc
         in
+        let route_tables =
+          (* Any element exposing a "routes" stat is a routing table
+             (LookupIPRoute and friends); surface its stats so table
+             growth is observable alongside every other element stat. *)
+          let acc = ref [] in
+          for i = Driver.size driver - 1 downto 0 do
+            let e = Driver.element_at driver i in
+            let stats = e#stats in
+            if List.mem_assoc "routes" stats then
+              acc := (e#name, stats) :: !acc
+          done;
+          !acc
+        in
         let conservation =
           {
             cv_births = births;
@@ -620,6 +634,7 @@ let run ?(duration_ms = 60) ?(warmup_ms = 30) ?(drain_ms = 10) ?ports ?flows
                   ~missed:missed_total final_drops;
               r_drop_reasons_total = final_drops;
               r_conservation = conservation;
+              r_route_tables = route_tables;
             }
   end
 

@@ -78,6 +78,10 @@ type result = {
           totals differential tests compare *)
   r_drop_reasons_total : (string * int) list;
   r_conservation : conservation;
+  r_route_tables : (string * (string * int) list) list;
+      (** per routing-table element (graph order): its stats — [routes],
+          [misses], and for the trie backend [trie_bytes] and
+          [leaf_blocks] *)
 }
 
 val run :

@@ -1,0 +1,94 @@
+(** DIR-24-8-style longest-prefix-match table for production-scale
+    routing tables (1M+ routes).
+
+    The structure is the classic two-stage compressed multibit trie from
+    "Routing Lookups in Hardware at Memory Access Speeds" (Gupta,
+    Lin, McKeown, INFOCOM 1998), as deployed in software by DPDK's
+    [rte_lpm]: a flat stage-1 table indexed by the top address bits
+    resolves most lookups in one memory touch; prefixes longer than the
+    stage-1 stride chain into 256-entry leaf blocks, one extra touch per
+    8-bit level. With the default stride of 24 this is exactly DIR-24-8:
+    every lookup costs one or two memory touches, independent of table
+    size.
+
+    Both stages live in [Bigarray] slabs off the OCaml heap, so a
+    million-route table adds nothing to the GC's scanning load and
+    survives domain-local use without write barriers. Entries are 31-bit
+    (int32) words: a leaf-pointer bit, and for terminal entries the
+    owning prefix length (6 bits, so incremental updates know which
+    covering route wrote each slot) plus a next-hop index (21 bits). The
+    (gateway, port) next-hops themselves sit in two plain int arrays
+    indexed by that 21-bit handle.
+
+    A table is owned by one domain at a time (like the runtime's packet
+    pools): lookups are read-only and re-entrant, but add/remove and
+    [lookup_batch] (which uses internal scratch) must not race. *)
+
+type t
+
+val create : ?stride1:int -> unit -> t
+(** [create ()] — an empty table. [stride1] is the number of address
+    bits covered by the flat stage-1 table: 24 (the default, 16M
+    entries, at most 2 touches per lookup) or 16 (64K entries, at most
+    3 touches — the economical choice for small tables). Raises
+    [Invalid_argument] for any other stride. *)
+
+val stride1 : t -> int
+val nroutes : t -> int
+
+val leaf_blocks : t -> int
+(** Live (allocated and in-use) 256-entry leaf blocks. *)
+
+val memory_bytes : t -> int
+(** Bytes held by the table: both Bigarray stages plus the next-hop
+    arrays (allocated capacity, not just in-use). *)
+
+val add :
+  t -> addr:int -> len:int -> gw:int -> port:int -> [ `Added | `Duplicate ]
+(** [add t ~addr ~len ~gw ~port] inserts the route [addr/len] (addr is
+    masked to [len] bits internally). A route with the same [addr/len]
+    already present wins: the insert is refused with [`Duplicate] —
+    first-declared-wins, matching the linear table's scan order.
+    [gw = 0] means no gateway. Raises [Invalid_argument] if [len] is
+    outside 0..32, [port < 0], or the table is full (2^21-2 routes). *)
+
+val remove : t -> addr:int -> len:int -> bool
+(** [remove t ~addr ~len] deletes the route, restoring every slot it
+    owned to the next-best covering route, and compacts leaf blocks
+    that become uniform. [false] if no such route. *)
+
+val iter_routes :
+  t -> (addr:int -> len:int -> gw:int -> port:int -> unit) -> unit
+(** Visit every live route, in unspecified order — e.g. to rebuild the
+    table at a different stride once it outgrows a small stage 1. *)
+
+(** {2 Lookup}
+
+    The hot path avoids allocation: [lookup] returns a packed immediate
+    int carrying the next-hop handle and the number of memory touches
+    (1 on a stage-1 hit, +1 per chained leaf level) — the unit the
+    cost-model's [W_lookup] charges. *)
+
+val lookup : t -> int -> int
+(** [lookup t dst] — longest-prefix match of the 32-bit address [dst].
+    Decode the packed result with the accessors below. *)
+
+val result_found : int -> bool
+val result_nh : int -> int
+(** The next-hop handle; only meaningful when [result_found]. *)
+
+val result_touches : int -> int
+
+val gw : t -> int -> int
+(** Gateway of a next-hop handle (0 = none). *)
+
+val port : t -> int -> int
+
+val lookup_batch : t -> int array -> int array -> int -> int
+(** [lookup_batch t dsts out n] resolves [dsts.(0..n-1)] into
+    [out.(0..n-1)] (the next-hop handle, or -1 on a miss) and returns
+    the summed memory touches. Two-pass structure: the first pass
+    streams every stage-1 read back-to-back (the software-prefetch
+    pattern — independent loads the CPU can overlap), the second chases
+    only the entries that hit a leaf pointer. Results are identical to
+    [n] scalar {!lookup}s, touch count included. *)

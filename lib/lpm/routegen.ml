@@ -1,0 +1,123 @@
+(* Deterministic synthetic routing tables with a realistic prefix-length
+   mix. Real BGP snapshots are dominated by /24s, with /22-/23
+   deaggregation, a body of /16-/21 allocations, a thin tail of short
+   classful blocks and (usually) a default route; we sample from that
+   shape so large-table benchmarks stress the trie the way a DFZ feed
+   would — most routes land as single stage-1 slots, a minority spill
+   into leaf blocks.
+
+   Everything is driven by one 64-bit LCG from the caller's seed: same
+   seed, same table, same probe stream, on every run and every host. *)
+
+type route = { addr : int; len : int; gw : int; port : int }
+
+(* Numerical Recipes LCG; high bits are the good ones. *)
+let lcg_a = 6364136223846793005L
+let lcg_c = 1442695040888963407L
+
+type rng = { mutable s : int64 }
+
+let rng_of_seed seed = { s = Int64.of_int (seed lxor 0x9e3779b9) }
+
+let bits r n =
+  r.s <- Int64.add (Int64.mul r.s lcg_a) lcg_c;
+  Int64.to_int (Int64.shift_right_logical r.s (64 - n))
+
+let below r n = if n <= 1 then 0 else bits r 30 mod n
+
+(* Cumulative prefix-length distribution, per mille. The /25-/32 tail
+   (~3.5%, like the more-specifics that leak into real feeds plus IGP
+   host routes) is what exercises the trie's leaf-block stage at the
+   production stride. *)
+let len_table =
+  [|
+    (520, 24); (* the /24 wall *)
+    (620, 23);
+    (720, 22);
+    (760, 21);
+    (800, 20);
+    (840, 19);
+    (870, 18);
+    (895, 17);
+    (925, 16);
+    (940, 14);
+    (950, 12);
+    (960, 10);
+    (965, 8);
+    (980, 28);
+    (990, 30);
+    (1000, 32);
+  |]
+
+let pick_len r =
+  let d = below r 1000 in
+  let rec go i =
+    let c, l = len_table.(i) in
+    if d < c then l else go (i + 1)
+  in
+  go 0
+
+(* First octet in 16..223, skipping 10 (the testbed's own addressing)
+   — keeps generated tables from shadowing interface routes. *)
+let pick_octet1 r =
+  let o = 16 + below r 208 in
+  if o = 10 then 11 else o
+
+let pick_addr r len =
+  let a =
+    (pick_octet1 r lsl 24) lor (below r 256 lsl 16) lor (below r 256 lsl 8)
+    lor below r 256
+  in
+  if len = 0 then 0 else a land (0xffff_ffff lsl (32 - len)) land 0xffff_ffff
+
+let generate ?(seed = 1) ?(default_route = true) ~n ~nports () =
+  let r = rng_of_seed seed in
+  let seen = Hashtbl.create (2 * n) in
+  let out = Array.make n { addr = 0; len = 0; gw = 0; port = 0 } in
+  let i = ref 0 in
+  if default_route && n > 0 then begin
+    Hashtbl.add seen 0 ();
+    out.(0) <- { addr = 0; len = 0; gw = 0; port = below r nports };
+    incr i
+  end;
+  while !i < n do
+    let len = pick_len r in
+    let addr = pick_addr r len in
+    let key = (len lsl 32) lor addr in
+    if not (Hashtbl.mem seen key) then begin
+      Hashtbl.add seen key ();
+      (* ~30% of routes go via a gateway, like an IGP-learned next hop. *)
+      let gw = if below r 10 < 3 then 0x0a00_0001 + below r 254 else 0 in
+      out.(!i) <- { addr; len; gw; port = below r nports };
+      incr i
+    end
+  done;
+  out
+
+let probe_dsts ?(seed = 2) ~routes ~n () =
+  let r = rng_of_seed seed in
+  let nr = Array.length routes in
+  Array.init n (fun _ ->
+      if nr > 0 && below r 10 < 8 then begin
+        (* 80% of probes land inside some route's range: pick a route and
+           randomise its host bits. *)
+        let rt = routes.(below r nr) in
+        let host_bits = 32 - rt.len in
+        let jitter = if host_bits = 0 then 0 else bits r host_bits in
+        (rt.addr lor jitter) land 0xffff_ffff
+      end
+      else (bits r 32) land 0xffff_ffff)
+
+let addr_to_string a =
+  Printf.sprintf "%d.%d.%d.%d" ((a lsr 24) land 0xff) ((a lsr 16) land 0xff)
+    ((a lsr 8) land 0xff) (a land 0xff)
+
+let route_to_string rt =
+  if rt.gw = 0 then
+    Printf.sprintf "%s/%d %d" (addr_to_string rt.addr) rt.len rt.port
+  else
+    Printf.sprintf "%s/%d %s %d" (addr_to_string rt.addr) rt.len
+      (addr_to_string rt.gw) rt.port
+
+let to_config routes =
+  String.concat ", " (Array.to_list (Array.map route_to_string routes))

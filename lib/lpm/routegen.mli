@@ -1,0 +1,24 @@
+(** Deterministic synthetic routing tables with a realistic (BGP-like)
+    prefix-length distribution: mostly /24s, deaggregated /22-/23s, a
+    body of /16-/21s, a thin short-prefix tail, and a default route.
+    Seeded — the same seed reproduces the same table and probe stream
+    everywhere. *)
+
+type route = { addr : int; len : int; gw : int; port : int }
+
+val generate :
+  ?seed:int -> ?default_route:bool -> n:int -> nports:int -> unit -> route array
+(** [generate ~n ~nports ()] — [n] distinct routes with ports in
+    [0..nports-1], ~30% carrying a gateway. First octets avoid 10/8 so
+    generated tables never shadow the testbed's interface routes.
+    [default_route] (default true) makes route 0 a 0.0.0.0/0. *)
+
+val probe_dsts : ?seed:int -> routes:route array -> n:int -> unit -> int array
+(** [n] lookup targets: 80% inside some route's range (random host
+    bits), 20% uniform (may miss). *)
+
+val route_to_string : route -> string
+(** ["a.b.c.d/len [gw] port"] — the [LookupIPRoute] config syntax. *)
+
+val to_config : route array -> string
+(** Comma-separated {!route_to_string}s, i.e. a full config string. *)

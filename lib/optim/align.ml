@@ -33,7 +33,7 @@ let requirement_of_class cls =
   match cls with
   | "CheckIPHeader" | "GetIPAddress" | "IPGWOptions" | "FixIPSrc" | "DecIPTTL"
   | "IPFragmenter" | "ICMPError" | "IPFilter" | "IPClassifier"
-  | "IPOutputCombo" | "LookupIPRoute" ->
+  | "IPOutputCombo" | "LookupIPRoute" | "LinearIPLookup" ->
       Want { modulus = 4; offset = 0 }
   | "IPInputCombo" -> Want { modulus = 4; offset = 2 }
   | "Classifier" -> Want_known 4

@@ -272,7 +272,7 @@ let prop_radix_equals_linear =
               Discard; rt [3] -> o3 :: Counter -> Discard;"
              cls route_str)
       in
-      let dl = mk "LookupIPRoute" and dr = mk "RadixIPLookup" in
+      let dl = mk "LinearIPLookup" and dr = mk "RadixIPLookup" in
       List.for_all
         (fun probe ->
           let dst = probe * 65521 land 0xffffffff in
