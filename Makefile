@@ -9,18 +9,21 @@
 # scaling grid), `make bench-overload` refreshes BENCH_overload.json
 # (offered-load-vs-goodput curves under adversarial traffic),
 # `make bench-lpm` refreshes BENCH_lpm.json (DIR-24-8 trie vs linear
-# route lookup up to 1M routes — the full run takes a few minutes), and
-# `make bench-all` regenerates every committed BENCH_*.json in one go.
+# route lookup up to 1M routes — the full run takes a few minutes),
+# `make bench-fdd` refreshes BENCH_fdd.json (compiled vs FDD-fused
+# datapath on the cascaded-classifier config), and `make bench-all`
+# regenerates every committed BENCH_*.json in one go.
 # `make obs-smoke` (also part of `dune runtest`) validates
 # oclick-report's JSON output against the report schema on the example
 # configurations; `make overload-smoke` (likewise part of `dune
 # runtest`) runs the overload benchmark on the smoke budget and
-# validates its JSON against the curve schema; `make lpm-smoke` does the
-# same for the route-lookup benchmark.
+# validates its JSON against the curve schema; `make lpm-smoke` and
+# `make fdd-smoke` do the same for the route-lookup and fusion
+# benchmarks.
 
 .PHONY: all build test bench bench-smoke compile-smoke parallel-smoke \
-	bench-json bench-parallel bench-overload bench-lpm bench-all \
-	obs-smoke overload-smoke lpm-smoke clean
+	bench-json bench-parallel bench-overload bench-lpm bench-fdd \
+	bench-all obs-smoke overload-smoke lpm-smoke fdd-smoke clean
 
 all: build
 
@@ -56,7 +59,10 @@ bench-overload: build
 bench-lpm: build
 	cd $(CURDIR) && dune exec --no-build bench/main.exe -- lpm --json
 
-bench-all: bench-json bench-parallel bench-overload bench-lpm
+bench-fdd: build
+	cd $(CURDIR) && dune exec --no-build bench/main.exe -- fdd --json
+
+bench-all: bench-json bench-parallel bench-overload bench-lpm bench-fdd
 
 obs-smoke:
 	dune build @obs-smoke
@@ -66,6 +72,9 @@ overload-smoke:
 
 lpm-smoke:
 	dune build @lpm-smoke
+
+fdd-smoke:
+	dune build @fdd-smoke
 
 clean:
 	dune clean

@@ -29,6 +29,7 @@ let sections =
     ("parallel", Parallel.run);
     ("overload", Overload.run);
     ("lpm", Lpm.run);
+    ("fdd", Fdd.run);
   ]
 
 let () =

@@ -34,31 +34,60 @@ let device_count router =
 
 let () = Oclick_compile.register ()
 
-(* Each pass is (label, graph, compile?): the tool-chain passes rewrite
-   the graph source-to-source; the final "compiled" pass keeps the fully
-   optimized graph and additionally runs the whole-graph datapath
-   compiler at instantiation — attribution is printable before and after
-   because the compiled path reports the identical per-hop events. *)
+(* Each pass is (label, graph, compile?, fuse?): the tool-chain passes
+   rewrite the graph source-to-source; the "compiled" pass keeps the
+   fully optimized graph and additionally runs the whole-graph datapath
+   compiler at instantiation; the final "fused" pass adds the
+   cross-element FDD fusion inside that compilation. Attribution is
+   printable before and after every pass because the compiled and fused
+   paths report the identical per-hop events. *)
 let passes_of router =
   let xf = Oclick.Pipeline.transform router in
   let fc = Oclick.Pipeline.fastclassify xf in
   let dv = Oclick.Pipeline.devirtualize fc in
   [
-    ("unoptimized", router, false);
-    ("after click-xform", xf, false);
-    ("after click-fastclassifier", fc, false);
-    ("after click-devirtualize", dv, false);
-    ("compiled", dv, true);
+    ("unoptimized", router, false, false);
+    ("after click-xform", xf, false, false);
+    ("after click-fastclassifier", fc, false, false);
+    ("after click-devirtualize", dv, false, false);
+    ("compiled", dv, true, false);
+    ("fused", dv, true, true);
   ]
 
 let measure ~platform ~batch ~domains ~input_pps ~duration_ms ~warmup_ms obs
-    (graph, compile) =
+    (graph, compile, fuse) =
   match
-    Testbed.run ~duration_ms ~warmup_ms ~batch ~compile ~obs ~domains ~platform
-      ~graph ~input_pps ()
+    Testbed.run ~duration_ms ~warmup_ms ~batch ~compile ~fuse ~obs ~domains
+      ~platform ~graph ~input_pps ()
   with
   | Ok r -> r
   | Error e -> Tool_common.die "%s" e
+
+(* The regions the FDD pass fused in the most recent compilation: what
+   collapsed into each single decision-diagram dispatch. Per-hop ledgers
+   are replayed exactly even inside fused regions, so this is
+   informational, not a caveat on the numbers. *)
+let fused_regions_json ~fuse =
+  let regions =
+    if not fuse then []
+    else
+      match Oclick_compile.last_stats () with
+      | Some st -> st.Oclick_compile.st_regions
+      | None -> []
+  in
+  Json.List
+    (List.map
+       (fun (r : Oclick_fdd.region) ->
+         Json.Obj
+           [
+             ("entry", Json.String r.Oclick_fdd.rg_entry);
+             ( "members",
+               Json.List
+                 (List.map (fun m -> Json.String m) r.Oclick_fdd.rg_members) );
+             ("nodes", Json.Int r.Oclick_fdd.rg_nodes);
+             ("actions", Json.Int r.Oclick_fdd.rg_actions);
+           ])
+       regions)
 
 (* --- partition summary (--shards) -------------------------------------- *)
 
@@ -158,7 +187,7 @@ let route_tables_json (r : Testbed.result) =
            :: List.map (fun (k, v) -> (k, Json.Int v)) stats))
        r.Testbed.r_route_tables)
 
-let pass_json ~label ~mhz obs (r : Testbed.result) =
+let pass_json ~label ~mhz ~fuse obs (r : Testbed.result) =
   let aggregate = aggregate_check obs r in
   match Obs.Report.json (Obs.Report.Sim mhz) obs with
   | Json.Obj kvs ->
@@ -172,6 +201,7 @@ let pass_json ~label ~mhz obs (r : Testbed.result) =
              Json.List
                (List.map (fun w -> Json.String w) r.Testbed.r_warnings) )
         :: ("route_tables", route_tables_json r)
+        :: ("fused_regions", fused_regions_json ~fuse)
         :: kvs)
   | v -> v
 
@@ -195,7 +225,8 @@ let run json passes batch domains shards input_pps duration_ms warmup_ms input
   let mhz = float_of_int platform.Platform.p_cpu_mhz in
   let obs = Obs.create () in
   let variants =
-    if passes then passes_of router else [ ("unoptimized", router, false) ]
+    if passes then passes_of router
+    else [ ("unoptimized", router, false, false) ]
   in
   let measure =
     measure ~platform ~batch ~domains ~input_pps ~duration_ms ~warmup_ms obs
@@ -203,8 +234,8 @@ let run json passes batch domains shards input_pps duration_ms warmup_ms input
   if json then begin
     let reports =
       List.map
-        (fun (label, graph, compile) ->
-          pass_json ~label ~mhz obs (measure (graph, compile)))
+        (fun (label, graph, compile, fuse) ->
+          pass_json ~label ~mhz ~fuse obs (measure (graph, compile, fuse)))
         variants
     in
     let header =
@@ -232,8 +263,8 @@ let run json passes batch domains shards input_pps duration_ms warmup_ms input
   else begin
     if shards then shards_table ~domains router;
     List.iter
-      (fun (label, graph, compile) ->
-        let r = measure (graph, compile) in
+      (fun (label, graph, compile, fuse) ->
+        let r = measure (graph, compile, fuse) in
         let aggregate = aggregate_check obs r in
         Printf.printf
           "%s: %d ports, batch %d, %d pps offered — %.0f pps forwarded, \
@@ -249,6 +280,19 @@ let run json passes batch domains shards input_pps duration_ms warmup_ms input
                 (if n = 1 then "" else "s"))
             r.Testbed.r_element_faults
         end;
+        (if fuse then
+           match Oclick_compile.last_stats () with
+           | Some st when st.Oclick_compile.st_regions <> [] ->
+               let rs = st.Oclick_compile.st_regions in
+               Printf.printf "fused regions (%d):\n" (List.length rs);
+               List.iter
+                 (fun (rg : Oclick_fdd.region) ->
+                   Printf.printf "  %s + [%s]: %d nodes, %d actions\n"
+                     rg.Oclick_fdd.rg_entry
+                     (String.concat ", " rg.Oclick_fdd.rg_members)
+                     rg.Oclick_fdd.rg_nodes rg.Oclick_fdd.rg_actions)
+                 rs
+           | _ -> ());
         print_string (Obs.Report.table (Obs.Report.Sim mhz) obs);
         Printf.printf "aggregate (cost model): %d ns — matches per-element \
                        total\n\n"
@@ -268,7 +312,8 @@ let passes_arg =
         ~doc:
           "Report before and after each optimizer pass: unoptimized, then \
            cumulatively click-xform, click-fastclassifier, \
-           click-devirtualize.")
+           click-devirtualize, the whole-graph compiled datapath, and \
+           finally cross-element FDD fusion (with its fused regions).")
 
 let batch_arg =
   Arg.(

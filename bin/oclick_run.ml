@@ -83,7 +83,18 @@ let print_pool_stats (st : Oclick_packet.Packet.Pool.stats) =
     st.Oclick_packet.Packet.Pool.st_allocs st.st_reuses st.st_recycles
     st.st_rejected st.st_free
 
-let print_obs ~driver ~rounds ~batch ~report ~report_json o =
+(* Any element exposing a "routes" stat is a routing table (LookupIPRoute
+   and friends) — same discovery rule as the testbed's report. *)
+let route_tables_of driver =
+  let acc = ref [] in
+  for i = Oclick_runtime.Driver.size driver - 1 downto 0 do
+    let e = Oclick_runtime.Driver.element_at driver i in
+    let stats = e#stats in
+    if List.mem_assoc "routes" stats then acc := (e#name, stats) :: !acc
+  done;
+  !acc
+
+let print_obs ~driver ~rounds ~batch ~report ~report_json ~warnings o =
   let ename idx =
     if idx < 0 then "-"
     else if idx < Oclick_runtime.Driver.size driver then
@@ -94,18 +105,37 @@ let print_obs ~driver ~rounds ~batch ~report ~report_json o =
     Printf.printf "per-element breakdown (wall clock):\n";
     print_string (Oclick_obs.Report.table Oclick_obs.Report.Wall o));
   if report_json then begin
-    let j = Oclick_obs.Report.json Oclick_obs.Report.Wall o in
+    let open Oclick_obs in
+    (* The degraded/warnings/route_tables sections are part of the report
+       schema (same shapes as oclick-report's passes), present even when
+       empty, so JSON consumers never need existence checks. *)
+    let degraded =
+      warnings <> [] || Oclick_runtime.Driver.fault_report driver <> []
+    in
+    let route_tables =
+      Json.List
+        (List.map
+           (fun (name, stats) ->
+             Json.Obj
+               (("name", Json.String name)
+               :: List.map (fun (k, v) -> (k, Json.Int v)) stats))
+           (route_tables_of driver))
+    in
+    let j = Report.json Report.Wall o in
     let j =
       match j with
-      | Oclick_obs.Json.Obj kvs ->
-          Oclick_obs.Json.Obj
-            (("tool", Oclick_obs.Json.String "oclick-run")
-            :: ("rounds", Oclick_obs.Json.Int rounds)
-            :: ("batch", Oclick_obs.Json.Int batch)
+      | Json.Obj kvs ->
+          Json.Obj
+            (("tool", Json.String "oclick-run")
+            :: ("rounds", Json.Int rounds)
+            :: ("batch", Json.Int batch)
+            :: ("degraded", Json.Bool degraded)
+            :: ("warnings", Json.List (List.map (fun w -> Json.String w) warnings))
+            :: ("route_tables", route_tables)
             :: kvs)
       | v -> v
     in
-    print_endline (Oclick_obs.Json.to_string j)
+    print_endline (Json.to_string j)
   end;
   match Oclick_obs.trace o with
   | None -> ()
@@ -145,8 +175,9 @@ let set_meta obs router =
    deterministic. --rounds bounds the *working* rounds per domain; the
    run otherwise stops when every shard quiesces and every cut ring
    drains. *)
-let run_parallel ~rounds ~stats ~batch ~pool ~compile ~domains ~ring_capacity
-    ~watchdog_ms ~writes ~reads ~report ~report_json ~trace router devices =
+let run_parallel ~rounds ~stats ~batch ~pool ~compile ~fuse ~domains
+    ~ring_capacity ~watchdog_ms ~writes ~reads ~report ~report_json ~trace
+    router devices =
   let want_obs = report || report_json || trace <> None in
   let t0 = Unix.gettimeofday () in
   let now () = int_of_float ((Unix.gettimeofday () -. t0) *. 1e9) in
@@ -155,11 +186,22 @@ let run_parallel ~rounds ~stats ~batch ~pool ~compile ~domains ~ring_capacity
       Some (Array.init domains (fun _ -> Oclick_obs.create ?trace ~recycles:pool ()))
     else None
   in
+  (* Warnings feed the report's degraded/warnings sections; shard hooks
+     fire from their own domains, so recording takes a lock. *)
+  let warn_mutex = Mutex.create () in
+  let warnings = ref [] in
+  let record_warn w =
+    Mutex.lock warn_mutex;
+    warnings := w :: !warnings;
+    Mutex.unlock warn_mutex
+  in
   let base =
     {
       Oclick_runtime.Hooks.null with
       Oclick_runtime.Hooks.on_warn =
-        (fun ~src msg -> Printf.eprintf "warning: %s: %s\n" src msg);
+        (fun ~src msg ->
+          record_warn (Printf.sprintf "%s: %s" src msg);
+          Printf.eprintf "warning: %s: %s\n" src msg);
     }
   in
   let hooks_for shard =
@@ -169,7 +211,7 @@ let run_parallel ~rounds ~stats ~batch ~pool ~compile ~domains ~ring_capacity
   in
   match
     Oclick_parallel.Runner.create ~hooks_for ~devices ~batch ~pool ~compile
-      ~ring_capacity ~clock:now ~domains router
+      ~fuse ~ring_capacity ~clock:now ~domains router
   with
   | Error e -> Tool_common.die "%s" e
   | Ok runner ->
@@ -184,6 +226,10 @@ let run_parallel ~rounds ~stats ~batch ~pool ~compile ~domains ~ring_capacity
          path prints, so scripts scraping the output can tell. *)
       if rp.Oclick_parallel.Runner.rp_stalled <> [] then begin
         let ints l = String.concat "," (List.map string_of_int l) in
+        record_warn
+          (Printf.sprintf "stalled domains [%s]; %d drained"
+             (ints rp.Oclick_parallel.Runner.rp_stalled)
+             rp.Oclick_parallel.Runner.rp_drained);
         Printf.printf
           "degraded run: stalled domains [%s]%s; %d packet%s drained from \
            their rings\n"
@@ -213,10 +259,11 @@ let run_parallel ~rounds ~stats ~batch ~pool ~compile ~domains ~ring_capacity
           let part = Oclick_parallel.Runner.partition runner in
           set_meta merged part.Oclick_parallel.Partition.pt_graph;
           Array.iter (fun o -> Oclick_obs.merge_into ~src:o ~dst:merged) shards;
-          print_obs ~driver ~rounds ~batch ~report ~report_json merged
+          print_obs ~driver ~rounds ~batch ~report ~report_json
+            ~warnings:(List.rev !warnings) merged
 
-let run rounds stats batch pool compile fault fault_seed domains ring_capacity
-    watchdog_ms writes reads report report_json trace input =
+let run rounds stats batch pool compile fuse fault fault_seed domains
+    ring_capacity watchdog_ms writes reads report report_json trace input =
   if rounds < 0 then Tool_common.die "bad --rounds %d (must be >= 0)" rounds;
   if batch < 1 then Tool_common.die "bad --batch %d (must be at least 1)" batch;
   if domains < 1 then
@@ -242,8 +289,9 @@ let run rounds stats batch pool compile fault fault_seed domains ring_capacity
       (device_names router)
   in
   if domains > 1 then
-    run_parallel ~rounds ~stats ~batch ~pool ~compile ~domains ~ring_capacity
-      ~watchdog_ms ~writes ~reads ~report ~report_json ~trace router devices
+    run_parallel ~rounds ~stats ~batch ~pool ~compile ~fuse ~domains
+      ~ring_capacity ~watchdog_ms ~writes ~reads ~report ~report_json ~trace
+      router devices
   else begin
   let injector =
     match fault with
@@ -264,6 +312,7 @@ let run rounds stats batch pool compile fault fault_seed domains ring_capacity
       injector
   in
   let drops : (string, int ref) Hashtbl.t = Hashtbl.create 8 in
+  let warnings = ref [] in
   let hooks =
     {
       Oclick_runtime.Hooks.null with
@@ -272,7 +321,10 @@ let run rounds stats batch pool compile fault fault_seed domains ring_capacity
           match Hashtbl.find_opt drops reason with
           | Some r -> incr r
           | None -> Hashtbl.replace drops reason (ref 1));
-      on_warn = (fun ~src msg -> Printf.eprintf "warning: %s: %s\n" src msg);
+      on_warn =
+        (fun ~src msg ->
+          warnings := Printf.sprintf "%s: %s" src msg :: !warnings;
+          Printf.eprintf "warning: %s: %s\n" src msg);
     }
   in
   let pool =
@@ -300,7 +352,7 @@ let run rounds stats batch pool compile fault fault_seed domains ring_capacity
   let clock () = int_of_float ((Unix.gettimeofday () -. t0) *. 1e9) in
   match
     Oclick_runtime.Driver.instantiate ~hooks ~devices ?mangle ?quarantine
-      ~batch ?pool ~compile ~clock router
+      ~batch ?pool ~compile ~fuse ~clock router
   with
   | Error e -> Tool_common.die "%s" e
   | Ok driver ->
@@ -336,7 +388,9 @@ let run rounds stats batch pool compile fault fault_seed domains ring_capacity
       | _ -> ());
       match obs with
       | None -> ()
-      | Some o -> print_obs ~driver ~rounds ~batch ~report ~report_json o
+      | Some o ->
+          print_obs ~driver ~rounds ~batch ~report ~report_json
+            ~warnings:(List.rev !warnings) o
   end
 
 let rounds_arg =
@@ -381,6 +435,20 @@ let compile_arg =
            (outcomes, drop reasons, reports) are identical to the \
            interpreted path; composes with $(b,--batch), $(b,--pool) and \
            $(b,--fault).")
+
+let fuse_arg =
+  Arg.(
+    value & flag
+    & info [ "fuse" ]
+        ~doc:
+          "Run the cross-element FDD fusion pass inside compilation \
+           (implies $(b,--compile)): whole push regions of classifiers, \
+           paint writes/switches, header guards and route lookups \
+           collapse into one decision-diagram closure per region. \
+           Outcomes, drop reasons and reports stay identical; composes \
+           with $(b,--batch), $(b,--pool) and $(b,--domains). With \
+           $(b,--fault), regions crossing a wire-mangled transfer fall \
+           back to per-element compiled closures.")
 
 let fault_arg =
   Arg.(
@@ -474,6 +542,6 @@ let () =
     "Run a Click configuration in the user-level driver."
     Term.(
       const run $ rounds_arg $ stats_arg $ batch_arg $ pool_arg $ compile_arg
-      $ fault_arg $ fault_seed_arg $ domains_arg $ ring_capacity_arg
+      $ fuse_arg $ fault_arg $ fault_seed_arg $ domains_arg $ ring_capacity_arg
       $ watchdog_ms_arg $ write_arg $ read_arg $ report_arg $ report_json_arg
       $ trace_arg $ Tool_common.input_arg)

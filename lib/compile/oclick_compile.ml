@@ -13,12 +13,19 @@ module Element = Oclick_runtime.Element
 module Hooks = Oclick_runtime.Hooks
 module Driver = Oclick_runtime.Driver
 module Registry = Oclick_runtime.Registry
+module Fdd = Oclick_fdd
 
 type stats = {
   st_connections : int;
   st_fused : int;
   st_fallbacks : int;
+  st_regions : Fdd.region list;
 }
+
+(* Stats of the most recent [install], for tools that reach compilation
+   through [Driver.instantiate] (which discards the result value). *)
+let last : stats option ref = ref None
+let last_stats () = !last
 
 let check_rejects graph =
   (* Conservative rejection: a direct self-loop gives fusion no edge to
@@ -38,7 +45,7 @@ let check_rejects graph =
            h.from_port h.to_port)
   | None -> Ok ()
 
-let install (d : Driver.t) : (stats, string) result =
+let install ?(fuse = false) (d : Driver.t) : (stats, string) result =
   let graph = Driver.graph d in
   match check_rejects graph with
   | Error _ as e -> e
@@ -72,6 +79,7 @@ let install (d : Driver.t) : (stats, string) result =
               | Graph.Spec.Pull -> ())
             (Graph.Router.hookups graph);
           let connections = ref 0 and fused = ref 0 and fallbacks = ref 0 in
+          let regions = ref [] in
           (* Per-element fused bodies, memoized; [building] marks the
              elements whose fuse is in progress so a cycle reaching back
              into one of them takes the dynamic-dispatch fallback instead
@@ -87,16 +95,50 @@ let install (d : Driver.t) : (stats, string) result =
             else if attempted.(i) then bodies.(i)
             else begin
               building.(i) <- true;
-              (* [fc_out] resolves the connection closure at fuse time, so
-                 the per-packet body chains fused neighbours with a direct
-                 call — no memo lookup on the hot path. Recursion is safe:
-                 resolving a connection may fuse the destination, and the
-                 [building] flags break cycles into dynamic fallbacks. *)
-              let ctx =
-                { Element.fc_out = (fun port -> conn i port);
-                  fc_lean_work = lean_work }
+              (* Under [fuse], the cross-element FDD pass gets first
+                 claim on the region rooted here: if it absorbs at least
+                 one downstream element, its single decision-diagram
+                 closure replaces the element's own body (member
+                 elements still get their own bodies for edges entering
+                 the region mid-way). Otherwise — or always, without
+                 [fuse] — the element's per-element fused body applies. *)
+              let fdd =
+                if not fuse then None
+                else
+                  match
+                    Fdd.build
+                      {
+                        Fdd.fd_elements = elements;
+                        fd_out = out;
+                        fd_conn = (fun j port -> conn j port);
+                        fd_lean_transfer = lean;
+                        fd_lean_work = lean_work;
+                        fd_on_transfer = hooks.Hooks.on_transfer;
+                      }
+                      i
+                  with
+                  | Some (f, region) ->
+                      regions := region :: !regions;
+                      Some f
+                  | None -> None
               in
-              let r = elements.(i)#fuse ctx in
+              let r =
+                match fdd with
+                | Some _ -> fdd
+                | None ->
+                    (* [fc_out] resolves the connection closure at fuse
+                       time, so the per-packet body chains fused
+                       neighbours with a direct call — no memo lookup on
+                       the hot path. Recursion is safe: resolving a
+                       connection may fuse the destination, and the
+                       [building] flags break cycles into dynamic
+                       fallbacks. *)
+                    let ctx =
+                      { Element.fc_out = (fun port -> conn i port);
+                        fc_lean_work = lean_work }
+                    in
+                    elements.(i)#fuse ctx
+              in
               building.(i) <- false;
               attempted.(i) <- true;
               bodies.(i) <- r;
@@ -246,13 +288,17 @@ let install (d : Driver.t) : (stats, string) result =
               ~out:(Array.init nout (fun port -> conn i port))
               ~out_batch:(Array.init nout (fun port -> conn_batch i port))
           done;
-          Ok
+          let st =
             {
               st_connections = !connections;
               st_fused = !fused;
               st_fallbacks = !fallbacks;
-            })
+              st_regions = List.rev !regions;
+            }
+          in
+          last := Some st;
+          Ok st)
 
 let register () =
-  Driver.register_compiler (fun d ->
-      match install d with Ok _ -> Ok () | Error _ as e -> e)
+  Driver.register_compiler (fun ~fuse d ->
+      match install ~fuse d with Ok _ -> Ok () | Error _ as e -> e)

@@ -41,12 +41,27 @@ type stats = {
   st_connections : int;  (** push connections devirtualized *)
   st_fused : int;  (** elements contributing fused per-packet bodies *)
   st_fallbacks : int;  (** connections delivering via dynamic dispatch *)
+  st_regions : Oclick_fdd.region list;
+      (** cross-element regions fused into single decision diagrams
+          (empty unless compiled with [~fuse:true]) *)
 }
 
-val install : Oclick_runtime.Driver.t -> (stats, string) result
+val install : ?fuse:bool -> Oclick_runtime.Driver.t -> (stats, string) result
 (** Compile the driver's push paths in place. The installed hooks and
     fault injectors are captured at compile time; callers must not
-    change them afterwards (the driver never does). *)
+    change them afterwards (the driver never does).
+
+    With [~fuse:true], the cross-element FDD pass ({!Oclick_fdd}) runs
+    first on every push region: cascades of classifiers, paint
+    writes/switches, header guards and route lookups collapse into one
+    decision-diagram closure per region, with per-element fusion as the
+    universal fallback. Observable behaviour is unchanged either way. *)
+
+val last_stats : unit -> stats option
+(** Stats of the most recent {!install} in this process, or [None] if it
+    never ran. For tools that compile through [Driver.instantiate] —
+    which discards the stats — and want to report fused regions
+    afterwards (oclick-report's fused pass). *)
 
 val register : unit -> unit
 (** Make [Driver.instantiate ~compile:true] work by registering

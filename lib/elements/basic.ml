@@ -173,6 +173,15 @@ class paint_switch name =
       let paint = (Packet.anno p).Packet.paint in
       if paint >= 0 && paint < self#noutputs then self#output paint p
       else self#drop ~reason:"no output for paint" p
+
+    method! region_sem =
+      (* Folded by the fusion pass only under a dominating Paint, where
+         the output is a compile-time constant. *)
+      Some
+        (Region.Paint_switch
+           {
+             ps_invalid = (fun p -> self#drop ~reason:"no output for paint" p);
+           })
   end
 
 class print name =

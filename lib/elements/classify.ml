@@ -99,6 +99,18 @@ class virtual tree_classifier name =
              dropped <- dropped + 1;
              self#drop ~reason:"classified to no output" p))
 
+    method! region_sem =
+      Some
+        (Region.Classify
+           {
+             cl_tree = tree;
+             cl_charge = (fun v -> self#charge (Hooks.W_classify_interp v));
+             cl_invalid =
+               (fun p ->
+                 dropped <- dropped + 1;
+                 self#drop ~reason:"classified to no output" p);
+           })
+
     method! stats =
       [
         ("nodes", Tree.node_count tree);
@@ -187,6 +199,18 @@ class fast_classifier cls name (t : Tree.t) =
            ~on_invalid:(fun p ->
              dropped <- dropped + 1;
              self#drop ~reason:"classified to no output" p))
+
+    method! region_sem =
+      Some
+        (Region.Classify
+           {
+             cl_tree = t;
+             cl_charge = (fun v -> self#charge (Hooks.W_classify_compiled v));
+             cl_invalid =
+               (fun p ->
+                 dropped <- dropped + 1;
+                 self#drop ~reason:"classified to no output" p);
+           })
 
     method! stats =
       [ ("nodes", Tree.node_count t); ("dropped", dropped) ]

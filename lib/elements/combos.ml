@@ -76,6 +76,41 @@ class ip_input_combo name =
         end
       end
 
+    method! region_sem =
+      (* The combo behaves as one guard: paint, pull the link header
+         (hence the 14-byte shift for hoisted downstream tests), check,
+         trim padding (hence the barrier), extract the address. Failures
+         divert through output 1 / accounted drops, exactly as [push]. *)
+      Some
+        (Region.Guard
+           {
+             gd_shift = 14;
+             gd_barrier = true;
+             gd_run =
+               (fun p ->
+                 let anno = Packet.anno p in
+                 anno.Packet.paint <- color;
+                 if Packet.length p < 14 then begin
+                   self#drop ~reason:"no link header" p;
+                   false
+                 end
+                 else begin
+                   Packet.pull p 14;
+                   if self#header_ok p then begin
+                     let excess = Packet.length p - Ip.total_length p in
+                     if excess > 0 then Packet.take p excess;
+                     anno.Packet.dst_ip <- Packet.get_u32 p 16;
+                     true
+                   end
+                   else begin
+                     drops <- drops + 1;
+                     if self#noutputs > 1 then self#output 1 p
+                     else self#drop ~reason:"bad IP header" p;
+                     false
+                   end
+                 end);
+           })
+
     method! stats = [ ("drops", drops) ]
   end
 
@@ -153,6 +188,51 @@ class ip_output_combo name =
               self#output 0 p
             end
           end
+
+    method! region_sem =
+      (* Barrier: the source rewrite and TTL decrement change header
+         bytes, so no downstream tree test may be hoisted above this
+         stage. Rejects divert through side outputs / accounted drops,
+         exactly as [push]. *)
+      Some
+        (Region.Guard
+           {
+             gd_shift = 0;
+             gd_barrier = true;
+             gd_run =
+               (fun p ->
+                 let anno = Packet.anno p in
+                 match anno.Packet.link_type with
+                 | Packet.Broadcast | Packet.Multicast ->
+                     self#drop ~reason:"link-level broadcast" p;
+                     false
+                 | Packet.To_host | Packet.To_other ->
+                     if anno.Packet.paint = color && self#noutputs > 1 then begin
+                       let c = Packet.clone p in
+                       self#spawn c;
+                       self#output 1 c
+                     end;
+                     if not (self#options_ok p) then begin
+                       self#reject 2 "bad IP options" p;
+                       false
+                     end
+                     else begin
+                       if anno.Packet.fix_ip_src then begin
+                         anno.Packet.fix_ip_src <- false;
+                         Ip.set_src p my_addr;
+                         self#charge (Hooks.W_checksum (Ip.header_length p));
+                         Ip.update_checksum p
+                       end;
+                       if Ip.ttl p <= 1 then begin
+                         self#reject 3 "TTL expired" p;
+                         false
+                       end
+                       else begin
+                         Ip.decrement_ttl p;
+                         true
+                       end
+                     end);
+           })
 
     method! stats = [ ("rejects", drops) ]
   end

@@ -19,6 +19,8 @@ class paint name =
     method private action p =
       (Packet.anno p).Packet.paint <- color;
       Some p
+
+    method! region_sem = Some (Region.Set_paint color)
   end
 
 (* CheckPaint (Click's PaintTee): forwards on 0; a painted packet also
@@ -46,6 +48,8 @@ class check_paint name =
     method private action p =
       self#tee p;
       Some p
+
+    method! region_sem = Some (Region.Mutate (fun p -> self#tee p))
   end
 
 class strip name =
@@ -68,6 +72,19 @@ class strip name =
         self#drop ~reason:"too short to strip" p;
         None
       end
+
+    method! region_sem =
+      (* The shift lets the fusion pass translate downstream tree
+         offsets: reading [off] after the pull sees the same bytes as
+         [off + nbytes] before it (both through the shared zero-fill
+         reader), so hoisting those tests above the pull is exact. *)
+      Some
+        (Region.Guard
+           {
+             gd_shift = nbytes;
+             gd_barrier = false;
+             gd_run = (fun p -> Option.is_some (self#action p));
+           })
   end
 
 class unstrip name =
@@ -146,6 +163,20 @@ class check_ip_header name =
       end
 
     method! stats = [ ("drops", drops) ]
+
+    method! region_sem =
+      (* Barrier: [Packet.take] trims the padding bytes beyond the IP
+         length, so byte tests hoisted from below could read trimmed
+         bytes as nonzero that the interpreted walk reads as zero-fill.
+         Non-test stages (paint, address extraction, the route lookup)
+         still fuse past it. *)
+      Some
+        (Region.Guard
+           {
+             gd_shift = 0;
+             gd_barrier = true;
+             gd_run = (fun p -> Option.is_some (self#action p));
+           })
   end
 
 class get_ip_address name =
@@ -168,6 +199,15 @@ class get_ip_address name =
         self#drop ~reason:"too short for address" p;
         None
       end
+
+    method! region_sem =
+      Some
+        (Region.Guard
+           {
+             gd_shift = 0;
+             gd_barrier = false;
+             gd_run = (fun p -> Option.is_some (self#action p));
+           })
   end
 
 class set_ip_address name =
@@ -184,6 +224,9 @@ class set_ip_address name =
     method private action p =
       (Packet.anno p).Packet.dst_ip <- addr;
       Some p
+
+    method! region_sem =
+      Some (Region.Mutate (fun p -> (Packet.anno p).Packet.dst_ip <- addr))
   end
 
 class drop_broadcasts name =

@@ -2,6 +2,7 @@
    module in this library. Not part of the public API. *)
 
 module E = Oclick_runtime.Element
+module Region = Oclick_runtime.Region
 module Hooks = Oclick_runtime.Hooks
 module Registry = Oclick_runtime.Registry
 module Netdevice = Oclick_runtime.Netdevice

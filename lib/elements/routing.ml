@@ -180,6 +180,107 @@ class linear_ip_lookup name =
               misses <- misses + 1;
               self#drop ~reason:"no route" p)
 
+    method! region_sem =
+      (* The same scalar lookup as [fuse], as a fused-region leaf: the
+         region's action dispatches on the returned port, so the closure
+         only decides, rewrites the gateway annotation, and accounts
+         misses/unconnected drops itself (returning -1 when the packet
+         was consumed). Reads [routes] per call, so live adds/removes
+         stay visible to fused graphs. *)
+      Some
+        (Region.Route
+           {
+             rt_make =
+               (fun ~lean_work p ->
+                 let dst = (Packet.anno p).Packet.dst_ip in
+                 let n = Array.length routes in
+                 let rec scan i =
+                   if i >= n then None
+                   else
+                     let r = routes.(i) in
+                     if dst land r.rt_mask = r.rt_addr then Some (r, i + 1)
+                     else scan (i + 1)
+                 in
+                 match scan 0 with
+                 | Some (r, scanned) ->
+                     if not lean_work then
+                       self#charge (Hooks.W_lookup scanned);
+                     if r.rt_gw <> 0 then
+                       (Packet.anno p).Packet.dst_ip <- r.rt_gw;
+                     if r.rt_port < self#noutputs then r.rt_port
+                     else begin
+                       self#drop ~reason:"route to unconnected port" p;
+                       -1
+                     end
+                 | None ->
+                     if not lean_work then self#charge (Hooks.W_lookup n);
+                     misses <- misses + 1;
+                     self#drop ~reason:"no route" p;
+                     -1);
+           })
+
+    (* Live table updates, matching the trie backend's handlers. The
+       sorted-array invariant (longest prefix first, declaration order
+       within equal lengths) is maintained by inserting a live add after
+       every existing route of greater-or-equal mask — a live add is
+       "declared last", so first-declared-wins is preserved exactly as
+       under [configure]. A removed prefix falls through to the next
+       less-specific match (or a miss) on the very next lookup. *)
+    method! write_handler handler value =
+      match handler with
+      | "add" -> (
+          match parse_route value with
+          | None ->
+              Error
+                (Printf.sprintf "%s: bad route (want ADDR/MASK [GW] PORT)"
+                   self#class_name)
+          | Some r ->
+              if
+                Array.exists
+                  (fun q -> q.rt_addr = r.rt_addr && q.rt_mask = r.rt_mask)
+                  routes
+              then Error (Printf.sprintf "%s: duplicate route" self#class_name)
+              else begin
+                let n = Array.length routes in
+                let pos = ref 0 in
+                while !pos < n && routes.(!pos).rt_mask >= r.rt_mask do
+                  incr pos
+                done;
+                routes <-
+                  Array.concat
+                    [
+                      Array.sub routes 0 !pos;
+                      [| r |];
+                      Array.sub routes !pos (n - !pos);
+                    ];
+                (* Live table swap: as in [configure], drop batch scratch
+                   so stale dimensions can't leak across the update. *)
+                port_scratch <- [||];
+                Ok ()
+              end)
+      | "remove" -> (
+          match Ipaddr.parse_prefix value with
+          | None ->
+              Error
+                (Printf.sprintf "%s: bad prefix (want ADDR/MASK)"
+                   self#class_name)
+          | Some (addr, mask) ->
+              let addr = addr land mask in
+              let keep =
+                Array.of_seq
+                  (Seq.filter
+                     (fun q -> not (q.rt_addr = addr && q.rt_mask = mask))
+                     (Array.to_seq routes))
+              in
+              if Array.length keep = Array.length routes then
+                Error (Printf.sprintf "%s: no such route" self#class_name)
+              else begin
+                routes <- keep;
+                port_scratch <- [||];
+                Ok ()
+              end)
+      | h -> Error (Printf.sprintf "%s: no write handler %S" name h)
+
     method! stats = [ ("routes", Array.length routes); ("misses", misses) ]
   end
 
@@ -335,6 +436,39 @@ class trie_ip_lookup cls name =
             self#drop ~reason:"no route" p
           end)
 
+    method! region_sem =
+      (* As [fuse], but as a fused-region leaf: decide, rewrite the
+         gateway annotation, account misses and unconnected drops,
+         return the port (-1 when consumed). Captures the element, not
+         the trie binding, so live adds/removes and stride upgrades stay
+         visible. *)
+      Some
+        (Region.Route
+           {
+             rt_make =
+               (fun ~lean_work p ->
+                 let dst = (Packet.anno p).Packet.dst_ip land 0xffff_ffff in
+                 let r = Lpm.lookup trie dst in
+                 if not lean_work then
+                   self#charge (Hooks.W_lookup (Lpm.result_touches r));
+                 if Lpm.result_found r then begin
+                   let nh = Lpm.result_nh r in
+                   let gw = Lpm.gw trie nh in
+                   if gw <> 0 then (Packet.anno p).Packet.dst_ip <- gw;
+                   let port = Lpm.port trie nh in
+                   if port < self#noutputs then port
+                   else begin
+                     self#drop ~reason:"route to unconnected port" p;
+                     -1
+                   end
+                 end
+                 else begin
+                   misses <- misses + 1;
+                   self#drop ~reason:"no route" p;
+                   -1
+                 end);
+           })
+
     (* Live table updates, Click-handler style:
          write rt.add "18.26.4.0/24 [GW] PORT"
          write rt.remove "18.26.4.0/24"
@@ -357,6 +491,12 @@ class trie_ip_lookup cls name =
                       Error (Printf.sprintf "%s: duplicate route" cls)
                   | `Added ->
                       self#upgrade_stride_if_needed;
+                      (* Live table swap: as in [configure], drop batch
+                         scratch so dimensions sized for the old table
+                         can't leak across the update. *)
+                      port_scratch <- [||];
+                      dst_scratch <- [||];
+                      nh_scratch <- [||];
                       Ok ())))
       | "remove" -> (
           match Ipaddr.parse_prefix value with
@@ -365,7 +505,17 @@ class trie_ip_lookup cls name =
               match Ipaddr.prefix_length_of_netmask mask with
               | None -> Error (Printf.sprintf "%s: non-contiguous netmask" cls)
               | Some len ->
-                  if Lpm.remove trie ~addr:(addr land mask) ~len then Ok ()
+                  if Lpm.remove trie ~addr:(addr land mask) ~len then begin
+                    (* A removed prefix must fall through to the next
+                       less-specific route (or a clean miss) immediately;
+                       dropping the scratch arrays guarantees no batch
+                       path can resurrect ports computed against the old
+                       table. *)
+                    port_scratch <- [||];
+                    dst_scratch <- [||];
+                    nh_scratch <- [||];
+                    Ok ()
+                  end
                   else Error (Printf.sprintf "%s: no such route" cls)))
       | h -> Error (Printf.sprintf "%s: no write handler %S" name h)
 

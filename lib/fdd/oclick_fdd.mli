@@ -1,0 +1,55 @@
+(** Cross-element match-action fusion over forwarding decision diagrams.
+
+    The per-element compiler ({!Oclick_compile}) specializes each
+    element's push body in isolation; a packet crossing a cascade of
+    classifiers still pays one tree walk, one transfer, and one
+    indirect call per hop. This pass collapses a whole push region into
+    a single decision diagram, in the spirit of the NetKAT compiler's
+    FDDs: every classifier tree met along the region is grafted into
+    one hash-consed node set (offsets translated past Strips), paint
+    writes and switches are constant-folded, and a terminal route
+    lookup becomes a leaf action. The result is one compiled closure
+    per region — one dispatch for the entire cascade.
+
+    Exact replay is a hard requirement, not best effort: the fused
+    closure reproduces the interpreted run's per-hop transfer reports,
+    work charges (with the per-path visited counts the interpreted
+    walks would have counted), drop reasons, quarantine checks, and
+    fault containment, so observation ledgers are byte-identical
+    between interpreted, compiled, and fused runs. *)
+
+module Packet = Oclick_packet.Packet
+module Element = Oclick_runtime.Element
+module Hooks = Oclick_runtime.Hooks
+
+type ctx = {
+  fd_elements : Element.t array;  (** the instantiated graph, by index *)
+  fd_out : (int * int) option array array;
+      (** wiring: [fd_out.(i).(port)] is the downstream (element, port) *)
+  fd_conn : int -> int -> Packet.t -> unit;
+      (** the per-element compiler's connection closure for leaving the
+          region through element [i]'s output [port]; handles transfer
+          reporting, quarantine, containment, and unconnected drops *)
+  fd_lean_transfer : bool;  (** transfer hook is the no-op default *)
+  fd_lean_work : bool;  (** work hook is the no-op default *)
+  fd_on_transfer : Hooks.transfer -> Packet.t -> unit;
+}
+
+type region = {
+  rg_entry : string;  (** name of the element whose push the body replaces *)
+  rg_members : string list;  (** absorbed downstream elements, by name *)
+  rg_nodes : int;  (** decision nodes after hash-consing *)
+  rg_actions : int;  (** distinct fused leaf actions *)
+}
+
+val build : ctx -> int -> ((Packet.t -> unit) * region) option
+(** [build ctx entry] attempts to fuse the push region rooted at element
+    [entry]. Returns the fused push body and a region summary, or [None]
+    when fusion is not worthwhile or not sound here: the entry exposes
+    no usable {!Oclick_runtime.Region.sem}, the region never absorbs a
+    second element (the element's own [fuse] body is already the best
+    form), a wire mangler is installed on a source inside the region
+    (fault injection rewrites bytes mid-cascade, invalidating hoisted
+    tests), or the diagram outgrew the node/action budgets. Callers
+    fall back to per-element fusion; [None] never loses correctness,
+    only the cross-element optimization. *)

@@ -86,7 +86,7 @@ let pio_ns_per_packet (p : Platform.t) =
 let ms n = n * 1_000_000
 
 let run ?(duration_ms = 60) ?(warmup_ms = 30) ?(drain_ms = 10) ?ports ?flows
-    ?(payload_len = 14) ?fault ?(batch = 1) ?compile ?obs ?(domains = 1)
+    ?(payload_len = 14) ?fault ?(batch = 1) ?compile ?fuse ?obs ?(domains = 1)
     ?(workload = Host.Uniform) ~platform ~graph ~input_pps () =
   (* A caller may reuse one observability accumulator across consecutive
      runs (oclick-report's before/after passes, the MLFFR search); stale
@@ -332,7 +332,7 @@ let run ?(duration_ms = 60) ?(warmup_ms = 30) ?(drain_ms = 10) ?ports ?flows
       Array.to_list (Array.map (fun n -> (n :> Oclick_runtime.Netdevice.t)) nics)
     in
     match
-      Driver.instantiate ~hooks ~devices ?quarantine ~batch ?compile
+      Driver.instantiate ~hooks ~devices ?quarantine ~batch ?compile ?fuse
         ~clock:(fun () -> Engine.now engine)
         graph
     with

@@ -94,6 +94,7 @@ val run :
   ?fault:Oclick_fault.Plan.t ->
   ?batch:int ->
   ?compile:bool ->
+  ?fuse:bool ->
   ?obs:Oclick_obs.t ->
   ?domains:int ->
   ?workload:Host.workload ->
@@ -115,7 +116,9 @@ val run :
     [compile] runs the registered whole-graph datapath compiler over the
     instantiated router (see [Driver.instantiate]); the cost hooks see
     the identical per-hop event sequence, so attribution and ledgers are
-    unchanged. [fault] installs a fault-injection plan: hosts mangle the
+    unchanged. [fuse] additionally runs the cross-element FDD fusion
+    pass inside compilation (implies [compile]); ledgers are again
+    identical by construction. [fault] installs a fault-injection plan: hosts mangle the
     traffic they generate (deterministically, per-host streams), NICs
     and PCI buses honour the plan's stall windows, and elements run
     under the plan's quarantine threshold.

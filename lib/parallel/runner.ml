@@ -30,8 +30,8 @@ let queue_capacity e =
   match List.assoc_opt "capacity" e#stats with Some c -> c | None -> 1000
 
 let create ?(hooks_for = fun _ -> Hooks.null) ?(devices = []) ?(batch = 1)
-    ?(pool = false) ?(pool_capacity = 1024) ?(compile = false) ?ring_capacity
-    ?clock ~domains graph =
+    ?(pool = false) ?(pool_capacity = 1024) ?(compile = false) ?(fuse = false)
+    ?ring_capacity ?clock ~domains graph =
   if domains < 1 then
     Error (Printf.sprintf "runner: bad domain count %d" domains)
   else if domains = 1 then begin
@@ -40,7 +40,8 @@ let create ?(hooks_for = fun _ -> Hooks.null) ?(devices = []) ?(batch = 1)
     let hooks = hooks_for 0 in
     let pl = if pool then Some (Packet.Pool.create ~capacity:pool_capacity ()) else None in
     match
-      Driver.instantiate ~hooks ~devices ~batch ?pool:pl ~compile ?clock graph
+      Driver.instantiate ~hooks ~devices ~batch ?pool:pl ~compile ~fuse ?clock
+        graph
     with
     | Error e -> Error e
     | Ok drv ->
@@ -131,8 +132,8 @@ let create ?(hooks_for = fun _ -> Hooks.null) ?(devices = []) ?(batch = 1)
                     warn_hooks = shard_hooks.(0);
                   }
                 in
-                if compile then
-                  match Driver.compile drv with
+                if compile || fuse then
+                  match Driver.compile ~fuse drv with
                   | Error e -> Error e
                   | Ok () -> Ok (finish ())
                 else Ok (finish ())))

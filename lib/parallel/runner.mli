@@ -30,6 +30,7 @@ val create :
   ?pool:bool ->
   ?pool_capacity:int ->
   ?compile:bool ->
+  ?fuse:bool ->
   ?ring_capacity:int ->
   ?clock:(unit -> int) ->
   domains:int ->
@@ -44,8 +45,10 @@ val create :
     For [domains > 1]: the transformed graph is instantiated, every
     element gets its shard's hooks and pool, cut Queues are switched to
     ring mode, and — last, so compiled closures capture the final hooks —
-    the whole-graph compiler runs if [compile] is set. [pool] (default
-    false) gives each domain a private recycling pool of
+    the whole-graph compiler runs if [compile] is set. [fuse]
+    additionally runs the cross-element FDD fusion pass inside each
+    shard's compilation (see [Oclick_fdd]; implies [compile]). [pool]
+    (default false) gives each domain a private recycling pool of
     [pool_capacity]. *)
 
 type report = {

@@ -15,21 +15,21 @@ type t = {
 (* The graph compiler is a higher layer (lib/compile depends on this
    library), so it reaches instantiate through a registration point:
    [Oclick_compile.register ()] installs it, [?compile] invokes it. *)
-let compiler : (t -> (unit, string) result) option ref = ref None
+let compiler : (fuse:bool -> t -> (unit, string) result) option ref = ref None
 let register_compiler f = compiler := Some f
 
-let compile_installed t =
+let compile_installed ?(fuse = false) t =
   match !compiler with
   | None ->
       Error
         "compile: no graph compiler registered (call Oclick_compile.register)"
   | Some f -> (
-      match f t with
+      match f ~fuse t with
       | Ok () -> Ok t
       | Error e -> Error ("compile: " ^ e))
 
 let instantiate ?(hooks = Hooks.null) ?(devices = []) ?mangle ?quarantine
-    ?(batch = 1) ?pool ?(compile = false) ?clock source_graph =
+    ?(batch = 1) ?pool ?(compile = false) ?(fuse = false) ?clock source_graph =
   (* With a pool installed, every accounted drop is also a recycling
      opportunity: the packet is dead once reported. The user's drop hook
      runs first and must not retain the packet. *)
@@ -136,18 +136,18 @@ let instantiate ?(hooks = Hooks.null) ?(devices = []) ?mangle ?quarantine
                 (List.filter (fun e -> e#wants_task) (Array.to_list elements))
             in
             let t = { graph; elements; by_name; tasks; hooks; rr = 0 } in
-            if compile then compile_installed t else Ok t
+            if compile || fuse then compile_installed ~fuse t else Ok t
           end
         end)
   end
 
-let of_string ?hooks ?devices ?mangle ?quarantine ?batch ?pool ?compile ?clock
-    source =
+let of_string ?hooks ?devices ?mangle ?quarantine ?batch ?pool ?compile ?fuse
+    ?clock source =
   match Graph.Router.parse_string source with
   | Error e -> Error e
   | Ok graph ->
       instantiate ?hooks ?devices ?mangle ?quarantine ?batch ?pool ?compile
-        ?clock graph
+        ?fuse ?clock graph
 
 let element t name = Hashtbl.find_opt t.by_name name
 let element_at t i = t.elements.(i)
@@ -156,7 +156,7 @@ let size t = Array.length t.elements
 let hooks t = t.hooks
 
 let tasks t = t.tasks
-let compile t = Result.map (fun _ -> ()) (compile_installed t)
+let compile ?fuse t = Result.map (fun _ -> ()) (compile_installed ?fuse t)
 
 let run_task_array tasks ~start =
   let n = Array.length tasks in

@@ -17,6 +17,7 @@ val instantiate :
   ?batch:int ->
   ?pool:Oclick_packet.Packet.Pool.t ->
   ?compile:bool ->
+  ?fuse:bool ->
   ?clock:(unit -> int) ->
   Oclick_graph.Router.t ->
   (t, string) result
@@ -47,6 +48,13 @@ val instantiate :
     was registered ({!register_compiler}) or the compiler conservatively
     rejects the configuration.
 
+    [fuse] (default false) additionally runs the cross-element FDD
+    fusion pass inside the compiler: whole push regions of classifiers,
+    paint writes/switches, header guards and route lookups collapse
+    into one decision-diagram closure per region (see [Oclick_fdd]),
+    again with observable behaviour identical by construction. [fuse]
+    implies [compile].
+
     [clock] installs a nanosecond time source on every element
     ({!Element.base.set_clock}) — the aging clock for bounded element
     state ({!Aged_table}). Without it, state never ages (capacity
@@ -60,12 +68,13 @@ val of_string :
   ?batch:int ->
   ?pool:Oclick_packet.Packet.Pool.t ->
   ?compile:bool ->
+  ?fuse:bool ->
   ?clock:(unit -> int) ->
   string ->
   (t, string) result
 (** Parse, flatten, instantiate. *)
 
-val register_compiler : (t -> (unit, string) result) -> unit
+val register_compiler : (fuse:bool -> t -> (unit, string) result) -> unit
 (** Install the graph compiler invoked by [instantiate ~compile:true].
     Registered once, by {!Oclick_compile.register} — the indirection
     keeps this library from depending on the compiler that depends on
@@ -85,11 +94,12 @@ val tasks : t -> Element.t array
     scheduler rounds iterate. Exposed so a sharding layer can split the
     schedule across domains; do not mutate. *)
 
-val compile : t -> (unit, string) result
+val compile : ?fuse:bool -> t -> (unit, string) result
 (** Run the registered whole-graph compiler over an already-instantiated
     router — equivalent to [instantiate ~compile:true] but deferred, so
     callers can finish per-element setup (hooks, pools) that the compiled
-    closures must capture before compilation. *)
+    closures must capture before compilation. [?fuse] as in
+    {!instantiate}. *)
 
 val run_tasks_once : t -> bool
 (** One scheduler round over all task elements; [true] if any did work.

@@ -46,6 +46,7 @@ and t = <
   set_batch_size : int -> unit;
   set_pool : Oclick_packet.Packet.Pool.t option -> unit;
   fuse : fuse_ctx -> (Oclick_packet.Packet.t -> unit) option;
+  region_sem : Region.sem option;
   set_fused :
     out:(Oclick_packet.Packet.t -> unit) array ->
     out_batch:(Oclick_packet.Packet.t array -> unit) array ->
@@ -290,6 +291,8 @@ class virtual base (name : string) =
 
     method fuse (_ : fuse_ctx) : (Oclick_packet.Packet.t -> unit) option =
       None
+
+    method region_sem : Region.sem option = None
 
     method set_fused ~out ~out_batch =
       fused_out <- out;

@@ -64,6 +64,7 @@ and t = <
   set_batch_size : int -> unit;
   set_pool : Oclick_packet.Packet.Pool.t option -> unit;
   fuse : fuse_ctx -> (Oclick_packet.Packet.t -> unit) option;
+  region_sem : Region.sem option;
   set_fused :
     out:(Oclick_packet.Packet.t -> unit) array ->
     out_batch:(Oclick_packet.Packet.t array -> unit) array ->
@@ -191,6 +192,11 @@ class virtual base : string -> object
 
   method fuse : fuse_ctx -> (Oclick_packet.Packet.t -> unit) option
   (** Default [None]: not fusable, the compiler calls [push] dynamically. *)
+
+  method region_sem : Region.sem option
+  (** The element's push semantics in match-action terms, for the FDD
+      cross-element fusion pass (see {!Region}). Default [None]: the
+      element is opaque to fusion and ends any region reaching it. *)
 
   method set_fused :
     out:(Oclick_packet.Packet.t -> unit) array ->

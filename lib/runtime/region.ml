@@ -1,0 +1,21 @@
+(* Declarative classification semantics an element may expose for
+   cross-element match-action fusion (lib/fdd). See region.mli. *)
+
+module Tree = Oclick_classifier.Tree
+module Packet = Oclick_packet.Packet
+
+type sem =
+  | Classify of {
+      cl_tree : Tree.t;
+      cl_charge : int -> unit;
+      cl_invalid : Packet.t -> unit;
+    }
+  | Set_paint of int
+  | Paint_switch of { ps_invalid : Packet.t -> unit }
+  | Guard of {
+      gd_shift : int;
+      gd_barrier : bool;
+      gd_run : Packet.t -> bool;
+    }
+  | Mutate of (Packet.t -> unit)
+  | Route of { rt_make : lean_work:bool -> Packet.t -> int }

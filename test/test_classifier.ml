@@ -8,6 +8,7 @@ module Pattern = Oclick_classifier.Pattern
 module Filter = Oclick_classifier.Filter
 module Optimize = Oclick_classifier.Optimize
 module Compile = Oclick_classifier.Compile
+module Codegen = Oclick_classifier.Codegen
 module Packet = Oclick_packet.Packet
 module Headers = Oclick_packet.Headers
 module Ipaddr = Oclick_packet.Ipaddr
@@ -293,6 +294,46 @@ let prop_compile_matches_interpreter =
           let t = Optimize.optimize t in
           Compile.compile_packet t p = Tree.classify t p)
 
+(* Truncated packets: every classification backend — the tree
+   interpreter, the reader-compiled form (fast_classifier) and the
+   closure backend behind --compile/--fuse — must resolve out-of-bounds
+   field reads identically (zero fill) with identical visited counts,
+   and optimization must not change the answer even when some tested
+   fields lie wholly or partly beyond the packet. *)
+let truncated_packet_gen =
+  QCheck.Gen.(
+    map
+      (fun (bytes, len) ->
+        let p = Packet.create len in
+        List.iteri (fun i b -> if i < len then Packet.set_u8 p i b) bytes;
+        p)
+      (pair (list_size (return 28) (int_bound 255)) (int_bound 27)))
+
+let prop_truncated_backends_agree =
+  QCheck.Test.make ~name:"truncated packets: interp = compiled = closures"
+    ~count:500
+    (QCheck.make QCheck.Gen.(pair patterns_gen truncated_packet_gen))
+    (fun (cfg, p) ->
+      match Pattern.tree_of_config cfg with
+      | Error _ -> QCheck.assume_fail ()
+      | Ok t ->
+          let backends_agree t =
+            let out_i, vis_i = Tree.classify_count t p in
+            let out_c, vis_c =
+              Compile.compile_count t ~read:(Tree.packet_read p)
+            in
+            let seen = ref None in
+            let run =
+              Codegen.closures t ~leaf:(fun k ->
+                  fun _p visited -> seen := Some (k, visited))
+            in
+            run p;
+            out_i = out_c && vis_i = vis_c && !seen = Some (out_i, vis_i)
+          in
+          let ot = Optimize.optimize t in
+          backends_agree t && backends_agree ot
+          && Tree.classify t p = Tree.classify ot p)
+
 let prop_optimize_preserves_shape =
   QCheck.Test.make ~name:"optimize preserves outputs and renumbers densely"
     ~count:100 (QCheck.make patterns_gen)
@@ -437,6 +478,7 @@ let () =
           [
             prop_optimize_preserves_semantics;
             prop_compile_matches_interpreter;
+            prop_truncated_backends_agree;
             prop_optimize_preserves_shape;
           ] );
     ]
