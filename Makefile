@@ -11,19 +11,23 @@
 # `make bench-lpm` refreshes BENCH_lpm.json (DIR-24-8 trie vs linear
 # route lookup up to 1M routes — the full run takes a few minutes),
 # `make bench-fdd` refreshes BENCH_fdd.json (compiled vs FDD-fused
-# datapath on the cascaded-classifier config), and `make bench-all`
-# regenerates every committed BENCH_*.json in one go.
+# datapath on the cascaded-classifier config), `make bench-zerocopy`
+# refreshes BENCH_zerocopy.json (off-heap slab packet buffers vs the
+# heap-Bytes representations: wall clock plus minor-heap words per
+# forwarded packet), and `make bench-all` regenerates every committed
+# BENCH_*.json in one go.
 # `make obs-smoke` (also part of `dune runtest`) validates
 # oclick-report's JSON output against the report schema on the example
 # configurations; `make overload-smoke` (likewise part of `dune
 # runtest`) runs the overload benchmark on the smoke budget and
-# validates its JSON against the curve schema; `make lpm-smoke` and
-# `make fdd-smoke` do the same for the route-lookup and fusion
-# benchmarks.
+# validates its JSON against the curve schema; `make lpm-smoke`,
+# `make fdd-smoke`, and `make zerocopy-smoke` do the same for the
+# route-lookup, fusion, and zero-copy benchmarks.
 
 .PHONY: all build test bench bench-smoke compile-smoke parallel-smoke \
 	bench-json bench-parallel bench-overload bench-lpm bench-fdd \
-	bench-all obs-smoke overload-smoke lpm-smoke fdd-smoke clean
+	bench-zerocopy bench-all obs-smoke overload-smoke lpm-smoke \
+	fdd-smoke zerocopy-smoke clean
 
 all: build
 
@@ -62,7 +66,11 @@ bench-lpm: build
 bench-fdd: build
 	cd $(CURDIR) && dune exec --no-build bench/main.exe -- fdd --json
 
-bench-all: bench-json bench-parallel bench-overload bench-lpm bench-fdd
+bench-zerocopy: build
+	cd $(CURDIR) && dune exec --no-build bench/main.exe -- zerocopy --json
+
+bench-all: bench-json bench-parallel bench-overload bench-lpm bench-fdd \
+	bench-zerocopy
 
 obs-smoke:
 	dune build @obs-smoke
@@ -75,6 +83,9 @@ lpm-smoke:
 
 fdd-smoke:
 	dune build @fdd-smoke
+
+zerocopy-smoke:
+	dune build @zerocopy-smoke
 
 clean:
 	dune clean

@@ -82,10 +82,9 @@ let prime ~arp rig =
 
 let run_burst rig =
   let len = Packet.length template in
-  let tbuf = Packet.buffer template and toff = Packet.data_offset template in
   for _ = 1 to burst do
     let p = Packet.create len in
-    Bytes.blit tbuf toff (Packet.buffer p) (Packet.data_offset p) len;
+    Packet.blit ~src:template ~src_pos:0 ~dst:p ~dst_pos:0 ~len;
     rig.rg_devs.(0)#inject p
   done;
   ignore (Driver.run_until_idle rig.rg_driver);

@@ -263,10 +263,9 @@ let prime driver (devs : Netdevice.queue_device array) =
 
 let run_burst driver (devs : Netdevice.queue_device array) =
   let len = Packet.length template in
-  let tbuf = Packet.buffer template and toff = Packet.data_offset template in
   for _ = 1 to burst do
     let p = Packet.create len in
-    Bytes.blit tbuf toff (Packet.buffer p) (Packet.data_offset p) len;
+    Packet.blit ~src:template ~src_pos:0 ~dst:p ~dst_pos:0 ~len;
     devs.(0)#inject p
   done;
   ignore (Driver.run_until_idle driver);

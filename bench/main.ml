@@ -30,6 +30,7 @@ let sections =
     ("overload", Overload.run);
     ("lpm", Lpm.run);
     ("fdd", Fdd.run);
+    ("zerocopy", Membench.run);
   ]
 
 let () =

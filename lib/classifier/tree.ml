@@ -57,6 +57,28 @@ let packet_read p off =
 let classify t p = classify_read t ~read:(packet_read p)
 let classify_count t p = classify_read_count t ~read:(packet_read p)
 
+(* Packed-result walk for per-packet datapaths: a top-level recursion
+   over the packet directly (no [read] closure, no inner [go] closure,
+   no result tuple), so classifying a packet allocates nothing. The
+   visited count saturates at [packed_visited_max] — far beyond any
+   real tree's depth. *)
+let packed_visited_bits = 20
+let packed_visited_max = (1 lsl packed_visited_bits) - 1
+
+let rec walk_packet t p target count =
+  match target with
+  | Leaf k -> ((k + 1) lsl packed_visited_bits) lor count
+  | Node i ->
+      let n = t.nodes.(i) in
+      let count = if count < packed_visited_max then count + 1 else count in
+      if packet_read p n.offset land n.mask = n.value then
+        walk_packet t p n.yes count
+      else walk_packet t p n.no count
+
+let classify_packed t p = walk_packet t p t.root 0
+let packed_output v = (v asr packed_visited_bits) - 1
+let packed_visited v = v land packed_visited_max
+
 let target_to_string = function
   | Node i -> string_of_int i
   | Leaf k -> if k = drop then "[drop]" else Printf.sprintf "[%d]" k

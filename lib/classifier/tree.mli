@@ -51,6 +51,15 @@ val packet_read : Oclick_packet.Packet.t -> int -> int
 val classify : t -> Oclick_packet.Packet.t -> int
 val classify_count : t -> Oclick_packet.Packet.t -> int * int
 
+val classify_packed : t -> Oclick_packet.Packet.t -> int
+(** {!classify_count} with the result packed into one immediate int —
+    decode with {!packed_output}/{!packed_visited}. Performs no
+    allocation, for per-packet datapaths. The visited count saturates
+    at 2{^20}-1. *)
+
+val packed_output : int -> int
+val packed_visited : int -> int
+
 (** {2 The dump format}
 
     [click-fastclassifier] extracts decision trees by running Click on a

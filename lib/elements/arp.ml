@@ -97,10 +97,12 @@ class arp_querier name =
               | _ -> Error "ARPQuerier expects IP, ETH")
           | _ -> Error "ARPQuerier expects IP, ETH")
 
+    (* Per-packet on the datapath: the cache-hit side must not allocate,
+       hence [find_exn] rather than [find]. *)
     method private entry ip =
-      match Aged_table.find table ip with
-      | Some e -> e
-      | None ->
+      match Aged_table.find_exn table ip with
+      | e -> e
+      | exception Not_found ->
           let e =
             { ae_eth = None; ae_pending = Queue.create (); ae_last_query = -1 }
           in

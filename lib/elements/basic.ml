@@ -233,7 +233,7 @@ class print name =
 class queue name =
   object (self)
     inherit E.base name
-    val q : Packet.t Queue.t = Queue.create ()
+    val q : Packet.t Fifo.t = Fifo.create ()
 
     (* Ring mode: when the sharded runtime cuts the graph at this queue,
        the storage is swapped (via the "spsc" write handler, before any
@@ -306,7 +306,7 @@ class queue name =
           let len =
             match ring with
             | Some r -> Spsc.length r
-            | None -> Queue.length q
+            | None -> Fifo.length q
           in
           let w = 0.25 in
           early_avg <- ((1.0 -. w) *. early_avg) +. (w *. float_of_int len);
@@ -337,13 +337,13 @@ class queue name =
               self#drop ~reason:"queue full" p
             end
         | None ->
-            if Queue.length q >= capacity then begin
+            if Fifo.length q >= capacity then begin
               drops <- drops + 1;
               self#drop ~reason:"queue full" p
             end
             else begin
-              Queue.add p q;
-              highwater <- max highwater (Queue.length q)
+              Fifo.add q ~cap:capacity p;
+              highwater <- max highwater (Fifo.length q)
             end
 
     method! push _ p =
@@ -355,7 +355,7 @@ class queue name =
       | Some r -> Spsc.pop r
       | None ->
           self#charge Hooks.W_queue;
-          Queue.take_opt q
+          Fifo.take_opt q
 
     method! push_batch _ batch =
       (* Hoisted batch enqueue: one W_queue charge per packet is folded
@@ -377,12 +377,12 @@ class queue name =
             self#enqueue batch.(i)
           done
       | None ->
-          let room = capacity - Queue.length q in
+          let room = capacity - Fifo.length q in
           let accept = if room < n then max room 0 else n in
           for i = 0 to accept - 1 do
-            Queue.add batch.(i) q
+            Fifo.add q ~cap:capacity batch.(i)
           done;
-          highwater <- max highwater (Queue.length q);
+          highwater <- max highwater (Fifo.length q);
           for i = accept to n - 1 do
             drops <- drops + 1;
             self#drop ~reason:"queue full" batch.(i)
@@ -400,23 +400,15 @@ class queue name =
     method! pull_batch _ dst =
       match ring with
       | Some r ->
-          let want = min (Array.length dst) (Spsc.length r) in
-          let got = ref 0 in
-          let continue = ref true in
-          while !continue && !got < want do
-            match Spsc.pop r with
-            | Some p ->
-                dst.(!got) <- p;
-                incr got
-            | None -> continue := false
-          done;
-          !got
+          (* Batch drain: one pair of atomic index operations moves the
+             whole run of descriptors across the domain cut. *)
+          Spsc.pop_into r dst (Array.length dst)
       | None ->
-          let want = min (Array.length dst) (Queue.length q) in
+          let want = min (Array.length dst) (Fifo.length q) in
           if want > 0 then begin
             self#charge Hooks.W_queue;
             for i = 0 to want - 1 do
-              dst.(i) <- Queue.take q
+              dst.(i) <- Fifo.take q
             done
           end;
           want
@@ -427,7 +419,7 @@ class queue name =
           ( "length",
             match ring with
             | Some r -> Spsc.length r
-            | None -> Queue.length q );
+            | None -> Fifo.length q );
           ("capacity", capacity);
           ("drops", drops);
           ("early_drops", early_drops);
@@ -452,14 +444,16 @@ class queue name =
              them. *)
           match Args.parse_int value with
           | Some c when c > 0 ->
-              let r = Spsc.create c in
+              let r =
+                Spsc.create ~dummy:(Packet.create ~headroom:0 ~tailroom:0 0) c
+              in
               let overflow = ref false in
-              Queue.iter
+              Fifo.iter
                 (fun p -> if not (Spsc.push r p) then overflow := true)
                 q;
               if !overflow then Error "spsc: buffered packets exceed ring capacity"
               else begin
-                Queue.clear q;
+                Fifo.clear q;
                 capacity <- c;
                 ring <- Some r;
                 Ok ()
@@ -477,7 +471,7 @@ class queue name =
           highwater <-
             (match ring with
             | Some r -> Spsc.length r
-            | None -> Queue.length q);
+            | None -> Fifo.length q);
           Ok ()
       | h -> Error (Printf.sprintf "Queue: no write handler %S" h)
   end

@@ -53,8 +53,10 @@ class virtual tree_classifier name =
           Ok ()
 
     method! push _ p =
-      let out, visited = Tree.classify_count tree p in
-      self#charge (Hooks.W_classify_interp visited);
+      let packed = Tree.classify_packed tree p in
+      let out = Tree.packed_output packed in
+      if not self#lean_work then
+        self#charge (Hooks.W_classify_interp (Tree.packed_visited packed));
       if out >= 0 && out < self#noutputs then self#output out p
       else begin
         dropped <- dropped + 1;
@@ -75,11 +77,11 @@ class virtual tree_classifier name =
           ports.(i) <- consumed
         end
         else
-          match Tree.classify_count tree batch.(i) with
-          | out, visited ->
-              visited_total := !visited_total + visited;
+          match Tree.classify_packed tree batch.(i) with
+          | packed ->
+              visited_total := !visited_total + Tree.packed_visited packed;
               self#note_ok;
-              ports.(i) <- out
+              ports.(i) <- Tree.packed_output packed
           | exception e when not (E.fatal e) ->
               self#record_fault (Printexc.to_string e);
               self#drop ~reason:"element fault" batch.(i);
@@ -158,7 +160,8 @@ class fast_classifier cls name (t : Tree.t) =
 
     method! push _ p =
       let out, visited = compiled ~read:(Tree.packet_read p) in
-      self#charge (Hooks.W_classify_compiled visited);
+      if not self#lean_work then
+        self#charge (Hooks.W_classify_compiled visited);
       if out >= 0 && out < self#noutputs then self#output out p
       else begin
         dropped <- dropped + 1;

@@ -5,11 +5,14 @@
 open Prelude
 module Ether = Headers.Ether
 
+(* Per-RX-packet, so no Ethaddr string may be built here: the broadcast
+   and group tests read the destination MAC as two word loads / one bit
+   probe straight from the frame. *)
 let classify_link_type p =
   if Packet.length p >= 6 then begin
-    let dst = Ether.dst p in
-    if Ethaddr.is_broadcast dst then Packet.Broadcast
-    else if Ethaddr.is_group dst then Packet.Multicast
+    if Packet.get_u32 p 0 = 0xffffffff && Packet.get_u16 p 4 = 0xffff then
+      Packet.Broadcast
+    else if Packet.get_u8 p 0 land 1 = 1 then Packet.Multicast
     else Packet.To_host
   end
   else Packet.To_host

@@ -6,7 +6,7 @@ module Icmp = Headers.Icmp
 module Ether = Headers.Ether
 
 class paint name =
-  object (_self)
+  object (self)
     inherit E.simple_action name
     val mutable color = 0
     method class_name = "Paint"
@@ -16,10 +16,11 @@ class paint name =
       | Some c when c >= 0 -> Ok (color <- c)
       | _ -> Error "Paint expects a color"
 
-    method private action p =
+    method! private inplace p =
       (Packet.anno p).Packet.paint <- color;
-      Some p
+      E.V_keep
 
+    method private action p = self#action_of_inplace p
     method! region_sem = Some (Region.Set_paint color)
   end
 
@@ -45,9 +46,11 @@ class check_paint name =
         self#output 1 c
       end
 
-    method private action p =
+    method! private inplace p =
       self#tee p;
-      Some p
+      E.V_keep
+
+    method private action p = self#action_of_inplace p
 
     method! region_sem = Some (Region.Mutate (fun p -> self#tee p))
   end
@@ -63,15 +66,17 @@ class strip name =
       | Some n when n >= 0 -> Ok (nbytes <- n)
       | _ -> Error "Strip expects a byte count"
 
-    method private action p =
+    method! private inplace p =
       if Packet.length p >= nbytes then begin
         Packet.pull p nbytes;
-        Some p
+        E.V_keep
       end
       else begin
         self#drop ~reason:"too short to strip" p;
-        None
+        E.V_drop
       end
+
+    method private action p = self#action_of_inplace p
 
     method! region_sem =
       (* The shift lets the fusion pass translate downstream tree
@@ -83,12 +88,12 @@ class strip name =
            {
              gd_shift = nbytes;
              gd_barrier = false;
-             gd_run = (fun p -> Option.is_some (self#action p));
+             gd_run = (fun p -> self#inplace p = E.V_keep);
            })
   end
 
 class unstrip name =
-  object (_self)
+  object (self)
     inherit E.simple_action name
     val mutable nbytes = 0
     method class_name = "Unstrip"
@@ -98,9 +103,11 @@ class unstrip name =
       | Some n when n >= 0 -> Ok (nbytes <- n)
       | _ -> Error "Unstrip expects a byte count"
 
-    method private action p =
+    method! private inplace p =
       Packet.push p nbytes;
-      Some p
+      E.V_keep
+
+    method private action p = self#action_of_inplace p
   end
 
 (* CheckIPHeader: validates version, header length, total length, and the
@@ -140,7 +147,8 @@ class check_ip_header name =
       && Ip.total_length p >= Ip.header_length p
       && Ip.total_length p <= Packet.length p
       && begin
-           self#charge (Hooks.W_checksum (Ip.header_length p));
+           if not self#lean_work then
+             self#charge (Hooks.W_checksum (Ip.header_length p));
            Ip.checksum_valid p
          end
       && not (List.mem (Ip.src p) bad_src)
@@ -150,17 +158,19 @@ class check_ip_header name =
       if self#noutputs > 1 then self#output 1 p
       else self#drop ~reason:"bad IP header" p
 
-    method private action p =
+    method! private inplace p =
       if self#check p then begin
         (* Trim link-layer padding beyond the IP length, like Click. *)
         let excess = Packet.length p - Ip.total_length p in
         if excess > 0 then Packet.take p excess;
-        Some p
+        E.V_keep
       end
       else begin
         self#handle_bad p;
-        None
+        E.V_drop
       end
+
+    method private action p = self#action_of_inplace p
 
     method! stats = [ ("drops", drops) ]
 
@@ -175,7 +185,7 @@ class check_ip_header name =
            {
              gd_shift = 0;
              gd_barrier = true;
-             gd_run = (fun p -> Option.is_some (self#action p));
+             gd_run = (fun p -> self#inplace p = E.V_keep);
            })
   end
 
@@ -190,15 +200,17 @@ class get_ip_address name =
       | Some n when n >= 0 -> Ok (offset <- n)
       | _ -> Error "GetIPAddress expects a byte offset"
 
-    method private action p =
+    method! private inplace p =
       if Packet.length p >= offset + 4 then begin
         (Packet.anno p).Packet.dst_ip <- Packet.get_u32 p offset;
-        Some p
+        E.V_keep
       end
       else begin
         self#drop ~reason:"too short for address" p;
-        None
+        E.V_drop
       end
+
+    method private action p = self#action_of_inplace p
 
     method! region_sem =
       Some
@@ -206,12 +218,12 @@ class get_ip_address name =
            {
              gd_shift = 0;
              gd_barrier = false;
-             gd_run = (fun p -> Option.is_some (self#action p));
+             gd_run = (fun p -> self#inplace p = E.V_keep);
            })
   end
 
 class set_ip_address name =
-  object (_self)
+  object (self)
     inherit E.simple_action name
     val mutable addr = 0
     method class_name = "SetIPAddress"
@@ -221,9 +233,11 @@ class set_ip_address name =
       | Some a -> Ok (addr <- a)
       | None -> Error "SetIPAddress expects an IP address"
 
-    method private action p =
+    method! private inplace p =
       (Packet.anno p).Packet.dst_ip <- addr;
-      Some p
+      E.V_keep
+
+    method private action p = self#action_of_inplace p
 
     method! region_sem =
       Some (Region.Mutate (fun p -> (Packet.anno p).Packet.dst_ip <- addr))
@@ -235,13 +249,15 @@ class drop_broadcasts name =
     val mutable drops = 0
     method class_name = "DropBroadcasts"
 
-    method private action p =
+    method! private inplace p =
       match (Packet.anno p).Packet.link_type with
       | Packet.Broadcast | Packet.Multicast ->
           drops <- drops + 1;
           self#drop ~reason:"link-level broadcast" p;
-          None
-      | Packet.To_host | Packet.To_other -> Some p
+          E.V_drop
+      | Packet.To_host | Packet.To_other -> E.V_keep
+
+    method private action p = self#action_of_inplace p
 
     method! stats = [ ("drops", drops) ]
   end
@@ -263,34 +279,39 @@ class ip_gw_options name =
       | Some a -> Ok (my_addr <- a)
       | None -> Error "IPGWOptions expects the router's IP address"
 
+    (* Recursion via a method, not an inner [let rec]: an inner closure
+       would be allocated per packet even for the optionless common case
+       (closure creation is eager, before the short-circuit). *)
+    method private scan_options p hl off =
+      if off >= hl then true
+      else
+        match Packet.get_u8 p off with
+        | 0 -> true (* end of options *)
+        | 1 -> self#scan_options p hl (off + 1) (* no-op *)
+        | 7 | 68 ->
+            (* record route / timestamp: length-checked skip *)
+            let optlen = if off + 1 < hl then Packet.get_u8 p (off + 1) else 0 in
+            if optlen < 2 || off + optlen > hl then false
+            else begin
+              self#charge (Hooks.W_custom ("ip-option", optlen));
+              self#scan_options p hl (off + optlen)
+            end
+        | _ -> false
+
     method private options_ok p =
       let hl = Ip.header_length p in
-      let rec scan off =
-        if off >= hl then true
-        else
-          match Packet.get_u8 p off with
-          | 0 -> true (* end of options *)
-          | 1 -> scan (off + 1) (* no-op *)
-          | 7 | 68 ->
-              (* record route / timestamp: length-checked skip *)
-              let optlen = if off + 1 < hl then Packet.get_u8 p (off + 1) else 0 in
-              if optlen < 2 || off + optlen > hl then false
-              else begin
-                self#charge (Hooks.W_custom ("ip-option", optlen));
-                scan (off + optlen)
-              end
-          | _ -> false
-      in
-      hl = Ip.min_header_length || scan Ip.min_header_length
+      hl = Ip.min_header_length || self#scan_options p hl Ip.min_header_length
 
-    method private action p =
-      if self#options_ok p then Some p
+    method! private inplace p =
+      if self#options_ok p then E.V_keep
       else begin
         problems <- problems + 1;
         (if self#noutputs > 1 then self#output 1 p
          else self#drop ~reason:"bad IP options" p);
-        None
+        E.V_drop
       end
+
+    method private action p = self#action_of_inplace p
 
     method! stats = [ ("problems", problems) ]
   end
@@ -306,15 +327,18 @@ class fix_ip_src name =
       | Some a -> Ok (my_addr <- a)
       | None -> Error "FixIPSrc expects the interface's IP address"
 
-    method private action p =
+    method! private inplace p =
       let anno = Packet.anno p in
       if anno.Packet.fix_ip_src then begin
         anno.Packet.fix_ip_src <- false;
         Ip.set_src p my_addr;
-        self#charge (Hooks.W_checksum (Ip.header_length p));
+        if not self#lean_work then
+          self#charge (Hooks.W_checksum (Ip.header_length p));
         Ip.update_checksum p
       end;
-      Some p
+      E.V_keep
+
+    method private action p = self#action_of_inplace p
   end
 
 class dec_ip_ttl name =
@@ -325,17 +349,19 @@ class dec_ip_ttl name =
     method! port_count = "1/1-2"
     method! processing = "a/ah"
 
-    method private action p =
+    method! private inplace p =
       if Ip.ttl p <= 1 then begin
         expired <- expired + 1;
         (if self#noutputs > 1 then self#output 1 p
          else self#drop ~reason:"TTL expired" p);
-        None
+        E.V_drop
       end
       else begin
         Ip.decrement_ttl p;
-        Some p
+        E.V_keep
       end
+
+    method private action p = self#action_of_inplace p
 
     method! stats = [ ("expired", expired) ]
   end
@@ -514,7 +540,7 @@ class icmp_error name =
   end
 
 class ether_encap name =
-  object (_self)
+  object (self)
     inherit E.simple_action name
     val mutable ethertype = 0
     val mutable src = Ethaddr.zero
@@ -539,9 +565,11 @@ class ether_encap name =
           | _ -> Error "EtherEncap expects ETHERTYPE, SRC, DST")
       | _ -> Error "EtherEncap expects ETHERTYPE, SRC, DST"
 
-    method private action p =
+    method! private inplace p =
       Ether.encap p ~dst ~src ~ethertype;
-      Some p
+      E.V_keep
+
+    method private action p = self#action_of_inplace p
   end
 
 let register () =

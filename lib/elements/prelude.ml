@@ -7,6 +7,7 @@ module Hooks = Oclick_runtime.Hooks
 module Registry = Oclick_runtime.Registry
 module Netdevice = Oclick_runtime.Netdevice
 module Spsc = Oclick_runtime.Spsc
+module Fifo = Oclick_runtime.Fifo
 module Aged_table = Oclick_runtime.Aged_table
 module Spec = Oclick_graph.Spec
 module Packet = Oclick_packet.Packet

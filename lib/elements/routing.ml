@@ -89,25 +89,33 @@ class linear_ip_lookup name =
           port_scratch <- [||];
           Ok ()
 
-    method! push _ p =
-      let dst = (Packet.anno p).Packet.dst_ip in
+    (* Per-packet scans return the matching index (-1 = miss) rather
+       than an option of the route — the datapath stays allocation-free
+       (no [Some]/tuple box per lookup). *)
+    method private scan dst =
       let n = Array.length routes in
-      let rec scan i =
-        if i >= n then None
+      let rec go i =
+        if i >= n then -1
         else
           let r = routes.(i) in
-          if dst land r.rt_mask = r.rt_addr then Some (r, i + 1) else scan (i + 1)
+          if dst land r.rt_mask = r.rt_addr then i else go (i + 1)
       in
-      match scan 0 with
-      | Some (r, scanned) ->
-          self#charge (Hooks.W_lookup scanned);
+      go 0
+
+    method! push _ p =
+      let dst = (Packet.anno p).Packet.dst_ip in
+      match self#scan dst with
+      | -1 ->
+          if not self#lean_work then
+            self#charge (Hooks.W_lookup (Array.length routes));
+          misses <- misses + 1;
+          self#drop ~reason:"no route" p
+      | i ->
+          let r = routes.(i) in
+          if not self#lean_work then self#charge (Hooks.W_lookup (i + 1));
           if r.rt_gw <> 0 then (Packet.anno p).Packet.dst_ip <- r.rt_gw;
           if r.rt_port < self#noutputs then self#output r.rt_port p
           else self#drop ~reason:"route to unconnected port" p
-      | None ->
-          self#charge (Hooks.W_lookup n);
-          misses <- misses + 1;
-          self#drop ~reason:"no route" p
 
     method! push_batch _ batch =
       (* Look the whole batch up first (one summed W_lookup charge —
@@ -127,24 +135,18 @@ class linear_ip_lookup name =
         end
         else begin
           let dst = (Packet.anno p).Packet.dst_ip in
-          let rec scan j =
-            if j >= n then None
-            else
-              let r = routes.(j) in
-              if dst land r.rt_mask = r.rt_addr then Some (r, j + 1)
-              else scan (j + 1)
-          in
-          match scan 0 with
-          | Some (r, scanned) ->
-              scanned_total := !scanned_total + scanned;
-              self#note_ok;
-              if r.rt_gw <> 0 then (Packet.anno p).Packet.dst_ip <- r.rt_gw;
-              ports.(i) <- r.rt_port
-          | None ->
+          match self#scan dst with
+          | -1 ->
               scanned_total := !scanned_total + n;
               misses <- misses + 1;
               self#drop ~reason:"no route" p;
               ports.(i) <- consumed
+          | j ->
+              let r = routes.(j) in
+              scanned_total := !scanned_total + j + 1;
+              self#note_ok;
+              if r.rt_gw <> 0 then (Packet.anno p).Packet.dst_ip <- r.rt_gw;
+              ports.(i) <- r.rt_port
         end
       done;
       if !scanned_total > 0 then self#charge (Hooks.W_lookup !scanned_total);
@@ -161,24 +163,18 @@ class linear_ip_lookup name =
       Some
         (fun p ->
           let dst = (Packet.anno p).Packet.dst_ip in
-          let n = Array.length routes in
-          let rec scan i =
-            if i >= n then None
-            else
+          match self#scan dst with
+          | -1 ->
+              if not lean then
+                self#charge (Hooks.W_lookup (Array.length routes));
+              misses <- misses + 1;
+              self#drop ~reason:"no route" p
+          | i ->
               let r = routes.(i) in
-              if dst land r.rt_mask = r.rt_addr then Some (r, i + 1)
-              else scan (i + 1)
-          in
-          match scan 0 with
-          | Some (r, scanned) ->
-              if not lean then self#charge (Hooks.W_lookup scanned);
+              if not lean then self#charge (Hooks.W_lookup (i + 1));
               if r.rt_gw <> 0 then (Packet.anno p).Packet.dst_ip <- r.rt_gw;
               if r.rt_port < nout then outs.(r.rt_port) p
-              else self#drop ~reason:"route to unconnected port" p
-          | None ->
-              if not lean then self#charge (Hooks.W_lookup n);
-              misses <- misses + 1;
-              self#drop ~reason:"no route" p)
+              else self#drop ~reason:"route to unconnected port" p)
 
     method! region_sem =
       (* The same scalar lookup as [fuse], as a fused-region leaf: the
@@ -193,30 +189,23 @@ class linear_ip_lookup name =
              rt_make =
                (fun ~lean_work p ->
                  let dst = (Packet.anno p).Packet.dst_ip in
-                 let n = Array.length routes in
-                 let rec scan i =
-                   if i >= n then None
-                   else
-                     let r = routes.(i) in
-                     if dst land r.rt_mask = r.rt_addr then Some (r, i + 1)
-                     else scan (i + 1)
-                 in
-                 match scan 0 with
-                 | Some (r, scanned) ->
+                 match self#scan dst with
+                 | -1 ->
                      if not lean_work then
-                       self#charge (Hooks.W_lookup scanned);
+                       self#charge (Hooks.W_lookup (Array.length routes));
+                     misses <- misses + 1;
+                     self#drop ~reason:"no route" p;
+                     -1
+                 | i ->
+                     let r = routes.(i) in
+                     if not lean_work then self#charge (Hooks.W_lookup (i + 1));
                      if r.rt_gw <> 0 then
                        (Packet.anno p).Packet.dst_ip <- r.rt_gw;
                      if r.rt_port < self#noutputs then r.rt_port
                      else begin
                        self#drop ~reason:"route to unconnected port" p;
                        -1
-                     end
-                 | None ->
-                     if not lean_work then self#charge (Hooks.W_lookup n);
-                     misses <- misses + 1;
-                     self#drop ~reason:"no route" p;
-                     -1);
+                     end);
            })
 
     (* Live table updates, matching the trie backend's handlers. The

@@ -64,36 +64,52 @@ class from_trace name =
   end
 
 (* ToTrace(FILE): record passing packets (with their arrival order as
-   timestamps) and pass them through; the file is rewritten on every
-   packet so the trace is always complete on disk. *)
+   timestamps) and pass them through. The file is opened once and each
+   line is appended and flushed, so the trace on disk is always complete
+   without rewriting the whole file per packet (the old behaviour, which
+   also kept the entire trace buffered in memory for the router's
+   lifetime). *)
 class to_trace name =
   object (self)
     inherit E.simple_action name
     val mutable path = ""
-    val buf = Buffer.create 1024
+    val mutable chan : out_channel option = None
+    val line = Buffer.create 256
     val mutable recorded = 0
     method class_name = "ToTrace"
 
     method! configure config =
       match Args.split config with
       | [ f ] ->
+          (match chan with
+          | Some oc ->
+              close_out oc;
+              chan <- None
+          | None -> ());
           path <- f;
-          Buffer.add_string buf Trace.header;
-          Buffer.add_char buf '\n';
           Ok ()
       | _ -> Error "ToTrace expects FILE"
 
-    method private flush_file =
-      let oc = open_out_bin path in
-      output_string oc (Buffer.contents buf);
-      close_out oc
+    method private channel =
+      match chan with
+      | Some oc -> oc
+      | None ->
+          let oc = open_out_bin path in
+          output_string oc Trace.header;
+          output_char oc '\n';
+          flush oc;
+          chan <- Some oc;
+          oc
 
     method private action p =
       let ts = (Packet.anno p).Packet.timestamp_ns in
       let ts = if ts > 0 then ts else recorded in
-      Trace.append_packet buf ts p;
+      Buffer.clear line;
+      Trace.append_packet line ts p;
       recorded <- recorded + 1;
-      self#flush_file;
+      let oc = self#channel in
+      Buffer.output_buffer oc line;
+      flush oc;
       Some p
 
     method! stats = [ ("recorded", recorded) ]

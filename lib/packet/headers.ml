@@ -164,11 +164,7 @@ module L4 = struct
     Checksum.combine s 0
 
   let checksum p ~ip_off ~l4_off ~len =
-    let body =
-      Checksum.ones_complement_sum (Packet.buffer p)
-        ~pos:(Packet.data_offset p + l4_off)
-        ~len
-    in
+    let body = Packet.ones_complement_sum p ~pos:l4_off ~len in
     Checksum.finish (Checksum.combine (pseudo_header_sum p ~ip_off ~len) body)
 
   let update_udp p ~ip_off =

@@ -5,8 +5,19 @@
     [sk_buff]. Prepending a header ({!push}) or stripping one ({!pull})
     moves the window without copying, as long as room remains.
 
-    All multi-byte accessors are big-endian (network order), and all offsets
-    are relative to the start of the live data window. *)
+    Since the zero-copy rework the buffer itself has two storage classes.
+    Pooled packets live {e off-heap}: each {!Pool} owns a [Bigarray] char
+    slab carved into fixed-size buffers, and a packet is a descriptor
+    (slab reference, base offset, window) the GC never has to trace or
+    move. Non-pooled packets ({!create}, {!of_bytes}, …), and pooled
+    packets that outgrow their slab buffer class ({!push} past a slab
+    buffer's capacity, {!realign}), use a GC-managed [Bytes] buffer. The
+    two representations are behaviourally identical; {!is_off_heap}
+    reports which one a packet currently uses.
+
+    All multi-byte accessors are big-endian (network order), implemented
+    as fixed-width word loads/stores under a single hoisted bounds check,
+    and all offsets are relative to the start of the live data window. *)
 
 (** Per-packet annotations, carried alongside the data. These mirror the
     Click annotations the standard IP router uses. *)
@@ -31,15 +42,24 @@ and link_type = To_host | Broadcast | Multicast | To_other
 type t
 (** A mutable packet. *)
 
+val default_headroom : int
+(** 34 bytes — like Click, room for link-layer headers. *)
+
 val create : ?headroom:int -> ?tailroom:int -> int -> t
 (** [create len] allocates a zero-filled packet of [len] data bytes.
-    Default headroom is 34 bytes (like Click: room for link headers)
-    and default tailroom 34 bytes. *)
+    Default headroom is {!default_headroom} bytes and default tailroom
+    the same. *)
 
 val of_bytes : ?headroom:int -> ?tailroom:int -> bytes -> t
 (** Packet whose data is a copy of the given bytes. *)
 
 val of_string : ?headroom:int -> ?tailroom:int -> string -> t
+
+val grab : ?headroom:int -> bytes -> t
+(** [grab data] takes ownership of [data] as the packet's buffer — no
+    copy. The data window is [data] past the first [headroom] bytes
+    (default 0). The caller must not use [data] afterwards. *)
+
 val length : t -> int
 val anno : t -> anno
 
@@ -51,7 +71,14 @@ val id : t -> int
 
 val clone : t -> t
 (** Deep copy: buffer and annotations are duplicated (the copy gets its
-    own {!id}). *)
+    own {!id}). Cloning an off-heap packet allocates a sibling buffer in
+    the same arena and performs one slab-to-slab blit of the used region;
+    if the arena is exhausted the clone degrades to a heap [Bytes]
+    buffer. Safe from any domain. *)
+
+val is_off_heap : t -> bool
+(** Whether the payload currently lives in a pool's off-heap slab (as
+    opposed to the GC-managed [Bytes] fallback). *)
 
 val headroom : t -> int
 val tailroom : t -> int
@@ -60,7 +87,8 @@ val tailroom : t -> int
 
 val push : t -> int -> unit
 (** [push p n] prepends [n] uninitialized bytes (reallocating if headroom is
-    short, again like Click). *)
+    short, again like Click — an off-heap packet that outgrows its slab
+    buffer demotes to a heap [Bytes] buffer). *)
 
 val pull : t -> int -> unit
 (** [pull p n] strips [n] bytes from the front. Raises [Invalid_argument]
@@ -82,17 +110,27 @@ val get_u32 : t -> int -> int
 val set_u32 : t -> int -> int -> unit
 val get_string : t -> pos:int -> len:int -> string
 val set_string : t -> pos:int -> string -> unit
+
 val to_string : t -> string
 (** The live data window as a string. *)
 
-val buffer : t -> bytes
-(** The underlying buffer (shared, not a copy). *)
+val blit : src:t -> src_pos:int -> dst:t -> dst_pos:int -> len:int -> unit
+(** [blit ~src ~src_pos ~dst ~dst_pos ~len] copies [len] bytes between
+    data windows, dispatching on each side's storage class (slab-to-slab
+    is a single memmove). Offsets are window-relative, like the
+    accessors. *)
 
 val data_offset : t -> int
-(** Offset of the data window within {!buffer}. *)
+(** Byte offset of the data window within the underlying buffer (for
+    off-heap packets, within the arena slab). Exposed for alignment
+    tracking; there is deliberately no way to reach the raw buffer. *)
 
 val checksum : t -> pos:int -> len:int -> int
 (** Internet checksum over a region of the data window. *)
+
+val ones_complement_sum : t -> pos:int -> len:int -> int
+(** Folded 16-bit one's-complement sum over a region of the data window
+    (the building block for incremental/pseudo-header checksums). *)
 
 (** {2 Alignment}
 
@@ -104,43 +142,70 @@ val alignment : t -> int
 
 val realign : t -> modulus:int -> offset:int -> unit
 (** Move the data (copying within or into a fresh buffer) so that
-    [data_offset mod modulus = offset]. Used by the [Align] element. *)
+    [data_offset mod modulus = offset]. Used by the [Align] element.
+    Realigning an off-heap packet demotes it to a heap [Bytes] buffer
+    (a slab buffer's base offset is fixed). *)
 
 (** {2 Recycling pool}
 
-    A free list of dead packets, so the forwarding hot path can reuse
-    buffers instead of allocating a fresh one per packet and leaving the
-    old one to the GC. Correctness relies on the copy-on-recycle policy:
-    {!clone} deep-copies, so no live packet ever shares a buffer with a
-    recycled one, and {!Pool.recycle} marks packets so double-recycling
-    is a safe no-op.
+    A free list of dead packet descriptors backed by an off-heap buffer
+    arena, so the forwarding hot path neither allocates per packet nor
+    leaves buffers to the GC. {!recycle} pushes the descriptor — slot and
+    all — onto a free-list array (no copy); {!alloc} pops one and re-zeros
+    only its data window. Correctness relies on buffers never being
+    shared: {!Packet.clone} deep-copies, so no live packet aliases a
+    recycled one's storage, and {!recycle} marks packets so
+    double-recycling is a safe no-op.
 
-    Pools are single-domain-owned: the free list is unsynchronized, so
-    the sharded runtime gives every domain its own pool. A pool claims
-    the first domain that operates on it and asserts (in debug builds)
-    that every later {!Pool.alloc}/{!Pool.recycle} comes from that same
-    domain — a recycled packet can never be resurrected concurrently by
-    another domain. Use {!Pool.detach} to hand an idle pool over to a
-    different domain. *)
+    Pools are single-domain-owned: the descriptor free list is
+    unsynchronized, so the sharded runtime gives every domain its own
+    pool. A pool claims the first domain that operates on it and asserts
+    (in debug builds) that every later {!alloc}/{!recycle} comes from
+    that same domain — a recycled packet can never be resurrected
+    concurrently by another domain. Use {!detach} to hand an idle pool
+    over to a different domain.
+
+    The arena's {e slot} free list, by contrast, is lock-free: packets
+    handed across domains through SPSC rings carry their off-heap payload
+    with them and may be recycled into the consuming domain's pool, where
+    the foreign slot simply keeps circulating; slots freed by clone
+    fallbacks or descriptor finalizers return to the owning arena
+    atomically. Cross-domain handoff therefore moves no packet data. *)
 module Pool : sig
   type packet = t
   type t
 
   type stats = {
-    st_allocs : int;  (** fresh heap allocations (free list was empty) *)
+    st_allocs : int;  (** fresh descriptor allocations (free list empty) *)
     st_reuses : int;  (** allocations served from the free list *)
     st_recycles : int;  (** packets accepted back into the pool *)
     st_rejected : int;  (** recycles refused (pool full or double-recycle) *)
     st_free : int;  (** packets currently on the free list *)
+    st_slab_free : int;  (** arena buffers currently unallocated *)
+    st_heap_bufs : int;
+        (** allocations that fell back to a heap [Bytes] buffer (request
+            larger than [buf_size], or arena exhausted) *)
   }
 
-  val create : ?capacity:int -> unit -> t
-  (** A pool holding at most [capacity] (default 1024) free packets. *)
+  val default_buf_size : int
+  (** Default slab buffer class: 2048 bytes, enough for an MTU-sized
+      frame plus default head/tailroom. *)
+
+  val create :
+    ?capacity:int -> ?buf_size:int -> ?slab_bufs:int -> ?slab:bool -> unit -> t
+  (** A pool holding at most [capacity] (default 1024) free packets,
+      backed by an off-heap arena of [slab_bufs] (default [capacity])
+      buffers of [buf_size] (default {!default_buf_size}) bytes each.
+      [~slab:false] disables the arena entirely — every allocation uses
+      the heap [Bytes] representation (the pre-arena behaviour, kept as a
+      measurement baseline and escape hatch). *)
 
   val alloc : t -> ?headroom:int -> ?tailroom:int -> int -> packet
-  (** Like {!Packet.create}, but reuses a recycled packet when one is
-      available (re-zeroing its data window and resetting annotations;
-      growing the buffer if it is too small). *)
+  (** Like {!Packet.create}, but serves the packet from the pool: a
+      recycled descriptor when one is available (re-zeroing its data
+      window and resetting annotations), an arena slab buffer when the
+      request fits [buf_size] and a slot is free, and a heap [Bytes]
+      buffer otherwise. *)
 
   val recycle : t -> packet -> unit
   (** Return a dead packet to the pool. The caller must not touch the

@@ -1,14 +1,20 @@
 let header = "# oclick trace v1"
 
-let hex_of_packet p =
-  String.concat ""
-    (List.init (Packet.length p) (fun i ->
-         Printf.sprintf "%02x" (Packet.get_u8 p i)))
+let hex_chars = "0123456789abcdef"
+
+(* Render straight into the caller's buffer: two table lookups per byte,
+   no per-byte [Printf.sprintf] closure or intermediate string list. *)
+let add_hex_of_packet buf p =
+  for i = 0 to Packet.length p - 1 do
+    let b = Packet.get_u8 p i in
+    Buffer.add_char buf hex_chars.[b lsr 4];
+    Buffer.add_char buf hex_chars.[b land 0xf]
+  done
 
 let append_packet buf ts p =
   Buffer.add_string buf (string_of_int ts);
   Buffer.add_char buf ' ';
-  Buffer.add_string buf (hex_of_packet p);
+  add_hex_of_packet buf p;
   Buffer.add_char buf '\n'
 
 let to_string packets =
@@ -25,18 +31,29 @@ let hex_digit c =
   | 'A' .. 'F' -> Some (Char.code c - Char.code 'A' + 10)
   | _ -> None
 
+(* Decode straight into the buffer the packet will own — one allocation
+   and zero copies ([Packet.grab] takes ownership), with the default
+   head/tailroom decoded around so replaying elements can still push
+   link headers without reallocating. *)
 let packet_of_hex s =
   let n = String.length s in
   if n mod 2 <> 0 then None
   else begin
-    let bytes = Bytes.create (n / 2) in
+    let room = Packet.default_headroom in
+    let data = Bytes.make (room + (n / 2) + room) '\000' in
     let ok = ref true in
     for i = 0 to (n / 2) - 1 do
       match (hex_digit s.[2 * i], hex_digit s.[(2 * i) + 1]) with
-      | Some hi, Some lo -> Bytes.set bytes i (Char.chr ((hi lsl 4) lor lo))
+      | Some hi, Some lo ->
+          Bytes.unsafe_set data (room + i) (Char.unsafe_chr ((hi lsl 4) lor lo))
       | _ -> ok := false
     done;
-    if !ok then Some (Packet.of_bytes bytes) else None
+    if !ok then begin
+      let p = Packet.grab ~headroom:room data in
+      Packet.take p room;
+      Some p
+    end
+    else None
   end
 
 let of_string s =

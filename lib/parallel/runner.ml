@@ -30,15 +30,20 @@ let queue_capacity e =
   match List.assoc_opt "capacity" e#stats with Some c -> c | None -> 1000
 
 let create ?(hooks_for = fun _ -> Hooks.null) ?(devices = []) ?(batch = 1)
-    ?(pool = false) ?(pool_capacity = 1024) ?(compile = false) ?(fuse = false)
-    ?ring_capacity ?clock ~domains graph =
+    ?(pool = false) ?(pool_capacity = 1024)
+    ?(pool_buf_size = Packet.Pool.default_buf_size) ?(pool_slab = true)
+    ?(compile = false) ?(fuse = false) ?ring_capacity ?clock ~domains graph =
+  let make_pool () =
+    Packet.Pool.create ~capacity:pool_capacity ~buf_size:pool_buf_size
+      ~slab:pool_slab ()
+  in
   if domains < 1 then
     Error (Printf.sprintf "runner: bad domain count %d" domains)
   else if domains = 1 then begin
     (* Degenerate case: exactly the unsharded driver, so single-domain
        results are byte-identical to not using the runner at all. *)
     let hooks = hooks_for 0 in
-    let pl = if pool then Some (Packet.Pool.create ~capacity:pool_capacity ()) else None in
+    let pl = if pool then Some (make_pool ()) else None in
     match
       Driver.instantiate ~hooks ~devices ~batch ?pool:pl ~compile ~fuse ?clock
         graph
@@ -62,10 +67,7 @@ let create ?(hooks_for = fun _ -> Hooks.null) ?(devices = []) ?(batch = 1)
     | Error e -> Error e
     | Ok part -> (
         let pools =
-          if pool then
-            Array.init domains (fun _ ->
-                Packet.Pool.create ~capacity:pool_capacity ())
-          else [||]
+          if pool then Array.init domains (fun _ -> make_pool ()) else [||]
         in
         let shard_hooks =
           Array.init domains (fun s ->

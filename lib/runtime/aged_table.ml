@@ -6,10 +6,14 @@
    bounded amount of memory and old state ages out instead of
    accumulating forever.
 
-   Implementation: a Hashtbl of intrusive doubly-linked nodes kept in
+   Implementation: a Hashtbl of intrusive nodes on a circular
+   doubly-linked recency list threaded through a sentinel node, kept in
    least-recently-used order. Every operation is O(1) (sweeps are
-   amortized), so a scan that misses on every lookup cannot degrade the
-   table into linear behaviour.
+   amortized). The circular-sentinel shape exists for the datapath:
+   relinking a node on touch is four pointer writes with no option boxes
+   (the previous head/tail representation consed [Some n] per touch), so
+   a steady-state cache hit through [find_exn] allocates nothing — this
+   table sits on the per-packet path of ARPQuerier and the rewriters.
 
    Time comes from a pluggable [clock] returning nanoseconds — the
    testbed installs its simulated clock, live tools install the wall
@@ -19,12 +23,15 @@
 
 type reason = Capacity | Age
 
+(* An unlinked node points to itself; the sentinel's neighbours are the
+   LRU (next) and MRU (prev) ends. The sentinel is manufactured from the
+   first inserted key/value — only its link fields are ever read. *)
 type ('k, 'v) node = {
   nd_key : 'k;
   mutable nd_value : 'v;
   mutable nd_stamp : int;  (* last-touch time, clock ns *)
-  mutable nd_prev : ('k, 'v) node option;
-  mutable nd_next : ('k, 'v) node option;
+  mutable nd_prev : ('k, 'v) node;
+  mutable nd_next : ('k, 'v) node;
 }
 
 type ('k, 'v) t = {
@@ -32,8 +39,7 @@ type ('k, 'v) t = {
   mutable capacity : int;  (* 0 = unbounded *)
   mutable max_age_ns : int;  (* 0 = never ages *)
   mutable clock : unit -> int;
-  mutable lru : ('k, 'v) node option;  (* least recently used *)
-  mutable mru : ('k, 'v) node option;  (* most recently used *)
+  mutable sentinel : ('k, 'v) node option;  (* None until the first put *)
   mutable on_evict : 'k -> 'v -> reason -> unit;
   mutable evicted_capacity : int;
   mutable evicted_age : int;
@@ -46,8 +52,7 @@ let create ?(capacity = 0) ?(max_age_ns = 0)
     capacity = max 0 capacity;
     max_age_ns = max 0 max_age_ns;
     clock = (fun () -> 0);
-    lru = None;
-    mru = None;
+    sentinel = None;
     on_evict;
     evicted_capacity = 0;
     evicted_age = 0;
@@ -64,60 +69,63 @@ let evicted_capacity t = t.evicted_capacity
 let evicted_age t = t.evicted_age
 let evicted t = t.evicted_capacity + t.evicted_age
 
-(* Unlink [n] from the recency list (it must be linked). *)
-let unlink t n =
-  (match n.nd_prev with
-  | Some p -> p.nd_next <- n.nd_next
-  | None -> t.lru <- n.nd_next);
-  (match n.nd_next with
-  | Some s -> s.nd_prev <- n.nd_prev
-  | None -> t.mru <- n.nd_prev);
-  n.nd_prev <- None;
-  n.nd_next <- None
+(* Unlink [n] from the recency ring (it must be linked). *)
+let unlink n =
+  n.nd_prev.nd_next <- n.nd_next;
+  n.nd_next.nd_prev <- n.nd_prev;
+  n.nd_prev <- n;
+  n.nd_next <- n
 
-(* Link [n] at the most-recently-used end. *)
-let link_mru t n =
-  n.nd_prev <- t.mru;
-  n.nd_next <- None;
-  (match t.mru with Some m -> m.nd_next <- Some n | None -> t.lru <- Some n);
-  t.mru <- Some n
+(* Link [n] at the most-recently-used end (just before the sentinel). *)
+let link_mru s n =
+  n.nd_prev <- s.nd_prev;
+  n.nd_next <- s;
+  s.nd_prev.nd_next <- n;
+  s.nd_prev <- n
 
 let evict t n why =
-  unlink t n;
+  unlink n;
   Hashtbl.remove t.tbl n.nd_key;
   (match why with
   | Capacity -> t.evicted_capacity <- t.evicted_capacity + 1
   | Age -> t.evicted_age <- t.evicted_age + 1);
   t.on_evict n.nd_key n.nd_value why
 
-(* Age out expired entries from the LRU end. The list is ordered by
+(* Age out expired entries from the LRU end. The ring is ordered by
    last touch, so the first young entry terminates the walk: the cost
-   of a sweep is the number of evictions it performs, amortized O(1). *)
-let sweep t =
-  if t.max_age_ns > 0 then begin
-    let now = t.clock () in
-    let rec loop () =
-      match t.lru with
-      | Some n when now - n.nd_stamp > t.max_age_ns ->
-          evict t n Age;
-          loop ()
-      | _ -> ()
-    in
-    loop ()
+   of a sweep is the number of evictions it performs, amortized O(1).
+   Top-level recursion, not an inner [let rec]: an inner closure would
+   be allocated per sweep even when nothing is expired, and sweeps run
+   on every datapath [find_exn]. *)
+let rec sweep_from t s now =
+  let n = s.nd_next in
+  if n != s && now - n.nd_stamp > t.max_age_ns then begin
+    evict t n Age;
+    sweep_from t s now
   end
 
-let touch t n =
+let sweep t =
+  if t.max_age_ns > 0 then
+    match t.sentinel with
+    | None -> ()
+    | Some s -> sweep_from t s (t.clock ())
+
+let touch t s n =
   n.nd_stamp <- t.clock ();
-  unlink t n;
-  link_mru t n
+  unlink n;
+  link_mru s n
+
+(* Allocation-free lookup for per-packet paths: a hit costs a hash probe
+   plus four pointer writes. [Not_found] on a miss (a preallocated
+   constant — raising it allocates nothing either). *)
+let find_exn t k =
+  sweep t;
+  let n = Hashtbl.find t.tbl k in
+  (match t.sentinel with Some s -> touch t s n | None -> assert false);
+  n.nd_value
 
 let find t k =
-  sweep t;
-  match Hashtbl.find_opt t.tbl k with
-  | Some n ->
-      touch t n;
-      Some n.nd_value
-  | None -> None
+  match find_exn t k with v -> Some v | exception Not_found -> None
 
 (* Non-touching lookup: reads the value without refreshing recency or
    stamp (and without sweeping), for bookkeeping paths that must not
@@ -129,55 +137,76 @@ let peek t k =
 
 let mem t k = Hashtbl.mem t.tbl k
 
+let sentinel_of t k v =
+  match t.sentinel with
+  | Some s -> s
+  | None ->
+      (* Manufactured from the first real entry; only the links are ever
+         read. *)
+      let rec s =
+        { nd_key = k; nd_value = v; nd_stamp = 0; nd_prev = s; nd_next = s }
+      in
+      t.sentinel <- Some s;
+      s
+
 let put t k v =
   sweep t;
-  (match Hashtbl.find_opt t.tbl k with
-  | Some n ->
+  let s = sentinel_of t k v in
+  match Hashtbl.find t.tbl k with
+  | n ->
       n.nd_value <- v;
-      touch t n
-  | None ->
+      touch t s n
+  | exception Not_found ->
       (* Make room first so the table never exceeds capacity, even
          transiently. *)
       if t.capacity > 0 then
         while Hashtbl.length t.tbl >= t.capacity do
-          match t.lru with
-          | Some n -> evict t n Capacity
-          | None -> assert false
+          let n = s.nd_next in
+          if n == s then assert false else evict t n Capacity
         done;
-      let n =
+      let rec n =
         { nd_key = k; nd_value = v; nd_stamp = t.clock ();
-          nd_prev = None; nd_next = None }
+          nd_prev = n; nd_next = n }
       in
       Hashtbl.add t.tbl k n;
-      link_mru t n)
+      link_mru s n
 
 let remove t k =
   match Hashtbl.find_opt t.tbl k with
   | Some n ->
-      unlink t n;
+      unlink n;
       Hashtbl.remove t.tbl k
   | None -> ()
 
 let iter t f =
-  let rec loop = function
-    | Some n ->
-        let next = n.nd_next in
-        f n.nd_key n.nd_value;
-        loop next
-    | None -> ()
-  in
-  loop t.lru
+  match t.sentinel with
+  | None -> ()
+  | Some s ->
+      let rec loop n =
+        if n != s then begin
+          let next = n.nd_next in
+          f n.nd_key n.nd_value;
+          loop next
+        end
+      in
+      loop s.nd_next
 
 let fold t f acc =
-  let rec loop acc = function
-    | Some n ->
-        let next = n.nd_next in
-        loop (f n.nd_key n.nd_value acc) next
-    | None -> acc
-  in
-  loop acc t.lru
+  match t.sentinel with
+  | None -> acc
+  | Some s ->
+      let rec loop acc n =
+        if n == s then acc
+        else
+          let next = n.nd_next in
+          loop (f n.nd_key n.nd_value acc) next
+      in
+      loop acc s.nd_next
 
 let clear t =
   Hashtbl.reset t.tbl;
-  t.lru <- None;
-  t.mru <- None
+  match t.sentinel with
+  | None -> ()
+  | Some s ->
+      s.nd_prev <- s;
+      s.nd_next <- s

@@ -45,6 +45,11 @@ val find : ('k, 'v) t -> 'k -> 'v option
 (** Sweeps expired entries, then looks up [k], refreshing its recency
     and stamp on a hit. *)
 
+val find_exn : ('k, 'v) t -> 'k -> 'v
+(** Like {!find} but raises [Not_found] on a miss. A hit performs no
+    allocation — for per-packet datapaths (ARP cache, flow tables)
+    where the option box of {!find} is measurable GC pressure. *)
+
 val peek : ('k, 'v) t -> 'k -> 'v option
 (** Lookup without sweeping or refreshing — for bookkeeping that must
     not keep an entry alive. *)

@@ -72,6 +72,14 @@ let fatal = function
   | Out_of_memory | Stack_overflow | Sys.Break -> true
   | _ -> false
 
+(* Verdict of a simple_action element's in-place fast path. All three
+   constructors are immediates, so elements whose action mutates the
+   packet in place (the common case on the forwarding path) report
+   keep/drop without boxing a [Packet.t option] per packet. [V_defer]
+   (the default) routes through the option-returning [action], for
+   elements that may substitute a different packet. *)
+type verdict = V_keep | V_drop | V_defer
+
 (* Shared fill value for scratch batch arrays; never read before a real
    packet is written over it. *)
 let placeholder = lazy (Oclick_packet.Packet.create 0)
@@ -87,6 +95,7 @@ class virtual base (name : string) =
        hook record (and allocating a transfer report) per packet. *)
     val mutable lean_transfer = true
     val mutable lean_transfer_batch = true
+    val mutable lean_work = true
     val mutable out_targets : (t * int) option array = [||]
     val mutable in_targets : (t * int) option array = [||]
 
@@ -145,7 +154,8 @@ class virtual base (name : string) =
       hooks <- h;
       lean_transfer <- h.Hooks.on_transfer == Hooks.null.Hooks.on_transfer;
       lean_transfer_batch <-
-        h.Hooks.on_transfer_batch == Hooks.null.Hooks.on_transfer_batch
+        h.Hooks.on_transfer_batch == Hooks.null.Hooks.on_transfer_batch;
+      lean_work <- h.Hooks.on_work == Hooks.null.Hooks.on_work
 
     method set_nports ~inputs ~outputs =
       in_targets <- Array.make inputs None;
@@ -477,6 +487,11 @@ class virtual base (name : string) =
 
     method charge w = hooks.Hooks.on_work ~idx:index ~cls:self#class_name w
 
+    (* Whether [charge] would reach a real hook: per-packet charge sites
+       guard on this so the [Hooks.work] constructor isn't boxed just to
+       feed a null hook. *)
+    method lean_work = lean_work
+
     method drop ~reason p =
       hooks.Hooks.on_drop ~idx:index ~cls:self#class_name ~reason p
 
@@ -490,12 +505,35 @@ class virtual simple_action (name : string) =
     method virtual private action
         : Oclick_packet.Packet.t -> Oclick_packet.Packet.t option
 
+    (* In-place fast path: an element whose action never substitutes a
+       different packet overrides this with its real body (mutating [p]
+       and answering [V_keep]/[V_drop]) and leaves [action] delegating to
+       it, so every transfer path below checks the unboxed verdict first
+       and only falls back to the allocating [action] on [V_defer]. *)
+    method private inplace (_ : Oclick_packet.Packet.t) : verdict = V_defer
+
+    (* The delegation body for in-place elements' [action]: boxes the
+       verdict only for callers that need the option form. *)
+    method private action_of_inplace p =
+      match self#inplace p with
+      | V_keep -> Some p
+      | V_drop -> None
+      | V_defer -> invalid_arg (name ^ ": inplace deferred to itself")
+
     method! push _ p =
-      match self#action p with Some p -> self#output 0 p | None -> ()
+      match self#inplace p with
+      | V_keep -> self#output 0 p
+      | V_drop -> ()
+      | V_defer -> (
+          match self#action p with Some p -> self#output 0 p | None -> ())
 
     method! pull _ =
       match self#input_pull 0 with
-      | Some p -> self#action p
+      | Some p as r -> (
+          match self#inplace p with
+          | V_keep -> r
+          | V_drop -> None
+          | V_defer -> self#action p)
       | None -> None
 
     method! push_batch _ batch =
@@ -510,12 +548,22 @@ class virtual simple_action (name : string) =
         let p = batch.(i) in
         if !quarantined then self#drop ~reason:"quarantined element" p
         else
-          match self#action p with
-          | Some q ->
-              batch.(!m) <- q;
+          match self#inplace p with
+          | V_keep ->
+              batch.(!m) <- p;
               incr m;
               consecutive_faults := 0
-          | None -> consecutive_faults := 0
+          | V_drop -> consecutive_faults := 0
+          | V_defer -> (
+              match self#action p with
+              | Some q ->
+                  batch.(!m) <- q;
+                  incr m;
+                  consecutive_faults := 0
+              | None -> consecutive_faults := 0
+              | exception e when not (fatal e) ->
+                  self#record_fault (Printexc.to_string e);
+                  self#drop ~reason:"element fault" p)
           | exception e when not (fatal e) ->
               self#record_fault (Printexc.to_string e);
               self#drop ~reason:"element fault" p
@@ -527,7 +575,13 @@ class virtual simple_action (name : string) =
          [push], with the downstream transfer already resolved to the
          compiled connection closure. *)
       let k = ctx.fc_out 0 in
-      Some (fun p -> match self#action p with Some q -> k q | None -> ())
+      Some
+        (fun p ->
+          match self#inplace p with
+          | V_keep -> k p
+          | V_drop -> ()
+          | V_defer -> (
+              match self#action p with Some q -> k q | None -> ()))
   end
 
 let configure_error msg = Error msg

@@ -85,6 +85,13 @@ and t = <
   drop : reason:string -> Oclick_packet.Packet.t -> unit;
   note_ok : unit >
 
+(** Verdict of a {!simple_action} element's in-place fast path. All
+    three constructors are immediates, so keep/drop travels without
+    boxing a [Packet.t option] per packet on the batched and fused
+    transfer paths; [V_defer] routes through the element's
+    option-returning [action]. *)
+type verdict = V_keep | V_drop | V_defer
+
 class virtual base : string -> object
   val mutable clock : unit -> int
   (** Nanosecond time source for aging element state
@@ -270,6 +277,12 @@ class virtual base : string -> object
   (** Return a dead packet to the installed pool (no-op without one). *)
 
   method charge : Hooks.work -> unit
+
+  method lean_work : bool
+  (** Whether the installed work hook is the null one: per-packet charge
+      sites test this first so the [Hooks.work] constructor isn't
+      allocated just to feed a no-op hook. *)
+
   method drop : reason:string -> Oclick_packet.Packet.t -> unit
 
   method spawn : Oclick_packet.Packet.t -> unit
@@ -319,6 +332,21 @@ class virtual simple_action : string -> object
   method virtual private action :
     Oclick_packet.Packet.t -> Oclick_packet.Packet.t option
   (** Transform a packet; [None] means the element consumed (dropped) it. *)
+
+  method private inplace : Oclick_packet.Packet.t -> verdict
+  (** In-place fast path, checked before {!action} on every transfer
+      path. The default answers {!V_defer} (route through [action]). An
+      element whose action never substitutes a different packet should
+      put its real body here — mutate the packet, answer {!V_keep} or
+      {!V_drop} — and define [action] as {!action_of_inplace}: the
+      batched and fused paths then move packets without boxing a
+      [Packet.t option] per packet. *)
+
+  method private action_of_inplace :
+    Oclick_packet.Packet.t -> Oclick_packet.Packet.t option
+  (** The delegation body for in-place elements' [action]: runs
+      {!inplace} and boxes its verdict, for callers that need the option
+      form. *)
 end
 
 val configure_error : string -> ('a, string) result

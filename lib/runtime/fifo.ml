@@ -1,0 +1,61 @@
+(* Fixed-capacity FIFO over a flat array: the single-domain analogue of
+   Spsc, used wherever the datapath buffers packets within one domain
+   (the Queue element's buffered mode, the test device's rx/tx queues).
+   Enqueue and dequeue are index bumps on a circular array — no
+   per-element cell allocation (Stdlib.Queue conses a block per [add],
+   which is minor-heap traffic per packet on the forwarding path).
+
+   The slot array is sized on first [add] (and resized when the caller's
+   capacity grows) using the added element itself as the fill value, so
+   creating a FIFO allocates nothing — in particular no placeholder
+   packet, which would disturb packet-id sequences. Dequeued slots keep
+   their stale reference until overwritten; for packet queues that
+   retains at most [capacity] recycled descriptors, which the pool owns
+   anyway. *)
+
+type 'a t = { mutable slots : 'a array; mutable head : int; mutable len : int }
+
+let create () = { slots = [||]; head = 0; len = 0 }
+let length t = t.len
+let is_empty t = t.len = 0
+
+let grow t cap fill =
+  let ns = Array.make (max cap 1) fill in
+  let on = Array.length t.slots in
+  for i = 0 to t.len - 1 do
+    ns.(i) <- t.slots.((t.head + i) mod on)
+  done;
+  t.slots <- ns;
+  t.head <- 0
+
+let add t ~cap x =
+  if t.len >= cap then invalid_arg "Fifo.add: full";
+  (* Grow geometrically, clamped to the capacity bound — [cap] may be
+     max_int (an effectively unbounded queue), so never size to it. *)
+  if t.len >= Array.length t.slots then
+    grow t (min cap (max 8 (2 * (t.len + 1)))) x;
+  let n = Array.length t.slots in
+  (* A capacity shrink below the live length leaves the array larger
+     than [cap]; indexing stays modulo the real array size. *)
+  t.slots.((t.head + t.len) mod n) <- x;
+  t.len <- t.len + 1
+
+let take t =
+  if t.len = 0 then invalid_arg "Fifo.take: empty";
+  let x = t.slots.(t.head) in
+  t.head <- (t.head + 1) mod Array.length t.slots;
+  t.len <- t.len - 1;
+  x
+
+let take_opt t = if t.len = 0 then None else Some (take t)
+
+let iter f t =
+  let n = Array.length t.slots in
+  for i = 0 to t.len - 1 do
+    f t.slots.((t.head + i) mod n)
+  done
+
+let clear t =
+  (* Stale references remain in the slots until overwritten. *)
+  t.head <- 0;
+  t.len <- 0

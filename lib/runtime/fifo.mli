@@ -1,0 +1,30 @@
+(** Fixed-capacity FIFO over a flat circular array — the single-domain
+    packet buffer used by the Queue element's non-ring mode and the test
+    netdevice. Unlike [Stdlib.Queue] (one cons cell per [add]),
+    steady-state enqueue/dequeue allocates nothing: the slot array is
+    created lazily from the first added element (no placeholder value
+    needed) and grows geometrically up to the capacity bound. Dequeued
+    slots retain a stale reference until overwritten. Not thread-safe;
+    cross-domain handoff is {!Spsc}'s job. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+
+val add : 'a t -> cap:int -> 'a -> unit
+(** Append. [cap] is the caller's current capacity bound: the slot array
+    grows to it on demand. Raises [Invalid_argument] when [length t >=
+    cap] — callers test-and-drop before enqueueing. *)
+
+val take : 'a t -> 'a
+(** Remove and return the oldest element. Raises [Invalid_argument] when
+    empty. *)
+
+val take_opt : 'a t -> 'a option
+val iter : ('a -> unit) -> 'a t -> unit
+
+val clear : 'a t -> unit
+(** Empty the FIFO (stale references remain in the slots until
+    overwritten). *)

@@ -9,30 +9,38 @@ end
 
 class queue_device name ?(tx_capacity = max_int) () =
   object
-    val rx_q : Oclick_packet.Packet.t Queue.t = Queue.create ()
-    val tx_q : Oclick_packet.Packet.t Queue.t = Queue.create ()
+    val rx_q : Oclick_packet.Packet.t Fifo.t = Fifo.create ()
+    val tx_q : Oclick_packet.Packet.t Fifo.t = Fifo.create ()
     val mutable sent = 0
     method device_name : string = name
-    method rx () = Queue.take_opt rx_q
+    method rx () = Fifo.take_opt rx_q
 
     method rx_batch (dst : Oclick_packet.Packet.t array) =
-      let want = min (Array.length dst) (Queue.length rx_q) in
+      let want = min (Array.length dst) (Fifo.length rx_q) in
       for i = 0 to want - 1 do
-        dst.(i) <- Queue.take rx_q
+        dst.(i) <- Fifo.take rx_q
       done;
       want
 
     method tx p =
-      if Queue.length tx_q >= tx_capacity then false
+      if Fifo.length tx_q >= tx_capacity then false
       else begin
-        Queue.add p tx_q;
+        Fifo.add tx_q ~cap:tx_capacity p;
         sent <- sent + 1;
         true
       end
 
-    method tx_ready = Queue.length tx_q < tx_capacity
-    method tx_space = tx_capacity - Queue.length tx_q
-    method inject p = Queue.add p rx_q
-    method collect = Queue.take_opt tx_q
+    method tx_ready = Fifo.length tx_q < tx_capacity
+    method tx_space = tx_capacity - Fifo.length tx_q
+    method inject p = Fifo.add rx_q ~cap:max_int p
+    method collect = Fifo.take_opt tx_q
+
+    method collect_into (dst : Oclick_packet.Packet.t array) =
+      let want = min (Array.length dst) (Fifo.length tx_q) in
+      for i = 0 to want - 1 do
+        dst.(i) <- Fifo.take tx_q
+      done;
+      want
+
     method tx_count = sent
   end

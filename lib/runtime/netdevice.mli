@@ -39,5 +39,11 @@ class queue_device :
        inherit t
        method inject : Oclick_packet.Packet.t -> unit
        method collect : Oclick_packet.Packet.t option
+
+       method collect_into : Oclick_packet.Packet.t array -> int
+       (** Batched {!collect}: fill the array from the front with up to
+           [Array.length dst] transmitted frames, return how many —
+           no option box per drained packet. *)
+
        method tx_count : int
      end

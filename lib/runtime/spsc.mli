@@ -6,20 +6,26 @@
     domain, exchanging packets through one of these rings — a push/pull
     pair with no locks on the hot path.
 
+    Slots hold elements directly (empty slots hold a caller-supplied
+    dummy value), so pushing allocates nothing: a packet descriptor
+    crosses the domain cut with its payload bytes staying put in the
+    off-heap arena and zero words added to either minor heap.
+
     Exactly one domain may call {!push} and exactly one domain may call
-    {!pop} (they may be the same domain). The indices are [Atomic.t]
-    cells allocated with padding between them, so the producer's and the
-    consumer's counters do not share a cache line (OCaml gives no hard
-    layout guarantee, but separately-allocated atomics with a dead
-    spacer between them do not false-share in practice). *)
+    {!pop}/{!pop_into} (they may be the same domain). The indices are
+    [Atomic.t] cells allocated with padding between them, so the
+    producer's and the consumer's counters do not share a cache line
+    (OCaml gives no hard layout guarantee, but separately-allocated
+    atomics with a dead spacer between them do not false-share in
+    practice). *)
 
 type 'a t
 
-val create : int -> 'a t
-(** [create capacity] — a ring holding at most [capacity] elements
-    (rounded up to a power of two internally; the stated capacity is
-    still enforced exactly). Raises [Invalid_argument] if
-    [capacity <= 0]. *)
+val create : dummy:'a -> int -> 'a t
+(** [create ~dummy capacity] — a ring holding at most [capacity]
+    elements (rounded up to a power of two internally; the stated
+    capacity is still enforced exactly). [dummy] fills empty slots and
+    is never returned. Raises [Invalid_argument] if [capacity <= 0]. *)
 
 val capacity : 'a t -> int
 
@@ -28,6 +34,12 @@ val push : 'a t -> 'a -> bool
 
 val pop : 'a t -> 'a option
 (** Consumer side: dequeue the oldest element, or [None] if empty. *)
+
+val pop_into : 'a t -> 'a array -> int -> int
+(** [pop_into t dst max] dequeues up to [min max (Array.length dst)]
+    elements into [dst.(0..)] and returns how many were moved — the
+    batch drain used by ring-backed Queue pulls: two atomic operations
+    per batch rather than two per element, and no [option] boxing. *)
 
 val length : 'a t -> int
 (** Racy but bounded estimate of the occupancy — exact when read from

@@ -93,8 +93,7 @@ type outcome = {
   o_injected : int;
 }
 
-let frame_bytes p =
-  Bytes.sub_string (Packet.buffer p) (Packet.data_offset p) (Packet.length p)
+let frame_bytes p = Packet.to_string p
 
 let play ~batch ~compile script =
   let drops = Hashtbl.create 8 and spawns = ref 0 and faults = ref 0 in

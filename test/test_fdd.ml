@@ -59,8 +59,7 @@ type outcome = {
   o_injected : int;
 }
 
-let frame_bytes p =
-  Bytes.sub_string (Packet.buffer p) (Packet.data_offset p) (Packet.length p)
+let frame_bytes p = Packet.to_string p
 
 (* Same rule oclick-run uses to decide which simulated devices a
    configuration needs. *)

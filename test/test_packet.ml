@@ -404,6 +404,122 @@ let prop_u32_byte_consistency =
       && Packet.get_u8 p 0 = (v lsr 24) land 0xff
       && Packet.get_u8 p 3 = v land 0xff)
 
+(* --- window edges, both representations ---------------------------------- *)
+
+(* The same logical packet built two ways: heap [Bytes] and off-heap
+   slab slot. Window adjustment must be observationally identical on
+   both — a slab packet that outgrows its slot silently demotes to the
+   heap representation without changing any visible behaviour. *)
+
+let heap_packet ?headroom ?tailroom data =
+  Packet.of_string ?headroom ?tailroom data
+
+let slab_packet ?headroom ?tailroom data =
+  let pool = Packet.Pool.create ~capacity:4 () in
+  let p = Packet.Pool.alloc pool ?headroom ?tailroom (String.length data) in
+  Packet.set_string p ~pos:0 data;
+  p
+
+let test_slab_push_demotes () =
+  let p = slab_packet ~headroom:2 "xy" in
+  check_bool "starts off-heap" true (Packet.is_off_heap p);
+  Packet.push p 40 (* beyond slab headroom: must demote, not corrupt *);
+  check_bool "demoted to heap" false (Packet.is_off_heap p);
+  check "grown" 42 (Packet.length p);
+  check_str "tail survives" "xy" (Packet.get_string p ~pos:40 ~len:2)
+
+let test_slab_put_demotes () =
+  let p = slab_packet "ab" in
+  (* A slab slot is Pool.default_buf_size bytes; extending past the
+     whole slot forces the Bytes fallback. *)
+  let n = Packet.Pool.default_buf_size + 8 in
+  Packet.put p n;
+  check_bool "demoted to heap" false (Packet.is_off_heap p);
+  check "extended" (2 + n) (Packet.length p);
+  check_str "head survives" "ab" (Packet.get_string p ~pos:0 ~len:2);
+  check "zero filled first" 0 (Packet.get_u8 p 2);
+  check "zero filled last" 0 (Packet.get_u8 p (1 + n))
+
+let test_slab_exact_edges_stay_off_heap () =
+  let p = slab_packet ~headroom:8 "data" in
+  Packet.push p 8 (* exactly the headroom: in-place, no growth *);
+  check_bool "off-heap after exact push" true (Packet.is_off_heap p);
+  check "headroom exhausted" 0 (Packet.headroom p);
+  let t = Packet.tailroom p in
+  Packet.put p t (* exactly the tailroom: fills the slot in place *);
+  check_bool "off-heap after exact put" true (Packet.is_off_heap p);
+  check "tailroom exhausted" 0 (Packet.tailroom p);
+  check_str "data intact at window head" "data"
+    (Packet.get_string p ~pos:8 ~len:4)
+
+let test_window_edge_bounds_both () =
+  let run label p =
+    let len = Packet.length p in
+    check (label ^ ": last byte readable") 0x64 (Packet.get_u8 p (len - 1));
+    Alcotest.check_raises
+      (label ^ ": one past end raises")
+      (Invalid_argument
+         (Printf.sprintf "Packet: access at %d width 1 beyond length %d" len
+            len))
+      (fun () -> ignore (Packet.get_u8 p len));
+    Alcotest.check_raises
+      (label ^ ": pull past window raises")
+      (Invalid_argument "Packet.pull")
+      (fun () -> Packet.pull p (len + 1));
+    Alcotest.check_raises
+      (label ^ ": take past window raises")
+      (Invalid_argument "Packet.take")
+      (fun () -> Packet.take p (len + 1));
+    Packet.pull p len;
+    check (label ^ ": pulled to empty") 0 (Packet.length p);
+    Packet.push p len;
+    check (label ^ ": pushed back") len (Packet.length p);
+    check_str (label ^ ": window restored") "abcd" (Packet.to_string p)
+  in
+  run "heap" (heap_packet "abcd");
+  run "slab" (slab_packet "abcd")
+
+(* Drive both representations through the same sequence of window ops,
+   overwriting each pushed (uninitialized) region with a deterministic
+   pattern so content comparison stays meaningful, and require identical
+   geometry and bytes at every step. *)
+let apply_window_op p code =
+  let len = Packet.length p in
+  match code mod 4 with
+  | 0 ->
+      let n = code mod 24 in
+      Packet.push p n;
+      for i = 0 to n - 1 do
+        Packet.set_u8 p i ((code + i) land 0xff)
+      done
+  | 1 -> if len > 0 then Packet.pull p (code mod len)
+  | 2 -> Packet.put p (code mod 24)
+  | _ -> if len > 0 then Packet.take p (code mod len)
+
+let prop_slab_heap_identical =
+  QCheck.Test.make ~name:"slab and heap windows behave identically"
+    ~count:300
+    QCheck.(pair (string_of_size (Gen.int_range 1 48)) (small_list small_nat))
+    (fun (data, ops) ->
+      let h = heap_packet ~headroom:4 ~tailroom:4 data in
+      let s = slab_packet ~headroom:4 data in
+      List.iter
+        (fun c ->
+          apply_window_op h c;
+          apply_window_op s c)
+        ops;
+      Packet.length h = Packet.length s
+      && Packet.to_string h = Packet.to_string s)
+
+let prop_slab_demotion_preserves_window =
+  QCheck.Test.make ~name:"demotion preserves the data window" ~count:200
+    QCheck.(pair (string_of_size (Gen.int_range 1 64)) (int_range 1 96))
+    (fun (data, n) ->
+      let p = slab_packet ~headroom:0 data in
+      Packet.push p n (* headroom 0: any positive push demotes *);
+      Packet.pull p n;
+      (not (Packet.is_off_heap p)) && Packet.to_string p = data)
+
 let () =
   Alcotest.run "packet"
     [
@@ -449,6 +565,15 @@ let () =
           Alcotest.test_case "grows small buffer" `Quick
             test_pool_grows_small_buffer;
         ] );
+      ( "window-edges",
+        [
+          Alcotest.test_case "slab push demotes" `Quick test_slab_push_demotes;
+          Alcotest.test_case "slab put demotes" `Quick test_slab_put_demotes;
+          Alcotest.test_case "exact edges stay off-heap" `Quick
+            test_slab_exact_edges_stay_off_heap;
+          Alcotest.test_case "bounds, both representations" `Quick
+            test_window_edge_bounds_both;
+        ] );
       ( "headers",
         [
           Alcotest.test_case "ether encap" `Quick test_ether_encap;
@@ -468,5 +593,7 @@ let () =
             prop_checksum_matches_naive;
             prop_realign_preserves_data;
             prop_u32_byte_consistency;
+            prop_slab_heap_identical;
+            prop_slab_demotion_preserves_window;
           ] );
     ]

@@ -22,7 +22,7 @@ let check_bool = Alcotest.(check bool)
 (* --- SPSC ring ---------------------------------------------------------- *)
 
 let test_spsc_fifo () =
-  let r = Spsc.create 5 in
+  let r = Spsc.create ~dummy:0 5 in
   check "capacity as requested" 5 (Spsc.capacity r);
   check_bool "starts empty" true (Spsc.is_empty r);
   for i = 1 to 5 do
@@ -38,13 +38,13 @@ let test_spsc_fifo () =
   check_bool "pop on empty" true (Spsc.pop r = None);
   check_bool "invalid capacity" true
     (try
-       ignore (Spsc.create 0);
+       ignore (Spsc.create ~dummy:0 0);
        false
      with Invalid_argument _ -> true)
 
 let test_spsc_cross_domain () =
   let n = 100_000 in
-  let r = Spsc.create 1024 in
+  let r = Spsc.create ~dummy:0 1024 in
   let consumer =
     Domain.spawn (fun () ->
         let sum = ref 0 and got = ref 0 in

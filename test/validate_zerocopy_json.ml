@@ -1,0 +1,130 @@
+(* Schema validation for the zero-copy memory benchmark's JSON, used by
+   the @zerocopy-smoke alias: reads BENCH_zerocopy.json (path argument,
+   or stdin) and checks the shape the plotting/CI side depends on — all
+   three variants present and loss-free, the slab variant actually
+   carrying every frame off-heap, its minor-heap allocation per
+   forwarded packet under the near-zero ceiling, and the slab-over-scalar
+   speedup bar cleared. Wall-clock ratios on a smoke budget are a single
+   short unwarmed window, so the bar is 1x there (no regression); full
+   runs must clear the 1.3x acceptance bar. The allocation ceiling is
+   budget-independent — descriptor recycling allocates nothing per
+   packet regardless of how many packets flow — so it is enforced on
+   both. Exits 1 with a one-line diagnostic on the first violation. *)
+
+module Json = Oclick_obs.Json
+
+(* The slab path's steady-state allocation budget, in minor-heap words
+   per forwarded packet, end to end through the interpreted fig8 graph.
+   The packet layer itself is exactly zero (off-heap payload, free-list
+   recycling, closure-free accessors — enforced separately below); the
+   residue is per-batch interpreter bookkeeping (work-charge boxes,
+   flush closures) that amortizes below one word per packet at batch
+   32. The scalar baseline runs ~50 words per packet (fresh buffer +
+   descriptor per allocation), so the ceiling cleanly separates the
+   recycling path from the allocating one. *)
+let slab_words_ceiling = 8.0
+
+(* The isolated packet-layer lifecycle (pool alloc, blit, word reads,
+   checksum, recycle) must allocate nothing at all; anything above
+   rounding noise means a box crept back into the representation. *)
+let packet_layer_ceiling = 0.5
+
+let die fmt =
+  Printf.ksprintf
+    (fun msg ->
+      prerr_endline msg;
+      exit 1)
+    fmt
+
+let read_all ic =
+  let buf = Buffer.create 4096 in
+  (try
+     while true do
+       Buffer.add_channel buf ic 4096
+     done
+   with End_of_file -> ());
+  Buffer.contents buf
+
+let number label = function
+  | Json.Int i -> float_of_int i
+  | Json.Float f -> f
+  | _ -> die "%s: not a number" label
+
+let get label obj field =
+  match Json.member field obj with
+  | Some v -> v
+  | None -> die "%s: missing %S" label field
+
+let bool_field label obj field =
+  match get label obj field with
+  | Json.Bool b -> b
+  | _ -> die "%s: %S is not a bool" label field
+
+let check_variant ~label v =
+  let name =
+    match get label v "name" with
+    | Json.String s -> s
+    | _ -> die "%s: variant name is not a string" label
+  in
+  let label = Printf.sprintf "%s/%s" label name in
+  let offered = number label (get label v "offered") in
+  let forwarded = number label (get label v "forwarded") in
+  if forwarded < 1.0 then die "%s: nothing forwarded" label;
+  if forwarded <> offered then
+    die "%s: lossy run (%.0f/%.0f)" label forwarded offered;
+  if number label (get label v "pps") <= 0.0 then
+    die "%s: non-positive packet rate" label;
+  if number label (get label v "minor_words_per_packet") < 0.0 then
+    die "%s: negative allocation rate" label;
+  let slab = bool_field label v "slab" in
+  if slab && not (bool_field label v "pool") then
+    die "%s: slab variant without a pool" label;
+  if slab then begin
+    (* The whole point: every frame of the slab variant must have been
+       carried off-heap end to end. *)
+    let frac = number label (get label v "off_heap_fraction") in
+    if frac < 1.0 then
+      die "%s: only %.1f%% of frames stayed off-heap" label (100.0 *. frac)
+  end;
+  name
+
+let () =
+  let input =
+    if Array.length Sys.argv > 1 then (
+      let ic = open_in Sys.argv.(1) in
+      let s = read_all ic in
+      close_in ic;
+      s)
+    else read_all stdin
+  in
+  let doc =
+    match Json.of_string input with
+    | Ok v -> v
+    | Error e -> die "not valid JSON: %s" e
+  in
+  (match Json.member "section" doc with
+  | Some (Json.String "zerocopy") -> ()
+  | _ -> die "missing section=\"zerocopy\"");
+  let smoke = bool_field "doc" doc "smoke" in
+  let names =
+    match get "doc" doc "variants" with
+    | Json.List vs -> List.map (check_variant ~label:"variant") vs
+    | _ -> die "variants is not a list"
+  in
+  List.iter
+    (fun want ->
+      if not (List.mem want names) then die "missing variant %S" want)
+    [ "scalar"; "batch 32 + heap pool"; "batch 32 + slab pool" ];
+  let words = number "doc" (get "doc" doc "slab_minor_words_per_packet") in
+  if words > slab_words_ceiling then
+    die "slab path allocates %.1f minor words/packet (ceiling %.0f)" words
+      slab_words_ceiling;
+  let layer = number "doc" (get "doc" doc "packet_layer_words_slab") in
+  if layer > packet_layer_ceiling then
+    die "packet layer allocates %.2f minor words/packet (ceiling %.1f)" layer
+      packet_layer_ceiling;
+  let speedup = number "doc" (get "doc" doc "speedup_vs_scalar") in
+  let bar = if smoke then 1.0 else 1.3 in
+  if speedup < bar then
+    die "slab speedup %.2fx vs scalar below the %.1fx bar" speedup bar;
+  print_endline "ok"
