@@ -14,20 +14,23 @@
 # datapath on the cascaded-classifier config), `make bench-zerocopy`
 # refreshes BENCH_zerocopy.json (off-heap slab packet buffers vs the
 # heap-Bytes representations: wall clock plus minor-heap words per
-# forwarded packet), and `make bench-all` regenerates every committed
+# forwarded packet), `make bench-tune` refreshes BENCH_tune.json (the
+# profile-guided autotuning cells and the measured-cost placement
+# comparison), and `make bench-all` regenerates every committed
 # BENCH_*.json in one go.
 # `make obs-smoke` (also part of `dune runtest`) validates
 # oclick-report's JSON output against the report schema on the example
 # configurations; `make overload-smoke` (likewise part of `dune
 # runtest`) runs the overload benchmark on the smoke budget and
 # validates its JSON against the curve schema; `make lpm-smoke`,
-# `make fdd-smoke`, and `make zerocopy-smoke` do the same for the
-# route-lookup, fusion, and zero-copy benchmarks.
+# `make fdd-smoke`, `make zerocopy-smoke`, and `make tune-smoke` do the
+# same for the route-lookup, fusion, zero-copy, and autotuning
+# benchmarks.
 
 .PHONY: all build test bench bench-smoke compile-smoke parallel-smoke \
 	bench-json bench-parallel bench-overload bench-lpm bench-fdd \
-	bench-zerocopy bench-all obs-smoke overload-smoke lpm-smoke \
-	fdd-smoke zerocopy-smoke clean
+	bench-zerocopy bench-tune bench-all obs-smoke overload-smoke \
+	lpm-smoke fdd-smoke zerocopy-smoke tune-smoke clean
 
 all: build
 
@@ -69,8 +72,11 @@ bench-fdd: build
 bench-zerocopy: build
 	cd $(CURDIR) && dune exec --no-build bench/main.exe -- zerocopy --json
 
+bench-tune: build
+	cd $(CURDIR) && dune exec --no-build bench/main.exe -- tune --json
+
 bench-all: bench-json bench-parallel bench-overload bench-lpm bench-fdd \
-	bench-zerocopy
+	bench-zerocopy bench-tune
 
 obs-smoke:
 	dune build @obs-smoke
@@ -86,6 +92,9 @@ fdd-smoke:
 
 zerocopy-smoke:
 	dune build @zerocopy-smoke
+
+tune-smoke:
+	dune build @tune-smoke
 
 clean:
 	dune clean

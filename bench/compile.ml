@@ -103,11 +103,9 @@ let run_burst rig =
   in
   drain 0
 
-(* Best-of-[reps] wall-clock measurement: each repetition injects and
-   forwards the full packet budget, and the fastest repetition is
-   reported. Wall-clock ratios on shared machines are noisy; the best
-   repetition is the one least disturbed by the scheduler, which is the
-   quantity the interpreted/compiled comparison needs. *)
+(* Best-of-[reps] wall-clock measurement (Common.best_of_windows): each
+   repetition injects and forwards the full packet budget, and the
+   fastest repetition is reported. *)
 let run_mode ~graph ~arp ~batch ~pool ~compile ~packets =
   let rig = make_rig ~graph ~batch ~pool ~compile in
   prime ~arp rig;
@@ -116,21 +114,15 @@ let run_mode ~graph ~arp ~batch ~pool ~compile ~packets =
   for _ = 1 to max 1 (bursts / 10) do
     ignore (run_burst rig)
   done;
-  let best = ref None in
-  for _ = 1 to reps do
-    let forwarded = ref 0 in
-    let t0 = Unix.gettimeofday () in
-    for _ = 1 to bursts do
-      forwarded := !forwarded + run_burst rig
-    done;
-    let dt = Unix.gettimeofday () -. t0 in
-    let offered = bursts * burst in
-    let pps = float_of_int !forwarded /. dt in
-    match !best with
-    | Some (_, _, _, p) when p >= pps -> ()
-    | _ -> best := Some (!forwarded, offered, dt, pps)
-  done;
-  Option.get !best
+  let w =
+    Common.best_of_windows ~reps (fun () ->
+        let forwarded = ref 0 in
+        for _ = 1 to bursts do
+          forwarded := !forwarded + run_burst rig
+        done;
+        !forwarded)
+  in
+  (w.Common.w_forwarded, bursts * burst, w.Common.w_seconds, w.Common.w_pps)
 
 (* A classifier-heavy straight-line config: twelve Classifier stages
    each re-matching a header byte of the template flow (ethertype,

@@ -95,9 +95,9 @@ let run_burst rig =
   in
   drain 0
 
-(* Best-of-[reps] wall-clock measurement, exactly as bench/compile.ml:
-   the fastest repetition is the one least disturbed by the scheduler,
-   which is the quantity the compiled/fused ratio needs. *)
+(* Best-of-[reps] wall-clock measurement (Common.best_of_windows), as in
+   bench/compile.ml: the fastest repetition is the quantity the
+   compiled/fused ratio needs. *)
 let run_mode ~graph ~arp ~batch ~compile ~fuse ~packets =
   let rig = make_rig ~graph ~batch ~compile ~fuse in
   let regions =
@@ -113,21 +113,16 @@ let run_mode ~graph ~arp ~batch ~compile ~fuse ~packets =
   for _ = 1 to max 1 (bursts / 10) do
     ignore (run_burst rig)
   done;
-  let best = ref None in
-  for _ = 1 to reps do
-    let forwarded = ref 0 in
-    let t0 = Unix.gettimeofday () in
-    for _ = 1 to bursts do
-      forwarded := !forwarded + run_burst rig
-    done;
-    let dt = Unix.gettimeofday () -. t0 in
-    let offered = bursts * burst in
-    let pps = float_of_int !forwarded /. dt in
-    match !best with
-    | Some (_, _, _, p) when p >= pps -> ()
-    | _ -> best := Some (!forwarded, offered, dt, pps)
-  done;
-  (Option.get !best, regions)
+  let w =
+    Common.best_of_windows ~reps (fun () ->
+        let forwarded = ref 0 in
+        for _ = 1 to bursts do
+          forwarded := !forwarded + run_burst rig
+        done;
+        !forwarded)
+  in
+  ((w.Common.w_forwarded, bursts * burst, w.Common.w_seconds, w.Common.w_pps),
+   regions)
 
 (* The cascade: [stages] identical Classifier stages, each re-matching
    the flow's ethertype, IP version/IHL, TTL, protocol, and both

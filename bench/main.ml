@@ -31,6 +31,7 @@ let sections =
     ("lpm", Lpm.run);
     ("fdd", Fdd.run);
     ("zerocopy", Membench.run);
+    ("tune", Tune.run);
   ]
 
 let () =

@@ -175,41 +175,33 @@ let run_mode ~name ~batch ~kind ~packets =
     ignore (run_burst rig off_heap)
   done;
   off_heap := 0;
-  (* Wall clock is best-of-[reps] windows (scheduling noise dominates
-     short smoke windows); allocation is summed across every window —
-     it is deterministic per packet, and summing keeps the figure an
-     average over all forwarded traffic. *)
-  let forwarded = ref 0 in
+  (* Wall clock is best-of-[reps] windows (Common.best_of_windows;
+     scheduling noise dominates short smoke windows); allocation is
+     summed across every window — it is deterministic per packet, and
+     summing keeps the figure an average over all forwarded traffic. *)
   let words = ref 0.0 in
-  let best_dt = ref infinity in
-  let best_fwd = ref 1 in
-  for _ = 1 to reps do
-    let fwd0 = !forwarded in
-    let w0 = Gc.minor_words () in
-    let t0 = Unix.gettimeofday () in
-    for _ = 1 to bursts do
-      forwarded := !forwarded + run_burst rig off_heap
-    done;
-    let dt = Unix.gettimeofday () -. t0 in
-    words := !words +. (Gc.minor_words () -. w0);
-    let fwd = !forwarded - fwd0 in
-    if fwd > 0 && dt /. float_of_int fwd < !best_dt /. float_of_int !best_fwd
-    then begin
-      best_dt := dt;
-      best_fwd := fwd
-    end
-  done;
+  let w =
+    Common.best_of_windows ~reps (fun () ->
+        let w0 = Gc.minor_words () in
+        let fwd = ref 0 in
+        for _ = 1 to bursts do
+          fwd := !fwd + run_burst rig off_heap
+        done;
+        words := !words +. (Gc.minor_words () -. w0);
+        !fwd)
+  in
+  let forwarded = w.Common.w_total_forwarded in
   let offered = reps * bursts * burst in
   {
     r_name = name;
     r_batch = batch;
     r_kind = kind;
     r_offered = offered;
-    r_forwarded = !forwarded;
-    r_seconds = !best_dt;
-    r_pps = float_of_int !best_fwd /. !best_dt;
-    r_words_per_pkt = !words /. float_of_int (max 1 !forwarded);
-    r_off_heap_frac = float_of_int !off_heap /. float_of_int (max 1 !forwarded);
+    r_forwarded = forwarded;
+    r_seconds = w.Common.w_seconds;
+    r_pps = w.Common.w_pps;
+    r_words_per_pkt = !words /. float_of_int (max 1 forwarded);
+    r_off_heap_frac = float_of_int !off_heap /. float_of_int (max 1 forwarded);
   }
 
 let variant_json r =

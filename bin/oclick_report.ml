@@ -187,9 +187,9 @@ let route_tables_json (r : Testbed.result) =
            :: List.map (fun (k, v) -> (k, Json.Int v)) stats))
        r.Testbed.r_route_tables)
 
-let pass_json ~label ~mhz ~fuse obs (r : Testbed.result) =
+let pass_json ~label ~mhz ~fuse ?top obs (r : Testbed.result) =
   let aggregate = aggregate_check obs r in
-  match Obs.Report.json (Obs.Report.Sim mhz) obs with
+  match Obs.Report.json ?top (Obs.Report.Sim mhz) obs with
   | Json.Obj kvs ->
       Json.Obj
         (("pass", Json.String label)
@@ -205,8 +205,12 @@ let pass_json ~label ~mhz ~fuse obs (r : Testbed.result) =
         :: kvs)
   | v -> v
 
-let run json passes batch domains shards input_pps duration_ms warmup_ms input
-    =
+let run json passes batch domains shards top input_pps duration_ms warmup_ms
+    input =
+  (match top with
+  | Some n when n < 1 ->
+      Tool_common.die "bad --top %d (must be at least 1)" n
+  | _ -> ());
   if batch < 1 then Tool_common.die "bad --batch %d (must be at least 1)" batch;
   if domains < 1 then
     Tool_common.die "bad --domains %d (must be at least 1)" domains;
@@ -235,7 +239,7 @@ let run json passes batch domains shards input_pps duration_ms warmup_ms input
     let reports =
       List.map
         (fun (label, graph, compile, fuse) ->
-          pass_json ~label ~mhz ~fuse obs (measure (graph, compile, fuse)))
+          pass_json ~label ~mhz ~fuse ?top obs (measure (graph, compile, fuse)))
         variants
     in
     let header =
@@ -293,7 +297,7 @@ let run json passes batch domains shards input_pps duration_ms warmup_ms input
                      rg.Oclick_fdd.rg_nodes rg.Oclick_fdd.rg_actions)
                  rs
            | _ -> ());
-        print_string (Obs.Report.table (Obs.Report.Sim mhz) obs);
+        print_string (Obs.Report.table ?top (Obs.Report.Sim mhz) obs);
         Printf.printf "aggregate (cost model): %d ns — matches per-element \
                        total\n\n"
           aggregate)
@@ -342,6 +346,17 @@ let shards_arg =
            depth. With $(b,--json), adds a $(b,partition) object to the \
            report.")
 
+let top_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "top" ] ~docv:"N"
+        ~doc:
+          "Keep only the $(docv) most expensive elements in each \
+           breakdown; the rest collapse into one aggregate \
+           $(b,(other: n)) row, so totals (and the JSON cost-sum \
+           invariant) are unchanged.")
+
 let input_pps_arg =
   Arg.(
     value & opt int 200_000
@@ -364,4 +379,5 @@ let () =
     "Per-element cost breakdown of a configuration in the simulated testbed."
     Term.(
       const run $ json_arg $ passes_arg $ batch_arg $ domains_arg $ shards_arg
-      $ input_pps_arg $ duration_arg $ warmup_arg $ Tool_common.input_arg)
+      $ top_arg $ input_pps_arg $ duration_arg $ warmup_arg
+      $ Tool_common.input_arg)

@@ -178,11 +178,42 @@ let set_meta obs router =
    run otherwise stops when every shard quiesces and every cut ring
    drains. *)
 let run_parallel ~rounds ~stats ~batch ~pool ~pool_bufsize ~compile ~fuse
-    ~domains ~ring_capacity ~watchdog_ms ~writes ~reads ~report ~report_json
-    ~trace router devices =
+    ~domains ~ring_capacity ~watchdog_ms ~profile_partition ~writes ~reads
+    ~report ~report_json ~trace router devices =
   let want_obs = report || report_json || trace <> None in
   let t0 = Unix.gettimeofday () in
   let now () = int_of_float ((Unix.gettimeofday () -. t0) *. 1e9) in
+  (* --profile-partition: a single-domain profiling pre-run over
+     throwaway queue devices (same names, so the real run's devices see
+     none of its traffic) measures per-element wall-clock cost; the
+     partitioner's LPT balance then places shards by observed cost
+     instead of element counts. *)
+  let weights =
+    if not profile_partition then None
+    else begin
+      let pdevices =
+        List.map
+          (fun d ->
+            (new Oclick_runtime.Netdevice.queue_device d ()
+              :> Oclick_runtime.Netdevice.t))
+          (device_names router)
+      in
+      let obs = Oclick_obs.create () in
+      let hooks = Oclick_obs.hooks ~now ~wall:true obs Oclick_runtime.Hooks.null in
+      match
+        Oclick_runtime.Driver.instantiate ~hooks ~devices:pdevices ~batch
+          router
+      with
+      | Error e -> Tool_common.die "%s" e
+      | Ok drv ->
+          Oclick_runtime.Driver.run drv ~rounds;
+          Printf.printf "profile-partition: measured %d elements over %d \
+                         rounds\n"
+            (Oclick_runtime.Driver.size drv)
+            rounds;
+          Some (Oclick_obs.cost_weights ~wall:true obs)
+    end
+  in
   let obs_shards =
     if want_obs then
       Some (Array.init domains (fun _ -> Oclick_obs.create ?trace ~recycles:pool ()))
@@ -216,8 +247,8 @@ let run_parallel ~rounds ~stats ~batch ~pool ~pool_bufsize ~compile ~fuse
       ~pool_buf_size:(if pool_bufsize = 0 then
                         Oclick_packet.Packet.Pool.default_buf_size
                       else pool_bufsize)
-      ~pool_slab:(pool_bufsize > 0) ~compile ~fuse ~ring_capacity ~clock:now
-      ~domains router
+      ~pool_slab:(pool_bufsize > 0) ~compile ~fuse ~ring_capacity ?weights
+      ~clock:now ~domains router
   with
   | Error e -> Tool_common.die "%s" e
   | Ok runner ->
@@ -269,8 +300,8 @@ let run_parallel ~rounds ~stats ~batch ~pool ~pool_bufsize ~compile ~fuse
             ~warnings:(List.rev !warnings) merged
 
 let run rounds stats batch pool pool_bufsize compile fuse fault fault_seed
-    domains ring_capacity watchdog_ms writes reads report report_json trace
-    input =
+    domains ring_capacity watchdog_ms profile_partition writes reads report
+    report_json trace input =
   if pool_bufsize < 0 || (pool_bufsize > 0 && pool_bufsize < 16) then
     Tool_common.die "bad --pool-bufsize %d (must be 0 or >= 16)" pool_bufsize;
   if rounds < 0 then Tool_common.die "bad --rounds %d (must be >= 0)" rounds;
@@ -284,6 +315,10 @@ let run rounds stats batch pool pool_bufsize compile fuse fault fault_seed
   if domains > 1 && fault <> None then
     Tool_common.die
       "--fault requires --domains 1 (injection streams are sequential)";
+  if profile_partition && domains < 2 then
+    Tool_common.die
+      "--profile-partition requires --domains > 1 (there is no placement \
+       to weight)";
   (match trace with
   | Some n when n < 1 ->
       Tool_common.die "bad --trace %d (must be at least 1)" n
@@ -299,9 +334,8 @@ let run rounds stats batch pool pool_bufsize compile fuse fault fault_seed
   in
   if domains > 1 then
     run_parallel ~rounds ~stats ~batch ~pool ~pool_bufsize ~compile ~fuse
-      ~domains
-      ~ring_capacity ~watchdog_ms ~writes ~reads ~report ~report_json ~trace
-      router devices
+      ~domains ~ring_capacity ~watchdog_ms ~profile_partition ~writes ~reads
+      ~report ~report_json ~trace router devices
   else begin
   let injector =
     match fault with
@@ -529,6 +563,16 @@ let watchdog_ms_arg =
            its inbound rings are drained into accounted drops, and the \
            run reports degraded instead of hanging.")
 
+let profile_partition_arg =
+  Arg.(
+    value & flag
+    & info [ "profile-partition" ]
+        ~doc:
+          "Before partitioning, run the configuration once on a single \
+           domain with per-element wall-clock profiling (over throwaway \
+           devices), and balance the shards by the measured per-element \
+           cost instead of element counts. Requires $(b,--domains) > 1.")
+
 let write_arg =
   Arg.(
     value & opt_all string []
@@ -570,6 +614,6 @@ let () =
     Term.(
       const run $ rounds_arg $ stats_arg $ batch_arg $ pool_arg
       $ pool_bufsize_arg $ compile_arg $ fuse_arg $ fault_arg $ fault_seed_arg
-      $ domains_arg $ ring_capacity_arg $ watchdog_ms_arg $ write_arg
-      $ read_arg $ report_arg $ report_json_arg $ trace_arg
-      $ Tool_common.input_arg)
+      $ domains_arg $ ring_capacity_arg $ watchdog_ms_arg
+      $ profile_partition_arg $ write_arg $ read_arg $ report_arg
+      $ report_json_arg $ trace_arg $ Tool_common.input_arg)

@@ -1,0 +1,242 @@
+(* oclick-tune: search the datapath knob space for a configuration,
+   using the deterministic testbed as the objective. Output is a valid
+   .click file: the annotated configuration (chosen Queue capacities
+   written into element arguments) under comment lines carrying the
+   tuned oclick-run command line — so the tool composes with pipes like
+   the other passes, and the artifact documents how to run itself. *)
+
+open Cmdliner
+module Tune = Oclick_tune
+
+let () = Oclick_compile.register ()
+
+let platform_of_name name =
+  match
+    List.find_opt
+      (fun p ->
+        String.lowercase_ascii p.Oclick_hw.Platform.p_name
+        = String.lowercase_ascii name)
+      Oclick_hw.Platform.all
+  with
+  | Some p -> p
+  | None -> Tool_common.die "unknown platform %S (want P0, P1, P2 or P3)" name
+
+(* "uniform" | "scan:N" | "arp:N" | "burst:MEAN:ALPHA" *)
+let workload_of_spec spec =
+  let bad () = Tool_common.die "bad --workload %S" spec in
+  match String.split_on_char ':' spec with
+  | [ "uniform" ] -> Oclick_hw.Host.Uniform
+  | [ "scan"; n ] -> (
+      match int_of_string_opt n with
+      | Some n when n > 0 -> Oclick_hw.Host.Scan n
+      | _ -> bad ())
+  | [ "arp"; n ] -> (
+      match int_of_string_opt n with
+      | Some n when n > 0 -> Oclick_hw.Host.Arp_storm n
+      | _ -> bad ())
+  | [ "burst"; mean; alpha ] -> (
+      match (int_of_string_opt mean, float_of_string_opt alpha) with
+      | Some m, Some a when m > 0 && a > 0.0 -> Oclick_hw.Host.Burst (m, a)
+      | _ -> bad ())
+  | _ -> bad ()
+
+let json_of_config (c : Tune.config) =
+  let open Oclick_obs.Json in
+  Obj
+    [
+      ("mode", String (Tune.mode_name c.Tune.c_mode));
+      ("batch", Int c.Tune.c_batch);
+      ("domains", Int c.Tune.c_domains);
+      ("ring", Int c.Tune.c_ring);
+      ("queue", Int c.Tune.c_queue);
+      ( "early",
+        match c.Tune.c_early with
+        | None -> Null
+        | Some e ->
+            Obj
+              [
+                ("min", Int e.Tune.e_min);
+                ("max", Int e.Tune.e_max);
+                ("prob", Float e.Tune.e_prob);
+              ] );
+      ("watchdog_ms", Int c.Tune.c_watchdog_ms);
+    ]
+
+let run pps platform workload budget seed no_profile no_baselines json verbose
+    emit input =
+  if pps < 1 then Tool_common.die "bad --pps %d (must be at least 1)" pps;
+  if budget < 1 then
+    Tool_common.die "bad --budget %d (must be at least 1)" budget;
+  let source = Tool_common.read_input input in
+  let router = Tool_common.parse_router source in
+  let platform = platform_of_name platform in
+  let workload = workload_of_spec workload in
+  (* Measurement feedback: one single-domain profiling run supplies the
+     per-element costs that (a) weight the partitioner's LPT balance in
+     every multi-domain evaluation and (b) gate the compiled/fused modes
+     on whether any push region is hot enough to be worth collapsing. *)
+  let weights, shares =
+    if no_profile then (None, None)
+    else
+      match
+        Tune.profile ~workload ~platform ~graph:router ~input_pps:pps ()
+      with
+      | Error e -> Tool_common.die "profiling run failed: %s" e
+      | Ok w -> (
+          match Tune.region_shares ~weights:w router with
+          | Error e -> Tool_common.die "%s" e
+          | Ok s -> (Some w, Some s))
+  in
+  let space = Tune.default_space in
+  let space =
+    match shares with
+    | Some s when not (Tune.fusion_worthwhile s) ->
+        if verbose then
+          prerr_endline
+            "tune: no push region carries enough measured cost; \
+             dropping compiled/fused modes";
+        { space with Tune.s_modes = [ Tune.Interpreted ] }
+    | _ -> space
+  in
+  let ob =
+    Tune.objective ~workload ?weights ~platform ~graph:router ~input_pps:pps
+      ()
+  in
+  let extra_starts =
+    if no_baselines then [] else Tune.single_knob_defaults space
+  in
+  match Tune.search ~seed ~budget ~extra_starts ob space with
+  | Error e -> Tool_common.die "%s" e
+  | Ok t ->
+      if verbose then
+        List.iter (fun l -> prerr_endline ("tune: " ^ l)) t.Tune.t_log;
+      let best = t.Tune.t_config in
+      let annotated = Tune.annotate best router in
+      let file = match emit with Some f -> f | None -> "tuned.click" in
+      let cmd = Tune.command_line ~input:file best in
+      let header =
+        Printf.sprintf
+          "// tuned by oclick-tune: seed %d, budget %d, %d evaluation%s over \
+           %d points%s\n\
+           // %s\n\
+           // forwarded %.0f pps at %.1f ns/packet (simulated %s, %d pps \
+           offered)\n\
+           // %s\n"
+          seed t.Tune.t_budget t.Tune.t_evals
+          (if t.Tune.t_evals = 1 then "" else "s")
+          t.Tune.t_points
+          (if t.Tune.t_exhaustive then ", exhaustive" else "")
+          (Tune.describe best) t.Tune.t_score.Tune.sc_pps
+          t.Tune.t_score.Tune.sc_ns platform.Oclick_hw.Platform.p_name pps cmd
+      in
+      let text = header ^ Oclick_graph.Router.to_string annotated in
+      (match emit with
+      | None -> ()
+      | Some f ->
+          let oc = open_out f in
+          output_string oc text;
+          close_out oc);
+      if json then begin
+        let open Oclick_obs.Json in
+        let j =
+          Obj
+            [
+              ("tool", String "oclick-tune");
+              ("seed", Int seed);
+              ("budget", Int t.Tune.t_budget);
+              ("evals", Int t.Tune.t_evals);
+              ("points", Int t.Tune.t_points);
+              ("exhaustive", Bool t.Tune.t_exhaustive);
+              ("config", json_of_config best);
+              ("forwarded_pps", Float t.Tune.t_score.Tune.sc_pps);
+              ("ns_per_packet", Float t.Tune.t_score.Tune.sc_ns);
+              ("command_line", String cmd);
+            ]
+        in
+        print_endline (to_string j)
+      end
+      else print_string text
+
+let pps_arg =
+  Arg.(
+    value & opt int 40_000
+    & info [ "pps" ] ~docv:"N"
+        ~doc:"Offered load for the objective, aggregate packets/second.")
+
+let platform_arg =
+  Arg.(
+    value & opt string "P0"
+    & info [ "platform" ] ~docv:"NAME"
+        ~doc:"Simulated platform: P0, P1, P2 or P3 (see oclick-bench).")
+
+let workload_arg =
+  Arg.(
+    value & opt string "uniform"
+    & info [ "workload" ] ~docv:"SPEC"
+        ~doc:
+          "Traffic shape for the objective: $(b,uniform), $(b,scan:N), \
+           $(b,arp:N) or $(b,burst:MEAN:ALPHA).")
+
+let budget_arg =
+  Arg.(
+    value & opt int 64
+    & info [ "budget" ] ~docv:"N"
+        ~doc:
+          "Objective evaluation budget. Baseline configurations count \
+           against it; memoized repeats are free.")
+
+let seed_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "seed" ] ~docv:"N"
+        ~doc:
+          "Search seed. The objective is deterministic, so seed plus \
+           budget fully determine the tuned result.")
+
+let no_profile_arg =
+  Arg.(
+    value & flag
+    & info [ "no-profile" ]
+        ~doc:
+          "Skip the profiling pre-run: partition by static element \
+           counts and keep every datapath mode in the space.")
+
+let no_baselines_arg =
+  Arg.(
+    value & flag
+    & info [ "no-baselines" ]
+        ~doc:
+          "Don't seed the search with the single-knob default \
+           configurations (normally evaluated first so the tuned result \
+           can never lose to a one-flag variant).")
+
+let json_arg =
+  Arg.(
+    value & flag
+    & info [ "json" ]
+        ~doc:
+          "Print the tuning result as a JSON object instead of the \
+           annotated configuration.")
+
+let verbose_arg =
+  Arg.(
+    value & flag
+    & info [ "verbose"; "v" ]
+        ~doc:"Print the search trace to standard error.")
+
+let emit_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "emit" ] ~docv:"FILE"
+        ~doc:
+          "Also write the annotated configuration to $(docv); the tuned \
+           command line references it (default name: tuned.click).")
+
+let () =
+  Tool_common.run_tool "oclick-tune"
+    "Autotune datapath knobs for a Click configuration."
+    Term.(
+      const run $ pps_arg $ platform_arg $ workload_arg $ budget_arg
+      $ seed_arg $ no_profile_arg $ no_baselines_arg $ json_arg $ verbose_arg
+      $ emit_arg $ Tool_common.input_arg)

@@ -87,7 +87,8 @@ let ms n = n * 1_000_000
 
 let run ?(duration_ms = 60) ?(warmup_ms = 30) ?(drain_ms = 10) ?ports ?flows
     ?(payload_len = 14) ?fault ?(batch = 1) ?compile ?fuse ?obs ?(domains = 1)
-    ?(workload = Host.Uniform) ~platform ~graph ~input_pps () =
+    ?ring_capacity ?partition_weights ?(workload = Host.Uniform) ~platform
+    ~graph ~input_pps () =
   (* A caller may reuse one observability accumulator across consecutive
      runs (oclick-report's before/after passes, the MLFFR search); stale
      counters and element metadata from the previous run — possibly of a
@@ -107,7 +108,10 @@ let run ?(duration_ms = 60) ?(warmup_ms = 30) ?(drain_ms = 10) ?ports ?flows
      needed); [domains = 1] leaves the graph and schedule untouched. *)
   let partition =
     if domains = 1 then Ok None
-    else Result.map Option.some (Partition.compute ~domains graph)
+    else
+      Result.map Option.some
+        (Partition.compute ?ring_capacity ?weights:partition_weights ~domains
+           graph)
   in
   match partition with
   | Error e -> Error e

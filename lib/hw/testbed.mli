@@ -97,6 +97,8 @@ val run :
   ?fuse:bool ->
   ?obs:Oclick_obs.t ->
   ?domains:int ->
+  ?ring_capacity:int ->
+  ?partition_weights:int array ->
   ?workload:Host.workload ->
   platform:Platform.t ->
   graph:Oclick_graph.Router.t ->
@@ -141,7 +143,13 @@ val run :
     concurrently in simulated time. [r_cpu_utilization] then reports the
     busiest simulated CPU. Outcome totals, drop reasons, and the
     conservation ledger are computed exactly as for one domain, so
-    differential comparisons across domain counts are direct. *)
+    differential comparisons across domain counts are direct.
+    [ring_capacity] and [partition_weights] forward to
+    {!Oclick_parallel.Partition.compute}: the former sizes inserted cut
+    Queues, the latter supplies measured per-element costs (e.g.
+    {!Oclick_obs.cost_weights} from a single-domain profiling run of the
+    same graph) so the shard balance follows observed cycles — the
+    obs→placement feedback loop the tuner closes. *)
 
 val mlffr :
   ?ports:port_spec list ->

@@ -460,6 +460,19 @@ let total_wall_ns t =
 
 let total_drops t = Array.fold_left (fun a e -> a + e.el_drops) 0 t.elems
 
+(* Measured per-element costs as LPT weights for Partition.compute:
+   indexed by element index, floored at 1 so an element the profiling
+   run never touched still counts as present. *)
+let cost_weights ?(wall = false) t =
+  let n = Array.length t.elems in
+  let a = Array.make (max n 1) 1 in
+  Array.iteri
+    (fun idx e ->
+      let c = if wall then e.el_wall_ns else e.el_sim_ns in
+      a.(idx) <- max 1 c)
+    t.elems;
+  a
+
 let drop_reasons t =
   let acc : (string, int ref) Hashtbl.t = Hashtbl.create 16 in
   Array.iter
@@ -722,8 +735,74 @@ module Report = struct
            | 0 -> compare a.s_idx b.s_idx
            | c -> c)
 
-  let table mode t =
-    let rows = sorted mode t in
+  (* Truncation never drops cost: rows past the cutoff collapse into a
+     synthetic "(other)" aggregate (index -1), so totals and validate's
+     cost-sum invariant hold for any [top]. *)
+  let truncate top rows =
+    match top with
+    | None -> rows
+    | Some n when n <= 0 || List.length rows <= n -> rows
+    | Some n ->
+        let rec split i = function
+          | r :: rest when i < n ->
+              let keep, drop = split (i + 1) rest in
+              (r :: keep, drop)
+          | rest -> ([], rest)
+        in
+        let keep, rest = split 0 rows in
+        let merge_reasons acc rs =
+          List.fold_left
+            (fun acc (k, v) ->
+              match List.assoc_opt k acc with
+              | Some v0 -> (k, v0 + v) :: List.remove_assoc k acc
+              | None -> (k, v) :: acc)
+            acc rs
+        in
+        let other =
+          List.fold_left
+            (fun a s ->
+              {
+                a with
+                s_pushes = a.s_pushes + s.s_pushes;
+                s_pulls = a.s_pulls + s.s_pulls;
+                s_batches = a.s_batches + s.s_batches;
+                s_in = a.s_in + s.s_in;
+                s_out = a.s_out + s.s_out;
+                s_drop_reasons =
+                  merge_reasons a.s_drop_reasons s.s_drop_reasons;
+                s_drops = a.s_drops + s.s_drops;
+                s_spawns = a.s_spawns + s.s_spawns;
+                s_work = a.s_work + s.s_work;
+                s_recycles = a.s_recycles + s.s_recycles;
+                s_sim_ns = a.s_sim_ns + s.s_sim_ns;
+                s_wall_ns = a.s_wall_ns + s.s_wall_ns;
+              })
+            {
+              s_idx = -1;
+              s_name = Printf.sprintf "(other: %d)" (List.length rest);
+              s_class = "-";
+              s_pushes = 0;
+              s_pulls = 0;
+              s_batches = 0;
+              s_in = 0;
+              s_out = 0;
+              s_in_ports = [];
+              s_out_ports = [];
+              s_drop_reasons = [];
+              s_drops = 0;
+              s_spawns = 0;
+              s_work = 0;
+              s_recycles = 0;
+              s_sim_ns = 0;
+              s_wall_ns = 0;
+            }
+            rest
+        in
+        keep
+        @ [ { other with s_drop_reasons = List.sort compare other.s_drop_reasons } ]
+
+  let table ?top mode t =
+    let rows = truncate top (sorted mode t) in
     let total = List.fold_left (fun a s -> a +. cost_of mode s) 0.0 rows in
     let t_in = List.fold_left (fun a s -> a + s.s_in) 0 rows in
     let t_out = List.fold_left (fun a s -> a + s.s_out) 0 rows in
@@ -750,8 +829,8 @@ module Report = struct
          "total" "" t_in t_out t_drops total "" 100.0);
     Buffer.contents b
 
-  let json mode t =
-    let rows = sorted mode t in
+  let json ?top mode t =
+    let rows = truncate top (sorted mode t) in
     let total = List.fold_left (fun a s -> a +. cost_of mode s) 0.0 rows in
     let elements =
       List.map

@@ -132,6 +132,15 @@ val total_sim_ns : t -> int
 val total_wall_ns : t -> int
 val total_drops : t -> int
 
+val cost_weights : ?wall:bool -> t -> int array
+(** The measured cost columns as partition weights: entry [i] is element
+    [i]'s simulated nanoseconds ([~wall:true]: wall-clock nanoseconds),
+    floored at 1 so untouched elements still count as present. Indexed
+    by the same dense element indices the driver reports to hooks, which
+    is exactly the convention {!Oclick_parallel.Partition.compute}
+    expects for its [?weights] — feed a single-domain profiling run's
+    ledger straight in to balance shards by observed cost. *)
+
 val drop_reasons : t -> (string * int) list
 (** Drop totals per reason across all elements, sorted — directly
     comparable with the testbed ledger's drop table. *)
@@ -159,13 +168,18 @@ module Report : sig
     | Sim of float  (** CPU MHz — cost column is simulated cycles *)
     | Wall  (** cost column is wall-clock nanoseconds *)
 
-  val table : mode -> t -> string
+  val table : ?top:int -> mode -> t -> string
   (** Text table: one row per element, sorted by cost descending, with
-      a cost-per-packet column and percent of total. *)
+      a cost-per-packet column and percent of total. [?top] keeps only
+      the [top] most expensive rows and collapses the rest into a
+      single ["(other: n)"] aggregate row (index -1), so the table
+      still sums to the same totals. [top <= 0] means no truncation. *)
 
-  val json : mode -> t -> Json.value
-  (** The same data as {!table}: an object with [cost_unit],
-      [total_ns], [total_cost] and an [elements] array. *)
+  val json : ?top:int -> mode -> t -> Json.value
+  (** The same data as {!table}, including its [?top] truncation: an
+      object with [cost_unit], [total_ns], [total_cost] and an
+      [elements] array. Truncated output still passes {!validate} —
+      the aggregate row carries the tail's cost. *)
 
   val validate : Json.value -> (unit, string) result
   (** Schema check for {!json} output (shape, field types, and that

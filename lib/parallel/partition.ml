@@ -205,27 +205,46 @@ let insert_stage g ~ring_capacity (h : Router.hookup) =
       to_port = h.to_port };
   (qi, ui)
 
+(* --- element weights ----------------------------------------------------- *)
+
+(* Cost per element for the LPT balance. Without measured weights every
+   element counts 1 (region size, the static heuristic). With a measured
+   ledger, an element's weight is its observed cost; indices past the
+   array (stages this pass inserts after the profiling run) and
+   non-positive entries (elements the profile never touched) fall back
+   to 1 so totals stay positive and the ordering total. *)
+let weight_of weights i =
+  match weights with
+  | None -> 1
+  | Some a -> if i < Array.length a && a.(i) > 0 then a.(i) else 1
+
+let region_weight weights region =
+  List.fold_left (fun acc i -> acc + weight_of weights i) 0 region
+
 (* Whether the existing Queue boundaries already yield a partition that
    can occupy [domains] shards without one region dominating. *)
-let balanced_enough g uf ~domains =
+let balanced_enough g uf ~weights ~domains =
   let regions = regions_of_uf g uf in
-  let total = Router.size g in
+  let total =
+    List.fold_left (fun a i -> a + weight_of weights i) 0 (Router.indices g)
+  in
   let largest =
-    List.fold_left (fun m r -> max m (List.length r)) 0 regions
+    List.fold_left (fun m r -> max m (region_weight weights r)) 0 regions
   in
   List.length regions >= domains
   && largest <= (total + domains - 1) / domains
 
 (* --- shard assignment ---------------------------------------------------- *)
 
-(* Longest-processing-time greedy: biggest region first onto the least
+(* Longest-processing-time greedy: heaviest region first onto the least
    loaded shard. Ties break on lowest region min-index / lowest shard
-   index, so the assignment is deterministic. *)
-let assign_shards regions ~domains =
+   index, so the assignment is a pure function of (graph, domains,
+   weights) — byte-identical across repeated calls on equal inputs. *)
+let assign_shards regions ~weights ~domains =
   let ordered =
     List.sort
       (fun a b ->
-        match compare (List.length b) (List.length a) with
+        match compare (region_weight weights b) (region_weight weights a) with
         | 0 -> compare (List.hd a) (List.hd b)
         | c -> c)
       regions
@@ -237,7 +256,7 @@ let assign_shards regions ~domains =
       for s = 1 to domains - 1 do
         if load.(s) < load.(!best) then best := s
       done;
-      load.(!best) <- load.(!best) + List.length region;
+      load.(!best) <- load.(!best) + region_weight weights region;
       (region, !best))
     ordered
 
@@ -255,7 +274,7 @@ let trivial g =
     pt_inserted = [];
   }
 
-let compute ?(ring_capacity = 128) ~domains source_graph =
+let compute ?(ring_capacity = 128) ?weights ~domains source_graph =
   if domains < 1 then
     Error (Printf.sprintf "partition: bad domain count %d" domains)
   else if ring_capacity < 1 then
@@ -269,7 +288,7 @@ let compute ?(ring_capacity = 128) ~domains source_graph =
     | Error msgs -> Error (String.concat "\n" msgs)
     | Ok resolved ->
         let inserted =
-          if balanced_enough g (region_uf g) ~domains then []
+          if balanced_enough g (region_uf g) ~weights ~domains then []
           else begin
             let succs = push_succs g resolved in
             let sources =
@@ -304,7 +323,7 @@ let compute ?(ring_capacity = 128) ~domains source_graph =
         let shard_of = Array.make n (-1) in
         List.iter
           (fun (region, s) -> List.iter (fun i -> shard_of.(i) <- s) region)
-          (assign_shards regions ~domains);
+          (assign_shards regions ~weights ~domains);
         let shards =
           Array.init domains (fun s ->
               List.filter (fun i -> shard_of.(i) = s) (Router.indices g))
@@ -344,7 +363,15 @@ let compute ?(ring_capacity = 128) ~domains source_graph =
           }
   end
 
+let regions graph =
+  let g = Router.of_ast_exn (Router.to_ast graph) in
+  match Check.resolve_processing g Registry.spec_table with
+  | Error msgs -> Error (String.concat "\n" msgs)
+  | Ok _ -> Ok (regions_of_uf g (region_uf g))
+
 let shard_counts t = Array.map List.length t.pt_shards
+
+let shard_weights ?weights t = Array.map (region_weight weights) t.pt_shards
 
 let cut_of_queue t qi =
   List.find_opt (fun c -> c.cut_queue = qi) t.pt_cuts

@@ -20,9 +20,19 @@
     in is pushed out in order); it exists to give the scheduler a place
     to cut.
 
-    The partition is a pure graph analysis: deterministic for a given
-    graph and domain count, independent of element state, and usable
-    both by the real multi-domain runner ({!Runner}) and by the
+    Shard balance is longest-processing-time greedy over the regions.
+    By default every element weighs 1, so LPT balances element counts —
+    the static heuristic. A profiling run can do better: pass the
+    per-element costs measured by an {!Oclick_obs.t} ledger as
+    [?weights] and LPT balances shards by observed cycles instead, so a
+    region of few expensive elements no longer shares a shard with
+    another heavy region just because both look small.
+
+    The partition is a pure function of its inputs — graph, domain
+    count, ring capacity, and weights — independent of element state:
+    identical inputs produce byte-identical outputs (same transformed
+    graph text, same [pt_shard_of], same cut list, in the same order).
+    Usable both by the real multi-domain runner ({!Runner}) and by the
     simulated testbed. *)
 
 type owner =
@@ -53,6 +63,7 @@ type t = {
 
 val compute :
   ?ring_capacity:int ->
+  ?weights:int array ->
   domains:int ->
   Oclick_graph.Router.t ->
   (t, string) result
@@ -61,14 +72,37 @@ val compute :
     [ring_capacity] (default 128) is the capacity given to inserted
     Queues; pre-existing Queues keep their configured capacity.
 
+    [weights] supplies measured per-element costs for the LPT balance,
+    indexed by the {e normalized} graph's dense declaration-order
+    indices — the indices {!Oclick_runtime.Driver.instantiate} reports
+    to hooks for this same graph, so a ledger from a single-domain
+    profiling run lines up directly ({!Oclick_obs.cost_weights}).
+    Missing indices (e.g. stages this pass inserts) and non-positive
+    entries weigh 1. Omitted, every element weighs 1 and the balance
+    degenerates to the static region-size heuristic.
+
     [domains = 1] returns the trivial partition (everything in shard 0,
     no cuts, no insertion) without transforming the graph. Errors if
     [domains < 1] or if the graph fails processing resolution. Requires
     the element registry to be populated
     ([Oclick_elements.register_all]). *)
 
+val regions : Oclick_graph.Router.t -> (int list list, string) result
+(** The Queue-bounded regions of the {e normalized} graph, without any
+    boundary insertion: each region is the ascending element indices of
+    one group that a cut can never separate, sorted by least member.
+    These are exactly the push regions whole-region optimizations (the
+    datapath compiler, FDD fusion) collapse, so a measured ledger's
+    per-region cost share says which regions such a pass can pay off
+    on. Errors if processing resolution fails. *)
+
 val shard_counts : t -> int array
 (** Elements per shard. *)
+
+val shard_weights : ?weights:int array -> t -> int array
+(** Total weight per shard under the same weight convention as
+    {!compute} (1 per element when [weights] is omitted) — the load the
+    LPT balance distributed. *)
 
 val cut_of_queue : t -> int -> cut option
 (** The cut at a given element index, if that Queue is cut. *)

@@ -32,7 +32,8 @@ let queue_capacity e =
 let create ?(hooks_for = fun _ -> Hooks.null) ?(devices = []) ?(batch = 1)
     ?(pool = false) ?(pool_capacity = 1024)
     ?(pool_buf_size = Packet.Pool.default_buf_size) ?(pool_slab = true)
-    ?(compile = false) ?(fuse = false) ?ring_capacity ?clock ~domains graph =
+    ?(compile = false) ?(fuse = false) ?ring_capacity ?weights ?clock ~domains
+    graph =
   let make_pool () =
     Packet.Pool.create ~capacity:pool_capacity ~buf_size:pool_buf_size
       ~slab:pool_slab ()
@@ -63,7 +64,7 @@ let create ?(hooks_for = fun _ -> Hooks.null) ?(devices = []) ?(batch = 1)
           }
   end
   else begin
-    match Partition.compute ?ring_capacity ~domains graph with
+    match Partition.compute ?ring_capacity ?weights ~domains graph with
     | Error e -> Error e
     | Ok part -> (
         let pools =

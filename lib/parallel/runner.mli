@@ -34,6 +34,7 @@ val create :
   ?compile:bool ->
   ?fuse:bool ->
   ?ring_capacity:int ->
+  ?weights:int array ->
   ?clock:(unit -> int) ->
   domains:int ->
   Oclick_graph.Router.t ->
@@ -55,7 +56,12 @@ val create :
     [pool_buf_size]-byte buffers (see {!Oclick_packet.Packet.Pool});
     [pool_slab:false] keeps the pools on the heap-[Bytes]
     representation. Packets crossing cut rings carry their off-heap
-    payload with them — the handoff moves descriptors only. *)
+    payload with them — the handoff moves descriptors only.
+
+    [weights] forwards measured per-element costs to
+    {!Partition.compute}, so the LPT balance places shards by observed
+    cycles instead of element counts (see [oclick-run
+    --profile-partition]). *)
 
 type report = {
   rp_converged : bool;

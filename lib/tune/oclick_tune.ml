@@ -1,0 +1,430 @@
+module Router = Oclick_graph.Router
+module Testbed = Oclick_hw.Testbed
+module Partition = Oclick_parallel.Partition
+module Args = Oclick_lang.Args
+
+(* ------------------------------------------------------------------ *)
+(* Knobs *)
+
+type mode = Interpreted | Compiled | Fused
+
+let mode_name = function
+  | Interpreted -> "interpreted"
+  | Compiled -> "compiled"
+  | Fused -> "fused"
+
+let mode_of_name = function
+  | "interpreted" -> Some Interpreted
+  | "compiled" -> Some Compiled
+  | "fused" -> Some Fused
+  | _ -> None
+
+type early = { e_min : int; e_max : int; e_prob : float }
+
+type config = {
+  c_mode : mode;
+  c_batch : int;
+  c_domains : int;
+  c_ring : int;
+  c_queue : int;
+  c_early : early option;
+  c_watchdog_ms : int;
+}
+
+let early_str = function
+  | None -> "-"
+  | Some e -> Printf.sprintf "%d:%d:%g" e.e_min e.e_max e.e_prob
+
+let describe c =
+  Printf.sprintf "mode=%s batch=%d domains=%d ring=%d queue=%d early=%s \
+                  watchdog=%d"
+    (mode_name c.c_mode) c.c_batch c.c_domains c.c_ring c.c_queue
+    (early_str c.c_early) c.c_watchdog_ms
+
+type space = {
+  s_modes : mode list;
+  s_batches : int list;
+  s_domains : int list;
+  s_rings : int list;
+  s_queues : int list;
+  s_earlies : early option list;
+  s_watchdogs : int list;
+}
+
+let default_space =
+  {
+    s_modes = [ Interpreted; Compiled; Fused ];
+    s_batches = [ 1; 8; 32 ];
+    s_domains = [ 1; 2; 4 ];
+    s_rings = [ 128; 1024 ];
+    s_queues = [ 0; 1000 ];
+    s_earlies = [ None; Some { e_min = 50; e_max = 400; e_prob = 0.02 } ];
+    s_watchdogs = [ 1000 ];
+  }
+
+(* The space as setter axes: searching is index arithmetic over these,
+   so one config type serves every knob uniformly. *)
+let axes space =
+  [|
+    ("mode", List.map (fun v c -> { c with c_mode = v }) space.s_modes);
+    ("batch", List.map (fun v c -> { c with c_batch = v }) space.s_batches);
+    ("domains", List.map (fun v c -> { c with c_domains = v }) space.s_domains);
+    ("ring", List.map (fun v c -> { c with c_ring = v }) space.s_rings);
+    ("queue", List.map (fun v c -> { c with c_queue = v }) space.s_queues);
+    ("early", List.map (fun v c -> { c with c_early = v }) space.s_earlies);
+    ( "watchdog",
+      List.map (fun v c -> { c with c_watchdog_ms = v }) space.s_watchdogs );
+  |]
+
+let points space =
+  Array.fold_left
+    (fun acc (_, ax) -> acc * List.length ax)
+    1 (axes space)
+
+let validate space =
+  let pos name l =
+    if l = [] then Error (Printf.sprintf "tune: empty %s axis" name)
+    else if List.exists (fun v -> v < 1) l then
+      Error (Printf.sprintf "tune: non-positive %s candidate" name)
+    else Ok ()
+  in
+  let ( >>= ) r f = Result.bind r (fun () -> f ()) in
+  (if space.s_modes = [] then Error "tune: empty mode axis" else Ok ())
+  >>= fun () ->
+  pos "batch" space.s_batches >>= fun () ->
+  pos "domains" space.s_domains >>= fun () ->
+  pos "ring" space.s_rings >>= fun () ->
+  (if space.s_queues = [] then Error "tune: empty queue axis"
+   else if List.exists (fun v -> v < 0) space.s_queues then
+     Error "tune: negative queue candidate"
+   else Ok ())
+  >>= fun () ->
+  (if space.s_earlies = [] then Error "tune: empty early axis" else Ok ())
+  >>= fun () -> pos "watchdog" space.s_watchdogs
+
+let base_config space =
+  {
+    c_mode = List.hd space.s_modes;
+    c_batch = List.hd space.s_batches;
+    c_domains = List.hd space.s_domains;
+    c_ring = List.hd space.s_rings;
+    c_queue = List.hd space.s_queues;
+    c_early = List.hd space.s_earlies;
+    c_watchdog_ms = List.hd space.s_watchdogs;
+  }
+
+let single_knob_defaults space =
+  let base = base_config space in
+  let variants =
+    Array.to_list (axes space)
+    |> List.concat_map (fun (_, setters) ->
+           List.map (fun set -> set base) setters)
+  in
+  let seen = Hashtbl.create 16 in
+  List.filter
+    (fun c ->
+      if Hashtbl.mem seen c then false
+      else begin
+        Hashtbl.replace seen c ();
+        true
+      end)
+    (base :: variants)
+
+(* ------------------------------------------------------------------ *)
+(* Annotation: write chosen capacities into element arguments *)
+
+let starts_with_early s =
+  String.length s >= 5 && String.equal (String.sub s 0 5) "EARLY"
+
+(* Click keyword arguments lead with an uppercase word; positional
+   arguments (a Queue's capacity) don't. *)
+let is_keyword part =
+  String.length part > 0 && part.[0] >= 'A' && part.[0] <= 'Z'
+
+let annotate c graph =
+  let g = Router.copy graph in
+  List.iter
+    (fun i ->
+      if String.equal (Router.class_of g i) "Queue" then begin
+        let parts = List.map String.trim (Args.split (Router.config g i)) in
+        let parts = List.filter (fun p -> p <> "") parts in
+        let positional, keywords = List.partition (fun p -> not (is_keyword p)) parts in
+        let capacity =
+          if c.c_queue > 0 then [ string_of_int c.c_queue ] else positional
+        in
+        let others = List.filter (fun p -> not (starts_with_early p)) keywords in
+        let early =
+          match c.c_early with
+          | Some e ->
+              [ Printf.sprintf "EARLY %d %d %g" e.e_min e.e_max e.e_prob ]
+          | None -> List.filter starts_with_early keywords
+        in
+        Router.set_config g i (String.concat ", " (capacity @ others @ early))
+      end)
+    (Router.indices g);
+  g
+
+let command_line ?(input = "tuned.click") c =
+  let b = Buffer.create 64 in
+  Buffer.add_string b "oclick-run";
+  (match c.c_mode with
+  | Interpreted -> ()
+  | Compiled -> Buffer.add_string b " --compile"
+  | Fused -> Buffer.add_string b " --fuse");
+  if c.c_batch > 1 then Buffer.add_string b (Printf.sprintf " --batch %d" c.c_batch);
+  if c.c_domains > 1 then begin
+    Buffer.add_string b (Printf.sprintf " --domains %d" c.c_domains);
+    Buffer.add_string b (Printf.sprintf " --ring-capacity %d" c.c_ring);
+    Buffer.add_string b (Printf.sprintf " --watchdog-ms %d" c.c_watchdog_ms)
+  end;
+  Buffer.add_char b ' ';
+  Buffer.add_string b input;
+  Buffer.contents b
+
+(* ------------------------------------------------------------------ *)
+(* Objective *)
+
+type objective = {
+  ob_platform : Oclick_hw.Platform.t;
+  ob_graph : Router.t;
+  ob_input_pps : int;
+  ob_workload : Oclick_hw.Host.workload;
+  ob_duration_ms : int option;
+  ob_warmup_ms : int option;
+  ob_drain_ms : int option;
+  ob_weights : int array option;
+}
+
+let objective ?duration_ms ?warmup_ms ?drain_ms
+    ?(workload = Oclick_hw.Host.Uniform) ?weights ~platform ~graph ~input_pps
+    () =
+  {
+    ob_platform = platform;
+    ob_graph = graph;
+    ob_input_pps = input_pps;
+    ob_workload = workload;
+    ob_duration_ms = duration_ms;
+    ob_warmup_ms = warmup_ms;
+    ob_drain_ms = drain_ms;
+    ob_weights = weights;
+  }
+
+type score = { sc_pps : float; sc_ns : float }
+
+let better a b =
+  a.sc_pps > b.sc_pps || (a.sc_pps = b.sc_pps && a.sc_ns < b.sc_ns)
+
+let eval ob c =
+  let graph = annotate c ob.ob_graph in
+  match
+    Testbed.run ?duration_ms:ob.ob_duration_ms ?warmup_ms:ob.ob_warmup_ms
+      ?drain_ms:ob.ob_drain_ms ~batch:c.c_batch
+      ~compile:(c.c_mode <> Interpreted)
+      ~fuse:(c.c_mode = Fused) ~domains:c.c_domains ~ring_capacity:c.c_ring
+      ?partition_weights:ob.ob_weights ~workload:ob.ob_workload
+      ~platform:ob.ob_platform ~graph ~input_pps:ob.ob_input_pps ()
+  with
+  | Error e -> Error e
+  | Ok r ->
+      Ok
+        {
+          sc_pps = r.Testbed.r_forwarded_pps;
+          sc_ns = r.Testbed.r_total_ns;
+        }
+
+(* ------------------------------------------------------------------ *)
+(* Search *)
+
+type tuned = {
+  t_config : config;
+  t_score : score;
+  t_evals : int;
+  t_budget : int;
+  t_points : int;
+  t_exhaustive : bool;
+  t_log : string list;
+}
+
+exception Budget
+exception Fail of string
+
+(* Deterministic PRNG for the start point — the only randomness in the
+   search, so seed + budget fully determine the result. *)
+let lcg s = ((s * 1103515245) + 12345) land 0x3FFFFFFF
+
+let search ?(seed = 1) ?(budget = 64) ?(exhaustive_threshold = 32)
+    ?(extra_starts = []) ob space =
+  match validate space with
+  | Error _ as e -> e
+  | Ok () ->
+      if budget < 1 then
+        Error
+          (Printf.sprintf
+             "tune: search budget %d (need at least one evaluation)" budget)
+      else begin
+        let axes = axes space in
+        let naxes = Array.length axes in
+        let setters = Array.map (fun (_, ax) -> Array.of_list ax) axes in
+        let base = base_config space in
+        let config_of ix =
+          let c = ref base in
+          Array.iteri (fun k j -> c := setters.(k).(j) !c) ix;
+          !c
+        in
+        let npoints = points space in
+        let memo : (config, score) Hashtbl.t = Hashtbl.create 64 in
+        let evals = ref 0 in
+        let best = ref None in
+        let log = ref [] in
+        let note fmt = Printf.ksprintf (fun s -> log := s :: !log) fmt in
+        let eval_config c =
+          match Hashtbl.find_opt memo c with
+          | Some s -> s
+          | None ->
+              if !evals >= budget then raise Budget;
+              incr evals;
+              let s =
+                match eval ob c with Error e -> raise (Fail e) | Ok s -> s
+              in
+              Hashtbl.replace memo c s;
+              (match !best with
+              | Some (_, bs) when not (better s bs) -> ()
+              | _ -> best := Some (c, s));
+              s
+        in
+        let eval_ix ix = eval_config (config_of ix) in
+        let exhaustive = npoints <= min budget exhaustive_threshold in
+        (try
+           (* Baselines first: ties in the final argmax resolve toward
+              the earliest evaluation, i.e. toward a named default. *)
+           List.iter (fun c -> ignore (eval_config c)) extra_starts;
+           if exhaustive then begin
+             note "exhaustive: %d points" npoints;
+             let ix = Array.make naxes 0 in
+             let rec enum k =
+               if k = naxes then ignore (eval_ix ix)
+               else
+                 for j = 0 to Array.length setters.(k) - 1 do
+                   ix.(k) <- j;
+                   enum (k + 1)
+                 done
+             in
+             enum 0
+           end
+           else begin
+             let rng = ref (max 1 seed) in
+             let next () =
+               rng := lcg !rng;
+               !rng
+             in
+             let ix =
+               Array.init naxes (fun k ->
+                   next () mod Array.length setters.(k))
+             in
+             note "coordinate descent from seed %d: %s" seed
+               (describe (config_of ix));
+             let score_at ix = eval_ix ix in
+             let improved = ref true in
+             while !improved do
+               improved := false;
+               for k = 0 to naxes - 1 do
+                 let len = Array.length setters.(k) in
+                 let cands =
+                   List.sort_uniq compare [ 0; len / 2; len - 1; ix.(k) ]
+                 in
+                 let cur = ref (score_at ix) in
+                 List.iter
+                   (fun j ->
+                     if j <> ix.(k) then begin
+                       let trial = Array.copy ix in
+                       trial.(k) <- j;
+                       let s = score_at trial in
+                       if better s !cur then begin
+                         ix.(k) <- j;
+                         cur := s;
+                         improved := true
+                       end
+                     end)
+                   cands
+               done
+             done;
+             note "coarse optimum: %s" (describe (config_of ix));
+             let improved = ref true in
+             while !improved do
+               improved := false;
+               for k = 0 to naxes - 1 do
+                 let len = Array.length setters.(k) in
+                 List.iter
+                   (fun dj ->
+                     let j = ix.(k) + dj in
+                     if j >= 0 && j < len then begin
+                       let trial = Array.copy ix in
+                       trial.(k) <- j;
+                       if better (score_at trial) (score_at ix) then begin
+                         ix.(k) <- j;
+                         improved := true
+                       end
+                     end)
+                   [ -1; 1 ]
+               done
+             done;
+             note "refined optimum: %s" (describe (config_of ix))
+           end
+         with Budget -> note "budget exhausted after %d evaluations" !evals);
+        match !best with
+        | None ->
+            (* budget >= 1 and at least one point exists, so the only
+               way here is an empty space — already rejected above. *)
+            Error "tune: nothing evaluated"
+        | Some (c, s) ->
+            note "best: %s" (describe c);
+            Ok
+              {
+                t_config = c;
+                t_score = s;
+                t_evals = !evals;
+                t_budget = budget;
+                t_points = npoints;
+                t_exhaustive = exhaustive;
+                t_log = List.rev !log;
+              }
+      end
+
+let search ?seed ?budget ?exhaustive_threshold ?extra_starts ob space =
+  try search ?seed ?budget ?exhaustive_threshold ?extra_starts ob space
+  with Fail e -> Error (Printf.sprintf "tune: objective failed: %s" e)
+
+(* ------------------------------------------------------------------ *)
+(* Measurement feedback *)
+
+let profile ?duration_ms ?warmup_ms ?drain_ms ?workload ~platform ~graph
+    ~input_pps () =
+  let obs = Oclick_obs.create () in
+  match
+    Testbed.run ?duration_ms ?warmup_ms ?drain_ms ?workload ~obs ~domains:1
+      ~platform ~graph ~input_pps ()
+  with
+  | Error e -> Error e
+  | Ok _ -> Ok (Oclick_obs.cost_weights obs)
+
+let region_shares ~weights graph =
+  match Partition.regions graph with
+  | Error e -> Error e
+  | Ok regions ->
+      let weight_of i =
+        if i < Array.length weights && weights.(i) > 0 then weights.(i) else 1
+      in
+      let region_w r = List.fold_left (fun a i -> a + weight_of i) 0 r in
+      let total =
+        List.fold_left (fun a r -> a + region_w r) 0 regions
+      in
+      Ok
+        (List.map
+           (fun r ->
+             (r, if total = 0 then 0.0 else float_of_int (region_w r) /. float_of_int total))
+           regions)
+
+let fusion_worthwhile ?(threshold = 0.15) shares =
+  List.exists
+    (fun (region, share) -> List.length region > 1 && share >= threshold)
+    shares

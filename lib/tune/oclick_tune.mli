@@ -1,0 +1,200 @@
+(** Profile-guided autotuning over the datapath knob space.
+
+    The deterministic testbed ({!Oclick_hw.Testbed}) is the objective
+    function: every candidate configuration runs the same simulated
+    traffic, so the search is reproducible — same graph, same knob
+    space, same seed and budget give byte-identical tuning decisions.
+
+    A {!config} is one point in the knob space: datapath mode
+    (interpreted / compiled / FDD-fused), transfer batch size, domain
+    count, SPSC ring capacity for inserted cut stages, Queue capacity
+    and RED/EARLY overrides, and the runner watchdog interval. A
+    {!space} declares the candidate values per knob; {!search} walks it
+    with a seeded, budgeted strategy — exhaustive when the space is
+    small enough, otherwise coordinate descent over a coarse per-axis
+    grid followed by ±1 local refinement — and returns the best point
+    over {e every} evaluation it performed, so any configuration fed in
+    through [extra_starts] (e.g. the single-knob defaults a benchmark
+    wants beaten) is a floor on the result.
+
+    The measurement feedback loop: {!profile} runs the testbed once
+    single-domain with an {!Oclick_obs.t} ledger and returns its
+    measured per-element costs; passed back in as objective [weights],
+    every multi-domain evaluation partitions by observed cycles instead
+    of element counts, and {!region_shares} says which Queue-bounded
+    push regions carry enough of the measured cost for whole-region
+    compilation/fusion to pay off ({!fusion_worthwhile} prunes the mode
+    axis when none does). *)
+
+(** Datapath execution mode — which code path the tuned command runs. *)
+type mode =
+  | Interpreted  (** plain indirect dispatch *)
+  | Compiled  (** whole-graph compiler ([--compile]) *)
+  | Fused  (** FDD fusion inside compilation ([--fuse]) *)
+
+val mode_name : mode -> string
+(** ["interpreted"], ["compiled"], ["fused"]. *)
+
+val mode_of_name : string -> mode option
+
+type early = { e_min : int; e_max : int; e_prob : float }
+(** A RED/EARLY drop profile for Queues: [EARLY MIN MAX P]. *)
+
+type config = {
+  c_mode : mode;
+  c_batch : int;  (** transfer batch size, >= 1 *)
+  c_domains : int;  (** shard count, >= 1 *)
+  c_ring : int;  (** capacity of inserted cut rings, >= 1 *)
+  c_queue : int;  (** Queue capacity override; 0 keeps configured *)
+  c_early : early option;  (** EARLY override; [None] keeps configured *)
+  c_watchdog_ms : int;
+      (** runner watchdog deadline; inert in the simulated objective
+          (the simulation cannot wedge) but emitted with the tuned
+          command line *)
+}
+
+val describe : config -> string
+(** One deterministic line, e.g.
+    ["mode=fused batch=8 domains=2 ring=128 queue=1000 early=- watchdog=1000"]. *)
+
+type space = {
+  s_modes : mode list;
+  s_batches : int list;
+  s_domains : int list;
+  s_rings : int list;
+  s_queues : int list;  (** capacity candidates; 0 = keep configured *)
+  s_earlies : early option list;
+  s_watchdogs : int list;
+}
+(** Candidate values per knob. Every axis must be non-empty; the space
+    is their cross product. *)
+
+val default_space : space
+(** The stock grid: all three modes, batches {1,8,32}, domains {1,2,4},
+    rings {128,1024}, queue capacities {keep,1000}, no EARLY override
+    vs a gentle one, watchdog {1000}. *)
+
+val points : space -> int
+(** Size of the cross product (0 if any axis is empty). *)
+
+val single_knob_defaults : space -> config list
+(** The baseline sweep a tuned result must beat: the all-defaults
+    config (first candidate of every axis) plus, for each axis, the
+    configs that vary only that axis — what a user flipping one flag at
+    a time could find. *)
+
+(** {2 Objective} *)
+
+type objective
+
+val objective :
+  ?duration_ms:int ->
+  ?warmup_ms:int ->
+  ?drain_ms:int ->
+  ?workload:Oclick_hw.Host.workload ->
+  ?weights:int array ->
+  platform:Oclick_hw.Platform.t ->
+  graph:Oclick_graph.Router.t ->
+  input_pps:int ->
+  unit ->
+  objective
+(** The tuning objective: run [graph] on [platform] at [input_pps]
+    under [workload] (default [Uniform]) in the simulated testbed.
+    Window parameters default to the testbed's. [weights] are measured
+    per-element costs ({!profile}) forwarded to the partitioner for
+    every multi-domain evaluation. *)
+
+type score = {
+  sc_pps : float;  (** forwarded packets per second — maximized first *)
+  sc_ns : float;  (** CPU ns per forwarded packet — tie-breaker *)
+}
+
+val better : score -> score -> bool
+(** Strict lexicographic: more forwarded pps, or equal pps and less CPU
+    per packet — so below saturation, where every loss-free config ties
+    on throughput, the search still discriminates by cost. *)
+
+val eval : objective -> config -> (score, string) result
+(** Run one configuration through the testbed: the graph annotated with
+    [c]'s Queue overrides ({!annotate}), the datapath in [c]'s mode
+    with [c]'s batch/domains/ring, weights forwarded if the objective
+    carries them. Deterministic. *)
+
+(** {2 Search} *)
+
+type tuned = {
+  t_config : config;
+  t_score : score;
+  t_evals : int;  (** objective evaluations actually performed *)
+  t_budget : int;  (** the evaluation budget given *)
+  t_points : int;  (** size of the space searched *)
+  t_exhaustive : bool;  (** whole space enumerated *)
+  t_log : string list;  (** deterministic, human-readable trace *)
+}
+
+val search :
+  ?seed:int ->
+  ?budget:int ->
+  ?exhaustive_threshold:int ->
+  ?extra_starts:config list ->
+  objective ->
+  space ->
+  (tuned, string) result
+(** Tune. [budget] (default 64) caps objective evaluations; memoized
+    repeats are free. If the space fits inside both the budget and
+    [exhaustive_threshold] (default 32) it is enumerated outright;
+    otherwise coordinate descent from a seeded start over each axis's
+    {first, middle, last} candidates runs to a fixpoint, then ±1
+    refinement. [extra_starts] are evaluated first (they count against
+    the budget) and participate in the final argmax, so the result is
+    never worse than any of them. Errors on an empty axis, a
+    non-positive knob value, [budget < 1], or an objective failure —
+    one clean diagnostic line each. Same inputs, same seed, same
+    budget: identical [tuned] value. *)
+
+(** {2 Emission} *)
+
+val annotate : config -> Oclick_graph.Router.t -> Oclick_graph.Router.t
+(** A copy of the graph with the chosen capacities written into element
+    arguments: every Queue gets [c_queue] as its capacity (when > 0)
+    and the [EARLY MIN MAX P] keyword (when [c_early] is set); other
+    arguments and elements are untouched. *)
+
+val command_line : ?input:string -> config -> string
+(** The tuned invocation, e.g.
+    ["oclick-run --fuse --batch 8 --domains 2 --ring-capacity 128 --watchdog-ms 1000 tuned.click"].
+    Flags at their defaults are omitted; [input] defaults to
+    ["tuned.click"] (the annotated config belongs in that file —
+    capacities travel in the config, not on the command line). *)
+
+(** {2 Measurement feedback} *)
+
+val profile :
+  ?duration_ms:int ->
+  ?warmup_ms:int ->
+  ?drain_ms:int ->
+  ?workload:Oclick_hw.Host.workload ->
+  platform:Oclick_hw.Platform.t ->
+  graph:Oclick_graph.Router.t ->
+  input_pps:int ->
+  unit ->
+  (int array, string) result
+(** One single-domain testbed run with an observability ledger;
+    returns {!Oclick_obs.cost_weights} of it — measured cost per
+    element, indexed to line up with {!Oclick_parallel.Partition}'s
+    [?weights]. *)
+
+val region_shares :
+  weights:int array ->
+  Oclick_graph.Router.t ->
+  ((int list * float) list, string) result
+(** Per Queue-bounded push region ({!Oclick_parallel.Partition.regions}):
+    its element indices and its share of the total measured cost,
+    in region order. *)
+
+val fusion_worthwhile :
+  ?threshold:float -> (int list * float) list -> bool
+(** Whether any multi-element region carries at least [threshold]
+    (default 0.15) of the measured cost — the gate on keeping
+    [Compiled]/[Fused] in the mode axis: whole-region compilation can
+    only pay where a region worth collapsing exists. *)

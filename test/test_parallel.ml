@@ -173,6 +173,131 @@ let test_partition_trivial () =
             (Router.to_string p.Partition.pt_graph))
     (example_configs ())
 
+(* --- weighted partitions ------------------------------------------------- *)
+
+(* A deterministic, heavily skewed weight vector: every element gets a
+   distinct moderate cost, every seventh a dominating one — the shape a
+   measured ledger takes when one element class is far hotter than the
+   rest. *)
+let skewed_weights g =
+  let n = List.length (Router.indices g) in
+  Array.init n (fun i ->
+      1 + (i * 37 mod 97) + if i mod 7 = 0 then 5_000 else 0)
+
+(* Cost-weighted partitions must respect exactly the invariants the
+   unweighted ones do: weights move elements between shards, never
+   across anything but a Queue boundary. *)
+let test_partition_weighted_invariants () =
+  List.iter
+    (fun (name, src) ->
+      let g = parse_exn name src in
+      let weights = skewed_weights g in
+      List.iter
+        (fun domains ->
+          match Partition.compute ~weights ~domains g with
+          | Error e -> Alcotest.failf "%s domains=%d: %s" name domains e
+          | Ok p -> check_partition name domains p)
+        [ 2; 3; 4 ])
+    (example_configs ())
+
+(* Identical weight inputs give byte-identical partitions: the rewritten
+   graph prints the same, and every element lands in the same shard. *)
+let test_partition_weighted_determinism () =
+  List.iter
+    (fun (name, src) ->
+      List.iter
+        (fun domains ->
+          let run () =
+            let g = parse_exn name src in
+            let weights = skewed_weights g in
+            match Partition.compute ~weights ~domains g with
+            | Error e -> Alcotest.failf "%s domains=%d: %s" name domains e
+            | Ok p ->
+                ( Router.to_string p.Partition.pt_graph,
+                  Array.to_list p.Partition.pt_shard_of,
+                  Array.to_list (Partition.shard_weights ~weights p) )
+          in
+          let s1, shard1, w1 = run () in
+          let s2, shard2, w2 = run () in
+          Alcotest.(check string)
+            (Printf.sprintf "%s domains=%d graph bytes" name domains)
+            s1 s2;
+          Alcotest.(check (list int))
+            (Printf.sprintf "%s domains=%d shard_of" name domains)
+            shard1 shard2;
+          Alcotest.(check (list int))
+            (Printf.sprintf "%s domains=%d shard weights" name domains)
+            w1 w2)
+        [ 2; 4 ])
+    (example_configs ())
+
+(* No cost is lost or invented by placement: the per-shard weights sum
+   to the whole graph's measured weight plus one unit per inserted ring
+   stage (inserted stages are not in the measured ledger, so they cost
+   the floor weight of 1). *)
+let test_partition_weight_accounting () =
+  List.iter
+    (fun (name, src) ->
+      let g = parse_exn name src in
+      let weights = skewed_weights g in
+      List.iter
+        (fun domains ->
+          match Partition.compute ~weights ~domains g with
+          | Error e -> Alcotest.failf "%s domains=%d: %s" name domains e
+          | Ok p ->
+              let total =
+                Array.fold_left ( + ) 0 (Partition.shard_weights ~weights p)
+              in
+              let expected =
+                Array.fold_left ( + ) 0 weights
+                + (2 * List.length p.Partition.pt_inserted)
+              in
+              check
+                (Printf.sprintf "%s domains=%d weight accounting" name domains)
+                expected total)
+        [ 2; 3; 4 ])
+    (example_configs ())
+
+(* Four parallel chains with equal element counts, one hiding all the
+   cost: static LPT balances counts and pairs the hot chain with a cold
+   one; weighted LPT isolates it. Evaluated under the measured weights,
+   the weighted placement's busiest shard must never exceed static's. *)
+let test_partition_weighted_balance () =
+  let src =
+    String.concat "\n"
+      (List.init 4 (fun i ->
+           Printf.sprintf
+             "s%d :: InfiniteSource(LIMIT 10) -> c%d :: Counter -> q%d :: \
+              Queue(100) -> d%d :: Discard;"
+             i i i i))
+  in
+  let g = parse_exn "balance" src in
+  let n = List.length (Router.indices g) in
+  let weights = Array.make n 1 in
+  (* Chain 0's counter carries the load. Declaration order: s0 c0 q0 d0
+     s1 c1 ... — index 1 is c0. *)
+  weights.(1) <- 10_000;
+  List.iter
+    (fun domains ->
+      let busiest p =
+        Array.fold_left max 0 (Partition.shard_weights ~weights p)
+      in
+      let static =
+        match Partition.compute ~domains g with
+        | Ok p -> busiest p
+        | Error e -> Alcotest.failf "static domains=%d: %s" domains e
+      in
+      let weighted =
+        match Partition.compute ~weights ~domains g with
+        | Ok p -> busiest p
+        | Error e -> Alcotest.failf "weighted domains=%d: %s" domains e
+      in
+      check_bool
+        (Printf.sprintf "weighted busiest <= static busiest (domains=%d)"
+           domains)
+        true (weighted <= static))
+    [ 2; 3; 4 ]
+
 (* --- scheduler rotation -------------------------------------------------- *)
 
 (* Three sources compete for a one-slot queue; the test pops the winner
@@ -372,6 +497,14 @@ let () =
             test_partition_examples;
           Alcotest.test_case "trivial at one domain" `Quick
             test_partition_trivial;
+          Alcotest.test_case "weighted invariants" `Quick
+            test_partition_weighted_invariants;
+          Alcotest.test_case "weighted determinism" `Quick
+            test_partition_weighted_determinism;
+          Alcotest.test_case "weight accounting" `Quick
+            test_partition_weight_accounting;
+          Alcotest.test_case "weighted balance" `Quick
+            test_partition_weighted_balance;
         ] );
       ( "scheduler",
         [ Alcotest.test_case "rotation" `Quick test_rotation_fairness ] );

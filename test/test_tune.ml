@@ -1,0 +1,326 @@
+(* Tests for the profile-guided autotuner: seeded search determinism,
+   the single-knob-defaults floor, lossless replay of tuned
+   configurations through the simulated testbed, Queue annotation, the
+   measurement feedback helpers, and clean diagnostics on degenerate
+   knob spaces. *)
+
+module Tune = Oclick_tune
+module Router = Oclick_graph.Router
+module Testbed = Oclick_hw.Testbed
+module Platform = Oclick_hw.Platform
+
+let () = Oclick_elements.register_all ()
+let () = Oclick_compile.register ()
+let check = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_str = Alcotest.(check string)
+
+let parse_exn src =
+  match Router.parse_string src with
+  | Ok g -> g
+  | Error e -> Alcotest.failf "parse: %s" e
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+(* Two forwarding chains (one per direction of the two-port platform),
+   each a multi-element push region so compile/fuse have something to
+   collapse. Small enough that every objective evaluation is fast. *)
+let graph_src =
+  "pd0 :: PollDevice(eth0) -> Paint(1) -> Paint(2) -> q0 :: Queue(200) -> \
+   td0 :: ToDevice(eth1);\n\
+   pd1 :: PollDevice(eth1) -> Paint(3) -> Paint(4) -> q1 :: Queue(150) -> \
+   td1 :: ToDevice(eth0);"
+
+let graph () = parse_exn graph_src
+
+let objective ?weights () =
+  Tune.objective ~duration_ms:4 ~warmup_ms:2 ~drain_ms:2 ?weights
+    ~platform:Platform.p1 ~graph:(graph ()) ~input_pps:50_000 ()
+
+(* An 8-point space the default budget enumerates outright. *)
+let small_space =
+  {
+    Tune.s_modes = [ Tune.Interpreted; Tune.Compiled ];
+    Tune.s_batches = [ 1; 8 ];
+    Tune.s_domains = [ 1; 2 ];
+    Tune.s_rings = [ 128 ];
+    Tune.s_queues = [ 0 ];
+    Tune.s_earlies = [ None ];
+    Tune.s_watchdogs = [ 1000 ];
+  }
+
+let search_exn ?seed ?budget ?extra_starts ob space =
+  match Tune.search ?seed ?budget ?extra_starts ob space with
+  | Ok t -> t
+  | Error e -> Alcotest.failf "search: %s" e
+
+(* --- search -------------------------------------------------------------- *)
+
+let test_search_determinism () =
+  let run () =
+    let t = search_exn ~seed:3 ~budget:16 (objective ()) small_space in
+    ( t.Tune.t_config,
+      t.Tune.t_score,
+      t.Tune.t_evals,
+      t.Tune.t_exhaustive,
+      t.Tune.t_log )
+  in
+  let c1, s1, e1, x1, l1 = run () in
+  let c2, s2, e2, x2, l2 = run () in
+  check_str "same config" (Tune.describe c1) (Tune.describe c2);
+  check_bool "same score" true (s1 = s2);
+  check "same evaluations" e1 e2;
+  check_bool "both exhaustive" true (x1 && x2);
+  Alcotest.(check (list string)) "same trace" l1 l2
+
+let test_search_exhaustive_small_space () =
+  let t = search_exn ~budget:16 (objective ()) small_space in
+  check "eight points" 8 t.Tune.t_points;
+  check_bool "enumerated outright" true t.Tune.t_exhaustive;
+  check "one evaluation per point" 8 t.Tune.t_evals
+
+let test_defaults_are_a_floor () =
+  let ob = objective () in
+  let defaults = Tune.single_knob_defaults Tune.default_space in
+  check_bool "sweep is non-trivial" true (List.length defaults > 5);
+  let scores =
+    List.map
+      (fun c ->
+        match Tune.eval ob c with
+        | Ok s -> s
+        | Error e -> Alcotest.failf "default %s: %s" (Tune.describe c) e)
+      defaults
+  in
+  let t =
+    search_exn ~seed:1 ~budget:24 ~extra_starts:defaults ob Tune.default_space
+  in
+  List.iter2
+    (fun c s ->
+      check_bool
+        (Printf.sprintf "tuned >= default %s" (Tune.describe c))
+        false
+        (Tune.better s t.Tune.t_score))
+    defaults scores
+
+(* --- replay -------------------------------------------------------------- *)
+
+(* A tuned configuration must replay deterministically: the annotated
+   graph plus the tuned knobs, run twice through the testbed, produces
+   identical drain-complete outcome totals, drop reasons, and
+   conservation ledgers. *)
+let test_tuned_replay_lossless () =
+  let c =
+    {
+      Tune.c_mode = Tune.Fused;
+      Tune.c_batch = 8;
+      Tune.c_domains = 2;
+      Tune.c_ring = 256;
+      Tune.c_queue = 777;
+      Tune.c_early = Some { Tune.e_min = 50; Tune.e_max = 400; Tune.e_prob = 0.02 };
+      Tune.c_watchdog_ms = 1000;
+    }
+  in
+  let annotated = Tune.annotate c (graph ()) in
+  let replay () =
+    match
+      Testbed.run ~duration_ms:6 ~warmup_ms:3 ~drain_ms:3 ~batch:c.Tune.c_batch
+        ~compile:false ~fuse:true ~domains:c.Tune.c_domains
+        ~ring_capacity:c.Tune.c_ring ~platform:Platform.p1 ~graph:annotated
+        ~input_pps:50_000 ()
+    with
+    | Ok r -> r
+    | Error e -> Alcotest.failf "replay: %s" e
+  in
+  let a = replay () in
+  let b = replay () in
+  check_bool "forwarded traffic" true
+    (a.Testbed.r_outcomes_total.Testbed.oc_sent > 0);
+  check_bool "outcome totals identical" true
+    (a.Testbed.r_outcomes_total = b.Testbed.r_outcomes_total);
+  check_bool "drop reasons identical" true
+    (a.Testbed.r_drop_reasons_total = b.Testbed.r_drop_reasons_total);
+  check_bool "conservation identical" true
+    (a.Testbed.r_conservation = b.Testbed.r_conservation)
+
+(* --- annotation ---------------------------------------------------------- *)
+
+let test_annotate_writes_capacities () =
+  let c =
+    {
+      Tune.c_mode = Tune.Interpreted;
+      Tune.c_batch = 1;
+      Tune.c_domains = 1;
+      Tune.c_ring = 128;
+      Tune.c_queue = 1000;
+      Tune.c_early = Some { Tune.e_min = 50; Tune.e_max = 400; Tune.e_prob = 0.02 };
+      Tune.c_watchdog_ms = 1000;
+    }
+  in
+  let s = Router.to_string (Tune.annotate c (graph ())) in
+  check_bool "capacity written" true (contains s "Queue(1000, EARLY 50 400 0.02)");
+  check_bool "original capacity gone" true (not (contains s "Queue(200"));
+  check_bool "second queue rewritten too" true (not (contains s "Queue(150"))
+
+let test_annotate_keep_is_identity () =
+  let c =
+    {
+      Tune.c_mode = Tune.Fused;
+      Tune.c_batch = 32;
+      Tune.c_domains = 4;
+      Tune.c_ring = 1024;
+      Tune.c_queue = 0;
+      Tune.c_early = None;
+      Tune.c_watchdog_ms = 1000;
+    }
+  in
+  let g = graph () in
+  check_str "keep-configured annotation is byte-identical"
+    (Router.to_string g)
+    (Router.to_string (Tune.annotate c g))
+
+let test_command_line () =
+  let base =
+    {
+      Tune.c_mode = Tune.Interpreted;
+      Tune.c_batch = 1;
+      Tune.c_domains = 1;
+      Tune.c_ring = 128;
+      Tune.c_queue = 0;
+      Tune.c_early = None;
+      Tune.c_watchdog_ms = 1000;
+    }
+  in
+  check_str "all defaults" "oclick-run tuned.click" (Tune.command_line base);
+  check_str "tuned knobs"
+    "oclick-run --fuse --batch 8 --domains 2 --ring-capacity 256 \
+     --watchdog-ms 500 in.click"
+    (Tune.command_line ~input:"in.click"
+       {
+         base with
+         Tune.c_mode = Tune.Fused;
+         Tune.c_batch = 8;
+         Tune.c_domains = 2;
+         Tune.c_ring = 256;
+         Tune.c_watchdog_ms = 500;
+       })
+
+let test_mode_names () =
+  List.iter
+    (fun m ->
+      check_bool (Tune.mode_name m) true
+        (Tune.mode_of_name (Tune.mode_name m) = Some m))
+    [ Tune.Interpreted; Tune.Compiled; Tune.Fused ];
+  check_bool "unknown mode" true (Tune.mode_of_name "jit" = None)
+
+(* --- measurement feedback ------------------------------------------------ *)
+
+let test_profile_and_shares () =
+  let g = graph () in
+  let weights =
+    match
+      Tune.profile ~duration_ms:4 ~warmup_ms:2 ~drain_ms:2
+        ~platform:Platform.p1 ~graph:g ~input_pps:50_000 ()
+    with
+    | Ok w -> w
+    | Error e -> Alcotest.failf "profile: %s" e
+  in
+  (* The ledger covers the expanded runtime graph, so it is at least as
+     long as the source graph's element list. *)
+  check_bool "a weight slot for every source element" true
+    (Array.length weights >= List.length (Router.indices g));
+  check_bool "weights floored at one" true (Array.for_all (fun w -> w >= 1) weights);
+  let shares =
+    match Tune.region_shares ~weights g with
+    | Ok s -> s
+    | Error e -> Alcotest.failf "region_shares: %s" e
+  in
+  check_bool "regions found" true (List.length shares >= 2);
+  let total = List.fold_left (fun acc (_, s) -> acc +. s) 0.0 shares in
+  check_bool "shares sum to one" true (abs_float (total -. 1.0) < 1e-9);
+  (* Both forwarding chains are multi-element regions carrying nearly
+     all the measured cost, so the mode axis stays. *)
+  check_bool "fusion worthwhile here" true (Tune.fusion_worthwhile shares)
+
+(* --- degenerate spaces --------------------------------------------------- *)
+
+let test_budget_zero_is_clean () =
+  match Tune.search ~budget:0 (objective ()) small_space with
+  | Ok _ -> Alcotest.fail "budget 0 accepted"
+  | Error e -> check_bool "diagnostic names the budget" true (contains e "budget")
+
+let test_empty_axis_is_clean () =
+  match
+    Tune.search (objective ()) { small_space with Tune.s_modes = [] }
+  with
+  | Ok _ -> Alcotest.fail "empty axis accepted"
+  | Error e -> check_bool "one-line diagnostic" true (not (contains e "\n"))
+
+let test_bad_knob_is_clean () =
+  match
+    Tune.search (objective ()) { small_space with Tune.s_batches = [ 0 ] }
+  with
+  | Ok _ -> Alcotest.fail "non-positive batch accepted"
+  | Error e -> check_bool "one-line diagnostic" true (not (contains e "\n"))
+
+let test_single_point_space () =
+  let space =
+    {
+      Tune.s_modes = [ Tune.Interpreted ];
+      Tune.s_batches = [ 1 ];
+      Tune.s_domains = [ 1 ];
+      Tune.s_rings = [ 128 ];
+      Tune.s_queues = [ 0 ];
+      Tune.s_earlies = [ None ];
+      Tune.s_watchdogs = [ 1000 ];
+    }
+  in
+  let t = search_exn ~budget:4 (objective ()) space in
+  check "one point" 1 t.Tune.t_points;
+  check "one evaluation" 1 t.Tune.t_evals;
+  check_bool "exhaustive" true t.Tune.t_exhaustive;
+  check_str "the only config"
+    "mode=interpreted batch=1 domains=1 ring=128 queue=0 early=- watchdog=1000"
+    (Tune.describe t.Tune.t_config)
+
+let () =
+  Alcotest.run "tune"
+    [
+      ( "search",
+        [
+          Alcotest.test_case "seeded determinism" `Quick
+            test_search_determinism;
+          Alcotest.test_case "exhaustive small space" `Quick
+            test_search_exhaustive_small_space;
+          Alcotest.test_case "single-knob defaults floor" `Quick
+            test_defaults_are_a_floor;
+        ] );
+      ( "replay",
+        [
+          Alcotest.test_case "tuned config lossless" `Quick
+            test_tuned_replay_lossless;
+        ] );
+      ( "emission",
+        [
+          Alcotest.test_case "annotate capacities" `Quick
+            test_annotate_writes_capacities;
+          Alcotest.test_case "annotate keep is identity" `Quick
+            test_annotate_keep_is_identity;
+          Alcotest.test_case "command line" `Quick test_command_line;
+          Alcotest.test_case "mode names" `Quick test_mode_names;
+        ] );
+      ( "feedback",
+        [
+          Alcotest.test_case "profile and region shares" `Quick
+            test_profile_and_shares;
+        ] );
+      ( "degenerate",
+        [
+          Alcotest.test_case "budget zero" `Quick test_budget_zero_is_clean;
+          Alcotest.test_case "empty axis" `Quick test_empty_axis_is_clean;
+          Alcotest.test_case "bad knob" `Quick test_bad_knob_is_clean;
+          Alcotest.test_case "single point" `Quick test_single_point_space;
+        ] );
+    ]
